@@ -1,0 +1,401 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (see DESIGN.md section 4 for the index) and times the
+   flow's automated steps with Bechamel.
+
+   Output, in order:
+     figure 2   the example SDF graph and its analyses
+     figure 3   template tile variants and their area
+     figure 4   the communication model inserted on a producer/consumer pair
+     figure 5   the MJPEG application graph and its WCET table
+     figure 6a  worst-case / expected / measured throughput, FSL platform
+     figure 6b  the same on the SDM NoC platform
+     table 1    designer effort (automated steps measured live)
+     section 6.3    the communication-assist prediction study
+     section 5.3.1  NoC flow-control area overhead
+     microbenchmarks (Bechamel) for the flow's hot steps *)
+
+open Bechamel
+open Toolkit
+
+let line () = print_endline (String.make 72 '=')
+
+let section title =
+  line ();
+  Printf.printf "%s\n" title;
+  line ()
+
+(* --- figure 2 -------------------------------------------------------------- *)
+
+let figure2_graph () =
+  let g = Sdf.Graph.empty "figure2" in
+  let g, a = Sdf.Graph.add_actor g ~name:"A" ~execution_time:10 in
+  let g, b = Sdf.Graph.add_actor g ~name:"B" ~execution_time:4 in
+  let g, c = Sdf.Graph.add_actor g ~name:"C" ~execution_time:6 in
+  let g, _ =
+    Sdf.Graph.add_channel g ~name:"a2b" ~source:a ~production_rate:2 ~target:b
+      ~consumption_rate:1 ()
+  in
+  let g, _ =
+    Sdf.Graph.add_channel g ~name:"a2c" ~source:a ~production_rate:1 ~target:c
+      ~consumption_rate:1 ()
+  in
+  let g, _ =
+    Sdf.Graph.add_channel g ~name:"b2c" ~source:b ~production_rate:1 ~target:c
+      ~consumption_rate:2 ()
+  in
+  let g, _ =
+    Sdf.Graph.add_channel g ~name:"aState" ~source:a ~production_rate:1
+      ~target:a ~consumption_rate:1 ~initial_tokens:1 ()
+  in
+  g
+
+let figure2 () =
+  section "Figure 2 - example SDF graph (3 actors, self-edge state)";
+  let g = figure2_graph () in
+  let q = Sdf.Repetition.vector_exn g in
+  Printf.printf "repetition vector: A=%d B=%d C=%d (paper: 1, 2, 1)\n" q.(0)
+    q.(1) q.(2);
+  Printf.printf "deadlock free: %b\n" (Sdf.Analysis.is_deadlock_free g);
+  Format.printf "self-timed: %a@." Sdf.Throughput.pp_result
+    (Sdf.Throughput.analyse g)
+
+(* --- figure 3 -------------------------------------------------------------- *)
+
+let figure3 () =
+  section "Figure 3 - MAMPS tile variants (template instances and area)";
+  Printf.printf "%-28s %8s %6s %5s\n" "tile variant" "slices" "BRAM" "DSP";
+  List.iter
+    (fun (label, tile) ->
+      let a = Arch.Area.tile tile in
+      Printf.printf "%-28s %8d %6d %5d\n" label a.Arch.Area.slices
+        a.Arch.Area.bram_blocks a.Arch.Area.dsp_slices)
+    [
+      ("tile 1: master (PE+mem+IO)", Arch.Tile.master "t");
+      ("tile 2: slave (PE+mem)", Arch.Tile.slave "t");
+      ("tile 3: with CA", Arch.Tile.with_ca "t");
+      ("tile 4: hardware IP", Arch.Tile.ip_block ~name:"t" ~ip:"idct_core");
+    ]
+
+(* --- figure 4 -------------------------------------------------------------- *)
+
+let figure4 () =
+  section "Figure 4 - communication model for one inter-tile channel";
+  List.iter
+    (fun (label, choice) ->
+      match Experiments.fig4_demo ~token_bytes:64 ~interconnect:choice () with
+      | Error e -> Printf.printf "%s: failed (%s)\n" label e
+      | Ok demo ->
+          Printf.printf
+            "%-4s unmapped %-8s mapped %-8s (conservative: %b), model: %d \
+             actors / %d channels\n"
+            label
+            (Sdf.Rational.to_string demo.Experiments.original_throughput)
+            (Sdf.Rational.to_string demo.Experiments.mapped_throughput)
+            (Sdf.Rational.compare demo.Experiments.mapped_throughput
+               demo.Experiments.original_throughput
+            <= 0)
+            demo.Experiments.expanded_actors demo.Experiments.expanded_channels)
+    [
+      ("fsl", Arch.Template.Use_fsl Arch.Fsl.default);
+      ("noc", Arch.Template.Use_noc Arch.Noc.default_config);
+    ]
+
+(* --- figure 5 -------------------------------------------------------------- *)
+
+let figure5 () =
+  section "Figure 5 - the MJPEG decoder application";
+  let seq = Mjpeg.Streams.synthetic () in
+  let g = Mjpeg.Mjpeg_app.graph ~stream:seq.Mjpeg.Streams.seq_stream in
+  Printf.printf "actors: %d, channels: %d (paper: 5 actors, 8 channels)\n"
+    (Sdf.Graph.actor_count g) (Sdf.Graph.channel_count g);
+  let q = Sdf.Repetition.vector_exn g in
+  Printf.printf "repetition vector:";
+  List.iter
+    (fun name ->
+      let id = (Sdf.Graph.actor_of_name g name).Sdf.Graph.actor_id in
+      Printf.printf " %s=%d" name q.(id))
+    Mjpeg.Mjpeg_app.actor_names;
+  Printf.printf "\nstructural WCETs (cycles):";
+  List.iter
+    (fun (name, wcet) -> Printf.printf " %s=%d" name wcet)
+    (Mjpeg.Mjpeg_app.wcet_table ());
+  print_newline ()
+
+(* --- figure 6 -------------------------------------------------------------- *)
+
+(* the plottable series behind the bar chart, one row per sequence *)
+let write_csv path rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        "sequence,worst_case_mcu_per_mhz_s,expected,measured\n";
+      List.iter
+        (fun (r : Core.Report.throughput_row) ->
+          let cell = function
+            | Some v -> Printf.sprintf "%.6f" (Core.Report.mcus_per_mhz_second v)
+            | None -> ""
+          in
+          output_string oc
+            (Printf.sprintf "%s,%.6f,%s,%s\n" r.Core.Report.row_label
+               (Core.Report.mcus_per_mhz_second r.Core.Report.worst_case)
+               (cell r.Core.Report.expected)
+               (cell r.Core.Report.measured)))
+        rows);
+  Printf.printf "series written to %s\n" path
+
+let figure6 label choice ~paper_note =
+  section
+    (Printf.sprintf "Figure 6%s - throughput on the %s platform" label
+       (match choice with
+       | Arch.Template.Use_fsl _ -> "FSL point-to-point"
+       | Arch.Template.Use_noc _ -> "SDM NoC"));
+  match Experiments.figure6 choice () with
+  | Error e -> Printf.printf "failed: %s\n" e
+  | Ok results ->
+      let rows = List.map (fun r -> r.Experiments.row) results in
+      Format.printf "%a@." Core.Report.pp_throughput_table rows;
+      Printf.printf "%s\n" paper_note;
+      Printf.printf "bound respected on every sequence: %b\n"
+        (List.for_all Core.Report.bound_respected rows);
+      write_csv (Printf.sprintf "figure6%s.csv" label) rows
+
+(* --- table 1 ---------------------------------------------------------------- *)
+
+let table1 () =
+  section "Table 1 - designer effort";
+  match Experiments.table1 () with
+  | Error e -> Printf.printf "failed: %s\n" e
+  | Ok times ->
+      Format.printf "%a@." Core.Report.pp_effort_table times;
+      Printf.printf
+        "(paper automated steps: 1 s arch model, 1 min mapping, 16 s project, \
+         17 min XPS synthesis; our synthesis stand-in elaborates the \
+         simulator instead of running XPS)\n"
+
+(* --- section 6.3 ------------------------------------------------------------- *)
+
+let section63 () =
+  section "Section 6.3 - communication assist study (model-level)";
+  List.iter
+    (fun (label, scale) ->
+      match Experiments.ca_study ~pe_serialization_scale:scale () with
+      | Error e -> Printf.printf "%s: failed (%s)\n" label e
+      | Ok study ->
+          Printf.printf
+            "%-44s without CA %-10s with CA %-10s improvement +%d%%\n" label
+            (Sdf.Rational.to_string study.Experiments.baseline)
+            (Sdf.Rational.to_string study.Experiments.with_ca)
+            study.Experiments.improvement_percent)
+    [
+      ("calibrated Microblaze copy loops (x1)", 1);
+      ("slower software comm (x4)", 4);
+      ("slower software comm (x8)", 8);
+      ("handshake-heavy software comm (x16)", 16);
+    ];
+  Printf.printf "(paper: up to +300%% on a communication-dominated platform)\n"
+
+(* --- section 5.3.1 ------------------------------------------------------------- *)
+
+let section531 () =
+  section "Section 5.3.1 - NoC flow-control area overhead";
+  let area = Experiments.noc_area () in
+  Format.printf
+    "router with flow control: %a@.router without:           %a@.overhead: \
+     +%d%% slices (paper: ~12%%)@."
+    Arch.Area.pp area.Experiments.router_with_flow_control Arch.Area.pp
+    area.Experiments.router_without area.Experiments.overhead_percent
+
+(* --- ablations -------------------------------------------------------------------- *)
+
+(* Design-choice ablations (DESIGN.md section 4): how the guarantee reacts
+   to the buffer-distribution search depth, the NoC wire allocation, and
+   the WCET calibration margin. *)
+let ablations () =
+  section "Ablations - design choices of the flow";
+  let seq = Mjpeg.Streams.synthetic () in
+  let app =
+    match Experiments.calibrated_mjpeg seq with
+    | Ok app -> app
+    | Error e -> failwith e
+  in
+  let guarantee_of options choice =
+    match Core.Design_flow.run_auto app ~options choice () with
+    | Ok flow -> (
+        match flow.Core.Design_flow.guarantee with
+        | Some g -> Sdf.Rational.to_string g
+        | None -> "-")
+    | Error e -> "failed: " ^ e
+  in
+  Printf.printf "buffer-distribution search depth (FSL):\n";
+  List.iter
+    (fun rounds ->
+      let options =
+        { Experiments.flow_options with buffer_growth_rounds = rounds }
+      in
+      Printf.printf "  growth rounds %d: guarantee %s\n" rounds
+        (guarantee_of options (Arch.Template.Use_fsl Arch.Fsl.default)))
+    [ 0; 1; 2; 3; 4 ];
+  Printf.printf "\nNoC wires per connection (32-wire links):\n";
+  List.iter
+    (fun wires ->
+      let options =
+        { Experiments.flow_options with wires_per_connection = wires }
+      in
+      Printf.printf "  %2d wires (%2d cycles/word): guarantee %s\n" wires
+        ((32 + wires - 1) / wires)
+        (guarantee_of options (Arch.Template.Use_noc Arch.Noc.default_config)))
+    [ 1; 2; 4; 8; 16; 32 ];
+  Printf.printf
+    "\nWCET calibration margin (worst-case line vs measured, synthetic):\n";
+  List.iter
+    (fun margin ->
+      let result =
+        let ( let* ) = Result.bind in
+        let* app =
+          Mjpeg.Mjpeg_app.calibrated_application
+            ~stream:seq.Mjpeg.Streams.seq_stream ~margin_percent:margin ()
+        in
+        let* flow =
+          Core.Design_flow.run_auto app ~options:Experiments.flow_options
+            (Arch.Template.Use_fsl Arch.Fsl.default)
+            ()
+        in
+        let* measured =
+          Core.Design_flow.measure flow
+            ~iterations:(2 * Mjpeg.Streams.mcus seq)
+            ()
+        in
+        Ok
+          ( Option.get flow.Core.Design_flow.guarantee,
+            Sim.Platform_sim.steady_throughput measured )
+      in
+      match result with
+      | Error e -> Printf.printf "  margin %2d%%: failed (%s)\n" margin e
+      | Ok (worst, measured) ->
+          Printf.printf
+            "  margin %2d%%: worst-case %7.4f, measured %7.4f MCU/MHz/s, \
+             bound %s\n"
+            margin
+            (Core.Report.mcus_per_mhz_second worst)
+            (Core.Report.mcus_per_mhz_second measured)
+            (if Sdf.Rational.compare measured worst >= 0 then "holds"
+             else "VIOLATED"))
+    [ 0; 10; 25; 50 ]
+
+(* --- Bechamel microbenchmarks --------------------------------------------------- *)
+
+let microbenchmarks () =
+  section "Microbenchmarks (Bechamel, one per table/figure hot step)";
+  let seq = Mjpeg.Streams.synthetic () in
+  let app =
+    match Experiments.calibrated_mjpeg seq with
+    | Ok app -> app
+    | Error e -> failwith e
+  in
+  let flow =
+    match
+      Core.Design_flow.run_auto app ~options:Experiments.flow_options
+        (Arch.Template.Use_fsl Arch.Fsl.default)
+        ()
+    with
+    | Ok flow -> flow
+    | Error e -> failwith e
+  in
+  let mapping = flow.Core.Design_flow.mapping in
+  let expanded = mapping.Mapping.Flow_map.expansion.Mapping.Comm_map.graph in
+  let exec_options = mapping.Mapping.Flow_map.exec_options in
+  let fig2 = figure2_graph () in
+  let stream = seq.Mjpeg.Streams.seq_stream in
+  let mcus = Mjpeg.Streams.mcus seq in
+  let tests =
+    [
+      Test.make ~name:"fig2.repetition-vector"
+        (Staged.stage (fun () -> Sdf.Repetition.vector_exn fig2));
+      Test.make ~name:"fig2.self-timed-throughput"
+        (Staged.stage (fun () -> Sdf.Throughput.analyse fig2));
+      Test.make ~name:"fig3.tile-area"
+        (Staged.stage (fun () -> Arch.Area.tile (Arch.Tile.master "t")));
+      Test.make ~name:"fig4.comm-model-expansion"
+        (Staged.stage (fun () ->
+             Mapping.Comm_map.expand
+               ~graph:mapping.Mapping.Flow_map.timed_graph
+               ~binding:(fun name ->
+                 Mapping.Binding.tile_of mapping.Mapping.Flow_map.binding name)
+               ~platform:mapping.Mapping.Flow_map.platform ()));
+      Test.make ~name:"fig5.vld-decode-one-mcu"
+        (Staged.stage (fun () ->
+             Mjpeg.Vld.decode_one_mcu stream Mjpeg.Tokens.initial_vld_state));
+      Test.make ~name:"fig6.worst-case-analysis"
+        (Staged.stage (fun () ->
+             Sdf.Throughput.analyse ~options:exec_options expanded));
+      Test.make ~name:"fig6.platform-simulation-one-pass"
+        (Staged.stage (fun () -> Sim.Platform_sim.run mapping ~iterations:mcus ()));
+      Test.make ~name:"table1.architecture-generation"
+        (Staged.stage (fun () ->
+             Arch.Template.for_application app
+               (Arch.Template.Use_fsl Arch.Fsl.default)));
+      Test.make ~name:"table1.mapping"
+        (Staged.stage (fun () ->
+             Mapping.Flow_map.run app flow.Core.Design_flow.platform
+               ~options:Experiments.flow_options ()));
+      Test.make ~name:"table1.project-generation"
+        (Staged.stage (fun () -> Mamps.Project.generate mapping));
+      Test.make ~name:"table1.synthesis-elaboration"
+        (Staged.stage (fun () ->
+             let netlist = Mamps.Netlist.of_mapping mapping in
+             ( Mamps.Netlist.validate netlist,
+               Sim.Platform_sim.run mapping ~iterations:1 () )));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  Printf.printf "%-36s %16s\n" "step" "time per run";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let nanos =
+            match Analyze.OLS.estimates ols_result with
+            | Some (value :: _) -> value
+            | Some [] | None -> nan
+          in
+          let human =
+            if Float.is_nan nanos then "n/a"
+            else if nanos > 1e9 then Printf.sprintf "%8.2f  s" (nanos /. 1e9)
+            else if nanos > 1e6 then Printf.sprintf "%8.2f ms" (nanos /. 1e6)
+            else if nanos > 1e3 then Printf.sprintf "%8.2f us" (nanos /. 1e3)
+            else Printf.sprintf "%8.0f ns" nanos
+          in
+          Printf.printf "%-36s %16s\n" name human)
+        analysis;
+      flush stdout)
+    tests
+
+let () =
+  figure2 ();
+  figure3 ();
+  figure4 ();
+  figure5 ();
+  figure6 "a"
+    (Arch.Template.Use_fsl Arch.Fsl.default)
+    ~paper_note:
+      "(paper 6a: worst-case line ~0.60, synthetic ~0.63, test-set ~0.95 \
+       MCU/MHz/s; expected-vs-measured <1% on synthetic)";
+  figure6 "b"
+    (Arch.Template.Use_noc Arch.Noc.default_config)
+    ~paper_note:
+      "(paper 6b: same shape as 6a with slightly lower values on the NoC)";
+  table1 ();
+  section63 ();
+  section531 ();
+  ablations ();
+  microbenchmarks ();
+  line ();
+  print_endline "benchmark harness completed"

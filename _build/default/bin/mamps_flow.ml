@@ -1,0 +1,198 @@
+(* Command-line driver for the automated design flow.
+
+   Subcommands:
+     graph FILE.xml      analyse an SDF graph in the common input format
+     mjpeg               run the full flow on the MJPEG case study and
+                         optionally write the generated MAMPS project
+     experiments         reproduce the paper's evaluation tables *)
+
+open Cmdliner
+
+(* --- graph ------------------------------------------------------------------ *)
+
+let analyse_graph path dot_output =
+  match Sdf.Xmlio.of_file path with
+  | Error msg ->
+      Printf.eprintf "cannot read %s: %s\n" path msg;
+      1
+  | Ok g -> (
+      Format.printf "%a@.@." Sdf.Graph.pp g;
+      (match Sdf.Analysis.admit g with
+      | Error e ->
+          Format.printf "rejected by the flow: %a@." Sdf.Analysis.pp_admission_error e
+      | Ok q ->
+          Format.printf "repetition vector:";
+          List.iter
+            (fun (a : Sdf.Graph.actor) ->
+              Format.printf " %s=%d" a.actor_name q.(a.actor_id))
+            (Sdf.Graph.actors g);
+          Format.printf "@.self-timed: %a@." Sdf.Throughput.pp_result
+            (Sdf.Throughput.analyse g));
+      match dot_output with
+      | None -> 0
+      | Some out ->
+          Sdf.Dot.to_file g out;
+          Printf.printf "wrote %s\n" out;
+          0)
+
+let graph_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"SDF graph in the flow's XML format.")
+  in
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"OUT" ~doc:"Also write a Graphviz rendering.")
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Analyse an SDF graph file")
+    Term.(const analyse_graph $ path $ dot)
+
+(* --- mjpeg ------------------------------------------------------------------- *)
+
+let interconnect_of = function
+  | `Fsl -> Arch.Template.Use_fsl Arch.Fsl.default
+  | `Noc -> Arch.Template.Use_noc Arch.Noc.default_config
+
+let run_mjpeg interconnect sequence output passes trace_out =
+  match Mjpeg.Streams.by_name sequence with
+  | None ->
+      Printf.eprintf "unknown sequence %S; available: %s\n" sequence
+        (String.concat ", "
+           (List.map
+              (fun s -> s.Mjpeg.Streams.seq_name)
+              (Mjpeg.Streams.all ())));
+      1
+  | Some seq -> (
+      let ( let* ) = Result.bind in
+      let result =
+        let* app = Experiments.calibrated_mjpeg seq in
+        let* flow =
+          Core.Design_flow.run_auto app ~options:Experiments.flow_options
+            (interconnect_of interconnect) ()
+        in
+        let iterations = passes * Mjpeg.Streams.mcus seq in
+        let collector = Sim.Trace.create () in
+        let trace =
+          Option.map (fun _ -> Sim.Trace.sink collector) trace_out
+        in
+        let* measured = Core.Design_flow.measure flow ~iterations ?trace () in
+        (match trace_out with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc (Sim.Trace.to_vcd collector));
+            Printf.printf "wrote %d busy intervals to %s\n"
+              (Sim.Trace.span_count collector)
+              path);
+        Ok (flow, measured)
+      in
+      match result with
+      | Error msg ->
+          Printf.eprintf "flow failed: %s\n" msg;
+          1
+      | Ok (flow, measured) ->
+          Format.printf "%a@.@." Mapping.Flow_map.pp_summary
+            flow.Core.Design_flow.mapping;
+          Format.printf "automated steps:@.%a@.@." Core.Design_flow.pp_times
+            flow.Core.Design_flow.times;
+          (match flow.Core.Design_flow.guarantee with
+          | Some g ->
+              Format.printf "guaranteed throughput: %s MCU/cycle (%.4f MCU/MHz/s)@."
+                (Sdf.Rational.to_string g)
+                (Core.Report.mcus_per_mhz_second g)
+          | None -> Format.printf "no throughput guarantee@.");
+          Format.printf "measured on the platform (%d MCUs): %.4f MCU/MHz/s@."
+            measured.Sim.Platform_sim.iterations
+            (Core.Report.mcus_per_mhz_second
+               (Sim.Platform_sim.steady_throughput measured));
+          (match output with
+          | None -> ()
+          | Some dir ->
+              Mamps.Project.write_to flow.Core.Design_flow.project ~dir;
+              Format.printf "MAMPS project written to %s (%d files)@." dir
+                (List.length flow.Core.Design_flow.project.Mamps.Project.files));
+          0)
+
+let mjpeg_cmd =
+  let interconnect =
+    Arg.(
+      value
+      & opt (enum [ ("fsl", `Fsl); ("noc", `Noc) ]) `Fsl
+      & info [ "interconnect"; "i" ] ~docv:"KIND"
+          ~doc:"Interconnect: $(b,fsl) point-to-point or the $(b,noc).")
+  in
+  let sequence =
+    Arg.(
+      value
+      & opt string "synthetic"
+      & info [ "sequence"; "s" ] ~docv:"NAME"
+          ~doc:"Test sequence to decode (see the paper's Figure 6).")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"DIR"
+          ~doc:"Write the generated MAMPS project here.")
+  in
+  let passes =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "passes" ] ~docv:"N"
+          ~doc:"Stream passes to simulate when measuring.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE.vcd"
+          ~doc:"Dump the platform execution as a VCD waveform.")
+  in
+  Cmd.v
+    (Cmd.info "mjpeg" ~doc:"Run the full flow on the MJPEG case study")
+    Term.(const run_mjpeg $ interconnect $ sequence $ output $ passes $ trace)
+
+(* --- experiments ------------------------------------------------------------------ *)
+
+let run_experiments () =
+  let ok = ref 0 in
+  (match Experiments.figure6 (Arch.Template.Use_fsl Arch.Fsl.default) () with
+  | Error e ->
+      Printf.eprintf "figure 6a failed: %s\n" e;
+      ok := 1
+  | Ok results ->
+      Format.printf "Figure 6a (FSL):@.%a@.@." Core.Report.pp_throughput_table
+        (List.map (fun r -> r.Experiments.row) results));
+  (match Experiments.table1 () with
+  | Error e ->
+      Printf.eprintf "table 1 failed: %s\n" e;
+      ok := 1
+  | Ok times ->
+      Format.printf "Table 1:@.%a@.@." Core.Report.pp_effort_table times);
+  let area = Experiments.noc_area () in
+  Format.printf "NoC flow control: +%d%% slices (paper ~12%%)@."
+    area.Experiments.overhead_percent;
+  !ok
+
+let experiments_cmd =
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Reproduce the paper's evaluation tables")
+    Term.(const run_experiments $ const ())
+
+let () =
+  let doc =
+    "An automated flow to map throughput-constrained applications to a MPSoC"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "mamps_flow" ~version:"1.0.0" ~doc)
+          [ graph_cmd; mjpeg_cmd; experiments_cmd ]))

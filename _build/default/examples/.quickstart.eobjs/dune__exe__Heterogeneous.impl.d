@@ -1,0 +1,1 @@
+examples/heterogeneous.ml: Appmodel Arch Core Experiments Format Mapping Mjpeg Printf Result Sdf Sim

@@ -1,0 +1,1 @@
+examples/mjpeg_fsl.ml: Arch Core Experiments Format List Printf

@@ -1,0 +1,1 @@
+examples/mjpeg_noc.ml: Arch Core Experiments Format List Printf

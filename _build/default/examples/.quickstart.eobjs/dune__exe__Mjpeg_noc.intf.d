@@ -1,0 +1,1 @@
+examples/mjpeg_noc.mli:

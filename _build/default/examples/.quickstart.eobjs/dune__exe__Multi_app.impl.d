@@ -1,0 +1,1 @@
+examples/multi_app.ml: Appmodel Arch Array Core Experiments Format List Mapping Mjpeg Printf Result Sdf Sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Appmodel Arch Array Core Format List Mamps Mapping Sdf String

@@ -1,0 +1,32 @@
+(* Design-space exploration: the "very fast design space exploration" the
+   paper's conclusion claims, and the "improved automated design space
+   exploration" it names as future work. Sweep tile counts and both
+   interconnects for the MJPEG decoder and report the guarantee/area
+   Pareto front. *)
+
+let () =
+  let seq = Mjpeg.Streams.synthetic () in
+  let app =
+    match Experiments.calibrated_mjpeg seq with
+    | Ok app -> app
+    | Error msg -> failwith msg
+  in
+  Format.printf
+    "design space of the MJPEG decoder (synthetic stream, %d MCUs per pass)@.@."
+    (Mjpeg.Streams.mcus seq);
+  let points, failures = Core.Dse.explore app () in
+  Format.printf "%a@." Core.Dse.pp_table points;
+  List.iter
+    (fun (tiles, interconnect, reason) ->
+      Format.printf "infeasible: %d tiles on %s (%s)@." tiles interconnect
+        reason)
+    failures;
+  let front = Core.Dse.pareto points in
+  Format.printf "@.Pareto front (throughput vs area):@.%a@." Core.Dse.pp_table
+    front;
+  match Core.Dse.best_under_area points ~max_slices:12_000 with
+  | Some p ->
+      Format.printf "@.best platform within 12k slices: %d tiles on %s@."
+        p.Core.Dse.tile_count
+        (Core.Dse.interconnect_label p.Core.Dse.interconnect)
+  | None -> Format.printf "@.no platform fits 12k slices@."

@@ -1,0 +1,73 @@
+(* Heterogeneous mapping: the application model carries two IDCT
+   implementations (Microblaze software and a dedicated hardware core),
+   and the flow picks the right one per tile — "the automated selection of
+   the correct implementation when heterogeneous systems are designed"
+   (paper, conclusions). The IDCT moves to Figure 3's Tile-4 variant: an
+   IP block behind a plain network interface. *)
+
+let platform_with_ip () =
+  Arch.Platform.make ~name:"mjpeg_hetero"
+    ~tiles:
+      [
+        Arch.Tile.master "tile0";
+        Arch.Tile.slave "tile1";
+        Arch.Tile.ip_block ~name:"tile2" ~ip:"idct_core";
+        Arch.Tile.slave "tile3";
+        Arch.Tile.slave "tile4";
+      ]
+    (Arch.Platform.Point_to_point Arch.Fsl.default)
+
+let run label app platform =
+  let ( let* ) = Result.bind in
+  let* flow =
+    Core.Design_flow.run app platform
+      ~options:
+        {
+          Mapping.Flow_map.default_options with
+          fixed = Experiments.five_tile_binding;
+        }
+      ()
+  in
+  let seq = Mjpeg.Streams.synthetic () in
+  let* measured =
+    Core.Design_flow.measure flow ~iterations:(2 * Mjpeg.Streams.mcus seq) ()
+  in
+  Format.printf "%-22s guarantee %-10s measured %.4f MCU/MHz/s@." label
+    (match flow.Core.Design_flow.guarantee with
+    | Some g -> Sdf.Rational.to_string g
+    | None -> "-")
+    (Core.Report.mcus_per_mhz_second (Sim.Platform_sim.steady_throughput measured));
+  Ok flow
+
+let () =
+  let seq = Mjpeg.Streams.synthetic () in
+  let stream = seq.Mjpeg.Streams.seq_stream in
+  let result =
+    let ( let* ) = Result.bind in
+    let* software = Mjpeg.Mjpeg_app.application ~stream () in
+    let* hetero = Mjpeg.Mjpeg_app.heterogeneous_application ~stream () in
+    let* soft_platform =
+      Arch.Template.generate ~name:"mjpeg_soft" ~tile_count:5
+        (Arch.Template.Use_fsl Arch.Fsl.default)
+    in
+    let* ip_platform = platform_with_ip () in
+    Format.printf "MJPEG with a hardware IDCT core (structural WCETs)@.@.";
+    let* _ = run "all-software (5 PEs)" software soft_platform in
+    let* hetero_flow = run "hardware IDCT tile" hetero ip_platform in
+    Ok hetero_flow
+  in
+  match result with
+  | Error msg ->
+      Printf.eprintf "heterogeneous flow failed: %s\n" msg;
+      exit 1
+  | Ok flow ->
+      let impl =
+        Mapping.Binding.implementation flow.Core.Design_flow.application
+          flow.Core.Design_flow.platform
+          flow.Core.Design_flow.mapping.Mapping.Flow_map.binding "IDCT"
+      in
+      Format.printf
+        "@.the flow selected implementation %S (processor type %S) for the \
+         IDCT@."
+        impl.Appmodel.Actor_impl.impl_name
+        impl.Appmodel.Actor_impl.processor_type

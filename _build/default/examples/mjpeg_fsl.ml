@@ -1,0 +1,22 @@
+(* The paper's case study on the FSL point-to-point platform (Figure 6a):
+   run the full flow on the MJPEG decoder with one actor per tile, execute
+   the generated platform on the synthetic and real-life test sequences,
+   and compare measured throughput against the SDF3 worst-case guarantee
+   and the expected (measured-times) prediction. *)
+
+let () =
+  match Experiments.figure6 (Arch.Template.Use_fsl Arch.Fsl.default) () with
+  | Error msg ->
+      Printf.eprintf "figure 6a failed: %s\n" msg;
+      exit 1
+  | Ok results ->
+      let rows = List.map (fun r -> r.Experiments.row) results in
+      Format.printf "MJPEG decoder on the FSL point-to-point platform@.@.%a@."
+        Core.Report.pp_throughput_table rows;
+      if List.for_all Core.Report.bound_respected rows then
+        Format.printf
+          "@.guarantee: measured >= worst-case bound on every sequence@."
+      else begin
+        Format.printf "@.BOUND VIOLATION DETECTED@.";
+        exit 1
+      end

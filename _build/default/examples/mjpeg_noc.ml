@@ -1,0 +1,24 @@
+(* The paper's case study on the SDM NoC platform (Figure 6b), plus the
+   NoC-specific results: mesh shape, per-connection wire allocation, and
+   the +12% flow-control area of section 5.3.1. *)
+
+let () =
+  (match
+     Experiments.figure6 (Arch.Template.Use_noc Arch.Noc.default_config) ()
+   with
+  | Error msg ->
+      Printf.eprintf "figure 6b failed: %s\n" msg;
+      exit 1
+  | Ok results ->
+      let rows = List.map (fun r -> r.Experiments.row) results in
+      Format.printf "MJPEG decoder on the SDM NoC platform@.@.%a@."
+        Core.Report.pp_throughput_table rows;
+      if not (List.for_all Core.Report.bound_respected rows) then begin
+        Format.printf "@.BOUND VIOLATION DETECTED@.";
+        exit 1
+      end);
+  let area = Experiments.noc_area () in
+  Format.printf
+    "@.router area: %a with flow control vs %a without (+%d%% slices)@."
+    Arch.Area.pp area.Experiments.router_with_flow_control Arch.Area.pp
+    area.Experiments.router_without area.Experiments.overhead_percent

@@ -1,0 +1,1 @@
+lib/appmodel/actor_impl.ml: List Metrics Token

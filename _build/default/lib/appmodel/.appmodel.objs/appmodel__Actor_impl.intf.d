@@ -1,0 +1,1 @@
+lib/appmodel/actor_impl.mli: Metrics Token

@@ -1,0 +1,1 @@
+lib/appmodel/application.ml: Actor_impl Array List Metrics Option Printf Result Sdf String Token Xmlkit

@@ -1,0 +1,1 @@
+lib/appmodel/application.mli: Actor_impl Sdf Token Xmlkit

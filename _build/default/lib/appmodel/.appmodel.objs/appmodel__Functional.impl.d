@@ -1,0 +1,1 @@
+lib/appmodel/functional.ml: Actor_impl Application Array Fun List Metrics Printf Queue Result Sdf Stdlib Token

@@ -1,0 +1,1 @@
+lib/appmodel/functional.mli: Actor_impl Application Stdlib Token

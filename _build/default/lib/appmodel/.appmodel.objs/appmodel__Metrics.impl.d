@@ -1,0 +1,1 @@
+lib/appmodel/metrics.ml: Format

@@ -1,0 +1,1 @@
+lib/appmodel/metrics.mli: Format

@@ -1,0 +1,1 @@
+lib/appmodel/token.ml: Array Bytes Char Format String

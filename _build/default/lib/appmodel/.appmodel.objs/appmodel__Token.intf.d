@@ -1,0 +1,1 @@
+lib/appmodel/token.mli: Bytes Format

@@ -1,0 +1,1 @@
+lib/appmodel/wcet.ml: Actor_impl Format List Stdlib

@@ -1,0 +1,1 @@
+lib/appmodel/wcet.mli: Actor_impl Format

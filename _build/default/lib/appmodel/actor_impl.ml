@@ -1,0 +1,33 @@
+type bundle = (string * Token.t array) list
+
+type t = {
+  impl_name : string;
+  processor_type : string;
+  metrics : Metrics.t;
+  explicit_inputs : string list;
+  explicit_outputs : string list;
+  fire : bundle -> bundle;
+  cycles : bundle -> int;
+}
+
+let constant_cycles n _ = n
+
+let make ~name ?(processor_type = "microblaze") ~metrics
+    ?(explicit_inputs = []) ?(explicit_outputs = []) ?cycles fire =
+  let cycles =
+    match cycles with Some f -> f | None -> constant_cycles metrics.Metrics.wcet
+  in
+  {
+    impl_name = name;
+    processor_type;
+    metrics;
+    explicit_inputs;
+    explicit_outputs;
+    fire;
+    cycles;
+  }
+
+let find bundle channel =
+  match List.assoc_opt channel bundle with
+  | Some tokens -> tokens
+  | None -> raise Not_found

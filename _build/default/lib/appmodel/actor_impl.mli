@@ -1,0 +1,51 @@
+(** Actor implementations.
+
+    An SDF actor can have several implementations, one per processing
+    element type (paper §3): a heterogeneous platform picks the
+    implementation matching the tile's PE, and each implementation carries
+    its own metrics. An implementation also declares which of the actor's
+    edges it implements {e explicitly} — those whose token values flow
+    through the firing function, mirroring the C convention in which
+    explicit edges become function parameters. Implicit edges (self-edges
+    holding state tokens the code keeps internally, schedule or capacity
+    edges) are consumed and produced by the runtime without touching the
+    firing function.
+
+    Firing functions are pure: one call receives the consumed tokens of
+    every explicit input edge and returns the produced tokens of every
+    explicit output edge. The companion [cycles] function is the
+    implementation's execution-time model, used by the platform simulator
+    to play back data-dependent timing; it must never exceed the declared
+    WCET — the flow checks this during functional validation. *)
+
+type bundle = (string * Token.t array) list
+(** Tokens keyed by channel name; the array length is the edge's rate. *)
+
+type t = {
+  impl_name : string;
+  processor_type : string;  (** e.g. ["microblaze"]; must match a tile PE *)
+  metrics : Metrics.t;
+  explicit_inputs : string list;  (** channel names, in parameter order *)
+  explicit_outputs : string list;
+  fire : bundle -> bundle;
+  cycles : bundle -> int;
+      (** data-dependent execution time of this firing, [<= metrics.wcet] *)
+}
+
+val make :
+  name:string ->
+  ?processor_type:string ->
+  metrics:Metrics.t ->
+  ?explicit_inputs:string list ->
+  ?explicit_outputs:string list ->
+  ?cycles:(bundle -> int) ->
+  (bundle -> bundle) ->
+  t
+(** [processor_type] defaults to ["microblaze"]; [cycles] defaults to the
+    constant WCET. *)
+
+val find : bundle -> string -> Token.t array
+(** Tokens of one channel. @raise Not_found when the channel is absent —
+    indicates a wiring bug in the application model. *)
+
+val constant_cycles : int -> bundle -> int

@@ -1,0 +1,426 @@
+module Xml = Xmlkit.Xml
+module Graph = Sdf.Graph
+
+type channel_spec = {
+  ch_name : string;
+  ch_source : string;
+  ch_production : int;
+  ch_target : string;
+  ch_consumption : int;
+  ch_initial_tokens : int;
+  ch_token_bytes : int;
+  ch_initial_values : Token.t list;
+}
+
+let channel ?(initial_tokens = 0) ?(token_bytes = 4) ?(initial_values = [])
+    ~name ~source ~production ~target ~consumption () =
+  {
+    ch_name = name;
+    ch_source = source;
+    ch_production = production;
+    ch_target = target;
+    ch_consumption = consumption;
+    ch_initial_tokens = initial_tokens;
+    ch_token_bytes = token_bytes;
+    ch_initial_values = initial_values;
+  }
+
+type actor_spec = {
+  a_name : string;
+  a_implementations : Actor_impl.t list;
+}
+
+type t = {
+  app_name : string;
+  actors : actor_spec list;
+  channels : channel_spec list;
+  graph : Graph.t;
+  constraint_ : Sdf.Rational.t option;
+}
+
+let build_graph ~name ~actors ~channels ~wcet_of =
+  let ( let* ) = Result.bind in
+  let rec add_actors g = function
+    | [] -> Ok g
+    | spec :: rest ->
+        let* wcet = wcet_of spec in
+        let g, _ = Graph.add_actor g ~name:spec.a_name ~execution_time:wcet in
+        add_actors g rest
+  in
+  let* g = add_actors (Graph.empty name) actors in
+  let rec add_channels g = function
+    | [] -> Ok g
+    | (c : channel_spec) :: rest -> (
+        let actor_id role n =
+          match Graph.find_actor g n with
+          | Some a -> Ok a.Graph.actor_id
+          | None ->
+              Error
+                (Printf.sprintf "channel %S: unknown %s actor %S" c.ch_name
+                   role n)
+        in
+        let* src = actor_id "source" c.ch_source in
+        let* dst = actor_id "target" c.ch_target in
+        try
+          let g, _ =
+            Graph.add_channel g ~name:c.ch_name ~source:src
+              ~production_rate:c.ch_production ~target:dst
+              ~consumption_rate:c.ch_consumption
+              ~initial_tokens:c.ch_initial_tokens
+              ~token_size:c.ch_token_bytes ()
+          in
+          add_channels g rest
+        with Invalid_argument msg -> Error msg)
+  in
+  add_channels g channels
+
+let validate_implementations ~actors ~channels =
+  let channel_by_name n =
+    List.find_opt (fun c -> c.ch_name = n) channels
+  in
+  let check_actor spec =
+    if spec.a_implementations = [] then
+      Error (Printf.sprintf "actor %S has no implementation" spec.a_name)
+    else
+      let check_impl (impl : Actor_impl.t) =
+        let check_port ~role ~attached names =
+          List.fold_left
+            (fun acc n ->
+              match acc with
+              | Error _ -> acc
+              | Ok () -> (
+                  match channel_by_name n with
+                  | None ->
+                      Error
+                        (Printf.sprintf
+                           "implementation %S of %S: unknown %s channel %S"
+                           impl.impl_name spec.a_name role n)
+                  | Some c ->
+                      if attached c then Ok ()
+                      else
+                        Error
+                          (Printf.sprintf
+                             "implementation %S of %S: channel %S is not an %s \
+                              of the actor"
+                             impl.impl_name spec.a_name n role)))
+            (Ok ()) names
+        in
+        Result.bind
+          (check_port ~role:"input"
+             ~attached:(fun c -> c.ch_target = spec.a_name)
+             impl.explicit_inputs)
+          (fun () ->
+            check_port ~role:"output"
+              ~attached:(fun c -> c.ch_source = spec.a_name)
+              impl.explicit_outputs)
+      in
+      List.fold_left
+        (fun acc impl -> Result.bind acc (fun () -> check_impl impl))
+        (Ok ()) spec.a_implementations
+  in
+  List.fold_left
+    (fun acc spec -> Result.bind acc (fun () -> check_actor spec))
+    (Ok ()) actors
+
+let validate_initial_values channels =
+  List.fold_left
+    (fun acc c ->
+      Result.bind acc (fun () ->
+          if List.length c.ch_initial_values > c.ch_initial_tokens then
+            Error
+              (Printf.sprintf
+                 "channel %S: %d initial values but only %d initial tokens"
+                 c.ch_name
+                 (List.length c.ch_initial_values)
+                 c.ch_initial_tokens)
+          else Ok ()))
+    (Ok ()) channels
+
+let make ~name ~actors ~channels ?throughput_constraint () =
+  let ( let* ) = Result.bind in
+  let* () = validate_implementations ~actors ~channels in
+  let* () = validate_initial_values channels in
+  let wcet_of spec =
+    match spec.a_implementations with
+    | impl :: _ -> Ok impl.Actor_impl.metrics.Metrics.wcet
+    | [] -> Error (Printf.sprintf "actor %S has no implementation" spec.a_name)
+  in
+  let* graph = build_graph ~name ~actors ~channels ~wcet_of in
+  let* () = Graph.validate graph in
+  Ok { app_name = name; actors; channels; graph; constraint_ = throughput_constraint }
+
+let name t = t.app_name
+let graph t = t.graph
+
+let implementations t actor =
+  match List.find_opt (fun s -> s.a_name = actor) t.actors with
+  | Some s -> s.a_implementations
+  | None -> invalid_arg (Printf.sprintf "Application: unknown actor %S" actor)
+
+let default_implementation t actor =
+  match implementations t actor with
+  | impl :: _ -> impl
+  | [] -> assert false (* make rejects empty implementation lists *)
+
+let implementation_for t ~actor ~processor_type =
+  List.find_opt
+    (fun (i : Actor_impl.t) -> i.processor_type = processor_type)
+    (implementations t actor)
+
+let graph_for t ~assignment =
+  let wcet_of spec =
+    let wanted = assignment spec.a_name in
+    match
+      implementation_for t ~actor:spec.a_name ~processor_type:wanted
+    with
+    | Some impl -> Ok impl.Actor_impl.metrics.Metrics.wcet
+    | None ->
+        Error
+          (Printf.sprintf "actor %S has no implementation for processor %S"
+             spec.a_name wanted)
+  in
+  build_graph ~name:t.app_name ~actors:t.actors ~channels:t.channels ~wcet_of
+
+let actor_names t = List.map (fun s -> s.a_name) t.actors
+
+let processor_types t =
+  List.concat_map
+    (fun s ->
+      List.map (fun (i : Actor_impl.t) -> i.processor_type) s.a_implementations)
+    t.actors
+  |> List.sort_uniq compare
+
+let initial_values t channel_name =
+  match List.find_opt (fun c -> c.ch_name = channel_name) t.channels with
+  | None ->
+      invalid_arg (Printf.sprintf "Application: unknown channel %S" channel_name)
+  | Some c ->
+      let blank =
+        {
+          Token.words = Array.make (Token.words_for_bytes c.ch_token_bytes) 0;
+          byte_size = c.ch_token_bytes;
+        }
+      in
+      Array.init c.ch_initial_tokens (fun i ->
+          match List.nth_opt c.ch_initial_values i with
+          | Some v -> v
+          | None -> blank)
+
+let throughput_constraint t = t.constraint_
+
+let qualified ~app name = app ^ "." ^ name
+
+(* Rewrite an implementation for prefixed channel names: the firing
+   function keeps seeing the original names. *)
+let prefix_impl app (impl : Actor_impl.t) =
+  let prefix name = qualified ~app name in
+  let strip name =
+    let p = app ^ "." in
+    if String.length name > String.length p
+       && String.sub name 0 (String.length p) = p
+    then String.sub name (String.length p) (String.length name - String.length p)
+    else name
+  in
+  let strip_bundle bundle = List.map (fun (c, v) -> (strip c, v)) bundle in
+  {
+    impl with
+    Actor_impl.explicit_inputs = List.map prefix impl.Actor_impl.explicit_inputs;
+    explicit_outputs = List.map prefix impl.Actor_impl.explicit_outputs;
+    fire =
+      (fun bundle ->
+        impl.Actor_impl.fire (strip_bundle bundle)
+        |> List.map (fun (c, v) -> (prefix c, v)));
+    cycles = (fun bundle -> impl.Actor_impl.cycles (strip_bundle bundle));
+  }
+
+let merge apps =
+  match apps with
+  | [] -> Error "merge: no applications"
+  | [ app ] -> Ok app
+  | _ ->
+      let names = List.map name apps in
+      if List.length (List.sort_uniq compare names) <> List.length names then
+        Error "merge: application names must be distinct"
+      else begin
+        let actors =
+          List.concat_map
+            (fun t ->
+              List.map
+                (fun spec ->
+                  {
+                    a_name = qualified ~app:t.app_name spec.a_name;
+                    a_implementations =
+                      List.map (prefix_impl t.app_name) spec.a_implementations;
+                  })
+                t.actors)
+            apps
+        in
+        let channels =
+          List.concat_map
+            (fun t ->
+              List.map
+                (fun c ->
+                  {
+                    c with
+                    ch_name = qualified ~app:t.app_name c.ch_name;
+                    ch_source = qualified ~app:t.app_name c.ch_source;
+                    ch_target = qualified ~app:t.app_name c.ch_target;
+                  })
+                t.channels)
+            apps
+        in
+        make
+          ~name:(String.concat "+" names)
+          ~actors ~channels ()
+      end
+
+(* --- XML persistence --- *)
+
+let token_to_xml (tok : Token.t) =
+  Xml.element "token"
+    ~attrs:[ ("bytes", string_of_int tok.byte_size) ]
+    ~children:
+      [
+        Xml.text
+          (String.concat " "
+             (Array.to_list (Array.map string_of_int tok.words)));
+      ]
+
+let token_of_xml e =
+  let byte_size = Xml.int_attr e "bytes" in
+  let words =
+    Xml.text_content e |> String.split_on_char ' '
+    |> List.filter (fun s -> s <> "")
+    |> List.map int_of_string |> Array.of_list
+  in
+  { Token.words; byte_size }
+
+let impl_to_xml (i : Actor_impl.t) =
+  Xml.element "implementation"
+    ~attrs:
+      [
+        ("name", i.impl_name);
+        ("processorType", i.processor_type);
+        ("wcet", string_of_int i.metrics.Metrics.wcet);
+        ("imem", string_of_int i.metrics.Metrics.instruction_memory);
+        ("dmem", string_of_int i.metrics.Metrics.data_memory);
+      ]
+    ~children:
+      (List.map
+         (fun c -> Xml.element "input" ~attrs:[ ("channel", c) ])
+         i.explicit_inputs
+      @ List.map
+          (fun c -> Xml.element "output" ~attrs:[ ("channel", c) ])
+          i.explicit_outputs)
+
+let to_xml t =
+  let actor_node s =
+    Xml.element "actor"
+      ~attrs:[ ("name", s.a_name) ]
+      ~children:(List.map impl_to_xml s.a_implementations)
+  in
+  let channel_node c =
+    Xml.element "channel"
+      ~attrs:
+        [
+          ("name", c.ch_name);
+          ("src", c.ch_source);
+          ("dst", c.ch_target);
+          ("prodRate", string_of_int c.ch_production);
+          ("consRate", string_of_int c.ch_consumption);
+          ("initialTokens", string_of_int c.ch_initial_tokens);
+          ("tokenSize", string_of_int c.ch_token_bytes);
+        ]
+      ~children:(List.map token_to_xml c.ch_initial_values)
+  in
+  let constraint_nodes =
+    match t.constraint_ with
+    | None -> []
+    | Some r ->
+        [
+          Xml.element "throughputConstraint"
+            ~attrs:
+              [
+                ("num", string_of_int (r :> Sdf.Rational.t).num);
+                ("den", string_of_int r.den);
+              ];
+        ]
+  in
+  Xml.element "application"
+    ~attrs:[ ("name", t.app_name) ]
+    ~children:
+      (List.map actor_node t.actors
+      @ List.map channel_node t.channels
+      @ constraint_nodes)
+
+let to_string t = Xml.to_string (to_xml t)
+
+let of_xml ~registry node =
+  try
+    let root = Xml.as_element node in
+    if root.tag <> "application" then
+      failwith (Printf.sprintf "expected <application>, found <%s>" root.tag);
+    let actors =
+      List.map
+        (fun a ->
+          let impls =
+            List.map
+              (fun ie ->
+                let impl_name = Xml.attr ie "name" in
+                match registry impl_name with
+                | None ->
+                    failwith
+                      (Printf.sprintf "no registered implementation %S"
+                         impl_name)
+                | Some base ->
+                    {
+                      base with
+                      Actor_impl.impl_name;
+                      processor_type = Xml.attr ie "processorType";
+                      metrics =
+                        Metrics.make ~wcet:(Xml.int_attr ie "wcet")
+                          ~instruction_memory:(Xml.int_attr ie "imem")
+                          ~data_memory:(Xml.int_attr ie "dmem");
+                      explicit_inputs =
+                        List.map
+                          (fun e -> Xml.attr e "channel")
+                          (Xml.children_named ie "input");
+                      explicit_outputs =
+                        List.map
+                          (fun e -> Xml.attr e "channel")
+                          (Xml.children_named ie "output");
+                    })
+              (Xml.children_named a "implementation")
+          in
+          { a_name = Xml.attr a "name"; a_implementations = impls })
+        (Xml.children_named root "actor")
+    in
+    let channels =
+      List.map
+        (fun c ->
+          {
+            ch_name = Xml.attr c "name";
+            ch_source = Xml.attr c "src";
+            ch_target = Xml.attr c "dst";
+            ch_production = Xml.int_attr c "prodRate";
+            ch_consumption = Xml.int_attr c "consRate";
+            ch_initial_tokens =
+              Option.value ~default:0 (Xml.int_attr_opt c "initialTokens");
+            ch_token_bytes =
+              Option.value ~default:4 (Xml.int_attr_opt c "tokenSize");
+            ch_initial_values =
+              List.map token_of_xml (Xml.children_named c "token");
+          })
+        (Xml.children_named root "channel")
+    in
+    let throughput_constraint =
+      Option.map
+        (fun e ->
+          Sdf.Rational.make (Xml.int_attr e "num") (Xml.int_attr e "den"))
+        (Xml.child_opt root "throughputConstraint")
+    in
+    make ~name:(Xml.attr root "name") ~actors ~channels ?throughput_constraint
+      ()
+  with Failure msg -> Error msg
+
+let of_string ~registry s = Result.bind (Xml.parse s) (of_xml ~registry)

@@ -1,0 +1,116 @@
+(** The application model: the flow's first input (paper Figure 1, §3).
+
+    It joins the SDF graph, the actor implementations, their metrics, the
+    values of initial tokens, and the application's throughput constraint
+    in one structure — the {e common input format} that both the mapping
+    stage and the platform generator consume, which is what removes the
+    manual translation step the paper criticises in CA-MPSoC.
+
+    The SDF graph is derived from the specs: each actor's execution time is
+    the WCET of the chosen implementation, so re-deriving the graph for a
+    different processor-type assignment re-times it consistently. *)
+
+type channel_spec = {
+  ch_name : string;
+  ch_source : string;  (** actor name *)
+  ch_production : int;
+  ch_target : string;
+  ch_consumption : int;
+  ch_initial_tokens : int;
+  ch_token_bytes : int;
+  ch_initial_values : Token.t list;
+      (** values of the initial tokens, oldest first; padded with zeroed
+          tokens of [ch_token_bytes] when shorter than [ch_initial_tokens] *)
+}
+
+val channel :
+  ?initial_tokens:int ->
+  ?token_bytes:int ->
+  ?initial_values:Token.t list ->
+  name:string ->
+  source:string ->
+  production:int ->
+  target:string ->
+  consumption:int ->
+  unit ->
+  channel_spec
+(** Convenience constructor; [token_bytes] defaults to 4. *)
+
+type actor_spec = {
+  a_name : string;
+  a_implementations : Actor_impl.t list;  (** first one is the default *)
+}
+
+type t
+
+val make :
+  name:string ->
+  actors:actor_spec list ->
+  channels:channel_spec list ->
+  ?throughput_constraint:Sdf.Rational.t ->
+  unit ->
+  (t, string) result
+(** Builds and checks the model: every actor needs at least one
+    implementation; explicit channel names of every implementation must be
+    channels attached to that actor (inputs arrive at it, outputs leave
+    it); initial values may not outnumber initial tokens; the graph itself
+    must pass {!Sdf.Graph.validate}. *)
+
+val name : t -> string
+
+val graph : t -> Sdf.Graph.t
+(** Timed with every actor's default implementation. *)
+
+val graph_for : t -> assignment:(string -> string) -> (Sdf.Graph.t, string) result
+(** [graph_for t ~assignment] times each actor with its implementation for
+    processor type [assignment actor_name]; [Error] names any actor
+    lacking such an implementation. *)
+
+val actor_names : t -> string list
+val implementations : t -> string -> Actor_impl.t list
+val default_implementation : t -> string -> Actor_impl.t
+
+val implementation_for :
+  t -> actor:string -> processor_type:string -> Actor_impl.t option
+
+val processor_types : t -> string list
+(** All processor types that appear in some implementation, sorted. *)
+
+val initial_values : t -> string -> Token.t array
+(** Values for a channel's initial tokens, padded to the declared count
+    with zeroed tokens of the channel's byte size. *)
+
+val throughput_constraint : t -> Sdf.Rational.t option
+
+val merge : t list -> (t, string) result
+(** Combine several applications into one model sharing a platform — MAMPS
+    generates projects "based on a SDF description of one or more
+    applications" (paper §1). Actor and channel names are prefixed with
+    ["<app>."] and the implementations' port lists and firing functions are
+    rewritten transparently, so the merged model behaves exactly like the
+    originals side by side. Application names must be distinct; the merged
+    model carries no throughput constraint (constraints remain per
+    application — see {!Core.Design_flow} for per-application
+    guarantees). *)
+
+val qualified : app:string -> string -> string
+(** The name an actor or channel of [app] carries inside a merged model. *)
+
+(** {1 Persistence}
+
+    The XML form stores everything except the code; reading it back needs a
+    registry resolving implementation names, mirroring how the paper's flow
+    references external [actor.c] files. *)
+
+val to_xml : t -> Xmlkit.Xml.t
+val to_string : t -> string
+
+val of_xml :
+  registry:(string -> Actor_impl.t option) ->
+  Xmlkit.Xml.t ->
+  (t, string) result
+
+val of_string :
+  registry:(string -> Actor_impl.t option) ->
+  string ->
+  (t, string) result

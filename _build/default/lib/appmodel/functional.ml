@@ -1,0 +1,182 @@
+module Application = Application
+module Actor_impl = Actor_impl
+module Metrics = Metrics
+module Token = Token
+module Graph = Sdf.Graph
+
+type result = {
+  iterations : int;
+  firing_counts : (string * int) list;
+  cycle_samples : (string * int list) list;
+  final_tokens : (string * Token.t list) list;
+  wcet_violations : (string * int) list;
+}
+
+let blank_token (c : Graph.channel) =
+  {
+    Token.words = Array.make (Token.words_for_bytes c.token_size) 0;
+    byte_size = c.token_size;
+  }
+
+let run app ~iterations ?impl_for ?(observe = fun _ _ -> ()) () =
+  let impl_for =
+    match impl_for with
+    | Some f -> f
+    | None -> Application.default_implementation app
+  in
+  let g = Application.graph app in
+  match Sdf.Repetition.compute g with
+  | Sdf.Repetition.Inconsistent c ->
+      Error
+        (Printf.sprintf "graph is inconsistent (channel %S)"
+           c.Graph.channel_name)
+  | Sdf.Repetition.Disconnected_actor a ->
+      Error (Printf.sprintf "actor %S is disconnected" a.Graph.actor_name)
+  | Sdf.Repetition.Consistent q ->
+      let n = Graph.actor_count g in
+      let queues : Token.t Queue.t array =
+        Array.init (Graph.channel_count g) (fun _ -> Queue.create ())
+      in
+      List.iter
+        (fun (c : Graph.channel) ->
+          Array.iter
+            (fun tok -> Queue.add tok queues.(c.channel_id))
+            (Application.initial_values app c.channel_name))
+        (Graph.channels g);
+      let impls =
+        Array.init n (fun a -> impl_for (Graph.actor g a).actor_name)
+      in
+      let inputs = Array.init n (Graph.incoming g) in
+      let outputs = Array.init n (Graph.outgoing g) in
+      let firing_counts = Array.make n 0 in
+      let cycle_samples = Array.make n [] in
+      let wcet_violations = Array.make n 0 in
+      let remaining = Array.copy q in
+      let ready a =
+        remaining.(a) > 0
+        && List.for_all
+             (fun (c : Graph.channel) ->
+               Queue.length queues.(c.channel_id) >= c.consumption_rate)
+             inputs.(a)
+      in
+      let error = ref None in
+      let fire a =
+        let impl = impls.(a) in
+        let consumed =
+          List.map
+            (fun (c : Graph.channel) ->
+              ( c,
+                Array.init c.consumption_rate (fun _ ->
+                    Queue.pop queues.(c.channel_id)) ))
+            inputs.(a)
+        in
+        let bundle =
+          List.filter_map
+            (fun ((c : Graph.channel), tokens) ->
+              if List.mem c.channel_name impl.Actor_impl.explicit_inputs then
+                Some (c.channel_name, tokens)
+              else None)
+            consumed
+        in
+        let cycles = impl.Actor_impl.cycles bundle in
+        cycle_samples.(a) <- cycles :: cycle_samples.(a);
+        if cycles > impl.Actor_impl.metrics.Metrics.wcet then
+          wcet_violations.(a) <- wcet_violations.(a) + 1;
+        let produced = impl.Actor_impl.fire bundle in
+        List.iter
+          (fun (c : Graph.channel) ->
+            let tokens =
+              if List.mem c.channel_name impl.Actor_impl.explicit_outputs then begin
+                match List.assoc_opt c.channel_name produced with
+                | Some tokens when Array.length tokens = c.production_rate ->
+                    tokens
+                | Some tokens ->
+                    if !error = None then
+                      error :=
+                        Some
+                          (Printf.sprintf
+                             "actor %S produced %d tokens on %S, rate is %d"
+                             (Graph.actor g a).actor_name (Array.length tokens)
+                             c.channel_name c.production_rate);
+                    Array.make c.production_rate (blank_token c)
+                | None ->
+                    if !error = None then
+                      error :=
+                        Some
+                          (Printf.sprintf
+                             "actor %S produced nothing on explicit output %S"
+                             (Graph.actor g a).actor_name c.channel_name);
+                    Array.make c.production_rate (blank_token c)
+              end
+              else Array.init c.production_rate (fun _ -> blank_token c)
+            in
+            Array.iter
+              (fun tok ->
+                observe c.channel_name tok;
+                Queue.add tok queues.(c.channel_id))
+              tokens)
+          outputs.(a);
+        firing_counts.(a) <- firing_counts.(a) + 1;
+        remaining.(a) <- remaining.(a) - 1
+      in
+      let rec one_iteration () =
+        if !error <> None then false
+        else if Array.for_all (fun r -> r = 0) remaining then true
+        else
+          match List.find_opt ready (List.init n Fun.id) with
+          | Some a ->
+              fire a;
+              one_iteration ()
+          | None -> false
+      in
+      let rec loop i =
+        if i >= iterations then Ok i
+        else begin
+          Array.blit q 0 remaining 0 n;
+          if one_iteration () then loop (i + 1)
+          else
+            match !error with
+            | Some msg -> Error msg
+            | None ->
+                Error
+                  (Printf.sprintf "functional execution deadlocked in iteration %d"
+                     (i + 1))
+        end
+      in
+      Result.map
+        (fun completed ->
+          {
+            iterations = completed;
+            firing_counts =
+              List.init n (fun a ->
+                  ((Graph.actor g a).actor_name, firing_counts.(a)));
+            cycle_samples =
+              List.init n (fun a ->
+                  ((Graph.actor g a).actor_name, List.rev cycle_samples.(a)));
+            final_tokens =
+              List.map
+                (fun (c : Graph.channel) ->
+                  ( c.channel_name,
+                    List.of_seq (Queue.to_seq queues.(c.channel_id)) ))
+                (Graph.channels g);
+            wcet_violations =
+              List.filter_map
+                (fun a ->
+                  if wcet_violations.(a) > 0 then
+                    Some ((Graph.actor g a).actor_name, wcet_violations.(a))
+                  else None)
+                (List.init n Fun.id);
+          })
+        (loop 0)
+
+let max_cycles r actor =
+  match List.assoc_opt actor r.cycle_samples with
+  | Some (_ :: _ as samples) -> List.fold_left Stdlib.max 0 samples
+  | Some [] | None -> 0
+
+let mean_cycles r actor =
+  match List.assoc_opt actor r.cycle_samples with
+  | Some (_ :: _ as samples) ->
+      float_of_int (List.fold_left ( + ) 0 samples)
+      /. float_of_int (List.length samples)
+  | Some [] | None -> 0.0

@@ -1,0 +1,44 @@
+(** Untimed functional execution of an application model.
+
+    Runs the SDF graph with real token {e values} flowing through the actor
+    implementations — the reference for functional correctness (does the
+    MJPEG decoder actually decode?) and the measurement bench for
+    execution-time models: every firing's data-dependent cycle count is
+    recorded, which is how the flow obtains the "expected" (measured-time)
+    metrics of the paper's Figure 6 and the WCET calibration corpus.
+
+    Explicit edges (declared by the implementation) carry their values into
+    and out of the firing function; implicit edges are consumed and
+    produced by the engine with zeroed placeholder tokens, mirroring the
+    platform runtime. *)
+
+type result = {
+  iterations : int;
+  firing_counts : (string * int) list;  (** per actor *)
+  cycle_samples : (string * int list) list;
+      (** per actor, the data-dependent cycle count of every firing
+          (chronological) as reported by the implementation's cost model *)
+  final_tokens : (string * Token.t list) list;
+      (** tokens left on every channel, head = oldest *)
+  wcet_violations : (string * int) list;
+      (** firings whose cost model exceeded the declared WCET — must be
+          empty for the flow's guarantee to hold *)
+}
+
+val run :
+  Application.t ->
+  iterations:int ->
+  ?impl_for:(string -> Actor_impl.t) ->
+  ?observe:(string -> Token.t -> unit) ->
+  unit ->
+  (result, string) Stdlib.result
+(** Execute complete graph iterations. [impl_for] picks the implementation
+    per actor (default: the application's default implementation);
+    [observe] sees every token produced on an application channel.
+    Fails on deadlock or if an implementation misbehaves (wrong production
+    count on an explicit output). *)
+
+val max_cycles : result -> string -> int
+(** Largest observed cycle count of an actor, 0 when it never fired. *)
+
+val mean_cycles : result -> string -> float

@@ -1,0 +1,15 @@
+type t = {
+  wcet : int;
+  instruction_memory : int;
+  data_memory : int;
+}
+
+let make ~wcet ~instruction_memory ~data_memory =
+  if wcet <= 0 then invalid_arg "Metrics.make: WCET must be positive";
+  if instruction_memory < 0 || data_memory < 0 then
+    invalid_arg "Metrics.make: negative memory size";
+  { wcet; instruction_memory; data_memory }
+
+let pp ppf m =
+  Format.fprintf ppf "wcet=%d imem=%dB dmem=%dB" m.wcet m.instruction_memory
+    m.data_memory

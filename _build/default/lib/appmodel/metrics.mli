@@ -1,0 +1,17 @@
+(** Per-implementation metrics of an actor (paper §3).
+
+    The application model annotates every actor implementation with its
+    worst-case execution time and its memory footprint; instruction and
+    data memories are kept separate to support processing elements with a
+    (modified) Harvard architecture such as the Microblaze tiles. *)
+
+type t = {
+  wcet : int;  (** worst-case execution time of one firing, in cycles *)
+  instruction_memory : int;  (** bytes of code *)
+  data_memory : int;  (** bytes of constants, stack and scratch state *)
+}
+
+val make : wcet:int -> instruction_memory:int -> data_memory:int -> t
+(** @raise Invalid_argument on negative fields or zero WCET. *)
+
+val pp : Format.formatter -> t -> unit

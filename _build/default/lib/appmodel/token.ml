@@ -1,0 +1,30 @@
+type t = { words : int array; byte_size : int }
+
+let word_bytes = 4
+let words_for_bytes bytes = (bytes + word_bytes - 1) / word_bytes
+let unit_token = { words = [||]; byte_size = 0 }
+let of_ints words = { words = Array.copy words; byte_size = word_bytes * Array.length words }
+let to_ints t = Array.copy t.words
+
+let of_bytes b =
+  let byte_size = Bytes.length b in
+  let words = Array.make (words_for_bytes byte_size) 0 in
+  Bytes.iteri
+    (fun i c ->
+      let w = i / word_bytes and shift = 8 * (i mod word_bytes) in
+      words.(w) <- words.(w) lor (Char.code c lsl shift))
+    b;
+  { words; byte_size }
+
+let to_bytes t =
+  Bytes.init t.byte_size (fun i ->
+      let w = i / word_bytes and shift = 8 * (i mod word_bytes) in
+      Char.chr ((t.words.(w) lsr shift) land 0xff))
+
+let word_count t = Array.length t.words
+let equal a b = a.byte_size = b.byte_size && a.words = b.words
+
+let pp ppf t =
+  Format.fprintf ppf "token(%dB:[%s])" t.byte_size
+    (String.concat ";"
+       (Array.to_list (Array.map string_of_int t.words)))

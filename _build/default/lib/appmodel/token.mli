@@ -1,0 +1,34 @@
+(** Token values exchanged by actor implementations.
+
+    The network interface of the MAMPS platform transports 32-bit words
+    (Xilinx FSL), so a token of [s] bytes crosses the interconnect as
+    [ceil(s/4)] words (paper §4.1). A token here carries its payload as an
+    array of words plus its declared byte size, which is what the
+    serialization model and the memory dimensioning consume. *)
+
+type t = { words : int array; byte_size : int }
+
+val word_bytes : int
+(** 4: the FSL word width. *)
+
+val words_for_bytes : int -> int
+(** [ceil(bytes / 4)], 0 for 0. *)
+
+val unit_token : t
+(** A 0-byte synchronisation token (self-edges, space tokens). *)
+
+val of_ints : int array -> t
+(** One word per element; byte size is [4 * length]. *)
+
+val to_ints : t -> int array
+
+val of_bytes : Bytes.t -> t
+(** Little-endian packing, zero-padded to a word boundary; [byte_size] is
+    the exact byte count. *)
+
+val to_bytes : t -> Bytes.t
+(** Inverse of {!of_bytes}: exactly [byte_size] bytes. *)
+
+val word_count : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

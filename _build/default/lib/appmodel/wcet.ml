@@ -1,0 +1,27 @@
+type estimate = {
+  observed_max : int;
+  observed_mean : float;
+  samples : int;
+  wcet : int;
+}
+
+let of_samples ~margin_percent samples =
+  if samples = [] then invalid_arg "Wcet.of_samples: no samples";
+  if margin_percent < 0 then invalid_arg "Wcet.of_samples: negative margin";
+  let observed_max = List.fold_left Stdlib.max min_int samples in
+  let sum = List.fold_left ( + ) 0 samples in
+  let count = List.length samples in
+  {
+    observed_max;
+    observed_mean = float_of_int sum /. float_of_int count;
+    samples = count;
+    wcet = Stdlib.max 1 (observed_max * (100 + margin_percent) / 100);
+  }
+
+let measure ~impl ~inputs ~margin_percent =
+  of_samples ~margin_percent
+    (List.map (fun bundle -> impl.Actor_impl.cycles bundle) inputs)
+
+let pp ppf e =
+  Format.fprintf ppf "wcet=%d (max %d, mean %.1f over %d samples)" e.wcet
+    e.observed_max e.observed_mean e.samples

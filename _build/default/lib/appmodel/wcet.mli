@@ -1,0 +1,26 @@
+(** Measurement-based WCET estimation.
+
+    The paper determines actor WCETs with "a method based on [Gheorghita et
+    al. 2005] combined with execution time measurement" (§6): exercise the
+    implementation over a calibration corpus, take the maximum observed
+    time, and add a safety margin. This module reproduces that procedure on
+    top of the implementations' cycle models. *)
+
+type estimate = {
+  observed_max : int;
+  observed_mean : float;
+  samples : int;
+  wcet : int;  (** [observed_max] inflated by the margin, at least 1 *)
+}
+
+val of_samples : margin_percent:int -> int list -> estimate
+(** @raise Invalid_argument on an empty sample list or negative margin. *)
+
+val measure :
+  impl:Actor_impl.t ->
+  inputs:Actor_impl.bundle list ->
+  margin_percent:int ->
+  estimate
+(** Evaluate the implementation's cycle model on every input bundle. *)
+
+val pp : Format.formatter -> estimate -> unit

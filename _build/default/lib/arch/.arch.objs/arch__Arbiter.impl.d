@@ -1,0 +1,1 @@
+lib/arch/arbiter.ml: List Printf

@@ -1,0 +1,1 @@
+lib/arch/area.mli: Component Format Noc Tile

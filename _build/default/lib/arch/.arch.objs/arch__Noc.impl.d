@@ -1,0 +1,1 @@
+lib/arch/noc.ml: Format Hashtbl List Option Printf

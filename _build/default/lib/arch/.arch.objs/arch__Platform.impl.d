@@ -1,0 +1,1 @@
+lib/arch/platform.ml: Arbiter Area Array Component Format Fsl List Noc Printf Result Tile Xmlkit

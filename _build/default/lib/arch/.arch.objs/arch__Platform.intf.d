@@ -1,0 +1,1 @@
+lib/arch/platform.mli: Arbiter Area Component Format Fsl Noc Tile Xmlkit

@@ -1,0 +1,1 @@
+lib/arch/template.ml: Appmodel Fsl List Noc Platform Printf Stdlib Tile

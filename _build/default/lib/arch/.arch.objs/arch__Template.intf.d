@@ -1,0 +1,1 @@
+lib/arch/template.mli: Appmodel Fsl Noc Platform

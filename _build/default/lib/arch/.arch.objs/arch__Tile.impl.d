@@ -1,0 +1,1 @@
+lib/arch/tile.ml: Component Format List Option Printf String

@@ -1,0 +1,1 @@
+lib/arch/tile.mli: Component Format

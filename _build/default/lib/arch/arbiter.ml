@@ -1,0 +1,80 @@
+type t = {
+  slot_cycles : int;
+  clients : string list;
+}
+
+let make ~slot_cycles ~clients =
+  if slot_cycles <= 0 then Error "arbiter slots must be positive"
+  else if clients = [] then Error "arbiter needs at least one client"
+  else if List.length (List.sort_uniq compare clients) <> List.length clients
+  then Error "arbiter clients must be distinct"
+  else Ok { slot_cycles; clients }
+
+let rotation_cycles t = t.slot_cycles * List.length t.clients
+
+let slot_owner t ~cycle =
+  let index = cycle / t.slot_cycles mod List.length t.clients in
+  List.nth t.clients index
+
+let client_index t client =
+  let rec find i = function
+    | [] ->
+        invalid_arg (Printf.sprintf "Arbiter: unknown client %S" client)
+    | c :: rest -> if c = client then i else find (i + 1) rest
+  in
+  find 0 t.clients
+
+let service_cycles t ~request_cycles =
+  if request_cycles < 0 then invalid_arg "Arbiter: negative request";
+  let slots = (request_cycles + t.slot_cycles - 1) / t.slot_cycles in
+  slots * t.slot_cycles
+
+let worst_case_latency t ~client ~request_cycles =
+  ignore (client_index t client);
+  if request_cycles < 0 then invalid_arg "Arbiter: negative request";
+  if request_cycles = 0 then 0
+  else begin
+    let slots = (request_cycles + t.slot_cycles - 1) / t.slot_cycles in
+    (* worst arrival loses the tail of the client's own slot, then every
+       slot of work costs at most one full wheel rotation *)
+    t.slot_cycles + (slots * rotation_cycles t)
+  end
+
+let simulate t ~client ~arrival ~request_cycles =
+  let me = client_index t client in
+  if request_cycles < 0 then invalid_arg "Arbiter: negative request";
+  let remaining = ref request_cycles in
+  let cycle = ref arrival in
+  let guard = ref 0 in
+  while !remaining > 0 do
+    incr guard;
+    if !guard > 1_000_000 then failwith "Arbiter.simulate: runaway";
+    let slot_index = !cycle / t.slot_cycles in
+    if slot_index mod List.length t.clients = me then begin
+      let slot_end = (slot_index + 1) * t.slot_cycles in
+      let available = slot_end - !cycle in
+      if available >= !remaining then begin
+        cycle := !cycle + !remaining;
+        remaining := 0
+      end
+      else if available = t.slot_cycles then begin
+        (* full slot: burn it entirely on this request *)
+        remaining := !remaining - available;
+        cycle := slot_end
+      end
+      else begin
+        (* partial slot cannot hold a whole chunk: wait for the next one
+           (chunks are non-preemptable, mirroring SDRAM bursts) *)
+        cycle := slot_end
+      end
+    end
+    else begin
+      (* advance to the start of our next slot *)
+      let wheel = List.length t.clients in
+      let current = slot_index mod wheel in
+      let ahead = (me - current + wheel) mod wheel in
+      let ahead = if ahead = 0 then wheel else ahead in
+      cycle := (slot_index + ahead) * t.slot_cycles
+    end
+  done;
+  !cycle

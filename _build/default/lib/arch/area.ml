@@ -1,0 +1,76 @@
+type t = {
+  slices : int;
+  bram_blocks : int;
+  dsp_slices : int;
+}
+
+let zero = { slices = 0; bram_blocks = 0; dsp_slices = 0 }
+
+let add a b =
+  {
+    slices = a.slices + b.slices;
+    bram_blocks = a.bram_blocks + b.bram_blocks;
+    dsp_slices = a.dsp_slices + b.dsp_slices;
+  }
+
+let sum = List.fold_left add zero
+
+let scale_percent a percent =
+  let up v = ((v * percent) + 99) / 100 in
+  {
+    slices = up a.slices;
+    bram_blocks = up a.bram_blocks;
+    dsp_slices = up a.dsp_slices;
+  }
+
+let microblaze = { slices = 1400; bram_blocks = 0; dsp_slices = 3 }
+
+let memory ~bytes =
+  { zero with bram_blocks = (bytes + 4095) / 4096 }
+
+let network_interface = { slices = 150; bram_blocks = 0; dsp_slices = 0 }
+let fsl_link = { slices = 50; bram_blocks = 0; dsp_slices = 0 }
+let communication_assist = { slices = 600; bram_blocks = 1; dsp_slices = 0 }
+
+let peripheral = function
+  | Component.Uart -> { slices = 120; bram_blocks = 0; dsp_slices = 0 }
+  | Component.Timer -> { slices = 90; bram_blocks = 0; dsp_slices = 0 }
+  | Component.Gpio -> { slices = 60; bram_blocks = 0; dsp_slices = 0 }
+  | Component.Compact_flash -> { slices = 350; bram_blocks = 1; dsp_slices = 0 }
+  | Component.Ethernet -> { slices = 800; bram_blocks = 2; dsp_slices = 0 }
+
+let noc_router (config : Noc.config) =
+  (* crossbar area grows with the square of the wire count; 32 wires ~ the
+     450-slice router of Yang et al. *)
+  let base =
+    {
+      slices = 200 + (config.link_wires * config.link_wires * 250 / 1024);
+      bram_blocks = 0;
+      dsp_slices = 0;
+    }
+  in
+  if config.flow_control then scale_percent base 112 else base
+
+let tile (t : Tile.t) =
+  let pe_area =
+    match t.kind with
+    | Tile.Ip_block _ -> { slices = 900; bram_blocks = 2; dsp_slices = 4 }
+    | Tile.Master | Tile.Slave | Tile.With_ca _ -> microblaze
+  in
+  let ca_area =
+    match t.kind with
+    | Tile.With_ca _ -> communication_assist
+    | Tile.Master | Tile.Slave | Tile.Ip_block _ -> zero
+  in
+  sum
+    ([
+       pe_area;
+       ca_area;
+       memory ~bytes:(t.imem_capacity + t.dmem_capacity);
+       network_interface;
+     ]
+    @ List.map peripheral t.peripherals)
+
+let pp ppf a =
+  Format.fprintf ppf "%d slices, %d BRAM, %d DSP" a.slices a.bram_blocks
+    a.dsp_slices

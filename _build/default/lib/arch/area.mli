@@ -1,0 +1,38 @@
+(** FPGA area model, calibrated for the Virtex6 of the ML605 board.
+
+    The flow does not synthesize real hardware here, but relative area is
+    part of the paper's claims — notably that adding flow control to the
+    SDM NoC costs about 12% extra slices (§5.3.1). Figures are
+    representative slice/BRAM counts for the component library; what the
+    experiments depend on is the 12% router delta and the relative weight
+    of tiles versus interconnect, not the absolute values. *)
+
+type t = {
+  slices : int;
+  bram_blocks : int;  (** 36 Kib block RAMs *)
+  dsp_slices : int;
+}
+
+val zero : t
+val add : t -> t -> t
+val sum : t list -> t
+val scale_percent : t -> int -> t
+(** [scale_percent a 112] grows every field by 12%, rounding up. *)
+
+val microblaze : t
+val memory : bytes:int -> t
+(** BRAM blocks to hold [bytes] (4 KiB of data per 36 Kib block). *)
+
+val network_interface : t
+val fsl_link : t
+val communication_assist : t
+val peripheral : Component.peripheral -> t
+
+val noc_router : Noc.config -> t
+(** Base router area grows with the wire count; flow control multiplies the
+    result by the paper's measured 112%. *)
+
+val tile : Tile.t -> t
+(** PE + memories at capacity + NI + peripherals (+ CA). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+type processing_element = {
+  pe_type : string;
+  serialization_setup : int;
+  serialization_per_word : int;
+}
+
+(* A software loop around the Microblaze `put`/`get` FSL instructions costs
+   a handful of cycles per word: load, put, pointer bump, branch. *)
+let microblaze =
+  { pe_type = "microblaze"; serialization_setup = 24; serialization_per_word = 6 }
+
+type communication_assist = {
+  ca_setup : int;
+  ca_per_word : int;
+}
+
+let default_ca = { ca_setup = 12; ca_per_word = 1 }
+
+type peripheral =
+  | Uart
+  | Timer
+  | Gpio
+  | Compact_flash
+  | Ethernet
+
+let peripheral_name = function
+  | Uart -> "uart"
+  | Timer -> "timer"
+  | Gpio -> "gpio"
+  | Compact_flash -> "compact_flash"
+  | Ethernet -> "ethernet"
+
+type network_interface = {
+  ni_word_bits : int;
+  ni_buffer_words : int;
+}
+
+let default_ni = { ni_word_bits = 32; ni_buffer_words = 16 }

@@ -1,0 +1,43 @@
+(** Architecture template components (paper §4, Figure 3).
+
+    The MAMPS platform composes tiles from a small set of components: a
+    processing element, local instruction/data memories, an optional
+    communication assist, optional peripherals, and the standardized
+    network interface. Components carry the timing parameters the
+    communication model and the platform simulator need. *)
+
+type processing_element = {
+  pe_type : string;  (** matches {!Appmodel.Actor_impl.t.processor_type} *)
+  serialization_setup : int;
+      (** cycles to set up one token transfer in software *)
+  serialization_per_word : int;
+      (** cycles the PE spends pushing or popping one 32-bit word *)
+}
+
+val microblaze : processing_element
+(** The Xilinx Microblaze soft core used by the master and slave tiles:
+    FSL put/get take a few cycles of loop overhead per word. *)
+
+type communication_assist = {
+  ca_setup : int;  (** cycles to hand a transfer descriptor to the CA *)
+  ca_per_word : int;  (** CA cycles per word, concurrent with the PE *)
+}
+
+val default_ca : communication_assist
+(** Modelled after the CA of Shabbir et al. (CA-MPSoC, 2010). *)
+
+type peripheral =
+  | Uart
+  | Timer
+  | Gpio
+  | Compact_flash
+  | Ethernet
+
+val peripheral_name : peripheral -> string
+
+type network_interface = {
+  ni_word_bits : int;  (** 32: the FSL word width *)
+  ni_buffer_words : int;  (** words buffered inside the NI per direction *)
+}
+
+val default_ni : network_interface

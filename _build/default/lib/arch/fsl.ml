@@ -1,0 +1,14 @@
+type t = {
+  fifo_depth : int;
+  latency : int;
+  words_per_cycle : int;
+}
+
+let default = { fifo_depth = 16; latency = 1; words_per_cycle = 1 }
+
+let make ?(fifo_depth = 16) ?(latency = 1) () =
+  if fifo_depth <= 0 || latency <= 0 then
+    invalid_arg "Fsl.make: parameters must be positive";
+  { fifo_depth; latency; words_per_cycle = 1 }
+
+let cycles_per_word _ = 1

@@ -1,0 +1,23 @@
+(** Point-to-point interconnect built from Xilinx Fast Simplex Links
+    (paper §5.3.1).
+
+    An FSL is a unidirectional FIFO of 32-bit words between exactly two
+    endpoints; writes block when the FIFO is full, reads when it is empty.
+    One link is instantiated per application channel that crosses tiles.
+    Timing is trivial: one word enters per cycle and becomes visible to the
+    reader [latency] cycles later. *)
+
+type t = {
+  fifo_depth : int;  (** words buffered in the link (the model's αn) *)
+  latency : int;  (** cycles from write to readability (the model's L) *)
+  words_per_cycle : int;  (** link rate; FSL transfers one word per cycle *)
+}
+
+val default : t
+(** 16-word FIFO, 1-cycle latency, 1 word/cycle. *)
+
+val make : ?fifo_depth:int -> ?latency:int -> unit -> t
+(** @raise Invalid_argument on non-positive parameters. *)
+
+val cycles_per_word : t -> int
+(** Inverse rate: 1 for FSL. *)

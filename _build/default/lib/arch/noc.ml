@@ -1,0 +1,150 @@
+type config = {
+  link_wires : int;
+  hop_latency : int;
+  flow_control : bool;
+}
+
+let default_config = { link_wires = 32; hop_latency = 2; flow_control = true }
+
+type t = {
+  rows : int;
+  cols : int;
+  config : config;
+}
+
+let mesh_for ~tile_count config =
+  if tile_count < 1 then invalid_arg "Noc.mesh_for: need at least one tile";
+  let cols = int_of_float (ceil (sqrt (float_of_int tile_count))) in
+  let rows = (tile_count + cols - 1) / cols in
+  { rows; cols; config }
+
+let router_count t = t.rows * t.cols
+
+let coordinates t index =
+  if index < 0 || index >= router_count t then
+    invalid_arg (Printf.sprintf "Noc.coordinates: router %d out of range" index);
+  (index / t.cols, index mod t.cols)
+
+let index_of t (row, col) = (row * t.cols) + col
+
+let xy_route t ~src ~dst =
+  let sr, sc = coordinates t src and dr, dc = coordinates t dst in
+  (* X (columns) first, then Y: dimension-ordered routing is deadlock free. *)
+  let rec go row col acc =
+    if col <> dc then begin
+      let next_col = if col < dc then col + 1 else col - 1 in
+      let here = index_of t (row, col) and next = index_of t (row, next_col) in
+      go row next_col ((here, next) :: acc)
+    end
+    else if row <> dr then begin
+      let next_row = if row < dr then row + 1 else row - 1 in
+      let here = index_of t (row, col) and next = index_of t (next_row, col) in
+      go next_row col ((here, next) :: acc)
+    end
+    else List.rev acc
+  in
+  go sr sc []
+
+let hops t ~src ~dst =
+  let sr, sc = coordinates t src and dr, dc = coordinates t dst in
+  abs (sr - dr) + abs (sc - dc)
+
+let max_hops t = t.rows - 1 + (t.cols - 1)
+
+type request = {
+  req_src : int;
+  req_dst : int;
+  req_wires : int;
+}
+
+type connection = {
+  conn_src : int;
+  conn_dst : int;
+  conn_wires : int;
+  conn_route : (int * int) list;
+}
+
+type allocation = {
+  noc : t;
+  connections : connection list;
+  link_load : ((int * int) * int) list;
+}
+
+let allocate t requests =
+  let load : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let reserve link wires =
+    let current = Option.value ~default:0 (Hashtbl.find_opt load link) in
+    if current + wires > t.config.link_wires then
+      Error (current + wires)
+    else begin
+      Hashtbl.replace load link (current + wires);
+      Ok ()
+    end
+  in
+  let rec route_all acc = function
+    | [] -> Ok (List.rev acc)
+    | r :: rest ->
+        if r.req_src = r.req_dst then
+          Error
+            (Printf.sprintf
+               "connection %d->%d stays on one tile and must not use the NoC"
+               r.req_src r.req_dst)
+        else if r.req_wires < 1 then
+          Error
+            (Printf.sprintf "connection %d->%d requests %d wires" r.req_src
+               r.req_dst r.req_wires)
+        else begin
+          let links = xy_route t ~src:r.req_src ~dst:r.req_dst in
+          let conflict =
+            List.fold_left
+              (fun acc link ->
+                match acc with
+                | Some _ -> acc
+                | None -> (
+                    match reserve link r.req_wires with
+                    | Ok () -> None
+                    | Error total -> Some (link, total)))
+              None links
+          in
+          match conflict with
+          | Some ((a, b), total) ->
+              Error
+                (Printf.sprintf
+                   "link %d->%d oversubscribed: %d wires needed, %d available"
+                   a b total t.config.link_wires)
+          | None ->
+              route_all
+                ({
+                   conn_src = r.req_src;
+                   conn_dst = r.req_dst;
+                   conn_wires = r.req_wires;
+                   conn_route = links;
+                 }
+                 :: acc)
+                rest
+        end
+  in
+  match route_all [] requests with
+  | Error msg -> Error msg
+  | Ok connections ->
+      Ok
+        {
+          noc = t;
+          connections;
+          link_load = Hashtbl.fold (fun k v acc -> (k, v) :: acc) load [];
+        }
+
+let cycles_per_word conn = (32 + conn.conn_wires - 1) / conn.conn_wires
+
+let connection_latency t conn =
+  List.length conn.conn_route * t.config.hop_latency
+
+let pp_allocation ppf alloc =
+  Format.fprintf ppf "@[<v>noc %dx%d (%d wires/link)" alloc.noc.rows
+    alloc.noc.cols alloc.noc.config.link_wires;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "@,  %d -> %d: %d wires, %d hops" c.conn_src
+        c.conn_dst c.conn_wires (List.length c.conn_route))
+    alloc.connections;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,86 @@
+(** Spatial-division-multiplex network-on-chip (paper §5.3.1, after Yang et
+    al., FPT 2010).
+
+    Routers form a 2-D mesh kept as close to square as possible, one router
+    per tile. Connections are programmed point-to-point and each connection
+    receives {e dedicated wires} on every link of its route — wires are
+    never shared, which is what gives the static throughput guarantee. A
+    connection with [w] wires moves one 32-bit word in [ceil(32/w)] cycles
+    (bit-serial transfer over its wire bundle); its latency is the hop
+    count times the per-hop latency.
+
+    Flow control — added to the original NoC as part of the paper's
+    integration work — back-pressures the sender when the receiver's NI
+    buffer fills; its cost is area (+12% slices, see {!Area}), not time. *)
+
+type config = {
+  link_wires : int;  (** wires available per mesh link and direction *)
+  hop_latency : int;  (** cycles per router hop *)
+  flow_control : bool;
+}
+
+val default_config : config
+(** 32 wires per link, 2 cycles per hop, flow control on. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  config : config;
+}
+
+val mesh_for : tile_count:int -> config -> t
+(** Smallest near-square mesh with at least [tile_count] routers:
+    [cols = ceil(sqrt n)], [rows = ceil(n / cols)].
+    @raise Invalid_argument when [tile_count < 1]. *)
+
+val router_count : t -> int
+val coordinates : t -> int -> int * int
+(** Tile index to [(row, col)], row-major.
+    @raise Invalid_argument when out of range. *)
+
+val xy_route : t -> src:int -> dst:int -> (int * int) list
+(** Dimension-ordered route as a list of directed links
+    [(router, next_router)]; empty when [src = dst]. X (column) first, then
+    Y, matching deadlock-free XY routing. *)
+
+val hops : t -> src:int -> dst:int -> int
+(** Manhattan distance. *)
+
+val max_hops : t -> int
+(** Mesh diameter: the paper keeps the mesh square to bound this. *)
+
+(** {1 Connection allocation} *)
+
+type request = {
+  req_src : int;  (** tile index *)
+  req_dst : int;
+  req_wires : int;  (** dedicated wires wanted for this connection *)
+}
+
+type connection = {
+  conn_src : int;
+  conn_dst : int;
+  conn_wires : int;
+  conn_route : (int * int) list;
+}
+
+type allocation = {
+  noc : t;
+  connections : connection list;
+  link_load : ((int * int) * int) list;  (** wires used per directed link *)
+}
+
+val allocate : t -> request list -> (allocation, string) result
+(** Route every request with XY routing and reserve its wires on every link
+    of the route; fails with a descriptive message when some link would
+    exceed [config.link_wires]. Self-connections (same tile) are rejected —
+    they never reach the interconnect. *)
+
+val cycles_per_word : connection -> int
+(** [ceil(32 / wires)]. *)
+
+val connection_latency : t -> connection -> int
+(** Hop count times [hop_latency]; the time the first word of a transfer
+    spends in the network. *)
+
+val pp_allocation : Format.formatter -> allocation -> unit

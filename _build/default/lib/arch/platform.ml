@@ -1,0 +1,277 @@
+module Xml = Xmlkit.Xml
+
+type interconnect =
+  | Point_to_point of Fsl.t
+  | Sdm_noc of Noc.config
+
+type t = {
+  platform_name : string;
+  tiles : Tile.t array;
+  interconnect : interconnect;
+  clock_mhz : int;
+  arbiters : (Component.peripheral * Arbiter.t) list;
+}
+
+let sharing_tiles tiles peripheral =
+  List.filter_map
+    (fun (t : Tile.t) ->
+      if List.mem peripheral t.peripherals then Some t.tile_name else None)
+    tiles
+
+let make ~name ~tiles ?(clock_mhz = 100) ?(arbiters = []) interconnect =
+  if tiles = [] then Error "platform needs at least one tile"
+  else begin
+    let names = List.map (fun (t : Tile.t) -> t.tile_name) tiles in
+    let dup =
+      List.find_opt
+        (fun n -> List.length (List.filter (( = ) n) names) > 1)
+        names
+    in
+    match dup with
+    | Some n -> Error (Printf.sprintf "duplicate tile name %S" n)
+    | None ->
+        (* Predictability: a peripheral kind may be shared between tiles
+           only behind a predictable arbiter serving all of them. *)
+        let all_peripherals =
+          List.concat_map (fun (t : Tile.t) -> t.peripherals) tiles
+          |> List.sort_uniq compare
+        in
+        let unguarded =
+          List.find_opt
+            (fun p ->
+              let sharers = sharing_tiles tiles p in
+              List.length sharers > 1
+              &&
+              match List.assoc_opt p arbiters with
+              | None -> true
+              | Some arbiter ->
+                  not
+                    (List.for_all
+                       (fun tile -> List.mem tile arbiter.Arbiter.clients)
+                       sharers))
+            all_peripherals
+        in
+        (match unguarded with
+        | Some p ->
+            Error
+              (Printf.sprintf
+                 "peripheral %s is shared between tiles without a predictable \
+                  arbiter covering all of them"
+                 (Component.peripheral_name p))
+        | None ->
+            if clock_mhz <= 0 then Error "clock frequency must be positive"
+            else
+              Ok
+                {
+                  platform_name = name;
+                  tiles = Array.of_list tiles;
+                  interconnect;
+                  clock_mhz;
+                  arbiters;
+                })
+  end
+
+let peripheral_access_bound t ~tile ~peripheral ~request_cycles =
+  let sharers = sharing_tiles (Array.to_list t.tiles) peripheral in
+  if not (List.mem tile sharers) then None
+  else
+    match List.assoc_opt peripheral t.arbiters with
+    | Some arbiter when List.length sharers > 1 ->
+        Some (Arbiter.worst_case_latency arbiter ~client:tile ~request_cycles)
+    | Some _ | None -> Some request_cycles
+
+let tile_count t = Array.length t.tiles
+
+let tile t i =
+  if i < 0 || i >= Array.length t.tiles then
+    invalid_arg (Printf.sprintf "Platform.tile: index %d out of range" i);
+  t.tiles.(i)
+
+let tile_index t name =
+  let rec find i =
+    if i >= Array.length t.tiles then None
+    else if t.tiles.(i).Tile.tile_name = name then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let tiles t = Array.to_list t.tiles
+
+let processor_types t =
+  Array.to_list t.tiles
+  |> List.filter_map Tile.processor_type
+  |> List.sort_uniq compare
+
+let noc_mesh t =
+  match t.interconnect with
+  | Sdm_noc config -> Some (Noc.mesh_for ~tile_count:(tile_count t) config)
+  | Point_to_point _ -> None
+
+let interconnect_area t ~connections =
+  match t.interconnect with
+  | Point_to_point _ ->
+      Area.sum (List.init connections (fun _ -> Area.fsl_link))
+  | Sdm_noc config ->
+      let mesh = Noc.mesh_for ~tile_count:(tile_count t) config in
+      Area.sum
+        (List.init (Noc.router_count mesh) (fun _ -> Area.noc_router config))
+
+let area t =
+  let tiles_area = Area.sum (List.map Area.tile (tiles t)) in
+  match t.interconnect with
+  | Point_to_point _ -> tiles_area
+  | Sdm_noc _ -> Area.add tiles_area (interconnect_area t ~connections:0)
+
+(* --- XML --- *)
+
+let tile_to_xml (tl : Tile.t) =
+  let kind, extra =
+    match tl.kind with
+    | Tile.Master -> ("master", [])
+    | Tile.Slave -> ("slave", [])
+    | Tile.With_ca ca ->
+        ( "ca",
+          [
+            ("caSetup", string_of_int ca.Component.ca_setup);
+            ("caPerWord", string_of_int ca.Component.ca_per_word);
+          ] )
+    | Tile.Ip_block ip -> ("ip", [ ("ipName", ip) ])
+  in
+  Xml.element "tile"
+    ~attrs:
+      ([
+         ("name", tl.tile_name);
+         ("kind", kind);
+         ("imem", string_of_int tl.imem_capacity);
+         ("dmem", string_of_int tl.dmem_capacity);
+       ]
+      @ extra)
+    ~children:
+      (List.map
+         (fun p ->
+           Xml.element "peripheral"
+             ~attrs:[ ("kind", Component.peripheral_name p) ])
+         tl.peripherals)
+
+let interconnect_to_xml = function
+  | Point_to_point fsl ->
+      Xml.element "interconnect"
+        ~attrs:
+          [
+            ("kind", "fsl");
+            ("fifoDepth", string_of_int fsl.Fsl.fifo_depth);
+            ("latency", string_of_int fsl.Fsl.latency);
+          ]
+  | Sdm_noc config ->
+      Xml.element "interconnect"
+        ~attrs:
+          [
+            ("kind", "noc");
+            ("linkWires", string_of_int config.Noc.link_wires);
+            ("hopLatency", string_of_int config.Noc.hop_latency);
+            ("flowControl", string_of_bool config.Noc.flow_control);
+          ]
+
+let arbiter_to_xml (peripheral, (a : Arbiter.t)) =
+  Xml.element "arbiter"
+    ~attrs:
+      [
+        ("peripheral", Component.peripheral_name peripheral);
+        ("slotCycles", string_of_int a.Arbiter.slot_cycles);
+      ]
+    ~children:
+      (List.map
+         (fun client -> Xml.element "client" ~attrs:[ ("tile", client) ])
+         a.Arbiter.clients)
+
+let to_xml t =
+  Xml.element "architecture"
+    ~attrs:
+      [ ("name", t.platform_name); ("clockMhz", string_of_int t.clock_mhz) ]
+    ~children:
+      ((interconnect_to_xml t.interconnect :: List.map tile_to_xml (tiles t))
+      @ List.map arbiter_to_xml t.arbiters)
+
+let peripheral_of_name = function
+  | "uart" -> Component.Uart
+  | "timer" -> Component.Timer
+  | "gpio" -> Component.Gpio
+  | "compact_flash" -> Component.Compact_flash
+  | "ethernet" -> Component.Ethernet
+  | other -> failwith (Printf.sprintf "unknown peripheral kind %S" other)
+
+let tile_of_xml e =
+  let name = Xml.attr e "name" in
+  let imem = Xml.int_attr e "imem" and dmem = Xml.int_attr e "dmem" in
+  let peripherals =
+    List.map
+      (fun p -> peripheral_of_name (Xml.attr p "kind"))
+      (Xml.children_named e "peripheral")
+  in
+  match Xml.attr e "kind" with
+  | "master" ->
+      Tile.master ~peripherals ~imem_capacity:imem ~dmem_capacity:dmem name
+  | "slave" -> Tile.slave ~imem_capacity:imem ~dmem_capacity:dmem name
+  | "ca" ->
+      Tile.with_ca
+        ~ca:
+          {
+            Component.ca_setup = Xml.int_attr e "caSetup";
+            ca_per_word = Xml.int_attr e "caPerWord";
+          }
+        ~imem_capacity:imem ~dmem_capacity:dmem name
+  | "ip" -> Tile.ip_block ~name ~ip:(Xml.attr e "ipName")
+  | other -> failwith (Printf.sprintf "unknown tile kind %S" other)
+
+let interconnect_of_xml e =
+  match Xml.attr e "kind" with
+  | "fsl" ->
+      Point_to_point
+        (Fsl.make ~fifo_depth:(Xml.int_attr e "fifoDepth")
+           ~latency:(Xml.int_attr e "latency") ())
+  | "noc" ->
+      Sdm_noc
+        {
+          Noc.link_wires = Xml.int_attr e "linkWires";
+          hop_latency = Xml.int_attr e "hopLatency";
+          flow_control = bool_of_string (Xml.attr e "flowControl");
+        }
+  | other -> failwith (Printf.sprintf "unknown interconnect kind %S" other)
+
+let arbiter_of_xml e =
+  let clients =
+    List.map (fun c -> Xml.attr c "tile") (Xml.children_named e "client")
+  in
+  match
+    Arbiter.make ~slot_cycles:(Xml.int_attr e "slotCycles") ~clients
+  with
+  | Ok a -> (peripheral_of_name (Xml.attr e "peripheral"), a)
+  | Error msg -> failwith msg
+
+let of_xml node =
+  try
+    let root = Xml.as_element node in
+    if root.tag <> "architecture" then
+      failwith (Printf.sprintf "expected <architecture>, found <%s>" root.tag);
+    make
+      ~name:(Xml.attr root "name")
+      ~tiles:(List.map tile_of_xml (Xml.children_named root "tile"))
+      ~clock_mhz:(Xml.int_attr root "clockMhz")
+      ~arbiters:(List.map arbiter_of_xml (Xml.children_named root "arbiter"))
+      (interconnect_of_xml (Xml.child root "interconnect"))
+  with Failure msg -> Error msg
+
+let to_string t = Xml.to_string (to_xml t)
+let of_string s = Result.bind (Xml.parse s) of_xml
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>platform %S @ %d MHz" t.platform_name t.clock_mhz;
+  Array.iter (fun tl -> Format.fprintf ppf "@,  %a" Tile.pp tl) t.tiles;
+  (match t.interconnect with
+  | Point_to_point fsl ->
+      Format.fprintf ppf "@,  interconnect: FSL (depth %d)" fsl.Fsl.fifo_depth
+  | Sdm_noc config ->
+      Format.fprintf ppf "@,  interconnect: SDM NoC (%d wires/link%s)"
+        config.Noc.link_wires
+        (if config.Noc.flow_control then ", flow control" else ""));
+  Format.fprintf ppf "@]"

@@ -1,0 +1,66 @@
+(** The architecture model: the flow's second input (paper Figure 1, §4).
+
+    A platform is a named set of tiles plus one interconnect choice. The
+    standardized network interface means any tile variant composes with
+    either interconnect. Predictability demands that peripherals are not
+    shared between tiles (§4), which [make] enforces. *)
+
+type interconnect =
+  | Point_to_point of Fsl.t  (** one FSL per inter-tile channel *)
+  | Sdm_noc of Noc.config
+
+type t = {
+  platform_name : string;
+  tiles : Tile.t array;
+  interconnect : interconnect;
+  clock_mhz : int;
+  arbiters : (Component.peripheral * Arbiter.t) list;
+      (** predictable TDM arbiters in front of shared peripherals (the
+          paper's future-work extension, see {!Arbiter}) *)
+}
+
+val make :
+  name:string ->
+  tiles:Tile.t list ->
+  ?clock_mhz:int ->
+  ?arbiters:(Component.peripheral * Arbiter.t) list ->
+  interconnect ->
+  (t, string) result
+(** Checks: at least one tile, unique tile names, and each peripheral kind
+    on at most one tile {e unless} an arbiter is declared for it whose
+    clients include every sharing tile — sharing through a predictable
+    arbiter preserves the platform's predictability (§4, conclusions).
+    [clock_mhz] defaults to 100 (the ML605 reference clock). *)
+
+val peripheral_access_bound :
+  t -> tile:string -> peripheral:Component.peripheral ->
+  request_cycles:int -> int option
+(** Worst-case cycles for a tile to complete a peripheral access:
+    [request_cycles] when the tile owns the peripheral exclusively, the
+    arbiter's bound when shared, [None] when the tile has no access. *)
+
+val tile_count : t -> int
+val tile : t -> int -> Tile.t
+val tile_index : t -> string -> int option
+val tiles : t -> Tile.t list
+
+val processor_types : t -> string list
+(** Distinct PE types present, sorted; IP tiles contribute nothing. *)
+
+val noc_mesh : t -> Noc.t option
+(** The mesh sized for this platform when the interconnect is a NoC. *)
+
+val area : t -> Area.t
+(** Tiles plus interconnect: FSL links cannot be counted without a mapping
+    (one per inter-tile channel), so the point-to-point figure covers tiles
+    and NIs only; the NoC figure includes all routers. *)
+
+val interconnect_area : t -> connections:int -> Area.t
+(** Area of the interconnect alone for a given number of inter-tile
+    connections. *)
+
+val to_xml : t -> Xmlkit.Xml.t
+val of_xml : Xmlkit.Xml.t -> (t, string) result
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val pp : Format.formatter -> t -> unit

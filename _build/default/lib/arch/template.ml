@@ -1,0 +1,28 @@
+type interconnect_choice =
+  | Use_fsl of Fsl.t
+  | Use_noc of Noc.config
+
+let interconnect_of = function
+  | Use_fsl fsl -> Platform.Point_to_point fsl
+  | Use_noc config -> Platform.Sdm_noc config
+
+let generate ~name ~tile_count ?(with_ca = false) ?clock_mhz choice =
+  if tile_count < 1 then Error "template needs at least one tile"
+  else begin
+    let tile i =
+      let tile_name = Printf.sprintf "tile%d" i in
+      if with_ca then Tile.with_ca tile_name
+      else if i = 0 then Tile.master tile_name
+      else Tile.slave tile_name
+    in
+    Platform.make ~name
+      ~tiles:(List.init tile_count tile)
+      ?clock_mhz (interconnect_of choice)
+  end
+
+let for_application app ?(max_tiles = 16) ?with_ca ?clock_mhz choice =
+  let actors = List.length (Appmodel.Application.actor_names app) in
+  generate
+    ~name:(Appmodel.Application.name app ^ "_platform")
+    ~tile_count:(Stdlib.min actors max_tiles)
+    ?with_ca ?clock_mhz choice

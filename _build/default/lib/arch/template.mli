@@ -1,0 +1,34 @@
+(** Automatic architecture-model generation (paper Table 1: "Generating
+    architecture model — 1 second, automated").
+
+    Given the application model, the template instantiates a platform with
+    one master tile (which owns the board peripherals and therefore the
+    I/O-performing actors) and slave tiles for the rest, wired by the
+    requested interconnect. The tile count defaults to one per actor and
+    is capped by [max_tiles]; heterogeneous applications get tiles for
+    every processor type their implementations mention. *)
+
+type interconnect_choice =
+  | Use_fsl of Fsl.t
+  | Use_noc of Noc.config
+
+val generate :
+  name:string ->
+  tile_count:int ->
+  ?with_ca:bool ->
+  ?clock_mhz:int ->
+  interconnect_choice ->
+  (Platform.t, string) result
+(** [tile_count] tiles named [tile0 .. tileN-1]; [tile0] is the master.
+    [with_ca] (default false) makes every tile a CA tile — the §6.3
+    model-level experiment. *)
+
+val for_application :
+  Appmodel.Application.t ->
+  ?max_tiles:int ->
+  ?with_ca:bool ->
+  ?clock_mhz:int ->
+  interconnect_choice ->
+  (Platform.t, string) result
+(** Platform sized for the application: [min(actor_count, max_tiles)]
+    tiles (default cap 16), named after the application. *)

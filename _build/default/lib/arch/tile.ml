@@ -1,0 +1,86 @@
+type kind =
+  | Master
+  | Slave
+  | With_ca of Component.communication_assist
+  | Ip_block of string
+
+type t = {
+  tile_name : string;
+  kind : kind;
+  pe : Component.processing_element option;
+  imem_capacity : int;
+  dmem_capacity : int;
+  peripherals : Component.peripheral list;
+  ni : Component.network_interface;
+}
+
+let kib n = n * 1024
+
+let master ?(peripherals = [ Component.Uart; Component.Timer ])
+    ?(imem_capacity = kib 128) ?(dmem_capacity = kib 128) tile_name =
+  {
+    tile_name;
+    kind = Master;
+    pe = Some Component.microblaze;
+    imem_capacity;
+    dmem_capacity;
+    peripherals;
+    ni = Component.default_ni;
+  }
+
+let slave ?(imem_capacity = kib 128) ?(dmem_capacity = kib 128) tile_name =
+  {
+    tile_name;
+    kind = Slave;
+    pe = Some Component.microblaze;
+    imem_capacity;
+    dmem_capacity;
+    peripherals = [];
+    ni = Component.default_ni;
+  }
+
+let with_ca ?(ca = Component.default_ca) ?(imem_capacity = kib 128)
+    ?(dmem_capacity = kib 128) tile_name =
+  {
+    tile_name;
+    kind = With_ca ca;
+    pe = Some Component.microblaze;
+    imem_capacity;
+    dmem_capacity;
+    peripherals = [];
+    ni = Component.default_ni;
+  }
+
+let ip_block ~name ~ip =
+  {
+    tile_name = name;
+    kind = Ip_block ip;
+    pe = None;
+    imem_capacity = 0;
+    dmem_capacity = 0;
+    peripherals = [];
+    ni = Component.default_ni;
+  }
+
+let processor_type t = Option.map (fun pe -> pe.Component.pe_type) t.pe
+let has_peripherals t = t.peripherals <> []
+
+let serialization_on_pe t =
+  match t.kind with
+  | Master | Slave -> true
+  | With_ca _ | Ip_block _ -> false
+
+let pp ppf t =
+  let kind =
+    match t.kind with
+    | Master -> "master"
+    | Slave -> "slave"
+    | With_ca _ -> "ca"
+    | Ip_block ip -> Printf.sprintf "ip(%s)" ip
+  in
+  Format.fprintf ppf "tile %s [%s] imem=%dB dmem=%dB%s" t.tile_name kind
+    t.imem_capacity t.dmem_capacity
+    (if t.peripherals = [] then ""
+     else
+       " periph=" ^ String.concat ","
+         (List.map Component.peripheral_name t.peripherals))

@@ -1,0 +1,57 @@
+(** Tile template (paper §4 and §5.3.2).
+
+    MAMPS composes platforms from tile variants that all expose the same
+    network interface: the {e master} tile (Microblaze, local memories,
+    board peripherals), the {e slave} tile (same without peripherals), a
+    tile extended with a {e communication assist} that (de-)serializes
+    tokens concurrently with the PE, and a pure-hardware {e IP} tile.
+    The paper's released template provides master and slave; the CA tile
+    exists in the model only (its §6.3 experiment is model-level), and this
+    library mirrors that by modelling all four. *)
+
+type kind =
+  | Master  (** PE + memories + peripherals *)
+  | Slave  (** PE + memories *)
+  | With_ca of Component.communication_assist
+      (** PE + memories + communication assist *)
+  | Ip_block of string  (** dedicated hardware actor, NI only *)
+
+type t = {
+  tile_name : string;
+  kind : kind;
+  pe : Component.processing_element option;  (** [None] for IP tiles *)
+  imem_capacity : int;  (** instruction memory limit, bytes *)
+  dmem_capacity : int;  (** data memory limit, bytes *)
+  peripherals : Component.peripheral list;
+  ni : Component.network_interface;
+}
+
+val master :
+  ?peripherals:Component.peripheral list ->
+  ?imem_capacity:int ->
+  ?dmem_capacity:int ->
+  string ->
+  t
+(** Defaults: Microblaze PE, 128 KiB instruction + 128 KiB data memory (the
+    paper's "up to 256 kB in a modified Harvard configuration"), UART and
+    timer peripherals. *)
+
+val slave : ?imem_capacity:int -> ?dmem_capacity:int -> string -> t
+
+val with_ca :
+  ?ca:Component.communication_assist ->
+  ?imem_capacity:int ->
+  ?dmem_capacity:int ->
+  string ->
+  t
+
+val ip_block : name:string -> ip:string -> t
+
+val processor_type : t -> string option
+val has_peripherals : t -> bool
+
+val serialization_on_pe : t -> bool
+(** True when the PE itself runs the (de-)serialization loops — master and
+    slave tiles; false when a CA or dedicated hardware does it. *)
+
+val pp : Format.formatter -> t -> unit

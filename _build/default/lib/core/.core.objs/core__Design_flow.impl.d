@@ -1,0 +1,1 @@
+lib/core/design_flow.ml: Appmodel Arch Array Format List Mamps Mapping Result Sdf Sim Sys

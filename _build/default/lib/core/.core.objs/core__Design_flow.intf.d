@@ -1,0 +1,1 @@
+lib/core/design_flow.mli: Appmodel Arch Format Mamps Mapping Sdf Sim

@@ -1,0 +1,1 @@
+lib/core/dse.ml: Appmodel Arch Design_flow Format List Mapping Option Sdf String Sys

@@ -1,0 +1,1 @@
+lib/core/dse.mli: Appmodel Arch Design_flow Format Mapping Sdf

@@ -1,0 +1,1 @@
+lib/core/report.ml: Design_flow Float Format List Printf Sdf String

@@ -1,0 +1,1 @@
+lib/core/report.mli: Design_flow Format Sdf

@@ -1,0 +1,188 @@
+module Application = Appmodel.Application
+module Platform = Arch.Platform
+module Flow_map = Mapping.Flow_map
+
+type step_times = {
+  architecture_generation : float;
+  mapping : float;
+  platform_generation : float;
+  synthesis : float;
+}
+
+type t = {
+  application : Application.t;
+  platform : Platform.t;
+  mapping : Flow_map.t;
+  project : Mamps.Project.t;
+  guarantee : Sdf.Rational.t option;
+  times : step_times;
+}
+
+let timed f =
+  let start = Sys.time () in
+  let result = f () in
+  (result, Sys.time () -. start)
+
+let run_with_arch_time app platform ?options ~architecture_generation () =
+  let ( let* ) = Result.bind in
+  (* admission: the flow rejects inconsistent or deadlocking applications *)
+  let* () =
+    match Sdf.Analysis.admit (Application.graph app) with
+    | Ok _ -> Ok ()
+    | Error e ->
+        Error
+          (Format.asprintf "application rejected: %a"
+             Sdf.Analysis.pp_admission_error e)
+  in
+  let* mapping, mapping_time =
+    let result, time =
+      timed (fun () -> Flow_map.run app platform ?options ())
+    in
+    Result.map (fun m -> (m, time)) result
+  in
+  let project, platform_generation =
+    timed (fun () -> Mamps.Project.generate mapping)
+  in
+  (* "synthesis": validate the generated structure and elaborate the
+     platform once (a one-iteration dry run of the simulator) *)
+  let* synthesis_result, synthesis =
+    let result, time =
+      timed (fun () ->
+          let netlist = Mamps.Netlist.of_mapping mapping in
+          let* () = Mamps.Netlist.validate netlist in
+          let* _dry = Sim.Platform_sim.run mapping ~iterations:1 () in
+          Ok ())
+    in
+    Result.map (fun () -> ((), time)) result
+  in
+  let () = synthesis_result in
+  Ok
+    {
+      application = app;
+      platform;
+      mapping;
+      project;
+      guarantee = Flow_map.throughput mapping;
+      times =
+        {
+          architecture_generation;
+          mapping = mapping_time;
+          platform_generation;
+          synthesis;
+        };
+    }
+
+let run app platform ?options () =
+  run_with_arch_time app platform ?options ~architecture_generation:0.0 ()
+
+let run_auto app ?tiles ?options choice () =
+  let ( let* ) = Result.bind in
+  let* platform, arch_time =
+    let result, time =
+      timed (fun () -> Arch.Template.for_application app ?max_tiles:tiles choice)
+    in
+    Result.map (fun p -> (p, time)) result
+  in
+  run_with_arch_time app platform ?options ~architecture_generation:arch_time ()
+
+let measure t ~iterations ?timing ?trace () =
+  Sim.Platform_sim.run t.mapping ~iterations ?timing ?trace ()
+
+type multi = {
+  combined : t;
+  per_application : (string * Sdf.Rational.t option) list;
+}
+
+let run_many apps platform ?options () =
+  let ( let* ) = Result.bind in
+  (* each application must be admissible on its own *)
+  let* () =
+    List.fold_left
+      (fun acc app ->
+        let* () = acc in
+        match Sdf.Analysis.admit (Application.graph app) with
+        | Ok _ -> Ok ()
+        | Error e ->
+            Error
+              (Format.asprintf "application %S rejected: %a"
+                 (Application.name app) Sdf.Analysis.pp_admission_error e))
+      (Ok ()) apps
+  in
+  let* merged = Application.merge apps in
+  (* the merged graph is intentionally disconnected, so skip the
+     single-application admission and map directly *)
+  let* mapping = Flow_map.run merged platform ?options () in
+  let project, platform_generation =
+    timed (fun () -> Mamps.Project.generate mapping)
+  in
+  let* (), synthesis =
+    let result, time =
+      timed (fun () ->
+          let netlist = Mamps.Netlist.of_mapping mapping in
+          let* () = Mamps.Netlist.validate netlist in
+          let* _dry = Sim.Platform_sim.run mapping ~iterations:1 () in
+          Ok ())
+    in
+    Result.map (fun () -> ((), time)) result
+  in
+  let combined =
+    {
+      application = merged;
+      platform;
+      mapping;
+      project;
+      guarantee = Flow_map.throughput mapping;
+      times =
+        {
+          architecture_generation = 0.0;
+          mapping = 0.0;
+          platform_generation;
+          synthesis;
+        };
+    }
+  in
+  (* per application: scale the combined iteration rate by the ratio of the
+     actor's combined and application-local repetition counts *)
+  let merged_q = Sdf.Repetition.vector_exn (Application.graph merged) in
+  let per_application =
+    List.map
+      (fun app ->
+        let rate =
+          match combined.guarantee with
+          | None -> None
+          | Some thr -> (
+              match Application.actor_names app with
+              | [] -> None
+              | actor :: _ ->
+                  let local_graph = Application.graph app in
+                  let local_q = Sdf.Repetition.vector_exn local_graph in
+                  let local_id =
+                    (Sdf.Graph.actor_of_name local_graph actor).actor_id
+                  in
+                  let merged_id =
+                    (Sdf.Graph.actor_of_name
+                       (Application.graph merged)
+                       (Application.qualified ~app:(Application.name app) actor))
+                      .actor_id
+                  in
+                  Some
+                    (Sdf.Rational.mul thr
+                       (Sdf.Rational.make merged_q.(merged_id)
+                          local_q.(local_id))))
+        in
+        (Application.name app, rate))
+      apps
+  in
+  Ok { combined; per_application }
+
+let expected_throughput t ~measured_times =
+  Flow_map.reanalyse t.mapping ~times:measured_times ()
+
+let pp_times ppf times =
+  Format.fprintf ppf
+    "@[<v>Generating architecture model: %.3f s@,\
+     Mapping the design (SDF3): %.3f s@,\
+     Generating platform project (MAMPS): %.3f s@,\
+     Synthesis of the system: %.3f s@]"
+    times.architecture_generation times.mapping times.platform_generation
+    times.synthesis

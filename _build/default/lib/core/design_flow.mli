@@ -1,0 +1,92 @@
+(** The automated design flow (paper Figure 1): the primary contribution.
+
+    One call takes the two inputs of the flow — the application model and
+    the architecture model — and produces everything the paper's flow
+    produces: the SDF3 mapping with its worst-case throughput guarantee,
+    the generated MAMPS project (hardware netlist, VHDL, per-tile C, XPS
+    script), and the elaborated platform ready to execute. Where the paper
+    hands the project to Xilinx Platform Studio and an ML605 board, this
+    reproduction elaborates the same mapping into the cycle-level platform
+    simulator (see DESIGN.md for the substitution argument).
+
+    Every automated step is timed, reproducing the lower half of Table 1. *)
+
+type step_times = {
+  architecture_generation : float;
+      (** seconds; 0 when the caller supplied the platform directly *)
+  mapping : float;
+  platform_generation : float;
+  synthesis : float;  (** elaboration + netlist checks, the XPS stand-in *)
+}
+
+type t = {
+  application : Appmodel.Application.t;
+  platform : Arch.Platform.t;
+  mapping : Mapping.Flow_map.t;
+  project : Mamps.Project.t;
+  guarantee : Sdf.Rational.t option;
+      (** the worst-case throughput bound, iterations (MCUs) per cycle *)
+  times : step_times;
+}
+
+val run :
+  Appmodel.Application.t ->
+  Arch.Platform.t ->
+  ?options:Mapping.Flow_map.options ->
+  unit ->
+  (t, string) result
+(** The full flow against a given architecture model. Fails when the
+    application is rejected (inconsistent, deadlocking), the binding or
+    NoC allocation is infeasible, memory overflows, or the generated
+    netlist does not validate. *)
+
+val run_auto :
+  Appmodel.Application.t ->
+  ?tiles:int ->
+  ?options:Mapping.Flow_map.options ->
+  Arch.Template.interconnect_choice ->
+  unit ->
+  (t, string) result
+(** [run] preceded by automatic architecture generation from the template
+    (one tile per actor by default, capped by [tiles]). *)
+
+val measure :
+  t ->
+  iterations:int ->
+  ?timing:Sim.Platform_sim.timing ->
+  ?trace:(tile:string -> label:string -> start:int -> finish:int -> unit) ->
+  unit ->
+  (Sim.Platform_sim.result, string) result
+(** Execute the generated platform — the reproduction's equivalent of
+    running the bit file on the FPGA and measuring. *)
+
+(** {1 Multiple applications}
+
+    MAMPS generates platforms for "one or more applications" (paper §1):
+    the applications are merged (namespaced) into one model sharing the
+    tiles, and the flow runs unchanged. The combined analysis yields a
+    guarantee per application. *)
+
+type multi = {
+  combined : t;  (** the flow result for the merged model *)
+  per_application : (string * Sdf.Rational.t option) list;
+      (** each application's guaranteed iteration throughput; [None] when
+          the combined analysis did not converge *)
+}
+
+val run_many :
+  Appmodel.Application.t list ->
+  Arch.Platform.t ->
+  ?options:Mapping.Flow_map.options ->
+  unit ->
+  (multi, string) result
+(** Admission runs per application (each must be consistent, connected and
+    deadlock-free on its own); pinned bindings in [options] use the
+    namespaced actor names (see {!Appmodel.Application.qualified}). *)
+
+val expected_throughput :
+  t -> measured_times:(string -> int) -> (Sdf.Throughput.result, string) result
+(** The "expected" prediction of §6.1: the same mapping re-analysed with
+    measured actor execution times. *)
+
+val pp_times : Format.formatter -> step_times -> unit

@@ -1,0 +1,129 @@
+module Application = Appmodel.Application
+module Rational = Sdf.Rational
+
+type point = {
+  tile_count : int;
+  interconnect : Arch.Template.interconnect_choice;
+  guarantee : Rational.t option;
+  slices : int;
+  flow_seconds : float;
+  flow : Design_flow.t;
+}
+
+let interconnect_label = function
+  | Arch.Template.Use_fsl _ -> "fsl"
+  | Arch.Template.Use_noc _ -> "noc"
+
+let platform_slices (flow : Design_flow.t) =
+  let connections =
+    List.length
+      flow.Design_flow.mapping.Mapping.Flow_map.expansion
+        .Mapping.Comm_map.inter_channels
+  in
+  let area =
+    Arch.Area.add
+      (Arch.Area.sum
+         (List.map Arch.Area.tile (Arch.Platform.tiles flow.Design_flow.platform)))
+      (Arch.Platform.interconnect_area flow.Design_flow.platform ~connections)
+  in
+  area.Arch.Area.slices
+
+let explore app ?tile_counts ?interconnects ?options () =
+  let tile_counts =
+    match tile_counts with
+    | Some counts -> counts
+    | None ->
+        let actors = List.length (Application.actor_names app) in
+        List.init actors (fun i -> i + 1)
+  in
+  let interconnects =
+    Option.value
+      ~default:
+        [
+          Arch.Template.Use_fsl Arch.Fsl.default;
+          Arch.Template.Use_noc Arch.Noc.default_config;
+        ]
+      interconnects
+  in
+  let points = ref [] and failures = ref [] in
+  List.iter
+    (fun choice ->
+      List.iter
+        (fun tile_count ->
+          let options =
+            Option.map
+              (fun (o : Mapping.Flow_map.options) ->
+                {
+                  o with
+                  Mapping.Flow_map.fixed =
+                    List.filter (fun (_, t) -> t < tile_count) o.fixed;
+                })
+              options
+          in
+          let start = Sys.time () in
+          match
+            Design_flow.run_auto app ~tiles:tile_count ?options choice ()
+          with
+          | Error reason ->
+              failures :=
+                (tile_count, interconnect_label choice, reason) :: !failures
+          | Ok flow ->
+              points :=
+                {
+                  tile_count;
+                  interconnect = choice;
+                  guarantee = flow.Design_flow.guarantee;
+                  slices = platform_slices flow;
+                  flow_seconds = Sys.time () -. start;
+                  flow;
+                }
+                :: !points)
+        tile_counts)
+    interconnects;
+  (List.rev !points, List.rev !failures)
+
+let dominates a b =
+  match (a.guarantee, b.guarantee) with
+  | Some ga, Some gb ->
+      Rational.compare ga gb >= 0
+      && a.slices <= b.slices
+      && (Rational.compare ga gb > 0 || a.slices < b.slices)
+  | Some _, None -> true
+  | None, _ -> false
+
+let pareto points =
+  points
+  |> List.filter (fun p ->
+         p.guarantee <> None
+         && not (List.exists (fun other -> dominates other p) points))
+  |> List.sort (fun a b -> compare a.slices b.slices)
+
+let best_under_area points ~max_slices =
+  List.fold_left
+    (fun best p ->
+      if p.slices > max_slices then best
+      else
+        match (p.guarantee, best) with
+        | None, _ -> best
+        | Some _, None -> Some p
+        | Some g, Some current -> (
+            match current.guarantee with
+            | Some gc when Rational.compare gc g >= 0 -> best
+            | Some _ | None -> Some p))
+    None points
+
+let pp_table ppf points =
+  Format.fprintf ppf "@[<v>%-6s %-6s %16s %10s %9s@," "interc" "tiles"
+    "guarantee(it/c)" "slices" "time(s)";
+  Format.fprintf ppf "%s@," (String.make 52 '-');
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%-6s %-6d %16s %10d %9.2f@,"
+        (interconnect_label p.interconnect)
+        p.tile_count
+        (match p.guarantee with
+        | Some g -> Rational.to_string g
+        | None -> "-")
+        p.slices p.flow_seconds)
+    points;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,44 @@
+(** Automated design-space exploration.
+
+    The paper's conclusion names "an improved automated design space
+    exploration" as future work and claims the flow's speed "allows the
+    designers to perform a very fast design space exploration". This
+    module provides that loop: sweep candidate platforms (tile counts and
+    interconnects), run the full flow on each, and keep the
+    guarantee/area Pareto front. Every point carries the complete flow
+    result, so the designer can go straight from a chosen point to the
+    generated project. *)
+
+type point = {
+  tile_count : int;
+  interconnect : Arch.Template.interconnect_choice;
+  guarantee : Sdf.Rational.t option;  (** worst-case iteration throughput *)
+  slices : int;  (** platform area including interconnect *)
+  flow_seconds : float;  (** wall time of the flow on this point *)
+  flow : Design_flow.t;
+}
+
+val interconnect_label : Arch.Template.interconnect_choice -> string
+
+val explore :
+  Appmodel.Application.t ->
+  ?tile_counts:int list ->
+  ?interconnects:Arch.Template.interconnect_choice list ->
+  ?options:Mapping.Flow_map.options ->
+  unit ->
+  point list * (int * string * string) list
+(** Run the flow on every (tile count, interconnect) combination. Defaults:
+    1 .. actor-count tiles; FSL and the default NoC. Returns the feasible
+    points and the failures as [(tiles, interconnect, reason)]. Pinned
+    bindings in [options] are dropped for platforms with fewer tiles than
+    they reference. *)
+
+val pareto : point list -> point list
+(** The throughput/area Pareto front: points not dominated by another with
+    at least the same guarantee and at most the same area. Sorted by area.
+    Points without a guarantee never enter the front. *)
+
+val best_under_area : point list -> max_slices:int -> point option
+(** Highest guarantee among points within the area budget. *)
+
+val pp_table : Format.formatter -> point list -> unit

@@ -1,0 +1,75 @@
+module Rational = Sdf.Rational
+
+type throughput_row = {
+  row_label : string;
+  worst_case : Rational.t;
+  expected : Rational.t option;
+  measured : Rational.t option;
+}
+
+let mcus_per_mhz_second r = Rational.to_float r *. 1_000_000.0
+
+let bound_respected row =
+  let at_least = function
+    | None -> true
+    | Some value -> Rational.compare value row.worst_case >= 0
+  in
+  at_least row.expected && at_least row.measured
+
+let margin_percent row =
+  match (row.expected, row.measured) with
+  | Some e, Some m when Rational.sign m > 0 ->
+      let e = Rational.to_float e and m = Rational.to_float m in
+      Some (Float.abs (e -. m) /. m *. 100.0)
+  | _ -> None
+
+let pp_throughput_table ppf rows =
+  Format.fprintf ppf "@[<v>%-12s %14s %14s %14s %8s@,"
+    "sequence" "worst-case" "expected" "measured" "margin";
+  Format.fprintf ppf "%s@,"
+    (String.make 66 '-');
+  List.iter
+    (fun row ->
+      let cell = function
+        | None -> "-"
+        | Some v -> Printf.sprintf "%.4f" (mcus_per_mhz_second v)
+      in
+      let margin =
+        match margin_percent row with
+        | None -> "-"
+        | Some m -> Printf.sprintf "%.2f%%" m
+      in
+      Format.fprintf ppf "%-12s %14.4f %14s %14s %8s%s@," row.row_label
+        (mcus_per_mhz_second row.worst_case)
+        (cell row.expected) (cell row.measured) margin
+        (if bound_respected row then "" else "  BOUND VIOLATED"))
+    rows;
+  Format.fprintf ppf "(MCUs per MHz per second)@]"
+
+let pp_effort_table ppf (times : Design_flow.step_times) =
+  let manual =
+    [
+      ("Parallelizing the MJPEG code", "< 3 days (paper, manual)");
+      ("Creating the SDF graph", "5 minutes (paper, manual)");
+      ("Gathering required actor metrics", "1 day (paper, manual)");
+      ("Creating application model", "1 hour (paper, manual)");
+    ]
+  in
+  Format.fprintf ppf "@[<v>%-38s %s@,%s@," "Step" "Time spent"
+    (String.make 66 '-');
+  List.iter
+    (fun (step, time) -> Format.fprintf ppf "%-38s %s@," step time)
+    manual;
+  let automated =
+    [
+      ("Generating architecture model", times.Design_flow.architecture_generation);
+      ("Mapping the design (SDF3)", times.Design_flow.mapping);
+      ("Generating platform project (MAMPS)", times.Design_flow.platform_generation);
+      ("Synthesis of the system", times.Design_flow.synthesis);
+    ]
+  in
+  List.iter
+    (fun (step, seconds) ->
+      Format.fprintf ppf "%-38s %.3f s (automated)@," step seconds)
+    automated;
+  Format.fprintf ppf "@]"

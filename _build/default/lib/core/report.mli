@@ -1,0 +1,32 @@
+(** Reporting helpers for the paper's evaluation artifacts.
+
+    Converts analysis and simulation outputs into the units and tables the
+    paper prints: Figure 6's throughput comparison (in MCUs per MHz per
+    second) and Table 1's designer-effort breakdown. *)
+
+type throughput_row = {
+  row_label : string;  (** sequence name *)
+  worst_case : Sdf.Rational.t;  (** the flow's guarantee *)
+  expected : Sdf.Rational.t option;  (** prediction with measured times *)
+  measured : Sdf.Rational.t option;  (** platform simulation *)
+}
+
+val mcus_per_mhz_second : Sdf.Rational.t -> float
+(** The paper's Figure 6 unit: with one iteration per MCU, an iteration
+    throughput of [r] MCUs/cycle is [r * 1e6] MCUs per second per MHz of
+    platform clock. *)
+
+val bound_respected : throughput_row -> bool
+(** Measured and expected throughput at or above the worst-case line —
+    the flow's guarantee. Rows without measurements pass vacuously. *)
+
+val margin_percent : throughput_row -> float option
+(** Relative gap between expected and measured ([|e-m| / m * 100]) — the
+    paper reports under 1% for the synthetic sequence. *)
+
+val pp_throughput_table : Format.formatter -> throughput_row list -> unit
+
+(** Table 1: manual steps are quoted from the paper, automated steps get
+    the times measured by this run of the flow. *)
+val pp_effort_table :
+  Format.formatter -> Design_flow.step_times -> unit

@@ -1,0 +1,225 @@
+module Application = Appmodel.Application
+module Flow_map = Mapping.Flow_map
+module Rational = Sdf.Rational
+
+let ( let* ) = Result.bind
+
+let five_tile_binding =
+  [ ("VLD", 0); ("IQZZ", 1); ("IDCT", 2); ("CC", 3); ("Raster", 4) ]
+
+let flow_options =
+  { Flow_map.default_options with fixed = five_tile_binding }
+
+let calibrated_mjpeg (seq : Mjpeg.Streams.sequence) =
+  Mjpeg.Mjpeg_app.calibrated_application ~stream:seq.seq_stream
+    ~calibration_stream:(Mjpeg.Streams.synthetic ()).Mjpeg.Streams.seq_stream
+    ()
+
+(* --- Figure 6 ----------------------------------------------------------- *)
+
+type figure6_row = {
+  sequence : string;
+  row : Core.Report.throughput_row;
+  iterations : int;
+}
+
+let throughput_opt = function
+  | Sdf.Throughput.Throughput { throughput; _ } -> Some throughput
+  | Sdf.Throughput.Deadlocked _ | Sdf.Throughput.No_recurrence -> None
+
+let figure6_row choice (seq : Mjpeg.Streams.sequence) ?(passes = 4) () =
+  let* app = calibrated_mjpeg seq in
+  let* flow = Core.Design_flow.run_auto app ~options:flow_options choice () in
+  let worst_case =
+    Option.value ~default:Rational.zero flow.Core.Design_flow.guarantee
+  in
+  let iterations = passes * Mjpeg.Streams.mcus seq in
+  let* measured = Core.Design_flow.measure flow ~iterations () in
+  (* the paper's "expected": the analysis fed with execution times measured
+     on this sequence's data *)
+  let* functional =
+    Appmodel.Functional.run app ~iterations:(Mjpeg.Streams.mcus seq) ()
+  in
+  let measured_time actor =
+    let observed = Appmodel.Functional.max_cycles functional actor in
+    if observed > 0 then observed
+    else
+      (Sdf.Graph.actor_of_name (Application.graph app) actor).execution_time
+  in
+  let* expected =
+    Core.Design_flow.expected_throughput flow ~measured_times:measured_time
+  in
+  Ok
+    {
+      sequence = seq.seq_name;
+      iterations;
+      row =
+        {
+          Core.Report.row_label = seq.seq_name;
+          worst_case;
+          expected = throughput_opt expected;
+          measured = Some (Sim.Platform_sim.steady_throughput measured);
+        };
+    }
+
+let figure6 choice ?passes () =
+  List.fold_left
+    (fun acc seq ->
+      let* rows = acc in
+      let* row = figure6_row choice seq ?passes () in
+      Ok (row :: rows))
+    (Ok []) (Mjpeg.Streams.all ())
+  |> Result.map List.rev
+
+(* --- Table 1 ------------------------------------------------------------- *)
+
+let table1 () =
+  let* app = calibrated_mjpeg (Mjpeg.Streams.synthetic ()) in
+  let* flow =
+    Core.Design_flow.run_auto app ~options:flow_options
+      (Arch.Template.Use_fsl Arch.Fsl.default)
+      ()
+  in
+  Ok flow.Core.Design_flow.times
+
+(* --- Section 6.3: communication assist ----------------------------------- *)
+
+type ca_study = {
+  baseline : Rational.t;
+  with_ca : Rational.t;
+  improvement_percent : int;
+}
+
+let guarantee_of flow =
+  Option.value ~default:Rational.zero flow.Core.Design_flow.guarantee
+
+let ca_study ?(pe_serialization_scale = 1) () =
+  let seq = Mjpeg.Streams.synthetic () in
+  let* app = calibrated_mjpeg seq in
+  let tile_count = List.length (Application.actor_names app) in
+  let slow_pe =
+    {
+      Arch.Component.microblaze with
+      Arch.Component.serialization_per_word =
+        Arch.Component.microblaze.Arch.Component.serialization_per_word
+        * pe_serialization_scale;
+      serialization_setup =
+        Arch.Component.microblaze.Arch.Component.serialization_setup
+        * pe_serialization_scale;
+    }
+  in
+  let run ~with_ca =
+    let* platform =
+      if with_ca then
+        Arch.Template.generate ~name:"mjpeg_ca_study" ~tile_count ~with_ca:true
+          (Arch.Template.Use_fsl Arch.Fsl.default)
+      else
+        Arch.Platform.make ~name:"mjpeg_ca_study"
+          ~tiles:
+            (List.init tile_count (fun i ->
+                 let base =
+                   if i = 0 then Arch.Tile.master (Printf.sprintf "tile%d" i)
+                   else Arch.Tile.slave (Printf.sprintf "tile%d" i)
+                 in
+                 { base with Arch.Tile.pe = Some slow_pe }))
+          (Arch.Platform.Point_to_point Arch.Fsl.default)
+    in
+    Core.Design_flow.run app platform ~options:flow_options ()
+  in
+  let* baseline_flow = run ~with_ca:false in
+  let* ca_flow = run ~with_ca:true in
+  let baseline = guarantee_of baseline_flow in
+  let with_ca = guarantee_of ca_flow in
+  let improvement_percent =
+    if Rational.sign baseline <= 0 then 0
+    else
+      int_of_float
+        ((Rational.to_float with_ca /. Rational.to_float baseline -. 1.0)
+        *. 100.0)
+  in
+  Ok { baseline; with_ca; improvement_percent }
+
+(* --- Section 5.3.1: NoC flow-control area --------------------------------- *)
+
+type noc_area = {
+  router_with_flow_control : Arch.Area.t;
+  router_without : Arch.Area.t;
+  overhead_percent : int;
+}
+
+let noc_area () =
+  let config = Arch.Noc.default_config in
+  let router_with_flow_control = Arch.Area.noc_router config in
+  let router_without =
+    Arch.Area.noc_router { config with Arch.Noc.flow_control = false }
+  in
+  {
+    router_with_flow_control;
+    router_without;
+    overhead_percent =
+      (router_with_flow_control.Arch.Area.slices
+      - router_without.Arch.Area.slices)
+      * 100
+      / router_without.Arch.Area.slices;
+  }
+
+(* --- Figure 4 -------------------------------------------------------------- *)
+
+type fig4_demo = {
+  original_throughput : Rational.t;
+  mapped_throughput : Rational.t;
+  expanded_actors : int;
+  expanded_channels : int;
+}
+
+let fig4_demo ?(token_bytes = 64)
+    ?(interconnect = Arch.Template.Use_fsl Arch.Fsl.default) () =
+  let impl name wcet =
+    Appmodel.Actor_impl.make ~name:(name ^ "_impl")
+      ~metrics:
+        (Appmodel.Metrics.make ~wcet ~instruction_memory:2048 ~data_memory:1024)
+      (fun _ -> [])
+  in
+  let* app =
+    Application.make ~name:"fig4"
+      ~actors:
+        [
+          { Application.a_name = "src"; a_implementations = [ impl "src" 60 ] };
+          { Application.a_name = "dst"; a_implementations = [ impl "dst" 60 ] };
+        ]
+      ~channels:
+        [
+          Application.channel ~name:"data" ~source:"src" ~production:1
+            ~target:"dst" ~consumption:1 ~token_bytes ();
+          (* bound the pipeline so the unmapped graph has a finite state
+             space, like a double buffer would *)
+          Application.channel ~name:"data__space" ~source:"dst" ~production:1
+            ~target:"src" ~consumption:1 ~initial_tokens:2 ~token_bytes:0 ();
+        ]
+      ()
+  in
+  let original =
+    Sdf.Throughput.analyse (Application.graph app)
+  in
+  let* platform =
+    Arch.Template.generate ~name:"fig4_platform" ~tile_count:2 interconnect
+  in
+  let* mapping =
+    Flow_map.run app platform
+      ~options:
+        { Flow_map.default_options with fixed = [ ("src", 0); ("dst", 1) ] }
+      ()
+  in
+  match (throughput_opt original, Flow_map.throughput mapping) with
+  | Some original_throughput, Some mapped_throughput ->
+      Ok
+        {
+          original_throughput;
+          mapped_throughput;
+          expanded_actors =
+            Sdf.Graph.actor_count mapping.Flow_map.expansion.Mapping.Comm_map.graph;
+          expanded_channels =
+            Sdf.Graph.channel_count
+              mapping.Flow_map.expansion.Mapping.Comm_map.graph;
+        }
+  | _ -> Error "figure-4 demo: throughput analysis did not converge"

@@ -1,0 +1,1 @@
+lib/mamps/c_gen.ml: Appmodel Arch Array Buffer List Mapping Option Printf Sdf Stdlib String

@@ -1,0 +1,1 @@
+lib/mamps/c_gen.mli: Mapping

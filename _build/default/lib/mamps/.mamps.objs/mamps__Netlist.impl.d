@@ -1,0 +1,1 @@
+lib/mamps/netlist.ml: Arch Buffer List Mapping Printf String

@@ -1,0 +1,1 @@
+lib/mamps/netlist.mli: Mapping

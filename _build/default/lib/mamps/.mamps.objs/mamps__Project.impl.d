@@ -1,0 +1,1 @@
+lib/mamps/project.ml: Appmodel Arch Buffer C_gen Filename Format Fun List Mapping Netlist Printf Sdf String Sys Tcl_gen Vhdl_gen

@@ -1,0 +1,1 @@
+lib/mamps/project.mli: Mapping

@@ -1,0 +1,1 @@
+lib/mamps/tcl_gen.ml: Arch Buffer List Mapping Netlist Printf

@@ -1,0 +1,1 @@
+lib/mamps/tcl_gen.mli: Mapping Netlist

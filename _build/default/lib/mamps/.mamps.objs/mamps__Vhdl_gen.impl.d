@@ -1,0 +1,1 @@
+lib/mamps/vhdl_gen.ml: Buffer List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/mamps/vhdl_gen.mli: Netlist

@@ -1,0 +1,27 @@
+(** Software platform generation (paper §5.2).
+
+    For every software tile MAMPS generates: wrapper code for each actor
+    (reading input tokens, calling the user's actor implementation
+    function, writing output tokens), the static-order schedule translated
+    into a C lookup table, and initialization code for the communication
+    channels. The generated sources link against a small runtime providing
+    local FIFOs and the FSL access loops — the template project of §5.2.
+
+    Actor functions follow the paper's convention (Listing 1): one
+    parameter per {e explicit} edge, inputs first, outputs after, all as
+    [int32_t*] word buffers. *)
+
+val runtime_header : string
+(** [mamps_rt.h]: local FIFO type, FSL access macros, scheduler loop
+    helpers. Identical for every tile. *)
+
+val actor_declarations : Mapping.Flow_map.t -> string
+(** [actors.h]: prototypes of every actor implementation function and of
+    the [*_init] functions producing initial tokens. *)
+
+val tile_main : Mapping.Flow_map.t -> tile:int -> string
+(** [tile<i>/main.c]: buffers, schedule table, wrapper functions, main
+    loop. @raise Invalid_argument for IP tiles (no software). *)
+
+val all_files : Mapping.Flow_map.t -> (string * string) list
+(** Every generated source as (relative path, contents). *)

@@ -1,0 +1,212 @@
+module Flow_map = Mapping.Flow_map
+module Comm_map = Mapping.Comm_map
+module Memory_dim = Mapping.Memory_dim
+module Platform = Arch.Platform
+module Tile = Arch.Tile
+module Noc = Arch.Noc
+module Component = Arch.Component
+
+type instance = {
+  inst_name : string;
+  component : string;
+  generics : (string * string) list;
+}
+
+type net = {
+  net_name : string;
+  driver : string * string;
+  sink : string * string;
+}
+
+type t = {
+  design_name : string;
+  instances : instance list;
+  nets : net list;
+}
+
+(* Memories are instantiated at the next power of two covering the
+   dimensioned usage, which is how block-RAM capacities come. *)
+let round_memory bytes =
+  let rec up size = if size >= bytes then size else up (2 * size) in
+  up 1024
+
+let of_mapping (m : Flow_map.t) =
+  let platform = m.Flow_map.platform in
+  let instances = ref [] and nets = ref [] in
+  let add_instance inst_name component generics =
+    instances := { inst_name; component; generics } :: !instances
+  in
+  let add_net net_name driver sink = nets := { net_name; driver; sink } :: !nets in
+  (* tiles *)
+  List.iteri
+    (fun i (tile : Tile.t) ->
+      let report =
+        List.find
+          (fun (r : Memory_dim.tile_report) -> r.tile_index = i)
+          m.Flow_map.memory.Memory_dim.tiles
+      in
+      let base = tile.tile_name in
+      (match tile.kind with
+      | Tile.Ip_block ip ->
+          add_instance (base ^ "_ip") ip []
+      | Tile.Master | Tile.Slave | Tile.With_ca _ ->
+          add_instance (base ^ "_pe") "microblaze"
+            [ ("C_FSL_LINKS", "8"); ("C_USE_BARREL", "1") ];
+          add_instance (base ^ "_imem") "bram_block"
+            [ ("C_MEMSIZE", string_of_int (round_memory report.imem_used)) ];
+          add_instance (base ^ "_dmem") "bram_block"
+            [ ("C_MEMSIZE", string_of_int (round_memory report.dmem_used)) ];
+          add_net (base ^ "_ilmb") (base ^ "_pe", "ILMB") (base ^ "_imem", "PORTA");
+          add_net (base ^ "_dlmb") (base ^ "_pe", "DLMB") (base ^ "_dmem", "PORTA"));
+      add_instance (base ^ "_ni") "network_interface"
+        [
+          ("C_WORD_BITS", string_of_int tile.ni.Component.ni_word_bits);
+          ("C_BUFFER_WORDS", string_of_int tile.ni.Component.ni_buffer_words);
+        ];
+      (match tile.kind with
+      | Tile.With_ca _ ->
+          add_instance (base ^ "_ca") "communication_assist" [];
+          add_net (base ^ "_ca_link") (base ^ "_pe", "CA") (base ^ "_ca", "PE");
+          add_net (base ^ "_ca_ni") (base ^ "_ca", "NI") (base ^ "_ni", "CORE")
+      | Tile.Ip_block _ ->
+          add_net (base ^ "_ip_ni") (base ^ "_ip", "NI") (base ^ "_ni", "CORE")
+      | Tile.Master | Tile.Slave ->
+          add_net (base ^ "_pe_ni") (base ^ "_pe", "FSL") (base ^ "_ni", "CORE"));
+      List.iter
+        (fun p ->
+          let pname = Component.peripheral_name p in
+          add_instance
+            (Printf.sprintf "%s_%s" base pname)
+            ("xps_" ^ pname) [];
+          add_net
+            (Printf.sprintf "%s_%s_bus" base pname)
+            (base ^ "_pe", "PLB")
+            (Printf.sprintf "%s_%s" base pname, "SPLB"))
+        tile.peripherals)
+    (Platform.tiles platform);
+  (* interconnect *)
+  (match platform.Platform.interconnect with
+  | Platform.Point_to_point fsl ->
+      List.iter
+        (fun ic ->
+          let name = "fsl_" ^ ic.Comm_map.ic_name in
+          add_instance name "fsl_v20"
+            [
+              ("C_FSL_DEPTH", string_of_int fsl.Arch.Fsl.fifo_depth);
+              ("C_FSL_DWIDTH", "32");
+            ];
+          let src = (Platform.tile platform ic.Comm_map.ic_src_tile).tile_name in
+          let dst = (Platform.tile platform ic.Comm_map.ic_dst_tile).tile_name in
+          add_net (name ^ "_m") (src ^ "_ni", "TX") (name, "S");
+          add_net (name ^ "_s") (name, "M") (dst ^ "_ni", "RX"))
+        m.Flow_map.expansion.Comm_map.inter_channels
+  | Platform.Sdm_noc config -> (
+      match m.Flow_map.noc_allocation with
+      | None -> ()
+      | Some alloc ->
+          let mesh = alloc.Noc.noc in
+          for r = 0 to Noc.router_count mesh - 1 do
+            add_instance
+              (Printf.sprintf "router%d" r)
+              "sdm_router"
+              [
+                ("C_LINK_WIRES", string_of_int config.Noc.link_wires);
+                ( "C_FLOW_CONTROL",
+                  if config.Noc.flow_control then "1" else "0" );
+              ]
+          done;
+          (* mesh links, both directions *)
+          for r = 0 to Noc.router_count mesh - 1 do
+            let row, col = Noc.coordinates mesh r in
+            if col + 1 < mesh.Noc.cols then begin
+              let right = r + 1 in
+              add_net
+                (Printf.sprintf "mesh_%d_%d" r right)
+                (Printf.sprintf "router%d" r, "EAST")
+                (Printf.sprintf "router%d" right, "WEST");
+              add_net
+                (Printf.sprintf "mesh_%d_%d" right r)
+                (Printf.sprintf "router%d" right, "WEST_OUT")
+                (Printf.sprintf "router%d" r, "EAST_IN")
+            end;
+            if row + 1 < mesh.Noc.rows then begin
+              let below = r + mesh.Noc.cols in
+              if below < Noc.router_count mesh then begin
+                add_net
+                  (Printf.sprintf "mesh_%d_%d" r below)
+                  (Printf.sprintf "router%d" r, "SOUTH")
+                  (Printf.sprintf "router%d" below, "NORTH");
+                add_net
+                  (Printf.sprintf "mesh_%d_%d" below r)
+                  (Printf.sprintf "router%d" below, "NORTH_OUT")
+                  (Printf.sprintf "router%d" r, "SOUTH_IN")
+              end
+            end
+          done;
+          List.iteri
+            (fun i (tile : Tile.t) ->
+              if i < Noc.router_count mesh then begin
+                add_net
+                  (Printf.sprintf "ni_router_%d" i)
+                  (tile.tile_name ^ "_ni", "TX")
+                  (Printf.sprintf "router%d" i, "LOCAL_IN");
+                add_net
+                  (Printf.sprintf "router_ni_%d" i)
+                  (Printf.sprintf "router%d" i, "LOCAL_OUT")
+                  (tile.tile_name ^ "_ni", "RX")
+              end)
+            (Platform.tiles platform)));
+  {
+    design_name = platform.Platform.platform_name;
+    instances = List.rev !instances;
+    nets = List.rev !nets;
+  }
+
+let instance t name =
+  List.find_opt (fun i -> i.inst_name = name) t.instances
+
+let instances_of t ~component =
+  List.filter (fun i -> i.component = component) t.instances
+
+let validate t =
+  let names = List.map (fun i -> i.inst_name) t.instances in
+  let dup =
+    List.find_opt
+      (fun n -> List.length (List.filter (( = ) n) names) > 1)
+      names
+  in
+  match dup with
+  | Some n -> Error (Printf.sprintf "duplicate instance %S" n)
+  | None ->
+      let missing =
+        List.find_opt
+          (fun net ->
+            (not (List.mem (fst net.driver) names))
+            || not (List.mem (fst net.sink) names))
+          t.nets
+      in
+      (match missing with
+      | Some net -> Error (Printf.sprintf "net %S has a dangling endpoint" net.net_name)
+      | None -> Ok ())
+
+let to_string t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "design %s\n" t.design_name);
+  List.iter
+    (fun i ->
+      Buffer.add_string b
+        (Printf.sprintf "instance %s : %s%s\n" i.inst_name i.component
+           (if i.generics = [] then ""
+            else
+              " ("
+              ^ String.concat ", "
+                  (List.map (fun (k, v) -> k ^ "=" ^ v) i.generics)
+              ^ ")")))
+    t.instances;
+  List.iter
+    (fun n ->
+      Buffer.add_string b
+        (Printf.sprintf "net %s: %s.%s -> %s.%s\n" n.net_name (fst n.driver)
+           (snd n.driver) (fst n.sink) (snd n.sink)))
+    t.nets;
+  Buffer.contents b

@@ -1,0 +1,38 @@
+(** Structural netlist of the generated platform (paper §5.2).
+
+    MAMPS instantiates template components and connects them as the
+    mapping requires. The netlist is the neutral structural form that the
+    VHDL and TCL generators render: component instances with generics,
+    and point-to-point nets between named ports. *)
+
+type instance = {
+  inst_name : string;
+  component : string;  (** template component: microblaze, bram, fsl, ... *)
+  generics : (string * string) list;
+}
+
+type net = {
+  net_name : string;
+  driver : string * string;  (** (instance, port) *)
+  sink : string * string;
+}
+
+type t = {
+  design_name : string;
+  instances : instance list;
+  nets : net list;
+}
+
+val of_mapping : Mapping.Flow_map.t -> t
+(** Instantiate one PE + local memories + NI per software tile (memory
+    sizes from the dimensioning report), the board peripherals of master
+    tiles, a CA where the tile has one, and the chosen interconnect: one
+    FSL per inter-tile channel, or the router mesh with one router per
+    tile and the programmed connections. *)
+
+val instance : t -> string -> instance option
+val instances_of : t -> component:string -> instance list
+val validate : t -> (unit, string) result
+(** Every net endpoint references an existing instance; names unique. *)
+
+val to_string : t -> string

@@ -1,0 +1,28 @@
+(** Output project assembly.
+
+    Gathers every artifact the platform-generation step produces — the
+    hardware netlist and VHDL, the per-tile C sources, the XPS project
+    script, and the flow's own input models for reference — into one
+    in-memory file tree that can be written to disk. This tree is what the
+    paper's "Generating Xilinx project (MAMPS) — 16 seconds" step emits. *)
+
+type t = {
+  project_name : string;
+  files : (string * string) list;  (** (relative path, contents) *)
+}
+
+val generate : Mapping.Flow_map.t -> t
+(** Assemble the full project:
+    - [application.xml], [architecture.xml]: the flow's common input format
+    - [mapping.xml]: the mapping artifact in the same format
+    - [mapping.txt]: human-readable binding, schedules, guarantee
+    - [hw/]: netlist dump and top-level VHDL
+    - [sw/]: runtime header, actor prototypes, one [main.c] per tile
+    - [system.tcl]: the XPS build script
+    - [README]: how the pieces fit together *)
+
+val find : t -> string -> string option
+val write_to : t -> dir:string -> unit
+(** Create directories as needed and write every file. *)
+
+val total_bytes : t -> int

@@ -1,0 +1,13 @@
+(** Xilinx Platform Studio project script (paper §5.2).
+
+    The flow completes the generated project through the XPS TCL
+    interface: "using the script interface ensures compatibility over many
+    different versions of XPS and greatly simplifies the generated code".
+    The script creates the project, instantiates every component, wires
+    the nets, registers the per-tile software, and runs synthesis through
+    to the FPGA bit file. *)
+
+val project_script : Mapping.Flow_map.t -> netlist:Netlist.t -> string
+(** The complete [system.tcl] text, targeting the ML605 (xc6vlx240t). *)
+
+val all_files : Mapping.Flow_map.t -> netlist:Netlist.t -> (string * string) list

@@ -1,0 +1,13 @@
+(** VHDL emission for the generated hardware (paper §5.2: "the VHDL code
+    and peripheral driver for the interconnect are generated").
+
+    Renders the structural netlist as a synthesizable-style top-level
+    architecture: component declarations for every template component in
+    use, one instantiation per instance with its generic map, and signals
+    for every net. Template component internals ship with the MAMPS
+    template project and are not re-generated. *)
+
+val top_level : Netlist.t -> string
+(** The complete [<design>_top.vhd] text. *)
+
+val all_files : Netlist.t -> (string * string) list

@@ -1,0 +1,1 @@
+lib/mapping/binding.ml: Appmodel Arch Array Cost Float Fun List Printf Result Sdf

@@ -1,0 +1,1 @@
+lib/mapping/binding.mli: Appmodel Arch Cost Sdf

@@ -1,0 +1,1 @@
+lib/mapping/comm_map.ml: Appmodel Arch List Option Printf Result Sdf Stdlib

@@ -1,0 +1,1 @@
+lib/mapping/comm_map.mli: Arch Sdf

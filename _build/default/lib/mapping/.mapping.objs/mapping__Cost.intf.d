@@ -1,0 +1,1 @@
+lib/mapping/cost.mli: Arch

@@ -1,0 +1,1 @@
+lib/mapping/flow_map.ml: Appmodel Arch Array Binding Comm_map Cost Format List Memory_dim Option Order Printf Result Sdf Stdlib Xmlkit

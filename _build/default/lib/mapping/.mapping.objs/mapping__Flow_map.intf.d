@@ -1,0 +1,1 @@
+lib/mapping/flow_map.mli: Appmodel Arch Binding Comm_map Cost Format Memory_dim Sdf Xmlkit

@@ -1,0 +1,1 @@
+lib/mapping/memory_dim.ml: Appmodel Arch Array Binding Format List Sdf String

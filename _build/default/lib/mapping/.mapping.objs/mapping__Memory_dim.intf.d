@@ -1,0 +1,1 @@
+lib/mapping/memory_dim.mli: Appmodel Arch Binding Format Sdf

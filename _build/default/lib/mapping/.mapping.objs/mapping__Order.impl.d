@@ -1,0 +1,1 @@
+lib/mapping/order.ml: Array Comm_map List Printf Sdf

@@ -1,0 +1,1 @@
+lib/mapping/order.mli: Comm_map Sdf

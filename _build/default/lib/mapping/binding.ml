@@ -1,0 +1,276 @@
+module Application = Appmodel.Application
+module Actor_impl = Appmodel.Actor_impl
+module Metrics = Appmodel.Metrics
+module Platform = Arch.Platform
+module Tile = Arch.Tile
+module Graph = Sdf.Graph
+
+type t = {
+  assignment : (string * int) list;
+}
+
+let tile_of t actor =
+  match List.assoc_opt actor t.assignment with
+  | Some tile -> tile
+  | None -> raise Not_found
+
+let actors_on t ~tile =
+  List.filter_map
+    (fun (a, ti) -> if ti = tile then Some a else None)
+    t.assignment
+
+(* The processor type an actor must have an implementation for when it runs
+   on the given tile: the PE type, or the IP name for hardware tiles. *)
+let tile_processor (tile : Tile.t) =
+  match tile.kind with
+  | Tile.Ip_block ip -> ip
+  | Tile.Master | Tile.Slave | Tile.With_ca _ -> (
+      match Tile.processor_type tile with Some pt -> pt | None -> "")
+
+let required_processor = tile_processor
+
+let implementation_opt app platform binding actor =
+  let tile = Platform.tile platform (tile_of binding actor) in
+  Application.implementation_for app ~actor
+    ~processor_type:(tile_processor tile)
+
+let implementation app platform binding actor =
+  match implementation_opt app platform binding actor with
+  | Some impl -> impl
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Binding.implementation: actor %S has no implementation for its \
+            tile"
+           actor)
+
+let distance platform a b =
+  if a = b then 0
+  else
+    match Platform.noc_mesh platform with
+    | None -> 1
+    | Some mesh -> Arch.Noc.hops mesh ~src:a ~dst:b
+
+let bytes_per_iteration g (c : Graph.channel) =
+  let q = Sdf.Repetition.vector_exn g in
+  c.production_rate * q.(c.source) * c.token_size
+
+(* Per-iteration PE cycles of an actor under a given implementation. *)
+let processing_load q g actor (impl : Actor_impl.t) =
+  match Graph.find_actor g actor with
+  | Some a -> q.(a.actor_id) * impl.metrics.Metrics.wcet
+  | None -> 0
+
+let total_cost app platform ?(weights = Cost.default_weights) binding =
+  let g = Application.graph app in
+  let q = Sdf.Repetition.vector_exn g in
+  let n_tiles = Platform.tile_count platform in
+  let loads = Array.make n_tiles Cost.empty_load in
+  let infeasible = ref false in
+  List.iter
+    (fun (actor, tile_idx) ->
+      match implementation_opt app platform binding actor with
+      | None -> infeasible := true
+      | Some impl ->
+          let l = loads.(tile_idx) in
+          loads.(tile_idx) <-
+            {
+              Cost.cycles = l.Cost.cycles + processing_load q g actor impl;
+              imem = l.imem + impl.metrics.Metrics.instruction_memory;
+              dmem = l.dmem + impl.metrics.Metrics.data_memory;
+            })
+    binding.assignment;
+  if !infeasible then infinity
+  else begin
+    let memory_term = ref 0.0 and fits = ref true in
+    Array.iteri
+      (fun i l ->
+        let tile = Platform.tile platform i in
+        if l.Cost.imem > tile.Tile.imem_capacity || l.Cost.dmem > tile.Tile.dmem_capacity
+        then fits := false
+        else
+          memory_term :=
+            !memory_term +. Cost.memory_cost l ~tile ~added_imem:0 ~added_dmem:0)
+      loads;
+    if not !fits then infinity
+    else begin
+      (* balance: the busiest tile bounds throughput *)
+      let processing_term =
+        Array.fold_left
+          (fun acc l -> Float.max acc (float_of_int l.Cost.cycles))
+          0.0 loads
+      in
+      let communication_term = ref 0.0 and latency_term = ref 0.0 in
+      List.iter
+        (fun (c : Graph.channel) ->
+          let src = tile_of binding (Graph.actor g c.source).actor_name in
+          let dst = tile_of binding (Graph.actor g c.target).actor_name in
+          let d = distance platform src dst in
+          if d > 0 then begin
+            communication_term :=
+              !communication_term
+              +. Cost.communication_cost
+                   ~bytes_per_iteration:(bytes_per_iteration g c) ~distance:d;
+            latency_term := !latency_term +. Cost.latency_cost ~distance:d
+          end)
+        (Graph.channels g);
+      Cost.combine weights ~processing:processing_term ~memory:!memory_term
+        ~communication:!communication_term ~latency:!latency_term
+    end
+  end
+
+let bind app platform ?(weights = Cost.default_weights) ?(fixed = [])
+    ?(refinement_rounds = 8) () =
+  let g = Application.graph app in
+  match Sdf.Repetition.compute g with
+  | Sdf.Repetition.Inconsistent _ | Sdf.Repetition.Disconnected_actor _ ->
+      Error "application graph is not consistent"
+  | Sdf.Repetition.Consistent q ->
+      let n_tiles = Platform.tile_count platform in
+      let feasible_tiles actor =
+        List.filter
+          (fun i ->
+            let tile = Platform.tile platform i in
+            Application.implementation_for app ~actor
+              ~processor_type:(tile_processor tile)
+            <> None)
+          (List.init n_tiles Fun.id)
+      in
+      (* heaviest actors first *)
+      let order =
+        Application.actor_names app
+        |> List.map (fun a ->
+               let impl = Application.default_implementation app a in
+               (a, processing_load q g a impl))
+        |> List.sort (fun (_, l1) (_, l2) -> compare l2 l1)
+        |> List.map fst
+      in
+      let unfixed =
+        List.filter (fun a -> not (List.mem_assoc a fixed)) order
+      in
+      let partial_cost trial =
+        (* Evaluate the full cost function on the actors bound so far by
+           restricting the graph's channels to bound endpoints. *)
+        let bound_names = List.map fst trial.assignment in
+        let has a = List.mem (Graph.actor g a).Graph.actor_name bound_names in
+        let comm = ref 0.0 and lat = ref 0.0 in
+        List.iter
+          (fun (c : Graph.channel) ->
+            if has c.source && has c.target then begin
+              let src = tile_of trial (Graph.actor g c.source).actor_name in
+              let dst = tile_of trial (Graph.actor g c.target).actor_name in
+              let d = distance platform src dst in
+              if d > 0 then begin
+                comm :=
+                  !comm
+                  +. Cost.communication_cost
+                       ~bytes_per_iteration:(bytes_per_iteration g c)
+                       ~distance:d;
+                lat := !lat +. Cost.latency_cost ~distance:d
+              end
+            end)
+          (Graph.channels g);
+        let loads = Array.make n_tiles Cost.empty_load in
+        let feasible = ref true in
+        List.iter
+          (fun (actor, tile_idx) ->
+            match
+              Application.implementation_for app ~actor
+                ~processor_type:
+                  (tile_processor (Platform.tile platform tile_idx))
+            with
+            | None -> feasible := false
+            | Some impl ->
+                let l = loads.(tile_idx) in
+                loads.(tile_idx) <-
+                  {
+                    Cost.cycles = l.Cost.cycles + processing_load q g actor impl;
+                    imem = l.imem + impl.metrics.Metrics.instruction_memory;
+                    dmem = l.dmem + impl.metrics.Metrics.data_memory;
+                  })
+          trial.assignment;
+        if not !feasible then infinity
+        else begin
+          let processing =
+            Array.fold_left
+              (fun acc l -> Float.max acc (float_of_int l.Cost.cycles))
+              0.0 loads
+          in
+          let memory = ref 0.0 in
+          Array.iteri
+            (fun i l ->
+              memory :=
+                !memory
+                +. Cost.memory_cost l
+                     ~tile:(Platform.tile platform i)
+                     ~added_imem:0 ~added_dmem:0)
+            loads;
+          Cost.combine weights ~processing ~memory:!memory
+            ~communication:!comm ~latency:!lat
+        end
+      in
+      (* Greedy placement: evaluate the cost of each candidate tile over the
+         partial binding (channels with an unbound endpoint contribute
+         nothing yet) and keep the cheapest. *)
+      let place assignment actor =
+        match assignment with
+        | Error _ -> assignment
+        | Ok bound -> (
+            let candidates = feasible_tiles actor in
+            if candidates = [] then
+              Error
+                (Printf.sprintf "actor %S has no feasible tile on platform %S"
+                   actor platform.Platform.platform_name)
+            else begin
+              let best =
+                List.fold_left
+                  (fun acc tile_idx ->
+                    let trial = { assignment = (actor, tile_idx) :: bound } in
+                    let cost = partial_cost trial in
+                    match acc with
+                    | None -> Some (tile_idx, cost)
+                    | Some (_, c) when cost < c -> Some (tile_idx, cost)
+                    | Some _ -> acc)
+                  None candidates
+              in
+              match best with
+              | Some (tile_idx, _) -> Ok ((actor, tile_idx) :: bound)
+              | None -> assert false
+            end)
+      in
+      let initial = List.fold_left place (Ok fixed) unfixed in
+      Result.map
+        (fun assignment ->
+          (* hill climbing: move one actor at a time while it helps *)
+          let current = ref { assignment } in
+          let current_cost = ref (total_cost app platform ~weights !current) in
+          let improved = ref true in
+          let rounds = ref 0 in
+          while !improved && !rounds < refinement_rounds do
+            improved := false;
+            incr rounds;
+            List.iter
+              (fun (actor, _) ->
+                if not (List.mem_assoc actor fixed) then
+                  List.iter
+                    (fun tile_idx ->
+                      let moved =
+                        {
+                          assignment =
+                            List.map
+                              (fun (a, ti) ->
+                                if a = actor then (a, tile_idx) else (a, ti))
+                              !current.assignment;
+                        }
+                      in
+                      let cost = total_cost app platform ~weights moved in
+                      if cost < !current_cost then begin
+                        current := moved;
+                        current_cost := cost;
+                        improved := true
+                      end)
+                    (feasible_tiles actor))
+              !current.assignment
+          done;
+          !current)
+        initial

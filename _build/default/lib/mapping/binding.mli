@@ -1,0 +1,55 @@
+(** Actor-to-tile binding.
+
+    A greedy list binder followed by single-move hill climbing, steered by
+    the four generic cost terms of {!Cost}. Actors are placed in order of
+    decreasing processing load (WCET times repetition count); each goes to
+    the feasible tile with the lowest weighted cost. A tile is feasible
+    when it offers a processing element the actor has an implementation
+    for and the implementation's own memory footprint fits.
+
+    Actors that touch peripherals can be pinned to the master tile with
+    [fixed] — the platform template gives only the master tile I/O. *)
+
+type t = {
+  assignment : (string * int) list;  (** actor name -> tile index *)
+}
+
+val tile_of : t -> string -> int
+(** @raise Not_found for unbound actors. *)
+
+val required_processor : Arch.Tile.t -> string
+(** The processor type an implementation must declare to run on this tile:
+    the PE type for software tiles, the IP name for hardware tiles. *)
+
+val actors_on : t -> tile:int -> string list
+
+val implementation :
+  Appmodel.Application.t -> Arch.Platform.t -> t -> string ->
+  Appmodel.Actor_impl.t
+(** The implementation the binding selects for an actor: the one matching
+    its tile's processor type (or IP name).
+    @raise Invalid_argument when the binding is infeasible for the actor. *)
+
+val distance : Arch.Platform.t -> int -> int -> int
+(** Inter-tile distance: 0 on the same tile, 1 over FSL point-to-point,
+    mesh hop count over the NoC. *)
+
+val bytes_per_iteration : Sdf.Graph.t -> Sdf.Graph.channel -> int
+(** Token traffic of one channel during one graph iteration. *)
+
+val total_cost :
+  Appmodel.Application.t -> Arch.Platform.t -> ?weights:Cost.weights -> t ->
+  float
+(** Global weighted cost of a complete binding; [infinity] when some actor
+    does not fit its tile. *)
+
+val bind :
+  Appmodel.Application.t ->
+  Arch.Platform.t ->
+  ?weights:Cost.weights ->
+  ?fixed:(string * int) list ->
+  ?refinement_rounds:int ->
+  unit ->
+  (t, string) result
+(** Compute a binding for every actor. Fails when some actor has no
+    feasible tile. [refinement_rounds] (default 8) bounds hill climbing. *)

@@ -1,0 +1,284 @@
+module Graph = Sdf.Graph
+module Platform = Arch.Platform
+module Tile = Arch.Tile
+module Noc = Arch.Noc
+module Fsl = Arch.Fsl
+module Component = Arch.Component
+module Token = Appmodel.Token
+
+type channel_params = {
+  setup_time : int;
+  ser_per_word : int;
+  deser_per_word : int;
+  ser_on_pe : bool;
+  deser_on_pe : bool;
+  rate_cycles_per_word : int;
+  latency_cycles : int;
+  in_flight_words : int;
+  network_buffer_words : int;
+  src_buffer_tokens : int;
+  dst_buffer_tokens : int;
+}
+
+(* (setup, per-word, runs-on-PE) of a token transfer on a tile: master and
+   slave tiles run the copy loop on the PE, a CA tile offloads it, an IP
+   tile streams at one word per cycle. *)
+let transfer_cost (tile : Tile.t) =
+  match tile.kind with
+  | Tile.Master | Tile.Slave ->
+      let pe =
+        match tile.pe with Some pe -> pe | None -> Component.microblaze
+      in
+      (pe.Component.serialization_setup, pe.Component.serialization_per_word, true)
+  | Tile.With_ca ca -> (ca.Component.ca_setup, ca.Component.ca_per_word, false)
+  | Tile.Ip_block _ -> (0, 1, false)
+
+let params_for ~platform ~noc ~src_tile ~dst_tile ~(channel : Graph.channel) =
+  let words = Stdlib.max 1 (Token.words_for_bytes channel.token_size) in
+  let src = Platform.tile platform src_tile in
+  let dst = Platform.tile platform dst_tile in
+  let ser_setup, ser_per_word, ser_on_pe = transfer_cost src in
+  let deser_setup, deser_word, deser_on_pe = transfer_cost dst in
+  let deser_per_word = deser_word + ((deser_setup + words - 1) / words) in
+  let finish ~rate ~latency ~in_flight ~network =
+    Ok
+      {
+        setup_time = ser_setup;
+        ser_per_word;
+        deser_per_word;
+        ser_on_pe;
+        deser_on_pe;
+        rate_cycles_per_word = rate;
+        latency_cycles = latency;
+        in_flight_words = Stdlib.max 1 in_flight;
+        network_buffer_words = Stdlib.max 1 network;
+        src_buffer_tokens = 2 * channel.production_rate;
+        dst_buffer_tokens =
+          (2 * channel.consumption_rate) + channel.initial_tokens;
+      }
+  in
+  match platform.Platform.interconnect with
+  | Platform.Point_to_point fsl ->
+      finish
+        ~rate:(Fsl.cycles_per_word fsl)
+        ~latency:fsl.Fsl.latency ~in_flight:fsl.Fsl.latency
+        ~network:fsl.Fsl.fifo_depth
+  | Platform.Sdm_noc _ -> (
+      match noc with
+      | None -> Error "NoC platform needs a wire allocation before mapping"
+      | Some alloc -> (
+          match
+            List.find_opt
+              (fun (c : Noc.connection) ->
+                c.conn_src = src_tile && c.conn_dst = dst_tile)
+              alloc.Noc.connections
+          with
+          | None ->
+              Error
+                (Printf.sprintf
+                   "no NoC connection allocated for tiles %d -> %d" src_tile
+                   dst_tile)
+          | Some conn ->
+              finish
+                ~rate:(Noc.cycles_per_word conn)
+                ~latency:(Noc.connection_latency alloc.Noc.noc conn)
+                ~in_flight:(List.length conn.Noc.conn_route + 1)
+                ~network:dst.Tile.ni.Component.ni_buffer_words))
+
+type placement =
+  | On_tile of int
+  | On_ca of int
+  | On_interconnect
+
+type inter_channel = {
+  ic_name : string;
+  ic_src_tile : int;
+  ic_dst_tile : int;
+  ic_words : int;
+  ic_params : channel_params;
+  ic_s0 : Graph.actor_id;
+  ic_s1 : Graph.actor_id;
+  ic_s3 : Graph.actor_id;
+  ic_c1 : Graph.actor_id;
+  ic_c2 : Graph.actor_id;
+  ic_d1 : Graph.actor_id;
+  ic_d2 : Graph.actor_id;
+  ic_d3 : Graph.actor_id;
+}
+
+type expansion = {
+  graph : Graph.t;
+  placements : (Graph.actor_id * placement) list;
+  original_actor : (string * Graph.actor_id) list;
+  inter_channels : inter_channel list;
+  intra_capacities : (string * int) list;
+}
+
+let default_intra_capacity (c : Graph.channel) = 2 * Sdf.Buffers.lower_bound c
+
+let expand ~graph ~binding ~platform ?noc ?intra_tile_capacity
+    ?(params_override = fun _ p -> p) () =
+  let intra_tile_capacity =
+    Option.value ~default:default_intra_capacity intra_tile_capacity
+  in
+  let ( let* ) = Result.bind in
+  let g = ref (Graph.empty (Graph.name graph ^ "_mapped")) in
+  let placements = ref [] in
+  let original_actor = ref [] in
+  let inter_channels = ref [] in
+  let intra_capacities = ref [] in
+  List.iter
+    (fun (a : Graph.actor) ->
+      let graph', id =
+        Graph.add_actor !g ~name:a.actor_name ~execution_time:a.execution_time
+      in
+      g := graph';
+      placements := (id, On_tile (binding a.actor_name)) :: !placements;
+      original_actor := (a.actor_name, id) :: !original_actor)
+    (Graph.actors graph);
+  let actor_id name = List.assoc name !original_actor in
+  let add_actor name time placement =
+    let graph', id = Graph.add_actor !g ~name ~execution_time:time in
+    g := graph';
+    placements := (id, placement) :: !placements;
+    id
+  in
+  let add_channel ?(size = 0) ?(init = 0) name src prod dst cons =
+    let graph', id =
+      Graph.add_channel !g ~name ~source:src ~production_rate:prod ~target:dst
+        ~consumption_rate:cons ~initial_tokens:init ~token_size:size ()
+    in
+    g := graph';
+    id
+  in
+  let expand_channel (c : Graph.channel) =
+    let src_name = (Graph.actor graph c.source).actor_name in
+    let dst_name = (Graph.actor graph c.target).actor_name in
+    let src_tile = binding src_name and dst_tile = binding dst_name in
+    let a = actor_id src_name and b = actor_id dst_name in
+    if src_tile = dst_tile then begin
+      (* intra-tile: a direct memory channel plus its capacity edge *)
+      ignore
+        (add_channel ~size:c.token_size ~init:c.initial_tokens c.channel_name
+           a c.production_rate b c.consumption_rate);
+      if not (Graph.is_self_loop c) then begin
+        let capacity =
+          Stdlib.max (Sdf.Buffers.lower_bound c) (intra_tile_capacity c)
+        in
+        intra_capacities := (c.channel_name, capacity) :: !intra_capacities;
+        ignore
+          (add_channel
+             (c.channel_name ^ "__space")
+             b c.consumption_rate a c.production_rate
+             ~init:(capacity - c.initial_tokens))
+      end;
+      Ok ()
+    end
+    else begin
+      let* params = params_for ~platform ~noc ~src_tile ~dst_tile ~channel:c in
+      let params = params_override c params in
+      let words = Stdlib.max 1 (Token.words_for_bytes c.token_size) in
+      let n = c.channel_name in
+      let p = c.production_rate and q = c.consumption_rate in
+      let src_side placement = if params.ser_on_pe then On_tile placement else On_ca placement in
+      let dst_side placement = if params.deser_on_pe then On_tile placement else On_ca placement in
+      let s0 = add_actor (n ^ "_s0") params.setup_time (src_side src_tile) in
+      let s1 = add_actor (n ^ "_s1") params.ser_per_word (src_side src_tile) in
+      let s3 = add_actor (n ^ "_s3") 0 On_interconnect in
+      let c1 =
+        add_actor (n ^ "_c1") params.rate_cycles_per_word On_interconnect
+      in
+      let c2 = add_actor (n ^ "_c2") params.latency_cycles On_interconnect in
+      let d1 = add_actor (n ^ "_d1") params.deser_per_word (dst_side dst_tile) in
+      let d2 = add_actor (n ^ "_d2") 0 On_interconnect in
+      let d3 = add_actor (n ^ "_d3") 0 On_interconnect in
+      (* Initial tokens are shipped during MAMPS's initialization phase, so
+         at schedule start they sit in the receiving FIFO as words awaiting
+         deserialization: the eject edge carries them, the credit pool and
+         the destination buffer account for the space they occupy. *)
+      let init_words = c.initial_tokens * words in
+      let dst_tokens =
+        Stdlib.max (1 + c.initial_tokens) params.dst_buffer_tokens
+      in
+      (* In MAMPS the receive buffer is the link FIFO itself: its depth
+         comes from SDF3's buffer distribution, so the credit pool must
+         cover the full destination buffer or the buffer could never fill. *)
+      let credits =
+        Stdlib.max params.network_buffer_words (dst_tokens * words)
+      in
+      let params = { params with network_buffer_words = credits } in
+      ignore (add_channel ~size:c.token_size n a p s0 1);
+      ignore (add_channel ~size:4 (n ^ "_jobs") s0 words s1 1);
+      ignore (add_channel ~size:4 (n ^ "_inject") s1 1 c1 1);
+      ignore (add_channel ~size:4 (n ^ "_link") c1 1 c2 1);
+      ignore (add_channel ~size:4 ~init:init_words (n ^ "_eject") c2 1 d1 1);
+      ignore (add_channel ~size:4 (n ^ "_collect") d1 1 d2 words);
+      ignore (add_channel ~size:c.token_size (n ^ "_deliver") d2 1 b q);
+      (* source token buffer αsrc: released once all N words of a token
+         have left the serializer *)
+      ignore (add_channel ~size:4 (n ^ "_sent") s1 1 s3 words);
+      ignore
+        (add_channel
+           ~init:(Stdlib.max c.production_rate params.src_buffer_tokens)
+           (n ^ "_src_space") s3 1 a p);
+      (* link credits αn: a full link blocks the serializer (FSL write);
+         the pre-shipped words already hold part of the pool *)
+      ignore
+        (add_channel ~init:(credits - init_words) (n ^ "_credits") d1 1 s1 1);
+      (* in-flight pipelining bound w *)
+      ignore
+        (add_channel ~init:params.in_flight_words (n ^ "_in_flight") c2 1 c1 1);
+      (* destination buffer αdst, granted to d1 in words *)
+      ignore
+        (add_channel
+           ~init:((dst_tokens - c.initial_tokens) * words)
+           (n ^ "_dst_space") d3 words d1 1);
+      ignore (add_channel (n ^ "_freed") b q d3 1);
+      (* one word at a time through each serializer and link cell *)
+      let self name actor =
+        ignore (add_channel ~init:1 (name ^ "__unit") actor 1 actor 1)
+      in
+      self (n ^ "_s1") s1;
+      self (n ^ "_c1") c1;
+      self (n ^ "_d1") d1;
+      inter_channels :=
+        {
+          ic_name = n;
+          ic_src_tile = src_tile;
+          ic_dst_tile = dst_tile;
+          ic_words = words;
+          ic_params = params;
+          ic_s0 = s0;
+          ic_s1 = s1;
+          ic_s3 = s3;
+          ic_c1 = c1;
+          ic_c2 = c2;
+          ic_d1 = d1;
+          ic_d2 = d2;
+          ic_d3 = d3;
+        }
+        :: !inter_channels;
+      Ok ()
+    end
+  in
+  let rec all = function
+    | [] -> Ok ()
+    | c :: rest ->
+        let* () = expand_channel c in
+        all rest
+  in
+  let* () = all (Graph.channels graph) in
+  Ok
+    {
+      graph = !g;
+      placements = List.rev !placements;
+      original_actor = List.rev !original_actor;
+      inter_channels = List.rev !inter_channels;
+      intra_capacities = List.rev !intra_capacities;
+    }
+
+let placement_of expansion id =
+  match List.assoc_opt id expansion.placements with
+  | Some p -> p
+  | None ->
+      invalid_arg (Printf.sprintf "Comm_map.placement_of: unknown actor %d" id)

@@ -1,0 +1,120 @@
+(** Channel-to-interconnect mapping: the parameterized communication model
+    of Figure 4.
+
+    Every application channel whose endpoints land on different tiles is
+    replaced by the paper's communication construct. With [a] the
+    producer, [b] the consumer, [p]/[q] the original rates, [Z] the token
+    size and [N = ceil(Z/4)] the 32-bit words per token, the expansion
+    builds (execution times in brackets):
+
+    {v
+      a -p/1-> s0[setup] -N/1-> s1[per-word] -1/1-> c1[rate] -1/1-> c2[lat]
+      ^        |                ^  ^                ^  |            |
+      |        v                |  |                +--+------------+  w
+      s3 <-N/1-+ (src space     |  +-- αn credits (d1 -> s1)        |
+      (αsrc)     after N words) |                                   v
+      b -q/1-> d3 -N/1-> d1[per-word] <-----------------------------+
+                  (αdst·N        |
+                   word space)   v
+                         d2 -1/q-> b   (original initial tokens here)
+    v}
+
+    - [s0] models the transfer setup and hands the token to the network
+      interface as [N] word jobs; [s1] pushes one word per firing and
+      needs a {e credit} — credits start at [αn] (the FSL FIFO depth or
+      the NoC/NI buffering) and return when [d1] drains a word, so a full
+      link blocks the serializer exactly like a blocking FSL write.
+    - On master and slave tiles [s0], [s1] and [d1] are {e bound to the
+      tile's processor} and appear in its static-order schedule (the PE
+      runs the copy loops, paper §4.1); on CA tiles they run on the
+      communication assist concurrently with the PE (§6.3).
+    - [c1] (rate) and [c2] (latency) form the latency-rate model of the
+      connection; [w] initial tokens on [c2 -> c1] bound the words
+      simultaneously in flight.
+    - [s3], [d2], [d3] have execution time 0 — bookkeeping actors for the
+      source token buffer [αsrc], token assembly, and the destination
+      buffer [αdst] (granted to [d1] in words so a token is only pulled
+      off the network when it can be stored).
+    - [s1], [c1] and [d1] carry one-token self-loops: a serializer or a
+      link cell handles one word at a time.
+
+    Intra-tile channels stay direct memory channels and only gain a
+    capacity (space) edge. Original initial tokens of an inter-tile
+    channel materialize on the destination side ([d2 -> b]), matching a
+    platform that preloads receive buffers. *)
+
+type channel_params = {
+  setup_time : int;  (** s0: transfer setup, cycles per token *)
+  ser_per_word : int;  (** s1 execution time *)
+  deser_per_word : int;  (** d1 execution time (incl. spread-out setup) *)
+  ser_on_pe : bool;  (** s0/s1 occupy the source tile's PE (no CA there) *)
+  deser_on_pe : bool;  (** d1 occupies the destination tile's PE *)
+  rate_cycles_per_word : int;  (** c1: link inverse bandwidth *)
+  latency_cycles : int;  (** c2: connection latency *)
+  in_flight_words : int;  (** w *)
+  network_buffer_words : int;  (** αn *)
+  src_buffer_tokens : int;  (** αsrc *)
+  dst_buffer_tokens : int;  (** αdst *)
+}
+
+val params_for :
+  platform:Arch.Platform.t ->
+  noc:Arch.Noc.allocation option ->
+  src_tile:int ->
+  dst_tile:int ->
+  channel:Sdf.Graph.channel ->
+  (channel_params, string) result
+(** Derive the model parameters for one channel from the platform: FSL
+    links use the FIFO depth for [αn] and the link latency for [w]; NoC
+    connections use the allocated wires for the rate, the XY route for the
+    latency and the receiving NI buffer for [αn]. Buffer defaults are
+    double buffers: [αsrc = 2p], [αdst = 2q + initial tokens]. *)
+
+(** Where an actor of the expanded graph executes. *)
+type placement =
+  | On_tile of int  (** occupies that tile's processor: scheduled *)
+  | On_ca of int  (** on a tile's communication assist: self-timed *)
+  | On_interconnect  (** link and bookkeeping actors: self-timed *)
+
+(** The expanded form of one inter-tile channel. *)
+type inter_channel = {
+  ic_name : string;  (** original channel name *)
+  ic_src_tile : int;
+  ic_dst_tile : int;
+  ic_words : int;  (** N *)
+  ic_params : channel_params;
+  ic_s0 : Sdf.Graph.actor_id;
+  ic_s1 : Sdf.Graph.actor_id;
+  ic_s3 : Sdf.Graph.actor_id;
+  ic_c1 : Sdf.Graph.actor_id;
+  ic_c2 : Sdf.Graph.actor_id;
+  ic_d1 : Sdf.Graph.actor_id;
+  ic_d2 : Sdf.Graph.actor_id;
+  ic_d3 : Sdf.Graph.actor_id;
+}
+
+type expansion = {
+  graph : Sdf.Graph.t;  (** the platform-aware graph *)
+  placements : (Sdf.Graph.actor_id * placement) list;
+  original_actor : (string * Sdf.Graph.actor_id) list;
+      (** application actor name -> id in the expanded graph *)
+  inter_channels : inter_channel list;
+  intra_capacities : (string * int) list;
+      (** intra-tile channel name -> capacity in tokens *)
+}
+
+val expand :
+  graph:Sdf.Graph.t ->
+  binding:(string -> int) ->
+  platform:Arch.Platform.t ->
+  ?noc:Arch.Noc.allocation ->
+  ?intra_tile_capacity:(Sdf.Graph.channel -> int) ->
+  ?params_override:(Sdf.Graph.channel -> channel_params -> channel_params) ->
+  unit ->
+  (expansion, string) result
+(** Build the platform-aware graph from the (re-timed) application graph.
+    [intra_tile_capacity] defaults to twice the structural lower bound.
+    [params_override] lets experiments patch the derived parameters (the
+    §6.3 CA study swaps serialization costs this way). *)
+
+val placement_of : expansion -> Sdf.Graph.actor_id -> placement

@@ -1,0 +1,43 @@
+type weights = {
+  processing : float;
+  memory : float;
+  communication : float;
+  latency : float;
+}
+
+let default_weights =
+  { processing = 1.0; memory = 1.0; communication = 2.0; latency = 1.0 }
+
+type tile_load = {
+  cycles : int;
+  imem : int;
+  dmem : int;
+}
+
+let empty_load = { cycles = 0; imem = 0; dmem = 0 }
+
+let processing_cost load ~added_cycles = float_of_int (load.cycles + added_cycles)
+
+let memory_cost load ~(tile : Arch.Tile.t) ~added_imem ~added_dmem =
+  let need_imem = load.imem + added_imem and need_dmem = load.dmem + added_dmem in
+  if need_imem > tile.imem_capacity || need_dmem > tile.dmem_capacity then
+    infinity
+  else
+    let fraction used capacity =
+      if capacity = 0 then if used = 0 then 0.0 else infinity
+      else float_of_int used /. float_of_int capacity
+    in
+    Float.max
+      (fraction need_imem tile.imem_capacity)
+      (fraction need_dmem tile.dmem_capacity)
+
+let communication_cost ~bytes_per_iteration ~distance =
+  float_of_int bytes_per_iteration *. float_of_int distance
+
+let latency_cost ~distance = float_of_int distance
+
+let combine w ~processing ~memory ~communication ~latency =
+  (w.processing *. processing)
+  +. (w.memory *. memory)
+  +. (w.communication *. communication)
+  +. (w.latency *. latency)

@@ -1,0 +1,46 @@
+(** Generic cost functions steering the binding (paper §5.1).
+
+    SDF3 binds the application to the architecture guided by four cost
+    terms — processing, memory usage, communication and latency. Each term
+    is normalized to a dimensionless number so the weighted sum is
+    meaningful across platforms; the binder minimizes the sum. *)
+
+type weights = {
+  processing : float;
+  memory : float;
+  communication : float;
+  latency : float;
+}
+
+val default_weights : weights
+(** 1.0 each except communication at 2.0: inter-tile traffic dominates the
+    throughput loss on this platform, so it is penalized hardest. *)
+
+type tile_load = {
+  cycles : int;  (** PE cycles per graph iteration already committed *)
+  imem : int;  (** instruction bytes committed *)
+  dmem : int;  (** data bytes committed *)
+}
+
+val empty_load : tile_load
+
+val processing_cost : tile_load -> added_cycles:int -> float
+(** Load after the addition, in cycles — encourages balance. *)
+
+val memory_cost :
+  tile_load -> tile:Arch.Tile.t -> added_imem:int -> added_dmem:int -> float
+(** Fraction of the tile's memory in use after the addition; infinite when
+    the addition does not fit, which makes the tile infeasible. *)
+
+val communication_cost : bytes_per_iteration:int -> distance:int -> float
+(** Traffic volume times distance (hops; 1 for FSL). *)
+
+val latency_cost : distance:int -> float
+
+val combine :
+  weights ->
+  processing:float ->
+  memory:float ->
+  communication:float ->
+  latency:float ->
+  float

@@ -1,0 +1,93 @@
+(** The complete mapping step (paper §5.1): SDF3's role in the flow.
+
+    [run] binds the application to the platform, allocates NoC wires,
+    inserts the Figure-4 communication model for every inter-tile channel,
+    sizes the buffers, builds the per-tile static-order schedules, and
+    predicts the worst-case throughput of the mapped system. The result is
+    the flow's mapping artifact: everything MAMPS needs to generate the
+    platform, plus the throughput guarantee.
+
+    When the application carries a throughput constraint and the first
+    prediction misses it, buffer capacities (αsrc, αdst and intra-tile
+    channel capacities) are doubled and the mapping re-analysed, up to
+    [buffer_growth_rounds] times — network parameters (w, αn) are hardware
+    properties and stay fixed. *)
+
+type options = {
+  weights : Cost.weights;
+  fixed : (string * int) list;  (** pre-pinned actors (I/O on the master) *)
+  wires_per_connection : int;  (** NoC wires requested per connection *)
+  buffer_growth_rounds : int;
+  throughput_max_steps : int;  (** state-space budget for the analysis *)
+}
+
+val default_options : options
+
+type t = {
+  application : Appmodel.Application.t;
+  platform : Arch.Platform.t;
+  binding : Binding.t;
+  timed_graph : Sdf.Graph.t;
+      (** application graph re-timed with the bound implementations *)
+  expansion : Comm_map.expansion;  (** the platform-aware graph *)
+  actor_orders : Sdf.Execution.resource_binding list;
+      (** application-actor static order per tile, over [timed_graph] ids —
+          what MAMPS translates into the C scheduler table *)
+  schedules : Sdf.Execution.resource_binding list;
+      (** full PE order (communication work included) per tile, over the
+          expanded graph's ids, named ["tile<i>"] *)
+  exec_options : Sdf.Execution.options;
+      (** ready-to-use analysis options: schedules as resources, structural
+          concurrency bounds only *)
+  predicted : Sdf.Throughput.result;
+  noc_allocation : Arch.Noc.allocation option;
+  memory : Memory_dim.report;
+  buffer_scale : int;  (** growth factor finally applied (1, 2, 4, ...) *)
+  meets_constraint : bool option;
+      (** [None] when the application has no throughput constraint *)
+}
+
+val resource_name : int -> string
+(** ["tile<i>"]: the resource name used in schedules for tile [i]. *)
+
+val run :
+  Appmodel.Application.t ->
+  Arch.Platform.t ->
+  ?options:options ->
+  unit ->
+  (t, string) result
+(** Errors: infeasible binding, NoC oversubscription even at one wire per
+    connection, inconsistent graphs, tile memory overflow. A mapping whose
+    prediction misses the constraint is returned (with
+    [meets_constraint = Some false]) rather than failed, so callers can
+    inspect the best achievable mapping. *)
+
+val throughput : t -> Sdf.Rational.t option
+(** Predicted worst-case iteration throughput; [None] when the analysis
+    deadlocked or did not converge. *)
+
+val first_iteration_latency : t -> int option
+(** Worst-case pipeline fill: cycles from reset until the first complete
+    graph iteration (the first MCU out, for the case study) on the mapped
+    platform model. [None] if the model cannot complete an iteration. *)
+
+val reanalyse :
+  t -> times:(string -> int) -> ?max_steps:int -> unit ->
+  (Sdf.Throughput.result, string) result
+(** Re-run the throughput analysis of an existing mapping with different
+    application-actor execution times (by actor name) — binding, buffer
+    sizes, schedules and communication parameters unchanged. This computes
+    the paper's "expected" throughput: the SDF3 prediction fed with
+    measured instead of worst-case times (§6.1). *)
+
+val pp_summary : Format.formatter -> t -> unit
+
+val to_xml : t -> Xmlkit.Xml.t
+(** The mapping artifact in the flow's common format — the machine-readable
+    interchange whose absence in earlier flows forced "the user to manually
+    translate the output format of the mapping tool into the interchange
+    format of the platform generation tool" (paper §2): binding, per-tile
+    static orders, buffer capacities, inter-tile connections, and the
+    throughput guarantee. *)
+
+val to_string : t -> string

@@ -1,0 +1,108 @@
+module Application = Appmodel.Application
+module Metrics = Appmodel.Metrics
+module Actor_impl = Appmodel.Actor_impl
+module Platform = Arch.Platform
+module Tile = Arch.Tile
+module Graph = Sdf.Graph
+
+let runtime_imem_bytes = 16 * 1024
+let runtime_dmem_bytes = 8 * 1024
+
+type buffer_assignment =
+  | Intra of int
+  | Inter of int * int
+
+type tile_report = {
+  tile_index : int;
+  tile_name : string;
+  actors : string list;
+  imem_used : int;
+  imem_capacity : int;
+  dmem_used : int;
+  dmem_capacity : int;
+  buffer_bytes : int;
+  fits : bool;
+}
+
+type report = {
+  tiles : tile_report list;
+  fits : bool;
+}
+
+let dimension app platform binding ~buffers =
+  let g = Application.graph app in
+  let n_tiles = Platform.tile_count platform in
+  let buffer_bytes = Array.make n_tiles 0 in
+  List.iter
+    (fun (c : Graph.channel) ->
+      let src = Binding.tile_of binding (Graph.actor g c.source).actor_name in
+      let dst = Binding.tile_of binding (Graph.actor g c.target).actor_name in
+      match buffers c with
+      | Intra capacity ->
+          buffer_bytes.(dst) <- buffer_bytes.(dst) + (capacity * c.token_size)
+      | Inter (src_tokens, dst_tokens) ->
+          buffer_bytes.(src) <- buffer_bytes.(src) + (src_tokens * c.token_size);
+          buffer_bytes.(dst) <- buffer_bytes.(dst) + (dst_tokens * c.token_size))
+    (Graph.channels g);
+  let tiles =
+    List.init n_tiles (fun i ->
+        let tile = Platform.tile platform i in
+        let actors = Binding.actors_on binding ~tile:i in
+        match tile.Tile.kind with
+        | Tile.Ip_block _ ->
+            {
+              tile_index = i;
+              tile_name = tile.tile_name;
+              actors;
+              imem_used = 0;
+              imem_capacity = 0;
+              dmem_used = 0;
+              dmem_capacity = 0;
+              buffer_bytes = 0;
+              fits = true;
+            }
+        | Tile.Master | Tile.Slave | Tile.With_ca _ ->
+            let impls =
+              List.map (Binding.implementation app platform binding) actors
+            in
+            let imem_used =
+              runtime_imem_bytes
+              + List.fold_left
+                  (fun acc (impl : Actor_impl.t) ->
+                    acc + impl.metrics.Metrics.instruction_memory)
+                  0 impls
+            in
+            let dmem_used =
+              runtime_dmem_bytes + buffer_bytes.(i)
+              + List.fold_left
+                  (fun acc (impl : Actor_impl.t) ->
+                    acc + impl.metrics.Metrics.data_memory)
+                  0 impls
+            in
+            {
+              tile_index = i;
+              tile_name = tile.tile_name;
+              actors;
+              imem_used;
+              imem_capacity = tile.imem_capacity;
+              dmem_used;
+              dmem_capacity = tile.dmem_capacity;
+              buffer_bytes = buffer_bytes.(i);
+              fits =
+                imem_used <= tile.imem_capacity
+                && dmem_used <= tile.dmem_capacity;
+            })
+  in
+  { tiles; fits = List.for_all (fun (t : tile_report) -> t.fits) tiles }
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun t ->
+      Format.fprintf ppf
+        "%s: imem %d/%d dmem %d/%d (buffers %dB) actors [%s]%s@," t.tile_name
+        t.imem_used t.imem_capacity t.dmem_used t.dmem_capacity t.buffer_bytes
+        (String.concat " " t.actors)
+        (if t.fits then "" else " OVERFLOW"))
+    r.tiles;
+  Format.fprintf ppf "%s@]" (if r.fits then "all tiles fit" else "memory overflow")

@@ -1,0 +1,45 @@
+(** Tile memory dimensioning (paper §5.2).
+
+    MAMPS computes each tile's memory from the mapped buffers, the actor
+    implementations, and the size of the scheduling and communication
+    layer. This module reproduces that accounting and checks the result
+    against the tile template's capacities. *)
+
+val runtime_imem_bytes : int
+(** Code size of the static-order scheduler and communication library
+    linked into every software tile. *)
+
+val runtime_dmem_bytes : int
+(** Stack and bookkeeping data of the runtime layer. *)
+
+(** How one application channel consumes buffer memory. *)
+type buffer_assignment =
+  | Intra of int  (** capacity in tokens, stored on the single tile *)
+  | Inter of int * int  (** (αsrc, αdst) tokens on source/destination tile *)
+
+type tile_report = {
+  tile_index : int;
+  tile_name : string;
+  actors : string list;
+  imem_used : int;
+  imem_capacity : int;
+  dmem_used : int;
+  dmem_capacity : int;
+  buffer_bytes : int;  (** part of [dmem_used] *)
+  fits : bool;
+}
+
+type report = {
+  tiles : tile_report list;
+  fits : bool;  (** every software tile fits *)
+}
+
+val dimension :
+  Appmodel.Application.t ->
+  Arch.Platform.t ->
+  Binding.t ->
+  buffers:(Sdf.Graph.channel -> buffer_assignment) ->
+  report
+(** IP tiles are skipped (no memories to dimension). *)
+
+val pp_report : Format.formatter -> report -> unit

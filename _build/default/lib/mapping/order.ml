@@ -1,0 +1,68 @@
+module Graph = Sdf.Graph
+module Execution = Sdf.Execution
+
+let resource_name tile = Printf.sprintf "tile%d" tile
+
+let actor_orders ~timed_graph ~binding =
+  let tile_of_actor id =
+    Some (resource_name (binding (Graph.actor timed_graph id).Graph.actor_name))
+  in
+  match Sdf.Schedule.list_schedule timed_graph ~binding:tile_of_actor with
+  | Ok orders -> Ok orders
+  | Error (Sdf.Schedule.Schedule_deadlock { time; fired; total }) ->
+      Error
+        (Printf.sprintf
+           "static-order scheduling deadlocked at t=%d (%d of %d firings)"
+           time fired total)
+  | Error (Sdf.Schedule.Schedule_inconsistent msg) ->
+      Error (Printf.sprintf "application graph inconsistent: %s" msg)
+
+let micro_orders ~expansion ~timed_graph ~actor_orders =
+  let expanded_id name = List.assoc name expansion.Comm_map.original_actor in
+  (* communication work around one firing of [actor_name], in wrapper order *)
+  let reads_of actor_name =
+    List.concat_map
+      (fun (c : Graph.channel) ->
+        if (Graph.actor timed_graph c.target).actor_name <> actor_name then []
+        else
+          match
+            List.find_opt
+              (fun ic -> ic.Comm_map.ic_name = c.channel_name)
+              expansion.Comm_map.inter_channels
+          with
+          | Some ic when ic.ic_params.Comm_map.deser_on_pe ->
+              List.init
+                (c.consumption_rate * ic.Comm_map.ic_words)
+                (fun _ -> ic.Comm_map.ic_d1)
+          | Some _ | None -> [])
+      (Graph.channels timed_graph)
+  in
+  let writes_of actor_name =
+    List.concat_map
+      (fun (c : Graph.channel) ->
+        if (Graph.actor timed_graph c.source).actor_name <> actor_name then []
+        else
+          match
+            List.find_opt
+              (fun ic -> ic.Comm_map.ic_name = c.channel_name)
+              expansion.Comm_map.inter_channels
+          with
+          | Some ic when ic.ic_params.Comm_map.ser_on_pe ->
+              List.concat
+                (List.init c.production_rate (fun _ ->
+                     ic.Comm_map.ic_s0
+                     :: List.init ic.Comm_map.ic_words (fun _ ->
+                            ic.Comm_map.ic_s1)))
+          | Some _ | None -> [])
+      (Graph.channels timed_graph)
+  in
+  List.map
+    (fun (b : Execution.resource_binding) ->
+      let entries =
+        Array.to_list b.static_order
+        |> List.concat_map (fun old_id ->
+               let name = (Graph.actor timed_graph old_id).Graph.actor_name in
+               reads_of name @ (expanded_id name :: writes_of name))
+      in
+      { b with static_order = Array.of_list entries })
+    actor_orders

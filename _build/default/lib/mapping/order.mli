@@ -1,0 +1,32 @@
+(** Static-order construction for the mapped platform.
+
+    Scheduling happens in two phases, mirroring the flow:
+
+    + {!actor_orders} runs SDF3's list scheduler on the application graph
+      to fix the firing order of the {e application} actors on every tile —
+      this is the static-order schedule MAMPS translates into C.
+    + {!micro_orders} refines each tile's order with the communication
+      work its PE performs around every firing, exactly as the generated
+      wrapper code executes it: deserialize the firing's input words
+      ([d1]), fire the actor, set up and serialize the produced tokens
+      ([s0], [s1] per word). The result is the resource order the
+      throughput analysis runs against, so the model sequences the PE
+      precisely like the platform.
+
+    Resources are named ["tile<i>"] (see {!Flow_map.resource_name}). *)
+
+val actor_orders :
+  timed_graph:Sdf.Graph.t ->
+  binding:(string -> int) ->
+  (Sdf.Execution.resource_binding list, string) result
+(** Static order of application actors per tile, on the application
+    graph's actor ids. *)
+
+val micro_orders :
+  expansion:Comm_map.expansion ->
+  timed_graph:Sdf.Graph.t ->
+  actor_orders:Sdf.Execution.resource_binding list ->
+  Sdf.Execution.resource_binding list
+(** Expand each tile's actor order into the full PE order over the
+    expanded graph's actor ids. Serialization actors placed on a CA do not
+    appear (they run concurrently). *)

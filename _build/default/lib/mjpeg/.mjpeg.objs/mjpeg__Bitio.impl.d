@@ -1,0 +1,1 @@
+lib/mjpeg/bitio.ml: Bytes Char Printf

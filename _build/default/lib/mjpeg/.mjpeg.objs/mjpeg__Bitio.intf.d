@@ -1,0 +1,1 @@
+lib/mjpeg/bitio.mli: Bytes

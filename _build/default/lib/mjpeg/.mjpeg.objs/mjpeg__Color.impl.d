@@ -1,0 +1,1 @@
+lib/mjpeg/color.ml: Appmodel Array Encoder Printf Stdlib Tokens

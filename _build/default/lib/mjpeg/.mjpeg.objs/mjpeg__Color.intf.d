@@ -1,0 +1,1 @@
+lib/mjpeg/color.mli: Appmodel Tokens

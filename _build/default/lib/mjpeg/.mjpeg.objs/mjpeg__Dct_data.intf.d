@@ -1,0 +1,1 @@
+lib/mjpeg/dct_data.mli:

@@ -1,0 +1,1 @@
+lib/mjpeg/encoder.ml: Array Bitio Dct_data Huffman Idct List Printf Stdlib

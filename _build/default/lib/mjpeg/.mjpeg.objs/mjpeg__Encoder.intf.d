@@ -1,0 +1,1 @@
+lib/mjpeg/encoder.mli: Bitio Bytes

@@ -1,0 +1,1 @@
+lib/mjpeg/huffman.ml: Bitio List Option Stdlib

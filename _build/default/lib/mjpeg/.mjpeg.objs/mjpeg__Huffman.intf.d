@@ -1,0 +1,1 @@
+lib/mjpeg/huffman.mli: Bitio

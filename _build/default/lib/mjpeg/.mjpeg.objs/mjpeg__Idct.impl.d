@@ -1,0 +1,1 @@
+lib/mjpeg/idct.ml: Array Float

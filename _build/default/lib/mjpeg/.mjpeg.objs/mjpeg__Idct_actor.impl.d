@@ -1,0 +1,1 @@
+lib/mjpeg/idct_actor.ml: Appmodel Idct Tokens

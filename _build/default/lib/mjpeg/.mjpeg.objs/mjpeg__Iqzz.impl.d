@@ -1,0 +1,1 @@
+lib/mjpeg/iqzz.ml: Appmodel Array Dct_data Tokens

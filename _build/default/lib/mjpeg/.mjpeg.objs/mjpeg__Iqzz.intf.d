@@ -1,0 +1,1 @@
+lib/mjpeg/iqzz.mli: Appmodel Tokens

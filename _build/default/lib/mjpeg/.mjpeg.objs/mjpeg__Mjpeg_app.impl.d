@@ -1,0 +1,1 @@
+lib/mjpeg/mjpeg_app.ml: Appmodel Color Encoder Idct_actor Iqzz List Option Raster Result Stdlib Tokens Vld

@@ -1,0 +1,1 @@
+lib/mjpeg/mjpeg_app.mli: Appmodel Bytes Sdf

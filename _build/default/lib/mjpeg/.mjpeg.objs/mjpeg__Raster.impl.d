@@ -1,0 +1,1 @@
+lib/mjpeg/raster.ml: Appmodel Array Encoder List Tokens

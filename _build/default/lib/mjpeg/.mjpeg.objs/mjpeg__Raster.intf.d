@@ -1,0 +1,1 @@
+lib/mjpeg/raster.mli: Appmodel Encoder Tokens

@@ -1,0 +1,1 @@
+lib/mjpeg/streams.ml: Array Bytes Encoder List

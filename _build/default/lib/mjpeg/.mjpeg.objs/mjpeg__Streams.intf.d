@@ -1,0 +1,1 @@
+lib/mjpeg/streams.mli: Bytes Encoder

@@ -1,0 +1,1 @@
+lib/mjpeg/tokens.ml: Appmodel Array

@@ -1,0 +1,1 @@
+lib/mjpeg/tokens.mli: Appmodel

@@ -1,0 +1,1 @@
+lib/mjpeg/vld.ml: Appmodel Array Bitio Bytes Encoder Huffman List Tokens

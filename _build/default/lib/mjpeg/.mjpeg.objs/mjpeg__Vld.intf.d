@@ -1,0 +1,1 @@
+lib/mjpeg/vld.mli: Appmodel Bytes Tokens

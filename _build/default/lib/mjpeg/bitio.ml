@@ -1,0 +1,68 @@
+type writer = {
+  mutable buffer : Bytes.t;
+  mutable bit_length : int;
+}
+
+let create_writer () = { buffer = Bytes.make 64 '\000'; bit_length = 0 }
+
+let ensure w bytes_needed =
+  if bytes_needed > Bytes.length w.buffer then begin
+    let bigger = Bytes.make (2 * bytes_needed) '\000' in
+    Bytes.blit w.buffer 0 bigger 0 (Bytes.length w.buffer);
+    w.buffer <- bigger
+  end
+
+let write_bits w ~value ~bits =
+  if bits < 0 || bits > 30 then invalid_arg "Bitio.write_bits: bad bit count";
+  if bits < 30 && (value < 0 || value >= 1 lsl bits) then
+    invalid_arg
+      (Printf.sprintf "Bitio.write_bits: value %d does not fit in %d bits"
+         value bits);
+  ensure w (((w.bit_length + bits) / 8) + 1);
+  for i = bits - 1 downto 0 do
+    let bit = (value lsr i) land 1 in
+    let byte_index = w.bit_length / 8 and bit_index = 7 - (w.bit_length mod 8) in
+    let current = Char.code (Bytes.get w.buffer byte_index) in
+    Bytes.set w.buffer byte_index
+      (Char.chr (current lor (bit lsl bit_index)));
+    w.bit_length <- w.bit_length + 1
+  done
+
+let writer_bit_length w = w.bit_length
+
+let writer_contents w = Bytes.sub w.buffer 0 ((w.bit_length + 7) / 8)
+
+type reader = {
+  data : Bytes.t;
+  total_bits : int;
+  mutable position : int;
+}
+
+let create_reader data =
+  { data; total_bits = 8 * Bytes.length data; position = 0 }
+
+let reader_of_writer w =
+  { data = writer_contents w; total_bits = w.bit_length; position = 0 }
+
+let read_bit r =
+  if r.position >= r.total_bits then raise End_of_file;
+  let byte_index = r.position / 8 and bit_index = 7 - (r.position mod 8) in
+  r.position <- r.position + 1;
+  (Char.code (Bytes.get r.data byte_index) lsr bit_index) land 1
+
+let read_bits r count =
+  if count < 0 || count > 30 then invalid_arg "Bitio.read_bits: bad bit count";
+  let value = ref 0 in
+  for _ = 1 to count do
+    value := (!value lsl 1) lor read_bit r
+  done;
+  !value
+
+let bit_position r = r.position
+
+let seek r position =
+  if position < 0 || position > r.total_bits then
+    invalid_arg "Bitio.seek: out of range";
+  r.position <- position
+
+let bits_remaining r = r.total_bits - r.position

@@ -1,0 +1,31 @@
+(** Bit-level I/O over byte buffers, MSB first, as variable-length codes
+    are written into an MJPEG stream. *)
+
+type writer
+
+val create_writer : unit -> writer
+val write_bits : writer -> value:int -> bits:int -> unit
+(** Append the [bits] low-order bits of [value], most significant first.
+    @raise Invalid_argument when [bits] is outside [0, 30] or [value] does
+    not fit. *)
+
+val writer_bit_length : writer -> int
+val writer_contents : writer -> Bytes.t
+(** Padded with zero bits to a byte boundary. *)
+
+type reader
+
+val create_reader : Bytes.t -> reader
+val reader_of_writer : writer -> reader
+
+val read_bit : reader -> int
+(** @raise End_of_file past the end of the buffer. *)
+
+val read_bits : reader -> int -> int
+(** Read up to 30 bits, MSB first. *)
+
+val bit_position : reader -> int
+val seek : reader -> int -> unit
+(** Set the absolute bit position (for resuming a VLD state token). *)
+
+val bits_remaining : reader -> int

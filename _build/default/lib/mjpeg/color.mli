@@ -1,0 +1,18 @@
+(** The colour-conversion actor CC (paper Figure 5).
+
+    One firing consumes the 10 block tokens of one MCU (six carrying
+    samples, four padding) plus the frame information arriving on
+    [subHeader1], reassembles the 4:2:0 MCU, upsamples the chroma planes
+    and converts to RGB: one 16x16 pixel token out. *)
+
+val assemble : Tokens.block array -> int array
+(** [assemble blocks] builds the 256 packed RGB pixel words from the MCU's
+    blocks (indexed by [b_index]; invalid blocks ignored).
+    @raise Failure when a valid block is missing. *)
+
+val cycles_model : int
+(** CC is data-independent: every MCU converts 256 pixels. *)
+
+val wcet : int
+
+val implementation : Appmodel.Actor_impl.t

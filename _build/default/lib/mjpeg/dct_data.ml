@@ -1,0 +1,64 @@
+let block_size = 8
+let block_samples = 64
+
+(* Raster index of each zig-zag position, computed by walking the
+   anti-diagonals: even diagonals run upward, odd ones downward. *)
+let zigzag =
+  let table = Array.make block_samples 0 in
+  let pos = ref 0 in
+  for diagonal = 0 to 14 do
+    let cells =
+      List.init 8 (fun r -> (r, diagonal - r))
+      |> List.filter (fun (_, c) -> c >= 0 && c < 8)
+    in
+    let cells = if diagonal mod 2 = 0 then List.rev cells else cells in
+    List.iter
+      (fun (r, c) ->
+        table.(!pos) <- (r * 8) + c;
+        incr pos)
+      cells
+  done;
+  table
+
+let inverse_zigzag =
+  let table = Array.make block_samples 0 in
+  Array.iteri (fun zz raster -> table.(raster) <- zz) zigzag;
+  table
+
+(* Representative quantization matrices: low frequencies fine, high
+   frequencies coarse, like the JPEG Annex K examples. *)
+let luminance_quant =
+  [|
+    16; 11; 10; 16; 24; 40; 51; 61;
+    12; 12; 14; 19; 26; 58; 60; 55;
+    14; 13; 16; 24; 40; 57; 69; 56;
+    14; 17; 22; 29; 51; 87; 80; 62;
+    18; 22; 37; 56; 68; 109; 103; 77;
+    24; 35; 55; 64; 81; 104; 113; 92;
+    49; 64; 78; 87; 103; 121; 120; 101;
+    72; 92; 95; 98; 112; 100; 103; 99;
+  |]
+
+let chrominance_quant =
+  [|
+    17; 18; 24; 47; 99; 99; 99; 99;
+    18; 21; 26; 66; 99; 99; 99; 99;
+    24; 26; 56; 99; 99; 99; 99; 99;
+    47; 66; 99; 99; 99; 99; 99; 99;
+    99; 99; 99; 99; 99; 99; 99; 99;
+    99; 99; 99; 99; 99; 99; 99; 99;
+    99; 99; 99; 99; 99; 99; 99; 99;
+    99; 99; 99; 99; 99; 99; 99; 99;
+  |]
+
+let scale_quant base ~quality =
+  if quality < 1 || quality > 100 then
+    invalid_arg "Dct_data.scale_quant: quality must be in [1, 100]";
+  let factor =
+    if quality < 50 then 5000 / quality else 200 - (2 * quality)
+  in
+  Array.map
+    (fun q ->
+      let scaled = ((q * factor) + 50) / 100 in
+      Stdlib.min 255 (Stdlib.max 1 scaled))
+    base

@@ -1,0 +1,24 @@
+(** Constant tables shared by the MJPEG encoder and decoder actors. *)
+
+val block_size : int
+(** 8: blocks are 8x8 samples. *)
+
+val block_samples : int
+(** 64. *)
+
+val zigzag : int array
+(** [zigzag.(i)] is the raster index of the i-th coefficient in zig-zag
+    scan order; a permutation of 0..63. *)
+
+val inverse_zigzag : int array
+(** [inverse_zigzag.(raster) = zigzag position]. *)
+
+val luminance_quant : int array
+(** Base luminance quantization matrix in raster order (64 entries). *)
+
+val chrominance_quant : int array
+
+val scale_quant : int array -> quality:int -> int array
+(** Scale a base matrix for a quality setting between 1 (coarsest) and 100
+    (all ones, near lossless); entries stay in [1, 255].
+    @raise Invalid_argument outside [1, 100]. *)

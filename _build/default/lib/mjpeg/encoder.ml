@@ -1,0 +1,285 @@
+type frame = {
+  width : int;
+  height : int;
+  red : int array;
+  green : int array;
+  blue : int array;
+}
+
+let frame_magic = 0xA5
+let blocks_per_mcu = 6
+let mcu_size = 16
+
+let make_frame ~width ~height ~f =
+  if width <= 0 || height <= 0 || width mod 16 <> 0 || height mod 16 <> 0 then
+    invalid_arg "Encoder.make_frame: dimensions must be positive multiples of 16";
+  let red = Array.make (width * height) 0 in
+  let green = Array.make (width * height) 0 in
+  let blue = Array.make (width * height) 0 in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      let r, g, b = f ~x ~y in
+      let clamp v = Stdlib.min 255 (Stdlib.max 0 v) in
+      red.((y * width) + x) <- clamp r;
+      green.((y * width) + x) <- clamp g;
+      blue.((y * width) + x) <- clamp b
+    done
+  done;
+  { width; height; red; green; blue }
+
+let mcus_per_frame frame = frame.width / mcu_size * (frame.height / mcu_size)
+
+let clamp255 v = Stdlib.min 255 (Stdlib.max 0 v)
+
+let rgb_to_ycbcr r g b =
+  let y = ((77 * r) + (150 * g) + (29 * b)) asr 8 in
+  let cb = 128 + (((-43 * r) - (85 * g) + (128 * b)) asr 8) in
+  let cr = 128 + (((128 * r) - (107 * g) - (21 * b)) asr 8) in
+  (clamp255 y, clamp255 cb, clamp255 cr)
+
+let ycbcr_to_rgb y cb cr =
+  let r = y + ((359 * (cr - 128)) asr 8) in
+  let g = y - (((88 * (cb - 128)) + (183 * (cr - 128))) asr 8) in
+  let b = y + ((454 * (cb - 128)) asr 8) in
+  (clamp255 r, clamp255 g, clamp255 b)
+
+type header = {
+  h_width : int;
+  h_height : int;
+  h_quality : int;
+}
+
+let write_header w h =
+  Bitio.write_bits w ~value:frame_magic ~bits:8;
+  Bitio.write_bits w ~value:h.h_width ~bits:16;
+  Bitio.write_bits w ~value:h.h_height ~bits:16;
+  Bitio.write_bits w ~value:h.h_quality ~bits:8
+
+let read_header r =
+  try
+    let magic = Bitio.read_bits r 8 in
+    if magic <> frame_magic then
+      Error (Printf.sprintf "bad frame magic 0x%02X" magic)
+    else begin
+      let h_width = Bitio.read_bits r 16 in
+      let h_height = Bitio.read_bits r 16 in
+      let h_quality = Bitio.read_bits r 8 in
+      if h_width mod 16 <> 0 || h_height mod 16 <> 0 || h_width = 0 || h_height = 0
+      then Error "bad frame dimensions"
+      else if h_quality < 1 || h_quality > 100 then Error "bad quality"
+      else Ok { h_width; h_height; h_quality }
+    end
+  with End_of_file -> Error "truncated header"
+
+(* --- block codec: DC difference + AC run-length over zig-zag order --- *)
+
+let encode_block w ~predictor zz =
+  let dc = zz.(0) in
+  let diff = dc - predictor in
+  let category = Huffman.magnitude_category diff in
+  Huffman.encode Huffman.dc_table w category;
+  Huffman.encode_magnitude w diff;
+  let run = ref 0 in
+  for i = 1 to 63 do
+    if zz.(i) = 0 then incr run
+    else begin
+      while !run > 15 do
+        Huffman.encode Huffman.ac_table w 0xF0;
+        run := !run - 16
+      done;
+      let size = Huffman.magnitude_category zz.(i) in
+      Huffman.encode Huffman.ac_table w ((!run lsl 4) lor size);
+      Huffman.encode_magnitude w zz.(i);
+      run := 0
+    end
+  done;
+  if !run > 0 then Huffman.encode Huffman.ac_table w 0x00;
+  dc
+
+let decode_block r ~predictor =
+  let zz = Array.make 64 0 in
+  let symbols = ref 0 in
+  let category = Huffman.decode Huffman.dc_table r in
+  incr symbols;
+  let diff = Huffman.decode_magnitude r ~category in
+  zz.(0) <- predictor + diff;
+  let position = ref 1 in
+  let finished = ref (!position > 63) in
+  while not !finished do
+    let symbol = Huffman.decode Huffman.ac_table r in
+    incr symbols;
+    if symbol = 0x00 then finished := true
+    else if symbol = 0xF0 then begin
+      position := !position + 16;
+      if !position > 63 then failwith "MJPEG: zero run past block end"
+    end
+    else begin
+      let run = symbol lsr 4 and size = symbol land 0xF in
+      position := !position + run;
+      if !position > 63 then failwith "MJPEG: coefficient past block end";
+      zz.(!position) <- Huffman.decode_magnitude r ~category:size;
+      incr position;
+      if !position > 63 then finished := true
+    end
+  done;
+  (zz.(0), zz, !symbols)
+
+(* --- frame-level encoding --- *)
+
+(* Extract the 8x8 sample block at (bx, by) from a plane, level shifted. *)
+let extract_block plane ~plane_width ~bx ~by =
+  Array.init 64 (fun i ->
+      let x = (bx * 8) + (i mod 8) and y = (by * 8) + (i / 8) in
+      plane.((y * plane_width) + x) - 128)
+
+let quantize quant block =
+  Array.mapi
+    (fun i v ->
+      let q = quant.(i) in
+      if v >= 0 then (v + (q / 2)) / q else -(((-v) + (q / 2)) / q))
+    block
+
+let to_zigzag raster =
+  Array.init 64 (fun zz -> raster.(Dct_data.zigzag.(zz)))
+
+(* Build the three planes of one frame in 4:2:0: full-size luma and
+   quarter-size chroma obtained by averaging 2x2 neighbourhoods. *)
+let planes_of_frame frame =
+  let luma = Array.make (frame.width * frame.height) 0 in
+  let cw = frame.width / 2 and ch = frame.height / 2 in
+  let cb_sum = Array.make (cw * ch) 0 and cr_sum = Array.make (cw * ch) 0 in
+  for y = 0 to frame.height - 1 do
+    for x = 0 to frame.width - 1 do
+      let i = (y * frame.width) + x in
+      let ly, cb, cr = rgb_to_ycbcr frame.red.(i) frame.green.(i) frame.blue.(i) in
+      luma.(i) <- ly;
+      let ci = ((y / 2) * cw) + (x / 2) in
+      cb_sum.(ci) <- cb_sum.(ci) + cb;
+      cr_sum.(ci) <- cr_sum.(ci) + cr
+    done
+  done;
+  ( luma,
+    Array.map (fun s -> (s + 2) / 4) cb_sum,
+    Array.map (fun s -> (s + 2) / 4) cr_sum,
+    cw )
+
+let encode_frame w ~quality frame =
+  write_header w { h_width = frame.width; h_height = frame.height; h_quality = quality };
+  let luma_quant = Dct_data.scale_quant Dct_data.luminance_quant ~quality in
+  let chroma_quant = Dct_data.scale_quant Dct_data.chrominance_quant ~quality in
+  let luma, cb_plane, cr_plane, chroma_width = planes_of_frame frame in
+  let dc = Array.make 3 0 in
+  (* predictors: Y, Cb, Cr; reset per frame *)
+  for mcu_y = 0 to (frame.height / mcu_size) - 1 do
+    for mcu_x = 0 to (frame.width / mcu_size) - 1 do
+      (* four luma blocks *)
+      List.iter
+        (fun (dx, dy) ->
+          let block =
+            extract_block luma ~plane_width:frame.width
+              ~bx:((mcu_x * 2) + dx)
+              ~by:((mcu_y * 2) + dy)
+          in
+          let zz = to_zigzag (quantize luma_quant (Idct.forward block)) in
+          dc.(0) <- encode_block w ~predictor:dc.(0) zz)
+        [ (0, 0); (1, 0); (0, 1); (1, 1) ];
+      (* chroma blocks *)
+      List.iteri
+        (fun idx plane ->
+          let block =
+            extract_block plane ~plane_width:chroma_width ~bx:mcu_x ~by:mcu_y
+          in
+          let zz = to_zigzag (quantize chroma_quant (Idct.forward block)) in
+          dc.(1 + idx) <- encode_block w ~predictor:dc.(1 + idx) zz)
+        [ cb_plane; cr_plane ]
+    done
+  done
+
+let encode_sequence ~quality frames =
+  let w = Bitio.create_writer () in
+  List.iter (encode_frame w ~quality) frames;
+  Bitio.writer_contents w
+
+(* --- reference decoder --- *)
+
+let from_zigzag zz =
+  let raster = Array.make 64 0 in
+  Array.iteri (fun i v -> raster.(Dct_data.zigzag.(i)) <- v) zz;
+  raster
+
+let dequantize quant block = Array.mapi (fun i v -> v * quant.(i)) block
+
+let decode_frame r header =
+  let width = header.h_width and height = header.h_height in
+  let luma_quant =
+    Dct_data.scale_quant Dct_data.luminance_quant ~quality:header.h_quality
+  in
+  let chroma_quant =
+    Dct_data.scale_quant Dct_data.chrominance_quant ~quality:header.h_quality
+  in
+  let luma = Array.make (width * height) 0 in
+  let cw = width / 2 and ch = height / 2 in
+  let cb_plane = Array.make (cw * ch) 0 and cr_plane = Array.make (cw * ch) 0 in
+  let dc = Array.make 3 0 in
+  let decode_into plane plane_width bx by quant channel =
+    let dc_value, zz, _ = decode_block r ~predictor:dc.(channel) in
+    dc.(channel) <- dc_value;
+    let samples = Idct.inverse (dequantize quant (from_zigzag zz)) in
+    Array.iteri
+      (fun i v ->
+        let x = (bx * 8) + (i mod 8) and y = (by * 8) + (i / 8) in
+        plane.((y * plane_width) + x) <- clamp255 (v + 128))
+      samples
+  in
+  for mcu_y = 0 to (height / mcu_size) - 1 do
+    for mcu_x = 0 to (width / mcu_size) - 1 do
+      List.iter
+        (fun (dx, dy) ->
+          decode_into luma width ((mcu_x * 2) + dx) ((mcu_y * 2) + dy)
+            luma_quant 0)
+        [ (0, 0); (1, 0); (0, 1); (1, 1) ];
+      decode_into cb_plane cw mcu_x mcu_y chroma_quant 1;
+      decode_into cr_plane cw mcu_x mcu_y chroma_quant 2
+    done
+  done;
+  let red = Array.make (width * height) 0 in
+  let green = Array.make (width * height) 0 in
+  let blue = Array.make (width * height) 0 in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      let i = (y * width) + x in
+      let ci = ((y / 2) * cw) + (x / 2) in
+      let r8, g8, b8 = ycbcr_to_rgb luma.(i) cb_plane.(ci) cr_plane.(ci) in
+      red.(i) <- r8;
+      green.(i) <- g8;
+      blue.(i) <- b8
+    done
+  done;
+  { width; height; red; green; blue }
+
+let decode_sequence data =
+  let r = Bitio.create_reader data in
+  let rec frames acc =
+    if Bitio.bits_remaining r < 48 then Ok (List.rev acc)
+    else
+      match read_header r with
+      | Error e -> Error e
+      | Ok header -> (
+          match decode_frame r header with
+          | frame -> frames (frame :: acc)
+          | exception Failure msg -> Error msg
+          | exception End_of_file -> Error "truncated frame")
+  in
+  frames []
+
+let max_abs_difference a b =
+  if a.width <> b.width || a.height <> b.height then
+    invalid_arg "Encoder.max_abs_difference: dimension mismatch";
+  let worst = ref 0 in
+  Array.iteri
+    (fun i _ ->
+      worst := Stdlib.max !worst (abs (a.red.(i) - b.red.(i)));
+      worst := Stdlib.max !worst (abs (a.green.(i) - b.green.(i)));
+      worst := Stdlib.max !worst (abs (a.blue.(i) - b.blue.(i))))
+    a.red;
+  !worst

@@ -1,0 +1,75 @@
+(** The MJPEG-style stream format: encoder, block codec and reference
+    decoder.
+
+    The case study needs input streams whose actor execution times vary
+    with the data; this module produces them from RGB frames and defines
+    the single source of truth for the bit format that the VLD actor
+    parses. The format is baseline-JPEG-like: 4:2:0 sampling, 8x8 blocks,
+    fixed-point DCT, quality-scaled quantization, DC difference coding and
+    AC run-length coding over the canonical Huffman tables of {!Huffman}.
+
+    Stream layout, all bit-packed MSB-first: per frame a header
+    (magic [0xA5]:8, width:16, height:16, quality:8) followed by the
+    MCUs in raster order; each MCU is six blocks (Y0 Y1 Y2 Y3 Cb Cr). *)
+
+type frame = {
+  width : int;  (** multiple of 16 *)
+  height : int;  (** multiple of 16 *)
+  red : int array;  (** row-major, [width*height] entries in 0..255 *)
+  green : int array;
+  blue : int array;
+}
+
+val frame_magic : int
+val blocks_per_mcu : int
+(** 6 (4:2:0). The SDF graph pads to the fixed rate of 10 (paper §6.3's
+    modeling overhead). *)
+
+val mcu_size : int
+(** 16: MCUs cover 16x16 pixels. *)
+
+val make_frame :
+  width:int -> height:int -> f:(x:int -> y:int -> int * int * int) -> frame
+(** Build a frame from a per-pixel function returning (r, g, b).
+    @raise Invalid_argument unless both dimensions are positive multiples
+    of 16. *)
+
+val mcus_per_frame : frame -> int
+
+val encode_sequence : quality:int -> frame list -> Bytes.t
+(** Encode frames back to back into one stream. *)
+
+val decode_sequence : Bytes.t -> (frame list, string) result
+(** Reference decoder: the golden output the platform runs are checked
+    against. *)
+
+(** {1 Primitives shared with the actors} *)
+
+type header = {
+  h_width : int;
+  h_height : int;
+  h_quality : int;
+}
+
+val read_header : Bitio.reader -> (header, string) result
+val write_header : Bitio.writer -> header -> unit
+
+val decode_block :
+  Bitio.reader -> predictor:int -> int * int array * int
+(** [decode_block r ~predictor] reads one block and returns
+    [(dc_value, coefficients_in_zigzag_order, symbols_read)]. The DC value
+    is already un-differenced against [predictor]. Raises like
+    {!Huffman.decode} on corrupt streams. *)
+
+val encode_block :
+  Bitio.writer -> predictor:int -> int array -> int
+(** [encode_block w ~predictor zigzag_coefficients] writes one block and
+    returns the new predictor (the block's DC). *)
+
+val rgb_to_ycbcr : int -> int -> int -> int * int * int
+val ycbcr_to_rgb : int -> int -> int -> int * int * int
+(** Integer colour transforms, outputs clamped to 0..255. *)
+
+val max_abs_difference : frame -> frame -> int
+(** Largest per-channel difference — used by round-trip tests.
+    @raise Invalid_argument on mismatched dimensions. *)

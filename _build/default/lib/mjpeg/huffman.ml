@@ -1,0 +1,192 @@
+type code = { bits : int; length : int }
+
+type tree =
+  | Leaf of int
+  | Node of tree option * tree option
+
+type t = {
+  codes : (int * code) list;
+  decode_tree : tree;
+  max_length : int;
+}
+
+(* Huffman code lengths by pairwise merging of the two lightest subtrees,
+   then canonical code assignment in (length, symbol) order. *)
+let build weighted =
+  if List.length weighted < 2 then
+    invalid_arg "Huffman.build: need at least two symbols";
+  List.iter
+    (fun (s, w) ->
+      if s < 0 then invalid_arg "Huffman.build: negative symbol";
+      if w <= 0 then invalid_arg "Huffman.build: weights must be positive")
+    weighted;
+  let symbols = List.map fst weighted in
+  if List.length (List.sort_uniq compare symbols) <> List.length symbols then
+    invalid_arg "Huffman.build: duplicate symbol";
+  (* merge forest: (weight, tie-breaker, symbols-with-depth) *)
+  let module Forest = struct
+    type entry = { weight : int; order : int; leaves : (int * int) list }
+  end in
+  let open Forest in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    !counter
+  in
+  let forest =
+    ref
+      (List.map
+         (fun (s, w) -> { weight = w; order = fresh (); leaves = [ (s, 0) ] })
+         weighted)
+  in
+  let pop_lightest () =
+    let lightest =
+      List.fold_left
+        (fun acc e ->
+          match acc with
+          | None -> Some e
+          | Some best ->
+              if
+                e.weight < best.weight
+                || (e.weight = best.weight && e.order < best.order)
+              then Some e
+              else acc)
+        None !forest
+    in
+    match lightest with
+    | Some e ->
+        forest := List.filter (fun x -> x.order <> e.order) !forest;
+        e
+    | None -> assert false
+  in
+  while List.length !forest > 1 do
+    let a = pop_lightest () in
+    let b = pop_lightest () in
+    forest :=
+      {
+        weight = a.weight + b.weight;
+        order = fresh ();
+        leaves =
+          List.map (fun (s, d) -> (s, d + 1)) (a.leaves @ b.leaves);
+      }
+      :: !forest
+  done;
+  let lengths =
+    match !forest with
+    | [ root ] ->
+        List.map (fun (s, d) -> (s, Stdlib.max 1 d)) root.leaves
+    | _ -> assert false
+  in
+  (* canonical assignment: sort by (length, symbol) and count upward *)
+  let sorted =
+    List.sort
+      (fun (s1, l1) (s2, l2) -> compare (l1, s1) (l2, s2))
+      lengths
+  in
+  let codes =
+    let next = ref 0 and previous_length = ref 0 in
+    List.map
+      (fun (symbol, length) ->
+        next := !next lsl (length - !previous_length);
+        previous_length := length;
+        let c = { bits = !next; length } in
+        incr next;
+        (symbol, c))
+      sorted
+  in
+  let max_length =
+    List.fold_left (fun acc (_, c) -> Stdlib.max acc c.length) 0 codes
+  in
+  if max_length > 30 then invalid_arg "Huffman.build: code longer than 30 bits";
+  let rec insert tree code_bits length symbol =
+    if length = 0 then Leaf symbol
+    else begin
+      let bit = (code_bits lsr (length - 1)) land 1 in
+      let left, right =
+        match tree with
+        | Node (l, r) -> (l, r)
+        | Leaf _ -> assert false (* prefix property violated *)
+      in
+      let subtree side =
+        insert
+          (Option.value ~default:(Node (None, None)) side)
+          code_bits (length - 1) symbol
+      in
+      if bit = 0 then Node (Some (subtree left), right)
+      else Node (left, Some (subtree right))
+    end
+  in
+  let decode_tree =
+    List.fold_left
+      (fun tree (symbol, c) ->
+        match insert tree c.bits c.length symbol with
+        | Node _ as n -> n
+        | Leaf _ -> assert false)
+      (Node (None, None))
+      codes
+  in
+  { codes; decode_tree; max_length }
+
+let find t symbol =
+  match List.assoc_opt symbol t.codes with
+  | Some c -> c
+  | None -> raise Not_found
+
+let code_length t symbol = (find t symbol).length
+let max_code_length t = t.max_length
+
+let encode t writer symbol =
+  let c = find t symbol in
+  Bitio.write_bits writer ~value:c.bits ~bits:c.length
+
+let decode t reader =
+  let rec walk = function
+    | Leaf symbol -> symbol
+    | Node (left, right) -> (
+        let bit = Bitio.read_bit reader in
+        match if bit = 0 then left else right with
+        | Some subtree -> walk subtree
+        | None -> failwith "Huffman.decode: invalid code in stream")
+  in
+  walk t.decode_tree
+
+(* --- the MJPEG tables --- *)
+
+(* DC difference categories: small differences dominate. *)
+let dc_table =
+  build (List.init 12 (fun category -> (category, 1 lsl (12 - category))))
+
+(* AC (run, size): end-of-block and short runs of small sizes dominate. *)
+let ac_table =
+  let symbols = ref [ (0x00, 1 lsl 16); (0xF0, 1 lsl 6) ] in
+  for run = 0 to 15 do
+    for size = 1 to 10 do
+      let weight =
+        Stdlib.max 1 ((1 lsl 14) / ((run + 1) * (run + 1) * size))
+      in
+      symbols := ((run lsl 4) lor size, weight) :: !symbols
+    done
+  done;
+  build !symbols
+
+let magnitude_category value =
+  let v = abs value in
+  let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+  bits v 0
+
+let encode_magnitude writer value =
+  let category = magnitude_category value in
+  if category > 0 then begin
+    let bits_value =
+      if value >= 0 then value else value + (1 lsl category) - 1
+    in
+    Bitio.write_bits writer ~value:bits_value ~bits:category
+  end
+
+let decode_magnitude reader ~category =
+  if category = 0 then 0
+  else begin
+    let bits_value = Bitio.read_bits reader category in
+    if bits_value >= 1 lsl (category - 1) then bits_value
+    else bits_value - (1 lsl category) + 1
+  end

@@ -1,0 +1,47 @@
+(** Canonical Huffman coding for the MJPEG-style entropy layer.
+
+    The flow's test streams are produced and consumed by our own encoder
+    and VLD actor, so the tables need not be bit-compatible with JPEG
+    Annex K — they are canonical Huffman codes built from fixed weight
+    profiles, shared by encoder and decoder. Codes are canonical (assigned
+    in (length, symbol) order), so a table is fully determined by its code
+    lengths. *)
+
+type t
+
+val build : (int * int) list -> t
+(** [build [(symbol, weight); ...]] constructs the code. Weights must be
+    positive, symbols distinct and non-negative.
+    @raise Invalid_argument on bad input or fewer than two symbols. *)
+
+val code_length : t -> int -> int
+(** Length in bits of a symbol's code. @raise Not_found for symbols not in
+    the table. *)
+
+val max_code_length : t -> int
+
+val encode : t -> Bitio.writer -> int -> unit
+(** Append a symbol's code. @raise Not_found for unknown symbols. *)
+
+val decode : t -> Bitio.reader -> int
+(** Read one symbol. @raise Failure on a bit pattern that is no code
+    prefix (corrupt stream), [End_of_file] on stream end. *)
+
+(** {1 The MJPEG tables} *)
+
+val dc_table : t
+(** DC difference magnitude categories 0..11. *)
+
+val ac_table : t
+(** AC (run, size) symbols [run*16 + size] with run 0..15, size 1..10,
+    plus end-of-block [0x00] and zero-run-length [0xF0]. *)
+
+val magnitude_category : int -> int
+(** JPEG-style magnitude category: 0 for 0, n for values whose absolute
+    value needs n bits (|v| in [2^(n-1), 2^n - 1]). *)
+
+val encode_magnitude : Bitio.writer -> int -> unit
+(** Append the category's value bits (one's-complement for negatives, as
+    in JPEG). For category 0 nothing is written. *)
+
+val decode_magnitude : Bitio.reader -> category:int -> int

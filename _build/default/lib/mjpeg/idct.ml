@@ -1,0 +1,63 @@
+let size = 8
+let scale_bits = 13
+let one_half = 1 lsl (scale_bits - 1)
+
+(* cosines.(k).(n) = round(2^13 * c(k)/2 * cos((2n+1) k pi / 16)),
+   with c(0) = 1/sqrt 2 and c(k) = 1 otherwise. *)
+let cosines =
+  Array.init size (fun k ->
+      Array.init size (fun n ->
+          let c = if k = 0 then 1.0 /. sqrt 2.0 else 1.0 in
+          let angle =
+            float_of_int ((2 * n) + 1) *. float_of_int k *. Float.pi /. 16.0
+          in
+          int_of_float
+            (Float.round
+               (float_of_int (1 lsl scale_bits) *. (c /. 2.0) *. cos angle))))
+
+let check block =
+  if Array.length block <> size * size then
+    invalid_arg "Idct: block must have 64 entries"
+
+(* one forward 1-D pass over the rows of [input], transposing on output so
+   that applying the same pass twice yields the full 2-D transform *)
+let forward_pass input =
+  let output = Array.make (size * size) 0 in
+  for row = 0 to size - 1 do
+    for k = 0 to size - 1 do
+      let acc = ref 0 in
+      for n = 0 to size - 1 do
+        acc := !acc + (input.((row * size) + n) * cosines.(k).(n))
+      done;
+      output.((k * size) + row) <- (!acc + one_half) asr scale_bits
+    done
+  done;
+  output
+
+let inverse_pass input =
+  let output = Array.make (size * size) 0 in
+  for row = 0 to size - 1 do
+    for n = 0 to size - 1 do
+      let acc = ref 0 in
+      for k = 0 to size - 1 do
+        acc := !acc + (input.((row * size) + k) * cosines.(k).(n))
+      done;
+      output.((n * size) + row) <- (!acc + one_half) asr scale_bits
+    done
+  done;
+  output
+
+let forward block =
+  check block;
+  forward_pass (forward_pass block)
+
+let inverse block =
+  check block;
+  inverse_pass (inverse_pass block)
+
+let nonzero_count block =
+  Array.fold_left (fun acc v -> if v <> 0 then acc + 1 else acc) 0 block
+
+let ac_all_zero block =
+  let rec scan i = i >= Array.length block || (block.(i) = 0 && scan (i + 1)) in
+  scan 1

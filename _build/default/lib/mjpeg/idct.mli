@@ -1,0 +1,20 @@
+(** Fixed-point 8x8 forward and inverse DCT.
+
+    Direct matrix-multiplication form with 13-bit fixed-point cosine
+    tables and two separable passes — the arithmetic a Microblaze without
+    an FPU would run. With an all-ones quantizer the encode/decode round
+    trip is accurate to a couple of intensity steps. *)
+
+val forward : int array -> int array
+(** [forward block] transforms 64 level-shifted samples (raster order)
+    into DCT coefficients. @raise Invalid_argument unless length is 64. *)
+
+val inverse : int array -> int array
+(** [inverse coefficients] reconstructs 64 samples (raster order). *)
+
+val nonzero_count : int array -> int
+(** Number of non-zero entries — drives the data-dependent cost models. *)
+
+val ac_all_zero : int array -> bool
+(** True when only the DC coefficient (index 0) may be non-zero: the
+    decoder's fast path for flat blocks. *)

@@ -1,0 +1,43 @@
+module Actor_impl = Appmodel.Actor_impl
+module Metrics = Appmodel.Metrics
+
+(* The flat-block fast path must produce bit-identical samples to the full
+   transform (the checksum validation compares against a reference decoder
+   that always runs the full IDCT), so it reuses Idct.inverse on the
+   DC-only block; only the *cost model* reflects the shortcut the real
+   implementation would take. *)
+let process (b : Tokens.block) =
+  if not b.b_valid then b
+  else { b with b_values = Idct.inverse b.b_values }
+
+(* A straightforward fixed-point 2-D transform: two passes of 64
+   multiply-accumulate rows. No zero-skipping in the generated C, so the
+   cost is data independent — the entire execution-time slack of the case
+   study lives in the VLD. *)
+let cycles_model = 380 + (2 * 64 * 17)
+let wcet = cycles_model
+
+let fire bundle =
+  match Actor_impl.find bundle "iqzz2idct" with
+  | [| token |] ->
+      [ ("idct2cc", [| Tokens.pack_block (process (Tokens.unpack_block token)) |]) ]
+  | _ -> failwith "IDCT: expected exactly one block token"
+
+let implementation =
+  Actor_impl.make ~name:"idct_microblaze"
+    ~metrics:(Metrics.make ~wcet ~instruction_memory:5120 ~data_memory:3072)
+    ~explicit_inputs:[ "iqzz2idct" ]
+    ~explicit_outputs:[ "idct2cc" ]
+    ~cycles:(Actor_impl.constant_cycles cycles_model)
+    fire
+
+(* a pipelined hardware core: two samples per cycle plus handshake *)
+let ip_cycles = 24 + (64 / 2)
+
+let ip_implementation =
+  Actor_impl.make ~name:"idct_ip_core" ~processor_type:"idct_core"
+    ~metrics:(Metrics.make ~wcet:ip_cycles ~instruction_memory:0 ~data_memory:0)
+    ~explicit_inputs:[ "iqzz2idct" ]
+    ~explicit_outputs:[ "idct2cc" ]
+    ~cycles:(Actor_impl.constant_cycles ip_cycles)
+    fire

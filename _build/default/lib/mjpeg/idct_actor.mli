@@ -1,0 +1,20 @@
+(** The inverse-DCT actor (paper Figure 5).
+
+    One firing transforms one dequantized coefficient block into spatial
+    samples (still level-shifted; the colour conversion adds the 128
+    offset). The generated C runs the full fixed-point transform on every
+    block — padding blocks included — so the cost is data independent. *)
+
+val process : Tokens.block -> Tokens.block
+
+val cycles_model : int
+val wcet : int
+
+val implementation : Appmodel.Actor_impl.t
+
+val ip_implementation : Appmodel.Actor_impl.t
+(** The same actor as a dedicated hardware block (processor type
+    ["idct_core"], paper Figure 3's Tile 4): functionally identical,
+    pipelined at a few cycles per sample. Used to build heterogeneous
+    platforms — the application model "can specify multiple
+    implementations for each actor" (§3). *)

@@ -1,0 +1,37 @@
+module Actor_impl = Appmodel.Actor_impl
+module Metrics = Appmodel.Metrics
+
+let process (b : Tokens.block) =
+  if not b.b_valid then b
+  else begin
+    let quant_base =
+      if b.b_component = 0 then Dct_data.luminance_quant
+      else Dct_data.chrominance_quant
+    in
+    let quant = Dct_data.scale_quant quant_base ~quality:b.b_quality in
+    let raster = Array.make 64 0 in
+    Array.iteri
+      (fun zz v -> raster.(Dct_data.zigzag.(zz)) <- v)
+      b.b_values;
+    let dequantized = Array.mapi (fun i v -> v * quant.(i)) raster in
+    { b with b_values = dequantized }
+  end
+
+(* The generated C is a plain loop over all 64 entries (multiply and
+   reorder), so the cost is data independent — padding blocks included. *)
+let cycles_model = 340 + (9 * 64)
+let wcet = cycles_model
+
+let implementation =
+  let fire bundle =
+    match Actor_impl.find bundle "vld2iqzz" with
+    | [| token |] ->
+        [ ("iqzz2idct", [| Tokens.pack_block (process (Tokens.unpack_block token)) |]) ]
+    | _ -> failwith "IQZZ: expected exactly one block token"
+  in
+  Actor_impl.make ~name:"iqzz_microblaze"
+    ~metrics:(Metrics.make ~wcet ~instruction_memory:3072 ~data_memory:2048)
+    ~explicit_inputs:[ "vld2iqzz" ]
+    ~explicit_outputs:[ "iqzz2idct" ]
+    ~cycles:(Actor_impl.constant_cycles cycles_model)
+    fire

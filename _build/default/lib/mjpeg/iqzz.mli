@@ -1,0 +1,15 @@
+(** The inverse-quantization and zig-zag reordering actor (paper Figure 5).
+
+    One firing processes one block token: coefficients arrive in zig-zag
+    scan order as quantized values, leave in raster order dequantized.
+    Invalid padding blocks pass through on a fast path. *)
+
+val process : Tokens.block -> Tokens.block
+
+val cycles_model : int
+(** The generated C loops over all 64 entries unconditionally, so IQZZ is
+    data independent. *)
+
+val wcet : int
+
+val implementation : Appmodel.Actor_impl.t

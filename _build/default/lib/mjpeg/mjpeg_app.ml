@@ -1,0 +1,135 @@
+module Application = Appmodel.Application
+module Token = Appmodel.Token
+
+let channel_names =
+  [
+    "vld2iqzz";
+    "iqzz2idct";
+    "idct2cc";
+    "cc2raster";
+    "subHeader1";
+    "subHeader2";
+    "vldState";
+    "rasterState";
+  ]
+
+let actor_names = [ "VLD"; "IQZZ"; "IDCT"; "CC"; "Raster" ]
+
+let word_bytes n = n * 4
+
+let channel_specs () =
+  [
+    Application.channel ~name:"vld2iqzz" ~source:"VLD" ~production:10
+      ~target:"IQZZ" ~consumption:1
+      ~token_bytes:(word_bytes Tokens.block_words) ();
+    Application.channel ~name:"iqzz2idct" ~source:"IQZZ" ~production:1
+      ~target:"IDCT" ~consumption:1
+      ~token_bytes:(word_bytes Tokens.block_words) ();
+    Application.channel ~name:"idct2cc" ~source:"IDCT" ~production:1
+      ~target:"CC" ~consumption:10
+      ~token_bytes:(word_bytes Tokens.block_words) ();
+    Application.channel ~name:"cc2raster" ~source:"CC" ~production:1
+      ~target:"Raster" ~consumption:1
+      ~token_bytes:(word_bytes Tokens.mcu_words) ();
+    Application.channel ~name:"subHeader1" ~source:"VLD" ~production:1
+      ~target:"CC" ~consumption:1
+      ~token_bytes:(word_bytes Tokens.subheader_words) ();
+    Application.channel ~name:"subHeader2" ~source:"VLD" ~production:1
+      ~target:"Raster" ~consumption:1
+      ~token_bytes:(word_bytes Tokens.subheader_words) ();
+    Application.channel ~name:"vldState" ~source:"VLD" ~production:1
+      ~target:"VLD" ~consumption:1 ~initial_tokens:1
+      ~token_bytes:(word_bytes Tokens.vld_state_words)
+      ~initial_values:[ Tokens.pack_vld_state Tokens.initial_vld_state ]
+      ();
+    Application.channel ~name:"rasterState" ~source:"Raster" ~production:1
+      ~target:"Raster" ~consumption:1 ~initial_tokens:1
+      ~token_bytes:(word_bytes Tokens.raster_state_words)
+      ~initial_values:[ Tokens.pack_raster_state Tokens.initial_raster_state ]
+      ();
+  ]
+
+let implementations ~stream =
+  [
+    ("VLD", Vld.implementation ~stream);
+    ("IQZZ", Iqzz.implementation);
+    ("IDCT", Idct_actor.implementation);
+    ("CC", Color.implementation);
+    ("Raster", Raster.implementation);
+  ]
+
+let build ~impls ?throughput_constraint () =
+  let actors =
+    List.map
+      (fun (name, impl) ->
+        { Application.a_name = name; a_implementations = [ impl ] })
+      impls
+  in
+  Application.make ~name:"mjpeg" ~actors ~channels:(channel_specs ())
+    ?throughput_constraint ()
+
+let application ~stream ?throughput_constraint () =
+  build ~impls:(implementations ~stream) ?throughput_constraint ()
+
+let heterogeneous_application ~stream ?throughput_constraint () =
+  let actors =
+    List.map
+      (fun (name, impl) ->
+        let impls =
+          if name = "IDCT" then [ impl; Idct_actor.ip_implementation ]
+          else [ impl ]
+        in
+        { Application.a_name = name; a_implementations = impls })
+      (implementations ~stream)
+  in
+  Application.make ~name:"mjpeg" ~actors ~channels:(channel_specs ())
+    ?throughput_constraint ()
+
+(* Count the MCUs in one pass of a stream by reference-decoding it. *)
+let stream_mcus stream =
+  match Encoder.decode_sequence stream with
+  | Ok frames ->
+      Ok (List.fold_left (fun acc f -> acc + Encoder.mcus_per_frame f) 0 frames)
+  | Error msg -> Error ("calibration stream: " ^ msg)
+
+let calibrated_application ~stream ?calibration_stream ?(margin_percent = 10)
+    ?throughput_constraint () =
+  let ( let* ) = Result.bind in
+  let calibration_stream = Option.value ~default:stream calibration_stream in
+  let* calibration_app = application ~stream:calibration_stream () in
+  let* iterations = stream_mcus calibration_stream in
+  let* run = Appmodel.Functional.run calibration_app ~iterations () in
+  let recalibrate (name, impl) =
+    let observed = Appmodel.Functional.max_cycles run name in
+    if observed = 0 then (name, impl)
+    else begin
+      let structural = impl.Appmodel.Actor_impl.metrics.Appmodel.Metrics.wcet in
+      let measured = observed * (100 + margin_percent) / 100 in
+      ( name,
+        {
+          impl with
+          Appmodel.Actor_impl.metrics =
+            {
+              impl.Appmodel.Actor_impl.metrics with
+              Appmodel.Metrics.wcet = Stdlib.min structural measured;
+            };
+        } )
+    end
+  in
+  build
+    ~impls:(List.map recalibrate (implementations ~stream))
+    ?throughput_constraint ()
+
+let graph ~stream =
+  match application ~stream () with
+  | Ok app -> Application.graph app
+  | Error msg -> invalid_arg ("Mjpeg_app.graph: " ^ msg)
+
+let wcet_table () =
+  [
+    ("VLD", Vld.wcet);
+    ("IQZZ", Iqzz.wcet);
+    ("IDCT", Idct_actor.wcet);
+    ("CC", Color.wcet);
+    ("Raster", Raster.wcet);
+  ]

@@ -1,0 +1,53 @@
+(** The MJPEG decoder application model (paper Figure 5).
+
+    Builds the five-actor SDF graph — VLD, IQZZ, IDCT, CC, Raster — with
+    the paper's rates (the VLD emits the fixed worst case of 10 blocks per
+    MCU, CC consumes 10), the [subHeader1]/[subHeader2] forwarding edges
+    and the [vldState]/[rasterState] self-edges with one initial token
+    each. One graph iteration decodes one MCU, so throughput is measured
+    in MCUs per clock cycle. *)
+
+val channel_names : string list
+val actor_names : string list
+
+val application :
+  stream:Bytes.t ->
+  ?throughput_constraint:Sdf.Rational.t ->
+  unit ->
+  (Appmodel.Application.t, string) result
+(** The full application model for a given compressed stream (which the
+    VLD decodes cyclically). *)
+
+val heterogeneous_application :
+  stream:Bytes.t ->
+  ?throughput_constraint:Sdf.Rational.t ->
+  unit ->
+  (Appmodel.Application.t, string) result
+(** Like {!application} but the IDCT carries two implementations — the
+    Microblaze software one and the ["idct_core"] hardware block — so the
+    binder can exploit a heterogeneous platform (paper §3: "multiple
+    implementations for each actor ... allows the tool flow to map the
+    actors on a heterogeneous platform"). *)
+
+val calibrated_application :
+  stream:Bytes.t ->
+  ?calibration_stream:Bytes.t ->
+  ?margin_percent:int ->
+  ?throughput_constraint:Sdf.Rational.t ->
+  unit ->
+  (Appmodel.Application.t, string) result
+(** The application model with {e measurement-based} WCETs, the paper's
+    procedure (§6: "a method based on [4] combined with execution time
+    measurement"): decode one full pass of [calibration_stream] (default:
+    [stream] itself; the Figure-6 experiments calibrate on the synthetic
+    worst-case sequence) functionally, take each actor's largest observed
+    cycle count and add [margin_percent] (default 10) safety margin.
+    Actors whose structural worst case is lower keep the structural
+    value. *)
+
+val graph : stream:Bytes.t -> Sdf.Graph.t
+(** Just the timed SDF graph (WCET times), for analyses and examples.
+    @raise Invalid_argument if the model fails to build. *)
+
+val wcet_table : unit -> (string * int) list
+(** Actor name to WCET in cycles — the metrics table of §3/§6. *)

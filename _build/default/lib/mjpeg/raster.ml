@@ -1,0 +1,48 @@
+module Actor_impl = Appmodel.Actor_impl
+module Metrics = Appmodel.Metrics
+
+(* 256 pixel words: load, add into the checksum, store bookkeeping. *)
+let cycles_model = 260 + (256 * 4)
+let wcet = cycles_model
+
+let implementation =
+  let fire bundle =
+    let state =
+      match Actor_impl.find bundle "rasterState" with
+      | [| token |] -> Tokens.unpack_raster_state token
+      | _ -> failwith "Raster: expected exactly one state token"
+    in
+    let pixels =
+      match Actor_impl.find bundle "cc2raster" with
+      | [| token |] -> Tokens.unpack_mcu token
+      | _ -> failwith "Raster: expected exactly one MCU token"
+    in
+    let _ = Actor_impl.find bundle "subHeader2" in
+    let state = Tokens.checksum_add state pixels in
+    [ ("rasterState", [| Tokens.pack_raster_state state |]) ]
+  in
+  Actor_impl.make ~name:"raster_microblaze"
+    ~metrics:(Metrics.make ~wcet ~instruction_memory:2560 ~data_memory:2048)
+    ~explicit_inputs:[ "cc2raster"; "subHeader2"; "rasterState" ]
+    ~explicit_outputs:[ "rasterState" ]
+    ~cycles:(Actor_impl.constant_cycles cycles_model)
+    fire
+
+let mcu_pixels (frame : Encoder.frame) ~mcu_index =
+  let mcus_per_row = frame.width / 16 in
+  let mcu_x = mcu_index mod mcus_per_row and mcu_y = mcu_index / mcus_per_row in
+  Array.init 256 (fun i ->
+      let x = (mcu_x * 16) + (i mod 16) and y = (mcu_y * 16) + (i / 16) in
+      let p = (y * frame.width) + x in
+      Tokens.pack_pixel (frame.red.(p), frame.green.(p), frame.blue.(p)))
+
+let expected_state frames =
+  List.fold_left
+    (fun state frame ->
+      let count = Encoder.mcus_per_frame frame in
+      let rec fold state mcu =
+        if mcu >= count then state
+        else fold (Tokens.checksum_add state (mcu_pixels frame ~mcu_index:mcu)) (mcu + 1)
+      in
+      fold state 0)
+    Tokens.initial_raster_state frames

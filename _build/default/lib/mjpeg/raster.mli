@@ -1,0 +1,21 @@
+(** The rasterization actor (paper Figure 5).
+
+    One firing places one MCU's pixels "at the correct location in the
+    output buffer". The output device (the master tile's peripheral) is
+    abstracted as a running Adler-style checksum over every placed pixel
+    word, carried on the [rasterState] self-edge — enough to verify
+    bit-exact output against the reference decoder without shipping
+    framebuffers through tokens. *)
+
+val cycles_model : int
+val wcet : int
+
+val implementation : Appmodel.Actor_impl.t
+
+val expected_state : Encoder.frame list -> Tokens.raster_state
+(** The raster state after decoding the given frames once, computed from
+    reference data: fold every frame's MCUs (raster order, pixels row
+    major) into the checksum. Golden value for end-to-end tests. *)
+
+val mcu_pixels : Encoder.frame -> mcu_index:int -> int array
+(** The 256 packed pixel words of one MCU of a frame. *)

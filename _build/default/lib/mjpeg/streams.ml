@@ -1,0 +1,92 @@
+type sequence = {
+  seq_name : string;
+  seq_quality : int;
+  seq_frames : Encoder.frame list;
+  seq_stream : Bytes.t;
+}
+
+let mcus s =
+  List.fold_left (fun acc f -> acc + Encoder.mcus_per_frame f) 0 s.seq_frames
+
+let reference_frames s =
+  match Encoder.decode_sequence s.seq_stream with
+  | Ok frames -> frames
+  | Error msg -> failwith ("Streams.reference_frames: " ^ msg)
+
+(* deterministic 32-bit LCG so sequences are reproducible *)
+let lcg seed =
+  let state = ref seed in
+  fun () ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state lsr 8
+
+let width = 48
+let height = 32
+let frame_count = 2
+
+let build name quality make_pixel =
+  let seq_frames =
+    List.init frame_count (fun t ->
+        Encoder.make_frame ~width ~height ~f:(make_pixel t))
+  in
+  {
+    seq_name = name;
+    seq_quality = quality;
+    seq_frames;
+    seq_stream = Encoder.encode_sequence ~quality seq_frames;
+  }
+
+let synthetic () =
+  let next = lcg 0x2F6E2B1 in
+  (* One random 16x16 MCU tiled across every frame: random data pushes the
+     decoder towards its worst case, and because every MCU codes
+     identically the execution times are constant — the paper's "low
+     variation in the execution time" property of the synthetic sequence
+     (§6.1). Quality 100 keeps (almost) every noise coefficient alive. *)
+  let tile = Array.init (16 * 16 * 3) (fun _ -> next () land 0xff) in
+  build "synthetic" 100 (fun _ ~x ~y ->
+      let base = 3 * (((y mod 16) * 16) + (x mod 16)) in
+      (tile.(base), tile.(base + 1), tile.(base + 2)))
+
+let gradient () =
+  build "gradient" 75 (fun t ~x ~y ->
+      ((x * 5) + t, (y * 7) + (2 * t), ((x + y) * 3) mod 256))
+
+let flat_blocks () =
+  build "blocks" 75 (fun t ~x ~y ->
+      let cell = ((x / 16) + (y / 16) + t) mod 4 in
+      match cell with
+      | 0 -> (200, 40, 40)
+      | 1 -> (40, 180, 60)
+      | 2 -> (50, 60, 210)
+      | _ -> (220, 220, 90))
+
+let waves () =
+  build "waves" 75 (fun t ~x ~y ->
+      let v angle = int_of_float (127.0 +. (120.0 *. sin angle)) in
+      ( v (float_of_int (x + (8 * t)) /. 6.0),
+        v (float_of_int (y + (4 * t)) /. 9.0),
+        v (float_of_int (x + y) /. 12.0) ))
+
+let detail () =
+  let next = lcg 0x517CC1B in
+  let speckle =
+    Array.init (frame_count * width * height) (fun _ -> next () land 0x3f)
+  in
+  build "detail" 75 (fun t ~x ~y ->
+      let base = (t * width * height) + (y * width) + x in
+      let stripe = if (x / 2) + (y / 2) mod 2 = 0 then 140 else 90 in
+      let s = speckle.(base) in
+      (stripe + s, stripe, stripe + (s / 2)))
+
+let motion () =
+  build "motion" 75 (fun t ~x ~y ->
+      let cx = 12 + (16 * t) and cy = 16 in
+      let dx = x - cx and dy = y - cy in
+      if (dx * dx) + (dy * dy) < 81 then (250, 240, 120) else (25, 30, 45))
+
+let test_set () = [ gradient (); flat_blocks (); waves (); detail (); motion () ]
+
+let all () = synthetic () :: test_set ()
+
+let by_name name = List.find_opt (fun s -> s.seq_name = name) (all ())

@@ -1,0 +1,38 @@
+(** Test sequences for the case study (paper §6.1).
+
+    The paper measures a synthetic sequence of random data — exercising
+    the decoder near its worst case — and five real-life test sequences
+    whose actors run well below their WCET. Real clips being unavailable,
+    these generators synthesize both kinds deterministically (a fixed
+    linear-congruential generator; no ambient randomness): the synthetic
+    noise stream, and five structured sequences with the smooth/flat
+    content that gives real video its execution-time slack. *)
+
+type sequence = {
+  seq_name : string;
+  seq_quality : int;
+  seq_frames : Encoder.frame list;  (** the original (pre-codec) frames *)
+  seq_stream : Bytes.t;  (** the encoded stream the platform decodes *)
+}
+
+val mcus : sequence -> int
+(** MCUs in one pass of the stream. *)
+
+val reference_frames : sequence -> Encoder.frame list
+(** What a correct decoder must output: the reference decode of
+    [seq_stream]. @raise Failure if the stream is corrupt (never for
+    generated sequences). *)
+
+val synthetic : unit -> sequence
+(** Uniform noise: nearly every coefficient survives quantization, so
+    every actor runs close to its worst case. *)
+
+val test_set : unit -> sequence list
+(** The five "real-life" stand-ins: gradient, flat blocks, waves, detail
+    and a moving blob. *)
+
+val by_name : string -> sequence option
+(** Look up ["synthetic"] or a test-set sequence by name. *)
+
+val all : unit -> sequence list
+(** [synthetic] followed by the test set. *)

@@ -1,0 +1,164 @@
+module Token = Appmodel.Token
+
+type block = {
+  b_valid : bool;
+  b_component : int;
+  b_index : int;
+  b_quality : int;
+  b_values : int array;
+}
+
+let block_words = 4 + 64
+
+let pack_block b =
+  let words = Array.make block_words 0 in
+  words.(0) <- (if b.b_valid then 1 else 0);
+  words.(1) <- b.b_component;
+  words.(2) <- b.b_index;
+  words.(3) <- b.b_quality;
+  Array.blit b.b_values 0 words 4 64;
+  Token.of_ints words
+
+let unpack_block tok =
+  let words = Token.to_ints tok in
+  if Array.length words <> block_words then
+    invalid_arg "Tokens.unpack_block: wrong token size";
+  {
+    b_valid = words.(0) <> 0;
+    b_component = words.(1);
+    b_index = words.(2);
+    b_quality = words.(3);
+    b_values = Array.sub words 4 64;
+  }
+
+let invalid_block ~quality =
+  {
+    b_valid = false;
+    b_component = 0;
+    b_index = 0;
+    b_quality = quality;
+    b_values = Array.make 64 0;
+  }
+
+type subheader = {
+  s_width : int;
+  s_height : int;
+  s_quality : int;
+  s_mcu_index : int;
+  s_frame_index : int;
+}
+
+let subheader_words = 5
+
+let pack_subheader s =
+  Token.of_ints
+    [| s.s_width; s.s_height; s.s_quality; s.s_mcu_index; s.s_frame_index |]
+
+let unpack_subheader tok =
+  match Token.to_ints tok with
+  | [| s_width; s_height; s_quality; s_mcu_index; s_frame_index |] ->
+      { s_width; s_height; s_quality; s_mcu_index; s_frame_index }
+  | _ -> invalid_arg "Tokens.unpack_subheader: wrong token size"
+
+let mcu_words = 16 * 16
+
+let pack_mcu pixels =
+  if Array.length pixels <> mcu_words then
+    invalid_arg "Tokens.pack_mcu: need 256 pixel words";
+  Token.of_ints pixels
+
+let unpack_mcu tok =
+  let words = Token.to_ints tok in
+  if Array.length words <> mcu_words then
+    invalid_arg "Tokens.unpack_mcu: wrong token size";
+  words
+
+let pack_pixel (r, g, b) = (r lsl 16) lor (g lsl 8) lor b
+let unpack_pixel w = ((w lsr 16) land 0xff, (w lsr 8) land 0xff, w land 0xff)
+
+type vld_state = {
+  v_bit_position : int;
+  v_dc : int array;
+  v_mcu_in_frame : int;
+  v_frame_index : int;
+  v_width : int;
+  v_height : int;
+  v_quality : int;
+}
+
+let vld_state_words = 9
+
+let initial_vld_state =
+  {
+    v_bit_position = 0;
+    v_dc = [| 0; 0; 0 |];
+    v_mcu_in_frame = 0;
+    v_frame_index = 0;
+    v_width = 0;
+    v_height = 0;
+    v_quality = 0;
+  }
+
+let pack_vld_state s =
+  Token.of_ints
+    [|
+      s.v_bit_position;
+      s.v_dc.(0) land 0xffff;
+      s.v_dc.(1) land 0xffff;
+      s.v_dc.(2) land 0xffff;
+      s.v_mcu_in_frame;
+      s.v_frame_index;
+      s.v_width;
+      s.v_height;
+      s.v_quality;
+    |]
+
+let sign16 v = if v >= 0x8000 then v - 0x10000 else v
+
+let unpack_vld_state tok =
+  match Token.to_ints tok with
+  | [| pos; dc0; dc1; dc2; mcu; frame; width; height; quality |] ->
+      {
+        v_bit_position = pos;
+        v_dc = [| sign16 dc0; sign16 dc1; sign16 dc2 |];
+        v_mcu_in_frame = mcu;
+        v_frame_index = frame;
+        v_width = width;
+        v_height = height;
+        v_quality = quality;
+      }
+  | _ -> invalid_arg "Tokens.unpack_vld_state: wrong token size"
+
+type raster_state = {
+  r_sum1 : int;
+  r_sum2 : int;
+  r_pixels : int;
+  r_mcus : int;
+}
+
+let raster_state_words = 4
+let initial_raster_state = { r_sum1 = 1; r_sum2 = 0; r_pixels = 0; r_mcus = 0 }
+
+let pack_raster_state s =
+  Token.of_ints [| s.r_sum1; s.r_sum2; s.r_pixels; s.r_mcus |]
+
+let unpack_raster_state tok =
+  match Token.to_ints tok with
+  | [| r_sum1; r_sum2; r_pixels; r_mcus |] -> { r_sum1; r_sum2; r_pixels; r_mcus }
+  | _ -> invalid_arg "Tokens.unpack_raster_state: wrong token size"
+
+let adler_modulus = 65521
+
+let checksum_add state pixels =
+  let sum1 = ref state.r_sum1 and sum2 = ref state.r_sum2 in
+  Array.iter
+    (fun word ->
+      sum1 := (!sum1 + word) mod adler_modulus;
+      sum2 := (!sum2 + !sum1) mod adler_modulus)
+    pixels;
+  {
+    r_sum1 = !sum1;
+    r_sum2 = !sum2;
+    r_pixels = state.r_pixels + Array.length pixels;
+    r_mcus = state.r_mcus + 1;
+  }

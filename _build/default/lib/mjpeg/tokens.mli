@@ -1,0 +1,74 @@
+(** Token layouts exchanged by the MJPEG actors.
+
+    Every token is an array of 32-bit words (see {!Appmodel.Token}); these
+    functions are the single definition of the field layouts, shared by
+    the actors and the tests. *)
+
+(** One 8x8 coefficient/sample block travelling VLD -> IQZZ -> IDCT -> CC.
+    Invalid blocks pad the fixed rate of 10 blocks per MCU. *)
+type block = {
+  b_valid : bool;
+  b_component : int;  (** 0 luma, 1 Cb, 2 Cr *)
+  b_index : int;  (** position within the MCU, 0..5 *)
+  b_quality : int;  (** quantization quality the frame was coded with *)
+  b_values : int array;  (** 64 entries *)
+}
+
+val block_words : int
+val pack_block : block -> Appmodel.Token.t
+val unpack_block : Appmodel.Token.t -> block
+val invalid_block : quality:int -> block
+
+(** Frame/MCU bookkeeping forwarded on subHeader1 (to CC) and subHeader2
+    (to Raster). *)
+type subheader = {
+  s_width : int;
+  s_height : int;
+  s_quality : int;
+  s_mcu_index : int;  (** within the frame *)
+  s_frame_index : int;
+}
+
+val subheader_words : int
+val pack_subheader : subheader -> Appmodel.Token.t
+val unpack_subheader : Appmodel.Token.t -> subheader
+
+(** 16x16 RGB pixels of one MCU, each packed as [0xRRGGBB], row major. *)
+val mcu_words : int
+val pack_mcu : int array -> Appmodel.Token.t
+val unpack_mcu : Appmodel.Token.t -> int array
+val pack_pixel : int * int * int -> int
+val unpack_pixel : int -> int * int * int
+
+(** VLD state carried on the [vldState] self-edge. *)
+type vld_state = {
+  v_bit_position : int;
+  v_dc : int array;  (** three predictors: Y, Cb, Cr *)
+  v_mcu_in_frame : int;
+  v_frame_index : int;
+  v_width : int;  (** 0 before the first header was read *)
+  v_height : int;
+  v_quality : int;
+}
+
+val vld_state_words : int
+val initial_vld_state : vld_state
+val pack_vld_state : vld_state -> Appmodel.Token.t
+val unpack_vld_state : Appmodel.Token.t -> vld_state
+
+(** Raster state on the [rasterState] self-edge: an Adler-style checksum
+    over all placed pixel words plus progress counters. *)
+type raster_state = {
+  r_sum1 : int;
+  r_sum2 : int;
+  r_pixels : int;
+  r_mcus : int;
+}
+
+val raster_state_words : int
+val initial_raster_state : raster_state
+val pack_raster_state : raster_state -> Appmodel.Token.t
+val unpack_raster_state : Appmodel.Token.t -> raster_state
+
+val checksum_add : raster_state -> int array -> raster_state
+(** Fold pixel words into the running checksum. *)

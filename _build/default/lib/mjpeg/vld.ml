@@ -1,0 +1,151 @@
+module Actor_impl = Appmodel.Actor_impl
+module Metrics = Appmodel.Metrics
+
+type decoded = {
+  next_state : Tokens.vld_state;
+  blocks : Tokens.block list;
+  subheader : Tokens.subheader;
+  header_was_read : bool;
+  symbols : int;
+  bits : int;
+}
+
+let mcus_per_frame ~width ~height = width / 16 * (height / 16)
+
+let decode_one_mcu stream (state : Tokens.vld_state) =
+  let reader = Bitio.create_reader stream in
+  Bitio.seek reader state.v_bit_position;
+  let total_symbols = ref 0 in
+  let start_bits = ref (Bitio.bit_position reader) in
+  (* read the next frame header if the previous frame is done (cyclic) *)
+  let state, header_was_read =
+    if
+      state.v_width = 0
+      || state.v_mcu_in_frame
+         >= mcus_per_frame ~width:state.v_width ~height:state.v_height
+    then begin
+      if Bitio.bits_remaining reader < 48 then begin
+        (* rewind to decode the stream cyclically; the rewind itself costs
+           nothing, so bit accounting restarts at zero *)
+        Bitio.seek reader 0;
+        start_bits := 0
+      end;
+      match Encoder.read_header reader with
+      | Error msg -> failwith ("VLD: " ^ msg)
+      | Ok h ->
+          ( {
+              state with
+              v_width = h.Encoder.h_width;
+              v_height = h.Encoder.h_height;
+              v_quality = h.Encoder.h_quality;
+              v_dc = [| 0; 0; 0 |];
+              v_mcu_in_frame = 0;
+              v_frame_index =
+                (if state.v_width = 0 then 0 else state.v_frame_index + 1);
+            },
+            true )
+    end
+    else (state, false)
+  in
+  let dc = Array.copy state.v_dc in
+  let block index component =
+    let value, zz, symbols =
+      Encoder.decode_block reader ~predictor:dc.(component)
+    in
+    dc.(component) <- value;
+    total_symbols := !total_symbols + symbols;
+    {
+      Tokens.b_valid = true;
+      b_component = component;
+      b_index = index;
+      b_quality = state.v_quality;
+      b_values = zz;
+    }
+  in
+  (* decode strictly in stream order: Y0 Y1 Y2 Y3 Cb Cr (a list literal
+     would not guarantee left-to-right evaluation) *)
+  let b0 = block 0 0 in
+  let b1 = block 1 0 in
+  let b2 = block 2 0 in
+  let b3 = block 3 0 in
+  let b4 = block 4 1 in
+  let b5 = block 5 2 in
+  let blocks = [ b0; b1; b2; b3; b4; b5 ] in
+  let subheader =
+    {
+      Tokens.s_width = state.v_width;
+      s_height = state.v_height;
+      s_quality = state.v_quality;
+      s_mcu_index = state.v_mcu_in_frame;
+      s_frame_index = state.v_frame_index;
+    }
+  in
+  {
+    next_state =
+      {
+        state with
+        v_bit_position = Bitio.bit_position reader;
+        v_dc = dc;
+        v_mcu_in_frame = state.v_mcu_in_frame + 1;
+      };
+    blocks;
+    subheader;
+    header_was_read;
+    symbols = !total_symbols;
+    bits = Bitio.bit_position reader - !start_bits;
+  }
+
+(* Microblaze-style cost: loop overhead per firing, per decoded symbol
+   (Huffman table walk + coefficient bookkeeping) and per bit (the
+   bit-serial shift/mask/branch loop of a soft-core bit reader), plus the
+   header parse when one occurs. Entropy decoding dominates the decoder on
+   a Microblaze, which is what makes the VLD the data-dependent bottleneck
+   of the case study. *)
+let cycles_model ~header ~symbols ~bits =
+  420 + (if header then 160 else 0) + (70 * symbols) + (2 * bits)
+
+let wcet =
+  (* all 64 coefficients coded in all 6 blocks with the longest codes *)
+  let symbols = 6 * 64 in
+  let dc_bits = Huffman.max_code_length Huffman.dc_table + 11 in
+  let ac_bits = Huffman.max_code_length Huffman.ac_table + 10 in
+  let bits = 48 + (6 * (dc_bits + (63 * ac_bits))) in
+  cycles_model ~header:true ~symbols ~bits
+
+let output_blocks d =
+  let valid = List.map Tokens.pack_block d.blocks in
+  let padding =
+    List.init (10 - List.length d.blocks) (fun _ ->
+        Tokens.pack_block
+          (Tokens.invalid_block ~quality:d.next_state.Tokens.v_quality))
+  in
+  Array.of_list (valid @ padding)
+
+let implementation ~stream =
+  let decode bundle =
+    match Actor_impl.find bundle "vldState" with
+    | [| state_token |] ->
+        decode_one_mcu stream (Tokens.unpack_vld_state state_token)
+    | _ -> failwith "VLD: expected exactly one state token"
+  in
+  let fire bundle =
+    let d = decode bundle in
+    [
+      ("vld2iqzz", output_blocks d);
+      ("subHeader1", [| Tokens.pack_subheader d.subheader |]);
+      ("subHeader2", [| Tokens.pack_subheader d.subheader |]);
+      ("vldState", [| Tokens.pack_vld_state d.next_state |]);
+    ]
+  in
+  let cycles bundle =
+    let d = decode bundle in
+    cycles_model ~header:d.header_was_read ~symbols:d.symbols ~bits:d.bits
+  in
+  Actor_impl.make ~name:"vld_microblaze"
+    ~metrics:
+      (Metrics.make ~wcet
+         ~instruction_memory:9216
+         ~data_memory:(4096 + Bytes.length stream))
+    ~explicit_inputs:[ "vldState" ]
+    ~explicit_outputs:[ "vld2iqzz"; "subHeader1"; "subHeader2"; "vldState" ]
+    ~cycles fire

@@ -1,0 +1,36 @@
+(** The variable-length-decoder actor (paper Figure 5).
+
+    One firing decodes one MCU: it parses a frame header when the previous
+    frame is exhausted, Huffman-decodes the six coded blocks, and emits
+    the fixed output rate of 10 block tokens — six valid ones and four
+    invalid padding blocks, the paper's prime example of SDF modeling
+    overhead (§6.3: "the VLD actor produces up to 10 frequency blocks per
+    MCU depending on the format of the input stream").
+
+    The compressed stream itself lives in the tile's local memory (the
+    actor implementation closes over it, like C code reading from a
+    memory-mapped file); the [vldState] self-edge token carries the bit
+    position, the DC predictors and the frame bookkeeping. The stream is
+    decoded cyclically so steady-state throughput can be measured over
+    arbitrarily many iterations. *)
+
+type decoded = {
+  next_state : Tokens.vld_state;
+  blocks : Tokens.block list;  (** the six valid blocks, in MCU order *)
+  subheader : Tokens.subheader;
+  header_was_read : bool;
+  symbols : int;  (** Huffman symbols decoded *)
+  bits : int;  (** stream bits consumed *)
+}
+
+val decode_one_mcu : Bytes.t -> Tokens.vld_state -> decoded
+(** @raise Failure on a corrupt stream. *)
+
+val cycles_model : header:bool -> symbols:int -> bits:int -> int
+(** The Microblaze execution-time model of one firing. *)
+
+val wcet : int
+(** [cycles_model] evaluated at the structural worst case (every
+    coefficient coded, longest codes, header read every firing). *)
+
+val implementation : stream:Bytes.t -> Appmodel.Actor_impl.t

@@ -1,0 +1,1 @@
+lib/sdf/analysis.ml: Array Execution Format Fun Graph List Printf Queue Repetition Stdlib

@@ -1,0 +1,1 @@
+lib/sdf/analysis.mli: Execution Format Graph

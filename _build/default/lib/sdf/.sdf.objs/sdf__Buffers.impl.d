@@ -1,0 +1,1 @@
+lib/sdf/buffers.ml: Array Execution Graph List Printf Rational Stdlib String Throughput

@@ -1,0 +1,1 @@
+lib/sdf/buffers.mli: Execution Graph Rational Throughput

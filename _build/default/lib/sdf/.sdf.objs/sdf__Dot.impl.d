@@ -1,0 +1,1 @@
+lib/sdf/dot.ml: Buffer Fun Graph List Printf String

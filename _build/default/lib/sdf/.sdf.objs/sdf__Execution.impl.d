@@ -1,0 +1,1 @@
+lib/sdf/execution.ml: Array Buffer Graph Heap List Printf Repetition Stdlib

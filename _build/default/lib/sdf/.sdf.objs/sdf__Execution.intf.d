@@ -1,0 +1,1 @@
+lib/sdf/execution.mli: Graph

@@ -1,0 +1,1 @@
+lib/sdf/graph.ml: Format Int List Map Option Printf Result String

@@ -1,0 +1,1 @@
+lib/sdf/graph.mli: Format

@@ -1,0 +1,1 @@
+lib/sdf/heap.ml: Array Stdlib

@@ -1,0 +1,1 @@
+lib/sdf/rational.ml: Format Printf Stdlib

@@ -1,0 +1,1 @@
+lib/sdf/repetition.ml: Array Graph List Option Printf Queue Rational

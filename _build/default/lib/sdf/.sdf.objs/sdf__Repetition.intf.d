@@ -1,0 +1,1 @@
+lib/sdf/repetition.mli: Graph

@@ -1,0 +1,1 @@
+lib/sdf/schedule.ml: Array Execution Format Graph Hashtbl Heap List Printf Repetition Result Stdlib String

@@ -1,0 +1,1 @@
+lib/sdf/schedule.mli: Execution Format Graph

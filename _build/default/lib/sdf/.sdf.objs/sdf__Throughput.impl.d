@@ -1,0 +1,1 @@
+lib/sdf/throughput.ml: Array Execution Format Hashtbl Rational Repetition

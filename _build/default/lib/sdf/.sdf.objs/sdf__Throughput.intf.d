@@ -1,0 +1,1 @@
+lib/sdf/throughput.mli: Execution Format Graph Rational

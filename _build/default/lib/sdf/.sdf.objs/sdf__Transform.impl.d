@@ -1,0 +1,1 @@
+lib/sdf/transform.ml: Graph List

@@ -1,0 +1,1 @@
+lib/sdf/xmlio.ml: Fun Graph List Printf Result Xmlkit

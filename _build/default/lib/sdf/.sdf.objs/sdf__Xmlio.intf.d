@@ -1,0 +1,1 @@
+lib/sdf/xmlio.mli: Graph Xmlkit

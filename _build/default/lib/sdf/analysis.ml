@@ -1,0 +1,131 @@
+let is_weakly_connected g =
+  let n = Graph.actor_count g in
+  if n <= 1 then true
+  else begin
+    let adjacency = Array.make n [] in
+    List.iter
+      (fun (c : Graph.channel) ->
+        adjacency.(c.source) <- c.target :: adjacency.(c.source);
+        adjacency.(c.target) <- c.source :: adjacency.(c.target))
+      (Graph.channels g);
+    let seen = Array.make n false in
+    let rec visit a =
+      if not seen.(a) then begin
+        seen.(a) <- true;
+        List.iter visit adjacency.(a)
+      end
+    in
+    visit 0;
+    Array.for_all Fun.id seen
+  end
+
+let strongly_connected_components g =
+  let n = Graph.actor_count g in
+  let successors = Array.make n [] in
+  List.iter
+    (fun (c : Graph.channel) ->
+      if c.source <> c.target then
+        successors.(c.source) <- c.target :: successors.(c.source))
+    (Graph.channels g);
+  (* Tarjan, with an explicit stack of active vertices. *)
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let components = ref [] in
+  let rec strong_connect v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strong_connect w;
+          lowlink.(v) <- Stdlib.min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then
+          lowlink.(v) <- Stdlib.min lowlink.(v) index.(w))
+      successors.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strong_connect v
+  done;
+  !components
+
+let is_strongly_connected g =
+  match strongly_connected_components g with
+  | [] -> true
+  | [ _ ] -> true
+  | _ :: _ :: _ -> false
+
+let topological_order g =
+  let n = Graph.actor_count g in
+  let in_degree = Array.make n 0 in
+  let successors = Array.make n [] in
+  List.iter
+    (fun (c : Graph.channel) ->
+      (* A channel with initial tokens does not constrain the first firing. *)
+      if c.initial_tokens < c.consumption_rate && c.source <> c.target then begin
+        in_degree.(c.target) <- in_degree.(c.target) + 1;
+        successors.(c.source) <- c.target :: successors.(c.source)
+      end)
+    (Graph.channels g);
+  let queue = Queue.create () in
+  for a = 0 to n - 1 do
+    if in_degree.(a) = 0 then Queue.add a queue
+  done;
+  let order = ref [] in
+  let visited = ref 0 in
+  while not (Queue.is_empty queue) do
+    let a = Queue.pop queue in
+    order := a :: !order;
+    incr visited;
+    List.iter
+      (fun b ->
+        in_degree.(b) <- in_degree.(b) - 1;
+        if in_degree.(b) = 0 then Queue.add b queue)
+      successors.(a)
+  done;
+  if !visited = n then Some (List.rev !order) else None
+
+let is_deadlock_free ?options g = Execution.deadlock_free ?options g
+
+type admission_error =
+  | Not_consistent of string
+  | Not_connected
+  | Deadlocks
+
+let admit g =
+  match Repetition.compute g with
+  | Repetition.Inconsistent c ->
+      Error
+        (Not_consistent
+           (Printf.sprintf "balance equation violated on channel %S"
+              c.channel_name))
+  | Repetition.Disconnected_actor a ->
+      Error
+        (Not_consistent
+           (Printf.sprintf "actor %S has no channels" a.actor_name))
+  | Repetition.Consistent q ->
+      if not (is_weakly_connected g) then Error Not_connected
+      else if not (is_deadlock_free g) then Error Deadlocks
+      else Ok q
+
+let pp_admission_error ppf = function
+  | Not_consistent msg -> Format.fprintf ppf "graph is not consistent: %s" msg
+  | Not_connected -> Format.fprintf ppf "graph is not connected"
+  | Deadlocks -> Format.fprintf ppf "graph deadlocks"

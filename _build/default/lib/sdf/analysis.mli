@@ -1,0 +1,33 @@
+(** Structural and behavioural checks used to admit a graph into the flow.
+
+    The design flow only accepts applications that are consistent (see
+    {!Repetition}), weakly connected, and deadlock-free; this module bundles
+    those checks and a few graph-theoretic helpers the mapping stage reuses. *)
+
+val is_weakly_connected : Graph.t -> bool
+(** Every actor reachable from every other ignoring edge direction.
+    The empty graph and singleton graphs are connected. *)
+
+val strongly_connected_components : Graph.t -> Graph.actor_id list list
+(** Tarjan's algorithm; components in reverse topological order. *)
+
+val is_strongly_connected : Graph.t -> bool
+
+val topological_order : Graph.t -> Graph.actor_id list option
+(** [Some order] when the graph is acyclic {e ignoring channels with initial
+    tokens} (tokens break the dependency for the first firing); [None] when
+    a token-free cycle exists, which always deadlocks. *)
+
+val is_deadlock_free : ?options:Execution.options -> Graph.t -> bool
+(** One full graph iteration executes to completion. *)
+
+type admission_error =
+  | Not_consistent of string
+  | Not_connected
+  | Deadlocks
+
+val admit : Graph.t -> (int array, admission_error) result
+(** Full admission check for the design flow; returns the repetition vector
+    on success. *)
+
+val pp_admission_error : Format.formatter -> admission_error -> unit

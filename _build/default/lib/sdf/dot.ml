@@ -1,0 +1,39 @@
+let escape s =
+  String.concat "" (List.map (function '"' -> "\\\"" | c -> String.make 1 c)
+                      (List.init (String.length s) (String.get s)))
+
+let to_string ?(highlight = []) g =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "digraph \"%s\" {\n" (escape (Graph.name g)));
+  Buffer.add_string b "  rankdir=LR;\n  node [shape=circle];\n";
+  List.iter
+    (fun (a : Graph.actor) ->
+      let style =
+        if List.mem a.actor_id highlight then
+          ", style=filled, fillcolor=lightgrey"
+        else ""
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  a%d [label=\"%s\\n%d\"%s];\n" a.actor_id
+           (escape a.actor_name) a.execution_time style))
+    (Graph.actors g);
+  List.iter
+    (fun (c : Graph.channel) ->
+      let label =
+        if c.initial_tokens > 0 then
+          Printf.sprintf ", label=\"%d\"" c.initial_tokens
+        else ""
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "  a%d -> a%d [taillabel=\"%d\", headlabel=\"%d\"%s];\n" c.source
+           c.target c.production_rate c.consumption_rate label))
+    (Graph.channels g);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let to_file ?highlight g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?highlight g))

@@ -1,0 +1,9 @@
+(** Graphviz export of SDF graphs.
+
+    Rates annotate the edge ends, initial token counts are shown as edge
+    labels, mirroring the paper's Figures 2 and 5. *)
+
+val to_string : ?highlight:Graph.actor_id list -> Graph.t -> string
+(** A complete [digraph] document. [highlight] actors are drawn filled. *)
+
+val to_file : ?highlight:Graph.actor_id list -> Graph.t -> string -> unit

@@ -1,0 +1,365 @@
+type resource_binding = {
+  resource_name : string;
+  static_order : Graph.actor_id array;
+}
+
+type options = {
+  auto_concurrency : int option;
+  resources : resource_binding list;
+  firing_time : (Graph.actor -> int) option;
+  max_firings : int;
+  on_event : (int -> event -> unit) option;
+}
+
+and event = Fire_start of Graph.actor_id | Fire_end of Graph.actor_id
+
+let default_options =
+  {
+    auto_concurrency = Some 1;
+    resources = [];
+    firing_time = None;
+    max_firings = 10_000_000;
+    on_event = None;
+  }
+
+type resource_state = {
+  order : Graph.actor_id array;
+  mutable position : int;
+  mutable busy : bool;
+}
+
+type engine = {
+  graph : Graph.t;
+  options : options;
+  (* static views of the graph, indexed by actor id *)
+  actor_info : Graph.actor array;
+  inputs : (int * int) array array;  (* (channel id, consumption rate) *)
+  outputs : (int * int) array array;  (* (channel id, production rate) *)
+  repetition : int array option;  (* None when the graph is inconsistent *)
+  resource_of : int array;  (* resource index or -1 *)
+  resource_states : resource_state array;
+  (* dynamic state *)
+  tokens : int array;
+  inflight : int array;  (* per actor, number of firings in progress *)
+  remaining : int list array;  (* per actor, absolute completion times *)
+  pending : (int * int) Heap.t;  (* (actor, resource index or -1) by time *)
+  completion_counts : int array;
+  blocked_counts : int array;  (* per channel *)
+  mutable clock : int;
+  mutable firings_so_far : int;
+  mutable initialized : bool;
+}
+
+type step = Advanced | Deadlock | Budget_exhausted
+
+exception Quiescent
+exception Budget
+
+let create ?(options = default_options) g =
+  let n = Graph.actor_count g in
+  let actor_info = Array.init n (Graph.actor g) in
+  let inputs = Array.make n [||] and outputs = Array.make n [||] in
+  for a = 0 to n - 1 do
+    inputs.(a) <-
+      Graph.incoming g a
+      |> List.map (fun (c : Graph.channel) ->
+             (c.channel_id, c.consumption_rate))
+      |> Array.of_list;
+    outputs.(a) <-
+      Graph.outgoing g a
+      |> List.map (fun (c : Graph.channel) -> (c.channel_id, c.production_rate))
+      |> Array.of_list
+  done;
+  let resource_of = Array.make n (-1) in
+  let resource_states =
+    Array.of_list
+      (List.map
+         (fun b -> { order = Array.copy b.static_order; position = 0; busy = false })
+         options.resources)
+  in
+  List.iteri
+    (fun i b ->
+      Array.iter
+        (fun a ->
+          if a < 0 || a >= n then
+            invalid_arg
+              (Printf.sprintf "Execution.create: resource %S orders unknown actor %d"
+                 b.resource_name a);
+          if resource_of.(a) <> -1 && resource_of.(a) <> i then
+            invalid_arg
+              (Printf.sprintf
+                 "Execution.create: actor %d bound to two resources" a);
+          resource_of.(a) <- i)
+        b.static_order)
+    options.resources;
+  let tokens = Array.make (Graph.channel_count g) 0 in
+  List.iter
+    (fun (c : Graph.channel) -> tokens.(c.channel_id) <- c.initial_tokens)
+    (Graph.channels g);
+  let repetition =
+    match Repetition.compute g with
+    | Repetition.Consistent q -> Some q
+    | _ -> None
+  in
+  {
+    graph = g;
+    options;
+    actor_info;
+    inputs;
+    outputs;
+    repetition;
+    resource_of;
+    resource_states;
+    tokens;
+    inflight = Array.make n 0;
+    remaining = Array.make n [];
+    pending = Heap.create ();
+    completion_counts = Array.make n 0;
+    blocked_counts = Array.make (Graph.channel_count g) 0;
+    clock = 0;
+    firings_so_far = 0;
+    initialized = false;
+  }
+
+let ready eng a =
+  Array.for_all (fun (ch, rate) -> eng.tokens.(ch) >= rate) eng.inputs.(a)
+
+let firing_duration eng a =
+  match eng.options.firing_time with
+  | Some f -> f eng.actor_info.(a)
+  | None -> eng.actor_info.(a).execution_time
+
+let emit eng ev =
+  match eng.options.on_event with
+  | Some f -> f eng.clock ev
+  | None -> ()
+
+let start_firing eng a resource_index =
+  if eng.firings_so_far >= eng.options.max_firings then raise Budget;
+  eng.firings_so_far <- eng.firings_so_far + 1;
+  Array.iter
+    (fun (ch, rate) -> eng.tokens.(ch) <- eng.tokens.(ch) - rate)
+    eng.inputs.(a);
+  eng.inflight.(a) <- eng.inflight.(a) + 1;
+  if resource_index >= 0 then eng.resource_states.(resource_index).busy <- true;
+  let finish = eng.clock + Stdlib.max 0 (firing_duration eng a) in
+  eng.remaining.(a) <- finish :: eng.remaining.(a);
+  Heap.add eng.pending ~key:finish (a, resource_index);
+  emit eng (Fire_start a)
+
+let complete_firing eng a resource_index =
+  Array.iter
+    (fun (ch, rate) -> eng.tokens.(ch) <- eng.tokens.(ch) + rate)
+    eng.outputs.(a);
+  eng.inflight.(a) <- eng.inflight.(a) - 1;
+  eng.completion_counts.(a) <- eng.completion_counts.(a) + 1;
+  (* drop one occurrence of the current clock from the remaining-times list *)
+  let rec drop = function
+    | [] -> []
+    | t :: rest when t = eng.clock -> rest
+    | t :: rest -> t :: drop rest
+  in
+  eng.remaining.(a) <- drop eng.remaining.(a);
+  if resource_index >= 0 then begin
+    let r = eng.resource_states.(resource_index) in
+    r.busy <- false;
+    r.position <- (r.position + 1) mod Array.length r.order
+  end;
+  emit eng (Fire_end a)
+
+(* Process every completion scheduled at the current instant. *)
+let rec drain_completions eng =
+  match Heap.min_key eng.pending with
+  | Some t when t = eng.clock -> begin
+      match Heap.pop eng.pending with
+      | Some (_, (a, res)) ->
+          complete_firing eng a res;
+          drain_completions eng
+      | None -> ()
+    end
+  | _ -> ()
+
+(* One pass trying to start firings; returns how many were started. *)
+let start_pass eng =
+  let started = ref 0 in
+  (* resource-bound actors: strict static order, one firing at a time *)
+  Array.iteri
+    (fun i r ->
+      if (not r.busy) && Array.length r.order > 0 then begin
+        let a = r.order.(r.position) in
+        if ready eng a then begin
+          start_firing eng a i;
+          incr started
+        end
+      end)
+    eng.resource_states;
+  (* unbound actors: limited only by auto-concurrency *)
+  let limit =
+    match eng.options.auto_concurrency with Some k -> k | None -> max_int
+  in
+  Array.iteri
+    (fun a _ ->
+      if eng.resource_of.(a) = -1 then
+        while eng.inflight.(a) < limit && ready eng a do
+          start_firing eng a (-1);
+          incr started
+        done)
+    eng.actor_info;
+  !started
+
+(* Alternate completions and starts until the instant is exhausted: starting
+   a zero-duration firing schedules a completion at the current clock, which
+   may enable further starts. *)
+let rec fixpoint eng =
+  drain_completions eng;
+  let started = start_pass eng in
+  let more_completions =
+    match Heap.min_key eng.pending with
+    | Some t -> t = eng.clock
+    | None -> false
+  in
+  if started > 0 || more_completions then fixpoint eng
+
+(* Blame channels for stalled actors: for every actor that is allowed to
+   start next but lacks tokens, count each starving input channel. *)
+let record_blocked eng =
+  let blame a =
+    if not (ready eng a) then
+      Array.iter
+        (fun (ch, rate) ->
+          if eng.tokens.(ch) < rate then
+            eng.blocked_counts.(ch) <- eng.blocked_counts.(ch) + 1)
+        eng.inputs.(a)
+  in
+  Array.iter
+    (fun r -> if (not r.busy) && Array.length r.order > 0 then blame r.order.(r.position))
+    eng.resource_states;
+  let limit =
+    match eng.options.auto_concurrency with Some k -> k | None -> max_int
+  in
+  Array.iteri
+    (fun a _ ->
+      if eng.resource_of.(a) = -1 && eng.inflight.(a) < limit then blame a)
+    eng.actor_info
+
+let advance eng =
+  try
+    if not eng.initialized then begin
+      eng.initialized <- true;
+      fixpoint eng
+    end
+    else begin
+      match Heap.min_key eng.pending with
+      | None -> raise Quiescent
+      | Some t ->
+          eng.clock <- t;
+          fixpoint eng
+    end;
+    record_blocked eng;
+    if Heap.is_empty eng.pending then Deadlock else Advanced
+  with
+  | Quiescent -> Deadlock
+  | Budget -> Budget_exhausted
+
+let now eng = eng.clock
+let total_firings eng = eng.firings_so_far
+let completions eng = Array.copy eng.completion_counts
+
+let iterations_completed eng =
+  match eng.repetition with
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Execution.iterations_completed: graph %S is inconsistent"
+           (Graph.name eng.graph))
+  | Some q ->
+      if Array.length q = 0 then 0
+      else begin
+        let iterations = ref max_int in
+        Array.iteri
+          (fun a qa ->
+            if qa > 0 then
+              iterations := Stdlib.min !iterations (eng.completion_counts.(a) / qa))
+          q;
+        if !iterations = max_int then 0 else !iterations
+      end
+
+let channel_tokens eng = Array.copy eng.tokens
+let blocked_on eng = Array.copy eng.blocked_counts
+
+let state_key eng =
+  let b = Buffer.create 128 in
+  Array.iter (fun t -> Buffer.add_string b (string_of_int t); Buffer.add_char b ',')
+    eng.tokens;
+  Buffer.add_char b '|';
+  Array.iter
+    (fun times ->
+      let relative =
+        List.sort Stdlib.compare (List.map (fun t -> t - eng.clock) times)
+      in
+      List.iter
+        (fun t ->
+          Buffer.add_string b (string_of_int t);
+          Buffer.add_char b ',')
+        relative;
+      Buffer.add_char b ';')
+    eng.remaining;
+  Buffer.add_char b '|';
+  Array.iter
+    (fun r ->
+      Buffer.add_string b (string_of_int r.position);
+      Buffer.add_char b (if r.busy then '!' else '.'))
+    eng.resource_states;
+  Buffer.contents b
+
+type outcome = {
+  stop : stop_reason;
+  end_time : int;
+  iterations : int;
+  iteration_end_times : int array;
+  final_tokens : int array;
+  firings : int;
+}
+
+and stop_reason = Finished | Deadlocked | Out_of_budget
+
+let run ?(options = default_options) g ~iterations =
+  let eng = create ~options g in
+  let ends = ref [] in
+  let recorded = ref 0 in
+  let record_new_iterations () =
+    let done_now = iterations_completed eng in
+    while !recorded < done_now do
+      ends := eng.clock :: !ends;
+      incr recorded
+    done
+  in
+  let rec loop () =
+    if !recorded >= iterations then Finished
+    else
+      match advance eng with
+      | Advanced ->
+          record_new_iterations ();
+          loop ()
+      | Deadlock ->
+          record_new_iterations ();
+          if !recorded >= iterations then Finished else Deadlocked
+      | Budget_exhausted -> Out_of_budget
+  in
+  let stop = loop () in
+  let all_ends = Array.of_list (List.rev !ends) in
+  let kept = Stdlib.min iterations (Array.length all_ends) in
+  {
+    stop;
+    end_time =
+      (if kept > 0 && stop = Finished then all_ends.(kept - 1) else eng.clock);
+    iterations = !recorded;
+    iteration_end_times = Array.sub all_ends 0 kept;
+    final_tokens = channel_tokens eng;
+    firings = eng.firings_so_far;
+  }
+
+let deadlock_free ?(options = default_options) g =
+  match (run ~options g ~iterations:1).stop with
+  | Finished -> true
+  | Deadlocked | Out_of_budget -> false

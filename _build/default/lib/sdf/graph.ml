@@ -1,0 +1,192 @@
+type actor_id = int
+type channel_id = int
+
+type actor = {
+  actor_id : actor_id;
+  actor_name : string;
+  execution_time : int;
+}
+
+type channel = {
+  channel_id : channel_id;
+  channel_name : string;
+  source : actor_id;
+  production_rate : int;
+  target : actor_id;
+  consumption_rate : int;
+  initial_tokens : int;
+  token_size : int;
+}
+
+module Imap = Map.Make (Int)
+module Smap = Map.Make (String)
+
+type t = {
+  graph_name : string;
+  actors_by_id : actor Imap.t;
+  channels_by_id : channel Imap.t;
+  actor_names : actor_id Smap.t;
+  channel_names : channel_id Smap.t;
+  next_actor : int;
+  next_channel : int;
+}
+
+let empty graph_name =
+  {
+    graph_name;
+    actors_by_id = Imap.empty;
+    channels_by_id = Imap.empty;
+    actor_names = Smap.empty;
+    channel_names = Smap.empty;
+    next_actor = 0;
+    next_channel = 0;
+  }
+
+let name g = g.graph_name
+let rename g graph_name = { g with graph_name }
+
+let add_actor g ~name ~execution_time =
+  if execution_time < 0 then
+    invalid_arg
+      (Printf.sprintf "Graph.add_actor: negative execution time for %S" name);
+  if Smap.mem name g.actor_names then
+    invalid_arg (Printf.sprintf "Graph.add_actor: duplicate actor name %S" name);
+  let id = g.next_actor in
+  let a = { actor_id = id; actor_name = name; execution_time } in
+  ( {
+      g with
+      actors_by_id = Imap.add id a g.actors_by_id;
+      actor_names = Smap.add name id g.actor_names;
+      next_actor = id + 1;
+    },
+    id )
+
+let add_channel g ~name ~source ~production_rate ~target ~consumption_rate
+    ?(initial_tokens = 0) ?(token_size = 4) () =
+  let check_actor role id =
+    if not (Imap.mem id g.actors_by_id) then
+      invalid_arg
+        (Printf.sprintf "Graph.add_channel %S: unknown %s actor %d" name role
+           id)
+  in
+  check_actor "source" source;
+  check_actor "target" target;
+  if production_rate < 1 || consumption_rate < 1 then
+    invalid_arg (Printf.sprintf "Graph.add_channel %S: rates must be >= 1" name);
+  if initial_tokens < 0 then
+    invalid_arg
+      (Printf.sprintf "Graph.add_channel %S: negative initial tokens" name);
+  if token_size < 0 then
+    invalid_arg (Printf.sprintf "Graph.add_channel %S: negative token size" name);
+  if Smap.mem name g.channel_names then
+    invalid_arg
+      (Printf.sprintf "Graph.add_channel: duplicate channel name %S" name);
+  let id = g.next_channel in
+  let c =
+    {
+      channel_id = id;
+      channel_name = name;
+      source;
+      production_rate;
+      target;
+      consumption_rate;
+      initial_tokens;
+      token_size;
+    }
+  in
+  ( {
+      g with
+      channels_by_id = Imap.add id c g.channels_by_id;
+      channel_names = Smap.add name id g.channel_names;
+      next_channel = id + 1;
+    },
+    id )
+
+let actor_count g = Imap.cardinal g.actors_by_id
+let channel_count g = Imap.cardinal g.channels_by_id
+
+let actor g id =
+  match Imap.find_opt id g.actors_by_id with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Graph.actor: unknown id %d" id)
+
+let channel g id =
+  match Imap.find_opt id g.channels_by_id with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Graph.channel: unknown id %d" id)
+
+let actors g = Imap.bindings g.actors_by_id |> List.map snd
+let channels g = Imap.bindings g.channels_by_id |> List.map snd
+
+let find_actor g name =
+  Option.map (fun id -> actor g id) (Smap.find_opt name g.actor_names)
+
+let find_channel g name =
+  Option.map (fun id -> channel g id) (Smap.find_opt name g.channel_names)
+
+let actor_of_name g name =
+  match find_actor g name with Some a -> a | None -> raise Not_found
+
+let incoming g id = List.filter (fun c -> c.target = id) (channels g)
+let outgoing g id = List.filter (fun c -> c.source = id) (channels g)
+let is_self_loop c = c.source = c.target
+
+let with_execution_times g f =
+  {
+    g with
+    actors_by_id =
+      Imap.map (fun a -> { a with execution_time = f a }) g.actors_by_id;
+  }
+
+let validate g =
+  let ( let* ) = Result.bind in
+  let check cond msg = if cond then Ok () else Error msg in
+  let rec each f = function
+    | [] -> Ok ()
+    | x :: rest ->
+        let* () = f x in
+        each f rest
+  in
+  let* () =
+    each
+      (fun a ->
+        check (a.execution_time >= 0)
+          (Printf.sprintf "actor %S has negative execution time" a.actor_name))
+      (actors g)
+  in
+  each
+    (fun c ->
+      let* () =
+        check
+          (Imap.mem c.source g.actors_by_id && Imap.mem c.target g.actors_by_id)
+          (Printf.sprintf "channel %S has dangling endpoint" c.channel_name)
+      in
+      let* () =
+        check
+          (c.production_rate >= 1 && c.consumption_rate >= 1)
+          (Printf.sprintf "channel %S has non-positive rate" c.channel_name)
+      in
+      let* () =
+        check (c.initial_tokens >= 0)
+          (Printf.sprintf "channel %S has negative initial tokens"
+             c.channel_name)
+      in
+      check (c.token_size >= 0)
+        (Printf.sprintf "channel %S has negative token size" c.channel_name))
+    (channels g)
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph %S (%d actors, %d channels)" g.graph_name
+    (actor_count g) (channel_count g);
+  List.iter
+    (fun a ->
+      Format.fprintf ppf "@,  actor %d %S wcet=%d" a.actor_id a.actor_name
+        a.execution_time)
+    (actors g);
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "@,  channel %d %S: %d -(%d)-> (%d)- %d, init=%d, %dB"
+        c.channel_id c.channel_name c.source c.production_rate
+        c.consumption_rate c.target c.initial_tokens c.token_size)
+    (channels g);
+  Format.fprintf ppf "@]"

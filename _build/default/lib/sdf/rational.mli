@@ -1,0 +1,54 @@
+(** Exact rational arithmetic.
+
+    The SDF analyses (repetition vectors, throughput values) need exact
+    fractions: floating point would accumulate error and break the integer
+    scaling of the balance equations. Values are kept in normal form --
+    positive denominator, numerator and denominator coprime -- so structural
+    equality coincides with numerical equality. *)
+
+type t = private { num : int; den : int }
+
+val make : int -> int -> t
+(** [make num den] is the normalized fraction [num/den].
+    @raise Invalid_argument if [den = 0]. *)
+
+val of_int : int -> t
+
+val zero : t
+val one : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is {!zero}. *)
+
+val neg : t -> t
+
+val inv : t -> t
+(** @raise Division_by_zero on {!zero}. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_integer : t -> bool
+
+val to_int_exn : t -> int
+(** @raise Invalid_argument if the value is not an integer. *)
+
+val to_float : t -> float
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Integer helpers shared by the analyses. *)
+
+val gcd_int : int -> int -> int
+(** Greatest common divisor of the absolute values; [gcd_int 0 0 = 0]. *)
+
+val lcm_int : int -> int -> int

@@ -1,0 +1,102 @@
+type result =
+  | Consistent of int array
+  | Inconsistent of Graph.channel
+  | Disconnected_actor of Graph.actor
+
+(* Assign actor 0 of each connected component the rate 1 and propagate
+   rationals along channels; a conflicting assignment is a witness of
+   inconsistency. Finally scale all rates to the smallest integers. *)
+let compute g =
+  let n = Graph.actor_count g in
+  if n = 0 then Consistent [||]
+  else begin
+    let rate : Rational.t option array = Array.make n None in
+    let adjacency = Array.make n [] in
+    List.iter
+      (fun (c : Graph.channel) ->
+        adjacency.(c.source) <- c :: adjacency.(c.source);
+        if c.target <> c.source then
+          adjacency.(c.target) <- c :: adjacency.(c.target))
+      (Graph.channels g);
+    let conflict = ref None in
+    (* Breadth-first propagation from [root]. *)
+    let propagate root =
+      rate.(root) <- Some Rational.one;
+      let queue = Queue.create () in
+      Queue.add root queue;
+      while (not (Queue.is_empty queue)) && !conflict = None do
+        let a = Queue.pop queue in
+        let ra = Option.get rate.(a) in
+        let visit (c : Graph.channel) =
+          (* rate(src) * prod = rate(dst) * cons *)
+          let other, expected =
+            if c.source = a then
+              ( c.target,
+                Rational.div
+                  (Rational.mul ra (Rational.of_int c.production_rate))
+                  (Rational.of_int c.consumption_rate) )
+            else
+              ( c.source,
+                Rational.div
+                  (Rational.mul ra (Rational.of_int c.consumption_rate))
+                  (Rational.of_int c.production_rate) )
+          in
+          match rate.(other) with
+          | None ->
+              rate.(other) <- Some expected;
+              Queue.add other queue
+          | Some r ->
+              if not (Rational.equal r expected) then conflict := Some c
+        in
+        List.iter visit adjacency.(a)
+      done
+    in
+    let disconnected = ref None in
+    for a = 0 to n - 1 do
+      if rate.(a) = None && !conflict = None then begin
+        if adjacency.(a) = [] && n > 1 then begin
+          if !disconnected = None then disconnected := Some (Graph.actor g a);
+          rate.(a) <- Some Rational.one
+        end
+        else propagate a
+      end
+    done;
+    match (!conflict, !disconnected) with
+    | Some c, _ -> Inconsistent c
+    | None, Some a -> Disconnected_actor a
+    | None, None ->
+        let rates = Array.map Option.get rate in
+        let denominator_lcm =
+          Array.fold_left
+            (fun acc (r : Rational.t) -> Rational.lcm_int acc r.den)
+            1 rates
+        in
+        let scaled =
+          Array.map
+            (fun (r : Rational.t) -> r.num * (denominator_lcm / r.den))
+            rates
+        in
+        let overall_gcd =
+          Array.fold_left (fun acc v -> Rational.gcd_int acc v) 0 scaled
+        in
+        Consistent (Array.map (fun v -> v / overall_gcd) scaled)
+  end
+
+let vector_exn g =
+  match compute g with
+  | Consistent q -> q
+  | Inconsistent c ->
+      invalid_arg
+        (Printf.sprintf
+           "Repetition.vector_exn: graph %S is inconsistent (channel %S)"
+           (Graph.name g) c.channel_name)
+  | Disconnected_actor a ->
+      invalid_arg
+        (Printf.sprintf
+           "Repetition.vector_exn: graph %S has disconnected actor %S"
+           (Graph.name g) a.actor_name)
+
+let is_consistent g =
+  match compute g with Consistent _ -> true | _ -> false
+
+let iteration_firings g = Array.fold_left ( + ) 0 (vector_exn g)

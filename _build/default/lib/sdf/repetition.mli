@@ -1,0 +1,31 @@
+(** Consistency analysis and repetition vectors.
+
+    An SDF graph is {e consistent} when the balance equations
+
+    {v q(src) * production_rate = q(dst) * consumption_rate v}
+
+    admit a non-trivial solution [q] for every channel. The smallest
+    strictly-positive integer solution is the {e repetition vector}: firing
+    every actor [a] exactly [q(a)] times returns every channel to its initial
+    token count, which defines one {e graph iteration}. Inconsistent graphs
+    either deadlock or need unbounded buffering, so the flow rejects them. *)
+
+type result =
+  | Consistent of int array  (** repetition vector indexed by actor id *)
+  | Inconsistent of Graph.channel
+      (** a witness channel whose balance equation is violated *)
+  | Disconnected_actor of Graph.actor
+      (** an actor with no channels cannot be rated against the others *)
+
+val compute : Graph.t -> result
+
+val vector_exn : Graph.t -> int array
+(** The repetition vector.
+    @raise Invalid_argument if the graph is not consistent (with a message
+    naming the witness). *)
+
+val is_consistent : Graph.t -> bool
+
+val iteration_firings : Graph.t -> int
+(** Total number of firings in one graph iteration (sum of the repetition
+    vector). @raise Invalid_argument on inconsistent graphs. *)

@@ -1,0 +1,190 @@
+type error =
+  | Schedule_deadlock of { time : int; fired : int; total : int }
+  | Schedule_inconsistent of string
+
+(* A dedicated one-iteration simulator: resources pick among their ready
+   actors, unbound actors run self-timed (one firing at a time). We cannot
+   reuse Execution here because Execution *follows* a static order while
+   this module *invents* one. *)
+let list_schedule g ~binding =
+  match Repetition.compute g with
+  | Repetition.Inconsistent c ->
+      Error
+        (Schedule_inconsistent
+           (Printf.sprintf "channel %S violates the balance equations"
+              c.channel_name))
+  | Repetition.Disconnected_actor a ->
+      Error
+        (Schedule_inconsistent
+           (Printf.sprintf "actor %S is disconnected" a.actor_name))
+  | Repetition.Consistent q ->
+      let n = Graph.actor_count g in
+      let resource_names = ref [] in
+      let resource_index = Hashtbl.create 8 in
+      let resource_of = Array.make n (-1) in
+      for a = 0 to n - 1 do
+        match binding a with
+        | None -> ()
+        | Some r ->
+            let idx =
+              match Hashtbl.find_opt resource_index r with
+              | Some i -> i
+              | None ->
+                  let i = Hashtbl.length resource_index in
+                  Hashtbl.add resource_index r i;
+                  resource_names := r :: !resource_names;
+                  i
+            in
+            resource_of.(a) <- idx
+      done;
+      let resource_names = Array.of_list (List.rev !resource_names) in
+      let resource_count = Array.length resource_names in
+      let orders = Array.make resource_count [] in
+      let busy = Array.make resource_count false in
+      let inflight = Array.make n 0 in
+      let due = Array.copy q in
+      let tokens = Array.make (Graph.channel_count g) 0 in
+      List.iter
+        (fun (c : Graph.channel) -> tokens.(c.channel_id) <- c.initial_tokens)
+        (Graph.channels g);
+      let inputs = Array.make n [] and outputs = Array.make n [] in
+      List.iter
+        (fun (c : Graph.channel) ->
+          inputs.(c.target) <-
+            (c.channel_id, c.consumption_rate) :: inputs.(c.target);
+          outputs.(c.source) <-
+            (c.channel_id, c.production_rate) :: outputs.(c.source))
+        (Graph.channels g);
+      let ready a =
+        List.for_all (fun (ch, rate) -> tokens.(ch) >= rate) inputs.(a)
+      in
+      let pending : (Graph.actor_id * int) Heap.t = Heap.create () in
+      let clock = ref 0 in
+      let fired = ref 0 in
+      let total = Array.fold_left ( + ) 0 q in
+      let start a =
+        List.iter (fun (ch, rate) -> tokens.(ch) <- tokens.(ch) - rate) inputs.(a);
+        due.(a) <- due.(a) - 1;
+        inflight.(a) <- inflight.(a) + 1;
+        incr fired;
+        let res = resource_of.(a) in
+        if res >= 0 then begin
+          busy.(res) <- true;
+          orders.(res) <- a :: orders.(res)
+        end;
+        Heap.add pending
+          ~key:(!clock + Stdlib.max 0 (Graph.actor g a).execution_time)
+          (a, res)
+      in
+      let complete (a, res) =
+        List.iter (fun (ch, rate) -> tokens.(ch) <- tokens.(ch) + rate) outputs.(a);
+        inflight.(a) <- inflight.(a) - 1;
+        if res >= 0 then busy.(res) <- false
+      in
+      let rec drain () =
+        match Heap.min_key pending with
+        | Some t when t = !clock ->
+            (match Heap.pop pending with
+            | Some (_, firing) -> complete firing
+            | None -> ());
+            drain ()
+        | _ -> ()
+      in
+      let start_pass () =
+        let started = ref 0 in
+        for res = 0 to resource_count - 1 do
+          if not busy.(res) then begin
+            (* highest priority: most firings still due, then lowest id *)
+            let best = ref None in
+            for a = 0 to n - 1 do
+              if resource_of.(a) = res && due.(a) > 0 && ready a then
+                match !best with
+                | None -> best := Some a
+                | Some b -> if due.(a) > due.(b) then best := Some a
+            done;
+            match !best with
+            | Some a ->
+                start a;
+                incr started
+            | None -> ()
+          end
+        done;
+        for a = 0 to n - 1 do
+          if resource_of.(a) = -1 && inflight.(a) = 0 && due.(a) > 0 && ready a
+          then begin
+            start a;
+            incr started
+          end
+        done;
+        !started
+      in
+      let rec fixpoint () =
+        drain ();
+        let started = start_pass () in
+        let more =
+          match Heap.min_key pending with Some t -> t = !clock | None -> false
+        in
+        if started > 0 || more then fixpoint ()
+      in
+      let rec run () =
+        fixpoint ();
+        if !fired >= total then Ok ()
+        else
+          match Heap.min_key pending with
+          | None -> Error (Schedule_deadlock { time = !clock; fired = !fired; total })
+          | Some t ->
+              clock := t;
+              run ()
+      in
+      Result.map
+        (fun () ->
+          Array.to_list
+            (Array.mapi
+               (fun i name ->
+                 {
+                   Execution.resource_name = name;
+                   static_order = Array.of_list (List.rev orders.(i));
+                 })
+               resource_names)
+          |> List.filter (fun (b : Execution.resource_binding) ->
+                 Array.length b.static_order > 0))
+        (run ())
+
+let validate g bindings =
+  match Repetition.compute g with
+  | Repetition.Consistent q ->
+      let counts = Array.make (Graph.actor_count g) 0 in
+      List.iter
+        (fun (b : Execution.resource_binding) ->
+          Array.iter (fun a -> counts.(a) <- counts.(a) + 1) b.static_order)
+        bindings;
+      let bad = ref None in
+      Array.iteri
+        (fun a c ->
+          if c > 0 && c <> q.(a) && !bad = None then
+            bad :=
+              Some
+                (Printf.sprintf
+                   "actor %S appears %d times, repetition count is %d"
+                   (Graph.actor g a).actor_name c q.(a)))
+        counts;
+      (match !bad with Some msg -> Error msg | None -> Ok ())
+  | Repetition.Inconsistent _ | Repetition.Disconnected_actor _ ->
+      Error "graph is not consistent"
+
+let total_entries bindings =
+  List.fold_left
+    (fun acc (b : Execution.resource_binding) ->
+      acc + Array.length b.static_order)
+    0 bindings
+
+let pp ppf bindings =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (b : Execution.resource_binding) ->
+      Format.fprintf ppf "%s: [%s]@,"
+        b.resource_name
+        (String.concat " "
+           (Array.to_list (Array.map string_of_int b.static_order))))
+    bindings;
+  Format.fprintf ppf "@]"

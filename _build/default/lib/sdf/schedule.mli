@@ -1,0 +1,35 @@
+(** Static-order schedule construction.
+
+    The MAMPS platform runs the actors bound to one processing element in a
+    fixed cyclic order — the scheduler degenerates to a lookup table
+    (paper, §6.3). This module builds such an order with a list scheduler:
+    it simulates one self-timed graph iteration in which every resource, when
+    idle, starts the highest-priority ready actor bound to it; the realised
+    firing sequence becomes the static order.
+
+    The resulting orders feed {!Execution.options.resources}, so the
+    throughput analysis of the mapped graph sees exactly the sequencing the
+    generated platform will impose. *)
+
+type error =
+  | Schedule_deadlock of { time : int; fired : int; total : int }
+      (** the list scheduler got stuck before completing one iteration *)
+  | Schedule_inconsistent of string
+
+val list_schedule :
+  Graph.t ->
+  binding:(Graph.actor_id -> string option) ->
+  (Execution.resource_binding list, error) result
+(** [list_schedule g ~binding] assigns each actor with [binding a = Some r]
+    to resource [r]; actors mapped to [None] (e.g. interconnect model
+    actors) stay self-timed. Resources appear in first-use order. Priority
+    among ready actors on one resource: most firings still due this
+    iteration, then lowest actor id. *)
+
+val validate :
+  Graph.t -> Execution.resource_binding list -> (unit, string) result
+(** Every bound actor appears in its order exactly its repetition count. *)
+
+val total_entries : Execution.resource_binding list -> int
+
+val pp : Format.formatter -> Execution.resource_binding list -> unit

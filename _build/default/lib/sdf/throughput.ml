@@ -1,0 +1,66 @@
+type result =
+  | Throughput of {
+      throughput : Rational.t;
+      transient_time : int;
+      period_time : int;
+      period_iterations : int;
+    }
+  | Deadlocked of { time : int; iterations : int }
+  | No_recurrence
+
+let analyse ?(options = Execution.default_options) ?(max_steps = 200_000) g =
+  let eng = Execution.create ~options g in
+  let seen : (string, int * int) Hashtbl.t = Hashtbl.create 1024 in
+  let rec loop steps =
+    if steps > max_steps then No_recurrence
+    else begin
+      let key = Execution.state_key eng in
+      match Hashtbl.find_opt seen key with
+      | Some (t0, iterations0) ->
+          let period_time = Execution.now eng - t0 in
+          let period_iterations =
+            Execution.iterations_completed eng - iterations0
+          in
+          if period_time <= 0 || period_iterations <= 0 then No_recurrence
+          else
+            Throughput
+              {
+                throughput = Rational.make period_iterations period_time;
+                transient_time = t0;
+                period_time;
+                period_iterations;
+              }
+      | None ->
+          Hashtbl.add seen key
+            (Execution.now eng, Execution.iterations_completed eng);
+          (match Execution.advance eng with
+          | Execution.Advanced -> loop (steps + 1)
+          | Execution.Deadlock ->
+              Deadlocked
+                {
+                  time = Execution.now eng;
+                  iterations = Execution.iterations_completed eng;
+                }
+          | Execution.Budget_exhausted -> No_recurrence)
+    end
+  in
+  loop 0
+
+let to_rational = function
+  | Throughput { throughput; _ } -> throughput
+  | Deadlocked _ -> Rational.zero
+  | No_recurrence ->
+      invalid_arg "Throughput.to_rational: analysis did not converge"
+
+let actor_throughput g result a =
+  let q = Repetition.vector_exn g in
+  Rational.mul (to_rational result) (Rational.of_int q.(a))
+
+let pp_result ppf = function
+  | Throughput { throughput; transient_time; period_time; period_iterations } ->
+      Format.fprintf ppf
+        "throughput %a it/cycle (transient %d, period %d cycles / %d it)"
+        Rational.pp throughput transient_time period_time period_iterations
+  | Deadlocked { time; iterations } ->
+      Format.fprintf ppf "deadlock at t=%d after %d iterations" time iterations
+  | No_recurrence -> Format.fprintf ppf "no recurrence found"

@@ -1,0 +1,43 @@
+(** Worst-case throughput analysis.
+
+    Implements the state-space approach of Ghamarian et al. (ACSD 2006) as
+    used by SDF3: execute the graph self-timed under worst-case execution
+    times; because the timed execution is deterministic and (for a
+    consistent, resource-constrained graph) has finitely many states, it
+    eventually revisits a state. The executions between two visits form the
+    periodic phase; throughput is the number of graph iterations completed
+    in one period divided by the period length.
+
+    Throughput is expressed in {e graph iterations per clock cycle}; the
+    paper's case study reports the same quantity as "MCUs per cycle" since
+    one MJPEG iteration decodes one MCU. *)
+
+type result =
+  | Throughput of {
+      throughput : Rational.t;  (** iterations per clock cycle *)
+      transient_time : int;  (** cycles until the periodic phase starts *)
+      period_time : int;  (** length of one period in cycles *)
+      period_iterations : int;  (** iterations completed per period *)
+    }
+  | Deadlocked of { time : int; iterations : int }
+  | No_recurrence
+      (** the state space did not close within the step budget; either the
+          graph needs unbounded buffering (inconsistent/unbounded
+          auto-concurrency) or the budget was too small *)
+
+val analyse :
+  ?options:Execution.options -> ?max_steps:int -> Graph.t -> result
+(** [analyse g] explores at most [max_steps] (default [200_000]) clock
+    advances. [options] carries resource bindings and static orders so that
+    the analysis models the mapped platform; its [firing_time] must be
+    deterministic. *)
+
+val to_rational : result -> Rational.t
+(** Throughput value; {!Rational.zero} for deadlock.
+    @raise Invalid_argument on [No_recurrence]. *)
+
+val actor_throughput : Graph.t -> result -> Graph.actor_id -> Rational.t
+(** Firings of the given actor per clock cycle: iteration throughput scaled
+    by the actor's repetition count. *)
+
+val pp_result : Format.formatter -> result -> unit

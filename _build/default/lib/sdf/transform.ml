@@ -1,0 +1,67 @@
+let constrain_auto_concurrency g ~degree =
+  if degree < 1 then
+    invalid_arg "Transform.constrain_auto_concurrency: degree must be >= 1";
+  List.fold_left
+    (fun acc (a : Graph.actor) ->
+      let has_self =
+        List.exists Graph.is_self_loop (Graph.outgoing acc a.actor_id)
+      in
+      if has_self then acc
+      else
+        let acc, _ =
+          Graph.add_channel acc
+            ~name:(a.actor_name ^ "__self")
+            ~source:a.actor_id ~production_rate:1 ~target:a.actor_id
+            ~consumption_rate:1 ~initial_tokens:degree ~token_size:0 ()
+        in
+        acc)
+    g (Graph.actors g)
+
+let scale_execution_times g ~num ~den =
+  if num < 0 || den <= 0 then
+    invalid_arg "Transform.scale_execution_times: bad ratio";
+  Graph.with_execution_times g (fun a ->
+      ((a.execution_time * num) + den - 1) / den)
+
+let relabel_actors g ~prefix =
+  let g' = Graph.empty (Graph.name g) in
+  let g' =
+    List.fold_left
+      (fun acc (a : Graph.actor) ->
+        fst
+          (Graph.add_actor acc ~name:(prefix ^ a.actor_name)
+             ~execution_time:a.execution_time))
+      g' (Graph.actors g)
+  in
+  List.fold_left
+    (fun acc (c : Graph.channel) ->
+      fst
+        (Graph.add_channel acc
+           ~name:(prefix ^ c.channel_name)
+           ~source:c.source ~production_rate:c.production_rate ~target:c.target
+           ~consumption_rate:c.consumption_rate
+           ~initial_tokens:c.initial_tokens ~token_size:c.token_size ()))
+    g' (Graph.channels g)
+
+let merge a b =
+  let offset = Graph.actor_count a in
+  let merged =
+    List.fold_left
+      (fun acc (x : Graph.actor) ->
+        fst
+          (Graph.add_actor acc ~name:x.actor_name
+             ~execution_time:x.execution_time))
+      a (Graph.actors b)
+  in
+  let merged =
+    List.fold_left
+      (fun acc (c : Graph.channel) ->
+        fst
+          (Graph.add_channel acc ~name:c.channel_name
+             ~source:(c.source + offset) ~production_rate:c.production_rate
+             ~target:(c.target + offset)
+             ~consumption_rate:c.consumption_rate
+             ~initial_tokens:c.initial_tokens ~token_size:c.token_size ()))
+      merged (Graph.channels b)
+  in
+  (merged, fun id -> id + offset)

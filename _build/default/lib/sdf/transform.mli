@@ -1,0 +1,21 @@
+(** Structural graph transformations shared by the mapping stage. *)
+
+val constrain_auto_concurrency : Graph.t -> degree:int -> Graph.t
+(** Add a self-loop with [degree] initial tokens to every actor that has no
+    self-loop yet, so that at most [degree] firings of an actor overlap.
+    This encodes the execution engine's auto-concurrency bound structurally,
+    which matters when a graph is exported and re-analysed elsewhere.
+    Added channels are named ["<actor>__self"]. *)
+
+val scale_execution_times : Graph.t -> num:int -> den:int -> Graph.t
+(** Multiply every execution time by [num/den], rounding up (conservative).
+    Used for what-if analyses such as the paper's §6.3 communication-assist
+    experiment. @raise Invalid_argument if [num < 0 || den <= 0]. *)
+
+val relabel_actors : Graph.t -> prefix:string -> Graph.t
+(** Prefix every actor and channel name; convenient when embedding one graph
+    inside another. *)
+
+val merge : Graph.t -> Graph.t -> Graph.t * (Graph.actor_id -> Graph.actor_id)
+(** [merge a b] is a graph containing both (names must not clash) together
+    with the translation of [b]'s actor ids. *)

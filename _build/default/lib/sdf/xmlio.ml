@@ -1,0 +1,84 @@
+module Xml = Xmlkit.Xml
+
+let to_xml g =
+  let actor_node (a : Graph.actor) =
+    Xml.element "actor"
+      ~attrs:
+        [
+          ("name", a.actor_name);
+          ("executionTime", string_of_int a.execution_time);
+        ]
+  in
+  let channel_node (c : Graph.channel) =
+    Xml.element "channel"
+      ~attrs:
+        [
+          ("name", c.channel_name);
+          ("src", (Graph.actor g c.source).actor_name);
+          ("dst", (Graph.actor g c.target).actor_name);
+          ("prodRate", string_of_int c.production_rate);
+          ("consRate", string_of_int c.consumption_rate);
+          ("initialTokens", string_of_int c.initial_tokens);
+          ("tokenSize", string_of_int c.token_size);
+        ]
+  in
+  Xml.element "sdfgraph"
+    ~attrs:[ ("name", Graph.name g) ]
+    ~children:
+      (List.map actor_node (Graph.actors g)
+      @ List.map channel_node (Graph.channels g))
+
+let of_xml node =
+  try
+    let root = Xml.as_element node in
+    if root.tag <> "sdfgraph" then
+      failwith (Printf.sprintf "expected <sdfgraph>, found <%s>" root.tag);
+    let g = Graph.empty (Xml.attr root "name") in
+    let g =
+      List.fold_left
+        (fun acc e ->
+          fst
+            (Graph.add_actor acc ~name:(Xml.attr e "name")
+               ~execution_time:(Xml.int_attr e "executionTime")))
+        g
+        (Xml.children_named root "actor")
+    in
+    let g =
+      List.fold_left
+        (fun acc e ->
+          let actor_id name =
+            match Graph.find_actor acc name with
+            | Some a -> a.actor_id
+            | None ->
+                failwith
+                  (Printf.sprintf "channel %S references unknown actor %S"
+                     (Xml.attr e "name") name)
+          in
+          fst
+            (Graph.add_channel acc ~name:(Xml.attr e "name")
+               ~source:(actor_id (Xml.attr e "src"))
+               ~production_rate:(Xml.int_attr e "prodRate")
+               ~target:(actor_id (Xml.attr e "dst"))
+               ~consumption_rate:(Xml.int_attr e "consRate")
+               ?initial_tokens:(Xml.int_attr_opt e "initialTokens")
+               ?token_size:(Xml.int_attr_opt e "tokenSize")
+               ()))
+        g
+        (Xml.children_named root "channel")
+    in
+    Ok g
+  with
+  | Failure msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let to_string g = Xml.to_string (to_xml g)
+
+let of_string s = Result.bind (Xml.parse s) of_xml
+
+let to_file g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let of_file path = Result.bind (Xml.parse_file path) of_xml

@@ -1,0 +1,19 @@
+(** SDF graph persistence in the flow's common XML format.
+
+    The format follows the structure of SDF3's [sdf.xsd] closely enough to
+    be familiar, but is the flow's own schema:
+
+    {v
+    <sdfgraph name="...">
+      <actor name="..." executionTime="..."/>
+      <channel name="..." src="A" dst="B" prodRate="2" consRate="1"
+               initialTokens="1" tokenSize="4"/>
+    </sdfgraph>
+    v} *)
+
+val to_xml : Graph.t -> Xmlkit.Xml.t
+val of_xml : Xmlkit.Xml.t -> (Graph.t, string) result
+val to_string : Graph.t -> string
+val of_string : string -> (Graph.t, string) result
+val to_file : Graph.t -> string -> unit
+val of_file : string -> (Graph.t, string) result

@@ -1,0 +1,1 @@
+lib/sim/platform_sim.ml: Appmodel Array Fun List Mapping Option Printf Queue Sdf Stdlib String

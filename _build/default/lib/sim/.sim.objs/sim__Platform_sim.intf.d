@@ -1,0 +1,1 @@
+lib/sim/platform_sim.mli: Appmodel Mapping Sdf Stdlib

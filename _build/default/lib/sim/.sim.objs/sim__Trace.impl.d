@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Buffer Bytes Char List Printf Stdlib String

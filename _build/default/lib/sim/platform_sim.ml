@@ -1,0 +1,488 @@
+module Application = Appmodel.Application
+module Actor_impl = Appmodel.Actor_impl
+module Metrics = Appmodel.Metrics
+module Token = Appmodel.Token
+module Graph = Sdf.Graph
+module Rational = Sdf.Rational
+module Flow_map = Mapping.Flow_map
+module Comm_map = Mapping.Comm_map
+module Binding = Mapping.Binding
+
+type timing =
+  | Wcet
+  | Data_dependent
+
+type result = {
+  iterations : int;
+  total_cycles : int;
+  iteration_end_times : int array;
+  tile_busy : (string * int) list;
+  firing_counts : (string * int) list;
+  wcet_violations : (string * int) list;
+  final_local_tokens : (string * Token.t list) list;
+}
+
+(* --- channel state ------------------------------------------------------ *)
+
+(* A link transports 32-bit words. PE endpoints run their copy loops word
+   by word (blocking FSL semantics); CA/IP endpoints stream in the
+   background. Words not yet taken by the reader occupy FIFO space. *)
+type link = {
+  lk_params : Comm_map.channel_params;
+  lk_words : int;  (** words per token *)
+  word_arrivals : int Queue.t;  (** arrival time of each unread word *)
+  tokens_pending : (Token.t * int) Queue.t;  (** values, ready_at (CA only) *)
+  mutable words_in_flight : int;
+  mutable next_entry : int;  (** link pacing: earliest next word entry *)
+  mutable src_ca_busy : int;
+      (** the source CA context serving this connection, busy-until *)
+  mutable dst_ca_busy : int;
+}
+
+type channel_state =
+  | Local of { queue : Token.t Queue.t; capacity : int }
+  | Remote of link
+
+(* --- tile processes ----------------------------------------------------- *)
+
+type step =
+  | Read of Graph.channel
+  | Fire of Graph.actor
+  | Write of Graph.channel
+
+type proc = {
+  tile : int;
+  program : step array;
+  mutable pc : int;
+  mutable busy_until : int;
+  mutable progress : int;  (** words handled within the current Read/Write *)
+  mutable bundle : (string * Token.t array) list;
+  mutable outputs : (string * Token.t array) list;
+  mutable busy_accum : int;
+}
+
+let blank_token (c : Graph.channel) =
+  {
+    Token.words = Array.make (Token.words_for_bytes c.token_size) 0;
+    byte_size = c.token_size;
+  }
+
+let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
+    ?(observe = fun _ _ -> ()) ?(trace = fun ~tile:_ ~label:_ ~start:_ ~finish:_ -> ()) () =
+  let app = mapping.Flow_map.application in
+  let g = mapping.Flow_map.timed_graph in
+  let q = Sdf.Repetition.vector_exn g in
+  let n = Graph.actor_count g in
+  let binding = mapping.Flow_map.binding in
+  let impls =
+    Array.init n (fun a ->
+        Binding.implementation app mapping.Flow_map.platform binding
+          (Graph.actor g a).actor_name)
+  in
+  let inter_by_name =
+    List.map
+      (fun ic -> (ic.Comm_map.ic_name, ic))
+      mapping.Flow_map.expansion.Comm_map.inter_channels
+  in
+  let intra_capacity name =
+    Option.value ~default:max_int
+      (List.assoc_opt name mapping.Flow_map.expansion.Comm_map.intra_capacities)
+  in
+  let channels =
+    Array.of_list
+      (List.map
+         (fun (c : Graph.channel) ->
+           match List.assoc_opt c.channel_name inter_by_name with
+           | None ->
+               let queue = Queue.create () in
+               Array.iter
+                 (fun tok -> Queue.add tok queue)
+                 (Application.initial_values app c.channel_name);
+               Local { queue; capacity = intra_capacity c.channel_name }
+           | Some ic ->
+               let link =
+                 {
+                   lk_params = ic.Comm_map.ic_params;
+                   lk_words = ic.Comm_map.ic_words;
+                   word_arrivals = Queue.create ();
+                   tokens_pending = Queue.create ();
+                   words_in_flight = 0;
+                   next_entry = 0;
+                   src_ca_busy = 0;
+                   dst_ca_busy = 0;
+                 }
+               in
+               (* initial tokens were shipped over the link by the
+                  initialization code: their words wait in the FIFO at time
+                  0 and the reader deserializes them like any other *)
+               Array.iter
+                 (fun tok ->
+                   Queue.add (tok, 0) link.tokens_pending;
+                   for _ = 1 to link.lk_words do
+                     Queue.add 0 link.word_arrivals
+                   done;
+                   link.words_in_flight <- link.words_in_flight + link.lk_words)
+                 (Application.initial_values app c.channel_name);
+               Remote link)
+         (Graph.channels g))
+  in
+  let parse_tile name =
+    if String.length name > 4 && String.sub name 0 4 = "tile" then
+      int_of_string_opt (String.sub name 4 (String.length name - 4))
+    else None
+  in
+  let procs =
+    List.filter_map
+      (fun (b : Sdf.Execution.resource_binding) ->
+        match parse_tile b.resource_name with
+        | None -> None
+        | Some tile ->
+            let program =
+              Array.to_list b.static_order
+              |> List.concat_map (fun actor_id ->
+                     let actor = Graph.actor g actor_id in
+                     let reads =
+                       Graph.incoming g actor_id |> List.map (fun c -> Read c)
+                     in
+                     let writes =
+                       Graph.outgoing g actor_id |> List.map (fun c -> Write c)
+                     in
+                     reads @ (Fire actor :: writes))
+              |> Array.of_list
+            in
+            Some
+              {
+                tile;
+                program;
+                pc = 0;
+                busy_until = 0;
+                progress = 0;
+                bundle = [];
+                outputs = [];
+                busy_accum = 0;
+              })
+      mapping.Flow_map.actor_orders
+  in
+  let now = ref 0 in
+  let firing_counts = Array.make n 0 in
+  let wcet_violations = Array.make n 0 in
+  let iteration_ends = ref [] in
+  let iterations_done = ref 0 in
+  let min_iterations () =
+    let m = ref max_int in
+    Array.iteri
+      (fun a qa -> if qa > 0 then m := Stdlib.min !m (firing_counts.(a) / qa))
+      q;
+    if !m = max_int then 0 else !m
+  in
+  let advance_pc p =
+    p.pc <- (p.pc + 1) mod Array.length p.program;
+    p.progress <- 0
+  in
+  let pe_busy p label cost =
+    trace ~tile:(Printf.sprintf "tile%d" p.tile) ~label ~start:!now
+      ~finish:(!now + cost);
+    p.busy_until <- !now + cost;
+    p.busy_accum <- p.busy_accum + cost
+  in
+  (* pushing one word through a link: respects link pacing, returns arrival *)
+  let push_word link ~enter_at =
+    let entry = Stdlib.max link.next_entry enter_at in
+    link.next_entry <- entry + link.lk_params.Comm_map.rate_cycles_per_word;
+    entry + link.lk_params.Comm_map.latency_cycles
+  in
+  (* A CA (or IP streamer) ships a whole token in the background. Each
+     connection has its own CA context (a DMA channel), matching the
+     per-channel serialization units of the analysis model. *)
+  let ca_push_token link tok =
+    let params = link.lk_params in
+    let start =
+      Stdlib.max link.src_ca_busy !now + params.Comm_map.setup_time
+    in
+    let last_arrival = ref !now in
+    for k = 1 to link.lk_words do
+      last_arrival :=
+        push_word link ~enter_at:(start + (k * params.Comm_map.ser_per_word));
+      Queue.add !last_arrival link.word_arrivals
+    done;
+    link.src_ca_busy <- start + (link.lk_words * params.Comm_map.ser_per_word);
+    let ready =
+      if params.Comm_map.deser_on_pe then !last_arrival
+      else begin
+        (* the destination CA context deserializes in the background too *)
+        let done_at =
+          Stdlib.max link.dst_ca_busy !last_arrival
+          + (link.lk_words * params.Comm_map.deser_per_word)
+        in
+        link.dst_ca_busy <- done_at;
+        done_at
+      end
+    in
+    Queue.add (tok, ready) link.tokens_pending;
+    link.words_in_flight <- link.words_in_flight + link.lk_words
+  in
+  let try_step p =
+    if p.busy_until > !now then false
+    else begin
+      match p.program.(p.pc) with
+      | Read c -> (
+          match channels.(c.channel_id) with
+          | Local { queue; _ } ->
+              if Queue.length queue >= c.consumption_rate then begin
+                let tokens =
+                  Array.init c.consumption_rate (fun _ -> Queue.pop queue)
+                in
+                p.bundle <- (c.channel_name, tokens) :: p.bundle;
+                advance_pc p;
+                true
+              end
+              else false
+          | Remote link ->
+              let params = link.lk_params in
+              let total_words = c.consumption_rate * link.lk_words in
+              if params.Comm_map.deser_on_pe then begin
+                (* the PE's read loop: one blocking FSL get per word *)
+                if p.progress >= total_words then begin
+                  let tokens =
+                    Array.init c.consumption_rate (fun _ ->
+                        fst (Queue.pop link.tokens_pending))
+                  in
+                  p.bundle <- (c.channel_name, tokens) :: p.bundle;
+                  advance_pc p;
+                  true
+                end
+                else begin
+                  match Queue.peek_opt link.word_arrivals with
+                  | None -> false
+                  | Some arrival when arrival > !now ->
+                      p.busy_until <- arrival;
+                      true
+                  | Some _ ->
+                      ignore (Queue.pop link.word_arrivals);
+                      (* preloaded initial tokens never occupied FIFO space *)
+                      link.words_in_flight <-
+                        Stdlib.max 0 (link.words_in_flight - 1);
+                      p.progress <- p.progress + 1;
+                      pe_busy p ("deser:" ^ c.channel_name)
+                        params.Comm_map.deser_per_word;
+                      true
+                end
+              end
+              else begin
+                (* a CA already deserialized: tokens become ready wholesale *)
+                if Queue.length link.tokens_pending >= c.consumption_rate then begin
+                  let ready =
+                    List.fold_left
+                      (fun acc (_, r) -> Stdlib.max acc r)
+                      0
+                      (List.filteri
+                         (fun i _ -> i < c.consumption_rate)
+                         (List.of_seq (Queue.to_seq link.tokens_pending)))
+                  in
+                  if ready > !now then begin
+                    p.busy_until <- ready;
+                    true
+                  end
+                  else begin
+                    let tokens =
+                      Array.init c.consumption_rate (fun _ ->
+                          fst (Queue.pop link.tokens_pending))
+                    in
+                    for _ = 1 to total_words do
+                      ignore (Queue.pop link.word_arrivals)
+                    done;
+                    link.words_in_flight <-
+                      Stdlib.max 0 (link.words_in_flight - total_words);
+                    p.bundle <- (c.channel_name, tokens) :: p.bundle;
+                    advance_pc p;
+                    true
+                  end
+                end
+                else false
+              end)
+      | Fire actor ->
+          let impl = impls.(actor.actor_id) in
+          let explicit_bundle =
+            List.filter
+              (fun (name, _) -> List.mem name impl.Actor_impl.explicit_inputs)
+              p.bundle
+          in
+          let cycles =
+            match timing with
+            | Wcet -> impl.Actor_impl.metrics.Metrics.wcet
+            | Data_dependent ->
+                Stdlib.max 0 (impl.Actor_impl.cycles explicit_bundle)
+          in
+          if cycles > impl.Actor_impl.metrics.Metrics.wcet then
+            wcet_violations.(actor.actor_id) <-
+              wcet_violations.(actor.actor_id) + 1;
+          p.outputs <- impl.Actor_impl.fire explicit_bundle;
+          p.bundle <- [];
+          pe_busy p actor.Graph.actor_name cycles;
+          firing_counts.(actor.actor_id) <- firing_counts.(actor.actor_id) + 1;
+          let completed = min_iterations () in
+          while !iterations_done < completed do
+            incr iterations_done;
+            iteration_ends := (!now + cycles) :: !iteration_ends
+          done;
+          advance_pc p;
+          true
+      | Write c -> (
+          let impl = impls.((Graph.actor g c.source).actor_id) in
+          let tokens () =
+            if List.mem c.channel_name impl.Actor_impl.explicit_outputs then
+              match List.assoc_opt c.channel_name p.outputs with
+              | Some tokens when Array.length tokens = c.production_rate ->
+                  tokens
+              | Some _ | None ->
+                  Array.init c.production_rate (fun _ -> blank_token c)
+            else Array.init c.production_rate (fun _ -> blank_token c)
+          in
+          match channels.(c.channel_id) with
+          | Local { queue; capacity } ->
+              if capacity - Queue.length queue >= c.production_rate then begin
+                Array.iter
+                  (fun tok ->
+                    observe c.channel_name tok;
+                    Queue.add tok queue)
+                  (tokens ());
+                advance_pc p;
+                true
+              end
+              else false
+          | Remote link ->
+              let params = link.lk_params in
+              if params.Comm_map.ser_on_pe then begin
+                (* the PE's write loop: one blocking FSL put per word *)
+                let total_words = c.production_rate * link.lk_words in
+                if p.progress >= total_words then begin
+                  advance_pc p;
+                  true
+                end
+                else if
+                  link.words_in_flight
+                  >= params.Comm_map.network_buffer_words
+                then false (* FIFO full: blocking write *)
+                else begin
+                  (* setup once per token, then the per-word copy *)
+                  let cost =
+                    params.Comm_map.ser_per_word
+                    + (if p.progress mod link.lk_words = 0 then
+                         params.Comm_map.setup_time
+                       else 0)
+                  in
+                  pe_busy p ("ser:" ^ c.channel_name) cost;
+                  let arrival =
+                    push_word link ~enter_at:(!now + cost)
+                  in
+                  Queue.add arrival link.word_arrivals;
+                  link.words_in_flight <- link.words_in_flight + 1;
+                  p.progress <- p.progress + 1;
+                  if p.progress mod link.lk_words = 0 then begin
+                    let index = (p.progress / link.lk_words) - 1 in
+                    let tok = (tokens ()).(index) in
+                    observe c.channel_name tok;
+                    Queue.add (tok, arrival) link.tokens_pending
+                  end;
+                  true
+                end
+              end
+              else begin
+                (* a CA ships the tokens in the background; the PE only
+                   hands over descriptors *)
+                Array.iter
+                  (fun tok ->
+                    observe c.channel_name tok;
+                    ca_push_token link tok)
+                  (tokens ());
+                advance_pc p;
+                true
+              end)
+    end
+  in
+  (* scheduler loop *)
+  let error = ref None in
+  let guard = ref 0 in
+  let max_rounds = 500_000_000 in
+  (try
+     while !iterations_done < iterations && !error = None do
+       let progress = ref false in
+       List.iter
+         (fun p ->
+           let continue = ref true in
+           while !continue && !iterations_done < iterations do
+             incr guard;
+             if !guard > max_rounds then begin
+               error := Some "simulation budget exhausted";
+               raise Exit
+             end;
+             if p.busy_until > !now then continue := false
+             else if try_step p then progress := true
+             else continue := false
+           done)
+         procs;
+       if !iterations_done < iterations && not !progress then begin
+         let next =
+           List.fold_left
+             (fun acc p ->
+               if p.busy_until > !now then Stdlib.min acc p.busy_until else acc)
+             max_int procs
+         in
+         if next = max_int then begin
+           error := Some "platform deadlock: every tile blocked";
+           raise Exit
+         end
+         else now := next
+       end
+     done
+   with Exit -> ());
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+      let ends = Array.of_list (List.rev !iteration_ends) in
+      let total_cycles =
+        if Array.length ends > 0 then ends.(Array.length ends - 1) else 0
+      in
+      Ok
+        {
+          iterations = !iterations_done;
+          total_cycles;
+          iteration_end_times = ends;
+          tile_busy =
+            List.map
+              (fun p -> (Printf.sprintf "tile%d" p.tile, p.busy_accum))
+              procs;
+          firing_counts =
+            List.init n (fun a ->
+                ((Graph.actor g a).actor_name, firing_counts.(a)));
+          wcet_violations =
+            List.filter_map
+              (fun a ->
+                if wcet_violations.(a) > 0 then
+                  Some ((Graph.actor g a).actor_name, wcet_violations.(a))
+                else None)
+              (List.init n Fun.id);
+          final_local_tokens =
+            List.filter_map
+              (fun (c : Graph.channel) ->
+                match channels.(c.channel_id) with
+                | Local { queue; _ } ->
+                    Some (c.channel_name, List.of_seq (Queue.to_seq queue))
+                | Remote _ -> None)
+              (Graph.channels g);
+        }
+
+let overall_throughput r =
+  if r.total_cycles = 0 then Rational.zero
+  else Rational.make r.iterations r.total_cycles
+
+let steady_throughput r =
+  let count = Array.length r.iteration_end_times in
+  if count < 4 then overall_throughput r
+  else begin
+    let skip = count / 4 in
+    let t0 = r.iteration_end_times.(skip - 1) in
+    let t1 = r.iteration_end_times.(count - 1) in
+    if t1 <= t0 then overall_throughput r
+    else Rational.make (count - skip) (t1 - t0)
+  end

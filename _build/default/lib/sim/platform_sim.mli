@@ -1,0 +1,59 @@
+(** Cycle-level simulation of the generated platform.
+
+    This is the reproduction's stand-in for running the synthesized design
+    on the ML605 board (see DESIGN.md): a discrete-event simulator whose
+    agents are the platform's components, not the analysis model —
+    processing elements executing their static-order schedule the way the
+    generated wrapper code does (blocking reads, firing, blocking writes),
+    FSL links and NoC connections transporting 32-bit words with rate,
+    latency and bounded buffering, and communication assists copying
+    concurrently with their PE.
+
+    Real token values flow through the actor implementations, so a
+    simulation both measures throughput and produces the application's
+    actual output. Firing durations come from the implementations'
+    data-dependent cost models ({!Data_dependent}, the paper's "measured"
+    bars) or from the declared WCETs ({!Wcet}, which should land on the
+    worst-case analysis line).
+
+    Known, documented simplifications versus gate-level hardware (all
+    chosen so the SDF3 prediction stays a lower bound): link FIFO space is
+    released when token deserialization starts rather than word by word,
+    serializers claim a whole token's space before pushing, and CA
+    descriptor queues are unbounded. *)
+
+type timing =
+  | Wcet  (** every firing takes its declared worst case *)
+  | Data_dependent  (** firings take their cost-model time *)
+
+type result = {
+  iterations : int;
+  total_cycles : int;  (** time when the last iteration completed *)
+  iteration_end_times : int array;
+  tile_busy : (string * int) list;  (** PE busy cycles, per tile *)
+  firing_counts : (string * int) list;  (** per application actor *)
+  wcet_violations : (string * int) list;
+  final_local_tokens : (string * Appmodel.Token.t list) list;
+      (** contents of intra-tile channels after the run (state tokens etc.) *)
+}
+
+val run :
+  Mapping.Flow_map.t ->
+  iterations:int ->
+  ?timing:timing ->
+  ?observe:(string -> Appmodel.Token.t -> unit) ->
+  ?trace:(tile:string -> label:string -> start:int -> finish:int -> unit) ->
+  unit ->
+  (result, string) Stdlib.result
+(** Simulate until [iterations] graph iterations completed. [timing]
+    defaults to {!Data_dependent}. [observe] sees every token produced on
+    an application channel (by name); [trace] sees every busy interval of
+    every PE (firings and per-word copy loops — pair it with
+    {!Trace.sink}). Fails on platform deadlock. *)
+
+val overall_throughput : result -> Sdf.Rational.t
+(** [iterations / total_cycles]. *)
+
+val steady_throughput : result -> Sdf.Rational.t
+(** Rate over the last three quarters of the run, discarding the pipeline
+    fill transient — the paper's long-term average (§5). *)

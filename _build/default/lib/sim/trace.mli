@@ -1,0 +1,36 @@
+(** Execution traces of platform simulations.
+
+    The simulator can report every busy interval of every tile — actor
+    firings and the PE's (de-)serialization loops. This module collects
+    those spans and renders them as an ASCII Gantt chart for quick
+    inspection or as a VCD waveform file for a standard viewer (GTKWave
+    and friends), the format FPGA engineers would reach for when checking
+    what the generated platform does cycle by cycle. *)
+
+type span = {
+  sp_tile : string;
+  sp_label : string;  (** actor name, or ["ser:<ch>"] / ["deser:<ch>"] *)
+  sp_start : int;
+  sp_end : int;  (** exclusive; spans with [sp_end = sp_start] are dropped *)
+}
+
+type t
+
+val create : unit -> t
+
+val sink : t -> tile:string -> label:string -> start:int -> finish:int -> unit
+(** The callback to pass as {!Platform_sim.run}'s [?trace]. *)
+
+val spans : t -> span list
+(** Chronological (by start, then tile). *)
+
+val span_count : t -> int
+
+val to_vcd : ?design:string -> t -> string
+(** A VCD document with one string-valued variable per tile whose value is
+    the running label, cleared between spans. *)
+
+val to_ascii_gantt : ?width:int -> ?until:int -> t -> string
+(** One row per tile, time left to right, busy cells marked with the first
+    letter of the label; [width] (default 100) columns cover [until]
+    (default: the last span end) cycles. *)

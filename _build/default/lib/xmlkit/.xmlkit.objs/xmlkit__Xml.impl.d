@@ -1,0 +1,1 @@
+lib/xmlkit/xml.ml: Buffer Fun List Option Printf String

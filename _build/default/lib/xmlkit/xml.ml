@@ -1,0 +1,356 @@
+type t =
+  | Element of element
+  | Text of string
+
+and element = {
+  tag : string;
+  attrs : (string * string) list;
+  children : t list;
+}
+
+let element ?(attrs = []) ?(children = []) tag =
+  Element { tag; attrs; children }
+
+let text s = Text s
+
+(* --- writer --- *)
+
+let escape ~quote s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '"' when quote -> Buffer.add_string b "&quot;"
+      | '\'' when quote -> Buffer.add_string b "&apos;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_string ?(declaration = true) root =
+  let b = Buffer.create 1024 in
+  if declaration then Buffer.add_string b "<?xml version=\"1.0\"?>\n";
+  let rec node indent = function
+    | Text s -> Buffer.add_string b (escape ~quote:false s)
+    | Element e ->
+        Buffer.add_string b indent;
+        Buffer.add_char b '<';
+        Buffer.add_string b e.tag;
+        List.iter
+          (fun (k, v) ->
+            Buffer.add_string b
+              (Printf.sprintf " %s=\"%s\"" k (escape ~quote:true v)))
+          e.attrs;
+        if e.children = [] then Buffer.add_string b "/>\n"
+        else begin
+          let only_text =
+            List.for_all (function Text _ -> true | Element _ -> false)
+              e.children
+          in
+          if only_text then begin
+            Buffer.add_char b '>';
+            List.iter (node "") e.children;
+            Buffer.add_string b (Printf.sprintf "</%s>\n" e.tag)
+          end
+          else begin
+            Buffer.add_string b ">\n";
+            List.iter
+              (function
+                | Text s ->
+                    if String.trim s <> "" then begin
+                      Buffer.add_string b (indent ^ "  ");
+                      Buffer.add_string b (escape ~quote:false (String.trim s));
+                      Buffer.add_char b '\n'
+                    end
+                | child -> node (indent ^ "  ") child)
+              e.children;
+            Buffer.add_string b indent;
+            Buffer.add_string b (Printf.sprintf "</%s>\n" e.tag)
+          end
+        end
+  in
+  node "" root;
+  Buffer.contents b
+
+(* --- parser --- *)
+
+exception Parse_error of int * string
+
+type cursor = { input : string; mutable pos : int }
+
+let peek cur = if cur.pos < String.length cur.input then Some cur.input.[cur.pos] else None
+
+let fail cur msg = raise (Parse_error (cur.pos, msg))
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let looking_at cur prefix =
+  let n = String.length prefix in
+  cur.pos + n <= String.length cur.input
+  && String.sub cur.input cur.pos n = prefix
+
+let expect cur prefix =
+  if looking_at cur prefix then cur.pos <- cur.pos + String.length prefix
+  else fail cur (Printf.sprintf "expected %S" prefix)
+
+let skip_whitespace cur =
+  let rec loop () =
+    match peek cur with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance cur;
+        loop ()
+    | _ -> ()
+  in
+  loop ()
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = ':' || c = '.'
+
+let parse_name cur =
+  let start = cur.pos in
+  let rec loop () =
+    match peek cur with
+    | Some c when is_name_char c ->
+        advance cur;
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  if cur.pos = start then fail cur "expected a name";
+  String.sub cur.input start (cur.pos - start)
+
+let parse_entity cur =
+  expect cur "&";
+  let name = parse_name cur in
+  expect cur ";";
+  match name with
+  | "amp" -> '&'
+  | "lt" -> '<'
+  | "gt" -> '>'
+  | "quot" -> '"'
+  | "apos" -> '\''
+  | other -> fail cur (Printf.sprintf "unknown entity &%s;" other)
+
+let parse_quoted cur =
+  let quote =
+    match peek cur with
+    | Some (('"' | '\'') as q) ->
+        advance cur;
+        q
+    | _ -> fail cur "expected a quoted value"
+  in
+  let b = Buffer.create 16 in
+  let rec loop () =
+    match peek cur with
+    | None -> fail cur "unterminated attribute value"
+    | Some c when c = quote -> advance cur
+    | Some '&' -> Buffer.add_char b (parse_entity cur); loop ()
+    | Some c ->
+        advance cur;
+        Buffer.add_char b c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents b
+
+let skip_comment cur =
+  expect cur "<!--";
+  let rec loop () =
+    if looking_at cur "-->" then expect cur "-->"
+    else if cur.pos >= String.length cur.input then fail cur "unterminated comment"
+    else begin
+      advance cur;
+      loop ()
+    end
+  in
+  loop ()
+
+let skip_processing_instruction cur =
+  expect cur "<?";
+  let rec loop () =
+    if looking_at cur "?>" then expect cur "?>"
+    else if cur.pos >= String.length cur.input then
+      fail cur "unterminated processing instruction"
+    else begin
+      advance cur;
+      loop ()
+    end
+  in
+  loop ()
+
+let parse_cdata cur =
+  expect cur "<![CDATA[";
+  let start = cur.pos in
+  let rec loop () =
+    if looking_at cur "]]>" then begin
+      let content = String.sub cur.input start (cur.pos - start) in
+      expect cur "]]>";
+      content
+    end
+    else if cur.pos >= String.length cur.input then fail cur "unterminated CDATA"
+    else begin
+      advance cur;
+      loop ()
+    end
+  in
+  loop ()
+
+let rec parse_element cur =
+  expect cur "<";
+  let tag = parse_name cur in
+  let rec attrs acc =
+    skip_whitespace cur;
+    match peek cur with
+    | Some '/' ->
+        expect cur "/>";
+        { tag; attrs = List.rev acc; children = [] }
+    | Some '>' ->
+        advance cur;
+        let children = parse_children cur tag in
+        { tag; attrs = List.rev acc; children }
+    | Some _ ->
+        let name = parse_name cur in
+        skip_whitespace cur;
+        expect cur "=";
+        skip_whitespace cur;
+        let value = parse_quoted cur in
+        attrs ((name, value) :: acc)
+    | None -> fail cur "unterminated start tag"
+  in
+  attrs []
+
+and parse_children cur tag =
+  let children = ref [] in
+  let buffer = Buffer.create 16 in
+  let flush_text () =
+    if Buffer.length buffer > 0 then begin
+      let s = Buffer.contents buffer in
+      Buffer.clear buffer;
+      if String.trim s <> "" then children := Text s :: !children
+    end
+  in
+  let rec loop () =
+    if looking_at cur "</" then begin
+      flush_text ();
+      expect cur "</";
+      let closing = parse_name cur in
+      if closing <> tag then
+        fail cur (Printf.sprintf "mismatched closing tag </%s> for <%s>" closing tag);
+      skip_whitespace cur;
+      expect cur ">"
+    end
+    else if looking_at cur "<!--" then begin
+      skip_comment cur;
+      loop ()
+    end
+    else if looking_at cur "<![CDATA[" then begin
+      Buffer.add_string buffer (parse_cdata cur);
+      loop ()
+    end
+    else if looking_at cur "<?" then begin
+      skip_processing_instruction cur;
+      loop ()
+    end
+    else
+      match peek cur with
+      | None -> fail cur (Printf.sprintf "unterminated element <%s>" tag)
+      | Some '<' ->
+          flush_text ();
+          children := Element (parse_element cur) :: !children;
+          loop ()
+      | Some '&' ->
+          Buffer.add_char buffer (parse_entity cur);
+          loop ()
+      | Some c ->
+          advance cur;
+          Buffer.add_char buffer c;
+          loop ()
+  in
+  loop ();
+  List.rev !children
+
+let parse input =
+  let cur = { input; pos = 0 } in
+  try
+    let rec prologue () =
+      skip_whitespace cur;
+      if looking_at cur "<?" then begin
+        skip_processing_instruction cur;
+        prologue ()
+      end
+      else if looking_at cur "<!--" then begin
+        skip_comment cur;
+        prologue ()
+      end
+    in
+    prologue ();
+    let root = parse_element cur in
+    skip_whitespace cur;
+    if cur.pos <> String.length cur.input then
+      fail cur "trailing content after the root element";
+    Ok (Element root)
+  with Parse_error (pos, msg) ->
+    Error (Printf.sprintf "XML parse error at byte %d: %s" pos msg)
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse content
+
+(* --- accessors --- *)
+
+let tag = function Element e -> e.tag | Text _ -> failwith "Xml.tag: text node"
+
+let as_element = function
+  | Element e -> e
+  | Text _ -> failwith "Xml.as_element: text node"
+
+let attr_opt e name = List.assoc_opt name e.attrs
+
+let attr e name =
+  match attr_opt e name with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "element <%s> lacks attribute %S" e.tag name)
+
+let int_attr_opt e name =
+  Option.map
+    (fun v ->
+      match int_of_string_opt (String.trim v) with
+      | Some n -> n
+      | None ->
+          failwith
+            (Printf.sprintf "attribute %s=%S of <%s> is not an integer" name v
+               e.tag))
+    (attr_opt e name)
+
+let int_attr e name =
+  match int_attr_opt e name with
+  | Some n -> n
+  | None -> failwith (Printf.sprintf "element <%s> lacks attribute %S" e.tag name)
+
+let children_named e name =
+  List.filter_map
+    (function Element c when c.tag = name -> Some c | _ -> None)
+    e.children
+
+let child_opt e name =
+  match children_named e name with c :: _ -> Some c | [] -> None
+
+let child e name =
+  match child_opt e name with
+  | Some c -> c
+  | None -> failwith (Printf.sprintf "element <%s> lacks child <%s>" e.tag name)
+
+let text_content e =
+  String.trim
+    (String.concat ""
+       (List.filter_map (function Text s -> Some s | Element _ -> None) e.children))

@@ -1,0 +1,56 @@
+(** A minimal XML document model with a writer and a parser.
+
+    The paper's central usability claim is a {e common input format} shared
+    by the mapping tool (SDF3) and the platform generator (MAMPS), removing
+    the manual translation step of earlier flows. This module provides the
+    document infrastructure for that format: elements with attributes,
+    text nodes, pretty-printing, and a recursive-descent parser covering
+    the subset of XML the flow emits (elements, attributes in single or
+    double quotes, text, comments, processing instructions, the five
+    predefined entities, and CDATA). It is not a general-purpose validating
+    parser and does not handle DTDs or namespaces. *)
+
+type t =
+  | Element of element
+  | Text of string
+
+and element = {
+  tag : string;
+  attrs : (string * string) list;
+  children : t list;
+}
+
+val element : ?attrs:(string * string) list -> ?children:t list -> string -> t
+val text : string -> t
+
+(** {1 Writing} *)
+
+val to_string : ?declaration:bool -> t -> string
+(** Indented serialization; [declaration] (default true) prepends
+    [<?xml version="1.0"?>]. Attribute values and text are escaped. *)
+
+(** {1 Parsing} *)
+
+val parse : string -> (t, string) result
+(** Parse a document; returns the root element. Errors carry a byte offset. *)
+
+val parse_file : string -> (t, string) result
+
+(** {1 Accessors}
+
+    These raise [Failure] with a descriptive message on missing data; the
+    flow treats malformed input files as fatal. *)
+
+val tag : t -> string
+val attr : element -> string -> string
+val attr_opt : element -> string -> string option
+val int_attr : element -> string -> int
+val int_attr_opt : element -> string -> int option
+val child : element -> string -> element
+val child_opt : element -> string -> element option
+val children_named : element -> string -> element list
+val text_content : element -> string
+(** Concatenated text children, trimmed. *)
+
+val as_element : t -> element
+(** @raise Failure on a text node. *)

@@ -1,0 +1,1 @@
+test/test_appmodel.ml: Actor_impl Alcotest Application Appmodel Array Bytes Functional Gen List Metrics QCheck QCheck_alcotest Sdf Test Token Wcet

@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Arbiter Arch Area Component Fsl Gen List Noc Platform Printf QCheck QCheck_alcotest Template Test Tile

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Appmodel Arch Core Experiments Format List Mamps Mapping Mjpeg Option Sdf Sim Stdlib String

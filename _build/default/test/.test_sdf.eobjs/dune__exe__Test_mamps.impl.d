@@ -1,0 +1,1 @@
+test/test_mamps.ml: Alcotest Appmodel Arch C_gen Filename List Mamps Mapping Netlist Option Project String Sys Tcl_gen

@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Appmodel Arch Array Binding Comm_map Cost Flow_map Gen List Mapping Memory_dim Option Order Printf QCheck QCheck_alcotest Result Sdf Test

@@ -1,0 +1,1 @@
+test/test_mjpeg.ml: Alcotest Appmodel Array Bitio Bytes Dct_data Encoder Fun Gen Huffman Idct Iqzz List Mjpeg Mjpeg_app Printf QCheck QCheck_alcotest Raster Sdf Streams String Test Tokens Vld

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Appmodel Arch Array Gen List Mapping Option Printf QCheck QCheck_alcotest Sdf Sim String Test

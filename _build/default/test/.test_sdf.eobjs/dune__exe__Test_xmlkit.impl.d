@@ -1,0 +1,1 @@
+test/test_xmlkit.ml: Alcotest Gen List QCheck QCheck_alcotest Seq String Test Xml Xmlkit

@@ -1,0 +1,1 @@
+test/test_xmlkit.mli:

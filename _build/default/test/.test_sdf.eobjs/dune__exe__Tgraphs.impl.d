@@ -1,0 +1,1 @@
+test/tgraphs.ml: Array Buffers Format Graph List Printf QCheck Rational Sdf Stdlib

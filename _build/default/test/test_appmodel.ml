@@ -1,0 +1,438 @@
+open Appmodel
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+(* --- Token -------------------------------------------------------------- *)
+
+let test_token_words () =
+  check int "word bytes" 4 Token.word_bytes;
+  check int "0 bytes" 0 (Token.words_for_bytes 0);
+  check int "1 byte" 1 (Token.words_for_bytes 1);
+  check int "4 bytes" 1 (Token.words_for_bytes 4);
+  check int "5 bytes" 2 (Token.words_for_bytes 5);
+  check int "unit token" 0 (Token.word_count Token.unit_token)
+
+let test_token_ints () =
+  let t = Token.of_ints [| 1; 2; 3 |] in
+  check int "byte size" 12 t.Token.byte_size;
+  check (Alcotest.array int) "roundtrip" [| 1; 2; 3 |] (Token.to_ints t);
+  check bool "equal" true (Token.equal t (Token.of_ints [| 1; 2; 3 |]));
+  check bool "not equal" false (Token.equal t (Token.of_ints [| 1; 2 |]))
+
+let test_token_bytes () =
+  let b = Bytes.of_string "hello world" in
+  let t = Token.of_bytes b in
+  check int "byte size" 11 t.Token.byte_size;
+  check int "word count" 3 (Token.word_count t);
+  check string "roundtrip" "hello world" (Bytes.to_string (Token.to_bytes t))
+
+let token_props =
+  let open QCheck in
+  [
+    Test.make ~count:200 ~name:"token bytes roundtrip" (string_of_size Gen.(int_range 0 64))
+      (fun s ->
+        let b = Bytes.of_string s in
+        Bytes.to_string (Token.to_bytes (Token.of_bytes b)) = s);
+    Test.make ~count:200 ~name:"token int roundtrip"
+      (array_of_size Gen.(int_range 0 32) (int_range 0 0xFFFF))
+      (fun words -> Token.to_ints (Token.of_ints words) = words);
+  ]
+
+(* --- Metrics / Actor_impl ------------------------------------------------ *)
+
+let test_metrics () =
+  let m = Metrics.make ~wcet:10 ~instruction_memory:100 ~data_memory:50 in
+  check int "wcet" 10 m.Metrics.wcet;
+  (try
+     ignore (Metrics.make ~wcet:0 ~instruction_memory:0 ~data_memory:0);
+     Alcotest.fail "zero wcet accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Metrics.make ~wcet:1 ~instruction_memory:(-1) ~data_memory:0);
+    Alcotest.fail "negative memory accepted"
+  with Invalid_argument _ -> ()
+
+let test_actor_impl () =
+  let metrics = Metrics.make ~wcet:5 ~instruction_memory:10 ~data_memory:10 in
+  let impl =
+    Actor_impl.make ~name:"id" ~metrics ~explicit_inputs:[ "in" ]
+      ~explicit_outputs:[ "out" ]
+      (fun bundle -> [ ("out", Actor_impl.find bundle "in") ])
+  in
+  check string "default processor" "microblaze" impl.Actor_impl.processor_type;
+  check int "default cycles = wcet" 5 (impl.Actor_impl.cycles []);
+  let tokens = [| Token.of_ints [| 7 |] |] in
+  (match impl.Actor_impl.fire [ ("in", tokens) ] with
+  | [ ("out", produced) ] -> check bool "pass through" true (produced == tokens)
+  | _ -> Alcotest.fail "unexpected production");
+  try
+    ignore (Actor_impl.find [ ("x", [||]) ] "missing");
+    Alcotest.fail "missing channel accepted"
+  with Not_found -> ()
+
+(* --- Application --------------------------------------------------------- *)
+
+let dummy_impl ?(processor_type = "microblaze") ?(wcet = 5)
+    ?(explicit_inputs = []) ?(explicit_outputs = []) name =
+  Actor_impl.make ~name ~processor_type
+    ~metrics:(Metrics.make ~wcet ~instruction_memory:64 ~data_memory:64)
+    ~explicit_inputs ~explicit_outputs
+    (fun _ -> List.map (fun c -> (c, [||])) explicit_outputs)
+
+let two_actor_app ?(impl_a = dummy_impl "a") ?(impl_b = dummy_impl "b") () =
+  Application.make ~name:"two"
+    ~actors:
+      [
+        { Application.a_name = "A"; a_implementations = [ impl_a ] };
+        { Application.a_name = "B"; a_implementations = [ impl_b ] };
+      ]
+    ~channels:
+      [
+        Application.channel ~name:"ab" ~source:"A" ~production:1 ~target:"B"
+          ~consumption:1 ();
+        Application.channel ~name:"ba" ~source:"B" ~production:1 ~target:"A"
+          ~consumption:1 ~initial_tokens:2 ();
+      ]
+    ()
+
+let test_application_make () =
+  match two_actor_app () with
+  | Error e -> Alcotest.fail e
+  | Ok app ->
+      check (Alcotest.list string) "actors" [ "A"; "B" ]
+        (Application.actor_names app);
+      let g = Application.graph app in
+      check int "graph actors" 2 (Sdf.Graph.actor_count g);
+      check int "wcet propagated" 5 (Sdf.Graph.actor_of_name g "A").execution_time;
+      check (Alcotest.list string) "processor types" [ "microblaze" ]
+        (Application.processor_types app)
+
+let test_application_validation () =
+  let fails ~reason actors channels =
+    match Application.make ~name:"bad" ~actors ~channels () with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted invalid model: %s" reason
+  in
+  fails ~reason:"no implementations"
+    [ { Application.a_name = "A"; a_implementations = [] } ]
+    [];
+  fails ~reason:"unknown source actor"
+    [ { Application.a_name = "A"; a_implementations = [ dummy_impl "a" ] } ]
+    [
+      Application.channel ~name:"c" ~source:"Z" ~production:1 ~target:"A"
+        ~consumption:1 ();
+    ];
+  (* explicit input names a channel that is not an input of the actor *)
+  fails ~reason:"explicit port mismatch"
+    [
+      {
+        Application.a_name = "A";
+        a_implementations = [ dummy_impl ~explicit_inputs:[ "c" ] "a" ];
+      };
+      { Application.a_name = "B"; a_implementations = [ dummy_impl "b" ] };
+    ]
+    [
+      Application.channel ~name:"c" ~source:"A" ~production:1 ~target:"B"
+        ~consumption:1 ();
+    ];
+  (* more initial values than initial tokens *)
+  fails ~reason:"initial value overflow"
+    [ { Application.a_name = "A"; a_implementations = [ dummy_impl "a" ] } ]
+    [
+      Application.channel ~name:"self" ~source:"A" ~production:1 ~target:"A"
+        ~consumption:1 ~initial_tokens:0
+        ~initial_values:[ Token.unit_token ] ();
+    ]
+
+let test_graph_for () =
+  let impl_a = dummy_impl ~wcet:5 "a" in
+  let impl_b = dummy_impl ~processor_type:"dsp" ~wcet:3 "b" in
+  match two_actor_app ~impl_a ~impl_b () with
+  | Error e -> Alcotest.fail e
+  | Ok app -> (
+      (match Application.graph_for app ~assignment:(fun _ -> "microblaze") with
+      | Ok _ -> Alcotest.fail "B has no microblaze implementation"
+      | Error _ -> ());
+      match
+        Application.graph_for app ~assignment:(fun a ->
+            if a = "A" then "microblaze" else "dsp")
+      with
+      | Ok g ->
+          check int "A time" 5 (Sdf.Graph.actor_of_name g "A").execution_time;
+          check int "B time" 3 (Sdf.Graph.actor_of_name g "B").execution_time
+      | Error e -> Alcotest.fail e)
+
+let test_initial_values () =
+  match two_actor_app () with
+  | Error e -> Alcotest.fail e
+  | Ok app ->
+      let values = Application.initial_values app "ba" in
+      check int "padded to count" 2 (Array.length values);
+      check int "blank size" 4 values.(0).Token.byte_size
+
+let test_application_xml_roundtrip () =
+  match two_actor_app () with
+  | Error e -> Alcotest.fail e
+  | Ok app -> (
+      let registry name =
+        if name = "a" then Some (dummy_impl "a")
+        else if name = "b" then Some (dummy_impl "b")
+        else None
+      in
+      match Application.of_string ~registry (Application.to_string app) with
+      | Error e -> Alcotest.fail e
+      | Ok app' ->
+          check (Alcotest.list string) "actors survive"
+            (Application.actor_names app)
+            (Application.actor_names app');
+          check int "channel count survives"
+            (Sdf.Graph.channel_count (Application.graph app))
+            (Sdf.Graph.channel_count (Application.graph app'));
+          check int "wcet survives"
+            (Sdf.Graph.actor_of_name (Application.graph app) "A").execution_time
+            (Sdf.Graph.actor_of_name (Application.graph app') "A").execution_time)
+
+let test_application_xml_unknown_impl () =
+  match two_actor_app () with
+  | Error e -> Alcotest.fail e
+  | Ok app -> (
+      match
+        Application.of_string ~registry:(fun _ -> None)
+          (Application.to_string app)
+      with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "accepted unknown implementation")
+
+(* --- Wcet ----------------------------------------------------------------- *)
+
+let test_wcet_estimate () =
+  let e = Wcet.of_samples ~margin_percent:10 [ 90; 100; 80 ] in
+  check int "max" 100 e.Wcet.observed_max;
+  check int "wcet with margin" 110 e.Wcet.wcet;
+  check int "samples" 3 e.Wcet.samples;
+  check bool "mean" true (abs_float (e.Wcet.observed_mean -. 90.0) < 0.001);
+  try
+    ignore (Wcet.of_samples ~margin_percent:0 []);
+    Alcotest.fail "empty samples accepted"
+  with Invalid_argument _ -> ()
+
+let test_wcet_measure () =
+  let impl =
+    Actor_impl.make ~name:"variable"
+      ~metrics:(Metrics.make ~wcet:100 ~instruction_memory:1 ~data_memory:1)
+      ~cycles:(fun bundle -> List.length bundle * 10)
+      (fun _ -> [])
+  in
+  let e =
+    Wcet.measure ~impl
+      ~inputs:[ []; [ ("a", [||]) ]; [ ("a", [||]); ("b", [||]) ] ]
+      ~margin_percent:50
+  in
+  check int "max" 20 e.Wcet.observed_max;
+  check int "wcet" 30 e.Wcet.wcet
+
+(* --- Functional ------------------------------------------------------------ *)
+
+(* A two-actor token-processing pipeline with state: A produces successive
+   integers (state on a self-edge), B doubles them (results observed). *)
+let counter_app () =
+  let a_impl =
+    Actor_impl.make ~name:"counter"
+      ~metrics:(Metrics.make ~wcet:10 ~instruction_memory:1 ~data_memory:1)
+      ~explicit_inputs:[ "state" ] ~explicit_outputs:[ "state"; "data" ]
+      ~cycles:(fun bundle ->
+        match Actor_impl.find bundle "state" with
+        | [| s |] -> 5 + ((Token.to_ints s).(0) mod 3)
+        | _ -> 0)
+      (fun bundle ->
+        match Actor_impl.find bundle "state" with
+        | [| s |] ->
+            let n = (Token.to_ints s).(0) in
+            [
+              ("state", [| Token.of_ints [| n + 1 |] |]);
+              ("data", [| Token.of_ints [| n |] |]);
+            ]
+        | _ -> failwith "bad state")
+  in
+  let b_impl =
+    Actor_impl.make ~name:"doubler"
+      ~metrics:(Metrics.make ~wcet:8 ~instruction_memory:1 ~data_memory:1)
+      ~explicit_inputs:[ "data" ] ~explicit_outputs:[ "out" ]
+      (fun bundle ->
+        match Actor_impl.find bundle "data" with
+        | [| d |] -> [ ("out", [| Token.of_ints [| 2 * (Token.to_ints d).(0) |] |]) ]
+        | _ -> failwith "bad data")
+  in
+  let sink_impl =
+    Actor_impl.make ~name:"sink"
+      ~metrics:(Metrics.make ~wcet:1 ~instruction_memory:1 ~data_memory:1)
+      (fun _ -> [])
+  in
+  Application.make ~name:"counter"
+    ~actors:
+      [
+        { Application.a_name = "A"; a_implementations = [ a_impl ] };
+        { Application.a_name = "B"; a_implementations = [ b_impl ] };
+        { Application.a_name = "Sink"; a_implementations = [ sink_impl ] };
+      ]
+    ~channels:
+      [
+        Application.channel ~name:"state" ~source:"A" ~production:1 ~target:"A"
+          ~consumption:1 ~initial_tokens:1
+          ~initial_values:[ Token.of_ints [| 0 |] ]
+          ();
+        Application.channel ~name:"data" ~source:"A" ~production:1 ~target:"B"
+          ~consumption:1 ();
+        Application.channel ~name:"out" ~source:"B" ~production:1
+          ~target:"Sink" ~consumption:1 ();
+      ]
+    ()
+
+let test_functional_values () =
+  match counter_app () with
+  | Error e -> Alcotest.fail e
+  | Ok app -> (
+      let observed = ref [] in
+      let observe channel tok =
+        if channel = "out" then observed := (Token.to_ints tok).(0) :: !observed
+      in
+      match Functional.run app ~iterations:5 ~observe () with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+          check int "iterations" 5 r.Functional.iterations;
+          check (Alcotest.list int) "doubled sequence" [ 0; 2; 4; 6; 8 ]
+            (List.rev !observed);
+          check int "A fired" 5 (List.assoc "A" r.Functional.firing_counts);
+          check bool "no wcet violations" true (r.Functional.wcet_violations = []);
+          (* state token advanced to 5 *)
+          (match List.assoc "state" r.Functional.final_tokens with
+          | [ s ] -> check int "final state" 5 (Token.to_ints s).(0)
+          | _ -> Alcotest.fail "state channel should hold one token");
+          check int "max cycles" 7 (Functional.max_cycles r "A");
+          check bool "mean cycles" true (Functional.mean_cycles r "A" > 5.0))
+
+let test_functional_deadlock () =
+  let impl = dummy_impl "x" in
+  match
+    Application.make ~name:"dead"
+      ~actors:
+        [
+          { Application.a_name = "A"; a_implementations = [ impl ] };
+          { Application.a_name = "B"; a_implementations = [ impl ] };
+        ]
+      ~channels:
+        [
+          Application.channel ~name:"ab" ~source:"A" ~production:1 ~target:"B"
+            ~consumption:1 ();
+          Application.channel ~name:"ba" ~source:"B" ~production:1 ~target:"A"
+            ~consumption:1 ();
+        ]
+      ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok app -> (
+      match Functional.run app ~iterations:1 () with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "deadlocked app executed")
+
+let test_functional_bad_production () =
+  let bad_impl =
+    Actor_impl.make ~name:"bad"
+      ~metrics:(Metrics.make ~wcet:1 ~instruction_memory:1 ~data_memory:1)
+      ~explicit_outputs:[ "out" ]
+      (fun _ -> [ ("out", [||]) ])
+    (* rate is 1, produces 0 *)
+  in
+  let sink = dummy_impl "sink" in
+  match
+    Application.make ~name:"bad"
+      ~actors:
+        [
+          { Application.a_name = "A"; a_implementations = [ bad_impl ] };
+          { Application.a_name = "B"; a_implementations = [ sink ] };
+        ]
+      ~channels:
+        [
+          Application.channel ~name:"out" ~source:"A" ~production:1 ~target:"B"
+            ~consumption:1 ();
+        ]
+      ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok app -> (
+      match Functional.run app ~iterations:1 () with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "wrong production count accepted")
+
+let test_functional_wcet_violation () =
+  let lying_impl =
+    Actor_impl.make ~name:"liar"
+      ~metrics:(Metrics.make ~wcet:5 ~instruction_memory:1 ~data_memory:1)
+      ~explicit_outputs:[ "out" ]
+      ~cycles:(fun _ -> 50)
+      (fun _ -> [ ("out", [| Token.unit_token |]) ])
+  in
+  let sink = dummy_impl "sink" in
+  match
+    Application.make ~name:"liar"
+      ~actors:
+        [
+          { Application.a_name = "A"; a_implementations = [ lying_impl ] };
+          { Application.a_name = "B"; a_implementations = [ sink ] };
+        ]
+      ~channels:
+        [
+          Application.channel ~name:"out" ~source:"A" ~production:1 ~target:"B"
+            ~consumption:1 ();
+        ]
+      ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok app -> (
+      match Functional.run app ~iterations:2 () with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+          check (Alcotest.list (Alcotest.pair string int)) "violations flagged"
+            [ ("A", 2) ]
+            r.Functional.wcet_violations)
+
+let () =
+  Alcotest.run "appmodel"
+    [
+      ( "token",
+        [
+          Alcotest.test_case "words" `Quick test_token_words;
+          Alcotest.test_case "ints" `Quick test_token_ints;
+          Alcotest.test_case "bytes" `Quick test_token_bytes;
+        ] );
+      ("token.props", List.map QCheck_alcotest.to_alcotest token_props);
+      ( "impl",
+        [
+          Alcotest.test_case "metrics" `Quick test_metrics;
+          Alcotest.test_case "actor impl" `Quick test_actor_impl;
+        ] );
+      ( "application",
+        [
+          Alcotest.test_case "make" `Quick test_application_make;
+          Alcotest.test_case "validation" `Quick test_application_validation;
+          Alcotest.test_case "graph for" `Quick test_graph_for;
+          Alcotest.test_case "initial values" `Quick test_initial_values;
+          Alcotest.test_case "xml roundtrip" `Quick test_application_xml_roundtrip;
+          Alcotest.test_case "xml unknown impl" `Quick test_application_xml_unknown_impl;
+        ] );
+      ( "wcet",
+        [
+          Alcotest.test_case "estimate" `Quick test_wcet_estimate;
+          Alcotest.test_case "measure" `Quick test_wcet_measure;
+        ] );
+      ( "functional",
+        [
+          Alcotest.test_case "values" `Quick test_functional_values;
+          Alcotest.test_case "deadlock" `Quick test_functional_deadlock;
+          Alcotest.test_case "bad production" `Quick test_functional_bad_production;
+          Alcotest.test_case "wcet violation" `Quick test_functional_wcet_violation;
+        ] );
+    ]

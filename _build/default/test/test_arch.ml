@@ -1,0 +1,414 @@
+open Arch
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+(* --- tiles ---------------------------------------------------------------- *)
+
+let test_tile_variants () =
+  let master = Tile.master "t0" in
+  check bool "master peripherals" true (Tile.has_peripherals master);
+  check bool "master serializes on PE" true (Tile.serialization_on_pe master);
+  check (Alcotest.option string) "processor" (Some "microblaze")
+    (Tile.processor_type master);
+  check int "default imem" (128 * 1024) master.Tile.imem_capacity;
+  let slave = Tile.slave "t1" in
+  check bool "slave peripherals" false (Tile.has_peripherals slave);
+  check bool "slave serializes on PE" true (Tile.serialization_on_pe slave);
+  let ca = Tile.with_ca "t2" in
+  check bool "ca offloads serialization" false (Tile.serialization_on_pe ca);
+  let ip = Tile.ip_block ~name:"t3" ~ip:"fft_core" in
+  check (Alcotest.option string) "ip has no PE" None (Tile.processor_type ip);
+  check bool "ip offloads" false (Tile.serialization_on_pe ip)
+
+let test_fsl () =
+  check int "default depth" 16 Fsl.default.Fsl.fifo_depth;
+  check int "cycles per word" 1 (Fsl.cycles_per_word Fsl.default);
+  try
+    ignore (Fsl.make ~fifo_depth:0 ());
+    Alcotest.fail "zero depth accepted"
+  with Invalid_argument _ -> ()
+
+(* --- NoC ------------------------------------------------------------------- *)
+
+let test_mesh_shapes () =
+  let shape n =
+    let m = Noc.mesh_for ~tile_count:n Noc.default_config in
+    (m.Noc.rows, m.Noc.cols)
+  in
+  check (Alcotest.pair int int) "1 tile" (1, 1) (shape 1);
+  check (Alcotest.pair int int) "2 tiles" (1, 2) (shape 2);
+  check (Alcotest.pair int int) "4 tiles" (2, 2) (shape 4);
+  check (Alcotest.pair int int) "5 tiles" (2, 3) (shape 5);
+  check (Alcotest.pair int int) "9 tiles" (3, 3) (shape 9);
+  check (Alcotest.pair int int) "10 tiles" (3, 4) (shape 10);
+  try
+    ignore (Noc.mesh_for ~tile_count:0 Noc.default_config);
+    Alcotest.fail "empty mesh accepted"
+  with Invalid_argument _ -> ()
+
+let test_mesh_near_square () =
+  (* the paper keeps the mesh as close to square as possible *)
+  for n = 1 to 30 do
+    let m = Noc.mesh_for ~tile_count:n Noc.default_config in
+    check bool
+      (Printf.sprintf "mesh for %d covers all tiles" n)
+      true
+      (Noc.router_count m >= n);
+    check bool
+      (Printf.sprintf "mesh for %d near square" n)
+      true
+      (abs (m.Noc.rows - m.Noc.cols) <= 1)
+  done
+
+let test_xy_route () =
+  let m = Noc.mesh_for ~tile_count:9 Noc.default_config in
+  (* 3x3 mesh: 0 1 2 / 3 4 5 / 6 7 8 *)
+  check (Alcotest.list (Alcotest.pair int int)) "same tile" []
+    (Noc.xy_route m ~src:4 ~dst:4);
+  check (Alcotest.list (Alcotest.pair int int)) "x first"
+    [ (0, 1); (1, 2); (2, 5); (5, 8) ]
+    (Noc.xy_route m ~src:0 ~dst:8);
+  check int "hops" 4 (Noc.hops m ~src:0 ~dst:8);
+  check int "diameter" 4 (Noc.max_hops m)
+
+let test_allocation () =
+  let m = Noc.mesh_for ~tile_count:4 Noc.default_config in
+  (* 2x2 mesh, 32 wires per link *)
+  let request src dst wires = { Noc.req_src = src; req_dst = dst; req_wires = wires } in
+  (match Noc.allocate m [ request 0 3 16; request 0 1 16 ] with
+  | Error e -> Alcotest.fail e
+  | Ok alloc ->
+      check int "connections" 2 (List.length alloc.Noc.connections);
+      (* both connections cross link 0->1 (XY: x first) *)
+      check (Alcotest.option int) "link 0->1 load" (Some 32)
+        (List.assoc_opt (0, 1) alloc.Noc.link_load));
+  (match Noc.allocate m [ request 0 3 20; request 0 1 20 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversubscription accepted");
+  (match Noc.allocate m [ request 1 1 8 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "self connection accepted");
+  match Noc.allocate m [ request 0 1 0 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "zero wires accepted"
+
+let test_connection_timing () =
+  let m = Noc.mesh_for ~tile_count:4 Noc.default_config in
+  match Noc.allocate m [ { Noc.req_src = 0; req_dst = 3; req_wires = 8 } ] with
+  | Error e -> Alcotest.fail e
+  | Ok alloc ->
+      let conn = List.hd alloc.Noc.connections in
+      check int "cycles per word" 4 (Noc.cycles_per_word conn);
+      check int "latency" (2 * 2) (Noc.connection_latency m conn)
+
+let noc_props =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* tiles = int_range 2 16 in
+      let* src = int_range 0 (tiles - 1) in
+      let* dst = int_range 0 (tiles - 1) in
+      return (tiles, src, dst))
+  in
+  [
+    Test.make ~count:300 ~name:"xy routes are connected minimal paths"
+      (make gen ~print:(fun (t, s, d) -> Printf.sprintf "%d tiles %d->%d" t s d))
+      (fun (tiles, src, dst) ->
+        let m = Noc.mesh_for ~tile_count:tiles Noc.default_config in
+        let route = Noc.xy_route m ~src ~dst in
+        let hops = Noc.hops m ~src ~dst in
+        List.length route = hops
+        && (route = []
+           || fst (List.hd route) = src
+              && snd (List.nth route (List.length route - 1)) = dst)
+        && (* consecutive links chain and are mesh neighbours *)
+        fst
+          (List.fold_left
+             (fun (ok, prev) (a, b) ->
+               let ar, ac = Noc.coordinates m a and br, bc = Noc.coordinates m b in
+               ( ok
+                 && (match prev with None -> true | Some p -> p = a)
+                 && abs (ar - br) + abs (ac - bc) = 1,
+                 Some b ))
+             (true, None) route));
+  ]
+
+(* --- Area ------------------------------------------------------------------- *)
+
+let test_area_arith () =
+  let a = { Area.slices = 10; bram_blocks = 1; dsp_slices = 2 } in
+  let b = { Area.slices = 5; bram_blocks = 0; dsp_slices = 1 } in
+  let s = Area.add a b in
+  check int "slices" 15 s.Area.slices;
+  check int "dsp" 3 s.Area.dsp_slices;
+  let scaled = Area.scale_percent a 112 in
+  check int "12% rounds up" 12 scaled.Area.slices
+
+let test_router_flow_control_overhead () =
+  let with_fc = Area.noc_router Noc.default_config in
+  let without =
+    Area.noc_router { Noc.default_config with Noc.flow_control = false }
+  in
+  let overhead =
+    (with_fc.Area.slices - without.Area.slices) * 100 / without.Area.slices
+  in
+  (* the paper measured ~12% extra slices for flow control *)
+  check bool "overhead close to 12%" true (overhead >= 10 && overhead <= 13)
+
+let test_tile_area () =
+  let master = Area.tile (Tile.master "t") in
+  let slave = Area.tile (Tile.slave "t") in
+  check bool "master bigger than slave (peripherals)" true
+    (master.Area.slices > slave.Area.slices);
+  let ca = Area.tile (Tile.with_ca "t") in
+  check bool "ca adds area" true (ca.Area.slices > slave.Area.slices);
+  check bool "memory in brams" true (slave.Area.bram_blocks >= 64)
+
+(* --- Arbiter (the paper's future-work extension) ------------------------------- *)
+
+let sample_arbiter () =
+  match Arbiter.make ~slot_cycles:10 ~clients:[ "t0"; "t1"; "t2" ] with
+  | Ok a -> a
+  | Error e -> Alcotest.failf "arbiter: %s" e
+
+let test_arbiter_basics () =
+  let a = sample_arbiter () in
+  check int "rotation" 30 (Arbiter.rotation_cycles a);
+  check string "slot 0 owner" "t0" (Arbiter.slot_owner a ~cycle:0);
+  check string "slot 1 owner" "t1" (Arbiter.slot_owner a ~cycle:10);
+  check string "wraps" "t0" (Arbiter.slot_owner a ~cycle:30);
+  check int "service rounds up to slots" 20 (Arbiter.service_cycles a ~request_cycles:11);
+  check int "zero request" 0 (Arbiter.worst_case_latency a ~client:"t1" ~request_cycles:0);
+  (match Arbiter.make ~slot_cycles:0 ~clients:[ "x" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "zero slot accepted");
+  match Arbiter.make ~slot_cycles:1 ~clients:[ "x"; "x" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate clients accepted"
+
+let test_arbiter_bound_is_sound () =
+  (* exhaustive over arrival phases: the simulated completion never
+     exceeds the worst-case bound *)
+  let a = sample_arbiter () in
+  List.iter
+    (fun request_cycles ->
+      let bound =
+        Arbiter.worst_case_latency a ~client:"t1" ~request_cycles
+      in
+      for arrival = 0 to Arbiter.rotation_cycles a - 1 do
+        let finish = Arbiter.simulate a ~client:"t1" ~arrival ~request_cycles in
+        check bool
+          (Printf.sprintf "req %d at phase %d within bound" request_cycles arrival)
+          true
+          (finish - arrival <= bound)
+      done)
+    [ 1; 5; 10; 11; 25; 60 ]
+
+let arbiter_props =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* slot = int_range 1 16 in
+      let* clients = int_range 1 5 in
+      let* request = int_range 0 100 in
+      let* arrival = int_range 0 200 in
+      let* who = int_range 0 (clients - 1) in
+      return (slot, clients, request, arrival, who))
+  in
+  [
+    Test.make ~count:300 ~name:"arbiter latency bound holds"
+      (make gen ~print:(fun (s, c, r, a, w) ->
+           Printf.sprintf "slot=%d clients=%d req=%d arrival=%d who=%d" s c r a w))
+      (fun (slot, client_count, request_cycles, arrival, who) ->
+        let clients = List.init client_count (Printf.sprintf "c%d") in
+        match Arbiter.make ~slot_cycles:slot ~clients with
+        | Error _ -> false
+        | Ok a ->
+            let client = Printf.sprintf "c%d" who in
+            let bound = Arbiter.worst_case_latency a ~client ~request_cycles in
+            Arbiter.simulate a ~client ~arrival ~request_cycles - arrival
+            <= bound);
+  ]
+
+let test_shared_peripheral_with_arbiter () =
+  let tiles =
+    [
+      Tile.master ~peripherals:[ Component.Uart ] "t0";
+      Tile.master ~peripherals:[ Component.Uart ] "t1";
+    ]
+  in
+  (* without an arbiter the platform is rejected (tested above); with one
+     covering both tiles it is accepted and the access bound is exposed *)
+  let arbiter =
+    match Arbiter.make ~slot_cycles:8 ~clients:[ "t0"; "t1" ] with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "arbiter: %s" e
+  in
+  match
+    Platform.make ~name:"shared" ~tiles
+      ~arbiters:[ (Component.Uart, arbiter) ]
+      (Platform.Point_to_point Fsl.default)
+  with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      (match
+         Platform.peripheral_access_bound p ~tile:"t0"
+           ~peripheral:Component.Uart ~request_cycles:20
+       with
+      | Some bound ->
+          check bool "bound exceeds raw access" true (bound > 20);
+          check int "bound value" (8 + (3 * 16))
+            bound (* slot + slots*rotation = 8 + 3*16 *)
+      | None -> Alcotest.fail "expected a bound");
+      (match
+         Platform.peripheral_access_bound p ~tile:"t9"
+           ~peripheral:Component.Uart ~request_cycles:20
+       with
+      | None -> ()
+      | Some _ -> Alcotest.fail "tile without access got a bound");
+      (* the arbiter survives the XML roundtrip *)
+      match Platform.of_string (Platform.to_string p) with
+      | Ok p' ->
+          check bool "arbiters preserved" true
+            (p'.Platform.arbiters = p.Platform.arbiters)
+      | Error e -> Alcotest.fail e
+
+(* --- Platform ----------------------------------------------------------------- *)
+
+let sample_platform interconnect =
+  Platform.make ~name:"p"
+    ~tiles:[ Tile.master "t0"; Tile.slave "t1"; Tile.with_ca "t2" ]
+    interconnect
+
+let test_platform_make () =
+  match sample_platform (Platform.Point_to_point Fsl.default) with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      check int "tiles" 3 (Platform.tile_count p);
+      check (Alcotest.option int) "index" (Some 1) (Platform.tile_index p "t1");
+      check int "clock default" 100 p.Platform.clock_mhz;
+      check bool "no mesh for fsl" true (Platform.noc_mesh p = None)
+
+let test_platform_validation () =
+  (match Platform.make ~name:"p" ~tiles:[] (Platform.Point_to_point Fsl.default) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty platform accepted");
+  (match
+     Platform.make ~name:"p"
+       ~tiles:[ Tile.master "t"; Tile.master "t" ]
+       (Platform.Point_to_point Fsl.default)
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate names accepted");
+  (* two masters share the UART: predictability forbids shared peripherals *)
+  match
+    Platform.make ~name:"p"
+      ~tiles:[ Tile.master "t0"; Tile.master "t1" ]
+      (Platform.Point_to_point Fsl.default)
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "shared peripheral accepted"
+
+let test_platform_noc () =
+  match sample_platform (Platform.Sdm_noc Noc.default_config) with
+  | Error e -> Alcotest.fail e
+  | Ok p -> (
+      match Platform.noc_mesh p with
+      | Some mesh -> check int "routers cover tiles" 4 (Noc.router_count mesh)
+      | None -> Alcotest.fail "expected a mesh")
+
+let test_platform_xml_roundtrip () =
+  let roundtrip interconnect =
+    match sample_platform interconnect with
+    | Error e -> Alcotest.fail e
+    | Ok p -> (
+        match Platform.of_string (Platform.to_string p) with
+        | Error e -> Alcotest.fail e
+        | Ok p' ->
+            check string "name" p.Platform.platform_name p'.Platform.platform_name;
+            check int "tiles" (Platform.tile_count p) (Platform.tile_count p');
+            check bool "tiles equal" true
+              (Platform.tiles p = Platform.tiles p');
+            check bool "interconnect equal" true
+              (p.Platform.interconnect = p'.Platform.interconnect))
+  in
+  roundtrip (Platform.Point_to_point (Fsl.make ~fifo_depth:32 ~latency:2 ()));
+  roundtrip (Platform.Sdm_noc { Noc.link_wires = 16; hop_latency = 3; flow_control = false })
+
+(* --- Template -------------------------------------------------------------------- *)
+
+let test_template_generate () =
+  match
+    Template.generate ~name:"gen" ~tile_count:4 (Template.Use_fsl Fsl.default)
+  with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      check int "tiles" 4 (Platform.tile_count p);
+      check bool "tile0 is master" true
+        (Tile.has_peripherals (Platform.tile p 0));
+      check bool "others are slaves" true
+        (not (Tile.has_peripherals (Platform.tile p 1)));
+      (* only one master: peripherals not shared *)
+      check int "one master" 1
+        (List.length (List.filter Tile.has_peripherals (Platform.tiles p)))
+
+let test_template_with_ca () =
+  match
+    Template.generate ~name:"ca" ~tile_count:2 ~with_ca:true
+      (Template.Use_noc Noc.default_config)
+  with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      check bool "ca tiles" true
+        (List.for_all
+           (fun t -> not (Tile.serialization_on_pe t))
+           (Platform.tiles p))
+
+let () =
+  Alcotest.run "arch"
+    [
+      ( "tiles",
+        [
+          Alcotest.test_case "variants" `Quick test_tile_variants;
+          Alcotest.test_case "fsl" `Quick test_fsl;
+        ] );
+      ( "noc",
+        [
+          Alcotest.test_case "mesh shapes" `Quick test_mesh_shapes;
+          Alcotest.test_case "near square" `Quick test_mesh_near_square;
+          Alcotest.test_case "xy route" `Quick test_xy_route;
+          Alcotest.test_case "allocation" `Quick test_allocation;
+          Alcotest.test_case "connection timing" `Quick test_connection_timing;
+        ] );
+      ("noc.props", List.map QCheck_alcotest.to_alcotest noc_props);
+      ( "arbiter",
+        [
+          Alcotest.test_case "basics" `Quick test_arbiter_basics;
+          Alcotest.test_case "bound sound (exhaustive phases)" `Quick
+            test_arbiter_bound_is_sound;
+          Alcotest.test_case "shared peripheral" `Quick
+            test_shared_peripheral_with_arbiter;
+        ] );
+      ("arbiter.props", List.map QCheck_alcotest.to_alcotest arbiter_props);
+      ( "area",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_area_arith;
+          Alcotest.test_case "flow control overhead" `Quick test_router_flow_control_overhead;
+          Alcotest.test_case "tile area" `Quick test_tile_area;
+        ] );
+      ( "platform",
+        [
+          Alcotest.test_case "make" `Quick test_platform_make;
+          Alcotest.test_case "validation" `Quick test_platform_validation;
+          Alcotest.test_case "noc" `Quick test_platform_noc;
+          Alcotest.test_case "xml roundtrip" `Quick test_platform_xml_roundtrip;
+        ] );
+      ( "template",
+        [
+          Alcotest.test_case "generate" `Quick test_template_generate;
+          Alcotest.test_case "with ca" `Quick test_template_with_ca;
+        ] );
+    ]

@@ -1,0 +1,505 @@
+open Mjpeg
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+(* --- dct_data -------------------------------------------------------------- *)
+
+let test_zigzag_permutation () =
+  check int "64 entries" 64 (Array.length Dct_data.zigzag);
+  let sorted = Array.copy Dct_data.zigzag in
+  Array.sort compare sorted;
+  check (Alcotest.array int) "permutation of 0..63"
+    (Array.init 64 Fun.id) sorted;
+  (* standard anchors of the zig-zag scan *)
+  check int "first" 0 Dct_data.zigzag.(0);
+  check int "second" 1 Dct_data.zigzag.(1);
+  check int "third" 8 Dct_data.zigzag.(2);
+  check int "last" 63 Dct_data.zigzag.(63);
+  Array.iteri
+    (fun raster zz -> check int "inverse" raster Dct_data.zigzag.(zz))
+    Dct_data.inverse_zigzag
+
+let test_scale_quant () =
+  let all_ones = Dct_data.scale_quant Dct_data.luminance_quant ~quality:100 in
+  check bool "quality 100 is all ones" true (Array.for_all (( = ) 1) all_ones);
+  let coarse = Dct_data.scale_quant Dct_data.luminance_quant ~quality:10 in
+  check bool "coarse is bigger" true (coarse.(0) > Dct_data.luminance_quant.(0));
+  check bool "entries bounded" true
+    (Array.for_all (fun q -> q >= 1 && q <= 255) coarse);
+  try
+    ignore (Dct_data.scale_quant Dct_data.luminance_quant ~quality:0);
+    Alcotest.fail "quality 0 accepted"
+  with Invalid_argument _ -> ()
+
+(* --- bitio ------------------------------------------------------------------- *)
+
+let test_bitio_basic () =
+  let w = Bitio.create_writer () in
+  Bitio.write_bits w ~value:0b101 ~bits:3;
+  Bitio.write_bits w ~value:0xFF ~bits:8;
+  Bitio.write_bits w ~value:0 ~bits:1;
+  check int "bit length" 12 (Bitio.writer_bit_length w);
+  let r = Bitio.reader_of_writer w in
+  check int "read back 3" 0b101 (Bitio.read_bits r 3);
+  check int "read back 8" 0xFF (Bitio.read_bits r 8);
+  check int "read back 1" 0 (Bitio.read_bits r 1);
+  check int "position" 12 (Bitio.bit_position r)
+
+let test_bitio_bounds () =
+  let w = Bitio.create_writer () in
+  (try
+     Bitio.write_bits w ~value:4 ~bits:2;
+     Alcotest.fail "overflow accepted"
+   with Invalid_argument _ -> ());
+  let r = Bitio.create_reader (Bytes.make 1 '\000') in
+  Bitio.seek r 8;
+  try
+    ignore (Bitio.read_bit r);
+    Alcotest.fail "read past end accepted"
+  with End_of_file -> ()
+
+let bitio_props =
+  let open QCheck in
+  let chunk = Gen.(pair (int_range 0 15) (int_range 0 0xFFFF)) in
+  [
+    Test.make ~count:200 ~name:"bit stream roundtrip"
+      (make
+         Gen.(list_size (int_range 1 50) chunk)
+         ~print:(fun l -> String.concat ";" (List.map (fun (b, v) -> Printf.sprintf "%d:%d" b v) l)))
+      (fun chunks ->
+        let chunks = List.map (fun (bits, v) -> (bits, v land ((1 lsl bits) - 1))) chunks in
+        let w = Bitio.create_writer () in
+        List.iter (fun (bits, value) -> Bitio.write_bits w ~value ~bits) chunks;
+        let r = Bitio.reader_of_writer w in
+        List.for_all (fun (bits, value) -> Bitio.read_bits r bits = value) chunks);
+  ]
+
+(* --- huffman ---------------------------------------------------------------- *)
+
+let test_huffman_roundtrip () =
+  let table = Huffman.build [ (1, 10); (2, 20); (3, 5); (4, 40) ] in
+  let w = Bitio.create_writer () in
+  let symbols = [ 4; 1; 2; 3; 3; 4; 2 ] in
+  List.iter (Huffman.encode table w) symbols;
+  let r = Bitio.reader_of_writer w in
+  List.iter
+    (fun expected -> check int "symbol" expected (Huffman.decode table r))
+    symbols
+
+let test_huffman_prefix_freeness () =
+  (* heavier symbols get codes no longer than lighter ones *)
+  let table = Huffman.build [ (0, 100); (1, 50); (2, 10); (3, 1) ] in
+  check bool "frequent is short" true
+    (Huffman.code_length table 0 <= Huffman.code_length table 3)
+
+let test_huffman_errors () =
+  (try
+     ignore (Huffman.build [ (1, 10) ]);
+     Alcotest.fail "single symbol accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Huffman.build [ (1, 10); (1, 5) ]);
+     Alcotest.fail "duplicate symbol accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Huffman.build [ (1, 0); (2, 5) ]);
+    Alcotest.fail "zero weight accepted"
+  with Invalid_argument _ -> ()
+
+let test_magnitude_category () =
+  check int "0" 0 (Huffman.magnitude_category 0);
+  check int "1" 1 (Huffman.magnitude_category 1);
+  check int "-1" 1 (Huffman.magnitude_category (-1));
+  check int "2" 2 (Huffman.magnitude_category 2);
+  check int "255" 8 (Huffman.magnitude_category 255);
+  check int "-1023" 10 (Huffman.magnitude_category (-1023))
+
+let huffman_props =
+  let open QCheck in
+  [
+    Test.make ~count:300 ~name:"magnitude roundtrip" (int_range (-2000) 2000)
+      (fun v ->
+        let w = Bitio.create_writer () in
+        Huffman.encode_magnitude w v;
+        let r = Bitio.reader_of_writer w in
+        Huffman.decode_magnitude r ~category:(Huffman.magnitude_category v) = v);
+    Test.make ~count:100 ~name:"random tables roundtrip random symbols"
+      (make
+         Gen.(
+           pair
+             (list_size (int_range 2 40) (int_range 1 1000))
+             (list_size (int_range 1 60) (int_range 0 1000)))
+         ~print:(fun (ws, ps) ->
+           Printf.sprintf "%d weights, %d picks" (List.length ws)
+             (List.length ps)))
+      (fun (weights, picks) ->
+        let weighted = List.mapi (fun i w -> (i, w)) weights in
+        let table = Huffman.build weighted in
+        let n = List.length weights in
+        let symbols = List.map (fun p -> p mod n) picks in
+        let w = Bitio.create_writer () in
+        List.iter (Huffman.encode table w) symbols;
+        let r = Bitio.reader_of_writer w in
+        List.for_all (fun s -> Huffman.decode table r = s) symbols);
+  ]
+
+(* --- idct --------------------------------------------------------------------- *)
+
+let test_idct_constant_block () =
+  (* a DC-only block reconstructs to a flat block of DC/8 *)
+  let block = Array.make 64 0 in
+  block.(0) <- 800;
+  let samples = Idct.inverse block in
+  Array.iter (fun s -> check bool "flat" true (abs (s - 100) <= 1)) samples
+
+let test_idct_helpers () =
+  let block = Array.make 64 0 in
+  check bool "all zero is flat" true (Idct.ac_all_zero block);
+  check int "nonzero count" 0 (Idct.nonzero_count block);
+  block.(5) <- 3;
+  check bool "not flat" false (Idct.ac_all_zero block);
+  check int "one nonzero" 1 (Idct.nonzero_count block);
+  block.(0) <- 7;
+  check bool "dc does not affect flatness" false (Idct.ac_all_zero block);
+  block.(5) <- 0;
+  check bool "dc-only is flat" true (Idct.ac_all_zero block)
+
+let idct_props =
+  let open QCheck in
+  let block_gen =
+    Gen.(array_size (return 64) (int_range (-128) 127))
+  in
+  [
+    Test.make ~count:100 ~name:"forward then inverse is near identity"
+      (make block_gen ~print:(fun b ->
+           String.concat ";" (Array.to_list (Array.map string_of_int b))))
+      (fun samples ->
+        let reconstructed = Idct.inverse (Idct.forward samples) in
+        Array.for_all2
+          (fun a b -> abs (a - b) <= 2)
+          samples reconstructed);
+  ]
+
+(* --- encoder ------------------------------------------------------------------- *)
+
+let test_header_roundtrip () =
+  let w = Bitio.create_writer () in
+  Encoder.write_header w { Encoder.h_width = 64; h_height = 32; h_quality = 80 };
+  let r = Bitio.reader_of_writer w in
+  match Encoder.read_header r with
+  | Ok h ->
+      check int "width" 64 h.Encoder.h_width;
+      check int "height" 32 h.Encoder.h_height;
+      check int "quality" 80 h.Encoder.h_quality
+  | Error e -> Alcotest.fail e
+
+let test_header_rejects_garbage () =
+  let r = Bitio.create_reader (Bytes.make 8 '\x42') in
+  match Encoder.read_header r with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage header accepted"
+
+let test_block_codec_roundtrip () =
+  let zz = Array.make 64 0 in
+  zz.(0) <- 37;
+  zz.(1) <- -5;
+  zz.(7) <- 12;
+  zz.(40) <- -1;
+  zz.(63) <- 3;
+  let w = Bitio.create_writer () in
+  let predictor = 10 in
+  let new_dc = Encoder.encode_block w ~predictor zz in
+  check int "dc returned" 37 new_dc;
+  let r = Bitio.reader_of_writer w in
+  let dc, decoded, symbols = Encoder.decode_block r ~predictor in
+  check int "dc" 37 dc;
+  check (Alcotest.array int) "coefficients" zz decoded;
+  check bool "symbol count sane" true (symbols >= 5)
+
+let test_color_roundtrip () =
+  List.iter
+    (fun (r8, g8, b8) ->
+      let y, cb, cr = Encoder.rgb_to_ycbcr r8 g8 b8 in
+      let r', g', b' = Encoder.ycbcr_to_rgb y cb cr in
+      check bool
+        (Printf.sprintf "colour (%d,%d,%d) ~ (%d,%d,%d)" r8 g8 b8 r' g' b')
+        true
+        (abs (r8 - r') <= 4 && abs (g8 - g') <= 4 && abs (b8 - b') <= 4))
+    [ (0, 0, 0); (255, 255, 255); (255, 0, 0); (0, 255, 0); (0, 0, 255); (120, 77, 200) ]
+
+let test_sequence_roundtrip () =
+  (* a smooth frame at quality 100 survives the codec with small error *)
+  let frame =
+    Encoder.make_frame ~width:32 ~height:32 ~f:(fun ~x ~y ->
+        (4 * x, 4 * y, 100))
+  in
+  let stream = Encoder.encode_sequence ~quality:100 [ frame ] in
+  match Encoder.decode_sequence stream with
+  | Error e -> Alcotest.fail e
+  | Ok [ decoded ] ->
+      check int "width" 32 decoded.Encoder.width;
+      (* chroma subsampling + integer transforms: allow a modest error *)
+      check bool "bounded error" true
+        (Encoder.max_abs_difference frame decoded <= 16)
+  | Ok frames -> Alcotest.failf "expected 1 frame, got %d" (List.length frames)
+
+let test_multi_frame_stream () =
+  let frames =
+    List.init 3 (fun t ->
+        Encoder.make_frame ~width:16 ~height:16 ~f:(fun ~x ~y ->
+            ((x * 16) + t, y * 16, 128)))
+  in
+  let stream = Encoder.encode_sequence ~quality:90 frames in
+  match Encoder.decode_sequence stream with
+  | Ok decoded -> check int "frame count" 3 (List.length decoded)
+  | Error e -> Alcotest.fail e
+
+(* --- tokens --------------------------------------------------------------------- *)
+
+let test_token_roundtrips () =
+  let block =
+    {
+      Tokens.b_valid = true;
+      b_component = 2;
+      b_index = 5;
+      b_quality = 80;
+      b_values = Array.init 64 (fun i -> i - 32);
+    }
+  in
+  check bool "block" true (Tokens.unpack_block (Tokens.pack_block block) = block);
+  let sub =
+    { Tokens.s_width = 48; s_height = 32; s_quality = 75; s_mcu_index = 3; s_frame_index = 1 }
+  in
+  check bool "subheader" true
+    (Tokens.unpack_subheader (Tokens.pack_subheader sub) = sub);
+  let vld =
+    {
+      Tokens.v_bit_position = 12345;
+      v_dc = [| -100; 50; 0 |];
+      v_mcu_in_frame = 4;
+      v_frame_index = 2;
+      v_width = 48;
+      v_height = 32;
+      v_quality = 75;
+    }
+  in
+  check bool "vld state" true
+    (Tokens.unpack_vld_state (Tokens.pack_vld_state vld) = vld);
+  let raster = { Tokens.r_sum1 = 7; r_sum2 = 11; r_pixels = 512; r_mcus = 2 } in
+  check bool "raster state" true
+    (Tokens.unpack_raster_state (Tokens.pack_raster_state raster) = raster);
+  let pixel = (12, 200, 255) in
+  check bool "pixel" true (Tokens.unpack_pixel (Tokens.pack_pixel pixel) = pixel)
+
+let test_checksum () =
+  let s0 = Tokens.initial_raster_state in
+  let s1 = Tokens.checksum_add s0 [| 1; 2; 3 |] in
+  check int "pixels counted" 3 s1.Tokens.r_pixels;
+  check int "mcus counted" 1 s1.Tokens.r_mcus;
+  let s2 = Tokens.checksum_add s0 [| 3; 2; 1 |] in
+  check bool "order sensitive" true (s1.Tokens.r_sum2 <> s2.Tokens.r_sum2)
+
+(* --- vld / actors ------------------------------------------------------------------ *)
+
+let sequence = Streams.synthetic ()
+
+let test_vld_decodes_first_mcu () =
+  let d = Vld.decode_one_mcu sequence.Streams.seq_stream Tokens.initial_vld_state in
+  check bool "header read" true d.Vld.header_was_read;
+  check int "six blocks" 6 (List.length d.Vld.blocks);
+  check int "frame width" 48 d.Vld.subheader.Tokens.s_width;
+  check bool "bits positive" true (d.Vld.bits > 0);
+  check bool "state advanced" true
+    (d.Vld.next_state.Tokens.v_bit_position > 0);
+  check int "mcu counted" 1 d.Vld.next_state.Tokens.v_mcu_in_frame
+
+let test_vld_wraps_cyclically () =
+  (* decode more MCUs than one pass holds: the bit accounting must stay
+     positive across the wrap (regression test for the negative-cycles bug) *)
+  let mcus = Streams.mcus sequence in
+  let state = ref Tokens.initial_vld_state in
+  for i = 1 to (3 * mcus) + 1 do
+    let d = Vld.decode_one_mcu sequence.Streams.seq_stream !state in
+    check bool (Printf.sprintf "bits positive at MCU %d" i) true (d.Vld.bits > 0);
+    check bool
+      (Printf.sprintf "cycles positive at MCU %d" i)
+      true
+      (Vld.cycles_model ~header:d.Vld.header_was_read ~symbols:d.Vld.symbols
+         ~bits:d.Vld.bits
+      > 0);
+    state := d.Vld.next_state
+  done
+
+let test_iqzz_process () =
+  let block =
+    {
+      Tokens.b_valid = true;
+      b_component = 0;
+      b_index = 0;
+      b_quality = 50;
+      b_values =
+        Array.init 64 (fun zz -> if zz = 0 then 4 else if zz = 1 then 2 else 0);
+    }
+  in
+  let out = Iqzz.process block in
+  let quant = Dct_data.scale_quant Dct_data.luminance_quant ~quality:50 in
+  check int "dc dequantized" (4 * quant.(0)) out.Tokens.b_values.(0);
+  check int "first ac lands at raster 1" (2 * quant.(1)) out.Tokens.b_values.(1);
+  let invalid = Tokens.invalid_block ~quality:50 in
+  check bool "invalid passes through" true (Iqzz.process invalid = invalid)
+
+let test_wcets_positive () =
+  List.iter
+    (fun (name, wcet) ->
+      check bool (name ^ " wcet positive") true (wcet > 0))
+    (Mjpeg_app.wcet_table ())
+
+(* --- the application end to end ----------------------------------------------------- *)
+
+let test_app_admission () =
+  match Mjpeg_app.application ~stream:sequence.Streams.seq_stream () with
+  | Error e -> Alcotest.fail e
+  | Ok app -> (
+      let g = Appmodel.Application.graph app in
+      match Sdf.Analysis.admit g with
+      | Error e ->
+          Alcotest.failf "rejected: %a" Sdf.Analysis.pp_admission_error e
+      | Ok q ->
+          let idx name = (Sdf.Graph.actor_of_name g name).Sdf.Graph.actor_id in
+          check int "q(VLD)" 1 q.(idx "VLD");
+          check int "q(IQZZ)" 10 q.(idx "IQZZ");
+          check int "q(IDCT)" 10 q.(idx "IDCT");
+          check int "q(CC)" 1 q.(idx "CC");
+          check int "q(Raster)" 1 q.(idx "Raster"))
+
+let decode_via_graph (seq : Streams.sequence) =
+  match Mjpeg_app.application ~stream:seq.Streams.seq_stream () with
+  | Error e -> Alcotest.failf "app: %s" e
+  | Ok app -> (
+      match Appmodel.Functional.run app ~iterations:(Streams.mcus seq) () with
+      | Error e -> Alcotest.failf "functional: %s" e
+      | Ok r -> r)
+
+let test_decode_matches_reference () =
+  (* the flagship correctness test: executing the SDF graph decodes the
+     stream bit-identically to the reference decoder, for every sequence *)
+  List.iter
+    (fun seq ->
+      let r = decode_via_graph seq in
+      let final =
+        match List.assoc "rasterState" r.Appmodel.Functional.final_tokens with
+        | [ tok ] -> Tokens.unpack_raster_state tok
+        | _ -> Alcotest.fail "raster state missing"
+      in
+      let expected = Raster.expected_state (Streams.reference_frames seq) in
+      check int
+        (seq.Streams.seq_name ^ " pixels")
+        expected.Tokens.r_pixels final.Tokens.r_pixels;
+      check bool
+        (seq.Streams.seq_name ^ " checksum")
+        true
+        (final.Tokens.r_sum1 = expected.Tokens.r_sum1
+        && final.Tokens.r_sum2 = expected.Tokens.r_sum2))
+    (Streams.all ())
+
+let test_no_wcet_violations () =
+  List.iter
+    (fun seq ->
+      let r = decode_via_graph seq in
+      check
+        (Alcotest.list (Alcotest.pair string int))
+        (seq.Streams.seq_name ^ " violations")
+        [] r.Appmodel.Functional.wcet_violations)
+    (Streams.all ())
+
+let test_calibrated_application () =
+  let synthetic = Streams.synthetic () in
+  match
+    Mjpeg_app.calibrated_application ~stream:synthetic.Streams.seq_stream ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok app ->
+      let structural = List.assoc "VLD" (Mjpeg_app.wcet_table ()) in
+      let calibrated =
+        (Appmodel.Application.default_implementation app "VLD")
+          .Appmodel.Actor_impl.metrics.Appmodel.Metrics.wcet
+      in
+      check bool "calibration tightens the VLD wcet" true
+        (calibrated < structural);
+      (* calibrated WCETs must still cover the actual execution times *)
+      (match Appmodel.Functional.run app ~iterations:(Streams.mcus synthetic) () with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+          check
+            (Alcotest.list (Alcotest.pair string int))
+            "no violations under calibrated wcets" []
+            r.Appmodel.Functional.wcet_violations)
+
+let test_streams_deterministic () =
+  let a = Streams.synthetic () and b = Streams.synthetic () in
+  check bool "same bytes" true (Bytes.equal a.Streams.seq_stream b.Streams.seq_stream);
+  check int "six sequences" 6 (List.length (Streams.all ()));
+  check bool "by name" true (Streams.by_name "waves" <> None);
+  check bool "unknown name" true (Streams.by_name "nope" = None)
+
+let () =
+  Alcotest.run "mjpeg"
+    [
+      ( "dct_data",
+        [
+          Alcotest.test_case "zigzag" `Quick test_zigzag_permutation;
+          Alcotest.test_case "scale quant" `Quick test_scale_quant;
+        ] );
+      ( "bitio",
+        [
+          Alcotest.test_case "basic" `Quick test_bitio_basic;
+          Alcotest.test_case "bounds" `Quick test_bitio_bounds;
+        ] );
+      ("bitio.props", List.map QCheck_alcotest.to_alcotest bitio_props);
+      ( "huffman",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_huffman_roundtrip;
+          Alcotest.test_case "prefix freeness" `Quick test_huffman_prefix_freeness;
+          Alcotest.test_case "errors" `Quick test_huffman_errors;
+          Alcotest.test_case "magnitude category" `Quick test_magnitude_category;
+        ] );
+      ("huffman.props", List.map QCheck_alcotest.to_alcotest huffman_props);
+      ( "idct",
+        [
+          Alcotest.test_case "constant block" `Quick test_idct_constant_block;
+          Alcotest.test_case "helpers" `Quick test_idct_helpers;
+        ] );
+      ("idct.props", List.map QCheck_alcotest.to_alcotest idct_props);
+      ( "encoder",
+        [
+          Alcotest.test_case "header roundtrip" `Quick test_header_roundtrip;
+          Alcotest.test_case "header garbage" `Quick test_header_rejects_garbage;
+          Alcotest.test_case "block codec" `Quick test_block_codec_roundtrip;
+          Alcotest.test_case "colour roundtrip" `Quick test_color_roundtrip;
+          Alcotest.test_case "sequence roundtrip" `Quick test_sequence_roundtrip;
+          Alcotest.test_case "multi frame" `Quick test_multi_frame_stream;
+        ] );
+      ( "tokens",
+        [
+          Alcotest.test_case "roundtrips" `Quick test_token_roundtrips;
+          Alcotest.test_case "checksum" `Quick test_checksum;
+        ] );
+      ( "actors",
+        [
+          Alcotest.test_case "vld first mcu" `Quick test_vld_decodes_first_mcu;
+          Alcotest.test_case "vld cyclic wrap" `Quick test_vld_wraps_cyclically;
+          Alcotest.test_case "iqzz" `Quick test_iqzz_process;
+          Alcotest.test_case "wcets" `Quick test_wcets_positive;
+        ] );
+      ( "application",
+        [
+          Alcotest.test_case "admission" `Quick test_app_admission;
+          Alcotest.test_case "decode matches reference" `Slow test_decode_matches_reference;
+          Alcotest.test_case "no wcet violations" `Slow test_no_wcet_violations;
+          Alcotest.test_case "calibrated" `Quick test_calibrated_application;
+          Alcotest.test_case "streams deterministic" `Quick test_streams_deterministic;
+        ] );
+    ]

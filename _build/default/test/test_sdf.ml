@@ -1,0 +1,776 @@
+open Sdf
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let rational =
+  Alcotest.testable (fun ppf r -> Rational.pp ppf r) Rational.equal
+
+let throughput_of result = Throughput.to_rational result
+
+(* --- Rational ---------------------------------------------------------- *)
+
+let test_rational_normalization () =
+  let r = Rational.make 4 8 in
+  check int "num" 1 (r :> Rational.t).num;
+  check int "den" 2 r.den;
+  let r = Rational.make 3 (-6) in
+  check int "num negative moves up" (-1) r.num;
+  check int "den positive" 2 r.den;
+  check bool "zero" true Rational.(equal (make 0 5) zero)
+
+let test_rational_arithmetic () =
+  let open Rational in
+  check rational "1/2 + 1/3" (make 5 6) (add (make 1 2) (make 1 3));
+  check rational "1/2 - 1/3" (make 1 6) (sub (make 1 2) (make 1 3));
+  check rational "2/3 * 3/4" (make 1 2) (mul (make 2 3) (make 3 4));
+  check rational "1/2 / 1/4" (of_int 2) (div (make 1 2) (make 1 4));
+  check rational "inv" (make 3 2) (inv (make 2 3));
+  check int "compare" (-1) (compare (make 1 3) (make 1 2));
+  check bool "is_integer" true (is_integer (make 6 3));
+  check int "to_int_exn" 2 (to_int_exn (make 6 3))
+
+let test_rational_errors () =
+  Alcotest.check_raises "zero denominator"
+    (Invalid_argument "Rational.make: zero denominator") (fun () ->
+      ignore (Rational.make 1 0));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Rational.div Rational.one Rational.zero));
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () ->
+      ignore (Rational.inv Rational.zero))
+
+let test_gcd_lcm () =
+  check int "gcd" 6 (Rational.gcd_int 12 18);
+  check int "gcd neg" 6 (Rational.gcd_int (-12) 18);
+  check int "gcd zero" 5 (Rational.gcd_int 0 5);
+  check int "lcm" 36 (Rational.lcm_int 12 18);
+  check int "lcm zero" 0 (Rational.lcm_int 0 7)
+
+let rational_props =
+  let pair = QCheck.(pair (int_range (-50) 50) (int_range 1 50)) in
+  [
+    QCheck.Test.make ~count:200 ~name:"rational normal form"
+      pair
+      (fun (n, d) ->
+        let r = Rational.make n d in
+        r.den > 0 && Rational.gcd_int r.num r.den <= 1 || (r.num = 0 && r.den = 1));
+    QCheck.Test.make ~count:200 ~name:"add commutes" (QCheck.pair pair pair)
+      (fun ((a, b), (c, d)) ->
+        let x = Rational.make a b and y = Rational.make c d in
+        Rational.(equal (add x y) (add y x)));
+    QCheck.Test.make ~count:200 ~name:"mul distributes over add"
+      (QCheck.triple pair pair pair)
+      (fun ((a, b), (c, d), (e, f)) ->
+        let x = Rational.make a b
+        and y = Rational.make c d
+        and z = Rational.make e f in
+        Rational.(equal (mul x (add y z)) (add (mul x y) (mul x z))));
+  ]
+
+(* --- Heap -------------------------------------------------------------- *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun (k, v) -> Heap.add h ~key:k v)
+    [ (5, "a"); (1, "b"); (3, "c"); (1, "d"); (4, "e") ];
+  check int "length" 5 (Heap.length h);
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (_, v) ->
+        order := v :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check (Alcotest.list string) "stable min order" [ "b"; "d"; "c"; "e"; "a" ]
+    (List.rev !order);
+  check bool "empty after drain" true (Heap.is_empty h)
+
+let heap_props =
+  [
+    QCheck.Test.make ~count:100 ~name:"heap pops sorted"
+      QCheck.(list (int_range 0 1000))
+      (fun keys ->
+        let h = Heap.create () in
+        List.iter (fun k -> Heap.add h ~key:k ()) keys;
+        let rec drain acc =
+          match Heap.pop h with
+          | Some (k, ()) -> drain (k :: acc)
+          | None -> List.rev acc
+        in
+        let popped = drain [] in
+        popped = List.sort compare keys);
+  ]
+
+(* --- Graph ------------------------------------------------------------- *)
+
+let test_graph_builder () =
+  let g, a, b, c = Tgraphs.figure2 () in
+  check int "actors" 3 (Graph.actor_count g);
+  check int "channels" 4 (Graph.channel_count g);
+  check string "name" "A" (Graph.actor g a).actor_name;
+  check int "outgoing of A" 3 (List.length (Graph.outgoing g a));
+  check int "incoming of C" 2 (List.length (Graph.incoming g c));
+  check bool "self loop" true
+    (List.exists Graph.is_self_loop (Graph.outgoing g a));
+  check bool "find" true (Graph.find_actor g "B" <> None);
+  check bool "find missing" true (Graph.find_actor g "Z" = None);
+  ignore b;
+  match Graph.validate g with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "validate: %s" e
+
+let test_graph_errors () =
+  let g = Graph.empty "g" in
+  let g, a = Graph.add_actor g ~name:"A" ~execution_time:1 in
+  (try
+     ignore (Graph.add_actor g ~name:"A" ~execution_time:1);
+     Alcotest.fail "duplicate actor accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore
+       (Graph.add_channel g ~name:"c" ~source:a ~production_rate:0 ~target:a
+          ~consumption_rate:1 ());
+     Alcotest.fail "zero rate accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore
+       (Graph.add_channel g ~name:"c" ~source:a ~production_rate:1 ~target:99
+          ~consumption_rate:1 ());
+     Alcotest.fail "dangling target accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore
+      (Graph.add_channel g ~name:"c" ~source:a ~production_rate:1 ~target:a
+         ~consumption_rate:1 ~initial_tokens:(-1) ());
+    Alcotest.fail "negative tokens accepted"
+  with Invalid_argument _ -> ()
+
+let test_graph_execution_times () =
+  let g, a, _, _ = Tgraphs.figure2 () in
+  let g' = Graph.with_execution_times g (fun x -> x.execution_time * 2) in
+  check int "doubled" 20 (Graph.actor g' a).execution_time;
+  check int "structure preserved" 4 (Graph.channel_count g')
+
+(* --- Repetition ---------------------------------------------------------- *)
+
+let test_repetition_figure2 () =
+  let g, a, b, c = Tgraphs.figure2 () in
+  let q = Repetition.vector_exn g in
+  check int "q(A)" 1 q.(a);
+  check int "q(B)" 2 q.(b);
+  check int "q(C)" 1 q.(c);
+  check int "iteration firings" 4 (Repetition.iteration_firings g)
+
+let test_repetition_multirate () =
+  let g = Graph.empty "mr" in
+  let g, a = Graph.add_actor g ~name:"A" ~execution_time:1 in
+  let g, b = Graph.add_actor g ~name:"B" ~execution_time:1 in
+  let g, _ =
+    Graph.add_channel g ~name:"c" ~source:a ~production_rate:3 ~target:b
+      ~consumption_rate:2 ()
+  in
+  let q = Repetition.vector_exn g in
+  check int "q(A)" 2 q.(a);
+  check int "q(B)" 3 q.(b)
+
+let test_repetition_inconsistent () =
+  let g = Graph.empty "bad" in
+  let g, a = Graph.add_actor g ~name:"A" ~execution_time:1 in
+  let g, b = Graph.add_actor g ~name:"B" ~execution_time:1 in
+  let g, _ =
+    Graph.add_channel g ~name:"fwd" ~source:a ~production_rate:1 ~target:b
+      ~consumption_rate:1 ()
+  in
+  let g, _ =
+    Graph.add_channel g ~name:"bwd" ~source:b ~production_rate:2 ~target:a
+      ~consumption_rate:1 ()
+  in
+  (match Repetition.compute g with
+  | Repetition.Inconsistent _ -> ()
+  | _ -> Alcotest.fail "expected inconsistency");
+  check bool "is_consistent" false (Repetition.is_consistent g)
+
+let test_repetition_disconnected () =
+  let g = Graph.empty "disc" in
+  let g, a = Graph.add_actor g ~name:"A" ~execution_time:1 in
+  let g, _ = Graph.add_actor g ~name:"B" ~execution_time:1 in
+  let g, _ =
+    Graph.add_channel g ~name:"self" ~source:a ~production_rate:1 ~target:a
+      ~consumption_rate:1 ~initial_tokens:1 ()
+  in
+  match Repetition.compute g with
+  | Repetition.Disconnected_actor x -> check string "witness" "B" x.actor_name
+  | _ -> Alcotest.fail "expected disconnected actor"
+
+let test_repetition_empty () =
+  match Repetition.compute (Graph.empty "e") with
+  | Repetition.Consistent [||] -> ()
+  | _ -> Alcotest.fail "empty graph should be trivially consistent"
+
+(* --- Analysis ------------------------------------------------------------ *)
+
+let test_connectivity () =
+  let g, _, _, _ = Tgraphs.figure2 () in
+  check bool "figure2 connected" true (Analysis.is_weakly_connected g);
+  let g = Graph.empty "two" in
+  let g, a = Graph.add_actor g ~name:"A" ~execution_time:1 in
+  let g, b = Graph.add_actor g ~name:"B" ~execution_time:1 in
+  check bool "no channels" false (Analysis.is_weakly_connected g);
+  let g, _ =
+    Graph.add_channel g ~name:"c" ~source:a ~production_rate:1 ~target:b
+      ~consumption_rate:1 ()
+  in
+  check bool "linked" true (Analysis.is_weakly_connected g)
+
+let test_scc () =
+  let g, a, b = Tgraphs.two_cycle ~time_a:1 ~time_b:1 ~tokens:1 in
+  (match Analysis.strongly_connected_components g with
+  | [ comp ] ->
+      check (Alcotest.list int) "one SCC" [ a; b ] (List.sort compare comp)
+  | other -> Alcotest.failf "expected 1 SCC, got %d" (List.length other));
+  check bool "strongly connected" true (Analysis.is_strongly_connected g);
+  let p, _ = Tgraphs.pipeline ~times:[ 1; 1; 1 ] in
+  check int "pipeline SCC count" 3
+    (List.length (Analysis.strongly_connected_components p));
+  check bool "pipeline not strongly connected" false
+    (Analysis.is_strongly_connected p)
+
+let test_topological_order () =
+  let p, ids = Tgraphs.pipeline ~times:[ 1; 2; 3 ] in
+  (match Analysis.topological_order p with
+  | Some order ->
+      check (Alcotest.list int) "pipeline order" (Array.to_list ids) order
+  | None -> Alcotest.fail "pipeline is acyclic");
+  (* a token-free cycle has no order and deadlocks *)
+  let g, _, _ = Tgraphs.two_cycle ~time_a:1 ~time_b:1 ~tokens:0 in
+  check bool "tokenless cycle" true (Analysis.topological_order g = None);
+  check bool "deadlocks" false (Analysis.is_deadlock_free g);
+  (* tokens on the back edge break the cycle *)
+  let g, _, _ = Tgraphs.two_cycle ~time_a:1 ~time_b:1 ~tokens:1 in
+  check bool "token cycle has order" true (Analysis.topological_order g <> None)
+
+let test_admission () =
+  let g, _, _, _ = Tgraphs.figure2 () in
+  (match Analysis.admit g with
+  | Ok q -> check int "q length" 3 (Array.length q)
+  | Error e -> Alcotest.failf "admit: %a" (fun ppf -> Format.fprintf ppf "%a" Analysis.pp_admission_error) e);
+  let bad, _, _ = Tgraphs.two_cycle ~time_a:1 ~time_b:1 ~tokens:0 in
+  match Analysis.admit bad with
+  | Error Analysis.Deadlocks -> ()
+  | _ -> Alcotest.fail "expected deadlock rejection"
+
+(* --- Execution ----------------------------------------------------------- *)
+
+let test_execution_figure2_timing () =
+  let g, _, _, _ = Tgraphs.figure2 () in
+  let outcome = Execution.run g ~iterations:1 in
+  check bool "finished" true (outcome.stop = Execution.Finished);
+  (* A:0-10, B:10-14 and 14-18, C:18-24 (C waits for two B tokens) *)
+  check int "iteration end" 24 outcome.end_time;
+  check int "iterations" 1 outcome.iterations;
+  check bool "fired >= 4" true (outcome.firings >= 4)
+
+let test_execution_iteration_times () =
+  let g, _, _ = Tgraphs.two_cycle ~time_a:2 ~time_b:3 ~tokens:1 in
+  let outcome = Execution.run g ~iterations:3 in
+  check bool "finished" true (outcome.stop = Execution.Finished);
+  check (Alcotest.array int) "iteration ends" [| 5; 10; 15 |]
+    outcome.iteration_end_times
+
+let test_execution_deadlock () =
+  let g, _, _ = Tgraphs.two_cycle ~time_a:1 ~time_b:1 ~tokens:0 in
+  let outcome = Execution.run g ~iterations:1 in
+  check bool "deadlocked" true (outcome.stop = Execution.Deadlocked);
+  check int "no progress" 0 outcome.iterations
+
+let test_execution_budget () =
+  let g = Graph.empty "zero" in
+  let g, a = Graph.add_actor g ~name:"A" ~execution_time:0 in
+  let g, _ =
+    Graph.add_channel g ~name:"self" ~source:a ~production_rate:1 ~target:a
+      ~consumption_rate:1 ~initial_tokens:1 ()
+  in
+  let options = { Execution.default_options with max_firings = 100 } in
+  let outcome = Execution.run ~options g ~iterations:1 in
+  check bool "budget stop" true (outcome.stop = Execution.Out_of_budget)
+
+let test_execution_auto_concurrency () =
+  (* One actor, no self loop: with unbounded concurrency many firings start
+     immediately; with the default bound only one at a time. *)
+  let g = Graph.empty "solo" in
+  let g, a = Graph.add_actor g ~name:"A" ~execution_time:5 in
+  let g, _ =
+    Graph.add_channel g ~name:"feed" ~source:a ~production_rate:1 ~target:a
+      ~consumption_rate:1 ~initial_tokens:3 ()
+  in
+  let outcome = Execution.run g ~iterations:3 in
+  (* bounded: serialized by the three tokens? no: 3 tokens allow 3 overlapping
+     firings, but auto-concurrency 1 allows only one; ends at 15 *)
+  check int "serialized" 15 outcome.end_time;
+  let options = { Execution.default_options with auto_concurrency = None } in
+  let outcome = Execution.run ~options g ~iterations:3 in
+  check int "concurrent" 5 outcome.end_time
+
+let test_execution_resources () =
+  let g, a, b, c = Tgraphs.figure2 () in
+  let binding aid = if aid = a || aid = b || aid = c then Some "pe0" else None in
+  match Schedule.list_schedule g ~binding with
+  | Error _ -> Alcotest.fail "schedule failed"
+  | Ok resources ->
+      let options = { Execution.default_options with resources } in
+      let outcome = Execution.run ~options g ~iterations:2 in
+      check bool "finished" true (outcome.stop = Execution.Finished);
+      (* sequential: 10 + 4 + 4 + 6 = 24 per iteration *)
+      check (Alcotest.array int) "sequential ends" [| 24; 48 |]
+        outcome.iteration_end_times
+
+let test_execution_trace () =
+  let g, _, _ = Tgraphs.two_cycle ~time_a:2 ~time_b:3 ~tokens:1 in
+  let events = ref [] in
+  let options =
+    {
+      Execution.default_options with
+      on_event = Some (fun t e -> events := (t, e) :: !events);
+    }
+  in
+  ignore (Execution.run ~options g ~iterations:1);
+  let starts =
+    List.filter (function _, Execution.Fire_start _ -> true | _ -> false)
+      !events
+  in
+  check bool "saw starts" true (List.length starts >= 2)
+
+(* --- Throughput ----------------------------------------------------------- *)
+
+let test_throughput_two_cycle () =
+  let analyse ~tokens =
+    let g, _, _ = Tgraphs.two_cycle ~time_a:2 ~time_b:3 ~tokens in
+    Throughput.analyse g
+  in
+  check rational "1 token" (Rational.make 1 5) (throughput_of (analyse ~tokens:1));
+  check rational "2 tokens" (Rational.make 1 3) (throughput_of (analyse ~tokens:2));
+  check rational "5 tokens" (Rational.make 1 3) (throughput_of (analyse ~tokens:5))
+
+let test_throughput_figure2 () =
+  let g, _, _, _ = Tgraphs.figure2 () in
+  check rational "figure2" (Rational.make 1 10) (throughput_of (Throughput.analyse g))
+
+let test_throughput_deadlock () =
+  let g, _, _ = Tgraphs.two_cycle ~time_a:1 ~time_b:1 ~tokens:0 in
+  match Throughput.analyse g with
+  | Throughput.Deadlocked { iterations = 0; _ } -> ()
+  | _ -> Alcotest.fail "expected deadlock"
+
+let test_throughput_unbounded () =
+  (* a pipeline without buffer bounds accumulates tokens forever *)
+  let g, _ = Tgraphs.pipeline ~times:[ 1; 10 ] in
+  match Throughput.analyse ~max_steps:500 g with
+  | Throughput.No_recurrence -> ()
+  | r -> Alcotest.failf "expected no recurrence, got %a" Throughput.pp_result r
+
+let test_throughput_resource_bound () =
+  let g, a, b, c = Tgraphs.figure2 () in
+  let binding aid = if aid = a || aid = b || aid = c then Some "pe0" else None in
+  match Schedule.list_schedule g ~binding with
+  | Error _ -> Alcotest.fail "schedule failed"
+  | Ok resources ->
+      let options = { Execution.default_options with resources } in
+      check rational "1/24" (Rational.make 1 24)
+        (throughput_of (Throughput.analyse ~options g))
+
+let test_actor_throughput () =
+  let g, _, b, _ = Tgraphs.figure2 () in
+  let result = Throughput.analyse g in
+  check rational "B fires 2 per 10" (Rational.make 2 10 |> fun r -> r)
+    (Throughput.actor_throughput g result b)
+
+(* --- Buffers --------------------------------------------------------------- *)
+
+let test_buffer_lower_bound () =
+  let mk p c d =
+    {
+      Graph.channel_id = 0;
+      channel_name = "x";
+      source = 0;
+      production_rate = p;
+      target = 1;
+      consumption_rate = c;
+      initial_tokens = d;
+      token_size = 4;
+    }
+  in
+  check int "2,3,0" 4 (Buffers.lower_bound (mk 2 3 0));
+  check int "1,1,0" 1 (Buffers.lower_bound (mk 1 1 0));
+  check int "2,2,1" 3 (Buffers.lower_bound (mk 2 2 1));
+  check int "init dominates" 9 (Buffers.lower_bound (mk 1 1 9))
+
+let test_add_capacity () =
+  let g, _ = Tgraphs.pipeline ~times:[ 1; 1 ] in
+  let g' = Buffers.add_capacity g 0 ~capacity:2 in
+  check int "one more channel" 2 (Graph.channel_count g');
+  let space = Graph.channel g' 1 in
+  check string "space name" "c0_1__space" space.channel_name;
+  check int "space tokens" 2 space.initial_tokens;
+  check bool "still deadlock free" true (Analysis.is_deadlock_free g');
+  Alcotest.check_raises "capacity below initials"
+    (Invalid_argument
+       "Buffers.add_capacity: capacity 0 below 1 initial tokens of \"bwd\"")
+    (fun () ->
+      let g, _, _ = Tgraphs.two_cycle ~time_a:1 ~time_b:1 ~tokens:1 in
+      ignore (Buffers.add_capacity g 1 ~capacity:0))
+
+let test_capacity_throttles () =
+  (* Capacity 1 fully serializes producer and consumer: the space token only
+     returns when the consumer *finishes*, so the period is 1 + 10. With
+     capacity 2 the stages pipeline and the slow stage dominates. *)
+  let g, _ = Tgraphs.pipeline ~times:[ 1; 10 ] in
+  let serialized = Buffers.add_capacity g 0 ~capacity:1 in
+  check rational "capacity 1 serializes" (Rational.make 1 11)
+    (throughput_of (Throughput.analyse serialized));
+  let pipelined = Buffers.add_capacity g 0 ~capacity:2 in
+  check rational "capacity 2 pipelines" (Rational.make 1 10)
+    (throughput_of (Throughput.analyse pipelined))
+
+let test_size_for_throughput () =
+  let g, _ = Tgraphs.pipeline ~times:[ 2; 4; 3 ] in
+  match Buffers.size_for_throughput g ~target:(Rational.make 1 4) with
+  | None -> Alcotest.fail "sizing failed"
+  | Some { capacities; achieved; _ } ->
+      check bool "achieved" true
+        (Rational.compare (throughput_of achieved) (Rational.make 1 4) >= 0);
+      Array.iteri
+        (fun i c ->
+          if i < Graph.channel_count g then
+            check bool "capacity positive" true (c >= 1))
+        capacities
+
+let test_trade_off_curve () =
+  let g, _ = Tgraphs.pipeline ~times:[ 1; 10 ] in
+  let points = Buffers.trade_off g in
+  check bool "at least two points" true (List.length points >= 2);
+  (* monotone: more storage never hurts throughput *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        a.Buffers.total_tokens < b.Buffers.total_tokens
+        && Rational.compare a.Buffers.point_throughput
+             b.Buffers.point_throughput
+           < 0
+        && monotone rest
+    | _ -> true
+  in
+  check bool "strictly improving" true (monotone points);
+  (* the curve starts at the serialized rate and reaches the pipelined one *)
+  let first = List.hd points in
+  let last = List.nth points (List.length points - 1) in
+  check rational "first point fully serialized" (Rational.make 1 11)
+    first.Buffers.point_throughput;
+  check rational "last point fully pipelined" (Rational.make 1 10)
+    last.Buffers.point_throughput
+
+let test_size_for_throughput_impossible () =
+  let g, _ = Tgraphs.pipeline ~times:[ 2; 10 ] in
+  (* the slow stage alone caps throughput at 1/10 *)
+  check bool "impossible target" true
+    (Buffers.size_for_throughput ~max_rounds:10 g ~target:(Rational.make 1 5)
+    = None)
+
+(* --- Schedule --------------------------------------------------------------- *)
+
+let test_list_schedule_order () =
+  let g, a, b, c = Tgraphs.figure2 () in
+  match Schedule.list_schedule g ~binding:(fun _ -> Some "pe0") with
+  | Error _ -> Alcotest.fail "schedule failed"
+  | Ok [ r ] ->
+      check string "resource" "pe0" r.resource_name;
+      check (Alcotest.array int) "order" [| a; b; b; c |] r.static_order;
+      (match Schedule.validate g [ r ] with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      check int "entries" 4 (Schedule.total_entries [ r ])
+  | Ok other -> Alcotest.failf "expected 1 resource, got %d" (List.length other)
+
+let test_list_schedule_two_resources () =
+  let g, a, b, c = Tgraphs.figure2 () in
+  let binding aid =
+    if aid = a then Some "pe0"
+    else if aid = b || aid = c then Some "pe1"
+    else None
+  in
+  match Schedule.list_schedule g ~binding with
+  | Error _ -> Alcotest.fail "schedule failed"
+  | Ok resources ->
+      check int "two resources" 2 (List.length resources);
+      match Schedule.validate g resources with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e
+
+let test_list_schedule_deadlock () =
+  let g, _, _ = Tgraphs.two_cycle ~time_a:1 ~time_b:1 ~tokens:0 in
+  match Schedule.list_schedule g ~binding:(fun _ -> Some "pe0") with
+  | Error (Schedule.Schedule_deadlock _) -> ()
+  | _ -> Alcotest.fail "expected schedule deadlock"
+
+let test_schedule_validate_mismatch () =
+  let g, a, _, _ = Tgraphs.figure2 () in
+  let bogus =
+    [ { Execution.resource_name = "pe0"; static_order = [| a; a |] } ]
+  in
+  match Schedule.validate g bogus with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected validation error"
+
+(* --- Transform --------------------------------------------------------------- *)
+
+let test_constrain_auto_concurrency () =
+  let g, _ = Tgraphs.pipeline ~times:[ 1; 1 ] in
+  let g' = Transform.constrain_auto_concurrency g ~degree:1 in
+  check int "two self loops added" 3 (Graph.channel_count g');
+  (* now unbounded engine concurrency matches the structural bound *)
+  let options = { Execution.default_options with auto_concurrency = None } in
+  let a_self = Graph.find_channel g' "p0__self" in
+  check bool "self channel exists" true (a_self <> None);
+  let outcome = Execution.run ~options g' ~iterations:2 in
+  check bool "finished" true (outcome.stop = Execution.Finished)
+
+let test_scale_execution_times () =
+  let g, _, _, _ = Tgraphs.figure2 () in
+  let g' = Transform.scale_execution_times g ~num:3 ~den:2 in
+  check int "A scaled up" 15 (Graph.actor_of_name g' "A").execution_time;
+  check int "B rounds up" 6 (Graph.actor_of_name g' "B").execution_time
+
+let test_merge () =
+  let g1, _ = Tgraphs.pipeline ~times:[ 1; 2 ] in
+  let g2, _, _ = Tgraphs.two_cycle ~time_a:3 ~time_b:4 ~tokens:1 in
+  let merged, translate = Transform.merge g1 g2 in
+  check int "actors" 4 (Graph.actor_count merged);
+  check int "channels" 3 (Graph.channel_count merged);
+  check string "translated actor" "A" (Graph.actor merged (translate 0)).actor_name
+
+(* --- Dot / Xml ---------------------------------------------------------------- *)
+
+let test_dot_output () =
+  let g, a, _, _ = Tgraphs.figure2 () in
+  let dot = Dot.to_string ~highlight:[ a ] g in
+  check bool "digraph" true
+    (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  let contains needle haystack =
+    let n = String.length needle in
+    let rec scan i =
+      i + n <= String.length haystack
+      && (String.sub haystack i n = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  check bool "edge present" true (contains "a0 -> a1" dot);
+  check bool "highlight" true (contains "fillcolor" dot);
+  check bool "initial tokens" true (contains "label=\"1\"" dot)
+
+let graphs_structurally_equal g1 g2 =
+  Graph.name g1 = Graph.name g2
+  && Graph.actors g1 = Graph.actors g2
+  && Graph.channels g1 = Graph.channels g2
+
+let test_xml_roundtrip () =
+  let g, _, _, _ = Tgraphs.figure2 () in
+  match Xmlio.of_string (Xmlio.to_string g) with
+  | Ok g' -> check bool "roundtrip" true (graphs_structurally_equal g g')
+  | Error e -> Alcotest.fail e
+
+let test_xml_errors () =
+  (match Xmlio.of_string "<wrong/>" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted wrong root");
+  match
+    Xmlio.of_string
+      "<sdfgraph name=\"g\"><channel name=\"c\" src=\"A\" dst=\"B\" \
+       prodRate=\"1\" consRate=\"1\"/></sdfgraph>"
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted dangling channel"
+
+(* --- QCheck property suites ------------------------------------------------ *)
+
+(* Fire every actor exactly its repetition count, untimed, and verify the
+   channel state returns to the initial marking: the defining property of a
+   graph iteration. *)
+let one_iteration_returns_marking (rg : Tgraphs.random_graph) =
+  let g = rg.graph in
+  let q = Repetition.vector_exn g in
+  let tokens = Array.make (Graph.channel_count g) 0 in
+  List.iter
+    (fun (c : Graph.channel) -> tokens.(c.channel_id) <- c.initial_tokens)
+    (Graph.channels g);
+  let initial = Array.copy tokens in
+  let remaining = Array.copy q in
+  let n = Graph.actor_count g in
+  let ready a =
+    remaining.(a) > 0
+    && List.for_all
+         (fun (c : Graph.channel) ->
+           tokens.(c.channel_id) >= c.consumption_rate)
+         (Graph.incoming g a)
+  in
+  let fire a =
+    List.iter
+      (fun (c : Graph.channel) ->
+        tokens.(c.channel_id) <- tokens.(c.channel_id) - c.consumption_rate)
+      (Graph.incoming g a);
+    List.iter
+      (fun (c : Graph.channel) ->
+        tokens.(c.channel_id) <- tokens.(c.channel_id) + c.production_rate)
+      (Graph.outgoing g a);
+    remaining.(a) <- remaining.(a) - 1
+  in
+  let rec loop () =
+    match List.find_opt ready (List.init n Fun.id) with
+    | Some a ->
+        fire a;
+        loop ()
+    | None -> ()
+  in
+  loop ();
+  Array.for_all (fun r -> r = 0) remaining && tokens = initial
+
+let sdf_props =
+  let open QCheck in
+  [
+    Test.make ~count:100 ~name:"repetition vector matches construction"
+      Tgraphs.random_graph_arbitrary
+      (fun rg -> Repetition.vector_exn rg.graph = rg.expected_repetition);
+    Test.make ~count:100 ~name:"one iteration returns the initial marking"
+      Tgraphs.random_graph_arbitrary one_iteration_returns_marking;
+    Test.make ~count:100 ~name:"random graphs are deadlock free"
+      Tgraphs.random_graph_arbitrary
+      (fun rg -> Execution.deadlock_free rg.graph);
+    Test.make ~count:50 ~name:"bounded graphs have positive throughput"
+      Tgraphs.random_graph_arbitrary
+      (fun rg ->
+        match Throughput.analyse (Tgraphs.bounded rg) with
+        | Throughput.Throughput { throughput; _ } ->
+            Rational.sign throughput > 0
+        | _ -> false);
+    Test.make ~count:50 ~name:"scaling times by k divides throughput by k"
+      Tgraphs.random_graph_arbitrary
+      (fun rg ->
+        let b = Tgraphs.bounded rg in
+        let scaled = Transform.scale_execution_times b ~num:3 ~den:1 in
+        match (Throughput.analyse b, Throughput.analyse scaled) with
+        | ( Throughput.Throughput { throughput = t1; _ },
+            Throughput.Throughput { throughput = t2; _ } ) ->
+            Rational.equal t1 (Rational.mul t2 (Rational.of_int 3))
+        | _ -> false);
+    Test.make ~count:50
+      ~name:"shorter execution times never delay an iteration (monotonic)"
+      Tgraphs.random_graph_arbitrary
+      (fun rg ->
+        let b = Tgraphs.bounded rg in
+        let reduce (a : Graph.actor) =
+          Stdlib.max 0 (a.execution_time - (a.actor_id mod 3))
+        in
+        let wcet = Execution.run b ~iterations:5 in
+        let faster =
+          Execution.run
+            ~options:
+              { Execution.default_options with firing_time = Some reduce }
+            b ~iterations:5
+        in
+        wcet.stop <> Execution.Finished
+        || (faster.stop = Execution.Finished
+           && faster.end_time <= wcet.end_time));
+    Test.make ~count:100 ~name:"xml round trip preserves the graph"
+      Tgraphs.random_graph_arbitrary
+      (fun rg ->
+        match Xmlio.of_string (Xmlio.to_string rg.graph) with
+        | Ok g' -> graphs_structurally_equal rg.graph g'
+        | Error _ -> false);
+  ]
+
+let () =
+  let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest) tests) in
+  Alcotest.run "sdf"
+    [
+      ( "rational",
+        [
+          Alcotest.test_case "normalization" `Quick test_rational_normalization;
+          Alcotest.test_case "arithmetic" `Quick test_rational_arithmetic;
+          Alcotest.test_case "errors" `Quick test_rational_errors;
+          Alcotest.test_case "gcd lcm" `Quick test_gcd_lcm;
+        ] );
+      qsuite "rational.props" rational_props;
+      ( "heap",
+        [ Alcotest.test_case "stable order" `Quick test_heap_order ] );
+      qsuite "heap.props" heap_props;
+      ( "graph",
+        [
+          Alcotest.test_case "builder" `Quick test_graph_builder;
+          Alcotest.test_case "errors" `Quick test_graph_errors;
+          Alcotest.test_case "execution times" `Quick test_graph_execution_times;
+        ] );
+      ( "repetition",
+        [
+          Alcotest.test_case "figure2" `Quick test_repetition_figure2;
+          Alcotest.test_case "multirate" `Quick test_repetition_multirate;
+          Alcotest.test_case "inconsistent" `Quick test_repetition_inconsistent;
+          Alcotest.test_case "disconnected" `Quick test_repetition_disconnected;
+          Alcotest.test_case "empty" `Quick test_repetition_empty;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "connectivity" `Quick test_connectivity;
+          Alcotest.test_case "scc" `Quick test_scc;
+          Alcotest.test_case "topological order" `Quick test_topological_order;
+          Alcotest.test_case "admission" `Quick test_admission;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "figure2 timing" `Quick test_execution_figure2_timing;
+          Alcotest.test_case "iteration times" `Quick test_execution_iteration_times;
+          Alcotest.test_case "deadlock" `Quick test_execution_deadlock;
+          Alcotest.test_case "budget" `Quick test_execution_budget;
+          Alcotest.test_case "auto concurrency" `Quick test_execution_auto_concurrency;
+          Alcotest.test_case "resources" `Quick test_execution_resources;
+          Alcotest.test_case "trace" `Quick test_execution_trace;
+        ] );
+      ( "throughput",
+        [
+          Alcotest.test_case "two cycle" `Quick test_throughput_two_cycle;
+          Alcotest.test_case "figure2" `Quick test_throughput_figure2;
+          Alcotest.test_case "deadlock" `Quick test_throughput_deadlock;
+          Alcotest.test_case "unbounded" `Quick test_throughput_unbounded;
+          Alcotest.test_case "resource bound" `Quick test_throughput_resource_bound;
+          Alcotest.test_case "actor throughput" `Quick test_actor_throughput;
+        ] );
+      ( "buffers",
+        [
+          Alcotest.test_case "lower bound" `Quick test_buffer_lower_bound;
+          Alcotest.test_case "add capacity" `Quick test_add_capacity;
+          Alcotest.test_case "capacity throttles" `Quick test_capacity_throttles;
+          Alcotest.test_case "size for throughput" `Quick test_size_for_throughput;
+          Alcotest.test_case "trade-off curve" `Quick test_trade_off_curve;
+          Alcotest.test_case "impossible target" `Quick test_size_for_throughput_impossible;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "order" `Quick test_list_schedule_order;
+          Alcotest.test_case "two resources" `Quick test_list_schedule_two_resources;
+          Alcotest.test_case "deadlock" `Quick test_list_schedule_deadlock;
+          Alcotest.test_case "validate mismatch" `Quick test_schedule_validate_mismatch;
+        ] );
+      ( "transform",
+        [
+          Alcotest.test_case "auto concurrency" `Quick test_constrain_auto_concurrency;
+          Alcotest.test_case "scale times" `Quick test_scale_execution_times;
+          Alcotest.test_case "merge" `Quick test_merge;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "dot" `Quick test_dot_output;
+          Alcotest.test_case "xml roundtrip" `Quick test_xml_roundtrip;
+          Alcotest.test_case "xml errors" `Quick test_xml_errors;
+        ] );
+      qsuite "properties" sdf_props;
+    ]

@@ -1,0 +1,322 @@
+module Application = Appmodel.Application
+module Actor_impl = Appmodel.Actor_impl
+module Metrics = Appmodel.Metrics
+module Token = Appmodel.Token
+module Rational = Sdf.Rational
+module Flow_map = Mapping.Flow_map
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let rational = Alcotest.testable Rational.pp Rational.equal
+
+(* A value-carrying pipeline: src emits consecutive integers (state on a
+   self-edge), dst accumulates their sum in its own state. Token values
+   crossing the interconnect must survive serialization. *)
+let value_pipe ?(wcet_src = 20) ?(wcet_dst = 35) ?(token_bytes = 8) () =
+  let src_impl =
+    Actor_impl.make ~name:"src"
+      ~metrics:(Metrics.make ~wcet:wcet_src ~instruction_memory:256 ~data_memory:256)
+      ~explicit_inputs:[ "srcState" ]
+      ~explicit_outputs:[ "srcState"; "data" ]
+      ~cycles:(fun bundle ->
+        match Actor_impl.find bundle "srcState" with
+        | [| s |] -> wcet_src - ((Token.to_ints s).(0) mod 5)
+        | _ -> wcet_src)
+      (fun bundle ->
+        match Actor_impl.find bundle "srcState" with
+        | [| s |] ->
+            let n = (Token.to_ints s).(0) in
+            let payload =
+              Array.init (Token.words_for_bytes token_bytes) (fun i ->
+                  if i = 0 then n else n * 7)
+            in
+            [
+              ("srcState", [| Token.of_ints [| n + 1 |] |]);
+              ("data", [| { Token.words = payload; byte_size = token_bytes } |]);
+            ]
+        | _ -> failwith "src: bad state")
+  in
+  let dst_impl =
+    Actor_impl.make ~name:"dst"
+      ~metrics:(Metrics.make ~wcet:wcet_dst ~instruction_memory:256 ~data_memory:256)
+      ~explicit_inputs:[ "data"; "dstState" ]
+      ~explicit_outputs:[ "dstState" ]
+      (fun bundle ->
+        match
+          (Actor_impl.find bundle "data", Actor_impl.find bundle "dstState")
+        with
+        | [| d |], [| s |] ->
+            let sum = (Token.to_ints s).(0) + (Token.to_ints d).(0) in
+            [ ("dstState", [| Token.of_ints [| sum |] |]) ]
+        | _ -> failwith "dst: bad inputs")
+  in
+  Application.make ~name:"value_pipe"
+    ~actors:
+      [
+        { Application.a_name = "src"; a_implementations = [ src_impl ] };
+        { Application.a_name = "dst"; a_implementations = [ dst_impl ] };
+      ]
+    ~channels:
+      [
+        Application.channel ~name:"srcState" ~source:"src" ~production:1
+          ~target:"src" ~consumption:1 ~initial_tokens:1
+          ~initial_values:[ Token.of_ints [| 0 |] ]
+          ();
+        Application.channel ~name:"data" ~source:"src" ~production:1
+          ~target:"dst" ~consumption:1 ~token_bytes ();
+        Application.channel ~name:"dstState" ~source:"dst" ~production:1
+          ~target:"dst" ~consumption:1 ~initial_tokens:1
+          ~initial_values:[ Token.of_ints [| 0 |] ]
+          ();
+        (* bound the pipeline like a double buffer *)
+        Application.channel ~name:"data__bound" ~source:"dst" ~production:1
+          ~target:"src" ~consumption:1 ~initial_tokens:2 ~token_bytes:0 ();
+      ]
+    ()
+
+let map_value_pipe ?(tiles = [ Arch.Tile.master "tile0"; Arch.Tile.slave "tile1" ])
+    ?wcet_src ?wcet_dst ?token_bytes () =
+  let app =
+    match value_pipe ?wcet_src ?wcet_dst ?token_bytes () with
+    | Ok app -> app
+    | Error e -> Alcotest.failf "app: %s" e
+  in
+  let platform =
+    match
+      Arch.Platform.make ~name:"p" ~tiles
+        (Arch.Platform.Point_to_point Arch.Fsl.default)
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "platform: %s" e
+  in
+  let options =
+    { Flow_map.default_options with fixed = [ ("src", 0); ("dst", 1) ] }
+  in
+  match Flow_map.run app platform ~options () with
+  | Ok mapping -> mapping
+  | Error e -> Alcotest.failf "mapping: %s" e
+
+let test_values_cross_the_link () =
+  let mapping = map_value_pipe () in
+  (* watch the accumulator state the consumer writes back each firing *)
+  let sums = ref [] in
+  let observe channel tok =
+    if channel = "dstState" then sums := (Token.to_ints tok).(0) :: !sums
+  in
+  match Sim.Platform_sim.run mapping ~iterations:10 ~observe () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      check int "iterations" 10 r.Sim.Platform_sim.iterations;
+      (* dst accumulated 0 + 1 + 2 + ...: the data tokens arrived intact
+         and in order through serialization and the link *)
+      let observed = List.rev !sums in
+      let expected = List.mapi (fun k _ -> k * (k + 1) / 2) observed in
+      check bool "some firings observed" true (observed <> []);
+      check (Alcotest.list int) "partial sums of consecutive integers"
+        expected observed
+
+let test_wcet_sim_matches_prediction () =
+  (* the paper's tightness claim: the WCET-timed platform runs exactly at
+     the analysed worst-case rate *)
+  let configurations =
+    [ (20, 35, 8); (50, 10, 64); (17, 17, 16); (5, 90, 256) ]
+  in
+  List.iter
+    (fun (wcet_src, wcet_dst, token_bytes) ->
+      let mapping = map_value_pipe ~wcet_src ~wcet_dst ~token_bytes () in
+      let predicted = Option.get (Flow_map.throughput mapping) in
+      match
+        Sim.Platform_sim.run mapping ~iterations:60 ~timing:Sim.Platform_sim.Wcet ()
+      with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+          let measured = Sim.Platform_sim.steady_throughput r in
+          let p = Rational.to_float predicted and m = Rational.to_float measured in
+          check bool
+            (Printf.sprintf "tight bound for (%d,%d,%dB): %f vs %f" wcet_src
+               wcet_dst token_bytes p m)
+            true
+            (m >= p *. 0.999 && m <= p *. 1.05))
+    configurations
+
+let test_data_dependent_never_slower () =
+  let mapping = map_value_pipe () in
+  let wcet_run =
+    match Sim.Platform_sim.run mapping ~iterations:40 ~timing:Sim.Platform_sim.Wcet () with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "wcet run: %s" e
+  in
+  match Sim.Platform_sim.run mapping ~iterations:40 () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      check bool "data-dependent at least as fast" true
+        (r.Sim.Platform_sim.total_cycles <= wcet_run.Sim.Platform_sim.total_cycles);
+      check bool "no wcet violations" true (r.Sim.Platform_sim.wcet_violations = [])
+
+let test_guarantee_holds () =
+  (* the flow's central claim on the platform simulator *)
+  let mapping = map_value_pipe () in
+  let predicted = Option.get (Flow_map.throughput mapping) in
+  match Sim.Platform_sim.run mapping ~iterations:60 () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      check bool "measured >= guaranteed" true
+        (Rational.compare (Sim.Platform_sim.steady_throughput r) predicted >= 0)
+
+let test_ca_platform_runs () =
+  let tiles = [ Arch.Tile.with_ca "tile0"; Arch.Tile.with_ca "tile1" ] in
+  let mapping = map_value_pipe ~tiles () in
+  let predicted = Option.get (Flow_map.throughput mapping) in
+  match Sim.Platform_sim.run mapping ~iterations:30 () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      check int "iterations" 30 r.Sim.Platform_sim.iterations;
+      check bool "guarantee holds with CA" true
+        (Rational.compare (Sim.Platform_sim.steady_throughput r) predicted >= 0)
+
+let test_ca_beats_pe_serialization () =
+  (* section 6.3: offloading (de-)serialization improves the guarantee when
+     communication shares the PE with heavy traffic *)
+  let pe_tiles = [ Arch.Tile.master "tile0"; Arch.Tile.slave "tile1" ] in
+  let ca_tiles = [ Arch.Tile.with_ca "tile0"; Arch.Tile.with_ca "tile1" ] in
+  let big = 1024 in
+  let pe = map_value_pipe ~tiles:pe_tiles ~token_bytes:big () in
+  let ca = map_value_pipe ~tiles:ca_tiles ~token_bytes:big () in
+  check bool "CA improves the bound" true
+    (Rational.compare
+       (Option.get (Flow_map.throughput ca))
+       (Option.get (Flow_map.throughput pe))
+    > 0)
+
+let test_tile_busy_accounting () =
+  let mapping = map_value_pipe ~wcet_src:20 ~wcet_dst:35 () in
+  match Sim.Platform_sim.run mapping ~iterations:20 ~timing:Sim.Platform_sim.Wcet () with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      let busy name = List.assoc name r.Sim.Platform_sim.tile_busy in
+      check bool "tiles accumulated busy time" true
+        (busy "tile0" > 0 && busy "tile1" > 0);
+      check bool "busy bounded by makespan" true
+        (busy "tile1" <= r.Sim.Platform_sim.total_cycles + 35);
+      check bool "src fired at least once per iteration" true
+        (List.assoc "src" r.Sim.Platform_sim.firing_counts >= 20)
+
+let test_throughput_measures () =
+  let r =
+    {
+      Sim.Platform_sim.iterations = 8;
+      total_cycles = 80;
+      iteration_end_times = [| 10; 20; 30; 40; 50; 60; 70; 80 |];
+      tile_busy = [];
+      firing_counts = [];
+      wcet_violations = [];
+      final_local_tokens = [];
+    }
+  in
+  check rational "overall" (Rational.make 1 10)
+    (Sim.Platform_sim.overall_throughput r);
+  check rational "steady skips warmup" (Rational.make 1 10)
+    (Sim.Platform_sim.steady_throughput r)
+
+let test_trace_collection () =
+  let mapping = map_value_pipe () in
+  let collector = Sim.Trace.create () in
+  (match
+     Sim.Platform_sim.run mapping ~iterations:5
+       ~trace:(Sim.Trace.sink collector) ()
+   with
+  | Error e -> Alcotest.fail e
+  | Ok _ -> ());
+  let spans = Sim.Trace.spans collector in
+  check bool "spans collected" true (List.length spans > 10);
+  (* spans are well formed and chronological *)
+  let rec ordered = function
+    | a :: (b :: _ as rest) ->
+        a.Sim.Trace.sp_start <= b.Sim.Trace.sp_start && ordered rest
+    | _ -> true
+  in
+  check bool "chronological" true (ordered spans);
+  check bool "well formed" true
+    (List.for_all (fun s -> s.Sim.Trace.sp_end > s.Sim.Trace.sp_start) spans);
+  (* both firings and copy loops appear *)
+  let labels = List.map (fun s -> s.Sim.Trace.sp_label) spans in
+  check bool "actor firings traced" true (List.mem "src" labels);
+  check bool "serialization traced" true
+    (List.exists
+       (fun l -> String.length l > 4 && String.sub l 0 4 = "ser:")
+       labels);
+  (* renders *)
+  let vcd = Sim.Trace.to_vcd collector in
+  check bool "vcd header" true
+    (String.length vcd > 0 && String.sub vcd 0 5 = "$date");
+  let gantt = Sim.Trace.to_ascii_gantt ~width:60 collector in
+  check bool "gantt has tile rows" true
+    (List.length (String.split_on_char '\n' gantt) >= 3)
+
+let sim_props =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* wcet_src = int_range 5 80 in
+      let* wcet_dst = int_range 5 80 in
+      let* token_bytes = oneofl [ 4; 8; 64 ] in
+      return (wcet_src, wcet_dst, token_bytes))
+  in
+  [
+    Test.make ~count:25
+      ~name:"platform measurement respects the worst-case guarantee"
+      (make gen ~print:(fun (a, b, z) -> Printf.sprintf "src=%d dst=%d z=%d" a b z))
+      (fun (wcet_src, wcet_dst, token_bytes) ->
+        let mapping = map_value_pipe ~wcet_src ~wcet_dst ~token_bytes () in
+        match Flow_map.throughput mapping with
+        | None -> false
+        | Some predicted -> (
+            match Sim.Platform_sim.run mapping ~iterations:40 () with
+            | Error _ -> false
+            | Ok r ->
+                Rational.compare (Sim.Platform_sim.steady_throughput r) predicted
+                >= 0));
+    Test.make ~count:20
+      ~name:"WCET-timed platform runs at the analysed rate (tight bound)"
+      (make gen ~print:(fun (a, b, z) -> Printf.sprintf "src=%d dst=%d z=%d" a b z))
+      (fun (wcet_src, wcet_dst, token_bytes) ->
+        let mapping = map_value_pipe ~wcet_src ~wcet_dst ~token_bytes () in
+        match Flow_map.throughput mapping with
+        | None -> false
+        | Some predicted -> (
+            match
+              Sim.Platform_sim.run mapping ~iterations:60
+                ~timing:Sim.Platform_sim.Wcet ()
+            with
+            | Error _ -> false
+            | Ok r ->
+                let measured =
+                  Rational.to_float (Sim.Platform_sim.steady_throughput r)
+                in
+                let predicted = Rational.to_float predicted in
+                measured >= predicted *. 0.999
+                && measured <= predicted *. 1.05));
+  ]
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "platform",
+        [
+          Alcotest.test_case "values cross the link" `Quick test_values_cross_the_link;
+          Alcotest.test_case "wcet sim matches prediction" `Quick
+            test_wcet_sim_matches_prediction;
+          Alcotest.test_case "data dependent never slower" `Quick
+            test_data_dependent_never_slower;
+          Alcotest.test_case "guarantee holds" `Quick test_guarantee_holds;
+          Alcotest.test_case "ca platform" `Quick test_ca_platform_runs;
+          Alcotest.test_case "ca beats pe serialization" `Quick
+            test_ca_beats_pe_serialization;
+          Alcotest.test_case "tile busy" `Quick test_tile_busy_accounting;
+          Alcotest.test_case "throughput measures" `Quick test_throughput_measures;
+          Alcotest.test_case "trace collection" `Quick test_trace_collection;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest sim_props);
+    ]

@@ -1,0 +1,172 @@
+open Xmlkit
+
+let check = Alcotest.check
+let string = Alcotest.string
+let bool = Alcotest.bool
+
+let parse_exn s =
+  match Xml.parse s with Ok t -> t | Error e -> Alcotest.fail e
+
+let test_parse_simple () =
+  let doc = parse_exn "<root a=\"1\" b='two'><child/>text</root>" in
+  let root = Xml.as_element doc in
+  check string "tag" "root" root.tag;
+  check string "attr a" "1" (Xml.attr root "a");
+  check string "attr b" "two" (Xml.attr root "b");
+  check bool "child present" true (Xml.child_opt root "child" <> None);
+  check string "text" "text" (Xml.text_content root)
+
+let test_parse_entities () =
+  let doc = parse_exn "<r a=\"&lt;&amp;&gt;\">x &quot;y&quot; &apos;z&apos;</r>" in
+  let root = Xml.as_element doc in
+  check string "attr entities" "<&>" (Xml.attr root "a");
+  check string "text entities" "x \"y\" 'z'" (Xml.text_content root)
+
+let test_parse_nesting () =
+  let doc =
+    parse_exn
+      "<?xml version=\"1.0\"?>\n<!-- header --><a><b><c n=\"1\"/><c \
+       n=\"2\"/></b><!-- inline --></a>"
+  in
+  let root = Xml.as_element doc in
+  let b = Xml.child root "b" in
+  check Alcotest.int "two c children" 2 (List.length (Xml.children_named b "c"));
+  check Alcotest.int "int attr" 2
+    (Xml.int_attr (List.nth (Xml.children_named b "c") 1) "n")
+
+let test_parse_cdata () =
+  let doc = parse_exn "<r><![CDATA[a < b && c]]></r>" in
+  check string "cdata" "a < b && c" (Xml.text_content (Xml.as_element doc))
+
+let test_parse_errors () =
+  let bad s =
+    match Xml.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %S" s
+  in
+  bad "<a>";
+  bad "<a></b>";
+  bad "<a x=1/>";
+  bad "<a/><b/>";
+  bad "no xml";
+  bad "<a>&bogus;</a>"
+
+let test_writer_escaping () =
+  let doc =
+    Xml.element "r"
+      ~attrs:[ ("q", "a\"b<c") ]
+      ~children:[ Xml.text "x < y & z" ]
+  in
+  let s = Xml.to_string doc in
+  match Xml.parse s with
+  | Ok reparsed ->
+      let root = Xml.as_element reparsed in
+      check string "attr survives" "a\"b<c" (Xml.attr root "q");
+      check string "text survives" "x < y & z" (Xml.text_content root)
+  | Error e -> Alcotest.fail e
+
+let test_accessor_failures () =
+  let root = Xml.as_element (parse_exn "<r a=\"x\"/>") in
+  (try
+     ignore (Xml.attr root "missing");
+     Alcotest.fail "missing attr accepted"
+   with Failure _ -> ());
+  (try
+     ignore (Xml.int_attr root "a");
+     Alcotest.fail "non-integer attr accepted"
+   with Failure _ -> ());
+  try
+    ignore (Xml.child root "missing");
+    Alcotest.fail "missing child accepted"
+  with Failure _ -> ()
+
+let xml_props =
+  let open QCheck in
+  let name_gen =
+    Gen.map
+      (fun (c, rest) -> String.make 1 c ^ rest)
+      (Gen.pair (Gen.char_range 'a' 'z')
+         (Gen.string_size ~gen:(Gen.char_range 'a' 'z') (Gen.int_range 0 8)))
+  in
+  let text_gen =
+    Gen.string_size
+      ~gen:
+        (Gen.oneof
+           [ Gen.char_range 'a' 'z'; Gen.oneofl [ '<'; '>'; '&'; '"'; '\''; ' ' ] ])
+      (Gen.int_range 1 20)
+  in
+  let rec tree_gen depth =
+    let open Gen in
+    if depth = 0 then map Xml.text text_gen
+    else
+      oneof
+        [
+          map Xml.text text_gen;
+          (let* tag = name_gen in
+           let* attrs = list_size (int_range 0 3) (pair name_gen text_gen) in
+           let* children = list_size (int_range 0 3) (tree_gen (depth - 1)) in
+           (* duplicate attribute names would not round trip *)
+           let attrs =
+             List.sort_uniq (fun (a, _) (b, _) -> compare a b) attrs
+           in
+           return (Xml.element tag ~attrs ~children));
+        ]
+  in
+  let doc_gen =
+    let open Gen in
+    let* tag = name_gen in
+    let* attrs = list_size (int_range 0 3) (pair name_gen text_gen) in
+    let attrs = List.sort_uniq (fun (a, _) (b, _) -> compare a b) attrs in
+    let* children = list_size (int_range 0 4) (tree_gen 2) in
+    return (Xml.element tag ~attrs ~children)
+  in
+  (* The pretty printer reflows text (indentation, merging of adjacent text
+     nodes), so compare a whitespace-insensitive view: tag, attributes,
+     element children, and the concatenated text with whitespace removed. *)
+  let strip_spaces s =
+    String.to_seq s
+    |> Seq.filter (fun c -> not (List.mem c [ ' '; '\t'; '\n'; '\r' ]))
+    |> String.of_seq
+  in
+  let module Norm = struct
+    type t = N of string * (string * string) list * string * t list
+  end in
+  let rec normalize (e : Xml.element) =
+    let texts =
+      List.filter_map (function Xml.Text s -> Some s | Xml.Element _ -> None)
+        e.children
+    in
+    let elements =
+      List.filter_map
+        (function Xml.Element c -> Some (normalize c) | Xml.Text _ -> None)
+        e.children
+    in
+    Norm.N (e.tag, e.attrs, strip_spaces (String.concat "" texts), elements)
+  in
+  [
+    Test.make ~count:200 ~name:"print then parse is identity (normalized)"
+      (make doc_gen ~print:(fun t -> Xml.to_string t))
+      (fun doc ->
+        match Xml.parse (Xml.to_string doc) with
+        | Error _ -> false
+        | Ok reparsed ->
+            normalize (Xml.as_element reparsed) = normalize (Xml.as_element doc));
+  ]
+
+let () =
+  Alcotest.run "xmlkit"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "simple" `Quick test_parse_simple;
+          Alcotest.test_case "entities" `Quick test_parse_entities;
+          Alcotest.test_case "nesting" `Quick test_parse_nesting;
+          Alcotest.test_case "cdata" `Quick test_parse_cdata;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "writer",
+        [ Alcotest.test_case "escaping" `Quick test_writer_escaping ] );
+      ( "accessors",
+        [ Alcotest.test_case "failures" `Quick test_accessor_failures ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest xml_props);
+    ]

@@ -1,0 +1,157 @@
+(* Shared graph builders and QCheck generators for the test suites. *)
+
+open Sdf
+
+(* The paper's Figure 2: A fires once producing 2 tokens for B and 1 for C;
+   B fires twice; C consumes 1 from A and 2 from B. A keeps state through a
+   self-edge holding one initial token. *)
+let figure2 ?(time_a = 10) ?(time_b = 4) ?(time_c = 6) () =
+  let g = Graph.empty "figure2" in
+  let g, a = Graph.add_actor g ~name:"A" ~execution_time:time_a in
+  let g, b = Graph.add_actor g ~name:"B" ~execution_time:time_b in
+  let g, c = Graph.add_actor g ~name:"C" ~execution_time:time_c in
+  let g, _ =
+    Graph.add_channel g ~name:"a2b" ~source:a ~production_rate:2 ~target:b
+      ~consumption_rate:1 ()
+  in
+  let g, _ =
+    Graph.add_channel g ~name:"a2c" ~source:a ~production_rate:1 ~target:c
+      ~consumption_rate:1 ()
+  in
+  let g, _ =
+    Graph.add_channel g ~name:"b2c" ~source:b ~production_rate:1 ~target:c
+      ~consumption_rate:2 ()
+  in
+  let g, _ =
+    Graph.add_channel g ~name:"aState" ~source:a ~production_rate:1 ~target:a
+      ~consumption_rate:1 ~initial_tokens:1 ()
+  in
+  (g, a, b, c)
+
+(* Two actors in a cycle with [tokens] initial tokens: the classic
+   throughput benchmark (throughput = min(tokens-limited, actor-limited)). *)
+let two_cycle ~time_a ~time_b ~tokens =
+  let g = Graph.empty "two_cycle" in
+  let g, a = Graph.add_actor g ~name:"A" ~execution_time:time_a in
+  let g, b = Graph.add_actor g ~name:"B" ~execution_time:time_b in
+  let g, _ =
+    Graph.add_channel g ~name:"fwd" ~source:a ~production_rate:1 ~target:b
+      ~consumption_rate:1 ()
+  in
+  let g, _ =
+    Graph.add_channel g ~name:"bwd" ~source:b ~production_rate:1 ~target:a
+      ~consumption_rate:1 ~initial_tokens:tokens ()
+  in
+  (g, a, b)
+
+(* An n-stage pipeline, unit rates, no initial tokens. *)
+let pipeline ~times =
+  let g = Graph.empty "pipeline" in
+  let g, ids =
+    List.fold_left
+      (fun (g, ids) (i, t) ->
+        let g, id =
+          Graph.add_actor g ~name:(Printf.sprintf "p%d" i) ~execution_time:t
+        in
+        (g, id :: ids))
+      (g, [])
+      (List.mapi (fun i t -> (i, t)) times)
+  in
+  let ids = List.rev ids in
+  let g, _ =
+    List.fold_left
+      (fun (g, prev) id ->
+        match prev with
+        | None -> (g, Some id)
+        | Some p ->
+            let g, _ =
+              Graph.add_channel g
+                ~name:(Printf.sprintf "c%d_%d" p id)
+                ~source:p ~production_rate:1 ~target:id ~consumption_rate:1 ()
+            in
+            (g, Some id))
+      (g, None) ids
+  in
+  (g, Array.of_list ids)
+
+(* --- Random consistent SDF graphs -------------------------------------
+
+   Construction guarantees consistency: pick a repetition count q(a) for
+   every actor, then give each channel a->b the rates q(b)/g and q(a)/g
+   with g = gcd, which satisfies the balance equation by construction.
+   Edges go from lower to higher actor index (token-free, acyclic), plus
+   optional back edges carrying one full iteration of tokens so the graph
+   stays deadlock-free. *)
+
+type random_graph = {
+  graph : Graph.t;
+  expected_repetition : int array;  (* already scaled to minimal form *)
+}
+
+let build_random ~actor_count ~q ~times ~extra_edges ~back_edges =
+  let g = ref (Graph.empty "random") in
+  let ids = Array.make actor_count 0 in
+  for a = 0 to actor_count - 1 do
+    let graph, id =
+      Graph.add_actor !g
+        ~name:(Printf.sprintf "r%d" a)
+        ~execution_time:times.(a)
+    in
+    g := graph;
+    ids.(a) <- id
+  done;
+  let edge_counter = ref 0 in
+  let add_edge src dst ~tokens =
+    let gcd = Rational.gcd_int q.(src) q.(dst) in
+    let prod = q.(dst) / gcd and cons = q.(src) / gcd in
+    incr edge_counter;
+    let graph, _ =
+      Graph.add_channel !g
+        ~name:(Printf.sprintf "e%d" !edge_counter)
+        ~source:ids.(src) ~production_rate:prod ~target:ids.(dst)
+        ~consumption_rate:cons
+        ~initial_tokens:(if tokens then cons * q.(dst) else 0)
+        ()
+    in
+    g := graph
+  in
+  (* spanning chain keeps the graph connected *)
+  for a = 0 to actor_count - 2 do
+    add_edge a (a + 1) ~tokens:false
+  done;
+  List.iter (fun (a, b) -> add_edge a b ~tokens:false) extra_edges;
+  List.iter (fun (a, b) -> add_edge b a ~tokens:true) back_edges;
+  let overall = Array.fold_left Rational.gcd_int 0 q in
+  {
+    graph = !g;
+    expected_repetition = Array.map (fun v -> v / overall) q;
+  }
+
+let random_graph_gen =
+  let open QCheck.Gen in
+  let* actor_count = int_range 2 7 in
+  let* q = array_size (return actor_count) (int_range 1 4) in
+  let* times = array_size (return actor_count) (int_range 1 20) in
+  let pair_gen =
+    let* a = int_range 0 (actor_count - 2) in
+    let* b = int_range (a + 1) (actor_count - 1) in
+    return (a, b)
+  in
+  let* extra_edges = list_size (int_range 0 3) pair_gen in
+  let* back_edges = list_size (int_range 0 2) pair_gen in
+  return (build_random ~actor_count ~q ~times ~extra_edges ~back_edges)
+
+let random_graph_arbitrary =
+  QCheck.make random_graph_gen ~print:(fun rg ->
+      Format.asprintf "%a" Graph.pp rg.graph)
+
+(* Bound every channel generously (4 iterations worth of tokens) so that
+   self-timed execution has a finite state space. *)
+let bounded rg =
+  Buffers.with_capacities rg.graph (fun c ->
+      if Graph.is_self_loop c then None
+      else
+        Some
+          (Stdlib.max (Buffers.lower_bound c)
+             (4 * c.consumption_rate
+             * rg.expected_repetition.(c.target))))
