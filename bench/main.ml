@@ -226,7 +226,7 @@ let ablations () =
         match flow.Core.Design_flow.guarantee with
         | Some g -> Sdf.Rational.to_string g
         | None -> "-")
-    | Error e -> "failed: " ^ e
+    | Error e -> "failed: " ^ Core.Flow_error.to_string e
   in
   Printf.printf "buffer-distribution search depth (FSL):\n";
   List.iter
@@ -258,14 +258,16 @@ let ablations () =
             ~stream:seq.Mjpeg.Streams.seq_stream ~margin_percent:margin ()
         in
         let* flow =
-          Core.Design_flow.run_auto app ~options:Experiments.flow_options
-            (Arch.Template.Use_fsl Arch.Fsl.default)
-            ()
+          Result.map_error Core.Flow_error.to_string
+            (Core.Design_flow.run_auto app ~options:Experiments.flow_options
+               (Arch.Template.Use_fsl Arch.Fsl.default)
+               ())
         in
         let* measured =
-          Core.Design_flow.measure flow
-            ~iterations:(2 * Mjpeg.Streams.mcus seq)
-            ()
+          Result.map_error Core.Flow_error.to_string
+            (Core.Design_flow.measure flow
+               ~iterations:(2 * Mjpeg.Streams.mcus seq)
+               ())
         in
         Ok
           ( Option.get flow.Core.Design_flow.guarantee,
@@ -301,7 +303,7 @@ let microbenchmarks () =
         ()
     with
     | Ok flow -> flow
-    | Error e -> failwith e
+    | Error e -> failwith (Core.Flow_error.to_string e)
   in
   let mapping = flow.Core.Design_flow.mapping in
   let expanded = mapping.Mapping.Flow_map.expansion.Mapping.Comm_map.graph in

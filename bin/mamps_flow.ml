@@ -58,7 +58,51 @@ let interconnect_of = function
   | `Fsl -> Arch.Template.Use_fsl Arch.Fsl.default
   | `Noc -> Arch.Template.Use_noc Arch.Noc.default_config
 
-let run_mjpeg interconnect sequence output passes trace_out =
+(* re-run the measured platform under a fault scenario and report the
+   throughput degradation against the SDF3 guarantee *)
+let report_faulted flow baseline ~iterations spec =
+  Format.printf "@.injecting faults: %a@." Sim.Fault.pp_spec spec;
+  match Core.Design_flow.measure flow ~iterations ~faults:spec () with
+  | Error e -> (
+      match Core.Flow_error.deadlock_diagnosis e with
+      | Some d ->
+          Format.printf "fault scenario stalled the platform:@.%s@."
+            (Sim.Diagnosis.report d);
+          0
+      | None ->
+          Printf.eprintf "faulted run failed: %s\n"
+            (Core.Flow_error.to_string e);
+          1)
+  | Ok faulted ->
+      let base = Sim.Platform_sim.steady_throughput baseline in
+      let under = Sim.Platform_sim.steady_throughput faulted in
+      let degradation =
+        if Sdf.Rational.sign base > 0 then
+          (1.0 -. (Sdf.Rational.to_float under /. Sdf.Rational.to_float base))
+          *. 100.0
+        else 0.0
+      in
+      Format.printf
+        "measured under faults: %.4f MCU/MHz/s (%.1f%% degradation)@."
+        (Core.Report.mcus_per_mhz_second under)
+        degradation;
+      (match flow.Core.Design_flow.guarantee with
+      | Some g ->
+          Format.printf "SDF3 guarantee %s under this scenario@."
+            (if Sdf.Rational.compare under g >= 0 then "still holds"
+             else "VIOLATED")
+      | None -> ());
+      (match faulted.Sim.Platform_sim.fault_events with
+      | [] -> ()
+      | events ->
+          Format.printf "injected: %s@."
+            (String.concat ", "
+               (List.map
+                  (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+                  events)));
+      0
+
+let run_mjpeg interconnect sequence output passes trace_out faults seed =
   match Mjpeg.Streams.by_name sequence with
   | None ->
       Printf.eprintf "unknown sequence %S; available: %s\n" sequence
@@ -68,57 +112,78 @@ let run_mjpeg interconnect sequence output passes trace_out =
               (Mjpeg.Streams.all ())));
       1
   | Some seq -> (
-      let ( let* ) = Result.bind in
-      let result =
-        let* app = Experiments.calibrated_mjpeg seq in
-        let* flow =
-          Core.Design_flow.run_auto app ~options:Experiments.flow_options
-            (interconnect_of interconnect) ()
-        in
-        let iterations = passes * Mjpeg.Streams.mcus seq in
-        let collector = Sim.Trace.create () in
-        let trace =
-          Option.map (fun _ -> Sim.Trace.sink collector) trace_out
-        in
-        let* measured = Core.Design_flow.measure flow ~iterations ?trace () in
-        (match trace_out with
-        | None -> ()
-        | Some path ->
-            let oc = open_out path in
-            Fun.protect
-              ~finally:(fun () -> close_out oc)
-              (fun () -> output_string oc (Sim.Trace.to_vcd collector));
-            Printf.printf "wrote %d busy intervals to %s\n"
-              (Sim.Trace.span_count collector)
-              path);
-        Ok (flow, measured)
-      in
-      match result with
-      | Error msg ->
-          Printf.eprintf "flow failed: %s\n" msg;
+      match Option.map (Sim.Fault.scenario ~seed) faults with
+      | Some (Error msg) ->
+          Printf.eprintf "%s\navailable fault scenarios:\n" msg;
+          List.iter
+            (fun (name, doc) -> Printf.eprintf "  %-12s %s\n" name doc)
+            (Sim.Fault.scenario_descriptions ());
           1
-      | Ok (flow, measured) ->
-          Format.printf "%a@.@." Mapping.Flow_map.pp_summary
-            flow.Core.Design_flow.mapping;
-          Format.printf "automated steps:@.%a@.@." Core.Design_flow.pp_times
-            flow.Core.Design_flow.times;
-          (match flow.Core.Design_flow.guarantee with
-          | Some g ->
-              Format.printf "guaranteed throughput: %s MCU/cycle (%.4f MCU/MHz/s)@."
-                (Sdf.Rational.to_string g)
-                (Core.Report.mcus_per_mhz_second g)
-          | None -> Format.printf "no throughput guarantee@.");
-          Format.printf "measured on the platform (%d MCUs): %.4f MCU/MHz/s@."
-            measured.Sim.Platform_sim.iterations
-            (Core.Report.mcus_per_mhz_second
-               (Sim.Platform_sim.steady_throughput measured));
-          (match output with
-          | None -> ()
-          | Some dir ->
-              Mamps.Project.write_to flow.Core.Design_flow.project ~dir;
-              Format.printf "MAMPS project written to %s (%d files)@." dir
-                (List.length flow.Core.Design_flow.project.Mamps.Project.files));
-          0)
+      | (None | Some (Ok _)) as resolved -> (
+          let spec =
+            match resolved with Some (Ok s) -> Some s | _ -> None
+          in
+          let ( let* ) = Result.bind in
+          let result =
+            let* app = Experiments.calibrated_mjpeg seq in
+            let* flow =
+              Result.map_error Core.Flow_error.to_string
+                (Core.Design_flow.run_auto app
+                   ~options:Experiments.flow_options
+                   (interconnect_of interconnect) ())
+            in
+            let iterations = passes * Mjpeg.Streams.mcus seq in
+            let collector = Sim.Trace.create () in
+            let trace =
+              Option.map (fun _ -> Sim.Trace.sink collector) trace_out
+            in
+            let* measured =
+              Result.map_error Core.Flow_error.to_string
+                (Core.Design_flow.measure flow ~iterations ?trace ())
+            in
+            (match trace_out with
+            | None -> ()
+            | Some path ->
+                let oc = open_out path in
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () -> output_string oc (Sim.Trace.to_vcd collector));
+                Printf.printf "wrote %d busy intervals to %s\n"
+                  (Sim.Trace.span_count collector)
+                  path);
+            Ok (flow, measured, iterations)
+          in
+          match result with
+          | Error msg ->
+              Printf.eprintf "flow failed: %s\n" msg;
+              1
+          | Ok (flow, measured, iterations) ->
+              Format.printf "%a@.@." Mapping.Flow_map.pp_summary
+                flow.Core.Design_flow.mapping;
+              Format.printf "automated steps:@.%a@.@." Core.Design_flow.pp_times
+                flow.Core.Design_flow.times;
+              (match flow.Core.Design_flow.guarantee with
+              | Some g ->
+                  Format.printf
+                    "guaranteed throughput: %s MCU/cycle (%.4f MCU/MHz/s)@."
+                    (Sdf.Rational.to_string g)
+                    (Core.Report.mcus_per_mhz_second g)
+              | None -> Format.printf "no throughput guarantee@.");
+              Format.printf
+                "measured on the platform (%d MCUs): %.4f MCU/MHz/s@."
+                measured.Sim.Platform_sim.iterations
+                (Core.Report.mcus_per_mhz_second
+                   (Sim.Platform_sim.steady_throughput measured));
+              (match output with
+              | None -> ()
+              | Some dir ->
+                  Mamps.Project.write_to flow.Core.Design_flow.project ~dir;
+                  Format.printf "MAMPS project written to %s (%d files)@." dir
+                    (List.length
+                       flow.Core.Design_flow.project.Mamps.Project.files));
+              (match spec with
+              | None -> 0
+              | Some spec -> report_faulted flow measured ~iterations spec)))
 
 let mjpeg_cmd =
   let interconnect =
@@ -156,9 +221,31 @@ let mjpeg_cmd =
       & info [ "trace" ] ~docv:"FILE.vcd"
           ~doc:"Dump the platform execution as a VCD waveform.")
   in
+  let faults =
+    let doc =
+      Printf.sprintf
+        "After the clean run, re-measure under a seeded fault scenario and \
+         report the degradation against the guarantee. One of: %s."
+        (String.concat ", " (Sim.Fault.scenario_names ()))
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SCENARIO" ~doc)
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Seed for the fault injection PRNG (runs are deterministic \
+                per seed).")
+  in
   Cmd.v
     (Cmd.info "mjpeg" ~doc:"Run the full flow on the MJPEG case study")
-    Term.(const run_mjpeg $ interconnect $ sequence $ output $ passes $ trace)
+    Term.(
+      const run_mjpeg $ interconnect $ sequence $ output $ passes $ trace
+      $ faults $ seed)
 
 (* --- experiments ------------------------------------------------------------------ *)
 

@@ -20,17 +20,19 @@ let platform_with_ip () =
 let run label app platform =
   let ( let* ) = Result.bind in
   let* flow =
-    Core.Design_flow.run app platform
-      ~options:
-        {
-          Mapping.Flow_map.default_options with
-          fixed = Experiments.five_tile_binding;
-        }
-      ()
+    Result.map_error Core.Flow_error.to_string
+      (Core.Design_flow.run app platform
+         ~options:
+           {
+             Mapping.Flow_map.default_options with
+             fixed = Experiments.five_tile_binding;
+           }
+         ())
   in
   let seq = Mjpeg.Streams.synthetic () in
   let* measured =
-    Core.Design_flow.measure flow ~iterations:(2 * Mjpeg.Streams.mcus seq) ()
+    Result.map_error Core.Flow_error.to_string
+      (Core.Design_flow.measure flow ~iterations:(2 * Mjpeg.Streams.mcus seq) ())
   in
   Format.printf "%-22s guarantee %-10s measured %.4f MCU/MHz/s@." label
     (match flow.Core.Design_flow.guarantee with

@@ -132,11 +132,15 @@ let () =
         ]
     in
     let options = { Mapping.Flow_map.default_options with fixed } in
-    let* multi = Core.Design_flow.run_many [ mjpeg; audio ] platform ~options () in
+    let* multi =
+      Result.map_error Core.Flow_error.to_string
+        (Core.Design_flow.run_many [ mjpeg; audio ] platform ~options ())
+    in
     let* measured =
-      Core.Design_flow.measure multi.Core.Design_flow.combined
-        ~iterations:(2 * Mjpeg.Streams.mcus seq)
-        ()
+      Result.map_error Core.Flow_error.to_string
+        (Core.Design_flow.measure multi.Core.Design_flow.combined
+           ~iterations:(2 * Mjpeg.Streams.mcus seq)
+           ())
     in
     Ok (multi, measured, platform)
   in

@@ -72,7 +72,7 @@ let () =
       (Arch.Template.Use_fsl Arch.Fsl.default)
       ()
   with
-  | Error msg -> failwith msg
+  | Error e -> failwith (Core.Flow_error.to_string e)
   | Ok flow ->
       Format.printf "%a@.@." Mapping.Flow_map.pp_summary
         flow.Core.Design_flow.mapping;

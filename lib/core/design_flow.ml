@@ -23,39 +23,49 @@ let timed f =
   let result = f () in
   (result, Sys.time () -. start)
 
+let admit app =
+  match Sdf.Analysis.admit (Application.graph app) with
+  | Ok _ -> Ok ()
+  | Error reason ->
+      Error
+        (Flow_error.Application_rejected
+           { application = Application.name app; reason })
+
+(* validate the generated structure and elaborate the platform once (a
+   one-iteration dry run of the simulator) — the XPS synthesis stand-in *)
+let synthesize mapping =
+  let ( let* ) = Result.bind in
+  let netlist = Mamps.Netlist.of_mapping mapping in
+  let* () =
+    Result.map_error
+      (fun msg -> Flow_error.Netlist_invalid msg)
+      (Mamps.Netlist.validate netlist)
+  in
+  let* _dry =
+    Result.map_error
+      (fun e -> Flow_error.Simulation_failed e)
+      (Sim.Platform_sim.run mapping ~iterations:1 ())
+  in
+  Ok ()
+
 let run_with_arch_time app platform ?options ~architecture_generation () =
   let ( let* ) = Result.bind in
   (* admission: the flow rejects inconsistent or deadlocking applications *)
-  let* () =
-    match Sdf.Analysis.admit (Application.graph app) with
-    | Ok _ -> Ok ()
-    | Error e ->
-        Error
-          (Format.asprintf "application rejected: %a"
-             Sdf.Analysis.pp_admission_error e)
-  in
+  let* () = admit app in
   let* mapping, mapping_time =
     let result, time =
       timed (fun () -> Flow_map.run app platform ?options ())
     in
-    Result.map (fun m -> (m, time)) result
+    match result with
+    | Ok m -> Ok (m, time)
+    | Error e -> Error (Flow_error.Mapping_failed e)
   in
   let project, platform_generation =
     timed (fun () -> Mamps.Project.generate mapping)
   in
-  (* "synthesis": validate the generated structure and elaborate the
-     platform once (a one-iteration dry run of the simulator) *)
-  let* synthesis_result, synthesis =
-    let result, time =
-      timed (fun () ->
-          let netlist = Mamps.Netlist.of_mapping mapping in
-          let* () = Mamps.Netlist.validate netlist in
-          let* _dry = Sim.Platform_sim.run mapping ~iterations:1 () in
-          Ok ())
-    in
-    Result.map (fun () -> ((), time)) result
+  let* (), synthesis = timed (fun () -> synthesize mapping) |> fun (r, t) ->
+    Result.map (fun () -> ((), t)) r
   in
-  let () = synthesis_result in
   Ok
     {
       application = app;
@@ -81,12 +91,17 @@ let run_auto app ?tiles ?options choice () =
     let result, time =
       timed (fun () -> Arch.Template.for_application app ?max_tiles:tiles choice)
     in
-    Result.map (fun p -> (p, time)) result
+    match result with
+    | Ok p -> Ok (p, time)
+    | Error msg -> Error (Flow_error.Architecture_failed msg)
   in
   run_with_arch_time app platform ?options ~architecture_generation:arch_time ()
 
-let measure t ~iterations ?timing ?trace () =
-  Sim.Platform_sim.run t.mapping ~iterations ?timing ?trace ()
+let measure t ~iterations ?timing ?faults ?max_cycles ?trace () =
+  Result.map_error
+    (fun e -> Flow_error.Simulation_failed e)
+    (Sim.Platform_sim.run t.mapping ~iterations ?timing ?faults ?max_cycles
+       ?trace ())
 
 type multi = {
   combined : t;
@@ -100,30 +115,26 @@ let run_many apps platform ?options () =
     List.fold_left
       (fun acc app ->
         let* () = acc in
-        match Sdf.Analysis.admit (Application.graph app) with
-        | Ok _ -> Ok ()
-        | Error e ->
-            Error
-              (Format.asprintf "application %S rejected: %a"
-                 (Application.name app) Sdf.Analysis.pp_admission_error e))
+        admit app)
       (Ok ()) apps
   in
-  let* merged = Application.merge apps in
+  let* merged =
+    Result.map_error
+      (fun msg -> Flow_error.Merge_failed msg)
+      (Application.merge apps)
+  in
   (* the merged graph is intentionally disconnected, so skip the
      single-application admission and map directly *)
-  let* mapping = Flow_map.run merged platform ?options () in
+  let* mapping =
+    Result.map_error
+      (fun e -> Flow_error.Mapping_failed e)
+      (Flow_map.run merged platform ?options ())
+  in
   let project, platform_generation =
     timed (fun () -> Mamps.Project.generate mapping)
   in
-  let* (), synthesis =
-    let result, time =
-      timed (fun () ->
-          let netlist = Mamps.Netlist.of_mapping mapping in
-          let* () = Mamps.Netlist.validate netlist in
-          let* _dry = Sim.Platform_sim.run mapping ~iterations:1 () in
-          Ok ())
-    in
-    Result.map (fun () -> ((), time)) result
+  let* (), synthesis = timed (fun () -> synthesize mapping) |> fun (r, t) ->
+    Result.map (fun () -> ((), t)) r
   in
   let combined =
     {

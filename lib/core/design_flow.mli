@@ -9,7 +9,9 @@
     reproduction elaborates the same mapping into the cycle-level platform
     simulator (see DESIGN.md for the substitution argument).
 
-    Every automated step is timed, reproducing the lower half of Table 1. *)
+    Every automated step is timed, reproducing the lower half of Table 1.
+    Failures at any stage are typed ({!Flow_error.t}); callers that only
+    want text use {!Flow_error.to_string}. *)
 
 type step_times = {
   architecture_generation : float;
@@ -34,11 +36,11 @@ val run :
   Arch.Platform.t ->
   ?options:Mapping.Flow_map.options ->
   unit ->
-  (t, string) result
+  (t, Flow_error.t) result
 (** The full flow against a given architecture model. Fails when the
     application is rejected (inconsistent, deadlocking), the binding or
     NoC allocation is infeasible, memory overflows, or the generated
-    netlist does not validate. *)
+    netlist does not validate — each as its own {!Flow_error.t} case. *)
 
 val run_auto :
   Appmodel.Application.t ->
@@ -46,7 +48,7 @@ val run_auto :
   ?options:Mapping.Flow_map.options ->
   Arch.Template.interconnect_choice ->
   unit ->
-  (t, string) result
+  (t, Flow_error.t) result
 (** [run] preceded by automatic architecture generation from the template
     (one tile per actor by default, capped by [tiles]). *)
 
@@ -54,11 +56,17 @@ val measure :
   t ->
   iterations:int ->
   ?timing:Sim.Platform_sim.timing ->
+  ?faults:Sim.Fault.spec ->
+  ?max_cycles:int ->
   ?trace:(tile:string -> label:string -> start:int -> finish:int -> unit) ->
   unit ->
-  (Sim.Platform_sim.result, string) result
+  (Sim.Platform_sim.result, Flow_error.t) result
 (** Execute the generated platform — the reproduction's equivalent of
-    running the bit file on the FPGA and measuring. *)
+    running the bit file on the FPGA and measuring. [faults] injects a
+    seeded fault scenario ({!Sim.Fault.scenario}); [max_cycles] arms the
+    simulator's watchdog. A platform deadlock comes back as
+    {!Flow_error.Simulation_failed} carrying the structured
+    {!Sim.Diagnosis.t} (see {!Flow_error.deadlock_diagnosis}). *)
 
 (** {1 Multiple applications}
 
@@ -79,7 +87,7 @@ val run_many :
   Arch.Platform.t ->
   ?options:Mapping.Flow_map.options ->
   unit ->
-  (multi, string) result
+  (multi, Flow_error.t) result
 (** Admission runs per application (each must be consistent, connected and
     deadlock-free on its own); pinned bindings in [options] use the
     namespaced actor names (see {!Appmodel.Application.qualified}). *)

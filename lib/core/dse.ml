@@ -66,7 +66,9 @@ let explore app ?tile_counts ?interconnects ?options () =
           with
           | Error reason ->
               failures :=
-                (tile_count, interconnect_label choice, reason) :: !failures
+                (tile_count, interconnect_label choice,
+                 Flow_error.to_string reason)
+                :: !failures
           | Ok flow ->
               points :=
                 {

@@ -1,0 +1,34 @@
+type t =
+  | Application_rejected of {
+      application : string;
+      reason : Sdf.Analysis.admission_error;
+    }
+  | Architecture_failed of string
+  | Merge_failed of string
+  | Mapping_failed of Mapping.Flow_map.error
+  | Netlist_invalid of string
+  | Simulation_failed of Sim.Platform_sim.error
+
+let pp ppf = function
+  | Application_rejected { application; reason } ->
+      Format.fprintf ppf "application %S rejected: %a" application
+        Sdf.Analysis.pp_admission_error reason
+  | Architecture_failed msg ->
+      Format.fprintf ppf "architecture generation failed: %s" msg
+  | Merge_failed msg ->
+      Format.fprintf ppf "application merge failed: %s" msg
+  | Mapping_failed e ->
+      Format.fprintf ppf "mapping failed: %a" Mapping.Flow_map.pp_error e
+  | Netlist_invalid msg ->
+      Format.fprintf ppf "generated netlist does not validate: %s" msg
+  | Simulation_failed e ->
+      Format.fprintf ppf "platform simulation failed: %a"
+        Sim.Platform_sim.pp_error e
+
+let to_string e = Format.asprintf "%a" pp e
+
+let deadlock_diagnosis = function
+  | Simulation_failed (Sim.Platform_sim.Deadlock d) -> Some d
+  | Application_rejected _ | Architecture_failed _ | Merge_failed _
+  | Mapping_failed _ | Netlist_invalid _ | Simulation_failed _ ->
+      None

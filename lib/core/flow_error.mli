@@ -1,0 +1,32 @@
+(** Typed failures of the automated flow.
+
+    Every stage of {!Design_flow} reports its own failure shape — graph
+    admission, architecture template instantiation, use-case merging, the
+    mapping step, netlist validation, platform simulation — and this type
+    is their sum. CLI and experiment code that only wants text calls
+    {!to_string}; programmatic callers can match on the stage (and, for
+    simulation deadlocks, retrieve the structured {!Sim.Diagnosis.t}). *)
+
+type t =
+  | Application_rejected of {
+      application : string;
+      reason : Sdf.Analysis.admission_error;
+    }  (** inconsistent, disconnected, or deadlocking input graph *)
+  | Architecture_failed of string
+      (** the architecture template could not serve the application *)
+  | Merge_failed of string
+      (** the multi-application use-case merge rejected its members *)
+  | Mapping_failed of Mapping.Flow_map.error
+      (** binding, NoC allocation, expansion, or memory dimensioning *)
+  | Netlist_invalid of string
+      (** the generated netlist failed validation *)
+  | Simulation_failed of Sim.Platform_sim.error
+      (** the platform run deadlocked, hit the watchdog, or exhausted its
+          scheduler budget *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val deadlock_diagnosis : t -> Sim.Diagnosis.t option
+(** The structured wait-for cycle, when the failure is a simulated
+    platform deadlock. *)

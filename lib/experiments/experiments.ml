@@ -4,6 +4,11 @@ module Rational = Sdf.Rational
 
 let ( let* ) = Result.bind
 
+(* experiment entry points keep string errors for their CLI/bench callers;
+   typed flow errors are rendered at this boundary *)
+let flow_err r = Result.map_error Core.Flow_error.to_string r
+let map_err r = Result.map_error Flow_map.error_to_string r
+
 let five_tile_binding =
   [ ("VLD", 0); ("IQZZ", 1); ("IDCT", 2); ("CC", 3); ("Raster", 4) ]
 
@@ -29,12 +34,14 @@ let throughput_opt = function
 
 let figure6_row choice (seq : Mjpeg.Streams.sequence) ?(passes = 4) () =
   let* app = calibrated_mjpeg seq in
-  let* flow = Core.Design_flow.run_auto app ~options:flow_options choice () in
+  let* flow =
+    flow_err (Core.Design_flow.run_auto app ~options:flow_options choice ())
+  in
   let worst_case =
     Option.value ~default:Rational.zero flow.Core.Design_flow.guarantee
   in
   let iterations = passes * Mjpeg.Streams.mcus seq in
-  let* measured = Core.Design_flow.measure flow ~iterations () in
+  let* measured = flow_err (Core.Design_flow.measure flow ~iterations ()) in
   (* the paper's "expected": the analysis fed with execution times measured
      on this sequence's data *)
   let* functional =
@@ -76,9 +83,10 @@ let figure6 choice ?passes () =
 let table1 () =
   let* app = calibrated_mjpeg (Mjpeg.Streams.synthetic ()) in
   let* flow =
-    Core.Design_flow.run_auto app ~options:flow_options
-      (Arch.Template.Use_fsl Arch.Fsl.default)
-      ()
+    flow_err
+      (Core.Design_flow.run_auto app ~options:flow_options
+         (Arch.Template.Use_fsl Arch.Fsl.default)
+         ())
   in
   Ok flow.Core.Design_flow.times
 
@@ -124,7 +132,7 @@ let ca_study ?(pe_serialization_scale = 1) () =
                  { base with Arch.Tile.pe = Some slow_pe }))
           (Arch.Platform.Point_to_point Arch.Fsl.default)
     in
-    Core.Design_flow.run app platform ~options:flow_options ()
+    flow_err (Core.Design_flow.run app platform ~options:flow_options ())
   in
   let* baseline_flow = run ~with_ca:false in
   let* ca_flow = run ~with_ca:true in
@@ -205,10 +213,11 @@ let fig4_demo ?(token_bytes = 64)
     Arch.Template.generate ~name:"fig4_platform" ~tile_count:2 interconnect
   in
   let* mapping =
-    Flow_map.run app platform
-      ~options:
-        { Flow_map.default_options with fixed = [ ("src", 0); ("dst", 1) ] }
-      ()
+    map_err
+      (Flow_map.run app platform
+         ~options:
+           { Flow_map.default_options with fixed = [ ("src", 0); ("dst", 1) ] }
+         ())
   in
   match (throughput_opt original, Flow_map.throughput mapping) with
   | Some original_throughput, Some mapped_throughput ->

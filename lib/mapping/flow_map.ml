@@ -23,6 +23,23 @@ let default_options =
     throughput_max_steps = 400_000;
   }
 
+type error =
+  | Infeasible_binding of string
+  | Noc_allocation_failed of string
+  | Expansion_failed of string
+  | Memory_overflow of Memory_dim.report
+
+let pp_error ppf = function
+  | Infeasible_binding msg -> Format.fprintf ppf "infeasible binding: %s" msg
+  | Noc_allocation_failed msg -> Format.fprintf ppf "%s" msg
+  | Expansion_failed msg ->
+      Format.fprintf ppf "communication-model expansion failed: %s" msg
+  | Memory_overflow report ->
+      Format.fprintf ppf "mapping does not fit the tile memories:@ %a"
+        Memory_dim.pp_report report
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
 type t = {
   application : Application.t;
   platform : Platform.t;
@@ -122,21 +139,30 @@ let analyse_once binding timed_graph platform noc_allocation options scale
 let run app platform ?(options = default_options) () =
   let ( let* ) = Result.bind in
   let* binding =
-    Binding.bind app platform ~weights:options.weights ~fixed:options.fixed ()
+    Result.map_error
+      (fun m -> Infeasible_binding m)
+      (Binding.bind app platform ~weights:options.weights ~fixed:options.fixed
+         ())
   in
   let* timed_graph =
-    Application.graph_for app ~assignment:(fun actor ->
-        Binding.required_processor
-          (Platform.tile platform (Binding.tile_of binding actor)))
+    Result.map_error
+      (fun m -> Infeasible_binding m)
+      (Application.graph_for app ~assignment:(fun actor ->
+           Binding.required_processor
+             (Platform.tile platform (Binding.tile_of binding actor))))
   in
   let* noc_allocation =
-    allocate_noc platform timed_graph
-      (fun name -> Binding.tile_of binding name)
-      ~wires:options.wires_per_connection
+    Result.map_error
+      (fun m -> Noc_allocation_failed m)
+      (allocate_noc platform timed_graph
+         (fun name -> Binding.tile_of binding name)
+         ~wires:options.wires_per_connection)
   in
   let* actor_orders =
-    Order.actor_orders ~timed_graph ~binding:(fun name ->
-        Binding.tile_of binding name)
+    Result.map_error
+      (fun m -> Expansion_failed m)
+      (Order.actor_orders ~timed_graph ~binding:(fun name ->
+           Binding.tile_of binding name))
   in
   let target = Application.throughput_constraint app in
   let good predicted =
@@ -157,8 +183,10 @@ let run app platform ?(options = default_options) () =
      distributions" step. *)
   let rec search scale round best =
     let* result =
-      analyse_once binding timed_graph platform noc_allocation options scale
-        actor_orders
+      Result.map_error
+        (fun m -> Expansion_failed m)
+        (analyse_once binding timed_graph platform noc_allocation options scale
+           actor_orders)
     in
     let _, _, _, predicted = result in
     let improved =
@@ -199,10 +227,7 @@ let run app platform ?(options = default_options) () =
           (2 * c.consumption_rate * scale) + c.initial_tokens )
   in
   let memory = Memory_dim.dimension app platform binding ~buffers in
-  if not memory.Memory_dim.fits then
-    Error
-      (Format.asprintf "mapping does not fit the tile memories:@ %a"
-         Memory_dim.pp_report memory)
+  if not memory.Memory_dim.fits then Error (Memory_overflow memory)
   else
     Ok
       {

@@ -23,6 +23,22 @@ type options = {
 
 val default_options : options
 
+(** Why a mapping could not be produced. *)
+type error =
+  | Infeasible_binding of string
+      (** no feasible tile for some actor, or no implementation matching
+          the bound tile's processor *)
+  | Noc_allocation_failed of string
+      (** NoC oversubscribed even at one wire per connection *)
+  | Expansion_failed of string
+      (** the communication-model expansion or scheduling step rejected
+          the (re-timed) graph *)
+  | Memory_overflow of Memory_dim.report
+      (** the dimensioned buffers and code do not fit the tile memories *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
 type t = {
   application : Appmodel.Application.t;
   platform : Arch.Platform.t;
@@ -55,12 +71,12 @@ val run :
   Arch.Platform.t ->
   ?options:options ->
   unit ->
-  (t, string) result
-(** Errors: infeasible binding, NoC oversubscription even at one wire per
-    connection, inconsistent graphs, tile memory overflow. A mapping whose
-    prediction misses the constraint is returned (with
-    [meets_constraint = Some false]) rather than failed, so callers can
-    inspect the best achievable mapping. *)
+  (t, error) result
+(** Errors are typed (see {!error}): infeasible binding, NoC
+    oversubscription even at one wire per connection, inconsistent graphs,
+    tile memory overflow. A mapping whose prediction misses the constraint
+    is returned (with [meets_constraint = Some false]) rather than failed,
+    so callers can inspect the best achievable mapping. *)
 
 val throughput : t -> Sdf.Rational.t option
 (** Predicted worst-case iteration throughput; [None] when the analysis

@@ -1,0 +1,108 @@
+type unit_kind =
+  | Tokens
+  | Words
+
+type blocked_op =
+  | Waiting_read of {
+      wr_channel : string;
+      wr_available : int;
+      wr_needed : int;
+      wr_unit : unit_kind;
+    }
+  | Waiting_write of {
+      ww_channel : string;
+      ww_free : int;
+      ww_needed : int;
+      ww_unit : unit_kind;
+    }
+
+type blocked_tile = {
+  bt_tile : string;
+  bt_actor : string;
+  bt_op : blocked_op;
+  bt_peer : string;
+}
+
+type t = {
+  dg_cycle : int;
+  dg_iterations_done : int;
+  dg_blocked : blocked_tile list;
+  dg_wait_cycle : blocked_tile list;
+}
+
+let channel_of = function
+  | Waiting_read { wr_channel; _ } -> wr_channel
+  | Waiting_write { ww_channel; _ } -> ww_channel
+
+let wait_cycle_tiles d = List.map (fun b -> b.bt_tile) d.dg_wait_cycle
+
+let wait_cycle_channels d =
+  List.sort_uniq compare (List.map (fun b -> channel_of b.bt_op) d.dg_wait_cycle)
+
+(* Each blocked tile waits on exactly one peer, so the wait-for graph is a
+   functional graph: walking successors from any node must eventually either
+   leave the blocked set or revisit a node, closing a cycle. *)
+let find_cycle blocked =
+  let lookup tile = List.find_opt (fun b -> b.bt_tile = tile) blocked in
+  let rec walk path b =
+    if List.exists (fun seen -> seen.bt_tile = b.bt_tile) path then
+      (* drop the tail before the first occurrence: that prefix only feeds
+         into the cycle, it is not part of it *)
+      let rec from = function
+        | [] -> []
+        | seen :: rest ->
+            if seen.bt_tile = b.bt_tile then seen :: rest else from rest
+      in
+      from (List.rev (b :: path)) |> fun c -> List.tl c
+    else
+      match lookup b.bt_peer with
+      | None -> []
+      | Some next -> walk (b :: path) next
+  in
+  let rec try_starts = function
+    | [] -> []
+    | b :: rest -> (
+        match walk [] b with [] -> try_starts rest | cycle -> cycle)
+  in
+  try_starts blocked
+
+let unit_name = function Tokens -> "tokens" | Words -> "words"
+
+let pp_blocked ppf b =
+  match b.bt_op with
+  | Waiting_read { wr_channel; wr_available; wr_needed; wr_unit } ->
+      Format.fprintf ppf
+        "%s: actor %S blocked reading %S (%d of %d %s available) - waiting \
+         on %s"
+        b.bt_tile b.bt_actor wr_channel wr_available wr_needed
+        (unit_name wr_unit) b.bt_peer
+  | Waiting_write { ww_channel; ww_free; ww_needed; ww_unit } ->
+      Format.fprintf ppf
+        "%s: actor %S blocked writing %S (%d of %d %s free) - waiting on %s"
+        b.bt_tile b.bt_actor ww_channel ww_free ww_needed (unit_name ww_unit)
+        b.bt_peer
+
+let pp ppf d =
+  Format.fprintf ppf
+    "@[<v>platform deadlock at cycle %d after %d complete iterations"
+    d.dg_cycle d.dg_iterations_done;
+  (match d.dg_wait_cycle with
+  | [] -> Format.fprintf ppf "@,no wait-for cycle found among blocked tiles"
+  | cycle ->
+      Format.fprintf ppf "@,wait-for cycle: %s"
+        (String.concat " -> "
+           (List.map (fun b -> b.bt_tile) cycle
+           @ [ (List.hd cycle).bt_tile ]));
+      List.iter (fun b -> Format.fprintf ppf "@,  %a" pp_blocked b) cycle);
+  let outside =
+    List.filter
+      (fun b -> not (List.exists (fun c -> c.bt_tile = b.bt_tile) d.dg_wait_cycle))
+      d.dg_blocked
+  in
+  if outside <> [] then begin
+    Format.fprintf ppf "@,other blocked tiles:";
+    List.iter (fun b -> Format.fprintf ppf "@,  %a" pp_blocked b) outside
+  end;
+  Format.fprintf ppf "@]"
+
+let report d = Format.asprintf "%a" pp d

@@ -1,0 +1,56 @@
+(** Structured deadlock diagnosis for the platform simulator.
+
+    When a simulated platform stalls, every processing element is stuck in
+    its static-order schedule on a blocking read (FIFO empty) or a blocking
+    write (FIFO full). Each blocked PE waits on exactly one peer tile — the
+    producer of the empty FIFO or the consumer of the full one — so the
+    wait-for relation is a functional graph and a genuine deadlock shows up
+    as a cycle in it. This module is the data carried by
+    {!Platform_sim.error}: the full blocked set with buffer occupancies and
+    the extracted wait-for cycle, plus a human-readable blame report. *)
+
+type unit_kind =
+  | Tokens  (** occupancy counted in application tokens *)
+  | Words  (** occupancy counted in 32-bit link words *)
+
+type blocked_op =
+  | Waiting_read of {
+      wr_channel : string;
+      wr_available : int;  (** tokens/words present when the PE stalled *)
+      wr_needed : int;  (** what the blocking read still requires *)
+      wr_unit : unit_kind;
+    }
+  | Waiting_write of {
+      ww_channel : string;
+      ww_free : int;  (** free buffer space when the PE stalled *)
+      ww_needed : int;
+      ww_unit : unit_kind;
+    }
+
+type blocked_tile = {
+  bt_tile : string;  (** ["tile<i>"] *)
+  bt_actor : string;  (** the application actor whose step is blocked *)
+  bt_op : blocked_op;
+  bt_peer : string;  (** the tile this one waits on *)
+}
+
+type t = {
+  dg_cycle : int;  (** simulation time when the stall was detected *)
+  dg_iterations_done : int;
+  dg_blocked : blocked_tile list;  (** every blocked PE *)
+  dg_wait_cycle : blocked_tile list;
+      (** the cyclic chain, in wait-for order; [[]] if none was found *)
+}
+
+val channel_of : blocked_op -> string
+val wait_cycle_tiles : t -> string list
+val wait_cycle_channels : t -> string list
+(** Channel names involved in the wait-for cycle, deduplicated. *)
+
+val find_cycle : blocked_tile list -> blocked_tile list
+(** Extract a cycle from the wait-for relation; used by the simulator. *)
+
+val pp : Format.formatter -> t -> unit
+val report : t -> string
+(** The blame report: the wait-for cycle with per-tile occupancies, then
+    any blocked tiles outside the cycle. *)

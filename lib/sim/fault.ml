@@ -1,0 +1,273 @@
+type window = { every : int; phase : int; length : int }
+
+type stall = {
+  st_channel : string option;
+  st_window : window;
+}
+
+type slowdown = {
+  sl_tile : int option;
+  sl_window : window;
+  sl_percent : int;
+}
+
+type jitter = {
+  jit_per_million : int;
+  jit_max_extra : int;
+}
+
+type drop = {
+  drop_per_million : int;
+  drop_max_retries : int;
+  drop_retry_cycles : int;
+}
+
+type spec = {
+  fault_name : string;
+  seed : int;
+  stalls : stall list;
+  jitter : jitter option;
+  slowdowns : slowdown list;
+  drop : drop option;
+}
+
+let none =
+  {
+    fault_name = "none";
+    seed = 0;
+    stalls = [];
+    jitter = None;
+    slowdowns = [];
+    drop = None;
+  }
+
+let is_none spec =
+  spec.stalls = [] && spec.jitter = None && spec.slowdowns = []
+  && spec.drop = None
+
+let with_seed seed spec = { spec with seed }
+
+let in_window w cycle =
+  w.every > 0
+  &&
+  let off = cycle mod w.every in
+  off >= w.phase && off < w.phase + w.length
+
+(* first cycle at or after [cycle] outside the window *)
+let window_end w cycle =
+  let off = cycle mod w.every in
+  cycle + (w.phase + w.length - off)
+
+(* --- scenarios ----------------------------------------------------------- *)
+
+let scenarios =
+  [
+    ( "link-stall",
+      "every link stalls for 500 cycles out of every 5000",
+      fun seed ->
+        {
+          none with
+          fault_name = "link-stall";
+          seed;
+          stalls =
+            [
+              {
+                st_channel = None;
+                st_window = { every = 5_000; phase = 500; length = 500 };
+              };
+            ];
+        } );
+    ( "jitter",
+      "30% of link words take up to 8 extra hop cycles",
+      fun seed ->
+        {
+          none with
+          fault_name = "jitter";
+          seed;
+          jitter = Some { jit_per_million = 300_000; jit_max_extra = 8 };
+        } );
+    ( "pe-slow",
+      "every PE runs at half speed for 2000 cycles out of every 10000",
+      fun seed ->
+        {
+          none with
+          fault_name = "pe-slow";
+          seed;
+          slowdowns =
+            [
+              {
+                sl_tile = None;
+                sl_window = { every = 10_000; phase = 1_000; length = 2_000 };
+                sl_percent = 100;
+              };
+            ];
+        } );
+    ( "drop",
+      "0.2% of link words are dropped and retransmitted (up to 3 times)",
+      fun seed ->
+        {
+          none with
+          fault_name = "drop";
+          seed;
+          drop =
+            Some
+              {
+                drop_per_million = 2_000;
+                drop_max_retries = 3;
+                drop_retry_cycles = 64;
+              };
+        } );
+    ( "stress",
+      "mild combination of stalls, jitter, PE slowdown and word drops",
+      fun seed ->
+        {
+          fault_name = "stress";
+          seed;
+          stalls =
+            [
+              {
+                st_channel = None;
+                st_window = { every = 8_000; phase = 2_000; length = 250 };
+              };
+            ];
+          jitter = Some { jit_per_million = 100_000; jit_max_extra = 4 };
+          slowdowns =
+            [
+              {
+                sl_tile = None;
+                sl_window = { every = 16_000; phase = 4_000; length = 1_000 };
+                sl_percent = 50;
+              };
+            ];
+          drop =
+            Some
+              {
+                drop_per_million = 500;
+                drop_max_retries = 2;
+                drop_retry_cycles = 32;
+              };
+        } );
+  ]
+
+let scenario_names () = List.map (fun (name, _, _) -> name) scenarios
+
+let scenario_descriptions () =
+  List.map (fun (name, doc, _) -> (name, doc)) scenarios
+
+let scenario ?(seed = 1) name =
+  match List.find_opt (fun (n, _, _) -> n = name) scenarios with
+  | Some (_, _, build) -> Ok (build seed)
+  | None ->
+      Error
+        (Printf.sprintf "unknown fault scenario %S; available: %s" name
+           (String.concat ", " (scenario_names ())))
+
+let pp_spec ppf spec =
+  Format.fprintf ppf "fault scenario %S (seed %d)" spec.fault_name spec.seed;
+  if is_none spec then Format.fprintf ppf ": no faults"
+
+(* --- runtime state ------------------------------------------------------- *)
+
+(* splitmix64: a tiny, high-quality, seedable generator. The simulator must
+   be bit-identical across runs with the same seed, so we avoid the global
+   Stdlib.Random state. *)
+type state = {
+  spec : spec;
+  mutable prng : int64;
+  mutable stalled_words : int;
+  mutable jittered_words : int;
+  mutable retransmits : int;
+  mutable slowed_firings : int;
+}
+
+let start spec =
+  {
+    spec;
+    prng = Int64.of_int ((spec.seed * 2) + 1);
+    stalled_words = 0;
+    jittered_words = 0;
+    retransmits = 0;
+    slowed_firings = 0;
+  }
+
+let next_int64 t =
+  t.prng <- Int64.add t.prng 0x9E3779B97F4A7C15L;
+  let z = t.prng in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* uniform in [0, bound) *)
+let draw t bound =
+  if bound <= 1 then 0
+  else
+    Int64.to_int
+      (Int64.rem (Int64.shift_right_logical (next_int64 t) 2) (Int64.of_int bound))
+
+let word_entry t ~channel ~cycle =
+  List.fold_left
+    (fun cycle stall ->
+      let applies =
+        match stall.st_channel with None -> true | Some c -> c = channel
+      in
+      if applies && in_window stall.st_window cycle then begin
+        t.stalled_words <- t.stalled_words + 1;
+        window_end stall.st_window cycle
+      end
+      else cycle)
+    cycle t.spec.stalls
+
+let word_extra_latency t ~channel:_ ~cycle:_ =
+  let jitter =
+    match t.spec.jitter with
+    | None -> 0
+    | Some j ->
+        if draw t 1_000_000 < j.jit_per_million then begin
+          t.jittered_words <- t.jittered_words + 1;
+          1 + draw t j.jit_max_extra
+        end
+        else 0
+  in
+  let retransmit =
+    match t.spec.drop with
+    | None -> 0
+    | Some d ->
+        let rec retry tries =
+          if tries >= d.drop_max_retries then tries
+          else if draw t 1_000_000 < d.drop_per_million then retry (tries + 1)
+          else tries
+        in
+        let tries = retry 0 in
+        t.retransmits <- t.retransmits + tries;
+        tries * d.drop_retry_cycles
+  in
+  jitter + retransmit
+
+let firing_cost t ~tile ~cycle ~cost =
+  List.fold_left
+    (fun cost slow ->
+      let applies =
+        match slow.sl_tile with None -> true | Some i -> i = tile
+      in
+      if applies && in_window slow.sl_window cycle && cost > 0 then begin
+        t.slowed_firings <- t.slowed_firings + 1;
+        cost + (cost * slow.sl_percent / 100)
+      end
+      else cost)
+    cost t.spec.slowdowns
+
+let events t =
+  List.filter
+    (fun (_, n) -> n > 0)
+    [
+      ("stalled_words", t.stalled_words);
+      ("jittered_words", t.jittered_words);
+      ("word_retransmits", t.retransmits);
+      ("slowed_firings", t.slowed_firings);
+    ]

@@ -1,0 +1,94 @@
+(** Deterministic, seeded fault injection for the platform simulator.
+
+    The paper's headline claim — the SDF3 worst-case bound conservatively
+    holds on the real platform — is only checkable if the measurement
+    harness can also run {e perturbed} platforms: how far does measured
+    throughput degrade under link stalls, latency jitter, slowed PEs or
+    word loss before the guarantee is violated? A {!spec} describes such a
+    perturbation; {!Platform_sim.run} accepts one and injects it during
+    the run. All randomness comes from a private splitmix64 generator
+    seeded by [spec.seed], so a fault run is bit-reproducible, and a
+    {!none} spec leaves the simulation bit-identical to an uninjected run.
+
+    Fault classes:
+    - {b link stalls}: during a periodic window a link accepts no new
+      words; words arriving during the window enter when it closes.
+    - {b latency jitter}: a word occasionally takes extra hop cycles.
+    - {b PE slowdowns}: during a periodic window a tile's PE work
+      (firings and copy loops) is stretched by a percentage.
+    - {b word drop with bounded retransmit}: a word is lost and
+      retransmitted after a round-trip penalty, at most
+      [drop_max_retries] times, so runs always terminate. *)
+
+type window = {
+  every : int;  (** period in cycles; a window repeats *)
+  phase : int;  (** offset of the window within each period *)
+  length : int;  (** active cycles; [phase + length <= every] *)
+}
+
+type stall = {
+  st_channel : string option;  (** [None]: every inter-tile channel *)
+  st_window : window;
+}
+
+type slowdown = {
+  sl_tile : int option;  (** [None]: every tile *)
+  sl_window : window;
+  sl_percent : int;  (** extra cost in percent; 100 halves the speed *)
+}
+
+type jitter = {
+  jit_per_million : int;  (** per-word probability, in parts per million *)
+  jit_max_extra : int;  (** extra cycles drawn uniformly in [1, max] *)
+}
+
+type drop = {
+  drop_per_million : int;
+  drop_max_retries : int;
+  drop_retry_cycles : int;  (** round-trip penalty per retransmission *)
+}
+
+type spec = {
+  fault_name : string;
+  seed : int;
+  stalls : stall list;
+  jitter : jitter option;
+  slowdowns : slowdown list;
+  drop : drop option;
+}
+
+val none : spec
+(** No faults: a run with this spec is bit-identical to a run without one. *)
+
+val is_none : spec -> bool
+val with_seed : int -> spec -> spec
+
+val scenario : ?seed:int -> string -> (spec, string) result
+(** A named scenario ([seed] defaults to 1); the error lists valid names. *)
+
+val scenario_names : unit -> string list
+val scenario_descriptions : unit -> (string * string) list
+val pp_spec : Format.formatter -> spec -> unit
+
+(** {1 Runtime hooks}
+
+    Used by {!Platform_sim}; one {!state} per run. *)
+
+type state
+
+val start : spec -> state
+
+val word_entry : state -> channel:string -> cycle:int -> int
+(** When a word trying to enter the link at [cycle] may actually enter
+    (>= [cycle]; delayed past any active stall window). *)
+
+val word_extra_latency : state -> channel:string -> cycle:int -> int
+(** Extra traversal cycles for one word: jitter draw plus retransmission
+    penalties. *)
+
+val firing_cost : state -> tile:int -> cycle:int -> cost:int -> int
+(** PE work cost adjusted by any active slowdown window. *)
+
+val events : state -> (string * int) list
+(** Injection counters accumulated during the run (stalled words, jittered
+    words, retransmits, slowed firings); empty when nothing fired. *)

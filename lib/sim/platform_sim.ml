@@ -20,7 +20,32 @@ type result = {
   firing_counts : (string * int) list;
   wcet_violations : (string * int) list;
   final_local_tokens : (string * Token.t list) list;
+  fault_events : (string * int) list;
 }
+
+type error =
+  | Deadlock of Diagnosis.t
+  | Watchdog_expired of {
+      at_cycle : int;
+      max_cycles : int;
+      iterations_done : int;
+    }
+  | Budget_exhausted of { rounds : int; iterations_done : int }
+
+let pp_error ppf = function
+  | Deadlock d -> Diagnosis.pp ppf d
+  | Watchdog_expired { at_cycle; max_cycles; iterations_done } ->
+      Format.fprintf ppf
+        "watchdog expired: no completion by cycle %d (cutoff %d, %d \
+         iterations done) - livelock, or a transient longer than the cutoff"
+        at_cycle max_cycles iterations_done
+  | Budget_exhausted { rounds; iterations_done } ->
+      Format.fprintf ppf
+        "simulation budget exhausted after %d scheduler rounds (%d \
+         iterations done)"
+        rounds iterations_done
+
+let error_to_string e = Format.asprintf "%a" pp_error e
 
 (* --- channel state ------------------------------------------------------ *)
 
@@ -28,6 +53,7 @@ type result = {
    by word (blocking FSL semantics); CA/IP endpoints stream in the
    background. Words not yet taken by the reader occupy FIFO space. *)
 type link = {
+  lk_name : string;  (** original channel name, for faults and diagnosis *)
   lk_params : Comm_map.channel_params;
   lk_words : int;  (** words per token *)
   word_arrivals : int Queue.t;  (** arrival time of each unread word *)
@@ -68,7 +94,9 @@ let blank_token (c : Graph.channel) =
   }
 
 let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
-    ?(observe = fun _ _ -> ()) ?(trace = fun ~tile:_ ~label:_ ~start:_ ~finish:_ -> ()) () =
+    ?(faults = Fault.none) ?max_cycles ?(observe = fun _ _ -> ())
+    ?(trace = fun ~tile:_ ~label:_ ~start:_ ~finish:_ -> ()) () =
+  let fstate = Fault.start faults in
   let app = mapping.Flow_map.application in
   let g = mapping.Flow_map.timed_graph in
   let q = Sdf.Repetition.vector_exn g in
@@ -102,6 +130,7 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
            | Some ic ->
                let link =
                  {
+                   lk_name = c.channel_name;
                    lk_params = ic.Comm_map.ic_params;
                    lk_words = ic.Comm_map.ic_words;
                    word_arrivals = Queue.create ();
@@ -179,17 +208,24 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
     p.pc <- (p.pc + 1) mod Array.length p.program;
     p.progress <- 0
   in
+  (* PE work goes through the fault model (slowdown windows); the adjusted
+     cost is returned so callers time follow-up work consistently *)
   let pe_busy p label cost =
+    let cost = Fault.firing_cost fstate ~tile:p.tile ~cycle:!now ~cost in
     trace ~tile:(Printf.sprintf "tile%d" p.tile) ~label ~start:!now
       ~finish:(!now + cost);
     p.busy_until <- !now + cost;
-    p.busy_accum <- p.busy_accum + cost
+    p.busy_accum <- p.busy_accum + cost;
+    cost
   in
-  (* pushing one word through a link: respects link pacing, returns arrival *)
+  (* pushing one word through a link: respects link pacing and any injected
+     stall/jitter/retransmission, returns arrival *)
   let push_word link ~enter_at =
+    let enter_at = Fault.word_entry fstate ~channel:link.lk_name ~cycle:enter_at in
     let entry = Stdlib.max link.next_entry enter_at in
     link.next_entry <- entry + link.lk_params.Comm_map.rate_cycles_per_word;
     entry + link.lk_params.Comm_map.latency_cycles
+    + Fault.word_extra_latency fstate ~channel:link.lk_name ~cycle:entry
   in
   (* A CA (or IP streamer) ships a whole token in the background. Each
      connection has its own CA context (a DMA channel), matching the
@@ -263,8 +299,9 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
                       link.words_in_flight <-
                         Stdlib.max 0 (link.words_in_flight - 1);
                       p.progress <- p.progress + 1;
-                      pe_busy p ("deser:" ^ c.channel_name)
-                        params.Comm_map.deser_per_word;
+                      ignore
+                        (pe_busy p ("deser:" ^ c.channel_name)
+                           params.Comm_map.deser_per_word);
                       true
                 end
               end
@@ -313,12 +350,12 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
             | Data_dependent ->
                 Stdlib.max 0 (impl.Actor_impl.cycles explicit_bundle)
           in
+          p.outputs <- impl.Actor_impl.fire explicit_bundle;
+          p.bundle <- [];
+          let cycles = pe_busy p actor.Graph.actor_name cycles in
           if cycles > impl.Actor_impl.metrics.Metrics.wcet then
             wcet_violations.(actor.actor_id) <-
               wcet_violations.(actor.actor_id) + 1;
-          p.outputs <- impl.Actor_impl.fire explicit_bundle;
-          p.bundle <- [];
-          pe_busy p actor.Graph.actor_name cycles;
           firing_counts.(actor.actor_id) <- firing_counts.(actor.actor_id) + 1;
           let completed = min_iterations () in
           while !iterations_done < completed do
@@ -371,7 +408,7 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
                          params.Comm_map.setup_time
                        else 0)
                   in
-                  pe_busy p ("ser:" ^ c.channel_name) cost;
+                  let cost = pe_busy p ("ser:" ^ c.channel_name) cost in
                   let arrival =
                     push_word link ~enter_at:(!now + cost)
                   in
@@ -400,6 +437,103 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
               end)
     end
   in
+  (* On a stall, explain it: every PE is stuck on a blocking read or write;
+     record what it waits for and on whom, and extract the wait-for cycle. *)
+  let tile_name i = Printf.sprintf "tile%d" i in
+  let diagnose () =
+    let describe p op ~peer ~actor =
+      Some
+        {
+          Diagnosis.bt_tile = tile_name p.tile;
+          bt_actor = actor;
+          bt_op = op;
+          bt_peer = tile_name peer;
+        }
+    in
+    let blocked =
+      List.filter_map
+        (fun p ->
+          if Array.length p.program = 0 then None
+          else
+            match p.program.(p.pc) with
+            | Fire _ -> None (* firing never blocks *)
+            | Read c -> (
+                let producer = (Graph.actor g c.source).Graph.actor_name in
+                let consumer = (Graph.actor g c.target).Graph.actor_name in
+                let peer = Binding.tile_of binding producer in
+                match channels.(c.channel_id) with
+                | Local { queue; _ } ->
+                    describe p
+                      (Diagnosis.Waiting_read
+                         {
+                           wr_channel = c.channel_name;
+                           wr_available = Queue.length queue;
+                           wr_needed = c.consumption_rate;
+                           wr_unit = Diagnosis.Tokens;
+                         })
+                      ~peer ~actor:consumer
+                | Remote link ->
+                    if link.lk_params.Comm_map.deser_on_pe then
+                      describe p
+                        (Diagnosis.Waiting_read
+                           {
+                             wr_channel = c.channel_name;
+                             wr_available = Queue.length link.word_arrivals;
+                             wr_needed =
+                               (c.consumption_rate * link.lk_words)
+                               - p.progress;
+                             wr_unit = Diagnosis.Words;
+                           })
+                        ~peer ~actor:consumer
+                    else
+                      describe p
+                        (Diagnosis.Waiting_read
+                           {
+                             wr_channel = c.channel_name;
+                             wr_available = Queue.length link.tokens_pending;
+                             wr_needed = c.consumption_rate;
+                             wr_unit = Diagnosis.Tokens;
+                           })
+                        ~peer ~actor:consumer)
+            | Write c -> (
+                let producer = (Graph.actor g c.source).Graph.actor_name in
+                let consumer = (Graph.actor g c.target).Graph.actor_name in
+                let peer = Binding.tile_of binding consumer in
+                match channels.(c.channel_id) with
+                | Local { queue; capacity } ->
+                    describe p
+                      (Diagnosis.Waiting_write
+                         {
+                           ww_channel = c.channel_name;
+                           ww_free = capacity - Queue.length queue;
+                           ww_needed = c.production_rate;
+                           ww_unit = Diagnosis.Tokens;
+                         })
+                      ~peer ~actor:producer
+                | Remote link ->
+                    if link.lk_params.Comm_map.ser_on_pe then
+                      describe p
+                        (Diagnosis.Waiting_write
+                           {
+                             ww_channel = c.channel_name;
+                             ww_free =
+                               Stdlib.max 0
+                                 (link.lk_params.Comm_map.network_buffer_words
+                                 - link.words_in_flight);
+                             ww_needed = 1;
+                             ww_unit = Diagnosis.Words;
+                           })
+                        ~peer ~actor:producer
+                    else None (* CA descriptor queues never block the PE *)))
+        procs
+    in
+    {
+      Diagnosis.dg_cycle = !now;
+      dg_iterations_done = !iterations_done;
+      dg_blocked = blocked;
+      dg_wait_cycle = Diagnosis.find_cycle blocked;
+    }
+  in
   (* scheduler loop *)
   let error = ref None in
   let guard = ref 0 in
@@ -413,7 +547,10 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
            while !continue && !iterations_done < iterations do
              incr guard;
              if !guard > max_rounds then begin
-               error := Some "simulation budget exhausted";
+               error :=
+                 Some
+                   (Budget_exhausted
+                      { rounds = !guard; iterations_done = !iterations_done });
                raise Exit
              end;
              if p.busy_until > !now then continue := false
@@ -429,15 +566,29 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
              max_int procs
          in
          if next = max_int then begin
-           error := Some "platform deadlock: every tile blocked";
+           error := Some (Deadlock (diagnose ()));
            raise Exit
          end
-         else now := next
+         else
+           match max_cycles with
+           | Some limit when next > limit ->
+               (* the watchdog: time would advance past the cutoff without
+                  completing; distinguishes livelock from a long transient *)
+               error :=
+                 Some
+                   (Watchdog_expired
+                      {
+                        at_cycle = !now;
+                        max_cycles = limit;
+                        iterations_done = !iterations_done;
+                      });
+               raise Exit
+           | _ -> now := next
        end
      done
    with Exit -> ());
   match !error with
-  | Some msg -> Error msg
+  | Some e -> Error e
   | None ->
       let ends = Array.of_list (List.rev !iteration_ends) in
       let total_cycles =
@@ -470,6 +621,7 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
                     Some (c.channel_name, List.of_seq (Queue.to_seq queue))
                 | Remote _ -> None)
               (Graph.channels g);
+          fault_events = Fault.events fstate;
         }
 
 let overall_throughput r =

@@ -16,6 +16,14 @@
     bars) or from the declared WCETs ({!Wcet}, which should land on the
     worst-case analysis line).
 
+    A run can be perturbed with a seeded {!Fault.spec} (link stalls,
+    latency jitter, PE slowdowns, word drop with retransmit) to measure
+    how far the platform degrades before the SDF3 guarantee is violated;
+    a {!Fault.none} run is bit-identical to an uninjected one. Failures
+    are typed: a stall yields a structured {!Diagnosis.t} naming the
+    wait-for cycle, and the optional [max_cycles] watchdog separates
+    livelock from long transients.
+
     Known, documented simplifications versus gate-level hardware (all
     chosen so the SDF3 prediction stays a lower bound): link FIFO space is
     released when token deserialization starts rather than word by word,
@@ -35,21 +43,41 @@ type result = {
   wcet_violations : (string * int) list;
   final_local_tokens : (string * Appmodel.Token.t list) list;
       (** contents of intra-tile channels after the run (state tokens etc.) *)
+  fault_events : (string * int) list;
+      (** injection counters ({!Fault.events}); empty without faults *)
 }
+
+(** Why a run did not complete. *)
+type error =
+  | Deadlock of Diagnosis.t
+      (** every tile blocked; the diagnosis names the wait-for cycle *)
+  | Watchdog_expired of {
+      at_cycle : int;
+      max_cycles : int;
+      iterations_done : int;
+    }  (** the [max_cycles] cutoff hit before [iterations] completed *)
+  | Budget_exhausted of { rounds : int; iterations_done : int }
+      (** internal scheduler-round safety budget hit *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
 
 val run :
   Mapping.Flow_map.t ->
   iterations:int ->
   ?timing:timing ->
+  ?faults:Fault.spec ->
+  ?max_cycles:int ->
   ?observe:(string -> Appmodel.Token.t -> unit) ->
   ?trace:(tile:string -> label:string -> start:int -> finish:int -> unit) ->
   unit ->
-  (result, string) Stdlib.result
+  (result, error) Stdlib.result
 (** Simulate until [iterations] graph iterations completed. [timing]
-    defaults to {!Data_dependent}. [observe] sees every token produced on
-    an application channel (by name); [trace] sees every busy interval of
-    every PE (firings and per-word copy loops — pair it with
-    {!Trace.sink}). Fails on platform deadlock. *)
+    defaults to {!Data_dependent}. [faults] (default {!Fault.none})
+    injects a seeded fault scenario; [max_cycles] arms the watchdog.
+    [observe] sees every token produced on an application channel (by
+    name); [trace] sees every busy interval of every PE (firings and
+    per-word copy loops — pair it with {!Trace.sink}). *)
 
 val overall_throughput : result -> Sdf.Rational.t
 (** [iterations / total_cycles]. *)

@@ -274,7 +274,30 @@ and parse_children cur tag =
   loop ();
   List.rev !children
 
-let parse input =
+type parse_error = {
+  pe_offset : int;
+  pe_line : int;
+  pe_column : int;
+  pe_message : string;
+}
+
+(* 1-based line and column of a byte offset, for error reports *)
+let position_of input offset =
+  let offset = min offset (String.length input) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to offset - 1 do
+    if input.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  (!line, offset - !bol + 1)
+
+let parse_error_to_string e =
+  Printf.sprintf "XML parse error at line %d, column %d: %s" e.pe_line
+    e.pe_column e.pe_message
+
+let parse_result input =
   let cur = { input; pos = 0 } in
   try
     let rec prologue () =
@@ -295,16 +318,22 @@ let parse input =
       fail cur "trailing content after the root element";
     Ok (Element root)
   with Parse_error (pos, msg) ->
-    Error (Printf.sprintf "XML parse error at byte %d: %s" pos msg)
+    let pe_line, pe_column = position_of input pos in
+    Error { pe_offset = pos; pe_line; pe_column; pe_message = msg }
+
+let parse input =
+  Result.map_error parse_error_to_string (parse_result input)
 
 let parse_file path =
-  let ic = open_in_bin path in
-  let content =
+  match
+    let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  parse content
+  with
+  | content -> parse content
+  | exception Sys_error msg ->
+      Error (Printf.sprintf "cannot read %s: %s" path msg)
 
 (* --- accessors --- *)
 

@@ -31,10 +31,31 @@ val to_string : ?declaration:bool -> t -> string
 
 (** {1 Parsing} *)
 
+type parse_error = {
+  pe_offset : int;  (** byte offset into the input *)
+  pe_line : int;  (** 1-based *)
+  pe_column : int;  (** 1-based, in bytes from the start of the line *)
+  pe_message : string;
+}
+
+val parse_result : string -> (t, parse_error) result
+(** Parse a document; returns the root element. Malformed input (truncated
+    documents, mis-nested tags, bad entities, trailing content) yields a
+    structured error locating the failure. *)
+
 val parse : string -> (t, string) result
-(** Parse a document; returns the root element. Errors carry a byte offset. *)
+(** [parse_result] with the error rendered by {!parse_error_to_string}. *)
+
+val parse_error_to_string : parse_error -> string
+(** ["XML parse error at line L, column C: ..."]. *)
+
+val position_of : string -> int -> int * int
+(** [position_of input offset] is the 1-based (line, column) of a byte
+    offset in [input]. *)
 
 val parse_file : string -> (t, string) result
+(** Reads and parses a file; an unreadable path is an [Error], not an
+    exception. *)
 
 (** {1 Accessors}
 

@@ -18,6 +18,8 @@ let contains needle haystack =
   in
   scan 0
 
+let fail_flow e = Alcotest.fail (Core.Flow_error.to_string e)
+
 let impl ?(wcet = 10) name =
   Actor_impl.make ~name
     ~metrics:(Metrics.make ~wcet ~instruction_memory:1024 ~data_memory:512)
@@ -56,7 +58,7 @@ let test_flow_runs_end_to_end () =
       (Arch.Template.Use_fsl Arch.Fsl.default)
       ()
   with
-  | Error e -> Alcotest.fail e
+  | Error e -> fail_flow e
   | Ok flow ->
       check bool "guarantee produced" true (flow.Core.Design_flow.guarantee <> None);
       check bool "project has files" true
@@ -88,7 +90,13 @@ let test_flow_rejects_bad_application () =
   match
     Core.Design_flow.run_auto bad (Arch.Template.Use_fsl Arch.Fsl.default) ()
   with
-  | Error msg -> check bool "names the deadlock" true (contains "deadlock" msg)
+  | Error
+      (Core.Flow_error.Application_rejected
+         { application; reason = Sdf.Analysis.Deadlocks } as e) ->
+      check Alcotest.string "names the application" "dead" application;
+      check bool "names the deadlock" true
+        (contains "deadlock" (Core.Flow_error.to_string e))
+  | Error e -> Alcotest.failf "wrong error: %s" (Core.Flow_error.to_string e)
   | Ok _ -> Alcotest.fail "deadlocking application accepted"
 
 let test_flow_measurement_respects_guarantee () =
@@ -97,10 +105,10 @@ let test_flow_measurement_respects_guarantee () =
       (Arch.Template.Use_fsl Arch.Fsl.default)
       ()
   with
-  | Error e -> Alcotest.fail e
+  | Error e -> fail_flow e
   | Ok flow -> (
       match Core.Design_flow.measure flow ~iterations:50 () with
-      | Error e -> Alcotest.fail e
+      | Error e -> fail_flow e
       | Ok r ->
           let guarantee = Option.get flow.Core.Design_flow.guarantee in
           check bool "measured >= guaranteed" true
@@ -113,7 +121,7 @@ let test_expected_throughput () =
       (Arch.Template.Use_fsl Arch.Fsl.default)
       ()
   with
-  | Error e -> Alcotest.fail e
+  | Error e -> fail_flow e
   | Ok flow -> (
       (* faster measured times can only improve the expected prediction *)
       let halved actor =
@@ -303,7 +311,7 @@ let test_run_many () =
       ~options:{ Mapping.Flow_map.default_options with fixed }
       ()
   with
-  | Error e -> Alcotest.fail e
+  | Error e -> fail_flow e
   | Ok multi -> (
       check int "two applications" 2
         (List.length multi.Core.Design_flow.per_application);
@@ -319,7 +327,7 @@ let test_run_many () =
         Core.Design_flow.measure multi.Core.Design_flow.combined
           ~iterations:30 ()
       with
-      | Error e -> Alcotest.fail e
+      | Error e -> fail_flow e
       | Ok r ->
           check bool "combined guarantee holds" true
             (Rational.compare
@@ -352,7 +360,11 @@ let test_run_many_rejects_bad_member () =
     | Error e -> Alcotest.failf "platform: %s" e
   in
   match Core.Design_flow.run_many [ tiny_app "ok" 10; dead ] platform () with
-  | Error msg -> check bool "names the culprit" true (contains "dead" msg)
+  | Error (Core.Flow_error.Application_rejected { application; _ } as e) ->
+      check Alcotest.string "names the culprit" "dead" application;
+      check bool "report names it too" true
+        (contains "dead" (Core.Flow_error.to_string e))
+  | Error e -> Alcotest.failf "wrong error: %s" (Core.Flow_error.to_string e)
   | Ok _ -> Alcotest.fail "deadlocking member accepted"
 
 let test_dse () =
@@ -427,7 +439,7 @@ let test_heterogeneous_selection () =
         }
       ()
   with
-  | Error e -> Alcotest.fail e
+  | Error e -> fail_flow e
   | Ok flow ->
       let impl =
         Mapping.Binding.implementation app platform
@@ -437,7 +449,7 @@ let test_heterogeneous_selection () =
         impl.Appmodel.Actor_impl.processor_type;
       (* and the platform still executes and honours the bound *)
       (match Core.Design_flow.measure flow ~iterations:24 () with
-      | Error e -> Alcotest.fail e
+      | Error e -> fail_flow e
       | Ok r ->
           check bool "guarantee holds with IP tile" true
             (Rational.compare

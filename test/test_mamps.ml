@@ -73,7 +73,7 @@ let sample_mapping ?(interconnect = Arch.Platform.Point_to_point Arch.Fsl.defaul
   in
   match Flow_map.run app platform ~options () with
   | Ok m -> m
-  | Error e -> Alcotest.failf "mapping: %s" e
+  | Error e -> Alcotest.failf "mapping: %s" (Flow_map.error_to_string e)
 
 (* --- netlist ----------------------------------------------------------------- *)
 

@@ -346,7 +346,7 @@ let test_flow_map_run () =
     { Flow_map.default_options with fixed = [ ("src", 0); ("dst", 1) ] }
   in
   match Flow_map.run app platform ~options () with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Flow_map.error_to_string e)
   | Ok mapping -> (
       check (Alcotest.option bool) "no constraint" None
         mapping.Flow_map.meets_constraint;
@@ -366,7 +366,7 @@ let test_flow_map_latency () =
     { Flow_map.default_options with fixed = [ ("src", 0); ("dst", 1) ] }
   in
   match Flow_map.run app platform ~options () with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Flow_map.error_to_string e)
   | Ok mapping -> (
       match Flow_map.first_iteration_latency mapping with
       | None -> Alcotest.fail "expected a latency"
@@ -386,7 +386,7 @@ let test_flow_map_reanalyse_identity () =
   let app = pipe_app_exn () in
   let platform = two_tile_platform () in
   match Flow_map.run app platform () with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Flow_map.error_to_string e)
   | Ok mapping -> (
       let times name =
         (Graph.actor_of_name mapping.Flow_map.timed_graph name).execution_time
@@ -429,13 +429,13 @@ let test_flow_map_constraint_flag () =
   let platform = two_tile_platform () in
   (* an absurd constraint cannot be met *)
   (match Flow_map.run (build (Rational.make 1 2)) platform () with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Flow_map.error_to_string e)
   | Ok mapping ->
       check (Alcotest.option bool) "missed" (Some false)
         mapping.Flow_map.meets_constraint);
   (* a lax one is met *)
   match Flow_map.run (build (Rational.make 1 100_000)) platform () with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Flow_map.error_to_string e)
   | Ok mapping ->
       check (Alcotest.option bool) "met" (Some true)
         mapping.Flow_map.meets_constraint

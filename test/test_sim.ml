@@ -10,6 +10,7 @@ let int = Alcotest.int
 let bool = Alcotest.bool
 
 let rational = Alcotest.testable Rational.pp Rational.equal
+let fail_sim e = Alcotest.fail (Sim.Platform_sim.error_to_string e)
 
 (* A value-carrying pipeline: src emits consecutive integers (state on a
    self-edge), dst accumulates their sum in its own state. Token values
@@ -96,7 +97,7 @@ let map_value_pipe ?(tiles = [ Arch.Tile.master "tile0"; Arch.Tile.slave "tile1"
   in
   match Flow_map.run app platform ~options () with
   | Ok mapping -> mapping
-  | Error e -> Alcotest.failf "mapping: %s" e
+  | Error e -> Alcotest.failf "mapping: %s" (Flow_map.error_to_string e)
 
 let test_values_cross_the_link () =
   let mapping = map_value_pipe () in
@@ -106,7 +107,7 @@ let test_values_cross_the_link () =
     if channel = "dstState" then sums := (Token.to_ints tok).(0) :: !sums
   in
   match Sim.Platform_sim.run mapping ~iterations:10 ~observe () with
-  | Error e -> Alcotest.fail e
+  | Error e -> fail_sim e
   | Ok r ->
       check int "iterations" 10 r.Sim.Platform_sim.iterations;
       (* dst accumulated 0 + 1 + 2 + ...: the data tokens arrived intact
@@ -130,7 +131,7 @@ let test_wcet_sim_matches_prediction () =
       match
         Sim.Platform_sim.run mapping ~iterations:60 ~timing:Sim.Platform_sim.Wcet ()
       with
-      | Error e -> Alcotest.fail e
+      | Error e -> fail_sim e
       | Ok r ->
           let measured = Sim.Platform_sim.steady_throughput r in
           let p = Rational.to_float predicted and m = Rational.to_float measured in
@@ -146,10 +147,10 @@ let test_data_dependent_never_slower () =
   let wcet_run =
     match Sim.Platform_sim.run mapping ~iterations:40 ~timing:Sim.Platform_sim.Wcet () with
     | Ok r -> r
-    | Error e -> Alcotest.failf "wcet run: %s" e
+    | Error e -> Alcotest.failf "wcet run: %s" (Sim.Platform_sim.error_to_string e)
   in
   match Sim.Platform_sim.run mapping ~iterations:40 () with
-  | Error e -> Alcotest.fail e
+  | Error e -> fail_sim e
   | Ok r ->
       check bool "data-dependent at least as fast" true
         (r.Sim.Platform_sim.total_cycles <= wcet_run.Sim.Platform_sim.total_cycles);
@@ -160,7 +161,7 @@ let test_guarantee_holds () =
   let mapping = map_value_pipe () in
   let predicted = Option.get (Flow_map.throughput mapping) in
   match Sim.Platform_sim.run mapping ~iterations:60 () with
-  | Error e -> Alcotest.fail e
+  | Error e -> fail_sim e
   | Ok r ->
       check bool "measured >= guaranteed" true
         (Rational.compare (Sim.Platform_sim.steady_throughput r) predicted >= 0)
@@ -170,7 +171,7 @@ let test_ca_platform_runs () =
   let mapping = map_value_pipe ~tiles () in
   let predicted = Option.get (Flow_map.throughput mapping) in
   match Sim.Platform_sim.run mapping ~iterations:30 () with
-  | Error e -> Alcotest.fail e
+  | Error e -> fail_sim e
   | Ok r ->
       check int "iterations" 30 r.Sim.Platform_sim.iterations;
       check bool "guarantee holds with CA" true
@@ -193,7 +194,7 @@ let test_ca_beats_pe_serialization () =
 let test_tile_busy_accounting () =
   let mapping = map_value_pipe ~wcet_src:20 ~wcet_dst:35 () in
   match Sim.Platform_sim.run mapping ~iterations:20 ~timing:Sim.Platform_sim.Wcet () with
-  | Error e -> Alcotest.fail e
+  | Error e -> fail_sim e
   | Ok r ->
       let busy name = List.assoc name r.Sim.Platform_sim.tile_busy in
       check bool "tiles accumulated busy time" true
@@ -213,6 +214,7 @@ let test_throughput_measures () =
       firing_counts = [];
       wcet_violations = [];
       final_local_tokens = [];
+      fault_events = [];
     }
   in
   check rational "overall" (Rational.make 1 10)
@@ -227,7 +229,7 @@ let test_trace_collection () =
      Sim.Platform_sim.run mapping ~iterations:5
        ~trace:(Sim.Trace.sink collector) ()
    with
-  | Error e -> Alcotest.fail e
+  | Error e -> fail_sim e
   | Ok _ -> ());
   let spans = Sim.Trace.spans collector in
   check bool "spans collected" true (List.length spans > 10);
@@ -254,6 +256,154 @@ let test_trace_collection () =
   let gantt = Sim.Trace.to_ascii_gantt ~width:60 collector in
   check bool "gantt has tile rows" true
     (List.length (String.split_on_char '\n' gantt) >= 3)
+
+(* --- fault injection and failure diagnosis ----------------------------- *)
+
+let run_exn ?timing ?faults ?max_cycles mapping ~iterations =
+  match Sim.Platform_sim.run mapping ~iterations ?timing ?faults ?max_cycles () with
+  | Ok r -> r
+  | Error e -> fail_sim e
+
+let scenario_exn ?seed name =
+  match Sim.Fault.scenario ?seed name with
+  | Ok spec -> spec
+  | Error e -> Alcotest.fail e
+
+let test_zero_fault_run_bit_identical () =
+  (* Fault.none must not perturb the schedule at all *)
+  let mapping = map_value_pipe () in
+  let base = run_exn mapping ~iterations:25 in
+  let nofault = run_exn mapping ~iterations:25 ~faults:Sim.Fault.none in
+  check int "same total cycles" base.Sim.Platform_sim.total_cycles
+    nofault.Sim.Platform_sim.total_cycles;
+  check (Alcotest.list int) "same iteration end times"
+    (Array.to_list base.Sim.Platform_sim.iteration_end_times)
+    (Array.to_list nofault.Sim.Platform_sim.iteration_end_times);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string int))
+    "no fault events" [] nofault.Sim.Platform_sim.fault_events
+
+let test_seeded_faults_deterministic () =
+  let mapping = map_value_pipe () in
+  let spec = scenario_exn ~seed:42 "stress" in
+  let a = run_exn mapping ~iterations:30 ~faults:spec in
+  let b = run_exn mapping ~iterations:30 ~faults:spec in
+  check int "same total cycles" a.Sim.Platform_sim.total_cycles
+    b.Sim.Platform_sim.total_cycles;
+  check (Alcotest.list int) "same iteration end times"
+    (Array.to_list a.Sim.Platform_sim.iteration_end_times)
+    (Array.to_list b.Sim.Platform_sim.iteration_end_times);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string int))
+    "same injection counters" a.Sim.Platform_sim.fault_events
+    b.Sim.Platform_sim.fault_events;
+  (* a different seed draws a different (but still valid) run *)
+  let c = run_exn mapping ~iterations:30 ~faults:(Sim.Fault.with_seed 7 spec) in
+  check int "iterations still complete" 30 c.Sim.Platform_sim.iterations
+
+let test_faults_degrade_gracefully () =
+  (* every canned scenario completes and can only slow the platform down *)
+  let mapping = map_value_pipe () in
+  let iterations = 150 in
+  let base = run_exn mapping ~iterations in
+  List.iter
+    (fun name ->
+      let r = run_exn mapping ~iterations ~faults:(scenario_exn name) in
+      check int (name ^ " completes") iterations r.Sim.Platform_sim.iterations;
+      check bool (name ^ " never speeds the platform up") true
+        (r.Sim.Platform_sim.total_cycles >= base.Sim.Platform_sim.total_cycles))
+    (Sim.Fault.scenario_names ());
+  (* values still arrive intact under heavy jitter *)
+  let sums = ref [] in
+  let observe channel tok =
+    if channel = "dstState" then sums := (Token.to_ints tok).(0) :: !sums
+  in
+  (match
+     Sim.Platform_sim.run mapping ~iterations:10
+       ~faults:(scenario_exn ~seed:3 "jitter") ~observe ()
+   with
+  | Error e -> fail_sim e
+  | Ok _ -> ());
+  let observed = List.rev !sums in
+  check (Alcotest.list int) "sums correct under jitter"
+    (List.mapi (fun k _ -> k * (k + 1) / 2) observed)
+    observed
+
+(* an inter-tile FIFO with no buffer space at all: the producer can never
+   push, the consumer can never pop — a guaranteed wait-for cycle *)
+let strangled_mapping () =
+  let mapping = map_value_pipe () in
+  let expansion = mapping.Flow_map.expansion in
+  let inter_channels =
+    List.map
+      (fun (ic : Mapping.Comm_map.inter_channel) ->
+        if ic.Mapping.Comm_map.ic_name = "data" then
+          {
+            ic with
+            Mapping.Comm_map.ic_params =
+              {
+                ic.Mapping.Comm_map.ic_params with
+                Mapping.Comm_map.network_buffer_words = 0;
+              };
+          }
+        else ic)
+      expansion.Mapping.Comm_map.inter_channels
+  in
+  {
+    mapping with
+    Flow_map.expansion = { expansion with Mapping.Comm_map.inter_channels };
+  }
+
+let test_deadlock_diagnosis () =
+  match Sim.Platform_sim.run (strangled_mapping ()) ~iterations:10 () with
+  | Ok _ -> Alcotest.fail "expected a deadlock"
+  | Error (Sim.Platform_sim.Watchdog_expired _ | Sim.Platform_sim.Budget_exhausted _)
+    ->
+      Alcotest.fail "expected a deadlock, not a timeout"
+  | Error (Sim.Platform_sim.Deadlock d) ->
+      let tiles = Sim.Diagnosis.wait_cycle_tiles d in
+      check (Alcotest.list Alcotest.string) "wait-for cycle tiles"
+        [ "tile0"; "tile1" ]
+        (List.sort compare tiles);
+      check (Alcotest.list Alcotest.string) "blamed channel" [ "data" ]
+        (List.sort_uniq compare (Sim.Diagnosis.wait_cycle_channels d));
+      (* the producer is stuck writing, the consumer stuck reading *)
+      List.iter
+        (fun (b : Sim.Diagnosis.blocked_tile) ->
+          match b.Sim.Diagnosis.bt_op with
+          | Sim.Diagnosis.Waiting_write { ww_channel; ww_free; _ } ->
+              check Alcotest.string "writer blames data" "data" ww_channel;
+              check int "no free space" 0 ww_free
+          | Sim.Diagnosis.Waiting_read { wr_channel; wr_available; _ } ->
+              check Alcotest.string "reader blames data" "data" wr_channel;
+              check int "nothing available" 0 wr_available)
+        d.Sim.Diagnosis.dg_wait_cycle;
+      let contains needle haystack =
+        let n = String.length needle in
+        let rec scan i =
+          i + n <= String.length haystack
+          && (String.sub haystack i n = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      let report = Sim.Diagnosis.report d in
+      check bool "report names the cycle" true
+        (contains "tile0" report && contains "tile1" report
+        && contains "data" report)
+
+let test_watchdog_separates_livelock () =
+  let mapping = map_value_pipe () in
+  (* far too few cycles to finish 1000 iterations: the watchdog must fire
+     (and a genuine deadlock must NOT be reported) *)
+  match Sim.Platform_sim.run mapping ~iterations:1000 ~max_cycles:50 () with
+  | Ok _ -> Alcotest.fail "watchdog did not fire"
+  | Error
+      (Sim.Platform_sim.Watchdog_expired { at_cycle; max_cycles; iterations_done })
+    ->
+      check int "limit recorded" 50 max_cycles;
+      check bool "stopped near the limit" true (at_cycle <= 50);
+      check bool "some progress counted" true (iterations_done < 1000)
+  | Error e -> Alcotest.failf "wrong error: %s" (Sim.Platform_sim.error_to_string e)
 
 let sim_props =
   let open QCheck in
@@ -317,6 +467,17 @@ let () =
           Alcotest.test_case "tile busy" `Quick test_tile_busy_accounting;
           Alcotest.test_case "throughput measures" `Quick test_throughput_measures;
           Alcotest.test_case "trace collection" `Quick test_trace_collection;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "zero-fault run bit-identical" `Quick
+            test_zero_fault_run_bit_identical;
+          Alcotest.test_case "seeded faults deterministic" `Quick
+            test_seeded_faults_deterministic;
+          Alcotest.test_case "scenarios degrade gracefully" `Quick
+            test_faults_degrade_gracefully;
+          Alcotest.test_case "deadlock diagnosis" `Quick test_deadlock_diagnosis;
+          Alcotest.test_case "watchdog" `Quick test_watchdog_separates_livelock;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest sim_props);
     ]

@@ -51,6 +51,46 @@ let test_parse_errors () =
   bad "no xml";
   bad "<a>&bogus;</a>"
 
+let contains needle haystack =
+  let n = String.length needle in
+  let rec scan i =
+    i + n <= String.length haystack
+    && (String.sub haystack i n = needle || scan (i + 1))
+  in
+  scan 0
+
+let test_error_positions () =
+  (* truncated document: the error points one past the end of line 1 *)
+  (match Xml.parse_result "<root><child attr=\"1\">" with
+  | Ok _ -> Alcotest.fail "truncated document accepted"
+  | Error e ->
+      check Alcotest.int "line" 1 e.Xml.pe_line;
+      check Alcotest.int "column" 23 e.Xml.pe_column;
+      check bool "names the open element" true
+        (contains "child" e.Xml.pe_message));
+  (* mis-nested tags: the error lands on the line of the bad close tag *)
+  match Xml.parse_result "<a>\n  <b>\n  </c>\n</a>" with
+  | Ok _ -> Alcotest.fail "mis-nested document accepted"
+  | Error e ->
+      check Alcotest.int "line of bad close" 3 e.Xml.pe_line;
+      check bool "mismatch reported" true (contains "mismatched" e.Xml.pe_message);
+      check bool "rendered with line/column" true
+        (contains "line 3" (Xml.parse_error_to_string e))
+
+let test_position_of () =
+  let input = "ab\ncd\nef" in
+  check (Alcotest.pair Alcotest.int Alcotest.int) "start" (1, 1)
+    (Xml.position_of input 0);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "mid line 2" (2, 2)
+    (Xml.position_of input 4);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "clamped to end" (3, 3)
+    (Xml.position_of input 100)
+
+let test_parse_file_missing () =
+  match Xml.parse_file "/nonexistent/definitely/not/here.xml" with
+  | Ok _ -> Alcotest.fail "missing file parsed"
+  | Error e -> check bool "error mentions the path" true (contains "here.xml" e)
+
 let test_writer_escaping () =
   let doc =
     Xml.element "r"
@@ -163,6 +203,9 @@ let () =
           Alcotest.test_case "nesting" `Quick test_parse_nesting;
           Alcotest.test_case "cdata" `Quick test_parse_cdata;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "error positions" `Quick test_error_positions;
+          Alcotest.test_case "position_of" `Quick test_position_of;
+          Alcotest.test_case "missing file" `Quick test_parse_file_missing;
         ] );
       ( "writer",
         [ Alcotest.test_case "escaping" `Quick test_writer_escaping ] );
