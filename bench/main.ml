@@ -286,6 +286,27 @@ let ablations () =
              else "VIOLATED"))
     [ 0; 10; 25; 50 ]
 
+(* --- conformance sweep ----------------------------------------------------- *)
+
+let conformance_sweep () =
+  section "Conformance sweep - bound tightness over random workloads";
+  let t0 = Sys.time () in
+  let report =
+    Conformance.Engine.run_suite
+      ~out_dir:(Filename.concat (Filename.get_temp_dir_name ()) "bench_conf")
+      ~base_seed:0 ~count:100 ()
+  in
+  let dt = Sys.time () -. t0 in
+  Printf.printf
+    "100 seeded workloads (FSL and NoC alternating): %d failures\n"
+    (List.length report.Conformance.Engine.r_failures);
+  Printf.printf
+    "bound tightness (WCET-simulated / guaranteed): mean %.4f, max %.4f\n"
+    report.Conformance.Engine.r_mean_tightness
+    report.Conformance.Engine.r_max_tightness;
+  Printf.printf "wall time: %.2fs (%.1f ms per workload)\n" dt
+    (1000.0 *. dt /. 100.0)
+
 (* --- Bechamel microbenchmarks --------------------------------------------------- *)
 
 let microbenchmarks () =
@@ -342,6 +363,10 @@ let microbenchmarks () =
         (Staged.stage (fun () ->
              Mapping.Flow_map.run app flow.Core.Design_flow.platform
                ~options:Experiments.flow_options ()));
+      Test.make ~name:"conformance.generate-workload"
+        (Staged.stage (fun () -> Gen.Workload.generate ~seed:7 ()));
+      Test.make ~name:"conformance.check-one-seed"
+        (Staged.stage (fun () -> Conformance.Engine.check_seed 7));
       Test.make ~name:"table1.project-generation"
         (Staged.stage (fun () -> Mamps.Project.generate mapping));
       Test.make ~name:"table1.synthesis-elaboration"
@@ -398,6 +423,7 @@ let () =
   section63 ();
   section531 ();
   ablations ();
+  conformance_sweep ();
   microbenchmarks ();
   line ();
   print_endline "benchmark harness completed"

@@ -4,7 +4,9 @@
      graph FILE.xml      analyse an SDF graph in the common input format
      mjpeg               run the full flow on the MJPEG case study and
                          optionally write the generated MAMPS project
-     experiments         reproduce the paper's evaluation tables *)
+     experiments         reproduce the paper's evaluation tables
+     conformance         differential conformance suite on seeded random
+                         SDF workloads, with shrinking reproducers *)
 
 open Cmdliner
 
@@ -274,6 +276,69 @@ let experiments_cmd =
     (Cmd.info "experiments" ~doc:"Reproduce the paper's evaluation tables")
     Term.(const run_experiments $ const ())
 
+(* --- conformance ------------------------------------------------------------- *)
+
+let run_conformance count base_seed out_dir replay =
+  match replay with
+  | Some seed ->
+      (* one seed, full verdict — the reproducer replay path *)
+      let case = Conformance.Engine.check_seed seed in
+      Format.printf "%a@." Conformance.Engine.pp_case case;
+      if case.Conformance.Engine.c_violations = [] then 0 else 1
+  | None ->
+      let report =
+        Conformance.Engine.run_suite ~out_dir ~base_seed ~count
+          ~progress:(fun c ->
+            if c.Conformance.Engine.c_violations <> [] then
+              Format.eprintf "%a@." Conformance.Engine.pp_case c)
+          ()
+      in
+      Format.printf "%a@." Conformance.Engine.pp_report report;
+      if Conformance.Engine.passed report then 0
+      else begin
+        List.iter
+          (fun f ->
+            match f.Conformance.Engine.f_reproducer with
+            | Some dir -> Printf.printf "reproducer: %s\n" dir
+            | None -> ())
+          report.Conformance.Engine.r_failures;
+        1
+      end
+
+let conformance_cmd =
+  let count =
+    Arg.(
+      value & opt int 200
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Number of seeded random workloads to check.")
+  in
+  let base_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "base-seed" ] ~docv:"N"
+          ~doc:"First seed of the matrix; seeds run N .. N+count-1.")
+  in
+  let out_dir =
+    Arg.(
+      value & opt string "_conformance"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Where failing cases write their shrunk reproducers.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "replay" ] ~docv:"SEED"
+          ~doc:"Re-check a single seed (as written in a reproducer's \
+                case.txt) instead of running the matrix.")
+  in
+  Cmd.v
+    (Cmd.info "conformance"
+       ~doc:
+         "Check the analysis, the functional engine and the platform \
+          simulator against each other on seeded random SDF workloads")
+    Term.(const run_conformance $ count $ base_seed $ out_dir $ replay)
+
 let () =
   let doc =
     "An automated flow to map throughput-constrained applications to a MPSoC"
@@ -282,4 +347,4 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "mamps_flow" ~version:"1.0.0" ~doc)
-          [ graph_cmd; mjpeg_cmd; experiments_cmd ]))
+          [ graph_cmd; mjpeg_cmd; experiments_cmd; conformance_cmd ]))

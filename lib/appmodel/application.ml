@@ -287,13 +287,18 @@ let token_to_xml (tok : Token.t) =
       ]
 
 let token_of_xml e =
-  let byte_size = Xml.int_attr e "bytes" in
-  let words =
-    Xml.text_content e |> String.split_on_char ' '
-    |> List.filter (fun s -> s <> "")
-    |> List.map int_of_string |> Array.of_list
+  let open Xml.Decode in
+  let* byte_size = int_attr e "bytes" in
+  let* words =
+    map_result
+      (fun s ->
+        match int_of_string_opt s with
+        | Some w -> Ok w
+        | None -> fail e "token word %S is not an integer" s)
+      (Xml.text_content e |> String.split_on_char ' '
+      |> List.filter (fun s -> s <> ""))
   in
-  { Token.words; byte_size }
+  Ok { Token.words = Array.of_list words; byte_size }
 
 let impl_to_xml (i : Actor_impl.t) =
   Xml.element "implementation"
@@ -355,72 +360,83 @@ let to_xml t =
 
 let to_string t = Xml.to_string (to_xml t)
 
+(* Decoding never raises: missing implementations, malformed attributes and
+   bad token payloads travel the typed [Xml.Decode] path. *)
+let impl_of_xml ~registry ie =
+  let open Xml.Decode in
+  let* impl_name = attr ie "name" in
+  match registry impl_name with
+  | None -> fail ie "no registered implementation %S" impl_name
+  | Some base ->
+      let* processor_type = attr ie "processorType" in
+      let* wcet = int_attr ie "wcet" in
+      let* instruction_memory = int_attr ie "imem" in
+      let* data_memory = int_attr ie "dmem" in
+      let* explicit_inputs = children ie "input" (fun e -> attr e "channel") in
+      let* explicit_outputs = children ie "output" (fun e -> attr e "channel") in
+      let* metrics =
+        guard ie (fun () ->
+            Metrics.make ~wcet ~instruction_memory ~data_memory)
+      in
+      Ok
+        {
+          base with
+          Actor_impl.impl_name;
+          processor_type;
+          metrics;
+          explicit_inputs;
+          explicit_outputs;
+        }
+
+let channel_of_xml c =
+  let open Xml.Decode in
+  let* ch_name = attr c "name" in
+  let* ch_source = attr c "src" in
+  let* ch_target = attr c "dst" in
+  let* ch_production = int_attr c "prodRate" in
+  let* ch_consumption = int_attr c "consRate" in
+  let* initial_tokens = int_attr_opt c "initialTokens" in
+  let* token_bytes = int_attr_opt c "tokenSize" in
+  let* ch_initial_values = children c "token" token_of_xml in
+  Ok
+    {
+      ch_name;
+      ch_source;
+      ch_target;
+      ch_production;
+      ch_consumption;
+      ch_initial_tokens = Option.value ~default:0 initial_tokens;
+      ch_token_bytes = Option.value ~default:4 token_bytes;
+      ch_initial_values;
+    }
+
+let decode ~registry node =
+  let open Xml.Decode in
+  let* root = root ~expect:"application" node in
+  let* name = attr root "name" in
+  let* actors =
+    children root "actor" (fun a ->
+        let* a_name = attr a "name" in
+        let* a_implementations =
+          children a "implementation" (impl_of_xml ~registry)
+        in
+        Ok { a_name; a_implementations })
+  in
+  let* channels = children root "channel" channel_of_xml in
+  let* throughput_constraint =
+    match Xml.child_opt root "throughputConstraint" with
+    | None -> Ok None
+    | Some e ->
+        let* num = int_attr e "num" in
+        let* den = int_attr e "den" in
+        let* r = guard e (fun () -> Sdf.Rational.make num den) in
+        Ok (Some r)
+  in
+  match make ~name ~actors ~channels ?throughput_constraint () with
+  | Ok t -> Ok t
+  | Error msg -> fail root "%s" msg
+
 let of_xml ~registry node =
-  try
-    let root = Xml.as_element node in
-    if root.tag <> "application" then
-      failwith (Printf.sprintf "expected <application>, found <%s>" root.tag);
-    let actors =
-      List.map
-        (fun a ->
-          let impls =
-            List.map
-              (fun ie ->
-                let impl_name = Xml.attr ie "name" in
-                match registry impl_name with
-                | None ->
-                    failwith
-                      (Printf.sprintf "no registered implementation %S"
-                         impl_name)
-                | Some base ->
-                    {
-                      base with
-                      Actor_impl.impl_name;
-                      processor_type = Xml.attr ie "processorType";
-                      metrics =
-                        Metrics.make ~wcet:(Xml.int_attr ie "wcet")
-                          ~instruction_memory:(Xml.int_attr ie "imem")
-                          ~data_memory:(Xml.int_attr ie "dmem");
-                      explicit_inputs =
-                        List.map
-                          (fun e -> Xml.attr e "channel")
-                          (Xml.children_named ie "input");
-                      explicit_outputs =
-                        List.map
-                          (fun e -> Xml.attr e "channel")
-                          (Xml.children_named ie "output");
-                    })
-              (Xml.children_named a "implementation")
-          in
-          { a_name = Xml.attr a "name"; a_implementations = impls })
-        (Xml.children_named root "actor")
-    in
-    let channels =
-      List.map
-        (fun c ->
-          {
-            ch_name = Xml.attr c "name";
-            ch_source = Xml.attr c "src";
-            ch_target = Xml.attr c "dst";
-            ch_production = Xml.int_attr c "prodRate";
-            ch_consumption = Xml.int_attr c "consRate";
-            ch_initial_tokens =
-              Option.value ~default:0 (Xml.int_attr_opt c "initialTokens");
-            ch_token_bytes =
-              Option.value ~default:4 (Xml.int_attr_opt c "tokenSize");
-            ch_initial_values =
-              List.map token_of_xml (Xml.children_named c "token");
-          })
-        (Xml.children_named root "channel")
-    in
-    let throughput_constraint =
-      Option.map
-        (fun e ->
-          Sdf.Rational.make (Xml.int_attr e "num") (Xml.int_attr e "den"))
-        (Xml.child_opt root "throughputConstraint")
-    in
-    make ~name:(Xml.attr root "name") ~actors ~channels ?throughput_constraint
-      ()
-  with Failure msg -> Error msg
+  Result.map_error Xml.Decode.error_to_string (decode ~registry node)
 
 let of_string ~registry s = Result.bind (Xml.parse s) (of_xml ~registry)

@@ -40,41 +40,72 @@ let worst_case_latency t ~client ~request_cycles =
     t.slot_cycles + (slots * rotation_cycles t)
   end
 
-let simulate t ~client ~arrival ~request_cycles =
+type simulate_error =
+  | Watchdog_expired of {
+      client : string;
+      at_cycle : int;
+      max_rounds : int;
+      cycles_served : int;
+    }
+
+let pp_simulate_error ppf = function
+  | Watchdog_expired { client; at_cycle; max_rounds; cycles_served } ->
+      Format.fprintf ppf
+        "arbiter watchdog expired for client %S at cycle %d: %d cycles \
+         served within the %d-round budget"
+        client at_cycle cycles_served max_rounds
+
+let simulate_error_to_string e = Format.asprintf "%a" pp_simulate_error e
+
+exception Expired of simulate_error
+
+let simulate ?(max_rounds = 1_000_000) t ~client ~arrival ~request_cycles =
   let me = client_index t client in
   if request_cycles < 0 then invalid_arg "Arbiter: negative request";
+  if max_rounds <= 0 then invalid_arg "Arbiter: max_rounds must be positive";
   let remaining = ref request_cycles in
   let cycle = ref arrival in
   let guard = ref 0 in
-  while !remaining > 0 do
-    incr guard;
-    if !guard > 1_000_000 then failwith "Arbiter.simulate: runaway";
-    let slot_index = !cycle / t.slot_cycles in
-    if slot_index mod List.length t.clients = me then begin
-      let slot_end = (slot_index + 1) * t.slot_cycles in
-      let available = slot_end - !cycle in
-      if available >= !remaining then begin
-        cycle := !cycle + !remaining;
-        remaining := 0
-      end
-      else if available = t.slot_cycles then begin
-        (* full slot: burn it entirely on this request *)
-        remaining := !remaining - available;
-        cycle := slot_end
+  try
+    while !remaining > 0 do
+      incr guard;
+      if !guard > max_rounds then
+        raise
+          (Expired
+             (Watchdog_expired
+                {
+                  client;
+                  at_cycle = !cycle;
+                  max_rounds;
+                  cycles_served = request_cycles - !remaining;
+                }));
+      let slot_index = !cycle / t.slot_cycles in
+      if slot_index mod List.length t.clients = me then begin
+        let slot_end = (slot_index + 1) * t.slot_cycles in
+        let available = slot_end - !cycle in
+        if available >= !remaining then begin
+          cycle := !cycle + !remaining;
+          remaining := 0
+        end
+        else if available = t.slot_cycles then begin
+          (* full slot: burn it entirely on this request *)
+          remaining := !remaining - available;
+          cycle := slot_end
+        end
+        else begin
+          (* partial slot cannot hold a whole chunk: wait for the next one
+             (chunks are non-preemptable, mirroring SDRAM bursts) *)
+          cycle := slot_end
+        end
       end
       else begin
-        (* partial slot cannot hold a whole chunk: wait for the next one
-           (chunks are non-preemptable, mirroring SDRAM bursts) *)
-        cycle := slot_end
+        (* advance to the start of our next slot *)
+        let wheel = List.length t.clients in
+        let current = slot_index mod wheel in
+        let ahead = (me - current + wheel) mod wheel in
+        let ahead = if ahead = 0 then wheel else ahead in
+        cycle := (slot_index + ahead) * t.slot_cycles
       end
-    end
-    else begin
-      (* advance to the start of our next slot *)
-      let wheel = List.length t.clients in
-      let current = slot_index mod wheel in
-      let ahead = (me - current + wheel) mod wheel in
-      let ahead = if ahead = 0 then wheel else ahead in
-      cycle := (slot_index + ahead) * t.slot_cycles
-    end
-  done;
-  !cycle
+    done;
+    Ok !cycle
+  with Expired e -> Error e

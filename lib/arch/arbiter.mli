@@ -39,9 +39,30 @@ val worst_case_latency : t -> client:string -> request_cycles:int -> int
     a full rotation of foreign slots, plus the worst arrival offset.
     @raise Invalid_argument for an unknown client or negative request. *)
 
+(** Why {!simulate} gave up — the arbiter's analogue of the platform
+    simulator's watchdog ({!Sim.Platform_sim.error}): the round budget ran
+    out before the request completed, which on a correct wheel only happens
+    for requests vastly larger than the budget allows. *)
+type simulate_error =
+  | Watchdog_expired of {
+      client : string;
+      at_cycle : int;  (** wheel time when the budget ran out *)
+      max_rounds : int;  (** the budget that was armed *)
+      cycles_served : int;  (** request progress made before expiry *)
+    }
+
+val pp_simulate_error : Format.formatter -> simulate_error -> unit
+val simulate_error_to_string : simulate_error -> string
+
 val simulate :
-  t -> client:string -> arrival:int -> request_cycles:int -> int
+  ?max_rounds:int ->
+  t -> client:string -> arrival:int -> request_cycles:int ->
+  (int, simulate_error) result
 (** Exact completion time of one request on an otherwise idle wheel
     (interference only from the TDM structure itself). Used by tests to
     exercise the bound: for every arrival phase,
-    [simulate - arrival <= worst_case_latency]. *)
+    [simulate - arrival <= worst_case_latency]. [max_rounds] (default
+    [1_000_000]) bounds the scheduling rounds examined; expiry is a typed
+    {!simulate_error}, not an exception.
+    @raise Invalid_argument for an unknown client, a negative request, or
+    a non-positive budget. *)

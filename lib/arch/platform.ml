@@ -192,74 +192,84 @@ let to_xml t =
       ((interconnect_to_xml t.interconnect :: List.map tile_to_xml (tiles t))
       @ List.map arbiter_to_xml t.arbiters)
 
-let peripheral_of_name = function
-  | "uart" -> Component.Uart
-  | "timer" -> Component.Timer
-  | "gpio" -> Component.Gpio
-  | "compact_flash" -> Component.Compact_flash
-  | "ethernet" -> Component.Ethernet
-  | other -> failwith (Printf.sprintf "unknown peripheral kind %S" other)
+(* Decoding never raises: unknown kinds, missing attributes and rejected
+   component invariants travel the typed [Xml.Decode] path. *)
+let peripheral_of_name e = function
+  | "uart" -> Ok Component.Uart
+  | "timer" -> Ok Component.Timer
+  | "gpio" -> Ok Component.Gpio
+  | "compact_flash" -> Ok Component.Compact_flash
+  | "ethernet" -> Ok Component.Ethernet
+  | other -> Xml.Decode.fail e "unknown peripheral kind %S" other
 
 let tile_of_xml e =
-  let name = Xml.attr e "name" in
-  let imem = Xml.int_attr e "imem" and dmem = Xml.int_attr e "dmem" in
-  let peripherals =
-    List.map
-      (fun p -> peripheral_of_name (Xml.attr p "kind"))
-      (Xml.children_named e "peripheral")
-  in
-  match Xml.attr e "kind" with
-  | "master" ->
-      Tile.master ~peripherals ~imem_capacity:imem ~dmem_capacity:dmem name
-  | "slave" -> Tile.slave ~imem_capacity:imem ~dmem_capacity:dmem name
-  | "ca" ->
-      Tile.with_ca
-        ~ca:
-          {
-            Component.ca_setup = Xml.int_attr e "caSetup";
-            ca_per_word = Xml.int_attr e "caPerWord";
-          }
-        ~imem_capacity:imem ~dmem_capacity:dmem name
-  | "ip" -> Tile.ip_block ~name ~ip:(Xml.attr e "ipName")
-  | other -> failwith (Printf.sprintf "unknown tile kind %S" other)
+  let open Xml.Decode in
+  let* name = attr e "name" in
+  let* kind = attr e "kind" in
+  match kind with
+  | "ip" ->
+      let* ip = attr e "ipName" in
+      Ok (Tile.ip_block ~name ~ip)
+  | "master" | "slave" | "ca" -> (
+      let* imem = int_attr e "imem" in
+      let* dmem = int_attr e "dmem" in
+      match kind with
+      | "master" ->
+          let* peripherals =
+            children e "peripheral" (fun p ->
+                Result.bind (attr p "kind") (peripheral_of_name p))
+          in
+          Ok
+            (Tile.master ~peripherals ~imem_capacity:imem ~dmem_capacity:dmem
+               name)
+      | "slave" -> Ok (Tile.slave ~imem_capacity:imem ~dmem_capacity:dmem name)
+      | _ ->
+          let* ca_setup = int_attr e "caSetup" in
+          let* ca_per_word = int_attr e "caPerWord" in
+          Ok
+            (Tile.with_ca
+               ~ca:{ Component.ca_setup; ca_per_word }
+               ~imem_capacity:imem ~dmem_capacity:dmem name))
+  | other -> fail e "unknown tile kind %S" other
 
 let interconnect_of_xml e =
-  match Xml.attr e "kind" with
+  let open Xml.Decode in
+  let* kind = attr e "kind" in
+  match kind with
   | "fsl" ->
-      Point_to_point
-        (Fsl.make ~fifo_depth:(Xml.int_attr e "fifoDepth")
-           ~latency:(Xml.int_attr e "latency") ())
+      let* fifo_depth = int_attr e "fifoDepth" in
+      let* latency = int_attr e "latency" in
+      Ok (Point_to_point (Fsl.make ~fifo_depth ~latency ()))
   | "noc" ->
-      Sdm_noc
-        {
-          Noc.link_wires = Xml.int_attr e "linkWires";
-          hop_latency = Xml.int_attr e "hopLatency";
-          flow_control = bool_of_string (Xml.attr e "flowControl");
-        }
-  | other -> failwith (Printf.sprintf "unknown interconnect kind %S" other)
+      let* link_wires = int_attr e "linkWires" in
+      let* hop_latency = int_attr e "hopLatency" in
+      let* flow_control = bool_attr e "flowControl" in
+      Ok (Sdm_noc { Noc.link_wires; hop_latency; flow_control })
+  | other -> fail e "unknown interconnect kind %S" other
 
 let arbiter_of_xml e =
-  let clients =
-    List.map (fun c -> Xml.attr c "tile") (Xml.children_named e "client")
-  in
-  match
-    Arbiter.make ~slot_cycles:(Xml.int_attr e "slotCycles") ~clients
-  with
-  | Ok a -> (peripheral_of_name (Xml.attr e "peripheral"), a)
-  | Error msg -> failwith msg
+  let open Xml.Decode in
+  let* clients = children e "client" (fun c -> attr c "tile") in
+  let* slot_cycles = int_attr e "slotCycles" in
+  match Arbiter.make ~slot_cycles ~clients with
+  | Ok a ->
+      let* peripheral = Result.bind (attr e "peripheral") (peripheral_of_name e) in
+      Ok (peripheral, a)
+  | Error msg -> fail e "%s" msg
 
-let of_xml node =
-  try
-    let root = Xml.as_element node in
-    if root.tag <> "architecture" then
-      failwith (Printf.sprintf "expected <architecture>, found <%s>" root.tag);
-    make
-      ~name:(Xml.attr root "name")
-      ~tiles:(List.map tile_of_xml (Xml.children_named root "tile"))
-      ~clock_mhz:(Xml.int_attr root "clockMhz")
-      ~arbiters:(List.map arbiter_of_xml (Xml.children_named root "arbiter"))
-      (interconnect_of_xml (Xml.child root "interconnect"))
-  with Failure msg -> Error msg
+let decode node =
+  let open Xml.Decode in
+  let* root = root ~expect:"architecture" node in
+  let* name = attr root "name" in
+  let* clock_mhz = int_attr root "clockMhz" in
+  let* tiles = map_result tile_of_xml (Xml.children_named root "tile") in
+  let* arbiters = map_result arbiter_of_xml (Xml.children_named root "arbiter") in
+  let* interconnect = Result.bind (child root "interconnect") interconnect_of_xml in
+  match make ~name ~tiles ~clock_mhz ~arbiters interconnect with
+  | Ok t -> Ok t
+  | Error msg -> fail root "%s" msg
+
+let of_xml node = Result.map_error Xml.Decode.error_to_string (decode node)
 
 let to_string t = Xml.to_string (to_xml t)
 let of_string s = Result.bind (Xml.parse s) of_xml

@@ -1,0 +1,347 @@
+module W = Gen.Workload
+module Rational = Sdf.Rational
+
+type options = {
+  iterations : int;
+  max_cycles : int;
+  dse_every : int;
+  gen_config : W.config;
+}
+
+let default_options =
+  {
+    iterations = 12;
+    max_cycles = 2_000_000;
+    dse_every = 5;
+    gen_config = W.default_config;
+  }
+
+let interconnect_for_seed seed =
+  if seed mod 2 = 0 then Arch.Template.Use_fsl Arch.Fsl.default
+  else Arch.Template.Use_noc Arch.Noc.default_config
+
+type case = {
+  c_seed : int;
+  c_interconnect : string;
+  c_actors : int;
+  c_channels : int;
+  c_tightness : float option;
+  c_violations : Oracle.violation list;
+}
+
+let actor_name i = Printf.sprintf "a%d" i
+
+let count_of name assoc =
+  match List.assoc_opt name assoc with Some n -> n | None -> 0
+
+let check_workload ?(options = default_options) interconnect (w : W.t) =
+  let violations = ref [] in
+  let add oracle fmt =
+    Printf.ksprintf
+      (fun detail ->
+        violations := { Oracle.oracle; detail } :: !violations)
+      fmt
+  in
+  let tightness = ref None in
+  let flow_err e = Core.Flow_error.to_string e in
+  (match Core.Design_flow.run_auto w.application interconnect () with
+  | Error e -> add Flow_completes "%s" (flow_err e)
+  | Ok flow ->
+      let n = options.iterations in
+      let measure ?timing ?faults () =
+        Core.Design_flow.measure flow ~iterations:n ?timing ?faults
+          ~max_cycles:options.max_cycles ()
+      in
+      (* Oracle 1: the analysed guarantee bounds the WCET-timed run. *)
+      (match measure ~timing:Sim.Platform_sim.Wcet () with
+      | Error e -> add No_deadlock "WCET-timed run failed: %s" (flow_err e)
+      | Ok wcet_run -> (
+          match flow.guarantee with
+          | None -> add Bound_holds "flow produced no throughput guarantee"
+          | Some g ->
+              let measured = Sim.Platform_sim.steady_throughput wcet_run in
+              if Rational.compare measured g < 0 then
+                add Bound_holds
+                  "guarantee %s above WCET-simulated throughput %s"
+                  (Rational.to_string g)
+                  (Rational.to_string measured)
+              else
+                tightness :=
+                  Some (Rational.to_float measured /. Rational.to_float g)));
+      (* Oracles 2-4 on the data-dependent run. *)
+      (match measure () with
+      | Error e -> add No_deadlock "%s" (flow_err e)
+      | Ok run ->
+          (* Oracle 3: Fault.none (even reseeded) is invisible. *)
+          (match
+             measure ~faults:(Sim.Fault.with_seed (w.seed + 1) Sim.Fault.none)
+               ()
+           with
+          | Error e -> add Fault_transparency "Fault.none run failed: %s" (flow_err e)
+          | Ok run' ->
+              if not (Sim.Platform_sim.results_equal run run') then
+                add Fault_transparency
+                  "Fault.none run differs from the uninjected run");
+          (* Oracle 4: the untimed functional engine agrees. *)
+          match Appmodel.Functional.run w.application ~iterations:n () with
+          | Error msg ->
+              add Functional_agreement "functional engine failed: %s" msg
+          | Ok fres ->
+              if fres.iterations <> n then
+                add Functional_agreement
+                  "functional engine completed %d of %d iterations"
+                  fres.iterations n;
+              if run.iterations <> n then
+                add Functional_agreement
+                  "platform simulator completed %d of %d iterations"
+                  run.iterations n;
+              Array.iteri
+                (fun i q ->
+                  let name = actor_name i in
+                  let expected = n * q in
+                  let functional = count_of name fres.firing_counts in
+                  let platform = count_of name run.firing_counts in
+                  if functional <> expected then
+                    add Functional_agreement
+                      "%s fired %d times functionally, expected %d" name
+                      functional expected;
+                  (* the platform may run ahead within available buffers,
+                     but can never have fired fewer than the completed
+                     iterations require *)
+                  if platform < expected then
+                    add Functional_agreement
+                      "%s fired %d times on the platform, iteration count \
+                       requires at least %d"
+                      name platform expected)
+                w.repetition);
+      (* Oracle 5: the DSE front is a front. *)
+      if options.dse_every > 0 && w.seed mod options.dse_every = 0 then begin
+        let points, _failures =
+          Core.Dse.explore w.application ~tile_counts:[ 1; 2 ]
+            ~interconnects:[ interconnect ] ()
+        in
+        let front = Core.Dse.pareto points in
+        let guarantee_of (p : Core.Dse.point) = p.guarantee in
+        List.iter
+          (fun p ->
+            if guarantee_of p = None then
+              add Pareto_consistency
+                "front contains a %d-tile point without a guarantee"
+                p.Core.Dse.tile_count)
+          front;
+        let dominates (p : Core.Dse.point) (q : Core.Dse.point) =
+          match (p.guarantee, q.guarantee) with
+          | Some gp, Some gq ->
+              Rational.compare gp gq >= 0
+              && p.slices <= q.slices
+              && (Rational.compare gp gq > 0 || p.slices < q.slices)
+          | _ -> false
+        in
+        List.iter
+          (fun p ->
+            List.iter
+              (fun q ->
+                if p != q && dominates p q then
+                  add Pareto_consistency
+                    "%d-tile point dominates %d-tile point on the front"
+                    p.Core.Dse.tile_count q.Core.Dse.tile_count)
+              front)
+          front;
+        if List.exists (fun p -> not (List.memq p points)) front then
+          add Pareto_consistency "front contains a point not in the sweep"
+      end);
+  {
+    c_seed = w.seed;
+    c_interconnect = Core.Dse.interconnect_label interconnect;
+    c_actors = Array.length w.spec.sp_q;
+    c_channels =
+      Array.length w.spec.sp_q - 1 + List.length w.spec.sp_extra;
+    c_tightness = !tightness;
+    c_violations = List.rev !violations;
+  }
+
+let check_seed ?(options = default_options) seed =
+  check_workload ~options
+    (interconnect_for_seed seed)
+    (W.generate ~config:options.gen_config ~seed ())
+
+(* --- reporting ------------------------------------------------------------ *)
+
+type failure = {
+  f_case : case;
+  f_spec : W.spec;
+  f_shrunk : Shrink.outcome;
+  f_reproducer : string option;
+}
+
+type report = {
+  r_cases : case list;
+  r_failures : failure list;
+  r_mean_tightness : float;
+  r_max_tightness : float;
+}
+
+let passed r = r.r_failures = []
+
+let pp_case ppf c =
+  Format.fprintf ppf "seed %d [%s, %d actors, %d channels]%s: %s" c.c_seed
+    c.c_interconnect c.c_actors c.c_channels
+    (match c.c_tightness with
+    | Some t -> Printf.sprintf " tightness %.3f" t
+    | None -> "")
+    (if c.c_violations = [] then "ok"
+     else
+       String.concat "; "
+         (List.map
+            (fun v -> Format.asprintf "%a" Oracle.pp_violation v)
+            c.c_violations))
+
+let pp_report ppf r =
+  let n = List.length r.r_cases in
+  Format.fprintf ppf "@[<v>%d cases, %d failures" n
+    (List.length r.r_failures);
+  if r.r_max_tightness > 0. then
+    Format.fprintf ppf ", tightness mean %.3f max %.3f" r.r_mean_tightness
+      r.r_max_tightness;
+  List.iter
+    (fun f -> Format.fprintf ppf "@,%a" pp_case f.f_case)
+    r.r_failures;
+  Format.fprintf ppf "@]"
+
+(* --- reproducers ---------------------------------------------------------- *)
+
+let mkdir_p dir =
+  let rec ensure d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      ensure (Filename.dirname d);
+      Sys.mkdir d 0o755
+    end
+  in
+  ensure dir
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_reproducer ~out_dir case spec (shrunk : Shrink.outcome) =
+  let oracle =
+    match case.c_violations with
+    | v :: _ -> v.Oracle.oracle
+    | [] -> invalid_arg "write_reproducer: case has no violation"
+  in
+  let dir =
+    Filename.concat out_dir
+      (Printf.sprintf "seed%d_%s" case.c_seed (Oracle.name oracle))
+  in
+  mkdir_p dir;
+  Sdf.Xmlio.to_file
+    (W.graph_of_spec shrunk.shrunk)
+    (Filename.concat dir "graph.xml");
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "conformance counterexample";
+  line "";
+  line "seed:         %d" case.c_seed;
+  line "interconnect: %s" case.c_interconnect;
+  line "violations:";
+  List.iter
+    (fun v -> line "  %s" (Format.asprintf "%a" Oracle.pp_violation v))
+    case.c_violations;
+  line "";
+  line "original spec:";
+  line "%s" (W.spec_to_string spec);
+  line "";
+  line "shrunk spec (%d steps, %d attempts):" shrunk.steps shrunk.attempts;
+  line "%s" (W.spec_to_string shrunk.shrunk);
+  line "";
+  line "the shrunk graph is in graph.xml next to this file.";
+  line "replay with:";
+  line "  dune exec bin/mamps_flow.exe -- conformance --replay %d"
+    case.c_seed;
+  write_file (Filename.concat dir "case.txt") (Buffer.contents buf);
+  dir
+
+(* --- the suite ------------------------------------------------------------ *)
+
+let run_suite ?(options = default_options) ?(out_dir = "_conformance")
+    ?(progress = fun _ -> ()) ~base_seed ~count () =
+  let cases = ref [] and failures = ref [] in
+  for seed = base_seed to base_seed + count - 1 do
+    let interconnect = interconnect_for_seed seed in
+    let workload = W.generate ~config:options.gen_config ~seed () in
+    let case = check_workload ~options interconnect workload in
+    progress case;
+    cases := case :: !cases;
+    if case.c_violations <> [] then begin
+      let oracles =
+        List.map (fun v -> v.Oracle.oracle) case.c_violations
+      in
+      let still_fails sp =
+        let c = check_workload ~options interconnect (W.realize sp) in
+        List.exists
+          (fun v -> List.mem v.Oracle.oracle oracles)
+          c.c_violations
+      in
+      let shrunk = Shrink.minimize ~still_fails workload.spec in
+      let dir = write_reproducer ~out_dir case workload.spec shrunk in
+      failures :=
+        {
+          f_case = case;
+          f_spec = workload.spec;
+          f_shrunk = shrunk;
+          f_reproducer = Some dir;
+        }
+        :: !failures
+    end
+  done;
+  let cases = List.rev !cases in
+  let ratios = List.filter_map (fun c -> c.c_tightness) cases in
+  let mean =
+    match ratios with
+    | [] -> 0.
+    | _ ->
+        List.fold_left ( +. ) 0. ratios /. float_of_int (List.length ratios)
+  in
+  {
+    r_cases = cases;
+    r_failures = List.rev !failures;
+    r_mean_tightness = mean;
+    r_max_tightness = List.fold_left Float.max 0. ratios;
+  }
+
+(* --- the deliberate counterexample ---------------------------------------- *)
+
+let undersize g =
+  Sdf.Buffers.with_capacities g (fun c ->
+      Some (Stdlib.max c.initial_tokens (Sdf.Buffers.lower_bound c - 1)))
+
+let undersized_deadlocks sp =
+  not (Sdf.Execution.deadlock_free (undersize (W.graph_of_spec sp)))
+
+let shrink_undersized ?config ?(out_dir = "_conformance") ~seed () =
+  let spec = W.spec_of_seed ?config seed in
+  if not (undersized_deadlocks spec) then
+    invalid_arg "shrink_undersized: the undersized workload does not deadlock";
+  let shrunk = Shrink.minimize ~still_fails:undersized_deadlocks spec in
+  let w = W.realize spec in
+  let case =
+    {
+      c_seed = seed;
+      c_interconnect = "n/a";
+      c_actors = Array.length w.spec.sp_q;
+      c_channels = Array.length w.spec.sp_q - 1 + List.length w.spec.sp_extra;
+      c_tightness = None;
+      c_violations =
+        [
+          {
+            Oracle.oracle = No_deadlock;
+            detail =
+              "deliberately undersized buffers (lower bound - 1) deadlock";
+          };
+        ];
+    }
+  in
+  let dir = write_reproducer ~out_dir case spec shrunk in
+  (shrunk, dir)

@@ -1,0 +1,110 @@
+(** The differential conformance engine.
+
+    Every generated workload is pushed through the complete automated flow
+    — buffer sizing, binding, static-order scheduling, platform generation
+    — and then executed on the cycle-level platform simulator, once with
+    declared WCETs and once with the data-dependent cost models. The runs
+    are compared against the analysis and against the untimed functional
+    engine under the oracles of {!Oracle}. A failing case is shrunk with
+    {!Shrink.minimize} and written out as a replayable reproducer. *)
+
+type options = {
+  iterations : int;  (** simulated graph iterations per case *)
+  max_cycles : int;  (** simulator watchdog per run *)
+  dse_every : int;
+      (** run the (expensive) DSE Pareto oracle on every k-th seed;
+          [0] disables it *)
+  gen_config : Gen.Workload.config;
+}
+
+val default_options : options
+(** 12 iterations, a 2M-cycle watchdog, DSE on every 5th seed, and
+    {!Gen.Workload.default_config} workloads. *)
+
+val interconnect_for_seed : int -> Arch.Template.interconnect_choice
+(** Even seeds map onto point-to-point FSL platforms, odd seeds onto the
+    default NoC — so a seed matrix sweeps both interconnect templates. *)
+
+type case = {
+  c_seed : int;
+  c_interconnect : string;  (** ["fsl"] or ["noc"] *)
+  c_actors : int;
+  c_channels : int;
+  c_tightness : float option;
+      (** WCET-simulated throughput over the analysed guarantee; [>= 1]
+          whenever {!Oracle.Bound_holds} passed *)
+  c_violations : Oracle.violation list;  (** empty iff the case passed *)
+}
+
+val check_workload :
+  ?options:options -> Arch.Template.interconnect_choice ->
+  Gen.Workload.t -> case
+(** Run every oracle on one workload. Deterministic: equal workloads and
+    interconnects yield equal cases. *)
+
+val check_seed : ?options:options -> int -> case
+(** [check_workload] on [Gen.Workload.generate ~seed] with the seed's
+    interconnect — the replay entry point: the seed alone reproduces the
+    verdict. *)
+
+type failure = {
+  f_case : case;
+  f_spec : Gen.Workload.spec;  (** the original failing spec *)
+  f_shrunk : Shrink.outcome;
+  f_reproducer : string option;  (** directory written, if any *)
+}
+
+type report = {
+  r_cases : case list;  (** every case, in seed order *)
+  r_failures : failure list;
+  r_mean_tightness : float;  (** over cases that produced a ratio *)
+  r_max_tightness : float;
+}
+
+val passed : report -> bool
+
+val run_suite :
+  ?options:options ->
+  ?out_dir:string ->
+  ?progress:(case -> unit) ->
+  base_seed:int ->
+  count:int ->
+  unit ->
+  report
+(** Check seeds [base_seed .. base_seed + count - 1]. Each failing case is
+    shrunk (the predicate being "the same oracle still fires on the shrunk
+    spec") and a reproducer — [graph.xml] plus a [case.txt] with the spec,
+    the violations and the replay command — is written under [out_dir]
+    (default [_conformance]; created on demand, only on failure). *)
+
+val write_reproducer :
+  out_dir:string -> case -> Gen.Workload.spec -> Shrink.outcome -> string
+(** Returns the directory written: [<out_dir>/seed<N>_<first-oracle>]. *)
+
+val pp_case : Format.formatter -> case -> unit
+val pp_report : Format.formatter -> report -> unit
+
+(** {1 The deliberate counterexample}
+
+    Sanity for the shrinker itself: bound every channel one token below
+    its structural lower bound — a guaranteed deadlock — and check the
+    shrinker reduces any such workload to the minimal two-actor chain. *)
+
+val undersize : Sdf.Graph.t -> Sdf.Graph.t
+(** Capacity [lower_bound - 1] (clamped to the initial token count) on
+    every application channel, via the structural space-channel model. *)
+
+val undersized_deadlocks : Gen.Workload.spec -> bool
+(** The demo's failure predicate: the undersized graph deadlocks. True
+    for every generated spec, since chain channels hold no initial
+    tokens. *)
+
+val shrink_undersized :
+  ?config:Gen.Workload.config ->
+  ?out_dir:string ->
+  seed:int ->
+  unit ->
+  Shrink.outcome * string
+(** Generate a spec, undersize it, shrink the deadlock to a minimal
+    counterexample, and write its reproducer. Returns the outcome and the
+    reproducer directory. *)

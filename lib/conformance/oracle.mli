@@ -1,0 +1,36 @@
+(** The conformance properties checked on every generated workload.
+
+    Each oracle is a differential claim relating two independent layers of
+    the reproduction — the SDF3-style analysis, the untimed functional
+    engine, and the cycle-level platform simulator — so a violation always
+    means at least one layer is wrong, never merely that a workload is
+    unusual. *)
+
+type t =
+  | Flow_completes
+      (** the full flow (buffer sizing, binding, static order, platform
+          generation) accepts every generated workload *)
+  | Bound_holds
+      (** the analysed worst-case throughput is a true lower bound on the
+          WCET-timed platform simulation *)
+  | No_deadlock
+      (** a buffer-sized mapping never deadlocks in the simulator *)
+  | Fault_transparency
+      (** a {!Sim.Fault.none} injection is bit-identical to no injection *)
+  | Functional_agreement
+      (** untimed functional execution and the timed simulator agree on
+          iteration and firing counts *)
+  | Pareto_consistency
+      (** DSE Pareto points are mutually non-dominated *)
+
+val all : t list
+val name : t -> string
+(** Stable kebab-case identifier, used in reproducer directory names. *)
+
+val of_name : string -> t option
+val describe : t -> string
+val pp : Format.formatter -> t -> unit
+
+type violation = { oracle : t; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,22 @@
+type outcome = {
+  shrunk : Gen.Workload.spec;
+  steps : int;
+  attempts : int;
+}
+
+let minimize ?(max_steps = 1000) ~still_fails spec =
+  let attempts = ref 0 in
+  let fails sp =
+    incr attempts;
+    match still_fails sp with
+    | b -> b
+    | exception _ -> false
+  in
+  let rec descend sp steps =
+    if steps >= max_steps then { shrunk = sp; steps; attempts = !attempts }
+    else
+      match List.find_opt fails (Gen.Workload.shrink_candidates sp) with
+      | Some smaller -> descend smaller (steps + 1)
+      | None -> { shrunk = sp; steps; attempts = !attempts }
+  in
+  descend spec 0

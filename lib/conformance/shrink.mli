@@ -1,0 +1,27 @@
+(** Greedy counterexample minimization over workload specs.
+
+    Shrinking operates on {!Gen.Workload.spec} values rather than graphs:
+    every candidate produced by {!Gen.Workload.shrink_candidates} is
+    consistent and connected by construction, so the predicate under test
+    never sees a malformed workload. The loop is greedy first-improvement —
+    take the first strictly-smaller candidate that still fails, repeat
+    until no candidate fails — which terminates because
+    {!Gen.Workload.spec_size} strictly decreases on every step. *)
+
+type outcome = {
+  shrunk : Gen.Workload.spec;  (** locally minimal failing spec *)
+  steps : int;  (** successful shrink steps taken *)
+  attempts : int;  (** predicate evaluations, for reporting *)
+}
+
+val minimize :
+  ?max_steps:int ->
+  still_fails:(Gen.Workload.spec -> bool) ->
+  Gen.Workload.spec ->
+  outcome
+(** [minimize ~still_fails spec] assumes [still_fails spec] already holds
+    (callers shrink only witnessed failures). A predicate that raises on a
+    candidate counts as "does not fail" — shrinking must never turn one
+    bug into a different crash. [max_steps] (default 1000) bounds the
+    descent as a safety net; the size measure makes it unreachable for
+    realistic configs. *)

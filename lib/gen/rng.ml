@@ -1,0 +1,32 @@
+(* splitmix64 (Steele, Lea & Flood, OOPSLA 2014): tiny, fast and
+   statistically fine for test-case generation; the same generator seeds
+   the simulator's fault injector. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* rejection-free masking is overkill for test generation; a modulo of a
+     63-bit draw keeps bias far below anything a test could observe *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1)
+                  (Int64.of_int bound))
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = int t 2 = 1
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))

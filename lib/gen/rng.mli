@@ -1,0 +1,26 @@
+(** Deterministic pseudo-random numbers for workload generation.
+
+    A private splitmix64 stream, so generated workloads depend only on the
+    seed — never on global [Random] state or on how many draws other
+    components made. The same seed therefore reproduces the same graph on
+    any machine, which is what makes conformance counterexamples
+    replayable. *)
+
+type t
+
+val create : int -> t
+(** A fresh stream from a seed. Equal seeds yield equal streams. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [\[0, bound)]. [bound] must be
+    positive.
+    @raise Invalid_argument otherwise. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] draws uniformly from [\[lo, hi\]] inclusive.
+    @raise Invalid_argument when [hi < lo]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice. @raise Invalid_argument on an empty list. *)

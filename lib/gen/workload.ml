@@ -1,0 +1,309 @@
+module Graph = Sdf.Graph
+module Application = Appmodel.Application
+module Actor_impl = Appmodel.Actor_impl
+module Metrics = Appmodel.Metrics
+
+type config = {
+  min_actors : int;
+  max_actors : int;
+  max_repetition : int;
+  max_wcet : int;
+  max_token_words : int;
+  max_extra_edges : int;
+  max_back_edges : int;
+}
+
+let default_config =
+  {
+    min_actors = 2;
+    max_actors = 5;
+    max_repetition = 3;
+    max_wcet = 30;
+    max_token_words = 4;
+    max_extra_edges = 2;
+    max_back_edges = 1;
+  }
+
+type edge = { e_src : int; e_dst : int }
+
+type spec = {
+  sp_seed : int;
+  sp_q : int array;
+  sp_wcet : int array;
+  sp_cost : int array;
+  sp_words : int array;
+  sp_extra : edge list;
+}
+
+let spec_of_seed ?(config = default_config) seed =
+  let rng = Rng.create seed in
+  let n = Rng.range rng (Stdlib.max 2 config.min_actors) config.max_actors in
+  let q = Array.init n (fun _ -> Rng.range rng 1 config.max_repetition) in
+  let wcet = Array.init n (fun _ -> Rng.range rng 1 config.max_wcet) in
+  (* deterministic data-dependent cost at or below the WCET, so measured
+     runs land between the expected and worst-case analysis lines *)
+  let cost = Array.map (fun w -> Rng.range rng 1 w) wcet in
+  let words = Array.init n (fun _ -> Rng.range rng 1 config.max_token_words) in
+  let forward_pair () =
+    let a = Rng.int rng (n - 1) in
+    let b = Rng.range rng (a + 1) (n - 1) in
+    (a, b)
+  in
+  let extra = ref [] in
+  for _ = 1 to Rng.range rng 0 config.max_extra_edges do
+    let a, b = forward_pair () in
+    extra := { e_src = a; e_dst = b } :: !extra
+  done;
+  for _ = 1 to Rng.range rng 0 config.max_back_edges do
+    let a, b = forward_pair () in
+    extra := { e_src = b; e_dst = a } :: !extra
+  done;
+  {
+    sp_seed = seed;
+    sp_q = q;
+    sp_wcet = wcet;
+    sp_cost = cost;
+    sp_words = words;
+    sp_extra = List.rev !extra;
+  }
+
+let validate_spec sp =
+  let n = Array.length sp.sp_q in
+  let all_positive a = Array.for_all (fun v -> v > 0) a in
+  if n < 2 then Error "spec needs at least two actors"
+  else if
+    Array.length sp.sp_wcet <> n
+    || Array.length sp.sp_cost <> n
+    || Array.length sp.sp_words <> n
+  then Error "spec arrays disagree on actor count"
+  else if not (all_positive sp.sp_q) then
+    Error "repetition counts must be positive"
+  else if not (all_positive sp.sp_wcet) then Error "WCETs must be positive"
+  else if not (all_positive sp.sp_cost) then Error "costs must be positive"
+  else if not (all_positive sp.sp_words) then
+    Error "token weights must be positive"
+  else if not (Array.for_all2 (fun c w -> c <= w) sp.sp_cost sp.sp_wcet) then
+    Error "a cost exceeds its WCET"
+  else if
+    not
+      (List.for_all
+         (fun e ->
+           e.e_src >= 0 && e.e_src < n && e.e_dst >= 0 && e.e_dst < n
+           && e.e_src <> e.e_dst)
+         sp.sp_extra)
+  then Error "an extra edge has out-of-range or equal endpoints"
+  else Ok ()
+
+(* Channels of a spec, in deterministic order: the spanning chain first,
+   then the extras. Rates satisfy the balance equation by construction;
+   feedback channels (src > dst) carry one full iteration of tokens so
+   they cannot introduce deadlock. *)
+type chan = {
+  ch_label : string;
+  ch_src : int;
+  ch_dst : int;
+  ch_prod : int;
+  ch_cons : int;
+  ch_tokens : int;
+  ch_bytes : int;
+}
+
+let channels_of_spec sp =
+  let channel label src dst =
+    let g = Sdf.Rational.gcd_int sp.sp_q.(src) sp.sp_q.(dst) in
+    let prod = sp.sp_q.(dst) / g and cons = sp.sp_q.(src) / g in
+    {
+      ch_label = label;
+      ch_src = src;
+      ch_dst = dst;
+      ch_prod = prod;
+      ch_cons = cons;
+      ch_tokens = (if src > dst then cons * sp.sp_q.(dst) else 0);
+      ch_bytes = 4 * sp.sp_words.(src);
+    }
+  in
+  List.init
+    (Array.length sp.sp_q - 1)
+    (fun i -> channel (Printf.sprintf "c%d" i) i (i + 1))
+  @ List.mapi
+      (fun j e -> channel (Printf.sprintf "x%d" j) e.e_src e.e_dst)
+      sp.sp_extra
+
+let actor_name i = Printf.sprintf "a%d" i
+
+let graph_of_spec sp =
+  let g = ref (Graph.empty (Printf.sprintf "gen%d" sp.sp_seed)) in
+  let ids =
+    Array.init (Array.length sp.sp_q) (fun i ->
+        let graph, id =
+          Graph.add_actor !g ~name:(actor_name i)
+            ~execution_time:sp.sp_wcet.(i)
+        in
+        g := graph;
+        id)
+  in
+  List.iter
+    (fun c ->
+      let graph, _ =
+        Graph.add_channel !g ~name:c.ch_label ~source:ids.(c.ch_src)
+          ~production_rate:c.ch_prod ~target:ids.(c.ch_dst)
+          ~consumption_rate:c.ch_cons ~initial_tokens:c.ch_tokens
+          ~token_size:c.ch_bytes ()
+      in
+      g := graph)
+    (channels_of_spec sp);
+  !g
+
+let application_of_spec sp =
+  let actors =
+    List.init (Array.length sp.sp_q) (fun i ->
+        {
+          Application.a_name = actor_name i;
+          a_implementations =
+            [
+              Actor_impl.make
+                ~name:(Printf.sprintf "noop%d" i)
+                ~metrics:
+                  (Metrics.make ~wcet:sp.sp_wcet.(i) ~instruction_memory:2048
+                     ~data_memory:1024)
+                ~cycles:(Actor_impl.constant_cycles sp.sp_cost.(i))
+                (fun _ -> []);
+            ];
+        })
+  in
+  let channels =
+    List.map
+      (fun c ->
+        Application.channel ~name:c.ch_label ~source:(actor_name c.ch_src)
+          ~production:c.ch_prod ~target:(actor_name c.ch_dst)
+          ~consumption:c.ch_cons ~initial_tokens:c.ch_tokens
+          ~token_bytes:c.ch_bytes ())
+      (channels_of_spec sp)
+  in
+  match Application.make ~name:(Printf.sprintf "gen%d" sp.sp_seed) ~actors
+          ~channels ()
+  with
+  | Ok app -> app
+  | Error msg ->
+      (* impossible for a validated spec: the construction satisfies every
+         invariant Application.make checks *)
+      invalid_arg (Printf.sprintf "Workload: spec rejected: %s" msg)
+
+type t = {
+  seed : int;
+  spec : spec;
+  graph : Graph.t;
+  application : Application.t;
+  repetition : int array;
+}
+
+let minimal_repetition sp =
+  let overall = Array.fold_left Sdf.Rational.gcd_int 0 sp.sp_q in
+  Array.map (fun v -> v / overall) sp.sp_q
+
+let realize sp =
+  (match validate_spec sp with
+  | Ok () -> ()
+  | Error msg -> invalid_arg (Printf.sprintf "Workload.realize: %s" msg));
+  {
+    seed = sp.sp_seed;
+    spec = sp;
+    graph = graph_of_spec sp;
+    application = application_of_spec sp;
+    repetition = minimal_repetition sp;
+  }
+
+let generate ?config ~seed () = realize (spec_of_seed ?config seed)
+
+(* --- shrinking ------------------------------------------------------------ *)
+
+let remove_index a i =
+  Array.init
+    (Array.length a - 1)
+    (fun j -> if j < i then a.(j) else a.(j + 1))
+
+let drop_actor sp i =
+  let remap k = if k > i then k - 1 else k in
+  {
+    sp with
+    sp_q = remove_index sp.sp_q i;
+    sp_wcet = remove_index sp.sp_wcet i;
+    sp_cost = remove_index sp.sp_cost i;
+    sp_words = remove_index sp.sp_words i;
+    sp_extra =
+      List.filter_map
+        (fun e ->
+          if e.e_src = i || e.e_dst = i then None
+          else Some { e_src = remap e.e_src; e_dst = remap e.e_dst })
+        sp.sp_extra;
+  }
+
+let drop_edge sp j =
+  { sp with sp_extra = List.filteri (fun k _ -> k <> j) sp.sp_extra }
+
+let shrink_candidates sp =
+  let n = Array.length sp.sp_q in
+  let if_ cond xs = if cond then xs else [] in
+  let set a i v =
+    let a = Array.copy a in
+    a.(i) <- v;
+    a
+  in
+  if_ (n > 2) (List.init n (drop_actor sp))
+  @ List.init (List.length sp.sp_extra) (drop_edge sp)
+  @ if_
+      (Array.exists (fun q -> q > 1) sp.sp_q)
+      [ { sp with sp_q = Array.make n 1 } ]
+  @ List.filter_map
+      (fun i ->
+        if sp.sp_q.(i) > 1 then Some { sp with sp_q = set sp.sp_q i 1 }
+        else None)
+      (List.init n Fun.id)
+  @ if_
+      (Array.exists (fun w -> w > 1) sp.sp_wcet)
+      [ { sp with sp_wcet = Array.make n 1; sp_cost = Array.make n 1 } ]
+  @ List.filter_map
+      (fun i ->
+        if sp.sp_wcet.(i) > 1 then
+          let w = sp.sp_wcet.(i) / 2 in
+          Some
+            {
+              sp with
+              sp_wcet = set sp.sp_wcet i w;
+              sp_cost = set sp.sp_cost i (Stdlib.min sp.sp_cost.(i) w);
+            }
+        else None)
+      (List.init n Fun.id)
+  @ List.filter_map
+      (fun i ->
+        if sp.sp_words.(i) > 1 then
+          Some { sp with sp_words = set sp.sp_words i 1 }
+        else None)
+      (List.init n Fun.id)
+
+let spec_size sp =
+  Array.length sp.sp_q
+  + (Array.length sp.sp_q - 1)
+  + List.length sp.sp_extra
+  + Array.fold_left ( + ) 0 sp.sp_q
+  + Array.fold_left ( + ) 0 sp.sp_wcet
+  + Array.fold_left ( + ) 0 sp.sp_words
+
+let pp_spec ppf sp =
+  let ints a =
+    String.concat " " (Array.to_list (Array.map string_of_int a))
+  in
+  Format.fprintf ppf
+    "@[<v>seed %d (%d actors, %d channels)@,q:    %s@,wcet: %s@,cost: %s@,\
+     words: %s@,extra:%s@]"
+    sp.sp_seed (Array.length sp.sp_q)
+    (Array.length sp.sp_q - 1 + List.length sp.sp_extra)
+    (ints sp.sp_q) (ints sp.sp_wcet) (ints sp.sp_cost) (ints sp.sp_words)
+    (if sp.sp_extra = [] then " none"
+     else
+       String.concat ""
+         (List.map
+            (fun e -> Printf.sprintf " a%d->a%d" e.e_src e.e_dst)
+            sp.sp_extra))
+
+let spec_to_string sp = Format.asprintf "%a" pp_spec sp

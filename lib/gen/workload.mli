@@ -1,0 +1,95 @@
+(** Seeded random SDF workloads for conformance testing.
+
+    The generator builds {e consistent, connected, deadlock-free} graphs by
+    construction, following the parametric view of Skelin & Geilen: pick a
+    repetition count [q(a)] per actor, then give every channel [a -> b] the
+    rates [q(b)/g] and [q(a)/g] with [g = gcd(q(a), q(b))], which satisfies
+    the balance equation identically. A spanning chain of forward channels
+    keeps the graph connected; optional extra forward channels add
+    reconvergent paths; optional back channels (from a higher to a lower
+    actor index) carry one full iteration of initial tokens so they never
+    introduce deadlock. Token sizes are auto-derived from a per-actor byte
+    weight, and every actor gets a functional no-op implementation with a
+    deterministic data-dependent cost model at or below its WCET — so the
+    whole workload can run through every stage of the flow, including the
+    value-carrying platform simulator.
+
+    Workloads are described first as a {!spec} — plain integer arrays and
+    an edge list — and only then realized into a graph and application.
+    The conformance shrinker operates on specs, where every mutation
+    (dropping an actor, unifying rates, halving WCETs) preserves
+    consistency trivially. *)
+
+type config = {
+  min_actors : int;  (** at least 2 *)
+  max_actors : int;
+  max_repetition : int;  (** rate skew: per-actor repetition in [1, max] *)
+  max_wcet : int;  (** WCET spread: per-actor WCET in [1, max] *)
+  max_token_words : int;  (** token sizes in [1, max] 32-bit words *)
+  max_extra_edges : int;  (** extra forward channels beyond the chain *)
+  max_back_edges : int;  (** token-carrying feedback channels *)
+}
+
+val default_config : config
+(** 2–5 actors, repetition <= 3, WCET <= 30, tokens <= 4 words, up to 2
+    extra and 1 back edge — small enough that the full flow plus platform
+    simulation stays in the low milliseconds per workload. *)
+
+type edge = { e_src : int; e_dst : int }
+(** [e_src < e_dst] is a token-free forward channel; [e_src > e_dst] is a
+    feedback channel carrying one iteration of initial tokens. *)
+
+type spec = {
+  sp_seed : int;  (** provenance: the seed that produced the ancestor *)
+  sp_q : int array;  (** per-actor repetition counts (not yet minimal) *)
+  sp_wcet : int array;
+  sp_cost : int array;  (** constant data-dependent cost, [<= sp_wcet] *)
+  sp_words : int array;  (** per-actor token weight, in words *)
+  sp_extra : edge list;  (** channels beyond the implicit spanning chain *)
+}
+
+val spec_of_seed : ?config:config -> int -> spec
+(** Deterministic: equal seeds (and configs) yield equal specs. *)
+
+val validate_spec : spec -> (unit, string) result
+(** Structural sanity for hand-crafted or shrunk specs: at least two
+    actors, equal array lengths, positive entries, costs within WCETs,
+    edge endpoints in range and never self-loops. *)
+
+val graph_of_spec : spec -> Sdf.Graph.t
+(** Actors [a0..], the spanning chain [c0..], extra channels [x0..]. *)
+
+val application_of_spec : spec -> Appmodel.Application.t
+(** The same graph wrapped as an application model with one no-op
+    implementation per actor (empty explicit port lists, constant cost
+    model [sp_cost]). *)
+
+type t = {
+  seed : int;
+  spec : spec;
+  graph : Sdf.Graph.t;
+  application : Appmodel.Application.t;
+  repetition : int array;  (** minimal repetition vector, by actor id *)
+}
+
+val generate : ?config:config -> seed:int -> unit -> t
+(** [realize (spec_of_seed seed)]. *)
+
+val realize : spec -> t
+(** Graph and application for a (possibly shrunk) spec.
+    @raise Invalid_argument when {!validate_spec} rejects the spec. *)
+
+val shrink_candidates : spec -> spec list
+(** Strictly-smaller variants for greedy shrinking, most aggressive first:
+    drop an actor (rewiring the chain around it), drop an extra channel,
+    unify all rates to 1, reset one rate, floor all WCETs to 1, halve one
+    WCET, shrink one token weight to a single word. Every candidate passes
+    {!validate_spec}; the list is empty exactly when the spec is minimal
+    (2 actors, unit rates, unit WCETs, single-word tokens, chain only). *)
+
+val spec_size : spec -> int
+(** A strictly-decreasing measure under every shrink candidate: actors +
+    channels + total repetition + total WCET + total token words. *)
+
+val pp_spec : Format.formatter -> spec -> unit
+val spec_to_string : spec -> string

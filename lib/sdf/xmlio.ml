@@ -28,48 +28,45 @@ let to_xml g =
       (List.map actor_node (Graph.actors g)
       @ List.map channel_node (Graph.channels g))
 
-let of_xml node =
-  try
-    let root = Xml.as_element node in
-    if root.tag <> "sdfgraph" then
-      failwith (Printf.sprintf "expected <sdfgraph>, found <%s>" root.tag);
-    let g = Graph.empty (Xml.attr root "name") in
-    let g =
-      List.fold_left
-        (fun acc e ->
-          fst
-            (Graph.add_actor acc ~name:(Xml.attr e "name")
-               ~execution_time:(Xml.int_attr e "executionTime")))
-        g
-        (Xml.children_named root "actor")
-    in
-    let g =
-      List.fold_left
-        (fun acc e ->
-          let actor_id name =
-            match Graph.find_actor acc name with
-            | Some a -> a.actor_id
-            | None ->
-                failwith
-                  (Printf.sprintf "channel %S references unknown actor %S"
-                     (Xml.attr e "name") name)
-          in
-          fst
-            (Graph.add_channel acc ~name:(Xml.attr e "name")
-               ~source:(actor_id (Xml.attr e "src"))
-               ~production_rate:(Xml.int_attr e "prodRate")
-               ~target:(actor_id (Xml.attr e "dst"))
-               ~consumption_rate:(Xml.int_attr e "consRate")
-               ?initial_tokens:(Xml.int_attr_opt e "initialTokens")
-               ?token_size:(Xml.int_attr_opt e "tokenSize")
-               ()))
-        g
-        (Xml.children_named root "channel")
-    in
-    Ok g
-  with
-  | Failure msg -> Error msg
-  | Invalid_argument msg -> Error msg
+(* Decoding never raises: structural problems (wrong tags, missing or
+   non-integer attributes, unknown actors, rate violations) all travel the
+   typed [Xml.Decode] path and surface as [Error]. *)
+let decode node =
+  let open Xml.Decode in
+  let* root = root ~expect:"sdfgraph" node in
+  let* name = attr root "name" in
+  let* g =
+    fold_children root "actor"
+      (fun acc e ->
+        let* name = attr e "name" in
+        let* execution_time = int_attr e "executionTime" in
+        let* g, _ = guard e (fun () -> Graph.add_actor acc ~name ~execution_time) in
+        Ok g)
+      (Graph.empty name)
+  in
+  fold_children root "channel"
+    (fun acc e ->
+      let actor_id name =
+        match Graph.find_actor acc name with
+        | Some a -> Ok a.Graph.actor_id
+        | None -> fail e "references unknown actor %S" name
+      in
+      let* name = attr e "name" in
+      let* source = Result.bind (attr e "src") actor_id in
+      let* target = Result.bind (attr e "dst") actor_id in
+      let* production_rate = int_attr e "prodRate" in
+      let* consumption_rate = int_attr e "consRate" in
+      let* initial_tokens = int_attr_opt e "initialTokens" in
+      let* token_size = int_attr_opt e "tokenSize" in
+      let* g, _ =
+        guard e (fun () ->
+            Graph.add_channel acc ~name ~source ~production_rate ~target
+              ~consumption_rate ?initial_tokens ?token_size ())
+      in
+      Ok g)
+    g
+
+let of_xml node = Result.map_error Xml.Decode.error_to_string (decode node)
 
 let to_string g = Xml.to_string (to_xml g)
 

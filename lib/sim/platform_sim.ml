@@ -638,3 +638,8 @@ let steady_throughput r =
     if t1 <= t0 then overall_throughput r
     else Rational.make (count - skip) (t1 - t0)
   end
+
+let results_equal (a : result) (b : result) =
+  (* every field is plain data (ints, strings, token word arrays), so
+     structural equality is exactly bit-identity of the observable run *)
+  a = b

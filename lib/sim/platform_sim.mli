@@ -85,3 +85,8 @@ val overall_throughput : result -> Sdf.Rational.t
 val steady_throughput : result -> Sdf.Rational.t
 (** Rate over the last three quarters of the run, discarding the pipeline
     fill transient — the paper's long-term average (§5). *)
+
+val results_equal : result -> result -> bool
+(** Structural equality of two runs — the conformance harness's
+    bit-identity check that a {!Fault.none} injection is indistinguishable
+    from no injection at all. *)

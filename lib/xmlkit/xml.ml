@@ -383,3 +383,93 @@ let text_content e =
   String.trim
     (String.concat ""
        (List.filter_map (function Text s -> Some s | Element _ -> None) e.children))
+
+(* --- typed decoding --- *)
+
+module Decode = struct
+  type error = { de_path : string; de_message : string }
+
+  let error_to_string e =
+    if e.de_path = "" then e.de_message
+    else Printf.sprintf "%s: %s" e.de_path e.de_message
+
+  let path_of e =
+    match attr_opt e "name" with
+    | Some n -> Printf.sprintf "<%s name=%S>" e.tag n
+    | None -> Printf.sprintf "<%s>" e.tag
+
+  let fail e fmt =
+    Printf.ksprintf
+      (fun de_message -> Error { de_path = path_of e; de_message })
+      fmt
+
+  let ( let* ) = Result.bind
+
+  let root ?expect node =
+    match node with
+    | Text _ ->
+        Error { de_path = ""; de_message = "document root is a text node" }
+    | Element e -> (
+        match expect with
+        | Some tag when e.tag <> tag ->
+            Error
+              {
+                de_path = "";
+                de_message =
+                  Printf.sprintf "expected <%s>, found <%s>" tag e.tag;
+              }
+        | Some _ | None -> Ok e)
+
+  let attr e name =
+    match attr_opt e name with
+    | Some v -> Ok v
+    | None -> fail e "missing attribute %S" name
+
+  let int_attr e name =
+    let* v = attr e name in
+    match int_of_string_opt (String.trim v) with
+    | Some n -> Ok n
+    | None -> fail e "attribute %s=%S is not an integer" name v
+
+  let int_attr_opt e name =
+    match attr_opt e name with
+    | None -> Ok None
+    | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | Some n -> Ok (Some n)
+        | None -> fail e "attribute %s=%S is not an integer" name v)
+
+  let bool_attr e name =
+    let* v = attr e name in
+    match String.trim v with
+    | "true" -> Ok true
+    | "false" -> Ok false
+    | other -> fail e "attribute %s=%S is not a boolean" name other
+
+  let child e name =
+    match child_opt e name with
+    | Some c -> Ok c
+    | None -> fail e "missing child <%s>" name
+
+  let rec map_result f = function
+    | [] -> Ok []
+    | x :: rest ->
+        let* y = f x in
+        let* ys = map_result f rest in
+        Ok (y :: ys)
+
+  let children e name f = map_result f (children_named e name)
+
+  let fold_children e name f init =
+    List.fold_left
+      (fun acc c ->
+        let* acc = acc in
+        f acc c)
+      (Ok init) (children_named e name)
+
+  let guard e thunk =
+    match thunk () with
+    | v -> Ok v
+    | exception Invalid_argument m -> fail e "%s" m
+    | exception Failure m -> fail e "%s" m
+end

@@ -75,3 +75,50 @@ val text_content : element -> string
 
 val as_element : t -> element
 (** @raise Failure on a text node. *)
+
+(** {1 Typed decoding}
+
+    Result-returning counterparts of the accessors above, for loaders that
+    must surface malformed documents as errors rather than exceptions —
+    the same contract as {!parse_result} on the lexical level. Every error
+    carries the path of the offending element (tag and, when present, its
+    [name] attribute), so a decoder threading these with [let*] reports
+    {e where} a generated or hand-edited file went wrong. *)
+
+module Decode : sig
+  type error = {
+    de_path : string;  (** e.g. [<channel name="a2b">]; empty at the root *)
+    de_message : string;
+  }
+
+  val error_to_string : error -> string
+
+  val fail : element -> ('a, unit, string, ('b, error) result) format4 -> 'a
+  (** A decode error located at the given element. *)
+
+  val root : ?expect:string -> t -> (element, error) result
+  (** The document root as an element, optionally checking its tag. *)
+
+  val attr : element -> string -> (string, error) result
+  val int_attr : element -> string -> (int, error) result
+  val int_attr_opt : element -> string -> (int option, error) result
+  val bool_attr : element -> string -> (bool, error) result
+  val child : element -> string -> (element, error) result
+
+  val children :
+    element -> string -> (element -> ('a, error) result) -> ('a list, error) result
+  (** Decode every child with the given tag, stopping at the first error. *)
+
+  val fold_children :
+    element -> string -> ('a -> element -> ('a, error) result) -> 'a ->
+    ('a, error) result
+
+  val map_result : ('a -> ('b, error) result) -> 'a list -> ('b list, error) result
+
+  val guard : element -> (unit -> 'a) -> ('a, error) result
+  (** Run a builder that signals invariant violations with [Invalid_argument]
+      or [Failure], converting either into a located decode error. *)
+
+  val ( let* ) :
+    ('a, error) result -> ('a -> ('b, error) result) -> ('b, error) result
+end

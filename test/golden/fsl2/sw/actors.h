@@ -1,0 +1,16 @@
+/* actors.h -- prototypes of the user's actor code. */
+#ifndef MAMPS_ACTORS_H
+#define MAMPS_ACTORS_H
+
+#include <stdint.h>
+
+void actor_reader(void);
+void actor_reader_init(void);
+
+void actor_work(void);
+void actor_work_init(void);
+
+void actor_writer(void);
+void actor_writer_init(void);
+
+#endif /* MAMPS_ACTORS_H */

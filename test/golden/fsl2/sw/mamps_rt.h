@@ -1,0 +1,25 @@
+/* mamps_rt.h -- generated MAMPS runtime support.
+ * Local FIFOs for intra-tile channels and blocking FSL access for
+ * inter-tile channels. Scheduling is a static-order lookup table
+ * (paper section 6.3: the scheduler reduces to a table walk). */
+#ifndef MAMPS_RT_H
+#define MAMPS_RT_H
+
+#include <stdint.h>
+
+typedef struct {
+  int32_t *data;
+  unsigned capacity;   /* in tokens */
+  unsigned token_words;
+  volatile unsigned head, count;
+} mamps_fifo_t;
+
+void mamps_fifo_read(mamps_fifo_t *f, int32_t *dst, unsigned tokens);
+void mamps_fifo_write(mamps_fifo_t *f, const int32_t *src,
+                      unsigned tokens);
+
+/* Blocking word transfer over a Fast Simplex Link. */
+void mamps_fsl_read(unsigned link, int32_t *dst, unsigned words);
+void mamps_fsl_write(unsigned link, const int32_t *src, unsigned words);
+
+#endif /* MAMPS_RT_H */

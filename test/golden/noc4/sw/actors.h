@@ -1,0 +1,19 @@
+/* actors.h -- prototypes of the user's actor code. */
+#ifndef MAMPS_ACTORS_H
+#define MAMPS_ACTORS_H
+
+#include <stdint.h>
+
+void actor_src(void);
+void actor_src_init(void);
+
+void actor_filter(void);
+void actor_filter_init(void);
+
+void actor_quant(void);
+void actor_quant_init(void);
+
+void actor_sink(void);
+void actor_sink_init(void);
+
+#endif /* MAMPS_ACTORS_H */

@@ -199,13 +199,37 @@ let test_arbiter_bound_is_sound () =
         Arbiter.worst_case_latency a ~client:"t1" ~request_cycles
       in
       for arrival = 0 to Arbiter.rotation_cycles a - 1 do
-        let finish = Arbiter.simulate a ~client:"t1" ~arrival ~request_cycles in
-        check bool
-          (Printf.sprintf "req %d at phase %d within bound" request_cycles arrival)
-          true
-          (finish - arrival <= bound)
+        match Arbiter.simulate a ~client:"t1" ~arrival ~request_cycles with
+        | Error e -> Alcotest.fail (Arbiter.simulate_error_to_string e)
+        | Ok finish ->
+            check bool
+              (Printf.sprintf "req %d at phase %d within bound" request_cycles
+                 arrival)
+              true
+              (finish - arrival <= bound)
       done)
     [ 1; 5; 10; 11; 25; 60 ]
+
+let test_arbiter_watchdog () =
+  (* a tiny round budget expires as a typed error, mirroring the platform
+     simulator's watchdog; the default budget finishes the same request *)
+  let a = sample_arbiter () in
+  (match Arbiter.simulate ~max_rounds:2 a ~client:"t1" ~arrival:0 ~request_cycles:55 with
+  | Error (Arbiter.Watchdog_expired { client; max_rounds; cycles_served; at_cycle }) ->
+      check string "names the client" "t1" client;
+      check int "echoes the budget" 2 max_rounds;
+      check bool "partial progress recorded" true
+        (cycles_served >= 0 && cycles_served < 55);
+      check bool "expiry time advanced" true (at_cycle > 0);
+      check bool "renders" true
+        (String.length
+           (Arbiter.simulate_error_to_string
+              (Arbiter.Watchdog_expired { client; max_rounds; cycles_served; at_cycle }))
+        > 0)
+  | Ok _ -> Alcotest.fail "tiny budget should expire");
+  match Arbiter.simulate a ~client:"t1" ~arrival:0 ~request_cycles:55 with
+  | Ok finish -> check bool "default budget completes" true (finish > 0)
+  | Error e -> Alcotest.fail (Arbiter.simulate_error_to_string e)
 
 let arbiter_props =
   let open QCheck in
@@ -229,8 +253,9 @@ let arbiter_props =
         | Ok a ->
             let client = Printf.sprintf "c%d" who in
             let bound = Arbiter.worst_case_latency a ~client ~request_cycles in
-            Arbiter.simulate a ~client ~arrival ~request_cycles - arrival
-            <= bound);
+            (match Arbiter.simulate a ~client ~arrival ~request_cycles with
+            | Ok finish -> finish - arrival <= bound
+            | Error _ -> false));
   ]
 
 let test_shared_peripheral_with_arbiter () =
@@ -389,6 +414,8 @@ let () =
           Alcotest.test_case "basics" `Quick test_arbiter_basics;
           Alcotest.test_case "bound sound (exhaustive phases)" `Quick
             test_arbiter_bound_is_sound;
+          Alcotest.test_case "watchdog typed error" `Quick
+            test_arbiter_watchdog;
           Alcotest.test_case "shared peripheral" `Quick
             test_shared_peripheral_with_arbiter;
         ] );

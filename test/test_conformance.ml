@@ -1,0 +1,178 @@
+(* The property-based conformance harness: generator invariants, the
+   differential oracle suite over a seeded workload matrix, and the
+   shrinker demonstrated on a deliberately undersized-buffer deadlock. *)
+
+module W = Gen.Workload
+module Engine = Conformance.Engine
+module Oracle = Conformance.Oracle
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let temp_out =
+  (* per-run scratch for reproducers; the suite only writes on failure *)
+  Filename.concat (Filename.get_temp_dir_name ()) "mamps_conformance_test"
+
+(* --- generator ------------------------------------------------------------- *)
+
+let test_generation_deterministic () =
+  check bool "equal seeds, equal specs" true
+    (W.spec_of_seed 7 = W.spec_of_seed 7);
+  let a = W.generate ~seed:123 () and b = W.generate ~seed:123 () in
+  check Alcotest.string "equal seeds, equal graphs"
+    (Sdf.Xmlio.to_string a.graph)
+    (Sdf.Xmlio.to_string b.graph);
+  check bool "different seeds, different specs" true
+    (W.spec_of_seed 1 <> W.spec_of_seed 2)
+
+let test_generated_graphs_admissible () =
+  for seed = 0 to 299 do
+    let w = W.generate ~seed () in
+    match Sdf.Analysis.admit w.graph with
+    | Error _ -> Alcotest.failf "seed %d: generated graph not admissible" seed
+    | Ok q ->
+        if q <> w.repetition then
+          Alcotest.failf "seed %d: repetition vector disagrees" seed
+  done
+
+let test_spec_validation () =
+  let sp = W.spec_of_seed 5 in
+  check bool "generated specs validate" true (W.validate_spec sp = Ok ());
+  let broken = { sp with W.sp_q = Array.map (fun _ -> 0) sp.W.sp_q } in
+  check bool "zero rates rejected" true (W.validate_spec broken <> Ok ());
+  let mismatched = { sp with W.sp_wcet = [| 1 |] } in
+  check bool "length mismatch rejected" true
+    (W.validate_spec mismatched <> Ok ())
+
+let test_shrink_candidates_shrink () =
+  for seed = 0 to 49 do
+    let sp = W.spec_of_seed seed in
+    List.iter
+      (fun c ->
+        (match W.validate_spec c with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "seed %d: invalid candidate (%s)" seed e);
+        if W.spec_size c >= W.spec_size sp then
+          Alcotest.failf "seed %d: candidate does not shrink" seed)
+      (W.shrink_candidates sp)
+  done
+
+let test_minimal_spec_has_no_candidates () =
+  let minimal =
+    {
+      W.sp_seed = 0;
+      sp_q = [| 1; 1 |];
+      sp_wcet = [| 1; 1 |];
+      sp_cost = [| 1; 1 |];
+      sp_words = [| 1; 1 |];
+      sp_extra = [];
+    }
+  in
+  check int "minimal spec is a fixpoint" 0
+    (List.length (W.shrink_candidates minimal))
+
+(* --- the oracle suite ------------------------------------------------------ *)
+
+let test_case_deterministic () =
+  let a = Engine.check_seed 3 and b = Engine.check_seed 3 in
+  check bool "same seed, same verdict" true (a = b)
+
+let test_suite_matrix () =
+  (* the acceptance matrix: 200 seeded workloads, alternating FSL and NoC
+     platforms, all five oracles *)
+  let r = Engine.run_suite ~out_dir:temp_out ~base_seed:0 ~count:200 () in
+  List.iter
+    (fun f ->
+      Alcotest.failf "conformance violation: %s"
+        (Format.asprintf "%a" Engine.pp_case f.Engine.f_case))
+    r.Engine.r_failures;
+  check int "all cases ran" 200 (List.length r.Engine.r_cases);
+  check bool "bound is tight but never violated" true
+    (r.Engine.r_mean_tightness >= 1.0 && r.Engine.r_max_tightness < 1.5)
+
+let test_fsl_and_noc_both_swept () =
+  let r = Engine.run_suite ~out_dir:temp_out ~base_seed:0 ~count:10 () in
+  let count label =
+    List.length
+      (List.filter
+         (fun c -> c.Engine.c_interconnect = label)
+         r.Engine.r_cases)
+  in
+  check int "half the seeds on FSL" 5 (count "fsl");
+  check int "half the seeds on NoC" 5 (count "noc")
+
+(* --- the shrinker on a witnessed failure ----------------------------------- *)
+
+let test_undersized_shrinks_to_minimal () =
+  let outcome, dir = Engine.shrink_undersized ~seed:42 ~out_dir:temp_out () in
+  let sp = outcome.Conformance.Shrink.shrunk in
+  check int "two actors" 2 (Array.length sp.W.sp_q);
+  check bool "unit everything" true
+    (sp.W.sp_q = [| 1; 1 |]
+    && sp.W.sp_wcet = [| 1; 1 |]
+    && sp.W.sp_words = [| 1; 1 |]
+    && sp.W.sp_extra = []);
+  check bool "provenance kept" true (sp.W.sp_seed = 42);
+  check bool "the minimum still fails" true (Engine.undersized_deadlocks sp);
+  (* the reproducer is complete and replayable *)
+  check bool "case.txt written" true
+    (Sys.file_exists (Filename.concat dir "case.txt"));
+  let xml = Filename.concat dir "graph.xml" in
+  check bool "graph.xml written" true (Sys.file_exists xml);
+  match Sdf.Xmlio.of_file xml with
+  | Error e -> Alcotest.failf "reproducer graph does not parse: %s" e
+  | Ok g ->
+      check bool "reproducer graph deadlocks when undersized" true
+        (not (Sdf.Execution.deadlock_free (Engine.undersize g)))
+
+let test_undersized_always_deadlocks () =
+  for seed = 0 to 49 do
+    if not (Engine.undersized_deadlocks (W.spec_of_seed seed)) then
+      Alcotest.failf "seed %d: undersized workload does not deadlock" seed
+  done
+
+(* --- oracle naming --------------------------------------------------------- *)
+
+let test_oracle_names_roundtrip () =
+  List.iter
+    (fun o ->
+      match Oracle.of_name (Oracle.name o) with
+      | Some o' when o' = o -> ()
+      | _ -> Alcotest.failf "oracle name %S does not round-trip" (Oracle.name o))
+    Oracle.all;
+  check int "six oracles" 6 (List.length Oracle.all)
+
+let () =
+  Alcotest.run "conformance"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick
+            test_generation_deterministic;
+          Alcotest.test_case "300 seeds admissible" `Quick
+            test_generated_graphs_admissible;
+          Alcotest.test_case "spec validation" `Quick test_spec_validation;
+          Alcotest.test_case "candidates shrink and validate" `Quick
+            test_shrink_candidates_shrink;
+          Alcotest.test_case "minimal spec is a fixpoint" `Quick
+            test_minimal_spec_has_no_candidates;
+        ] );
+      ( "oracles",
+        [
+          Alcotest.test_case "verdicts deterministic" `Quick
+            test_case_deterministic;
+          Alcotest.test_case "200-seed matrix passes" `Slow test_suite_matrix;
+          Alcotest.test_case "both interconnects swept" `Quick
+            test_fsl_and_noc_both_swept;
+          Alcotest.test_case "names round-trip" `Quick
+            test_oracle_names_roundtrip;
+        ] );
+      ( "shrinking",
+        [
+          Alcotest.test_case "undersized buffers always deadlock" `Quick
+            test_undersized_always_deadlocks;
+          Alcotest.test_case "deadlock shrinks to minimal chain" `Quick
+            test_undersized_shrinks_to_minimal;
+        ] );
+    ]

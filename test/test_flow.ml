@@ -223,6 +223,98 @@ let test_figure6_row_guarantee () =
       | Some margin -> check bool "synthetic margin below 2%" true (margin < 2.0)
       | None -> Alcotest.fail "expected a margin")
 
+(* --- figure 6 CSV pinning ----------------------------------------------------
+
+   figure6a.csv / figure6b.csv are the committed predicted-vs-measured MJPEG
+   trajectories (in MCUs per MHz per second). Pinning them here means the
+   bound-tightness ratio cannot silently regress: an analysis or simulator
+   change that moves these numbers must update the CSVs deliberately. *)
+
+type figure6_csv_row = {
+  csv_sequence : string;
+  csv_worst_case : float;
+  csv_expected : float;
+  csv_measured : float;
+}
+
+let read_figure6_csv path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  match List.rev !lines with
+  | header :: rows ->
+      check Alcotest.string
+        (path ^ " header")
+        "sequence,worst_case_mcu_per_mhz_s,expected,measured" header;
+      List.map
+        (fun line ->
+          match String.split_on_char ',' line with
+          | [ s; w; e; m ] ->
+              {
+                csv_sequence = s;
+                csv_worst_case = float_of_string w;
+                csv_expected = float_of_string e;
+                csv_measured = float_of_string m;
+              }
+          | _ -> Alcotest.failf "%s: malformed row %S" path line)
+        rows
+  | [] -> Alcotest.failf "%s: empty" path
+
+let pinned_worst_case = 23.121922
+(* the committed guarantee for the calibrated MJPEG mapping; the measured
+   trajectories stay within this window above it *)
+let tightness_window = (1.0, 1.35)
+
+let test_figure6_csv_pinned () =
+  List.iter
+    (fun path ->
+      let rows = read_figure6_csv path in
+      check (Alcotest.list Alcotest.string)
+        (path ^ " sequences")
+        [ "synthetic"; "gradient"; "blocks"; "waves"; "detail"; "motion" ]
+        (List.map (fun r -> r.csv_sequence) rows);
+      List.iter
+        (fun r ->
+          let label what = Printf.sprintf "%s %s %s" path r.csv_sequence what in
+          check (Alcotest.float 1e-6) (label "worst case pinned")
+            pinned_worst_case r.csv_worst_case;
+          check bool (label "measured at or above the bound") true
+            (r.csv_measured >= r.csv_worst_case);
+          check bool (label "expected at or above the bound") true
+            (r.csv_expected >= r.csv_worst_case);
+          let lo, hi = tightness_window in
+          let tightness = r.csv_measured /. r.csv_worst_case in
+          check bool
+            (Printf.sprintf "%s within [%.2f, %.2f] (got %.3f)"
+               (label "tightness") lo hi tightness)
+            true
+            (tightness >= lo && tightness <= hi))
+        rows)
+    [ "../figure6a.csv"; "../figure6b.csv" ]
+
+let test_figure6_live_matches_csv () =
+  (* the bound is a static analysis result, independent of how many passes
+     are simulated — recompute it and hold it against the committed CSV *)
+  let seq = Mjpeg.Streams.synthetic () in
+  match
+    Experiments.figure6_row (Arch.Template.Use_fsl Arch.Fsl.default) seq
+      ~passes:2 ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok { row; _ } ->
+      let live = Core.Report.mcus_per_mhz_second row.Core.Report.worst_case in
+      check (Alcotest.float 1e-3) "live guarantee equals the committed CSV"
+        pinned_worst_case live;
+      (match row.Core.Report.measured with
+      | None -> Alcotest.fail "expected a measured throughput"
+      | Some m ->
+          check bool "live measurement at or above the committed bound" true
+            (Core.Report.mcus_per_mhz_second m >= pinned_worst_case))
+
 let test_ca_study () =
   match Experiments.ca_study () with
   | Error e -> Alcotest.fail e
@@ -479,6 +571,10 @@ let () =
           Alcotest.test_case "noc area" `Quick test_noc_area_experiment;
           Alcotest.test_case "figure 4" `Quick test_fig4_experiment;
           Alcotest.test_case "figure 6 guarantee" `Slow test_figure6_row_guarantee;
+          Alcotest.test_case "figure 6 csv pinned" `Quick
+            test_figure6_csv_pinned;
+          Alcotest.test_case "figure 6 live matches csv" `Slow
+            test_figure6_live_matches_csv;
           Alcotest.test_case "ca study" `Slow test_ca_study;
           Alcotest.test_case "table 1" `Slow test_table1;
         ] );

@@ -1,0 +1,163 @@
+(* Golden tests for the MAMPS project generators: a 2-tile FSL project and
+   a 4-tile NoC project are generated and compared file by file against
+   fixtures committed under test/golden/. Any change to the VHDL, netlist,
+   C or TCL emitters shows up as a readable fixture diff instead of
+   slipping through silently.
+
+   Regenerate the fixtures after an intentional generator change with:
+
+     dune build @golden-update    (or)
+     GOLDEN_UPDATE=$PWD/test/golden dune exec test/test_golden.exe
+*)
+
+module Application = Appmodel.Application
+module Actor_impl = Appmodel.Actor_impl
+module Metrics = Appmodel.Metrics
+module Flow_map = Mapping.Flow_map
+module Project = Mamps.Project
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+let impl ?(wcet = 10) name =
+  Actor_impl.make ~name
+    ~metrics:(Metrics.make ~wcet ~instruction_memory:1024 ~data_memory:512)
+    (fun _ -> [])
+
+let app_exn ~name ~actors ~channels =
+  match Application.make ~name ~actors ~channels () with
+  | Ok app -> app
+  | Error e -> Alcotest.failf "app %s: %s" name e
+
+let actor name = { Application.a_name = name; a_implementations = [ impl name ] }
+
+(* a three-actor pipeline with a token-carrying feedback loop, pinned onto
+   two FSL tiles: one intra-tile and one inter-tile channel, so both code
+   paths of every generator land in the fixtures *)
+let fsl2_project () =
+  let app =
+    app_exn ~name:"golden_fsl2"
+      ~actors:[ actor "reader"; actor "work"; actor "writer" ]
+      ~channels:
+        [
+          Application.channel ~name:"raw" ~source:"reader" ~production:1
+            ~target:"work" ~consumption:1 ~token_bytes:16 ();
+          Application.channel ~name:"cooked" ~source:"work" ~production:1
+            ~target:"writer" ~consumption:1 ~token_bytes:8 ();
+          Application.channel ~name:"loop" ~source:"writer" ~production:1
+            ~target:"reader" ~consumption:1 ~initial_tokens:3 ~token_bytes:0
+            ();
+        ]
+  in
+  let platform =
+    match
+      Arch.Platform.make ~name:"golden_fsl2"
+        ~tiles:[ Arch.Tile.master "tile0"; Arch.Tile.slave "tile1" ]
+        (Arch.Platform.Point_to_point Arch.Fsl.default)
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "platform: %s" e
+  in
+  let options =
+    {
+      Flow_map.default_options with
+      fixed = [ ("reader", 0); ("work", 0); ("writer", 1) ];
+    }
+  in
+  match Flow_map.run app platform ~options () with
+  | Ok m -> Project.generate m
+  | Error e -> Alcotest.failf "mapping: %s" (Flow_map.error_to_string e)
+
+(* a four-stage rate-changing chain, auto-mapped onto a 4-tile NoC by the
+   full flow — the multi-hop counterpart of the FSL fixture *)
+let noc4_project () =
+  let app =
+    app_exn ~name:"golden_noc4"
+      ~actors:[ actor "src"; actor "filter"; actor "quant"; actor "sink" ]
+      ~channels:
+        [
+          Application.channel ~name:"pix" ~source:"src" ~production:2
+            ~target:"filter" ~consumption:1 ~token_bytes:8 ();
+          Application.channel ~name:"coef" ~source:"filter" ~production:1
+            ~target:"quant" ~consumption:2 ~token_bytes:4 ();
+          Application.channel ~name:"out" ~source:"quant" ~production:1
+            ~target:"sink" ~consumption:1 ~token_bytes:4 ();
+        ]
+  in
+  match
+    Core.Design_flow.run_auto app ~tiles:4
+      (Arch.Template.Use_noc Arch.Noc.default_config) ()
+  with
+  | Ok flow -> flow.Core.Design_flow.project
+  | Error e -> Alcotest.failf "flow: %s" (Core.Flow_error.to_string e)
+
+(* --- fixture comparison ---------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec fixture_files dir rel =
+  if not (Sys.file_exists dir) then []
+  else
+    Array.to_list (Sys.readdir dir)
+    |> List.concat_map (fun entry ->
+           let full = Filename.concat dir entry in
+           let rel = if rel = "" then entry else rel ^ "/" ^ entry in
+           if Sys.is_directory full then fixture_files full rel
+           else [ rel ])
+    |> List.sort compare
+
+let check_against_fixtures name (p : Project.t) =
+  match Sys.getenv_opt "GOLDEN_UPDATE" with
+  | Some root ->
+      Project.write_to p ~dir:(Filename.concat root name);
+      Printf.printf "updated %d fixtures under %s/%s\n"
+        (List.length p.files) root name
+  | None ->
+      let dir = Filename.concat "golden" name in
+      List.iter
+        (fun (path, contents) ->
+          let fixture_path = Filename.concat dir path in
+          if not (Sys.file_exists fixture_path) then
+            Alcotest.failf
+              "missing fixture %s — regenerate with GOLDEN_UPDATE (see file \
+               header)"
+              fixture_path;
+          let fixture = read_file fixture_path in
+          if fixture <> contents then
+            Alcotest.failf
+              "%s/%s diverges from its committed fixture — diff the \
+               generated project against test/golden/%s, then regenerate \
+               deliberately"
+              name path name)
+        p.files;
+      List.iter
+        (fun rel ->
+          if not (List.mem_assoc rel p.files) then
+            Alcotest.failf "stale fixture %s/%s no longer generated" name rel)
+        (fixture_files dir "")
+
+let test_fsl2_matches () = check_against_fixtures "fsl2" (fsl2_project ())
+let test_noc4_matches () = check_against_fixtures "noc4" (noc4_project ())
+
+let test_generation_deterministic () =
+  (* the precondition for golden testing at all *)
+  check bool "FSL project reproducible" true (fsl2_project () = fsl2_project ());
+  check bool "NoC project reproducible" true (noc4_project () = noc4_project ())
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "mamps generators",
+        [
+          Alcotest.test_case "generation deterministic" `Quick
+            test_generation_deterministic;
+          Alcotest.test_case "2-tile FSL project matches fixtures" `Quick
+            test_fsl2_matches;
+          Alcotest.test_case "4-tile NoC project matches fixtures" `Quick
+            test_noc4_matches;
+        ] );
+    ]
