@@ -12,6 +12,7 @@
      table 1    designer effort (automated steps measured live)
      section 6.3    the communication-assist prediction study
      section 5.3.1  NoC flow-control area overhead
+     profile        the probe-armed measurement behind `mamps_flow profile`
      microbenchmarks (Bechamel) for the flow's hot steps *)
 
 open Bechamel
@@ -286,6 +287,40 @@ let ablations () =
              else "VIOLATED"))
     [ 0; 10; 25; 50 ]
 
+(* --- profile ---------------------------------------------------------------- *)
+
+(* the observability layer end to end: the full probe-armed measurement the
+   `profile` CLI subcommand exposes, on the synthetic MJPEG FSL platform *)
+let profile_section () =
+  section "Profile - probe-armed MJPEG measurement (FSL platform)";
+  let seq = Mjpeg.Streams.synthetic () in
+  let result =
+    let ( let* ) = Result.bind in
+    let* app = Experiments.calibrated_mjpeg seq in
+    let* flow =
+      Result.map_error Core.Flow_error.to_string
+        (Core.Design_flow.run_auto app ~options:Experiments.flow_options
+           (Arch.Template.Use_fsl Arch.Fsl.default)
+           ())
+    in
+    let* p =
+      Result.map_error Core.Flow_error.to_string
+        (Core.Design_flow.profile flow
+           ~iterations:(Mjpeg.Streams.mcus seq)
+           ())
+    in
+    Ok (flow, p)
+  in
+  match result with
+  | Error e -> Printf.printf "failed: %s\n" e
+  | Ok (flow, p) ->
+      Format.printf "%a@." Core.Report.pp_profile (flow, p);
+      Printf.printf
+        "\ntrace: %d spans (%d bytes as Chrome JSON, %d bytes as VCD)\n"
+        (Sim.Trace.span_count p.Core.Design_flow.pf_trace)
+        (String.length (Sim.Trace.to_chrome_json p.Core.Design_flow.pf_trace))
+        (String.length (Sim.Trace.to_vcd p.Core.Design_flow.pf_trace))
+
 (* --- conformance sweep ----------------------------------------------------- *)
 
 let conformance_sweep () =
@@ -423,6 +458,7 @@ let () =
   section63 ();
   section531 ();
   ablations ();
+  profile_section ();
   conformance_sweep ();
   microbenchmarks ();
   line ();

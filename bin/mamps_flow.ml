@@ -249,6 +249,148 @@ let mjpeg_cmd =
       const run_mjpeg $ interconnect $ sequence $ output $ passes $ trace
       $ faults $ seed)
 
+(* --- profile ----------------------------------------------------------------- *)
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      Sys.mkdir d 0o755
+    end
+  in
+  go dir
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+(* flow + one fully-probed measurement of either the MJPEG case study or a
+   seeded conformance workload *)
+let run_profile seed interconnect sequence passes iterations out_dir =
+  let ( let* ) = Result.bind in
+  let flow_err r = Result.map_error Core.Flow_error.to_string r in
+  let result =
+    match seed with
+    | Some seed ->
+        let w = Gen.Workload.generate ~seed () in
+        let choice = Conformance.Engine.interconnect_for_seed seed in
+        let* flow =
+          flow_err (Core.Design_flow.run_auto w.Gen.Workload.application choice ())
+        in
+        let iters = Option.value iterations ~default:50 in
+        let* p = flow_err (Core.Design_flow.profile flow ~iterations:iters ()) in
+        Ok (Printf.sprintf "seed%d" seed, flow, p)
+    | None -> (
+        match Mjpeg.Streams.by_name sequence with
+        | None ->
+            Error
+              (Printf.sprintf "unknown sequence %S; available: %s" sequence
+                 (String.concat ", "
+                    (List.map
+                       (fun s -> s.Mjpeg.Streams.seq_name)
+                       (Mjpeg.Streams.all ()))))
+        | Some seq ->
+            let* app = Experiments.calibrated_mjpeg seq in
+            let* flow =
+              flow_err
+                (Core.Design_flow.run_auto app
+                   ~options:Experiments.flow_options
+                   (interconnect_of interconnect) ())
+            in
+            let iters =
+              Option.value iterations
+                ~default:(passes * Mjpeg.Streams.mcus seq)
+            in
+            let* p =
+              flow_err (Core.Design_flow.profile flow ~iterations:iters ())
+            in
+            Ok ("mjpeg-" ^ sequence, flow, p))
+  in
+  match result with
+  | Error msg ->
+      Printf.eprintf "profile failed: %s\n" msg;
+      1
+  | Ok (label, flow, p) ->
+      let report = Format.asprintf "%a" Core.Report.pp_profile (flow, p) in
+      print_string report;
+      print_newline ();
+      mkdir_p out_dir;
+      let path name = Filename.concat out_dir name in
+      write_file (path "profile.txt") report;
+      write_file (path "trace.json")
+        (Sim.Trace.to_chrome_json ~process_name:label
+           p.Core.Design_flow.pf_trace);
+      write_file (path "trace.vcd")
+        (Sim.Trace.to_vcd ~design:"mamps_platform"
+           p.Core.Design_flow.pf_trace);
+      Printf.printf
+        "wrote %s, %s (chrome://tracing) and %s (%d spans) for %s\n"
+        (path "profile.txt") (path "trace.json") (path "trace.vcd")
+        (Sim.Trace.span_count p.Core.Design_flow.pf_trace)
+        label;
+      0
+
+let profile_cmd =
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Profile the seeded conformance workload $(docv) (interconnect \
+             chosen as in the conformance matrix) instead of the MJPEG case \
+             study.")
+  in
+  let interconnect =
+    Arg.(
+      value
+      & opt (enum [ ("fsl", `Fsl); ("noc", `Noc) ]) `Fsl
+      & info [ "interconnect"; "i" ] ~docv:"KIND"
+          ~doc:"Interconnect for the MJPEG platform: $(b,fsl) or $(b,noc).")
+  in
+  let sequence =
+    Arg.(
+      value
+      & opt string "synthetic"
+      & info [ "sequence"; "s" ] ~docv:"NAME"
+          ~doc:"MJPEG test sequence to profile.")
+  in
+  let passes =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "passes" ] ~docv:"N"
+          ~doc:"Stream passes to simulate (MJPEG profile).")
+  in
+  let iterations =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:"Override the number of simulated graph iterations.")
+  in
+  let out_dir =
+    Arg.(
+      value
+      & opt string "_profile"
+      & info [ "out"; "o" ] ~docv:"DIR"
+          ~doc:
+            "Write $(b,profile.txt), $(b,trace.json) (Chrome tracing) and \
+             $(b,trace.vcd) here.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Measure a platform with every probe armed: per-link utilization, \
+          NoC hop loads, FIFO and descriptor-queue peaks, firing-latency \
+          histograms, flow phase times — plus a Chrome trace of every \
+          firing and token transfer")
+    Term.(
+      const run_profile $ seed $ interconnect $ sequence $ passes $ iterations
+      $ out_dir)
+
 (* --- experiments ------------------------------------------------------------------ *)
 
 let run_experiments () =
@@ -347,4 +489,4 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "mamps_flow" ~version:"1.0.0" ~doc)
-          [ graph_cmd; mjpeg_cmd; experiments_cmd; conformance_cmd ]))
+          [ graph_cmd; mjpeg_cmd; profile_cmd; experiments_cmd; conformance_cmd ]))

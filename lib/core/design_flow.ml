@@ -97,11 +97,48 @@ let run_auto app ?tiles ?options choice () =
   in
   run_with_arch_time app platform ?options ~architecture_generation:arch_time ()
 
-let measure t ~iterations ?timing ?faults ?max_cycles ?trace () =
+let measure t ~iterations ?timing ?faults ?max_cycles ?metrics ?trace () =
   Result.map_error
     (fun e -> Flow_error.Simulation_failed e)
     (Sim.Platform_sim.run t.mapping ~iterations ?timing ?faults ?max_cycles
-       ?trace ())
+       ?metrics ?trace ())
+
+type profile = {
+  pf_result : Sim.Platform_sim.result;
+  pf_metrics : Obs.Metrics.t;
+  pf_trace : Sim.Trace.t;
+  pf_measure_seconds : float;
+}
+
+(* phase wall times land in the registry in microseconds so the whole
+   profile (flow phases + simulated cycle breakdown) lives in one place *)
+let phase_us metrics name seconds =
+  Obs.Metrics.incr metrics
+    ~by:(int_of_float (seconds *. 1e6))
+    ("phase." ^ name ^ ".us")
+
+let profile t ~iterations ?timing ?faults ?max_cycles () =
+  let metrics = Obs.Metrics.create () in
+  let collector = Sim.Trace.create () in
+  let result, measure_seconds =
+    timed (fun () ->
+        measure t ~iterations ?timing ?faults ?max_cycles ~metrics
+          ~trace:(Sim.Trace.sink collector) ())
+  in
+  phase_us metrics "architecture_generation" t.times.architecture_generation;
+  phase_us metrics "mapping" t.times.mapping;
+  phase_us metrics "platform_generation" t.times.platform_generation;
+  phase_us metrics "synthesis" t.times.synthesis;
+  phase_us metrics "measure" measure_seconds;
+  Result.map
+    (fun r ->
+      {
+        pf_result = r;
+        pf_metrics = metrics;
+        pf_trace = collector;
+        pf_measure_seconds = measure_seconds;
+      })
+    result
 
 type multi = {
   combined : t;

@@ -58,15 +58,46 @@ val measure :
   ?timing:Sim.Platform_sim.timing ->
   ?faults:Sim.Fault.spec ->
   ?max_cycles:int ->
+  ?metrics:Obs.Metrics.t ->
   ?trace:(tile:string -> label:string -> start:int -> finish:int -> unit) ->
   unit ->
   (Sim.Platform_sim.result, Flow_error.t) result
 (** Execute the generated platform — the reproduction's equivalent of
     running the bit file on the FPGA and measuring. [faults] injects a
     seeded fault scenario ({!Sim.Fault.scenario}); [max_cycles] arms the
-    simulator's watchdog. A platform deadlock comes back as
-    {!Flow_error.Simulation_failed} carrying the structured
+    simulator's watchdog; [metrics] collects the simulator's observability
+    profile (see {!Sim.Platform_sim.run}). A platform deadlock comes back
+    as {!Flow_error.Simulation_failed} carrying the structured
     {!Sim.Diagnosis.t} (see {!Flow_error.deadlock_diagnosis}). *)
+
+(** {1 Profiling}
+
+    Where each cycle (and each second of tool time) goes: one measured run
+    with every probe armed — the flame-level view behind the paper's
+    predicted-vs-measured comparison (Figure 6). *)
+
+type profile = {
+  pf_result : Sim.Platform_sim.result;
+  pf_metrics : Obs.Metrics.t;
+      (** simulator probes plus [phase.<name>.us] counters for every
+          automated flow step and the simulation itself *)
+  pf_trace : Sim.Trace.t;
+      (** every PE busy interval and link token transfer — export with
+          {!Sim.Trace.to_chrome_json} or {!Sim.Trace.to_vcd} *)
+  pf_measure_seconds : float;  (** wall time of the simulation *)
+}
+
+val profile :
+  t ->
+  iterations:int ->
+  ?timing:Sim.Platform_sim.timing ->
+  ?faults:Sim.Fault.spec ->
+  ?max_cycles:int ->
+  unit ->
+  (profile, Flow_error.t) result
+(** [measure] with a fresh metrics registry and trace collector attached,
+    and the flow's own step times recorded as [phase.*] counters. Render
+    with {!Report.pp_profile}. *)
 
 (** {1 Multiple applications}
 

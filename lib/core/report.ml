@@ -46,6 +46,149 @@ let pp_throughput_table ppf rows =
     rows;
   Format.fprintf ppf "(MCUs per MHz per second)@]"
 
+(* --- the structured profile report -------------------------------------- *)
+
+let percent part total =
+  if total <= 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int total
+
+(* counters under "link." grouped by channel: "data.words" -> ("data", "words") *)
+let group_by_channel entries =
+  let split name =
+    match String.rindex_opt name '.' with
+    | None -> (name, "")
+    | Some i ->
+        (String.sub name 0 i, String.sub name (i + 1) (String.length name - i - 1))
+  in
+  List.fold_left
+    (fun acc (name, v) ->
+      let ch, field = split name in
+      let fields = try List.assoc ch acc with Not_found -> [] in
+      (ch, (field, v) :: fields) :: List.remove_assoc ch acc)
+    [] entries
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp_profile ppf ((flow : Design_flow.t), (p : Design_flow.profile)) =
+  let open Format in
+  let m = p.Design_flow.pf_metrics in
+  let r = p.Design_flow.pf_result in
+  let cycles = Obs.Metrics.counter m "sim.cycles" in
+  fprintf ppf "@[<v>";
+  fprintf ppf "profile: %s on %s@,"
+    (Appmodel.Application.name flow.Design_flow.application)
+    flow.Design_flow.platform.Arch.Platform.platform_name;
+  fprintf ppf "%s@," (String.make 72 '=');
+  (* phases *)
+  fprintf ppf "flow phases (wall time):@,";
+  let times = flow.Design_flow.times in
+  List.iter
+    (fun (label, seconds) ->
+      fprintf ppf "  %-36s %9.3f s@," label seconds)
+    [
+      ("architecture generation", times.Design_flow.architecture_generation);
+      ("mapping (SDF3)", times.Design_flow.mapping);
+      ("platform generation (MAMPS)", times.Design_flow.platform_generation);
+      ("synthesis (elaboration)", times.Design_flow.synthesis);
+      ("platform simulation", p.Design_flow.pf_measure_seconds);
+    ];
+  (* simulation summary *)
+  let measured = Sim.Platform_sim.steady_throughput r in
+  fprintf ppf "simulated: %d iterations in %d cycles (steady %s iter/cycle)@,"
+    r.Sim.Platform_sim.iterations r.Sim.Platform_sim.total_cycles
+    (Rational.to_string measured);
+  (match flow.Design_flow.guarantee with
+  | Some g ->
+      let slack =
+        if Rational.sign g > 0 then
+          (Rational.to_float measured /. Rational.to_float g -. 1.0) *. 100.0
+        else 0.0
+      in
+      fprintf ppf "guarantee: %s iter/cycle (measured %+.1f%% vs bound%s)@,"
+        (Rational.to_string g) slack
+        (if Rational.compare measured g >= 0 then "" else ", VIOLATED")
+  | None -> fprintf ppf "guarantee: none (analysis did not converge)@,");
+  (* per-tile PE usage *)
+  fprintf ppf "@,per-tile PE usage (of %d cycles):@," cycles;
+  List.iter
+    (fun (tile, busy) ->
+      fprintf ppf "  %-10s busy %10d cycles  %5.1f%%@," tile busy
+        (percent busy cycles))
+    r.Sim.Platform_sim.tile_busy;
+  (* per-link traffic *)
+  (match group_by_channel (Obs.Metrics.with_prefix m "link") with
+  | [] -> fprintf ppf "@,no inter-tile links (single-tile mapping)@,"
+  | links ->
+      fprintf ppf
+        "@,per-link traffic (utilization of %d cycles; waits are pacing \
+         backlog):@,"
+        cycles;
+      List.iter
+        (fun (ch, fields) ->
+          let f name = try List.assoc name fields with Not_found -> 0 in
+          let words = f "words" in
+          let busy = f "busy_cycles" in
+          let wait = f "wait_cycles" in
+          fprintf ppf
+            "  %-14s %8d words  busy %8d cycles (%5.1f%%)  wait %8d cycles \
+             (%.2f/word)  fifo peak %4d  queue peak %3d@,"
+            ch words busy (percent busy cycles) wait
+            (if words = 0 then 0.0 else float_of_int wait /. float_of_int words)
+            (Obs.Metrics.high_water m ("link." ^ ch ^ ".fifo_words"))
+            (Obs.Metrics.high_water m ("link." ^ ch ^ ".pending_tokens")))
+        links);
+  (* NoC hop loads *)
+  (match Obs.Metrics.with_prefix m "noc.hop" with
+  | [] -> ()
+  | hops ->
+      fprintf ppf "@,NoC hop load (words per directed mesh link):@,";
+      List.iter
+        (fun (hop, words) ->
+          let hop =
+            match String.rindex_opt hop '.' with
+            | Some i -> String.sub hop 0 i
+            | None -> hop
+          in
+          fprintf ppf "  %-10s %8d@," hop words)
+        (List.sort (fun (_, a) (_, b) -> compare b a) hops));
+  (* intra-tile channel occupancy *)
+  let channel_peaks =
+    List.filter_map
+      (fun (name, (g : Obs.Metrics.gauge)) ->
+        let n = String.length name in
+        if n > 15 && String.sub name 0 8 = "channel." then
+          Some (String.sub name 8 (n - 8 - 7), g.Obs.Metrics.g_high_water)
+        else None)
+      (Obs.Metrics.gauges m)
+  in
+  (match channel_peaks with
+  | [] -> ()
+  | peaks ->
+      fprintf ppf "@,intra-tile channel occupancy (peak tokens):@,";
+      List.iter (fun (ch, peak) -> fprintf ppf "  %-14s %4d@," ch peak) peaks);
+  (* firing-latency histograms *)
+  (match Obs.Metrics.histograms m with
+  | [] -> ()
+  | hists ->
+      fprintf ppf "@,firing latency (cycles):@,";
+      List.iter
+        (fun (name, (h : Obs.Metrics.histogram)) ->
+          let actor =
+            let n = String.length name in
+            if n > 12 && String.sub name 0 5 = "fire." then
+              String.sub name 5 (n - 5 - 7)
+            else name
+          in
+          fprintf ppf "  %-12s n=%-7d mean %8.1f  min %6d  max %6d  "
+            actor (h.Obs.Metrics.h_count)
+            (Obs.Metrics.mean h) h.Obs.Metrics.h_min h.Obs.Metrics.h_max;
+          let total = Stdlib.max 1 h.Obs.Metrics.h_count in
+          List.iter
+            (fun (bound, count) ->
+              fprintf ppf "[<=%d: %d%%] " bound (100 * count / total))
+            h.Obs.Metrics.h_buckets;
+          fprintf ppf "@,")
+        hists);
+  fprintf ppf "@]"
+
 let pp_effort_table ppf (times : Design_flow.step_times) =
   let manual =
     [

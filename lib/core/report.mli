@@ -26,6 +26,16 @@ val margin_percent : throughput_row -> float option
 
 val pp_throughput_table : Format.formatter -> throughput_row list -> unit
 
+val pp_profile :
+  Format.formatter -> Design_flow.t * Design_flow.profile -> unit
+(** The structured text profile of one measured run: flow phase wall
+    times, the simulated cycle count against the guarantee, per-tile PE
+    utilization, per-link traffic (words, wire occupancy, pacing waits,
+    FIFO and descriptor-queue peaks), NoC per-hop word loads, intra-tile
+    channel occupancy peaks, and per-actor firing-latency histograms —
+    every number drawn from the {!Obs.Metrics} registry the simulator
+    filled (see {!Sim.Platform_sim.run}). *)
+
 (** Table 1: manual steps are quoted from the paper, automated steps get
     the times measured by this run of the flow. *)
 val pp_effort_table :

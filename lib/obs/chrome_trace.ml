@@ -1,0 +1,88 @@
+type event = {
+  ev_track : string;
+  ev_name : string;
+  ev_start : int;
+  ev_dur : int;
+}
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json ?(process_name = "mamps platform") events =
+  let tracks =
+    List.sort_uniq String.compare (List.map (fun e -> e.ev_track) events)
+  in
+  let tid_of =
+    let tbl = Hashtbl.create 16 in
+    List.iteri (fun i track -> Hashtbl.add tbl track i) tracks;
+    Hashtbl.find tbl
+  in
+  let b = Buffer.create 4096 in
+  let comma = ref false in
+  let add_record fields =
+    if !comma then Buffer.add_string b ",\n";
+    comma := true;
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\"%s\":%s" k v))
+      fields;
+    Buffer.add_char b '}'
+  in
+  let str s = Printf.sprintf "\"%s\"" (escape s) in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  add_record
+    [
+      ("name", str "process_name");
+      ("ph", str "M");
+      ("pid", "0");
+      ("tid", "0");
+      ("args", Printf.sprintf "{\"name\":%s}" (str process_name));
+    ];
+  List.iteri
+    (fun i track ->
+      add_record
+        [
+          ("name", str "thread_name");
+          ("ph", str "M");
+          ("pid", "0");
+          ("tid", string_of_int i);
+          ("args", Printf.sprintf "{\"name\":%s}" (str track));
+        ];
+      add_record
+        [
+          ("name", str "thread_sort_index");
+          ("ph", str "M");
+          ("pid", "0");
+          ("tid", string_of_int i);
+          ("args", Printf.sprintf "{\"sort_index\":%d}" i);
+        ])
+    tracks;
+  List.iter
+    (fun e ->
+      add_record
+        [
+          ("name", str e.ev_name);
+          ("ph", str "X");
+          ("pid", "0");
+          ("tid", string_of_int (tid_of e.ev_track));
+          ("ts", string_of_int e.ev_start);
+          ("dur", string_of_int (Stdlib.max 0 e.ev_dur));
+        ])
+    events;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b

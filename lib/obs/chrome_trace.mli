@@ -1,0 +1,23 @@
+(** Export to the Chrome tracing JSON format.
+
+    The output is a Trace Event Format document ([chrome://tracing],
+    Perfetto, Speedscope all read it): one complete event ([ph = "X"]) per
+    busy interval, one named thread track per tile or link, timestamps in
+    the simulator's cycles (1 cycle rendered as 1 us). Strings are escaped
+    so the document is always valid JSON. *)
+
+type event = {
+  ev_track : string;  (** track (rendered as a named thread), e.g. ["tile0"] or ["link:data"] *)
+  ev_name : string;  (** event label, e.g. the actor fired *)
+  ev_start : int;  (** cycle the interval begins *)
+  ev_dur : int;  (** cycles; non-positive durations are clamped to 0 *)
+}
+
+val to_json : ?process_name:string -> event list -> string
+(** A complete JSON document: [{"traceEvents": [...]}] with thread-name
+    metadata for every distinct track (tracks sorted by name, so tile and
+    link rows group together) followed by the events in the given order.
+    [process_name] (default ["mamps platform"]) names the single process. *)
+
+val escape : string -> string
+(** JSON string-content escaping (quotes, backslashes, control chars). *)

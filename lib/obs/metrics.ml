@@ -1,0 +1,140 @@
+type gauge = { g_current : int; g_high_water : int }
+
+type hist = {
+  mutable hs_count : int;
+  mutable hs_sum : int;
+  mutable hs_min : int;
+  mutable hs_max : int;
+  hs_buckets : int array;  (* index = bit width of the sample *)
+}
+
+type histogram = {
+  h_count : int;
+  h_sum : int;
+  h_min : int;
+  h_max : int;
+  h_buckets : (int * int) list;
+}
+
+type t = {
+  t_counters : (string, int ref) Hashtbl.t;
+  t_gauges : (string, gauge ref) Hashtbl.t;
+  t_hists : (string, hist) Hashtbl.t;
+}
+
+let create () =
+  {
+    t_counters = Hashtbl.create 64;
+    t_gauges = Hashtbl.create 64;
+    t_hists = Hashtbl.create 64;
+  }
+
+let incr t ?(by = 1) name =
+  match Hashtbl.find_opt t.t_counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.t_counters name (ref by)
+
+let counter t name =
+  match Hashtbl.find_opt t.t_counters name with Some r -> !r | None -> 0
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = sorted_bindings t.t_counters ( ! )
+
+let gauge_set t name v =
+  match Hashtbl.find_opt t.t_gauges name with
+  | Some r -> r := { g_current = v; g_high_water = Stdlib.max v !r.g_high_water }
+  | None ->
+      Hashtbl.add t.t_gauges name
+        (ref { g_current = v; g_high_water = Stdlib.max v 0 })
+
+let gauge t name = Option.map ( ! ) (Hashtbl.find_opt t.t_gauges name)
+
+let high_water t name =
+  match gauge t name with Some g -> g.g_high_water | None -> 0
+
+let gauges t = sorted_bindings t.t_gauges ( ! )
+
+(* bucket 0 holds {0}, bucket i >= 1 holds [2^(i-1), 2^i - 1] *)
+let bucket_index v =
+  let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+  bits 0 v
+
+let bucket_bound i = if i = 0 then 0 else (1 lsl i) - 1
+
+let observe t name v =
+  let v = Stdlib.max 0 v in
+  let h =
+    match Hashtbl.find_opt t.t_hists name with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            hs_count = 0;
+            hs_sum = 0;
+            hs_min = max_int;
+            hs_max = 0;
+            hs_buckets = Array.make 64 0;
+          }
+        in
+        Hashtbl.add t.t_hists name h;
+        h
+  in
+  h.hs_count <- h.hs_count + 1;
+  h.hs_sum <- h.hs_sum + v;
+  h.hs_min <- Stdlib.min h.hs_min v;
+  h.hs_max <- Stdlib.max h.hs_max v;
+  let i = bucket_index v in
+  h.hs_buckets.(i) <- h.hs_buckets.(i) + 1
+
+let summarize h =
+  let buckets = ref [] in
+  Array.iteri
+    (fun i c -> if c > 0 then buckets := (bucket_bound i, c) :: !buckets)
+    h.hs_buckets;
+  {
+    h_count = h.hs_count;
+    h_sum = h.hs_sum;
+    h_min = (if h.hs_count = 0 then 0 else h.hs_min);
+    h_max = h.hs_max;
+    h_buckets = List.rev !buckets;
+  }
+
+let histogram t name =
+  Option.map summarize (Hashtbl.find_opt t.t_hists name)
+
+let histograms t = sorted_bindings t.t_hists summarize
+
+let mean h =
+  if h.h_count = 0 then 0.0
+  else float_of_int h.h_sum /. float_of_int h.h_count
+
+let with_prefix t prefix =
+  let p = prefix ^ "." in
+  let n = String.length p in
+  List.filter_map
+    (fun (name, v) ->
+      if String.length name > n && String.sub name 0 n = p then
+        Some (String.sub name n (String.length name - n), v)
+      else None)
+    (counters t)
+
+let pp ppf t =
+  let open Format in
+  fprintf ppf "@[<v>";
+  List.iter
+    (fun (name, v) -> fprintf ppf "counter %-40s %d@," name v)
+    (counters t);
+  List.iter
+    (fun (name, g) ->
+      fprintf ppf "gauge   %-40s current %d, peak %d@," name g.g_current
+        g.g_high_water)
+    (gauges t);
+  List.iter
+    (fun (name, h) ->
+      fprintf ppf "hist    %-40s n=%d mean=%.1f min=%d max=%d@," name h.h_count
+        (mean h) h.h_min h.h_max)
+    (histograms t);
+  fprintf ppf "@]"

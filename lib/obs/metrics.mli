@@ -1,0 +1,68 @@
+(** A lightweight metrics registry: counters, gauges with high-water
+    marks, and power-of-two-bucketed histograms.
+
+    The platform simulator and the design flow record their probes here
+    (per-link word counts, FIFO occupancy peaks, per-actor firing-latency
+    distributions, phase timings) so a run can be profiled without
+    changing its result type — an absent registry costs nothing.
+
+    Names are free-form dotted paths ([link.data.words],
+    [fire.vld.cycles]); listing functions return them sorted so reports
+    and tests are deterministic. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} — monotonically accumulated integers. *)
+
+val incr : t -> ?by:int -> string -> unit
+(** [incr t name] adds [by] (default 1) to the counter, creating it at 0. *)
+
+val counter : t -> string -> int
+(** Current value; 0 when never incremented. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+(** {1 Gauges} — sampled levels whose peak is retained. *)
+
+type gauge = {
+  g_current : int;  (** last sampled value *)
+  g_high_water : int;  (** maximum ever sampled *)
+}
+
+val gauge_set : t -> string -> int -> unit
+val gauge : t -> string -> gauge option
+val high_water : t -> string -> int
+(** Peak sampled value; 0 when never set. *)
+
+val gauges : t -> (string * gauge) list
+
+(** {1 Histograms} — distributions in power-of-two buckets. *)
+
+type histogram = {
+  h_count : int;
+  h_sum : int;
+  h_min : int;
+  h_max : int;
+  h_buckets : (int * int) list;
+      (** (inclusive upper bound, count) for each non-empty bucket, in
+          increasing order; bounds are [0, 1, 3, 7, 15, ...] *)
+}
+
+val observe : t -> string -> int -> unit
+(** Record one sample (negative samples clamp to 0). *)
+
+val histogram : t -> string -> histogram option
+val histograms : t -> (string * histogram) list
+val mean : histogram -> float
+
+(** {1 Reporting} *)
+
+val with_prefix : t -> string -> (string * int) list
+(** Counters whose name starts with [prefix ^ "."], with the prefix and
+    dot stripped — e.g. [with_prefix t "link"] lists per-link counters. *)
+
+val pp : Format.formatter -> t -> unit
+(** Dump every metric, grouped by kind, names sorted. *)

@@ -1,10 +1,29 @@
 type t = { num : int; den : int }
 
+exception Overflow
+
 let rec gcd_int a b =
   let a = abs a and b = abs b in
   if b = 0 then a else gcd_int b (a mod b)
 
-let lcm_int a b = if a = 0 || b = 0 then 0 else abs (a / gcd_int a b * b)
+(* Overflow-checked native multiplication: the product wraps silently, but
+   dividing it back detects every wrap (the operands here are never
+   [min_int] -- values are normalized with positive denominators). *)
+let mul_int_exn a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / b <> a then raise Overflow;
+    p
+
+let add_int_exn a b =
+  let s = a + b in
+  (* same-sign operands whose sum flips sign have wrapped *)
+  if a >= 0 = (b >= 0) && s >= 0 <> (a >= 0) then raise Overflow;
+  s
+
+let lcm_int a b =
+  if a = 0 || b = 0 then 0 else abs (mul_int_exn (a / gcd_int a b) b)
 
 let make num den =
   if den = 0 then invalid_arg "Rational.make: zero denominator";
@@ -16,25 +35,67 @@ let make num den =
 let of_int n = { num = n; den = 1 }
 let zero = of_int 0
 let one = of_int 1
-let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
-let sub a b = make ((a.num * b.den) - (b.num * a.den)) (a.den * b.den)
-let mul a b = make (a.num * b.num) (a.den * b.den)
 
-let div a b =
-  if b.num = 0 then raise Division_by_zero;
-  make (a.num * b.den) (a.den * b.num)
+(* a/b + c/d over the least common denominator: reducing b and d by their
+   gcd first keeps the intermediates as small as the result allows; any
+   overflow that remains is inherent to the value and raises. *)
+let add a b =
+  let g = gcd_int a.den b.den in
+  let num =
+    add_int_exn
+      (mul_int_exn a.num (b.den / g))
+      (mul_int_exn b.num (a.den / g))
+  in
+  let den = mul_int_exn a.den (b.den / g) in
+  make num den
 
 let neg a = { a with num = -a.num }
+let sub a b = add a (neg b)
+
+(* cross-reduce before multiplying: gcd(a.num, b.den) and gcd(b.num, a.den)
+   cancel exactly the factors the normalized result drops, so the products
+   never exceed the result's own magnitude *)
+let mul a b =
+  let g1 = gcd_int a.num b.den and g2 = gcd_int b.num a.den in
+  let g1 = if g1 = 0 then 1 else g1 and g2 = if g2 = 0 then 1 else g2 in
+  let num = mul_int_exn (a.num / g1) (b.num / g2) in
+  let den = mul_int_exn (a.den / g2) (b.den / g1) in
+  if num = 0 then zero else { num; den }
 
 let inv a =
   if a.num = 0 then raise Division_by_zero;
   make a.den a.num
 
-let compare a b = Stdlib.compare (a.num * b.den) (b.num * a.den)
+let div a b =
+  if b.num = 0 then raise Division_by_zero;
+  mul a (inv b)
+
+let sign a = Stdlib.compare a.num 0
+
+(* Exact comparison without widening: compare the integer parts (floor
+   division), then recurse on the flipped fractional remainders -- the
+   continued-fraction expansion. Never multiplies, so never overflows. *)
+let compare a b =
+  let fdiv n d =
+    let q = n / d in
+    if n mod d < 0 then q - 1 else q
+  in
+  let rec cmp n1 d1 n2 d2 =
+    let q1 = fdiv n1 d1 and q2 = fdiv n2 d2 in
+    if q1 <> q2 then Stdlib.compare q1 q2
+    else
+      let r1 = n1 - (q1 * d1) and r2 = n2 - (q2 * d2) in
+      if r1 = 0 && r2 = 0 then 0
+      else if r1 = 0 then -1
+      else if r2 = 0 then 1
+      else cmp d2 r2 d1 r1
+  in
+  if a.den = b.den then Stdlib.compare a.num b.num
+  else cmp a.num a.den b.num b.den
+
 let equal a b = a.num = b.num && a.den = b.den
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
-let sign a = Stdlib.compare a.num 0
 let is_integer a = a.den = 1
 
 let to_int_exn a =

@@ -8,6 +8,14 @@
 
 type t = private { num : int; den : int }
 
+exception Overflow
+(** Raised by {!add}, {!sub}, {!mul}, {!div} and {!lcm_int} when the exact
+    result cannot be represented in native integers even after reducing
+    the operands by their gcds. Large repetition vectors can produce such
+    values; the old silent wraparound corrupted throughput orderings.
+    {!compare} never raises: it uses an overflow-free continued-fraction
+    comparison. *)
+
 val make : int -> int -> t
 (** [make num den] is the normalized fraction [num/den].
     @raise Invalid_argument if [den = 0]. *)
@@ -52,3 +60,4 @@ val gcd_int : int -> int -> int
 (** Greatest common divisor of the absolute values; [gcd_int 0 0 = 0]. *)
 
 val lcm_int : int -> int -> int
+(** @raise Overflow when the least common multiple exceeds [max_int]. *)

@@ -54,8 +54,10 @@ let error_to_string e = Format.asprintf "%a" pp_error e
    background. Words not yet taken by the reader occupy FIFO space. *)
 type link = {
   lk_name : string;  (** original channel name, for faults and diagnosis *)
+  lk_track : string;  (** trace track for token transfers: "link:<name>" *)
   lk_params : Comm_map.channel_params;
   lk_words : int;  (** words per token *)
+  lk_route : (int * int) list;  (** NoC hops of the connection; [] on FSL *)
   word_arrivals : int Queue.t;  (** arrival time of each unread word *)
   tokens_pending : (Token.t * int) Queue.t;  (** values, ready_at (CA only) *)
   mutable words_in_flight : int;
@@ -63,10 +65,20 @@ type link = {
   mutable src_ca_busy : int;
       (** the source CA context serving this connection, busy-until *)
   mutable dst_ca_busy : int;
+  (* observability accumulators, flushed into the metrics registry *)
+  mutable tok_entry : int;  (** entry time of the current token's first word *)
+  mutable st_words : int;  (** words pushed through the link *)
+  mutable st_wait : int;  (** cycles words waited for link pacing *)
+  mutable st_fifo_hw : int;  (** peak words_in_flight *)
+  mutable st_queue_hw : int;  (** peak pending-token (CA descriptor) depth *)
 }
 
 type channel_state =
-  | Local of { queue : Token.t Queue.t; capacity : int }
+  | Local of {
+      queue : Token.t Queue.t;
+      capacity : int;
+      mutable occ_hw : int;  (** peak queued tokens *)
+    }
   | Remote of link
 
 (* --- tile processes ----------------------------------------------------- *)
@@ -94,7 +106,7 @@ let blank_token (c : Graph.channel) =
   }
 
 let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
-    ?(faults = Fault.none) ?max_cycles ?(observe = fun _ _ -> ())
+    ?(faults = Fault.none) ?max_cycles ?metrics ?(observe = fun _ _ -> ())
     ?(trace = fun ~tile:_ ~label:_ ~start:_ ~finish:_ -> ()) () =
   let fstate = Fault.start faults in
   let app = mapping.Flow_map.application in
@@ -116,6 +128,21 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
     Option.value ~default:max_int
       (List.assoc_opt name mapping.Flow_map.expansion.Comm_map.intra_capacities)
   in
+  (* the XY route of an inter-tile connection, for per-hop NoC load
+     attribution; empty on point-to-point platforms *)
+  let route_of src dst =
+    match mapping.Flow_map.noc_allocation with
+    | None -> []
+    | Some alloc -> (
+        match
+          List.find_opt
+            (fun (conn : Arch.Noc.connection) ->
+              conn.Arch.Noc.conn_src = src && conn.Arch.Noc.conn_dst = dst)
+            alloc.Arch.Noc.connections
+        with
+        | Some conn -> conn.Arch.Noc.conn_route
+        | None -> [])
+  in
   let channels =
     Array.of_list
       (List.map
@@ -126,19 +153,32 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
                Array.iter
                  (fun tok -> Queue.add tok queue)
                  (Application.initial_values app c.channel_name);
-               Local { queue; capacity = intra_capacity c.channel_name }
+               Local
+                 {
+                   queue;
+                   capacity = intra_capacity c.channel_name;
+                   occ_hw = Queue.length queue;
+                 }
            | Some ic ->
                let link =
                  {
                    lk_name = c.channel_name;
+                   lk_track = "link:" ^ c.channel_name;
                    lk_params = ic.Comm_map.ic_params;
                    lk_words = ic.Comm_map.ic_words;
+                   lk_route =
+                     route_of ic.Comm_map.ic_src_tile ic.Comm_map.ic_dst_tile;
                    word_arrivals = Queue.create ();
                    tokens_pending = Queue.create ();
                    words_in_flight = 0;
                    next_entry = 0;
                    src_ca_busy = 0;
                    dst_ca_busy = 0;
+                   tok_entry = 0;
+                   st_words = 0;
+                   st_wait = 0;
+                   st_fifo_hw = 0;
+                   st_queue_hw = 0;
                  }
                in
                (* initial tokens were shipped over the link by the
@@ -152,6 +192,8 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
                    done;
                    link.words_in_flight <- link.words_in_flight + link.lk_words)
                  (Application.initial_values app c.channel_name);
+               link.st_fifo_hw <- link.words_in_flight;
+               link.st_queue_hw <- Queue.length link.tokens_pending;
                Remote link)
          (Graph.channels g))
   in
@@ -193,6 +235,13 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
       mapping.Flow_map.actor_orders
   in
   let now = ref 0 in
+  let fire_metric =
+    match metrics with
+    | None -> [||]
+    | Some _ ->
+        Array.init n (fun a ->
+            "fire." ^ (Graph.actor g a).Graph.actor_name ^ ".cycles")
+  in
   let firing_counts = Array.make n 0 in
   let wcet_violations = Array.make n 0 in
   let iteration_ends = ref [] in
@@ -219,13 +268,24 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
     cost
   in
   (* pushing one word through a link: respects link pacing and any injected
-     stall/jitter/retransmission, returns arrival *)
+     stall/jitter/retransmission, returns (entry, arrival) *)
   let push_word link ~enter_at =
     let enter_at = Fault.word_entry fstate ~channel:link.lk_name ~cycle:enter_at in
     let entry = Stdlib.max link.next_entry enter_at in
     link.next_entry <- entry + link.lk_params.Comm_map.rate_cycles_per_word;
-    entry + link.lk_params.Comm_map.latency_cycles
-    + Fault.word_extra_latency fstate ~channel:link.lk_name ~cycle:entry
+    link.st_words <- link.st_words + 1;
+    link.st_wait <- link.st_wait + (entry - enter_at);
+    ( entry,
+      entry + link.lk_params.Comm_map.latency_cycles
+      + Fault.word_extra_latency fstate ~channel:link.lk_name ~cycle:entry )
+  in
+  let note_fifo link =
+    if link.words_in_flight > link.st_fifo_hw then
+      link.st_fifo_hw <- link.words_in_flight
+  in
+  let note_queue link =
+    let depth = Queue.length link.tokens_pending in
+    if depth > link.st_queue_hw then link.st_queue_hw <- depth
   in
   (* A CA (or IP streamer) ships a whole token in the background. Each
      connection has its own CA context (a DMA channel), matching the
@@ -236,11 +296,17 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
       Stdlib.max link.src_ca_busy !now + params.Comm_map.setup_time
     in
     let last_arrival = ref !now in
+    let first_entry = ref !now in
     for k = 1 to link.lk_words do
-      last_arrival :=
-        push_word link ~enter_at:(start + (k * params.Comm_map.ser_per_word));
+      let entry, arrival =
+        push_word link ~enter_at:(start + (k * params.Comm_map.ser_per_word))
+      in
+      if k = 1 then first_entry := entry;
+      last_arrival := arrival;
       Queue.add !last_arrival link.word_arrivals
     done;
+    trace ~tile:link.lk_track ~label:"xfer" ~start:!first_entry
+      ~finish:!last_arrival;
     link.src_ca_busy <- start + (link.lk_words * params.Comm_map.ser_per_word);
     let ready =
       if params.Comm_map.deser_on_pe then !last_arrival
@@ -255,7 +321,9 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
       end
     in
     Queue.add (tok, ready) link.tokens_pending;
-    link.words_in_flight <- link.words_in_flight + link.lk_words
+    note_queue link;
+    link.words_in_flight <- link.words_in_flight + link.lk_words;
+    note_fifo link
   in
   let try_step p =
     if p.busy_until > !now then false
@@ -353,6 +421,9 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
           p.outputs <- impl.Actor_impl.fire explicit_bundle;
           p.bundle <- [];
           let cycles = pe_busy p actor.Graph.actor_name cycles in
+          (match metrics with
+          | Some m -> Obs.Metrics.observe m fire_metric.(actor.actor_id) cycles
+          | None -> ());
           if cycles > impl.Actor_impl.metrics.Metrics.wcet then
             wcet_violations.(actor.actor_id) <-
               wcet_violations.(actor.actor_id) + 1;
@@ -376,13 +447,16 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
             else Array.init c.production_rate (fun _ -> blank_token c)
           in
           match channels.(c.channel_id) with
-          | Local { queue; capacity } ->
-              if capacity - Queue.length queue >= c.production_rate then begin
+          | Local ch ->
+              if ch.capacity - Queue.length ch.queue >= c.production_rate
+              then begin
                 Array.iter
                   (fun tok ->
                     observe c.channel_name tok;
-                    Queue.add tok queue)
+                    Queue.add tok ch.queue)
                   (tokens ());
+                let occ = Queue.length ch.queue in
+                if occ > ch.occ_hw then ch.occ_hw <- occ;
                 advance_pc p;
                 true
               end
@@ -409,17 +483,23 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
                        else 0)
                   in
                   let cost = pe_busy p ("ser:" ^ c.channel_name) cost in
-                  let arrival =
+                  let entry, arrival =
                     push_word link ~enter_at:(!now + cost)
                   in
+                  if p.progress mod link.lk_words = 0 then
+                    link.tok_entry <- entry;
                   Queue.add arrival link.word_arrivals;
                   link.words_in_flight <- link.words_in_flight + 1;
+                  note_fifo link;
                   p.progress <- p.progress + 1;
                   if p.progress mod link.lk_words = 0 then begin
                     let index = (p.progress / link.lk_words) - 1 in
                     let tok = (tokens ()).(index) in
                     observe c.channel_name tok;
-                    Queue.add (tok, arrival) link.tokens_pending
+                    Queue.add (tok, arrival) link.tokens_pending;
+                    note_queue link;
+                    trace ~tile:link.lk_track ~label:"xfer"
+                      ~start:link.tok_entry ~finish:arrival
                   end;
                   true
                 end
@@ -500,7 +580,7 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
                 let consumer = (Graph.actor g c.target).Graph.actor_name in
                 let peer = Binding.tile_of binding consumer in
                 match channels.(c.channel_id) with
-                | Local { queue; capacity } ->
+                | Local { queue; capacity; _ } ->
                     describe p
                       (Diagnosis.Waiting_write
                          {
@@ -587,6 +667,52 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
        end
      done
    with Exit -> ());
+  (* flush the per-link/-channel/-tile accumulators into the registry (on
+     failures too: a profile of a deadlocked run is exactly what the
+     diagnosis wants next to it) *)
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      let open Obs.Metrics in
+      incr m ~by:!iterations_done "sim.iterations";
+      incr m ~by:!now "sim.cycles";
+      List.iter
+        (fun p ->
+          incr m
+            ~by:p.busy_accum
+            (Printf.sprintf "tile.tile%d.busy_cycles" p.tile))
+        procs;
+      let channel_names =
+        Array.of_list
+          (List.map
+             (fun (c : Graph.channel) -> c.Graph.channel_name)
+             (Graph.channels g))
+      in
+      Array.iteri
+        (fun i state ->
+          match state with
+          | Local ch ->
+              let name = "channel." ^ channel_names.(i) ^ ".tokens" in
+              gauge_set m name ch.occ_hw;
+              gauge_set m name (Queue.length ch.queue)
+          | Remote link ->
+              let pre = "link." ^ link.lk_name in
+              incr m ~by:link.st_words (pre ^ ".words");
+              incr m
+                ~by:(link.st_words * link.lk_params.Comm_map.rate_cycles_per_word)
+                (pre ^ ".busy_cycles");
+              incr m ~by:link.st_wait (pre ^ ".wait_cycles");
+              gauge_set m (pre ^ ".fifo_words") link.st_fifo_hw;
+              gauge_set m (pre ^ ".fifo_words") link.words_in_flight;
+              gauge_set m (pre ^ ".pending_tokens") link.st_queue_hw;
+              gauge_set m (pre ^ ".pending_tokens")
+                (Queue.length link.tokens_pending);
+              List.iter
+                (fun (a, b) ->
+                  incr m ~by:link.st_words
+                    (Printf.sprintf "noc.hop.r%d-r%d.words" a b))
+                link.lk_route)
+        channels);
   match !error with
   | Some e -> Error e
   | None ->

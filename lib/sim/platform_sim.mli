@@ -68,6 +68,7 @@ val run :
   ?timing:timing ->
   ?faults:Fault.spec ->
   ?max_cycles:int ->
+  ?metrics:Obs.Metrics.t ->
   ?observe:(string -> Appmodel.Token.t -> unit) ->
   ?trace:(tile:string -> label:string -> start:int -> finish:int -> unit) ->
   unit ->
@@ -77,7 +78,20 @@ val run :
     injects a seeded fault scenario; [max_cycles] arms the watchdog.
     [observe] sees every token produced on an application channel (by
     name); [trace] sees every busy interval of every PE (firings and
-    per-word copy loops — pair it with {!Trace.sink}). *)
+    per-word copy loops — pair it with {!Trace.sink}) plus one token
+    transfer span per inter-tile token on track ["link:<channel>"].
+
+    [metrics] collects the run's observability profile (flushed on
+    failures too):
+    - [sim.iterations], [sim.cycles], [tile.<t>.busy_cycles] counters;
+    - per inter-tile channel: [link.<ch>.words] (words pushed),
+      [link.<ch>.busy_cycles] (wire occupancy: words times the inverse
+      bandwidth), [link.<ch>.wait_cycles] (pacing backlog — congestion);
+    - gauges whose high-water marks are the peaks: [link.<ch>.fifo_words]
+      (FIFO occupancy), [link.<ch>.pending_tokens] (CA descriptor-queue
+      depth), [channel.<ch>.tokens] (intra-tile queue occupancy);
+    - [noc.hop.r<a>-r<b>.words] per directed mesh link of each NoC route;
+    - a [fire.<actor>.cycles] histogram of every actor's firing latency. *)
 
 val overall_throughput : result -> Sdf.Rational.t
 (** [iterations / total_cycles]. *)

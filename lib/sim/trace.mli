@@ -28,7 +28,14 @@ val span_count : t -> int
 
 val to_vcd : ?design:string -> t -> string
 (** A VCD document with one string-valued variable per tile whose value is
-    the running label, cleared between spans. *)
+    the running label, cleared between spans. Identifiers are multi-char
+    codes over the printable VCD alphabet (any tile count); labels and
+    names are escaped (VCD string values must not contain whitespace). *)
+
+val to_chrome_json : ?process_name:string -> t -> string
+(** The same spans as a Chrome tracing (Trace Event Format) document: one
+    complete event per span, one named track per tile or link — open it in
+    [chrome://tracing] or Perfetto. See {!Obs.Chrome_trace}. *)
 
 val to_ascii_gantt : ?width:int -> ?until:int -> t -> string
 (** One row per tile, time left to right, busy cells marked with the first

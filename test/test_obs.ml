@@ -1,0 +1,136 @@
+(* The metrics registry and the Chrome trace exporter: the observability
+   layer's own contracts, independent of the simulator that fills it. *)
+
+module Metrics = Obs.Metrics
+module Chrome_trace = Obs.Chrome_trace
+
+let check = Alcotest.check
+let int = Alcotest.int
+let string = Alcotest.string
+
+(* --- counters ------------------------------------------------------------ *)
+
+let test_counters () =
+  let m = Metrics.create () in
+  check int "absent counter reads 0" 0 (Metrics.counter m "nope");
+  Metrics.incr m "a";
+  Metrics.incr m "a";
+  Metrics.incr m ~by:40 "a";
+  check int "incr accumulates" 42 (Metrics.counter m "a");
+  Metrics.incr m ~by:7 "b.x";
+  check
+    (Alcotest.list (Alcotest.pair string int))
+    "counters sorted by name"
+    [ ("a", 42); ("b.x", 7) ]
+    (Metrics.counters m)
+
+let test_with_prefix () =
+  let m = Metrics.create () in
+  Metrics.incr m ~by:1 "link.data.words";
+  Metrics.incr m ~by:2 "link.data.busy_cycles";
+  Metrics.incr m ~by:3 "linkage.other";
+  Metrics.incr m ~by:4 "sim.cycles";
+  check
+    (Alcotest.list (Alcotest.pair string int))
+    "prefix stripped, dot required, sorted"
+    [ ("data.busy_cycles", 2); ("data.words", 1) ]
+    (Metrics.with_prefix m "link")
+
+(* --- gauges -------------------------------------------------------------- *)
+
+let test_gauges () =
+  let m = Metrics.create () in
+  check int "absent gauge has no high water" 0 (Metrics.high_water m "fifo");
+  Metrics.gauge_set m "fifo" 3;
+  Metrics.gauge_set m "fifo" 9;
+  Metrics.gauge_set m "fifo" 2;
+  (match Metrics.gauge m "fifo" with
+  | None -> Alcotest.fail "gauge vanished"
+  | Some g ->
+      check int "current is the last sample" 2 g.Metrics.g_current;
+      check int "high water is the peak" 9 g.Metrics.g_high_water);
+  check int "high_water accessor" 9 (Metrics.high_water m "fifo")
+
+(* --- histograms ----------------------------------------------------------- *)
+
+let test_histogram_buckets () =
+  let m = Metrics.create () in
+  (* one sample per power-of-two bucket: {0}, {1}, [2,3], [4,7] *)
+  List.iter (Metrics.observe m "lat") [ 0; 1; 2; 3; 7; 7 ];
+  match Metrics.histogram m "lat" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      check int "count" 6 h.Metrics.h_count;
+      check int "sum" 20 h.Metrics.h_sum;
+      check int "min" 0 h.Metrics.h_min;
+      check int "max" 7 h.Metrics.h_max;
+      check (Alcotest.float 1e-9) "mean" (20.0 /. 6.0) (Metrics.mean h);
+      check
+        (Alcotest.list (Alcotest.pair int int))
+        "power-of-two buckets, inclusive bounds"
+        [ (0, 1); (1, 1); (3, 2); (7, 2) ]
+        h.Metrics.h_buckets
+
+let test_histogram_clamps_negative () =
+  let m = Metrics.create () in
+  Metrics.observe m "lat" (-5);
+  match Metrics.histogram m "lat" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      check int "negative samples land in the zero bucket" 0 h.Metrics.h_min;
+      check
+        (Alcotest.list (Alcotest.pair int int))
+        "zero bucket" [ (0, 1) ] h.Metrics.h_buckets
+
+(* --- chrome trace export --------------------------------------------------- *)
+
+let test_escape () =
+  check string "quote" "a\\\"b" (Chrome_trace.escape "a\"b");
+  check string "backslash" "a\\\\b" (Chrome_trace.escape "a\\b");
+  check string "newline and tab" "a\\nb\\tc" (Chrome_trace.escape "a\nb\tc");
+  check string "control char" "x\\u0001y" (Chrome_trace.escape "x\001y");
+  check string "plain text untouched" "fire:IDCT" (Chrome_trace.escape "fire:IDCT")
+
+let test_to_json_structure () =
+  let events =
+    [
+      { Chrome_trace.ev_track = "tile0"; ev_name = "A"; ev_start = 0; ev_dur = 5 };
+      { Chrome_trace.ev_track = "link:d"; ev_name = "xfer"; ev_start = 2; ev_dur = 3 };
+      (* negative durations clamp to 0 rather than corrupting the trace *)
+      { Chrome_trace.ev_track = "tile0"; ev_name = "B"; ev_start = 9; ev_dur = -1 };
+    ]
+  in
+  let doc = Chrome_trace.to_json ~process_name:"p" events in
+  let contains needle =
+    let n = String.length needle and h = String.length doc in
+    let rec go i = i + n <= h && (String.sub doc i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "one process_name record" true
+    (contains "\"name\":\"process_name\"");
+  (* tracks are sorted, so link:d is tid 0 and tile0 is tid 1 *)
+  Alcotest.(check bool) "link track named" true
+    (contains "{\"name\":\"link:d\"}");
+  Alcotest.(check bool) "complete event with clamped duration" true
+    (contains "\"ts\":9,\"dur\":0");
+  Alcotest.(check bool) "transfer event on the link track" true
+    (contains "\"name\":\"xfer\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":2,\"dur\":3")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "with_prefix" `Quick test_with_prefix;
+          Alcotest.test_case "gauges" `Quick test_gauges;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "histogram clamps negatives" `Quick
+            test_histogram_clamps_negative;
+        ] );
+      ( "chrome trace",
+        [
+          Alcotest.test_case "escaping" `Quick test_escape;
+          Alcotest.test_case "document structure" `Quick test_to_json_structure;
+        ] );
+    ]

@@ -41,6 +41,39 @@ let test_rational_errors () =
   Alcotest.check_raises "inv zero" Division_by_zero (fun () ->
       ignore (Rational.inv Rational.zero))
 
+(* Regression: the old compare/add/sub/mul cross-multiplied raw ints and
+   silently wrapped for operands near max_int/2 — e.g. the old compare
+   reported big/3 < 3/big. Reduction by gcd must keep representable
+   results exact, and inherent overflow must raise, never wrap. *)
+let test_rational_overflow_safety () =
+  let open Rational in
+  let big = max_int / 2 in
+  (* old code: compare (make big 3) (make 3 big) = -1 (wrapped products) *)
+  check int "big/3 > 3/big" 1 (compare (make big 3) (make 3 big));
+  check int "3/big < big/3" (-1) (compare (make 3 big) (make big 3));
+  check int "big > 1/big" 1 (compare (of_int big) (make 1 big));
+  check int "near-max neighbours ordered" 1
+    (compare (make big (big - 1)) (make (big + 1) big));
+  check int "equal large values" 0 (compare (make big 7) (make big 7));
+  (* cross-gcd reduction keeps representable products exact
+     (old code: nums big*3 and dens 3*big both wrapped) *)
+  check rational "big/3 * 3/big = 1" one (mul (make big 3) (make 3 big));
+  check rational "(big/7) / (big/7) = 1" one (div (make big 7) (make big 7));
+  check rational "add over common den" (make (big * 2) 3)
+    (add (make big 3) (make big 3));
+  check rational "sub cancels" zero (sub (make big 3) (make big 3));
+  (* inherent overflow is detected, not wrapped *)
+  Alcotest.check_raises "add overflows num" Overflow (fun () ->
+      ignore (add (of_int max_int) (of_int max_int)));
+  Alcotest.check_raises "add overflows den" Overflow (fun () ->
+      ignore (add (make 1 big) (make 1 (big - 1))));
+  Alcotest.check_raises "mul overflows" Overflow (fun () ->
+      ignore (mul (of_int big) (of_int big)));
+  Alcotest.check_raises "sub overflows" Overflow (fun () ->
+      ignore (sub (of_int max_int) (of_int (-max_int))));
+  Alcotest.check_raises "lcm overflows" Overflow (fun () ->
+      ignore (lcm_int big (big - 1)))
+
 let test_gcd_lcm () =
   check int "gcd" 6 (Rational.gcd_int 12 18);
   check int "gcd neg" 6 (Rational.gcd_int (-12) 18);
@@ -698,6 +731,8 @@ let () =
           Alcotest.test_case "normalization" `Quick test_rational_normalization;
           Alcotest.test_case "arithmetic" `Quick test_rational_arithmetic;
           Alcotest.test_case "errors" `Quick test_rational_errors;
+          Alcotest.test_case "overflow safety" `Quick
+            test_rational_overflow_safety;
           Alcotest.test_case "gcd lcm" `Quick test_gcd_lcm;
         ] );
       qsuite "rational.props" rational_props;

@@ -405,6 +405,54 @@ let test_watchdog_separates_livelock () =
       check bool "some progress counted" true (iterations_done < 1000)
   | Error e -> Alcotest.failf "wrong error: %s" (Sim.Platform_sim.error_to_string e)
 
+(* the observability probes must agree with the result record they ride
+   along with: same iteration count, same per-tile busy cycles, and link
+   word counts that match tokens x words-per-token exactly *)
+let test_metrics_probes () =
+  let mapping = map_value_pipe () in
+  let m = Obs.Metrics.create () in
+  let iterations = 20 in
+  match Sim.Platform_sim.run mapping ~iterations ~metrics:m () with
+  | Error e -> fail_sim e
+  | Ok r ->
+      check int "iteration counter matches the result"
+        r.Sim.Platform_sim.iterations
+        (Obs.Metrics.counter m "sim.iterations");
+      check bool "cycle counter armed" true
+        (Obs.Metrics.counter m "sim.cycles" > 0);
+      List.iter
+        (fun (tile, busy) ->
+          check int
+            (tile ^ " busy counter matches the result")
+            busy
+            (Obs.Metrics.counter m ("tile." ^ tile ^ ".busy_cycles")))
+        r.Sim.Platform_sim.tile_busy;
+      (* the "data" channel crosses the interconnect: one token per
+         iteration, 8-byte tokens -> exactly iterations * words(8B) words *)
+      let words_per_token = Stdlib.max 1 (Token.words_for_bytes 8) in
+      let words = Obs.Metrics.counter m "link.data.words" in
+      check int "link word count = tokens x words/token"
+        (iterations * words_per_token) words;
+      let busy = Obs.Metrics.counter m "link.data.busy_cycles" in
+      check bool "wire occupancy is a whole number of cycles per word" true
+        (busy >= words && busy mod words = 0);
+      check bool "FIFO high-water mark recorded" true
+        (Obs.Metrics.high_water m "link.data.fifo_words" >= 1);
+      (* each actor fires once per iteration (upstream actors may start a
+         few pipelined firings beyond the last counted iteration); the
+         latency histogram must see them all, within the declared WCET *)
+      List.iter
+        (fun (actor, wcet) ->
+          match Obs.Metrics.histogram m ("fire." ^ actor ^ ".cycles") with
+          | None -> Alcotest.failf "no firing histogram for %s" actor
+          | Some h ->
+              check bool (actor ^ " every firing observed") true
+                (h.Obs.Metrics.h_count >= iterations
+                && h.Obs.Metrics.h_count <= iterations + 2);
+              check bool (actor ^ " latencies within WCET") true
+                (h.Obs.Metrics.h_min >= 1 && h.Obs.Metrics.h_max <= wcet))
+        [ ("src", 20); ("dst", 35) ]
+
 let sim_props =
   let open QCheck in
   let gen =
@@ -467,6 +515,7 @@ let () =
           Alcotest.test_case "tile busy" `Quick test_tile_busy_accounting;
           Alcotest.test_case "throughput measures" `Quick test_throughput_measures;
           Alcotest.test_case "trace collection" `Quick test_trace_collection;
+          Alcotest.test_case "metrics probes" `Quick test_metrics_probes;
         ] );
       ( "faults",
         [
