@@ -25,6 +25,39 @@ let section title =
   Printf.printf "%s\n" title;
   line ()
 
+(* --- BENCH.json ------------------------------------------------------------- *)
+
+(* every timed quantity lands here and is written out as BENCH.json at the
+   end, so the perf trajectory is tracked across PRs (schema in README) *)
+let bench_entries : (string * float * int * int) list ref = ref []
+
+let record ~name ~wall ~iterations ~domains =
+  bench_entries := (name, wall, iterations, domains) :: !bench_entries
+
+let timed_section name f =
+  let (), wall = Exec.Clock.timed f in
+  record ~name ~wall ~iterations:1 ~domains:1
+
+let write_bench_json path =
+  let entries = List.rev !bench_entries in
+  let n = List.length entries in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\n  \"schema_version\": 1,\n  \"entries\": [\n";
+      List.iteri
+        (fun i (name, wall, iterations, domains) ->
+          output_string oc
+            (Printf.sprintf
+               "    { \"name\": %S, \"wall_seconds\": %.6f, \"iterations\": \
+                %d, \"domains\": %d }%s\n"
+               name wall iterations domains
+               (if i = n - 1 then "" else ",")))
+        entries;
+      output_string oc "  ]\n}\n");
+  Printf.printf "wrote %s (%d entries)\n" path n
+
 (* --- figure 2 -------------------------------------------------------------- *)
 
 let figure2_graph () =
@@ -325,13 +358,14 @@ let profile_section () =
 
 let conformance_sweep () =
   section "Conformance sweep - bound tightness over random workloads";
-  let t0 = Sys.time () in
+  let t0 = Exec.Clock.now () in
   let report =
     Conformance.Engine.run_suite
       ~out_dir:(Filename.concat (Filename.get_temp_dir_name ()) "bench_conf")
       ~base_seed:0 ~count:100 ()
   in
-  let dt = Sys.time () -. t0 in
+  let dt = Exec.Clock.elapsed_since t0 in
+  record ~name:"conformance.sweep" ~wall:dt ~iterations:100 ~domains:1;
   Printf.printf
     "100 seeded workloads (FSL and NoC alternating): %d failures\n"
     (List.length report.Conformance.Engine.r_failures);
@@ -341,6 +375,57 @@ let conformance_sweep () =
     report.Conformance.Engine.r_max_tightness;
   Printf.printf "wall time: %.2fs (%.1f ms per workload)\n" dt
     (1000.0 *. dt /. 100.0)
+
+(* --- parallel scaling ------------------------------------------------------- *)
+
+(* the same DSE sweep on 1, 2 and recommended-domain-count workers: the
+   Pareto front must be identical at every -j, only the wall time moves *)
+let parallel_scaling () =
+  section "Parallel scaling - DSE sweep over Exec.Pool domains";
+  let seq = Mjpeg.Streams.synthetic () in
+  let app =
+    match Experiments.calibrated_mjpeg seq with
+    | Ok app -> app
+    | Error e -> failwith e
+  in
+  let front_key points =
+    List.map
+      (fun (p : Core.Dse.point) ->
+        ( p.Core.Dse.tile_count,
+          Core.Dse.interconnect_label p.Core.Dse.interconnect,
+          Option.map Sdf.Rational.to_string p.Core.Dse.guarantee,
+          p.Core.Dse.slices ))
+      (Core.Dse.pareto points)
+  in
+  let sweep jobs =
+    let t0 = Exec.Clock.now () in
+    let points, failures =
+      Core.Dse.explore app ~options:Experiments.flow_options ~jobs ()
+    in
+    let dt = Exec.Clock.elapsed_since t0 in
+    record
+      ~name:(Printf.sprintf "dse.sweep.j%d" jobs)
+      ~wall:dt
+      ~iterations:(List.length points + List.length failures)
+      ~domains:jobs;
+    (jobs, dt, points)
+  in
+  let auto = Exec.Pool.parallelism ~jobs:0 () in
+  let runs = List.map sweep (List.sort_uniq compare [ 1; 2; auto ]) in
+  match runs with
+  | [] -> ()
+  | (_, base_dt, base_points) :: _ ->
+      let base_front = front_key base_points in
+      List.iter
+        (fun (jobs, dt, points) ->
+          Printf.printf
+            "  -j %-2d  %6.2f s  speedup x%4.2f  front %d point(s), %s\n" jobs
+            dt
+            (if dt > 0. then base_dt /. dt else 0.)
+            (List.length (front_key points))
+            (if front_key points = base_front then "identical to -j 1"
+             else "DIFFERENT FROM -j 1 (determinism violation)"))
+        runs
 
 (* --- Bechamel microbenchmarks --------------------------------------------------- *)
 
@@ -435,31 +520,39 @@ let microbenchmarks () =
             else if nanos > 1e3 then Printf.sprintf "%8.2f us" (nanos /. 1e3)
             else Printf.sprintf "%8.0f ns" nanos
           in
+          if not (Float.is_nan nanos) then
+            record ~name:("micro." ^ name) ~wall:(nanos /. 1e9) ~iterations:1
+              ~domains:1;
           Printf.printf "%-36s %16s\n" name human)
         analysis;
       flush stdout)
     tests
 
 let () =
-  figure2 ();
-  figure3 ();
-  figure4 ();
-  figure5 ();
-  figure6 "a"
-    (Arch.Template.Use_fsl Arch.Fsl.default)
-    ~paper_note:
-      "(paper 6a: worst-case line ~0.60, synthetic ~0.63, test-set ~0.95 \
-       MCU/MHz/s; expected-vs-measured <1% on synthetic)";
-  figure6 "b"
-    (Arch.Template.Use_noc Arch.Noc.default_config)
-    ~paper_note:
-      "(paper 6b: same shape as 6a with slightly lower values on the NoC)";
-  table1 ();
-  section63 ();
-  section531 ();
-  ablations ();
-  profile_section ();
+  timed_section "section.figure2" figure2;
+  timed_section "section.figure3" figure3;
+  timed_section "section.figure4" figure4;
+  timed_section "section.figure5" figure5;
+  timed_section "section.figure6a" (fun () ->
+      figure6 "a"
+        (Arch.Template.Use_fsl Arch.Fsl.default)
+        ~paper_note:
+          "(paper 6a: worst-case line ~0.60, synthetic ~0.63, test-set ~0.95 \
+           MCU/MHz/s; expected-vs-measured <1% on synthetic)");
+  timed_section "section.figure6b" (fun () ->
+      figure6 "b"
+        (Arch.Template.Use_noc Arch.Noc.default_config)
+        ~paper_note:
+          "(paper 6b: same shape as 6a with slightly lower values on the \
+           NoC)");
+  timed_section "section.table1" table1;
+  timed_section "section.63" section63;
+  timed_section "section.531" section531;
+  timed_section "section.ablations" ablations;
+  timed_section "section.profile" profile_section;
   conformance_sweep ();
+  parallel_scaling ();
   microbenchmarks ();
   line ();
+  write_bench_json "BENCH.json";
   print_endline "benchmark harness completed"

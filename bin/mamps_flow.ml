@@ -4,11 +4,32 @@
      graph FILE.xml      analyse an SDF graph in the common input format
      mjpeg               run the full flow on the MJPEG case study and
                          optionally write the generated MAMPS project
+     dse                 sweep tile counts and interconnects and print the
+                         guarantee/area Pareto front
      experiments         reproduce the paper's evaluation tables
      conformance         differential conformance suite on seeded random
-                         SDF workloads, with shrinking reproducers *)
+                         SDF workloads, with shrinking reproducers
+
+   The dse, conformance and profile subcommands take -j N to fan their
+   independent work out over N domains (Exec.Pool); -j 1 — the default —
+   is sequential and byte-identical to the pre-parallel behaviour. *)
 
 open Cmdliner
+
+(* shared -j flag: resolved by Exec.Pool.parallelism, so an absent flag
+   falls back to MAMPS_JOBS and then to the sequential default of 1 *)
+let jobs_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel sections. Default 1 \
+           (sequential); $(b,0) means one domain per core; when the flag \
+           is absent the $(b,MAMPS_JOBS) environment variable is \
+           consulted first. Reports are byte-identical for every value.")
+
+let resolve_jobs jobs = Exec.Pool.parallelism ?jobs ~default:1 ()
 
 (* --- graph ------------------------------------------------------------------ *)
 
@@ -249,6 +270,115 @@ let mjpeg_cmd =
       const run_mjpeg $ interconnect $ sequence $ output $ passes $ trace
       $ faults $ seed)
 
+(* --- dse --------------------------------------------------------------------- *)
+
+(* the paper's "very fast design space exploration", as a subcommand: sweep
+   (tile count x interconnect) with one flow run per point — fanned out
+   over -j domains — and print the guarantee/area Pareto front *)
+let run_dse interconnect sequence max_tiles max_slices jobs =
+  let jobs = resolve_jobs jobs in
+  match Mjpeg.Streams.by_name sequence with
+  | None ->
+      Printf.eprintf "unknown sequence %S; available: %s\n" sequence
+        (String.concat ", "
+           (List.map
+              (fun s -> s.Mjpeg.Streams.seq_name)
+              (Mjpeg.Streams.all ())));
+      1
+  | Some seq -> (
+      match Experiments.calibrated_mjpeg seq with
+      | Error e ->
+          Printf.eprintf "flow failed: %s\n" e;
+          1
+      | Ok app ->
+          let interconnects =
+            match interconnect with
+            | `Fsl -> [ Arch.Template.Use_fsl Arch.Fsl.default ]
+            | `Noc -> [ Arch.Template.Use_noc Arch.Noc.default_config ]
+            | `Both ->
+                [
+                  Arch.Template.Use_fsl Arch.Fsl.default;
+                  Arch.Template.Use_noc Arch.Noc.default_config;
+                ]
+          in
+          let tile_counts =
+            Option.map (fun n -> List.init n (fun i -> i + 1)) max_tiles
+          in
+          let start = Exec.Clock.now () in
+          let points, failures =
+            Core.Dse.explore app ?tile_counts ~interconnects
+              ~options:Experiments.flow_options ~jobs ()
+          in
+          let seconds = Exec.Clock.elapsed_since start in
+          Format.printf "%a@." Core.Dse.pp_table points;
+          List.iter
+            (fun (tiles, interc, reason) ->
+              Printf.printf "infeasible: %d %s tile(s): %s\n" tiles interc
+                reason)
+            failures;
+          let front = Core.Dse.pareto points in
+          Format.printf "@.Pareto front (guarantee vs. slices):@.%a@."
+            Core.Dse.pp_table front;
+          (match max_slices with
+          | None -> ()
+          | Some budget -> (
+              match Core.Dse.best_under_area points ~max_slices:budget with
+              | None ->
+                  Printf.printf
+                    "no feasible point within %d slices\n" budget
+              | Some p ->
+                  Printf.printf
+                    "best under %d slices: %s with %d tile(s), %d slices\n"
+                    budget
+                    (Core.Dse.interconnect_label p.Core.Dse.interconnect)
+                    p.Core.Dse.tile_count p.Core.Dse.slices));
+          Printf.printf
+            "%d design point(s), %d infeasible, %.2f s wall on %d domain(s)\n"
+            (List.length points) (List.length failures) seconds jobs;
+          0)
+
+let dse_cmd =
+  let interconnect =
+    Arg.(
+      value
+      & opt (enum [ ("fsl", `Fsl); ("noc", `Noc); ("both", `Both) ]) `Both
+      & info [ "interconnect"; "i" ] ~docv:"KIND"
+          ~doc:"Interconnects to sweep: $(b,fsl), $(b,noc) or $(b,both).")
+  in
+  let sequence =
+    Arg.(
+      value
+      & opt string "synthetic"
+      & info [ "sequence"; "s" ] ~docv:"NAME"
+          ~doc:"MJPEG test sequence the flow is calibrated against.")
+  in
+  let max_tiles =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-tiles" ] ~docv:"N"
+          ~doc:
+            "Sweep platforms of 1..$(docv) tiles (default: up to one tile \
+             per actor).")
+  in
+  let max_slices =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-slices" ] ~docv:"N"
+          ~doc:"Also report the best point within an area budget of \
+                $(docv) slices.")
+  in
+  Cmd.v
+    (Cmd.info "dse"
+       ~doc:
+         "Design-space exploration: run the full flow on every (tile \
+          count, interconnect) candidate and print the guarantee/area \
+          Pareto front")
+    Term.(
+      const run_dse $ interconnect $ sequence $ max_tiles $ max_slices
+      $ jobs_term)
+
 (* --- profile ----------------------------------------------------------------- *)
 
 let mkdir_p dir =
@@ -268,7 +398,8 @@ let write_file path contents =
 
 (* flow + one fully-probed measurement of either the MJPEG case study or a
    seeded conformance workload *)
-let run_profile seed interconnect sequence passes iterations out_dir =
+let run_profile seed interconnect sequence passes iterations out_dir jobs =
+  let jobs = resolve_jobs jobs in
   let ( let* ) = Result.bind in
   let flow_err r = Result.map_error Core.Flow_error.to_string r in
   let result =
@@ -318,13 +449,31 @@ let run_profile seed interconnect sequence passes iterations out_dir =
       print_newline ();
       mkdir_p out_dir;
       let path name = Filename.concat out_dir name in
-      write_file (path "profile.txt") report;
-      write_file (path "trace.json")
-        (Sim.Trace.to_chrome_json ~process_name:label
-           p.Core.Design_flow.pf_trace);
-      write_file (path "trace.vcd")
-        (Sim.Trace.to_vcd ~design:"mamps_platform"
-           p.Core.Design_flow.pf_trace);
+      (* the three artifact renderings are independent pure functions of
+         the finished trace, so -j fans them out over the pool *)
+      let artifacts =
+        [
+          ("profile.txt", fun () -> report);
+          ( "trace.json",
+            fun () ->
+              Sim.Trace.to_chrome_json ~process_name:label
+                p.Core.Design_flow.pf_trace );
+          ( "trace.vcd",
+            fun () ->
+              Sim.Trace.to_vcd ~design:"mamps_platform"
+                p.Core.Design_flow.pf_trace );
+        ]
+      in
+      let render (name, f) = (name, f ()) in
+      let rendered =
+        if jobs <= 1 then List.map render artifacts
+        else
+          Exec.Pool.with_pool ~jobs (fun pool ->
+              Exec.Pool.map pool render artifacts)
+      in
+      List.iter
+        (fun (name, contents) -> write_file (path name) contents)
+        rendered;
       Printf.printf
         "wrote %s, %s (chrome://tracing) and %s (%d spans) for %s\n"
         (path "profile.txt") (path "trace.json") (path "trace.vcd")
@@ -389,7 +538,7 @@ let profile_cmd =
           firing and token transfer")
     Term.(
       const run_profile $ seed $ interconnect $ sequence $ passes $ iterations
-      $ out_dir)
+      $ out_dir $ jobs_term)
 
 (* --- experiments ------------------------------------------------------------------ *)
 
@@ -420,7 +569,8 @@ let experiments_cmd =
 
 (* --- conformance ------------------------------------------------------------- *)
 
-let run_conformance count base_seed out_dir replay =
+let run_conformance count base_seed out_dir replay jobs =
+  let jobs = resolve_jobs jobs in
   match replay with
   | Some seed ->
       (* one seed, full verdict — the reproducer replay path *)
@@ -429,7 +579,7 @@ let run_conformance count base_seed out_dir replay =
       if case.Conformance.Engine.c_violations = [] then 0 else 1
   | None ->
       let report =
-        Conformance.Engine.run_suite ~out_dir ~base_seed ~count
+        Conformance.Engine.run_suite ~out_dir ~jobs ~base_seed ~count
           ~progress:(fun c ->
             if c.Conformance.Engine.c_violations <> [] then
               Format.eprintf "%a@." Conformance.Engine.pp_case c)
@@ -479,7 +629,9 @@ let conformance_cmd =
        ~doc:
          "Check the analysis, the functional engine and the platform \
           simulator against each other on seeded random SDF workloads")
-    Term.(const run_conformance $ count $ base_seed $ out_dir $ replay)
+    Term.(
+      const run_conformance $ count $ base_seed $ out_dir $ replay
+      $ jobs_term)
 
 let () =
   let doc =
@@ -489,4 +641,11 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "mamps_flow" ~version:"1.0.0" ~doc)
-          [ graph_cmd; mjpeg_cmd; profile_cmd; experiments_cmd; conformance_cmd ]))
+          [
+            graph_cmd;
+            mjpeg_cmd;
+            dse_cmd;
+            profile_cmd;
+            experiments_cmd;
+            conformance_cmd;
+          ]))

@@ -214,7 +214,9 @@ let mkdir_p dir =
   let rec ensure d =
     if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
       ensure (Filename.dirname d);
-      Sys.mkdir d 0o755
+      (* tolerate a concurrent shard creating the shared parent between the
+         existence check and the mkdir *)
+      try Sys.mkdir d 0o755 with Sys_error _ when Sys.file_exists d -> ()
     end
   in
   ensure dir
@@ -266,37 +268,61 @@ let write_reproducer ~out_dir case spec (shrunk : Shrink.outcome) =
 (* --- the suite ------------------------------------------------------------ *)
 
 let run_suite ?(options = default_options) ?(out_dir = "_conformance")
-    ?(progress = fun _ -> ()) ~base_seed ~count () =
-  let cases = ref [] and failures = ref [] in
-  for seed = base_seed to base_seed + count - 1 do
+    ?(progress = fun _ -> ()) ?(jobs = 1) ~base_seed ~count () =
+  (* one task per seed: check, and on violation shrink + write the
+     reproducer from inside the task. Reproducer directories are keyed by
+     seed and oracle, so concurrent shards never write the same path. *)
+  let eval seed =
     let interconnect = interconnect_for_seed seed in
     let workload = W.generate ~config:options.gen_config ~seed () in
     let case = check_workload ~options interconnect workload in
-    progress case;
-    cases := case :: !cases;
-    if case.c_violations <> [] then begin
-      let oracles =
-        List.map (fun v -> v.Oracle.oracle) case.c_violations
+    let failure =
+      if case.c_violations = [] then None
+      else begin
+        let oracles =
+          List.map (fun v -> v.Oracle.oracle) case.c_violations
+        in
+        let still_fails sp =
+          let c = check_workload ~options interconnect (W.realize sp) in
+          List.exists
+            (fun v -> List.mem v.Oracle.oracle oracles)
+            c.c_violations
+        in
+        let shrunk = Shrink.minimize ~still_fails workload.spec in
+        let dir = write_reproducer ~out_dir case workload.spec shrunk in
+        Some
+          {
+            f_case = case;
+            f_spec = workload.spec;
+            f_shrunk = shrunk;
+            f_reproducer = Some dir;
+          }
+      end
+    in
+    (case, failure)
+  in
+  let seeds = List.init count (fun i -> base_seed + i) in
+  let evaluated =
+    if jobs <= 1 then
+      (* sequential: stream [progress] as each seed completes, as before *)
+      List.map
+        (fun seed ->
+          let ((case, _) as r) = eval seed in
+          progress case;
+          r)
+        seeds
+    else begin
+      let rs =
+        Exec.Pool.with_pool ~jobs (fun pool -> Exec.Pool.map pool eval seeds)
       in
-      let still_fails sp =
-        let c = check_workload ~options interconnect (W.realize sp) in
-        List.exists
-          (fun v -> List.mem v.Oracle.oracle oracles)
-          c.c_violations
-      in
-      let shrunk = Shrink.minimize ~still_fails workload.spec in
-      let dir = write_reproducer ~out_dir case workload.spec shrunk in
-      failures :=
-        {
-          f_case = case;
-          f_spec = workload.spec;
-          f_shrunk = shrunk;
-          f_reproducer = Some dir;
-        }
-        :: !failures
+      (* progress fires after the parallel round, in seed order, so the
+         callback needs no synchronization of its own *)
+      List.iter (fun (case, _) -> progress case) rs;
+      rs
     end
-  done;
-  let cases = List.rev !cases in
+  in
+  let cases = List.map fst evaluated in
+  let failures = List.filter_map snd evaluated in
   let ratios = List.filter_map (fun c -> c.c_tightness) cases in
   let mean =
     match ratios with
@@ -306,7 +332,7 @@ let run_suite ?(options = default_options) ?(out_dir = "_conformance")
   in
   {
     r_cases = cases;
-    r_failures = List.rev !failures;
+    r_failures = failures;
     r_mean_tightness = mean;
     r_max_tightness = List.fold_left Float.max 0. ratios;
   }

@@ -67,6 +67,7 @@ val run_suite :
   ?options:options ->
   ?out_dir:string ->
   ?progress:(case -> unit) ->
+  ?jobs:int ->
   base_seed:int ->
   count:int ->
   unit ->
@@ -75,7 +76,15 @@ val run_suite :
     shrunk (the predicate being "the same oracle still fires on the shrunk
     spec") and a reproducer — [graph.xml] plus a [case.txt] with the spec,
     the violations and the replay command — is written under [out_dir]
-    (default [_conformance]; created on demand, only on failure). *)
+    (default [_conformance]; created on demand, only on failure).
+
+    [jobs] (default 1) shards the seed range over an {!Exec.Pool}, one
+    task per seed; each task checks, shrinks and writes its reproducer
+    independently (directories are keyed by seed, so shards never
+    collide). The report — case order, verdicts, tightness statistics and
+    failure list — is identical to a sequential run. With [jobs > 1] the
+    [progress] callback fires after the parallel round, in seed order,
+    instead of streaming. *)
 
 val write_reproducer :
   out_dir:string -> case -> Gen.Workload.spec -> Shrink.outcome -> string

@@ -18,10 +18,10 @@ type t = {
   times : step_times;
 }
 
-let timed f =
-  let start = Sys.time () in
-  let result = f () in
-  (result, Sys.time () -. start)
+(* wall clock, not [Sys.time]: step times must stay truthful when flows
+   run concurrently on a worker domain (CPU time would aggregate the whole
+   process's domains into every measurement) *)
+let timed = Exec.Clock.timed
 
 let admit app =
   match Sdf.Analysis.admit (Application.graph app) with

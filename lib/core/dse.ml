@@ -28,7 +28,7 @@ let platform_slices (flow : Design_flow.t) =
   in
   area.Arch.Area.slices
 
-let explore app ?tile_counts ?interconnects ?options () =
+let explore app ?tile_counts ?interconnects ?options ?(jobs = 1) () =
   let tile_counts =
     match tile_counts with
     | Some counts -> counts
@@ -45,44 +45,50 @@ let explore app ?tile_counts ?interconnects ?options () =
         ]
       interconnects
   in
-  let points = ref [] and failures = ref [] in
-  List.iter
-    (fun choice ->
-      List.iter
-        (fun tile_count ->
-          let options =
-            Option.map
-              (fun (o : Mapping.Flow_map.options) ->
-                {
-                  o with
-                  Mapping.Flow_map.fixed =
-                    List.filter (fun (_, t) -> t < tile_count) o.fixed;
-                })
-              options
-          in
-          let start = Sys.time () in
-          match
-            Design_flow.run_auto app ~tiles:tile_count ?options choice ()
-          with
-          | Error reason ->
-              failures :=
-                (tile_count, interconnect_label choice,
-                 Flow_error.to_string reason)
-                :: !failures
-          | Ok flow ->
-              points :=
-                {
-                  tile_count;
-                  interconnect = choice;
-                  guarantee = flow.Design_flow.guarantee;
-                  slices = platform_slices flow;
-                  flow_seconds = Sys.time () -. start;
-                  flow;
-                }
-                :: !points)
-        tile_counts)
-    interconnects;
-  (List.rev !points, List.rev !failures)
+  (* one task per design point, in the sequential sweep's order:
+     interconnect outer, tile count inner *)
+  let combos =
+    List.concat_map
+      (fun choice -> List.map (fun tiles -> (choice, tiles)) tile_counts)
+      interconnects
+  in
+  (* every task builds its own flow — platform, mapping, simulator state and
+     metrics registries are all created per [run_auto] call (re-entrancy
+     audit in DESIGN.md §3e), so design points never share mutable state *)
+  let eval (choice, tile_count) =
+    let options =
+      Option.map
+        (fun (o : Mapping.Flow_map.options) ->
+          {
+            o with
+            Mapping.Flow_map.fixed =
+              List.filter (fun (_, t) -> t < tile_count) o.fixed;
+          })
+        options
+    in
+    let start = Exec.Clock.now () in
+    match Design_flow.run_auto app ~tiles:tile_count ?options choice () with
+    | Error reason ->
+        Either.Right
+          (tile_count, interconnect_label choice, Flow_error.to_string reason)
+    | Ok flow ->
+        Either.Left
+          {
+            tile_count;
+            interconnect = choice;
+            guarantee = flow.Design_flow.guarantee;
+            slices = platform_slices flow;
+            flow_seconds = Exec.Clock.elapsed_since start;
+            flow;
+          }
+  in
+  let outcomes =
+    (* [jobs <= 1] stays a plain loop — no pool, so the sweep can run
+       inside a task of an outer pool (the conformance Pareto oracle) *)
+    if jobs <= 1 then List.map eval combos
+    else Exec.Pool.with_pool ~jobs (fun pool -> Exec.Pool.map pool eval combos)
+  in
+  List.partition_map Fun.id outcomes
 
 let dominates a b =
   match (a.guarantee, b.guarantee) with

@@ -25,13 +25,21 @@ val explore :
   ?tile_counts:int list ->
   ?interconnects:Arch.Template.interconnect_choice list ->
   ?options:Mapping.Flow_map.options ->
+  ?jobs:int ->
   unit ->
   point list * (int * string * string) list
 (** Run the flow on every (tile count, interconnect) combination. Defaults:
     1 .. actor-count tiles; FSL and the default NoC. Returns the feasible
     points and the failures as [(tiles, interconnect, reason)]. Pinned
     bindings in [options] are dropped for platforms with fewer tiles than
-    they reference. *)
+    they reference.
+
+    [jobs] (default 1) fans the sweep out over an {!Exec.Pool} with one
+    task per design point. Points and failures come back in the
+    sequential sweep's order regardless of [jobs] — only [flow_seconds]
+    (wall time of each point's flow) may differ between runs. With
+    [jobs <= 1] no pool is created, so a sequential sweep may itself run
+    inside a pool task. *)
 
 val pareto : point list -> point list
 (** The throughput/area Pareto front: points not dominated by another with

@@ -1,0 +1,7 @@
+let now () = Unix.gettimeofday ()
+let elapsed_since t0 = Float.max 0.0 (now () -. t0)
+
+let timed f =
+  let t0 = now () in
+  let result = f () in
+  (result, elapsed_since t0)

@@ -1,0 +1,18 @@
+(** Wall-clock timing for work that may span multiple domains.
+
+    [Sys.time] measures CPU time of the calling process, which both
+    undercounts (a sleeping caller waiting on worker domains accrues no
+    CPU) and overcounts (N busy domains accrue N seconds per wall second)
+    as soon as work is fanned out. Everything in the flow that reports a
+    duration goes through this module instead. *)
+
+val now : unit -> float
+(** Seconds since the epoch, from [Unix.gettimeofday]. Only meaningful as
+    a difference of two samples. *)
+
+val elapsed_since : float -> float
+(** [elapsed_since t0] is [now () -. t0], clamped to be non-negative so a
+    clock step backwards never reports a negative duration. *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** Run the thunk and return its result with the wall seconds it took. *)

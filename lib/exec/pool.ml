@@ -1,0 +1,176 @@
+exception Nested_map
+
+type task_error = {
+  task_index : int;
+  message : string;
+  backtrace : string;
+}
+
+let pp_task_error ppf e =
+  Format.fprintf ppf "task %d raised %s" e.task_index e.message
+
+(* A round is one [map] call: workers share an atomic next-task cursor and
+   report completions under the pool mutex, so the caller can sleep on a
+   condition variable instead of spinning until the last task drains. *)
+type round = { r_run : unit -> unit }
+
+type t = {
+  p_jobs : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;  (* a new round was published, or shutdown *)
+  round_done : Condition.t;  (* the current round completed its last task *)
+  mutable round : round option;
+  mutable generation : int;  (* bumped per round; wakes late workers exactly once *)
+  mutable completed : int;
+  mutable target : int;
+  mutable shutdown : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let parallelism ?jobs ?default () =
+  let env () =
+    Option.bind (Sys.getenv_opt "MAMPS_JOBS") (fun s ->
+        int_of_string_opt (String.trim s))
+  in
+  let n =
+    match jobs with
+    | Some n -> n
+    | None -> (
+        match env () with
+        | Some n -> n
+        | None -> (
+            match default with
+            | Some d -> d
+            | None -> Domain.recommended_domain_count ()))
+  in
+  if n <= 0 then Stdlib.max 1 (Domain.recommended_domain_count ())
+  else n
+
+let jobs t = t.p_jobs
+
+let rec worker_loop pool last_gen =
+  Mutex.lock pool.mutex;
+  while
+    (not pool.shutdown)
+    && (pool.generation = last_gen || pool.round = None)
+  do
+    Condition.wait pool.work_ready pool.mutex
+  done;
+  if pool.shutdown then Mutex.unlock pool.mutex
+  else begin
+    let gen = pool.generation in
+    let round = Option.get pool.round in
+    Mutex.unlock pool.mutex;
+    round.r_run ();
+    worker_loop pool gen
+  end
+
+let create ?jobs () =
+  let jobs = Stdlib.min 64 (parallelism ?jobs ()) in
+  let pool =
+    {
+      p_jobs = jobs;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      round_done = Condition.create ();
+      round = None;
+      generation = 0;
+      completed = 0;
+      target = 0;
+      shutdown = false;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init (jobs - 1) (fun _ ->
+        Domain.spawn (fun () -> worker_loop pool 0));
+  pool
+
+let destroy pool =
+  Mutex.lock pool.mutex;
+  pool.shutdown <- true;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> destroy pool) (fun () -> f pool)
+
+(* Per-domain flag marking "currently inside a pool task". A nested [map]
+   would block its own worker on the round it is supposed to help drain. *)
+let in_task = Domain.DLS.new_key (fun () -> false)
+
+let run_round pool n steal_loop =
+  Mutex.lock pool.mutex;
+  pool.generation <- pool.generation + 1;
+  pool.round <- Some { r_run = steal_loop };
+  pool.completed <- 0;
+  pool.target <- n;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.mutex;
+  steal_loop ();
+  Mutex.lock pool.mutex;
+  while pool.completed < pool.target do
+    Condition.wait pool.round_done pool.mutex
+  done;
+  pool.round <- None;
+  Mutex.unlock pool.mutex
+
+let map_outcomes pool f xs =
+  if Domain.DLS.get in_task then raise Nested_map;
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let run_one i =
+    Domain.DLS.set in_task true;
+    let out =
+      try Ok (f arr.(i))
+      with e -> Error (e, Printexc.get_backtrace ())
+    in
+    Domain.DLS.set in_task false;
+    results.(i) <- Some out
+  in
+  if pool.p_jobs <= 1 || n <= 1 || pool.workers = [] then
+    for i = 0 to n - 1 do
+      run_one i
+    done
+  else begin
+    let steal_loop () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          run_one i;
+          Mutex.lock pool.mutex;
+          pool.completed <- pool.completed + 1;
+          if pool.completed >= pool.target then
+            Condition.broadcast pool.round_done;
+          Mutex.unlock pool.mutex;
+          go ()
+        end
+      in
+      go ()
+    in
+    run_round pool n steal_loop
+  end;
+  Array.to_list
+    (Array.map (function Some out -> out | None -> assert false) results)
+
+let map pool f xs =
+  let outs = map_outcomes pool f xs in
+  match
+    List.find_opt (function Error _ -> true | Ok _ -> false) outs
+  with
+  | Some (Error (e, _)) -> raise e
+  | Some (Ok _) | None ->
+      List.map (function Ok v -> v | Error _ -> assert false) outs
+
+let map_result pool f xs =
+  List.mapi
+    (fun i -> function
+      | Ok v -> Ok v
+      | Error (e, backtrace) ->
+          Error { task_index = i; message = Printexc.to_string e; backtrace })
+    (map_outcomes pool f xs)

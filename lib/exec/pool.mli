@@ -1,0 +1,71 @@
+(** A fixed-size domain pool with deterministic fan-out.
+
+    The design-space sweep, the conformance seed matrix and the benchmark
+    harness are all embarrassingly parallel: a list of independent tasks
+    whose results must come back {e in input order} so reports stay
+    byte-identical to a sequential run. This module provides exactly that
+    shape and nothing more — a pool of worker domains created once,
+    reused across any number of [map] calls, and an order-preserving
+    [map] whose output never depends on how the work was scheduled.
+
+    {2 Determinism contract}
+
+    [map pool f xs] and [List.map f xs] agree whenever [f] is pure:
+    results are stored at the input's index, so scheduling order, the
+    number of domains and work stealing are all invisible in the output.
+    Side-effecting tasks run concurrently and must not share mutable
+    state (see DESIGN.md §3e for what was audited in this codebase).
+
+    {2 Lifecycle}
+
+    [create] spawns [jobs - 1] worker domains (the caller is the
+    remaining worker); [destroy] shuts them down. A pool with [jobs <= 1]
+    spawns no domains and [map] degrades to a plain sequential loop.
+    Pools must not be shared between concurrent [map] calls: one round
+    runs at a time, and a task must never call [map] itself — doing so
+    raises {!Nested_map} instead of deadlocking. *)
+
+type t
+
+val parallelism : ?jobs:int -> ?default:int -> unit -> int
+(** Resolve the degree of parallelism, first match wins:
+    [jobs] (a [-j] flag; [0] means "one domain per core"), the
+    [MAMPS_JOBS] environment variable, [default], and finally
+    [Domain.recommended_domain_count ()]. The result is always
+    at least 1. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn a pool of [parallelism ?jobs ()] workers (clamped to 64; the
+    OCaml runtime degrades past ~128 domains). *)
+
+val jobs : t -> int
+(** The pool's total parallelism, including the calling domain. *)
+
+val destroy : t -> unit
+(** Join all worker domains. Idempotent; a destroyed pool still accepts
+    [map] but runs it on the caller alone. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run, [destroy] — also on exception. *)
+
+exception Nested_map
+(** Raised by [map]/[map_result] when called from inside a pool task,
+    where blocking on a second round could deadlock the pool. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Apply [f] to every element on the pool's workers; results in input
+    order. If any task raises, every task still runs to completion and
+    then the exception of the {e earliest} failing input is re-raised, so
+    the surfaced error does not depend on scheduling. *)
+
+type task_error = {
+  task_index : int;  (** position of the failing input in the list *)
+  message : string;  (** [Printexc.to_string] of the exception *)
+  backtrace : string;
+}
+
+val map_result : t -> ('a -> 'b) -> 'a list -> ('b, task_error) result list
+(** Like [map] but collects raised exceptions as typed per-task errors
+    instead of re-raising, one result per input, in input order. *)
+
+val pp_task_error : Format.formatter -> task_error -> unit

@@ -28,7 +28,16 @@
     chosen so the SDF3 prediction stays a lower bound): link FIFO space is
     released when token deserialization starts rather than word by word,
     serializers claim a whole token's space before pushing, and CA
-    descriptor queues are unbounded. *)
+    descriptor queues are unbounded.
+
+    {b Re-entrancy.} [run] is safe to call concurrently from multiple
+    domains (the {!Exec.Pool} fan-out in DSE, conformance and the bench
+    harness relies on this): every piece of simulator state — links,
+    channel queues, processor records, the event clock — is created
+    inside [run], the module has no top-level mutable state, and the
+    optional [metrics]/[trace] sinks are written only by the run they
+    were passed to. Two concurrent runs must simply not share one
+    [Obs.Metrics.t] or trace collector. *)
 
 type timing =
   | Wcet  (** every firing takes its declared worst case *)

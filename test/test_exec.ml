@@ -1,0 +1,250 @@
+(* The parallel execution core: Exec.Pool's determinism contract (input
+   ordering, typed error collection, pool reuse, nested-map rejection,
+   parallelism resolution) and the end-to-end guarantee that a DSE sweep
+   and a conformance shard produce identical results at any -j. *)
+
+module Pool = Exec.Pool
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let key_list =
+  Alcotest.(
+    list
+      (pair
+         (pair int string)
+         (pair (option string) int)))
+
+(* --- parallelism resolution ------------------------------------------------ *)
+
+let test_parallelism_resolution () =
+  (* putenv with "" effectively unsets it for the integer parser *)
+  Unix.putenv "MAMPS_JOBS" "";
+  check int "explicit jobs wins" 3 (Pool.parallelism ~jobs:3 ());
+  check int "default applies when flag and env are absent" 1
+    (Pool.parallelism ~default:1 ());
+  Unix.putenv "MAMPS_JOBS" "5";
+  check int "MAMPS_JOBS beats the default" 5 (Pool.parallelism ~default:1 ());
+  check int "explicit jobs beats MAMPS_JOBS" 2
+    (Pool.parallelism ~jobs:2 ~default:1 ());
+  Unix.putenv "MAMPS_JOBS" "not-a-number";
+  check int "unparseable MAMPS_JOBS falls through" 1
+    (Pool.parallelism ~default:1 ());
+  Unix.putenv "MAMPS_JOBS" "";
+  check bool "jobs:0 means one domain per core" true
+    (Pool.parallelism ~jobs:0 ~default:1 () >= 1);
+  check bool "no flag, env or default resolves to at least 1" true
+    (Pool.parallelism () >= 1)
+
+(* --- ordering --------------------------------------------------------------- *)
+
+(* skew per-task duration so a racy implementation would come back shuffled *)
+let busy i =
+  let spin = (97 - (i mod 97)) * 500 in
+  let acc = ref 0 in
+  for k = 1 to spin do
+    acc := !acc + (k land 7)
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let test_map_preserves_order () =
+  let xs = List.init 100 Fun.id in
+  let f i =
+    busy i;
+    (i * i) + 1
+  in
+  let expected = List.map f xs in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      check (Alcotest.list int) "parallel map equals List.map" expected
+        (Pool.map pool f xs));
+  Pool.with_pool ~jobs:1 (fun pool ->
+      check (Alcotest.list int) "sequential pool agrees too" expected
+        (Pool.map pool f xs))
+
+let test_map_edge_sizes () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      check (Alcotest.list int) "empty input" [] (Pool.map pool succ []);
+      check (Alcotest.list int) "singleton input" [ 8 ]
+        (Pool.map pool succ [ 7 ]);
+      check (Alcotest.list int) "fewer tasks than workers" [ 1; 2 ]
+        (Pool.map pool succ [ 0; 1 ]))
+
+(* --- error collection ------------------------------------------------------- *)
+
+let test_map_result_collects_errors () =
+  let f i = if i mod 3 = 0 then failwith (Printf.sprintf "boom %d" i) else i in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let outs = Pool.map_result pool f (List.init 10 Fun.id) in
+      check int "one result per input" 10 (List.length outs);
+      List.iteri
+        (fun i out ->
+          match out with
+          | Ok v ->
+              check bool "success at non-multiples of 3" true (i mod 3 <> 0);
+              check int "successes carry the value" i v
+          | Error (e : Pool.task_error) ->
+              check bool "failure at multiples of 3" true (i mod 3 = 0);
+              check int "error knows its input index" i e.Pool.task_index;
+              check bool "error carries the message" true
+                (String.length e.Pool.message > 0))
+        outs)
+
+let test_map_raises_earliest_failure () =
+  let f i = if i >= 7 then failwith (Printf.sprintf "boom %d" i) else i in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      match Pool.map pool f (List.init 12 Fun.id) with
+      | _ -> Alcotest.fail "map should have raised"
+      | exception Failure msg ->
+          (* tasks 7..11 all fail; input order picks 7 deterministically *)
+          check Alcotest.string "earliest failing input wins" "boom 7" msg)
+
+(* --- pool reuse ------------------------------------------------------------- *)
+
+let test_pool_reuse () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      check int "pool reports its parallelism" 3 (Pool.jobs pool);
+      for round = 1 to 5 do
+        let xs = List.init (10 * round) (fun i -> i + round) in
+        check (Alcotest.list int)
+          (Printf.sprintf "round %d on the same pool" round)
+          (List.map succ xs) (Pool.map pool succ xs)
+      done)
+
+(* --- nested-map rejection --------------------------------------------------- *)
+
+let test_nested_map_rejected () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.check_raises "nested map on a parallel pool" Pool.Nested_map
+        (fun () ->
+          ignore (Pool.map pool (fun _ -> Pool.map pool succ [ 1 ]) [ 1; 2 ])));
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.check_raises "nested map on a sequential pool" Pool.Nested_map
+        (fun () ->
+          ignore (Pool.map pool (fun _ -> Pool.map pool succ [ 1 ]) [ 1 ])));
+  (* after a rejected round the pool still works *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      (match Pool.map pool (fun _ -> Pool.map pool succ [ 1 ]) [ 1 ] with
+      | _ -> Alcotest.fail "nested map should raise"
+      | exception Pool.Nested_map -> ());
+      check (Alcotest.list int) "pool usable after a nested rejection"
+        [ 2; 3 ]
+        (Pool.map pool succ [ 1; 2 ]))
+
+(* --- DSE determinism --------------------------------------------------------- *)
+
+let point_key (p : Core.Dse.point) =
+  ( (p.Core.Dse.tile_count, Core.Dse.interconnect_label p.Core.Dse.interconnect),
+    (Option.map Sdf.Rational.to_string p.Core.Dse.guarantee, p.Core.Dse.slices)
+  )
+
+let test_dse_parallel_deterministic () =
+  let w = Gen.Workload.generate ~seed:11 () in
+  let explore jobs =
+    Core.Dse.explore w.Gen.Workload.application ~tile_counts:[ 1; 2 ] ~jobs ()
+  in
+  let seq_points, seq_failures = explore 1 in
+  let par_points, par_failures = explore 4 in
+  check key_list "points identical and in sweep order"
+    (List.map point_key seq_points)
+    (List.map point_key par_points);
+  check
+    Alcotest.(list (triple int string string))
+    "failures identical" seq_failures par_failures;
+  check key_list "Pareto fronts identical"
+    (List.map point_key (Core.Dse.pareto seq_points))
+    (List.map point_key (Core.Dse.pareto par_points));
+  (* the flows behind matching points drive the simulator to bit-identical
+     results *)
+  let measure (p : Core.Dse.point) =
+    match Core.Design_flow.measure p.Core.Dse.flow ~iterations:8 () with
+    | Ok r -> r
+    | Error e -> Alcotest.fail (Core.Flow_error.to_string e)
+  in
+  check bool "sequential and parallel sweeps found points" true
+    (seq_points <> []);
+  List.iter2
+    (fun a b ->
+      check bool "simulator results bit-identical across -j" true
+        (Sim.Platform_sim.results_equal (measure a) (measure b)))
+    seq_points par_points
+
+(* --- conformance shard determinism ------------------------------------------- *)
+
+let temp_out name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    ("mamps_exec_test_" ^ name)
+
+let test_conformance_shard_deterministic () =
+  let options =
+    {
+      Conformance.Engine.default_options with
+      iterations = 6;
+      dse_every = 3;
+    }
+  in
+  let run jobs =
+    Conformance.Engine.run_suite ~options
+      ~out_dir:(temp_out (Printf.sprintf "conf_j%d" jobs))
+      ~jobs ~base_seed:0 ~count:6 ()
+  in
+  let seq = run 1 and par = run 4 in
+  check int "same number of cases" 6
+    (List.length par.Conformance.Engine.r_cases);
+  List.iter2
+    (fun (a : Conformance.Engine.case) b ->
+      check bool
+        (Printf.sprintf "case for seed %d identical" a.Conformance.Engine.c_seed)
+        true (a = b))
+    seq.Conformance.Engine.r_cases par.Conformance.Engine.r_cases;
+  check int "same number of failures"
+    (List.length seq.Conformance.Engine.r_failures)
+    (List.length par.Conformance.Engine.r_failures);
+  check bool "tightness statistics identical" true
+    (seq.Conformance.Engine.r_mean_tightness
+     = par.Conformance.Engine.r_mean_tightness
+    && seq.Conformance.Engine.r_max_tightness
+       = par.Conformance.Engine.r_max_tightness)
+
+let test_conformance_progress_in_seed_order () =
+  let options =
+    { Conformance.Engine.default_options with iterations = 4; dse_every = 0 }
+  in
+  let seen = ref [] in
+  let _report =
+    Conformance.Engine.run_suite ~options
+      ~out_dir:(temp_out "conf_progress")
+      ~progress:(fun c -> seen := c.Conformance.Engine.c_seed :: !seen)
+      ~jobs:4 ~base_seed:3 ~count:5 ()
+  in
+  check (Alcotest.list int) "progress fires once per seed, in seed order"
+    [ 3; 4; 5; 6; 7 ] (List.rev !seen)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "parallelism resolution" `Quick
+            test_parallelism_resolution;
+          Alcotest.test_case "map preserves input order" `Quick
+            test_map_preserves_order;
+          Alcotest.test_case "map edge sizes" `Quick test_map_edge_sizes;
+          Alcotest.test_case "map_result collects typed errors" `Quick
+            test_map_result_collects_errors;
+          Alcotest.test_case "map raises the earliest failure" `Quick
+            test_map_raises_earliest_failure;
+          Alcotest.test_case "pool reuse across rounds" `Quick test_pool_reuse;
+          Alcotest.test_case "nested map rejected" `Quick
+            test_nested_map_rejected;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "DSE sweep identical at -j 4" `Quick
+            test_dse_parallel_deterministic;
+          Alcotest.test_case "conformance shard identical at -j 4" `Quick
+            test_conformance_shard_deterministic;
+          Alcotest.test_case "progress in seed order under -j" `Quick
+            test_conformance_progress_in_seed_order;
+        ] );
+    ]
