@@ -376,6 +376,64 @@ let conformance_sweep () =
   Printf.printf "wall time: %.2fs (%.1f ms per workload)\n" dt
     (1000.0 *. dt /. 100.0)
 
+(* --- recovery --------------------------------------------------------------- *)
+
+(* the self-healing loop per single-resource kill on the 4-tile MJPEG NoC
+   platform: wall time of diagnose-repair-reverify (time to repair) and the
+   degraded/original guarantee ratio, both recorded into BENCH.json *)
+let recovery_section () =
+  section "Recovery - permanent-fault repair (4-tile MJPEG NoC platform)";
+  let seq = Mjpeg.Streams.synthetic () in
+  let app =
+    match Experiments.calibrated_mjpeg seq with
+    | Ok app -> app
+    | Error e -> failwith e
+  in
+  match
+    Core.Design_flow.run_auto app ~tiles:4
+      (Arch.Template.Use_noc Arch.Noc.default_config)
+      ()
+  with
+  | Error e -> Printf.printf "flow failed: %s\n" (Core.Flow_error.to_string e)
+  | Ok flow ->
+      let mapping = flow.Core.Design_flow.mapping in
+      let iterations = Mjpeg.Streams.mcus seq in
+      List.iter
+        (fun scenario ->
+          let name = Recover.scenario_name scenario in
+          let faults = Recover.fault_of_scenario scenario in
+          match Sim.Platform_sim.run mapping ~iterations ~faults () with
+          | Ok _ -> Printf.printf "  %-14s tolerated (fault never bit)\n" name
+          | Error (Sim.Platform_sim.Deadlock d) -> (
+              match d.Sim.Diagnosis.dg_classification with
+              | Sim.Diagnosis.Resource_failure { rf_resource; _ } -> (
+                  let result, wall =
+                    Exec.Clock.timed (fun () ->
+                        Recover.run mapping ~failed:rf_resource ~iterations ())
+                  in
+                  match result with
+                  | Ok (report, _) ->
+                      record
+                        ~name:(Printf.sprintf "recover.%s.time_to_repair" name)
+                        ~wall ~iterations:1 ~domains:1;
+                      let ratio = Recover.Report.degraded_ratio report in
+                      record
+                        ~name:(Printf.sprintf "recover.%s.degraded_ratio" name)
+                        ~wall:ratio ~iterations:1 ~domains:1;
+                      Printf.printf
+                        "  %-14s repaired in %6.3f s, degraded throughput \
+                         ratio %.3f\n"
+                        name wall ratio
+                  | Error e ->
+                      Printf.printf "  %-14s unrepairable: %s\n" name
+                        (Recover.error_to_string e))
+              | Sim.Diagnosis.Wait_for_cycle ->
+                  Printf.printf "  %-14s design deadlock (unexpected)\n" name)
+          | Error e ->
+              Printf.printf "  %-14s failed: %s\n" name
+                (Sim.Platform_sim.error_to_string e))
+        (Recover.scenarios mapping)
+
 (* --- parallel scaling ------------------------------------------------------- *)
 
 (* the same DSE sweep on 1, 2 and recommended-domain-count workers: the
@@ -551,6 +609,7 @@ let () =
   timed_section "section.ablations" ablations;
   timed_section "section.profile" profile_section;
   conformance_sweep ();
+  timed_section "section.recovery" recovery_section;
   parallel_scaling ();
   microbenchmarks ();
   line ();

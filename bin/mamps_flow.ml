@@ -9,8 +9,11 @@
      experiments         reproduce the paper's evaluation tables
      conformance         differential conformance suite on seeded random
                          SDF workloads, with shrinking reproducers
+     recover             inject a permanent tile/link fault, diagnose the
+                         stall, re-map around the dead resource and
+                         re-verify the degraded guarantee
 
-   The dse, conformance and profile subcommands take -j N to fan their
+   The dse, conformance, profile and recover subcommands take -j N to fan their
    independent work out over N domains (Exec.Pool); -j 1 — the default —
    is sequential and byte-identical to the pre-parallel behaviour. *)
 
@@ -633,6 +636,242 @@ let conformance_cmd =
       const run_conformance $ count $ base_seed $ out_dir $ replay
       $ jobs_term)
 
+(* --- recover ----------------------------------------------------------------- *)
+
+(* "A->B" is a directed mesh hop; anything else names a point-to-point
+   (FSL) channel *)
+let link_scenario ~at_cycle s =
+  match Scanf.sscanf_opt s " %d->%d %!" (fun a b -> (a, b)) with
+  | Some hop -> Recover.Kill_hop { hop; at_cycle }
+  | None -> Recover.Kill_channel { channel = s; at_cycle }
+
+let json_string s = Printf.sprintf "\"%s\"" (Obs.Chrome_trace.escape s)
+
+let outcome_json scenario outcome =
+  let fields =
+    match (outcome : Recover.outcome) with
+    | Recover.Tolerated _ -> [ ("outcome", json_string "tolerated") ]
+    | Recover.Repaired (report, _) ->
+        [
+          ("outcome", json_string "repaired");
+          ("report", Recover.Report.to_json report);
+        ]
+    | Recover.Unrepairable e ->
+        [
+          ("outcome", json_string "unrepairable");
+          ("typed", string_of_bool (Recover.typed_unrepairable e));
+          ("error", json_string (Recover.error_to_string e));
+        ]
+    | Recover.Undiagnosed e ->
+        [
+          ("outcome", json_string "undiagnosed");
+          ("error", json_string (Sim.Platform_sim.error_to_string e));
+        ]
+  in
+  let fields =
+    ("scenario", json_string (Recover.scenario_name scenario)) :: fields
+  in
+  Printf.sprintf "{%s}"
+    (String.concat ","
+       (List.map (fun (k, v) -> Printf.sprintf "%s:%s" (json_string k) v) fields))
+
+let run_recover interconnect sequence tiles kill_tile kill_link at_cycle sweep
+    passes out_dir jobs =
+  let jobs = resolve_jobs jobs in
+  match Mjpeg.Streams.by_name sequence with
+  | None ->
+      Printf.eprintf "unknown sequence %S; available: %s\n" sequence
+        (String.concat ", "
+           (List.map
+              (fun s -> s.Mjpeg.Streams.seq_name)
+              (Mjpeg.Streams.all ())));
+      1
+  | Some seq -> (
+      let ( let* ) = Result.bind in
+      let result =
+        let* app = Experiments.calibrated_mjpeg seq in
+        Result.map_error Core.Flow_error.to_string
+          (Core.Design_flow.run_auto app ?tiles
+             (interconnect_of interconnect) ())
+      in
+      match result with
+      | Error msg ->
+          Printf.eprintf "flow failed: %s\n" msg;
+          1
+      | Ok flow -> (
+          let mapping = flow.Core.Design_flow.mapping in
+          let iterations = passes * Mjpeg.Streams.mcus seq in
+          let scenarios =
+            if sweep then Recover.scenarios ~at_cycle mapping
+            else
+              (match kill_tile with
+              | Some tile -> [ Recover.Kill_tile { tile; at_cycle } ]
+              | None -> [])
+              @
+              match kill_link with
+              | Some s -> [ link_scenario ~at_cycle s ]
+              | None -> []
+          in
+          (* a typo'd channel name or an off-mesh hop would never bite and
+             report as "tolerated" — reject it before running anything *)
+          let graph = mapping.Mapping.Flow_map.timed_graph in
+          let tile_count =
+            Arch.Platform.tile_count mapping.Mapping.Flow_map.platform
+          in
+          let rejections =
+            List.filter_map
+              (function
+                | Recover.Kill_channel { channel; _ }
+                  when Sdf.Graph.find_channel graph channel = None ->
+                    Some
+                      (Printf.sprintf "unknown channel %S; channels: %s" channel
+                         (String.concat ", "
+                            (List.map
+                               (fun (c : Sdf.Graph.channel) ->
+                                 c.Sdf.Graph.channel_name)
+                               (Sdf.Graph.channels graph))))
+                | Recover.Kill_hop { hop = a, b; _ }
+                  when a < 0 || b < 0 || a >= tile_count || b >= tile_count ->
+                    Some
+                      (Printf.sprintf
+                         "hop %d->%d out of range for a %d-tile platform" a b
+                         tile_count)
+                | _ -> None)
+              scenarios
+          in
+          match scenarios with
+          | _ when rejections <> [] ->
+              List.iter (Printf.eprintf "%s\n") rejections;
+              1
+          | [] ->
+              Printf.eprintf
+                "nothing to inject: pass --kill-tile, --kill-link or --sweep\n";
+              1
+          | scenarios ->
+              (match flow.Core.Design_flow.guarantee with
+              | Some g ->
+                  Format.printf "healthy guarantee: %s MCU/cycle@."
+                    (Sdf.Rational.to_string g)
+              | None -> Format.printf "healthy design has no guarantee@.");
+              let eval s =
+                (s, Recover.evaluate_scenario mapping s ~iterations ())
+              in
+              (* the pool map preserves scenario order, so the report is
+                 byte-identical for every -j *)
+              let outcomes =
+                if jobs <= 1 then List.map eval scenarios
+                else
+                  Exec.Pool.with_pool ~jobs (fun pool ->
+                      Exec.Pool.map pool eval scenarios)
+              in
+              List.iter
+                (fun (s, o) ->
+                  Format.printf "%-14s %a@."
+                    (Recover.scenario_name s)
+                    Recover.pp_outcome o)
+                outcomes;
+              (match out_dir with
+              | None -> ()
+              | Some dir ->
+                  mkdir_p dir;
+                  List.iter
+                    (fun (s, o) ->
+                      write_file
+                        (Filename.concat dir (Recover.scenario_name s ^ ".json"))
+                        (outcome_json s o ^ "\n"))
+                    outcomes;
+                  Printf.printf "wrote %d report(s) to %s\n"
+                    (List.length outcomes) dir);
+              let bad =
+                List.filter (fun (_, o) -> not (Recover.outcome_ok o)) outcomes
+              in
+              if bad = [] then 0
+              else begin
+                Printf.eprintf "%d scenario(s) were not survived cleanly\n"
+                  (List.length bad);
+                1
+              end))
+
+let recover_cmd =
+  let interconnect =
+    Arg.(
+      value
+      & opt (enum [ ("fsl", `Fsl); ("noc", `Noc) ]) `Noc
+      & info [ "interconnect"; "i" ] ~docv:"KIND"
+          ~doc:"Interconnect: $(b,fsl) point-to-point or the $(b,noc).")
+  in
+  let sequence =
+    Arg.(
+      value
+      & opt string "synthetic"
+      & info [ "sequence"; "s" ] ~docv:"NAME"
+          ~doc:"MJPEG test sequence to decode while the fault bites.")
+  in
+  let tiles =
+    Arg.(
+      value
+      & opt (some int) (Some 4)
+      & info [ "tiles" ] ~docv:"N"
+          ~doc:
+            "Cap the generated platform at $(docv) tiles so actors share \
+             PEs and a dead tile has somewhere to migrate to (default 4).")
+  in
+  let kill_tile =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-tile" ] ~docv:"N"
+          ~doc:"Permanently fail tile $(docv).")
+  in
+  let kill_link =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kill-link" ] ~docv:"LINK"
+          ~doc:
+            "Permanently fail a link: $(b,A->B) is the directed NoC mesh \
+             hop from tile A to tile B; any other value names a \
+             point-to-point channel.")
+  in
+  let at_cycle =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "at" ] ~docv:"CYCLE"
+          ~doc:"Cycle at which the resource dies (default 0).")
+  in
+  let sweep =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:
+            "Inject every single-resource permanent fault the mapped \
+             design can suffer, one scenario at a time.")
+  in
+  let passes =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "passes" ] ~docv:"N"
+          ~doc:"Stream passes to simulate per scenario.")
+  in
+  let out_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"DIR"
+          ~doc:"Write one JSON recovery report per scenario here.")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Self-healing: inject a permanent tile or link fault into the \
+          mapped MJPEG platform, diagnose the stall, re-map around the \
+          dead resource and re-verify the degraded guarantee")
+    Term.(
+      const run_recover $ interconnect $ sequence $ tiles $ kill_tile
+      $ kill_link $ at_cycle $ sweep $ passes $ out_dir $ jobs_term)
+
 let () =
   let doc =
     "An automated flow to map throughput-constrained applications to a MPSoC"
@@ -648,4 +887,5 @@ let () =
             profile_cmd;
             experiments_cmd;
             conformance_cmd;
+            recover_cmd;
           ]))

@@ -45,6 +45,51 @@ let xy_route t ~src ~dst =
   in
   go sr sc []
 
+(* A route avoiding a set of forbidden directed links: the XY route when it
+   is clean (so fault-free allocation is unchanged), else a deterministic
+   BFS shortest path (neighbors visited in ascending router index), else
+   None — the forbidden set partitions the mesh for this pair. *)
+let route_avoiding t ~src ~dst ~forbidden =
+  let allowed a b = not (List.mem (a, b) forbidden) in
+  let xy = xy_route t ~src ~dst in
+  if List.for_all (fun (a, b) -> allowed a b) xy then Some xy
+  else begin
+    let n = router_count t in
+    let neighbors i =
+      let r, c = coordinates t i in
+      List.filter_map
+        (fun (nr, nc) ->
+          if nr >= 0 && nr < t.rows && nc >= 0 && nc < t.cols then
+            Some (index_of t (nr, nc))
+          else None)
+        [ (r - 1, c); (r, c - 1); (r, c + 1); (r + 1, c) ]
+      |> List.sort compare
+    in
+    let prev = Array.make n (-1) in
+    let visited = Array.make n false in
+    visited.(src) <- true;
+    let q = Queue.create () in
+    Queue.add src q;
+    while not (Queue.is_empty q || visited.(dst)) do
+      let i = Queue.pop q in
+      List.iter
+        (fun j ->
+          if (not visited.(j)) && allowed i j then begin
+            visited.(j) <- true;
+            prev.(j) <- i;
+            Queue.add j q
+          end)
+        (neighbors i)
+    done;
+    if not visited.(dst) then None
+    else begin
+      let rec build j acc =
+        if j = src then acc else build prev.(j) ((prev.(j), j) :: acc)
+      in
+      Some (build dst [])
+    end
+  end
+
 let hops t ~src ~dst =
   let sr, sc = coordinates t src and dr, dc = coordinates t dst in
   abs (sr - dr) + abs (sc - dc)
@@ -70,7 +115,29 @@ type allocation = {
   link_load : ((int * int) * int) list;
 }
 
-let allocate t requests =
+type alloc_error =
+  | Self_connection of { src : int; dst : int }
+  | Bad_wires of { src : int; dst : int; wires : int }
+  | Oversubscribed of { link : int * int; needed : int; available : int }
+  | Partitioned of { src : int; dst : int }
+
+let alloc_error_to_string = function
+  | Self_connection { src; dst } ->
+      Printf.sprintf
+        "connection %d->%d stays on one tile and must not use the NoC" src dst
+  | Bad_wires { src; dst; wires } ->
+      Printf.sprintf "connection %d->%d requests %d wires" src dst wires
+  | Oversubscribed { link = a, b; needed; available } ->
+      Printf.sprintf "link %d->%d oversubscribed: %d wires needed, %d available"
+        a b needed available
+  | Partitioned { src; dst } ->
+      Printf.sprintf
+        "no route from %d to %d: the forbidden links partition the mesh" src
+        dst
+
+let pp_alloc_error ppf e = Format.pp_print_string ppf (alloc_error_to_string e)
+
+let allocate_routed ?(forbidden = []) t requests =
   let load : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
   let reserve link wires =
     let current = Option.value ~default:0 (Hashtbl.find_opt load link) in
@@ -85,47 +152,44 @@ let allocate t requests =
     | [] -> Ok (List.rev acc)
     | r :: rest ->
         if r.req_src = r.req_dst then
-          Error
-            (Printf.sprintf
-               "connection %d->%d stays on one tile and must not use the NoC"
-               r.req_src r.req_dst)
+          Error (Self_connection { src = r.req_src; dst = r.req_dst })
         else if r.req_wires < 1 then
           Error
-            (Printf.sprintf "connection %d->%d requests %d wires" r.req_src
-               r.req_dst r.req_wires)
+            (Bad_wires { src = r.req_src; dst = r.req_dst; wires = r.req_wires })
         else begin
-          let links = xy_route t ~src:r.req_src ~dst:r.req_dst in
-          let conflict =
-            List.fold_left
-              (fun acc link ->
-                match acc with
-                | Some _ -> acc
-                | None -> (
-                    match reserve link r.req_wires with
-                    | Ok () -> None
-                    | Error total -> Some (link, total)))
-              None links
-          in
-          match conflict with
-          | Some ((a, b), total) ->
-              Error
-                (Printf.sprintf
-                   "link %d->%d oversubscribed: %d wires needed, %d available"
-                   a b total t.config.link_wires)
-          | None ->
-              route_all
-                ({
-                   conn_src = r.req_src;
-                   conn_dst = r.req_dst;
-                   conn_wires = r.req_wires;
-                   conn_route = links;
-                 }
-                 :: acc)
-                rest
+          match route_avoiding t ~src:r.req_src ~dst:r.req_dst ~forbidden with
+          | None -> Error (Partitioned { src = r.req_src; dst = r.req_dst })
+          | Some links -> (
+              let conflict =
+                List.fold_left
+                  (fun acc link ->
+                    match acc with
+                    | Some _ -> acc
+                    | None -> (
+                        match reserve link r.req_wires with
+                        | Ok () -> None
+                        | Error total -> Some (link, total)))
+                  None links
+              in
+              match conflict with
+              | Some (link, total) ->
+                  Error
+                    (Oversubscribed
+                       { link; needed = total; available = t.config.link_wires })
+              | None ->
+                  route_all
+                    ({
+                       conn_src = r.req_src;
+                       conn_dst = r.req_dst;
+                       conn_wires = r.req_wires;
+                       conn_route = links;
+                     }
+                     :: acc)
+                    rest)
         end
   in
   match route_all [] requests with
-  | Error msg -> Error msg
+  | Error e -> Error e
   | Ok connections ->
       Ok
         {
@@ -133,6 +197,9 @@ let allocate t requests =
           connections;
           link_load = Hashtbl.fold (fun k v acc -> (k, v) :: acc) load [];
         }
+
+let allocate t requests =
+  Result.map_error alloc_error_to_string (allocate_routed t requests)
 
 let cycles_per_word conn = (32 + conn.conn_wires - 1) / conn.conn_wires
 

@@ -43,6 +43,14 @@ val xy_route : t -> src:int -> dst:int -> (int * int) list
     [(router, next_router)]; empty when [src = dst]. X (column) first, then
     Y, matching deadlock-free XY routing. *)
 
+val route_avoiding :
+  t -> src:int -> dst:int -> forbidden:(int * int) list -> (int * int) list option
+(** Like {!xy_route} but avoiding the [forbidden] directed links (dead mesh
+    hops, for recovery after a permanent fault). Returns the XY route
+    unchanged when it is already clean — so a repair with no dead links
+    reproduces the original routes — else a deterministic BFS shortest
+    path, else [None] when [forbidden] disconnects [src] from [dst]. *)
+
 val hops : t -> src:int -> dst:int -> int
 (** Manhattan distance. *)
 
@@ -70,11 +78,32 @@ type allocation = {
   link_load : ((int * int) * int) list;  (** wires used per directed link *)
 }
 
+(** Why an allocation failed, typed so recovery can distinguish a
+    partitioned mesh (unrepairable for that pair) from a capacity miss
+    (retryable with fewer wires). *)
+type alloc_error =
+  | Self_connection of { src : int; dst : int }
+  | Bad_wires of { src : int; dst : int; wires : int }
+  | Oversubscribed of { link : int * int; needed : int; available : int }
+  | Partitioned of { src : int; dst : int }
+      (** the forbidden-link set disconnects [src] from [dst] *)
+
+val alloc_error_to_string : alloc_error -> string
+val pp_alloc_error : Format.formatter -> alloc_error -> unit
+
+val allocate_routed :
+  ?forbidden:(int * int) list ->
+  t ->
+  request list ->
+  (allocation, alloc_error) result
+(** Route every request with {!route_avoiding} (plain XY when [forbidden]
+    is empty, the default) and reserve its wires on every link of the
+    route. Self-connections (same tile) are rejected — they never reach
+    the interconnect. *)
+
 val allocate : t -> request list -> (allocation, string) result
-(** Route every request with XY routing and reserve its wires on every link
-    of the route; fails with a descriptive message when some link would
-    exceed [config.link_wires]. Self-connections (same tile) are rejected —
-    they never reach the interconnect. *)
+(** [allocate_routed] without forbidden links, with errors rendered to the
+    descriptive strings. *)
 
 val cycles_per_word : connection -> int
 (** [ceil(32 / wires)]. *)

@@ -83,7 +83,7 @@ let check_workload ?(options = default_options) interconnect (w : W.t) =
                 add Fault_transparency
                   "Fault.none run differs from the uninjected run");
           (* Oracle 4: the untimed functional engine agrees. *)
-          match Appmodel.Functional.run w.application ~iterations:n () with
+          (match Appmodel.Functional.run w.application ~iterations:n () with
           | Error msg ->
               add Functional_agreement "functional engine failed: %s" msg
           | Ok fres ->
@@ -114,6 +114,94 @@ let check_workload ?(options = default_options) interconnect (w : W.t) =
                        requires at least %d"
                       name platform expected)
                 w.repetition);
+          (* Oracle 6: a permanent fault is tolerated, repaired with the
+             degraded bound met and the function unchanged, or rejected
+             with a typed unrepairable cause. One rotating scenario per
+             seed keeps the sweep O(1) per workload while the suite still
+             covers tiles, mesh hops and point-to-point links. *)
+          let mapping = flow.Core.Design_flow.mapping in
+          (match Recover.scenarios mapping with
+          | [] -> ()
+          | scenarios -> (
+              let scenario =
+                List.nth scenarios (w.seed mod List.length scenarios)
+              in
+              let sname = Recover.scenario_name scenario in
+              match
+                Recover.evaluate_scenario mapping scenario ~iterations:n
+                  ~max_cycles:options.max_cycles ()
+              with
+              | Recover.Tolerated _ -> ()
+              | Recover.Unrepairable e ->
+                  if not (Recover.typed_unrepairable e) then
+                    add Recovery "%s: recovery failed: %s" sname
+                      (Recover.error_to_string e)
+              | Recover.Undiagnosed e ->
+                  add Recovery
+                    "%s: faulted run failed without a resource-failure \
+                     diagnosis: %s"
+                    sname
+                    (Sim.Platform_sim.error_to_string e)
+              | Recover.Repaired (_report, repaired) -> (
+                  (* the bound check already ran inside [Recover.run];
+                     replay the repaired design data-dependent to check it
+                     still computes the same function *)
+                  match
+                    Sim.Platform_sim.run repaired ~iterations:n
+                      ~max_cycles:options.max_cycles ()
+                  with
+                  | Error e ->
+                      add Recovery "%s: repaired design failed to run: %s"
+                        sname
+                        (Sim.Platform_sim.error_to_string e)
+                  | Ok rrun ->
+                      if rrun.iterations <> n then
+                        add Recovery
+                          "%s: repaired design completed %d of %d iterations"
+                          sname rrun.iterations n;
+                      Array.iteri
+                        (fun i q ->
+                          let name = actor_name i in
+                          let fired = count_of name rrun.firing_counts in
+                          if fired < n * q then
+                            add Recovery
+                              "%s: %s fired %d times on the repaired \
+                               platform, iteration count requires at least \
+                               %d"
+                              sname name fired (n * q))
+                        w.repetition;
+                      (* token values are a pure function of the firing
+                         index (SDF determinacy), so a channel whose
+                         endpoint actors fired equally often in both
+                         designs must hold identical tokens afterwards —
+                         run-ahead differences make other channels
+                         incomparable *)
+                      let graph =
+                        Appmodel.Application.graph w.application
+                      in
+                      let fired counts id =
+                        count_of (actor_name id) counts
+                      in
+                      List.iter
+                        (fun (ch, toks) ->
+                          match
+                            ( Sdf.Graph.find_channel graph ch,
+                              List.assoc_opt ch run.final_local_tokens )
+                          with
+                          | Some c, Some toks'
+                            when fired run.firing_counts c.Sdf.Graph.source
+                                 = fired rrun.firing_counts
+                                     c.Sdf.Graph.source
+                                 && fired run.firing_counts c.Sdf.Graph.target
+                                    = fired rrun.firing_counts
+                                        c.Sdf.Graph.target
+                                 && toks <> toks' ->
+                              add Recovery
+                                "%s: channel %s holds different tokens \
+                                 after repair"
+                                sname ch
+                          | _ -> ())
+                        rrun.final_local_tokens))));
       (* Oracle 5: the DSE front is a front. *)
       if options.dse_every > 0 && w.seed mod options.dse_every = 0 then begin
         let points, _failures =

@@ -5,6 +5,7 @@ type t =
   | Fault_transparency
   | Functional_agreement
   | Pareto_consistency
+  | Recovery
 
 let all =
   [
@@ -14,6 +15,7 @@ let all =
     Fault_transparency;
     Functional_agreement;
     Pareto_consistency;
+    Recovery;
   ]
 
 let name = function
@@ -23,6 +25,7 @@ let name = function
   | Fault_transparency -> "fault-transparency"
   | Functional_agreement -> "functional-agreement"
   | Pareto_consistency -> "pareto-consistency"
+  | Recovery -> "recovery"
 
 let of_name s = List.find_opt (fun o -> name o = s) all
 
@@ -39,6 +42,9 @@ let describe = function
       "untimed functional execution and the timed simulator agree on \
        iteration and firing counts"
   | Pareto_consistency -> "DSE Pareto points are mutually non-dominated"
+  | Recovery ->
+      "every single permanent fault is tolerated, repaired with the \
+       degraded bound met and unchanged function, or typed-unrepairable"
 
 let pp ppf o = Format.pp_print_string ppf (name o)
 

@@ -22,6 +22,10 @@ type t =
           iteration and firing counts *)
   | Pareto_consistency
       (** DSE Pareto points are mutually non-dominated *)
+  | Recovery
+      (** every single permanent fault is tolerated, repaired with the
+          degraded bound met and unchanged function, or typed-unrepairable
+          — never an undiagnosed failure *)
 
 val all : t list
 val name : t -> string

@@ -103,6 +103,47 @@ let measure t ~iterations ?timing ?faults ?max_cycles ?metrics ?trace () =
     (Sim.Platform_sim.run t.mapping ~iterations ?timing ?faults ?max_cycles
        ?metrics ?trace ())
 
+type recovery_outcome =
+  | Fault_tolerated of Sim.Platform_sim.result
+  | Recovered of Recover.Report.t * t
+
+(* regenerate the MAMPS project and re-synthesize for the repaired mapping
+   so the recovered [t] is a first-class flow result, not a patched one *)
+let rebuild_after_repair t repaired =
+  let project, platform_generation =
+    timed (fun () -> Mamps.Project.generate repaired)
+  in
+  Result.map
+    (fun () ->
+      {
+        t with
+        mapping = repaired;
+        project;
+        guarantee = Flow_map.throughput repaired;
+        times = { t.times with platform_generation };
+      })
+    (synthesize repaired)
+
+let run_recovering t ~faults ~iterations ?max_cycles () =
+  match measure t ~iterations ~faults ?max_cycles () with
+  | Ok r -> Ok (Fault_tolerated r)
+  | Error err -> (
+      match Flow_error.deadlock_diagnosis err with
+      | None -> Error err
+      | Some d -> (
+          match d.Sim.Diagnosis.dg_classification with
+          | Sim.Diagnosis.Wait_for_cycle -> Error err
+          | Sim.Diagnosis.Resource_failure { rf_resource; _ } -> (
+              match
+                Recover.run t.mapping ~failed:rf_resource ~iterations
+                  ?max_cycles ()
+              with
+              | Error e -> Error (Flow_error.Recovery_failed e)
+              | Ok (report, repaired) ->
+                  Result.map
+                    (fun repaired_t -> Recovered (report, repaired_t))
+                    (rebuild_after_repair t repaired))))
+
 type profile = {
   pf_result : Sim.Platform_sim.result;
   pf_metrics : Obs.Metrics.t;

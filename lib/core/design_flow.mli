@@ -70,6 +70,33 @@ val measure :
     as {!Flow_error.Simulation_failed} carrying the structured
     {!Sim.Diagnosis.t} (see {!Flow_error.deadlock_diagnosis}). *)
 
+(** {1 Self-healing}
+
+    What a measured run under a permanent fault came to. *)
+
+type recovery_outcome =
+  | Fault_tolerated of Sim.Platform_sim.result
+      (** the run completed despite the injected fault *)
+  | Recovered of Recover.Report.t * t
+      (** the fault deadlocked the platform, the diagnosis blamed a dead
+          resource, and re-mapping produced a repaired, re-synthesized flow
+          result with a degraded guarantee *)
+
+val run_recovering :
+  t ->
+  faults:Sim.Fault.spec ->
+  iterations:int ->
+  ?max_cycles:int ->
+  unit ->
+  (recovery_outcome, Flow_error.t) result
+(** {!measure} with the fault spec, closing the loop on permanent faults:
+    a deadlock classified as a {!Sim.Diagnosis.Resource_failure} triggers
+    {!Recover.run} (re-bind/re-route on the shrunken platform, re-verify
+    the degraded bound) and the repaired design is regenerated and
+    re-synthesized into a fresh {!t}. Unrepairable faults come back as
+    {!Flow_error.Recovery_failed}; deadlocks that are not resource
+    failures keep their original {!Flow_error.Simulation_failed}. *)
+
 (** {1 Profiling}
 
     Where each cycle (and each second of tool time) goes: one measured run

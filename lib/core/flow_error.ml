@@ -8,6 +8,7 @@ type t =
   | Mapping_failed of Mapping.Flow_map.error
   | Netlist_invalid of string
   | Simulation_failed of Sim.Platform_sim.error
+  | Recovery_failed of Recover.error
 
 let pp ppf = function
   | Application_rejected { application; reason } ->
@@ -24,11 +25,14 @@ let pp ppf = function
   | Simulation_failed e ->
       Format.fprintf ppf "platform simulation failed: %a"
         Sim.Platform_sim.pp_error e
+  | Recovery_failed e ->
+      Format.fprintf ppf "recovery failed: %a" Recover.pp_error e
 
 let to_string e = Format.asprintf "%a" pp e
 
 let deadlock_diagnosis = function
   | Simulation_failed (Sim.Platform_sim.Deadlock d) -> Some d
   | Application_rejected _ | Architecture_failed _ | Merge_failed _
-  | Mapping_failed _ | Netlist_invalid _ | Simulation_failed _ ->
+  | Mapping_failed _ | Netlist_invalid _ | Simulation_failed _
+  | Recovery_failed _ ->
       None

@@ -23,6 +23,10 @@ type t =
   | Simulation_failed of Sim.Platform_sim.error
       (** the platform run deadlocked, hit the watchdog, or exhausted its
           scheduler budget *)
+  | Recovery_failed of Recover.error
+      (** re-mapping around a permanent fault failed — either legitimately
+          unrepairable (see {!Recover.typed_unrepairable}) or the repaired
+          design misbehaved *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

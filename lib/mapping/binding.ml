@@ -120,21 +120,44 @@ let total_cost app platform ?(weights = Cost.default_weights) binding =
   end
 
 let bind app platform ?(weights = Cost.default_weights) ?(fixed = [])
-    ?(refinement_rounds = 8) () =
+    ?(excluded = []) ?(forbidden_pairs = []) ?(refinement_rounds = 8) () =
   let g = Application.graph app in
   match Sdf.Repetition.compute g with
   | Sdf.Repetition.Inconsistent _ | Sdf.Repetition.Disconnected_actor _ ->
       Error "application graph is not consistent"
-  | Sdf.Repetition.Consistent q ->
+  | Sdf.Repetition.Consistent q -> (
+      match List.find_opt (fun (_, t) -> List.mem t excluded) fixed with
+      | Some (actor, tile) ->
+          Error
+            (Printf.sprintf "actor %S is pinned to excluded tile %d" actor tile)
+      | None ->
       let n_tiles = Platform.tile_count platform in
       let feasible_tiles actor =
         List.filter
           (fun i ->
+            (not (List.mem i excluded))
+            &&
             let tile = Platform.tile platform i in
             Application.implementation_for app ~actor
               ~processor_type:(tile_processor tile)
             <> None)
           (List.init n_tiles Fun.id)
+      in
+      (* a trial assignment violating a forbidden tile pair (a dead
+         point-to-point link, for recovery) costs infinity everywhere *)
+      let crosses_forbidden trial =
+        forbidden_pairs <> []
+        && List.exists
+             (fun (c : Graph.channel) ->
+               let src_name = (Graph.actor g c.source).Graph.actor_name in
+               let dst_name = (Graph.actor g c.target).Graph.actor_name in
+               match
+                 ( List.assoc_opt src_name trial.assignment,
+                   List.assoc_opt dst_name trial.assignment )
+               with
+               | Some s, Some d -> s <> d && List.mem (s, d) forbidden_pairs
+               | _ -> false)
+             (Graph.channels g)
       in
       (* heaviest actors first *)
       let order =
@@ -226,7 +249,10 @@ let bind app platform ?(weights = Cost.default_weights) ?(fixed = [])
                 List.fold_left
                   (fun acc tile_idx ->
                     let trial = { assignment = (actor, tile_idx) :: bound } in
-                    let cost = partial_cost trial in
+                    let cost =
+                      if crosses_forbidden trial then infinity
+                      else partial_cost trial
+                    in
                     match acc with
                     | None -> Some (tile_idx, cost)
                     | Some (_, c) when cost < c -> Some (tile_idx, cost)
@@ -239,11 +265,14 @@ let bind app platform ?(weights = Cost.default_weights) ?(fixed = [])
             end)
       in
       let initial = List.fold_left place (Ok fixed) unfixed in
-      Result.map
-        (fun assignment ->
+      Result.bind initial (fun assignment ->
           (* hill climbing: move one actor at a time while it helps *)
+          let trial_cost trial =
+            if crosses_forbidden trial then infinity
+            else total_cost app platform ~weights trial
+          in
           let current = ref { assignment } in
-          let current_cost = ref (total_cost app platform ~weights !current) in
+          let current_cost = ref (trial_cost !current) in
           let improved = ref true in
           let rounds = ref 0 in
           while !improved && !rounds < refinement_rounds do
@@ -263,7 +292,7 @@ let bind app platform ?(weights = Cost.default_weights) ?(fixed = [])
                               !current.assignment;
                         }
                       in
-                      let cost = total_cost app platform ~weights moved in
+                      let cost = trial_cost moved in
                       if cost < !current_cost then begin
                         current := moved;
                         current_cost := cost;
@@ -272,5 +301,8 @@ let bind app platform ?(weights = Cost.default_weights) ?(fixed = [])
                     (feasible_tiles actor))
               !current.assignment
           done;
-          !current)
-        initial
+          if crosses_forbidden !current then
+            Error
+              "no binding avoids the forbidden inter-tile links (dead \
+               point-to-point channels)"
+          else Ok !current))

@@ -48,8 +48,16 @@ val bind :
   Arch.Platform.t ->
   ?weights:Cost.weights ->
   ?fixed:(string * int) list ->
+  ?excluded:int list ->
+  ?forbidden_pairs:(int * int) list ->
   ?refinement_rounds:int ->
   unit ->
   (t, string) result
 (** Compute a binding for every actor. Fails when some actor has no
-    feasible tile. [refinement_rounds] (default 8) bounds hill climbing. *)
+    feasible tile. [refinement_rounds] (default 8) bounds hill climbing.
+
+    [excluded] removes tiles from every actor's feasible set (a dead tile,
+    for recovery); pinning a [fixed] actor to an excluded tile is an
+    error. [forbidden_pairs] lists directed tile pairs no channel may
+    cross (a dead point-to-point link): violating bindings cost infinity
+    during search and are rejected if unavoidable. *)

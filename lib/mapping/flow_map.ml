@@ -9,6 +9,9 @@ module Rational = Sdf.Rational
 type options = {
   weights : Cost.weights;
   fixed : (string * int) list;
+  excluded_tiles : int list;
+  forbidden_hops : (int * int) list;
+  forbidden_pairs : (int * int) list;
   wires_per_connection : int;
   buffer_growth_rounds : int;
   throughput_max_steps : int;
@@ -18,6 +21,9 @@ let default_options =
   {
     weights = Cost.default_weights;
     fixed = [];
+    excluded_tiles = [];
+    forbidden_hops = [];
+    forbidden_pairs = [];
     wires_per_connection = 8;
     buffer_growth_rounds = 4;
     throughput_max_steps = 400_000;
@@ -26,12 +32,18 @@ let default_options =
 type error =
   | Infeasible_binding of string
   | Noc_allocation_failed of string
+  | Noc_partitioned of { src : int; dst : int }
   | Expansion_failed of string
   | Memory_overflow of Memory_dim.report
 
 let pp_error ppf = function
   | Infeasible_binding msg -> Format.fprintf ppf "infeasible binding: %s" msg
   | Noc_allocation_failed msg -> Format.fprintf ppf "%s" msg
+  | Noc_partitioned { src; dst } ->
+      Format.fprintf ppf
+        "NoC wire allocation failed: no route from %d to %d - the dead links \
+         partition the mesh"
+        src dst
   | Expansion_failed msg ->
       Format.fprintf ppf "communication-model expansion failed: %s" msg
   | Memory_overflow report ->
@@ -43,6 +55,7 @@ let error_to_string e = Format.asprintf "%a" pp_error e
 type t = {
   application : Application.t;
   platform : Platform.t;
+  options : options;
   binding : Binding.t;
   timed_graph : Graph.t;
   expansion : Comm_map.expansion;
@@ -69,7 +82,7 @@ let inter_tile_channels g binding =
 (* One NoC connection per ordered tile pair that carries at least one
    channel; every connection requests the same wire count, so the model
    parameters derived per channel by tile-pair lookup stay correct. *)
-let allocate_noc platform g binding ~wires =
+let allocate_noc platform g binding ~wires ~forbidden =
   match Platform.noc_mesh platform with
   | None -> Ok None
   | Some mesh ->
@@ -87,11 +100,18 @@ let allocate_noc platform g binding ~wires =
               { Noc.req_src = src; req_dst = dst; req_wires = w })
             pairs
         in
-        match Noc.allocate mesh requests with
+        match Noc.allocate_routed ~forbidden mesh requests with
         | Ok alloc -> Ok (Some alloc)
-        | Error msg ->
+        | Error (Noc.Partitioned { src; dst }) ->
+            (* fewer wires cannot reconnect a partitioned mesh *)
+            Error (Noc_partitioned { src; dst })
+        | Error e ->
             if w > 1 then try_wires (w / 2)
-            else Error (Printf.sprintf "NoC wire allocation failed: %s" msg)
+            else
+              Error
+                (Noc_allocation_failed
+                   (Printf.sprintf "NoC wire allocation failed: %s"
+                      (Noc.alloc_error_to_string e)))
       in
       if pairs = [] then
         Ok (Some { Noc.noc = mesh; connections = []; link_load = [] })
@@ -142,7 +162,8 @@ let run app platform ?(options = default_options) () =
     Result.map_error
       (fun m -> Infeasible_binding m)
       (Binding.bind app platform ~weights:options.weights ~fixed:options.fixed
-         ())
+         ~excluded:options.excluded_tiles
+         ~forbidden_pairs:options.forbidden_pairs ())
   in
   let* timed_graph =
     Result.map_error
@@ -152,11 +173,9 @@ let run app platform ?(options = default_options) () =
              (Platform.tile platform (Binding.tile_of binding actor))))
   in
   let* noc_allocation =
-    Result.map_error
-      (fun m -> Noc_allocation_failed m)
-      (allocate_noc platform timed_graph
-         (fun name -> Binding.tile_of binding name)
-         ~wires:options.wires_per_connection)
+    allocate_noc platform timed_graph
+      (fun name -> Binding.tile_of binding name)
+      ~wires:options.wires_per_connection ~forbidden:options.forbidden_hops
   in
   let* actor_orders =
     Result.map_error
@@ -233,6 +252,7 @@ let run app platform ?(options = default_options) () =
       {
         application = app;
         platform;
+        options;
         binding;
         timed_graph;
         expansion;

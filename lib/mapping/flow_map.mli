@@ -16,6 +16,12 @@
 type options = {
   weights : Cost.weights;
   fixed : (string * int) list;  (** pre-pinned actors (I/O on the master) *)
+  excluded_tiles : int list;
+      (** tiles no actor may use (dead PEs, for recovery) *)
+  forbidden_hops : (int * int) list;
+      (** directed NoC mesh links no route may use (dead links) *)
+  forbidden_pairs : (int * int) list;
+      (** directed tile pairs no channel may cross (dead FSL links) *)
   wires_per_connection : int;  (** NoC wires requested per connection *)
   buffer_growth_rounds : int;
   throughput_max_steps : int;  (** state-space budget for the analysis *)
@@ -30,6 +36,9 @@ type error =
           the bound tile's processor *)
   | Noc_allocation_failed of string
       (** NoC oversubscribed even at one wire per connection *)
+  | Noc_partitioned of { src : int; dst : int }
+      (** the forbidden hops disconnect two communicating tiles — no wire
+          count can fix this, so the growth retry is skipped *)
   | Expansion_failed of string
       (** the communication-model expansion or scheduling step rejected
           the (re-timed) graph *)
@@ -42,6 +51,9 @@ val error_to_string : error -> string
 type t = {
   application : Appmodel.Application.t;
   platform : Arch.Platform.t;
+  options : options;
+      (** the options this mapping was produced with — recovery re-runs the
+          pipeline from them with the dead resources excluded *)
   binding : Binding.t;
   timed_graph : Sdf.Graph.t;
       (** application graph re-timed with the bound implementations *)

@@ -1,0 +1,395 @@
+module Flow_map = Mapping.Flow_map
+module Binding = Mapping.Binding
+module Comm_map = Mapping.Comm_map
+module Graph = Sdf.Graph
+module Rational = Sdf.Rational
+module Diagnosis = Sim.Diagnosis
+module Platform_sim = Sim.Platform_sim
+module Fault = Sim.Fault
+
+(* --- fault scenarios ----------------------------------------------------- *)
+
+type scenario =
+  | Kill_tile of { tile : int; at_cycle : int }
+  | Kill_hop of { hop : int * int; at_cycle : int }
+  | Kill_channel of { channel : string; at_cycle : int }
+
+let scenario_name = function
+  | Kill_tile { tile; _ } -> Printf.sprintf "tile%d" tile
+  | Kill_hop { hop = a, b; _ } -> Printf.sprintf "link%d->%d" a b
+  | Kill_channel { channel; _ } -> Printf.sprintf "channel-%s" channel
+
+let fault_of_scenario = function
+  | Kill_tile { tile; at_cycle } -> Fault.kill_tile ~at_cycle tile
+  | Kill_hop { hop = a, b; at_cycle } ->
+      Fault.kill_link ~at_cycle (Fault.Link_hop (a, b))
+  | Kill_channel { channel; at_cycle } ->
+      Fault.kill_link ~at_cycle (Fault.Link_channel channel)
+
+(* Every single permanent fault that can hit the mapped design: each tile
+   hosting at least one actor, and each interconnect resource in use —
+   distinct mesh hops of the allocated NoC routes, or the point-to-point
+   channels on an FSL platform. *)
+let scenarios ?(at_cycle = 0) (mapping : Flow_map.t) =
+  let tiles =
+    List.map snd mapping.Flow_map.binding.Binding.assignment
+    |> List.sort_uniq compare
+    |> List.map (fun tile -> Kill_tile { tile; at_cycle })
+  in
+  let links =
+    match mapping.Flow_map.noc_allocation with
+    | Some alloc when alloc.Arch.Noc.connections <> [] ->
+        List.concat_map
+          (fun (c : Arch.Noc.connection) -> c.Arch.Noc.conn_route)
+          alloc.Arch.Noc.connections
+        |> List.sort_uniq compare
+        |> List.map (fun hop -> Kill_hop { hop; at_cycle })
+    | Some _ | None ->
+        List.map
+          (fun (ic : Comm_map.inter_channel) ->
+            Kill_channel { channel = ic.Comm_map.ic_name; at_cycle })
+          mapping.Flow_map.expansion.Comm_map.inter_channels
+  in
+  tiles @ links
+
+(* --- errors -------------------------------------------------------------- *)
+
+type error =
+  | Not_resource_failure of Diagnosis.t
+  | Rebinding_failed of string
+  | Mesh_partitioned of { src : int; dst : int }
+  | Remap_failed of Flow_map.error
+  | Verification_failed of Platform_sim.error
+  | Bound_not_met of { bound : Rational.t; measured : Rational.t }
+
+let typed_unrepairable = function
+  | Rebinding_failed _ | Mesh_partitioned _ | Remap_failed _ -> true
+  | Not_resource_failure _ | Verification_failed _ | Bound_not_met _ -> false
+
+let pp_error ppf = function
+  | Not_resource_failure d ->
+      Format.fprintf ppf
+        "deadlock is not a resource failure, nothing to repair:@ %a"
+        Diagnosis.pp d
+  | Rebinding_failed msg ->
+      Format.fprintf ppf "unrepairable: re-binding failed: %s" msg
+  | Mesh_partitioned { src; dst } ->
+      Format.fprintf ppf
+        "unrepairable: the dead links partition the mesh between tiles %d \
+         and %d"
+        src dst
+  | Remap_failed e ->
+      Format.fprintf ppf "unrepairable: re-mapping failed: %a"
+        Flow_map.pp_error e
+  | Verification_failed e ->
+      Format.fprintf ppf "repaired design failed verification: %a"
+        Platform_sim.pp_error e
+  | Bound_not_met { bound; measured } ->
+      Format.fprintf ppf
+        "repaired design misses its recomputed bound: measured %a < bound %a"
+        Rational.pp measured Rational.pp bound
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+(* --- recovery report ----------------------------------------------------- *)
+
+module Report = struct
+  type t = {
+    rp_resource : Diagnosis.failed_resource;
+    rp_migrated : (string * int * int) list;
+    rp_rerouted : ((int * int) * int) list;
+    rp_old_bound : Rational.t option;
+    rp_new_bound : Rational.t option;
+    rp_measured : Rational.t;
+    rp_loss_percent : float;
+  }
+
+  let degraded_ratio t =
+    match (t.rp_old_bound, t.rp_new_bound) with
+    | Some o, Some n when Rational.to_float o > 0.0 ->
+        Rational.to_float n /. Rational.to_float o
+    | _ -> 1.0
+
+  let pp ppf t =
+    Format.fprintf ppf "@[<v>recovered from %a" Diagnosis.pp_resource
+      t.rp_resource;
+    (match t.rp_migrated with
+    | [] -> Format.fprintf ppf "@,no actors migrated"
+    | ms ->
+        Format.fprintf ppf "@,migrated actors:";
+        List.iter
+          (fun (a, from_, to_) ->
+            Format.fprintf ppf "@,  %s: tile%d -> tile%d" a from_ to_)
+          ms);
+    (match t.rp_rerouted with
+    | [] -> ()
+    | rs ->
+        Format.fprintf ppf "@,rerouted connections:";
+        List.iter
+          (fun ((s, d), hops) ->
+            Format.fprintf ppf "@,  %d -> %d: now %d hops" s d hops)
+          rs);
+    let pp_bound ppf = function
+      | Some b -> Rational.pp ppf b
+      | None -> Format.pp_print_string ppf "n/a"
+    in
+    Format.fprintf ppf
+      "@,bound: %a -> %a iterations/cycle (%.1f%% throughput loss)" pp_bound
+      t.rp_old_bound pp_bound t.rp_new_bound t.rp_loss_percent;
+    Format.fprintf ppf "@,measured on repaired platform: %a@]" Rational.pp
+      t.rp_measured
+
+  let to_string t = Format.asprintf "%a" pp t
+
+  let json_string s = Printf.sprintf "\"%s\"" (Obs.Chrome_trace.escape s)
+
+  let json_rational = function
+    | None -> "null"
+    | Some (r : Rational.t) ->
+        Printf.sprintf "{\"num\":%d,\"den\":%d}" r.Rational.num r.Rational.den
+
+  let to_json t =
+    let resource =
+      match t.rp_resource with
+      | Diagnosis.Failed_tile tile ->
+          Printf.sprintf "{\"kind\":\"tile\",\"tile\":%d}" tile
+      | Diagnosis.Failed_link { fl_channel; fl_hop } ->
+          Printf.sprintf "{\"kind\":\"link\",\"channel\":%s,\"hop\":%s}"
+            (json_string fl_channel)
+            (match fl_hop with
+            | None -> "null"
+            | Some (a, b) -> Printf.sprintf "[%d,%d]" a b)
+    in
+    let migrated =
+      List.map
+        (fun (a, from_, to_) ->
+          Printf.sprintf "{\"actor\":%s,\"from\":%d,\"to\":%d}" (json_string a)
+            from_ to_)
+        t.rp_migrated
+    in
+    let rerouted =
+      List.map
+        (fun ((s, d), hops) ->
+          Printf.sprintf "{\"src\":%d,\"dst\":%d,\"hops\":%d}" s d hops)
+        t.rp_rerouted
+    in
+    Printf.sprintf
+      "{\"resource\":%s,\"migrated\":[%s],\"rerouted\":[%s],\"old_bound\":%s,\"new_bound\":%s,\"measured\":%s,\"loss_percent\":%.3f}"
+      resource
+      (String.concat "," migrated)
+      (String.concat "," rerouted)
+      (json_rational t.rp_old_bound)
+      (json_rational t.rp_new_bound)
+      (json_rational (Some t.rp_measured))
+      t.rp_loss_percent
+end
+
+(* --- repair -------------------------------------------------------------- *)
+
+let remap_error = function
+  | Flow_map.Infeasible_binding msg -> Rebinding_failed msg
+  | Flow_map.Noc_partitioned { src; dst } -> Mesh_partitioned { src; dst }
+  | e -> Remap_failed e
+
+(* Re-run the Figure-2 mapping stages on the shrunken platform: the same
+   application and platform description, with the dead resource excluded
+   through the mapping options. Binding, NoC routes, static orders, buffer
+   sizes and the worst-case bound are all re-derived. *)
+let repair (mapping : Flow_map.t) ~(failed : Diagnosis.failed_resource) =
+  let opts = mapping.Flow_map.options in
+  let app = mapping.Flow_map.application in
+  let platform = mapping.Flow_map.platform in
+  let assignment = mapping.Flow_map.binding.Binding.assignment in
+  let rerun options =
+    Result.map_error remap_error (Flow_map.run app platform ~options ())
+  in
+  match failed with
+  | Diagnosis.Failed_tile tile -> (
+      let excluded =
+        List.sort_uniq compare (tile :: opts.Flow_map.excluded_tiles)
+      in
+      (* minimal migration first: survivors stay put, only the stranded
+         actors move. If that is infeasible (memory, balance), fall back to
+         a free re-bind that keeps only the original pins off the dead
+         tile. *)
+      let survivors = List.filter (fun (_, t) -> t <> tile) assignment in
+      match
+        rerun
+          { opts with Flow_map.excluded_tiles = excluded; fixed = survivors }
+      with
+      | Ok m -> Ok m
+      | Error (Rebinding_failed _ | Remap_failed _) ->
+          rerun
+            {
+              opts with
+              Flow_map.excluded_tiles = excluded;
+              fixed =
+                List.filter (fun (_, t) -> t <> tile) opts.Flow_map.fixed;
+            }
+      | Error e -> Error e)
+  | Diagnosis.Failed_link { fl_hop = Some hop; _ } ->
+      (* the binding survives; only the NoC routes change *)
+      rerun
+        {
+          opts with
+          Flow_map.forbidden_hops = hop :: opts.Flow_map.forbidden_hops;
+          fixed = assignment;
+        }
+  | Diagnosis.Failed_link { fl_channel; fl_hop = None } -> (
+      (* a dead point-to-point link: no channel may cross that tile pair
+         again, and the endpoint actors lose any pins so they can move *)
+      let ic =
+        List.find_opt
+          (fun (ic : Comm_map.inter_channel) ->
+            ic.Comm_map.ic_name = fl_channel)
+          mapping.Flow_map.expansion.Comm_map.inter_channels
+      in
+      match ic with
+      | None ->
+          Error
+            (Rebinding_failed
+               (Printf.sprintf "dead channel %S is not inter-tile" fl_channel))
+      | Some ic ->
+          let g = mapping.Flow_map.timed_graph in
+          let endpoints =
+            List.concat_map
+              (fun (c : Graph.channel) ->
+                if c.Graph.channel_name = fl_channel then
+                  [
+                    (Graph.actor g c.Graph.source).Graph.actor_name;
+                    (Graph.actor g c.Graph.target).Graph.actor_name;
+                  ]
+                else [])
+              (Graph.channels g)
+          in
+          rerun
+            {
+              opts with
+              Flow_map.forbidden_pairs =
+                (ic.Comm_map.ic_src_tile, ic.Comm_map.ic_dst_tile)
+                :: opts.Flow_map.forbidden_pairs;
+              fixed =
+                List.filter
+                  (fun (a, _) -> not (List.mem a endpoints))
+                  opts.Flow_map.fixed;
+            })
+
+(* --- verify and report --------------------------------------------------- *)
+
+let report_of ~(original : Flow_map.t) ~(repaired : Flow_map.t) ~failed
+    ~measured =
+  let old_assignment = original.Flow_map.binding.Binding.assignment in
+  let migrated =
+    List.filter_map
+      (fun (actor, to_tile) ->
+        match List.assoc_opt actor old_assignment with
+        | Some from_tile when from_tile <> to_tile ->
+            Some (actor, from_tile, to_tile)
+        | _ -> None)
+      repaired.Flow_map.binding.Binding.assignment
+    |> List.sort compare
+  in
+  let rerouted =
+    match (original.Flow_map.noc_allocation, repaired.Flow_map.noc_allocation)
+    with
+    | Some old_alloc, Some new_alloc ->
+        List.filter_map
+          (fun (c : Arch.Noc.connection) ->
+            let pair = (c.Arch.Noc.conn_src, c.Arch.Noc.conn_dst) in
+            let old_route =
+              List.find_opt
+                (fun (o : Arch.Noc.connection) ->
+                  o.Arch.Noc.conn_src = fst pair
+                  && o.Arch.Noc.conn_dst = snd pair)
+                old_alloc.Arch.Noc.connections
+            in
+            match old_route with
+            | Some o when o.Arch.Noc.conn_route <> c.Arch.Noc.conn_route ->
+                Some (pair, List.length c.Arch.Noc.conn_route)
+            | _ -> None)
+          new_alloc.Arch.Noc.connections
+        |> List.sort compare
+    | _ -> []
+  in
+  let old_bound = Flow_map.throughput original in
+  let new_bound = Flow_map.throughput repaired in
+  let loss =
+    match (old_bound, new_bound) with
+    | Some o, Some n when Rational.to_float o > 0.0 ->
+        100.0 *. (1.0 -. (Rational.to_float n /. Rational.to_float o))
+    | _ -> 0.0
+  in
+  {
+    Report.rp_resource = failed;
+    rp_migrated = migrated;
+    rp_rerouted = rerouted;
+    rp_old_bound = old_bound;
+    rp_new_bound = new_bound;
+    rp_measured = measured;
+    rp_loss_percent = loss;
+  }
+
+let run (mapping : Flow_map.t) ~failed ~iterations ?max_cycles () =
+  match repair mapping ~failed with
+  | Error e -> Error e
+  | Ok repaired -> (
+      (* replay from iteration 0 under worst-case timing: the degraded
+         tightness oracle — measured must still dominate the recomputed
+         bound *)
+      match
+        Platform_sim.run repaired ~iterations ~timing:Platform_sim.Wcet
+          ?max_cycles ()
+      with
+      | Error e -> Error (Verification_failed e)
+      | Ok result -> (
+          let measured = Platform_sim.steady_throughput result in
+          match Flow_map.throughput repaired with
+          | Some bound when Rational.compare measured bound < 0 ->
+              Error (Bound_not_met { bound; measured })
+          | Some _ | None ->
+              Ok (report_of ~original:mapping ~repaired ~failed ~measured, repaired)))
+
+(* --- end-to-end scenario evaluation -------------------------------------- *)
+
+type outcome =
+  | Tolerated of Platform_sim.result
+  | Repaired of Report.t * Flow_map.t
+  | Unrepairable of error
+  | Undiagnosed of Platform_sim.error
+
+let outcome_ok = function
+  | Tolerated _ | Repaired _ -> true
+  | Unrepairable e -> typed_unrepairable e
+  | Undiagnosed _ -> false
+
+let pp_outcome ppf = function
+  | Tolerated r ->
+      Format.fprintf ppf "tolerated: run completed, throughput %a"
+        Rational.pp
+        (Platform_sim.steady_throughput r)
+  | Repaired (report, _) -> Report.pp ppf report
+  | Unrepairable e -> pp_error ppf e
+  | Undiagnosed e ->
+      Format.fprintf ppf "UNDIAGNOSED failure: %a" Platform_sim.pp_error e
+
+let evaluate_scenario (mapping : Flow_map.t) scenario ~iterations ?max_cycles
+    () =
+  let faults = fault_of_scenario scenario in
+  match Platform_sim.run mapping ~iterations ~faults ?max_cycles () with
+  | Ok r -> Tolerated r
+  | Error (Platform_sim.Deadlock d) -> (
+      match d.Diagnosis.dg_classification with
+      | Diagnosis.Resource_failure { rf_resource; _ } -> (
+          match run mapping ~failed:rf_resource ~iterations ?max_cycles () with
+          | Ok (report, repaired) -> Repaired (report, repaired)
+          | Error e -> Unrepairable e)
+      | Diagnosis.Wait_for_cycle -> Undiagnosed (Platform_sim.Deadlock d))
+  | Error e -> Undiagnosed e
+
+let sweep ?(jobs = 1) (mapping : Flow_map.t) ?at_cycle ~iterations ?max_cycles
+    () =
+  let ss = scenarios ?at_cycle mapping in
+  Exec.Pool.with_pool ~jobs (fun pool ->
+      Exec.Pool.map pool
+        (fun s -> (s, evaluate_scenario mapping s ~iterations ?max_cycles ()))
+        ss)

@@ -1,0 +1,140 @@
+(** Self-healing flow: detect → repair → re-verify after a permanent fault.
+
+    The paper's guarantee is computed for a fixed platform; a permanently
+    dead PE or NoC link invalidates it. This module closes the loop: a run
+    under a permanent {!Sim.Fault} deadlocks, the {!Sim.Diagnosis}
+    classifies the failed resource, {!repair} re-runs the Figure-2 mapping
+    stages on the shrunken platform (binding with the dead tile excluded,
+    NoC routes avoiding the dead hop, re-derived schedules and buffers),
+    and {!run} re-verifies the degraded worst-case bound on the repaired
+    design before reporting the throughput loss.
+
+    Repair is deliberately a fresh {!Mapping.Flow_map.run} from the
+    original mapping's stored options: recovery is the static flow itself
+    on a smaller platform, not a separate heuristic, so every repaired
+    design carries the same analyzable guarantee as the original. *)
+
+(** A single permanent fault to inject. *)
+type scenario =
+  | Kill_tile of { tile : int; at_cycle : int }
+  | Kill_hop of { hop : int * int; at_cycle : int }
+      (** a directed NoC mesh link *)
+  | Kill_channel of { channel : string; at_cycle : int }
+      (** a point-to-point (FSL) link, by channel name *)
+
+val scenario_name : scenario -> string
+(** Stable slug for reports and bench entries: ["tile2"], ["link1->3"],
+    ["channel-data"]. *)
+
+val fault_of_scenario : scenario -> Sim.Fault.spec
+
+val scenarios : ?at_cycle:int -> Mapping.Flow_map.t -> scenario list
+(** Every single permanent fault that can hit the mapped design: one
+    {!Kill_tile} per tile hosting an actor, plus one {!Kill_hop} per
+    distinct mesh hop in use (NoC) or one {!Kill_channel} per inter-tile
+    channel (FSL). [at_cycle] defaults to 0. *)
+
+(** Why recovery failed. {!typed_unrepairable} errors are legitimate "this
+    fault cannot be survived" answers (partition/capacity causes); the
+    others indicate the repaired design misbehaved and are recovery
+    failures. *)
+type error =
+  | Not_resource_failure of Sim.Diagnosis.t
+      (** the deadlock was a design-level wait-for cycle, not a fault *)
+  | Rebinding_failed of string
+      (** no feasible binding on the shrunken platform (capacity) *)
+  | Mesh_partitioned of { src : int; dst : int }
+      (** the dead links disconnect two communicating tiles *)
+  | Remap_failed of Mapping.Flow_map.error
+      (** the re-mapping pipeline failed downstream of binding *)
+  | Verification_failed of Sim.Platform_sim.error
+      (** the repaired design did not complete its verification run *)
+  | Bound_not_met of { bound : Sdf.Rational.t; measured : Sdf.Rational.t }
+      (** the repaired design missed its own recomputed bound *)
+
+val typed_unrepairable : error -> bool
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+module Report : sig
+  type t = {
+    rp_resource : Sim.Diagnosis.failed_resource;
+    rp_migrated : (string * int * int) list;
+        (** (actor, from tile, to tile), sorted *)
+    rp_rerouted : ((int * int) * int) list;
+        (** ((src, dst), new hop count) for each changed NoC route *)
+    rp_old_bound : Sdf.Rational.t option;
+    rp_new_bound : Sdf.Rational.t option;  (** the degraded guarantee *)
+    rp_measured : Sdf.Rational.t;
+        (** steady-state throughput of the repaired design's WCET replay *)
+    rp_loss_percent : float;  (** 100 * (1 - new_bound / old_bound) *)
+  }
+
+  val degraded_ratio : t -> float
+  (** [new_bound / old_bound]; 1.0 when either bound is unavailable. *)
+
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+
+  val to_json : t -> string
+  (** Machine-readable report for CI artifacts (lib/obs escaping rules). *)
+end
+
+val repair :
+  Mapping.Flow_map.t ->
+  failed:Sim.Diagnosis.failed_resource ->
+  (Mapping.Flow_map.t, error) result
+(** Re-map around the failed resource. Dead tile: the tile is excluded and
+    survivors stay pinned in place (minimal migration), falling back to a
+    free re-bind when that is infeasible. Dead mesh hop: the binding is
+    kept and routes are recomputed around the hop. Dead point-to-point
+    link: the tile pair is forbidden and the endpoint actors lose their
+    pins so they can move. *)
+
+val run :
+  Mapping.Flow_map.t ->
+  failed:Sim.Diagnosis.failed_resource ->
+  iterations:int ->
+  ?max_cycles:int ->
+  unit ->
+  (Report.t * Mapping.Flow_map.t, error) result
+(** {!repair}, then replay the repaired design from iteration 0 under
+    worst-case timing and check measured >= recomputed bound (the
+    degraded-tightness oracle). *)
+
+(** End-to-end outcome of one injected scenario. *)
+type outcome =
+  | Tolerated of Sim.Platform_sim.result
+      (** the run completed despite the fault (it never bit) *)
+  | Repaired of Report.t * Mapping.Flow_map.t
+  | Unrepairable of error
+  | Undiagnosed of Sim.Platform_sim.error
+      (** the run failed without a resource-failure diagnosis — a recovery
+          bug, never acceptable *)
+
+val outcome_ok : outcome -> bool
+(** Acceptable outcomes: tolerated, repaired, or typed-unrepairable. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val evaluate_scenario :
+  Mapping.Flow_map.t ->
+  scenario ->
+  iterations:int ->
+  ?max_cycles:int ->
+  unit ->
+  outcome
+(** Inject the scenario into a data-dependent run of the original design,
+    then diagnose, repair and verify as needed. *)
+
+val sweep :
+  ?jobs:int ->
+  Mapping.Flow_map.t ->
+  ?at_cycle:int ->
+  iterations:int ->
+  ?max_cycles:int ->
+  unit ->
+  (scenario * outcome) list
+(** Evaluate every {!scenarios} entry, fanned out over an {!Exec.Pool}
+    ([jobs] defaults to 1); results come back in scenario order, so the
+    output is byte-identical for any [jobs]. *)

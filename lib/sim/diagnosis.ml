@@ -23,11 +23,23 @@ type blocked_tile = {
   bt_peer : string;
 }
 
+type failed_resource =
+  | Failed_tile of int
+  | Failed_link of { fl_channel : string; fl_hop : (int * int) option }
+
+type classification =
+  | Wait_for_cycle
+  | Resource_failure of {
+      rf_resource : failed_resource;
+      rf_stranded : string list;
+    }
+
 type t = {
   dg_cycle : int;
   dg_iterations_done : int;
   dg_blocked : blocked_tile list;
   dg_wait_cycle : blocked_tile list;
+  dg_classification : classification;
 }
 
 let channel_of = function
@@ -66,26 +78,91 @@ let find_cycle blocked =
   in
   try_starts blocked
 
+(* A stall is a resource failure (not a mutual wait) when some blocked
+   tile's wait-for chain terminates in a dead resource: it waits on a dead
+   channel, waits on a dead tile, or waits on a tile that is itself
+   stranded. [dead_tiles] carries the actors hosted on each dead tile,
+   [dead_channels] the optional mesh hop that killed each channel. *)
+let classify ~dead_tiles ~dead_channels blocked =
+  let tile_name i = Printf.sprintf "tile%d" i in
+  let dead_tile_of_name name =
+    List.find_opt (fun (t, _) -> tile_name t = name) dead_tiles
+  in
+  let dead_channel op =
+    List.find_opt (fun (c, _) -> c = channel_of op) dead_channels
+  in
+  let lookup tile = List.find_opt (fun b -> b.bt_tile = tile) blocked in
+  (* the dead resource a blocked entry's wait chain terminates in, if any *)
+  let rec terminal visited b =
+    if List.mem b.bt_tile visited then None
+    else
+      match dead_channel b.bt_op with
+      | Some (c, hop) -> Some (Failed_link { fl_channel = c; fl_hop = hop })
+      | None -> (
+          match dead_tile_of_name b.bt_peer with
+          | Some (t, _) -> Some (Failed_tile t)
+          | None -> (
+              match lookup b.bt_peer with
+              | None -> None
+              | Some next -> terminal (b.bt_tile :: visited) next))
+  in
+  let terminals = List.map (fun b -> (b, terminal [] b)) blocked in
+  let stranded_entries =
+    List.filter_map (fun (b, t) -> if t = None then None else Some b) terminals
+  in
+  let dead_tile_actors = List.concat_map snd dead_tiles in
+  let stranded =
+    List.sort_uniq compare
+      (List.map (fun b -> b.bt_actor) stranded_entries @ dead_tile_actors)
+  in
+  match List.find_map snd terminals with
+  | Some resource -> Resource_failure { rf_resource = resource; rf_stranded = stranded }
+  | None -> (
+      (* nobody's chain reaches a dead resource directly; still blame a
+         dead tile that hosts actors (those firings are gone for good) *)
+      match List.find_opt (fun (_, actors) -> actors <> []) dead_tiles with
+      | Some (t, _) ->
+          Resource_failure { rf_resource = Failed_tile t; rf_stranded = stranded }
+      | None -> Wait_for_cycle)
+
 let unit_name = function Tokens -> "tokens" | Words -> "words"
 
+let pp_resource ppf = function
+  | Failed_tile t -> Format.fprintf ppf "dead tile%d" t
+  | Failed_link { fl_channel; fl_hop = None } ->
+      Format.fprintf ppf "dead link on channel %S" fl_channel
+  | Failed_link { fl_channel; fl_hop = Some (a, b) } ->
+      Format.fprintf ppf "dead mesh hop %d->%d (channel %S)" a b fl_channel
+
+(* Occupancies always read "<have> <unit> <state>, needs <n> <unit>": the
+   unit is named on both numbers so a 0-of-3 "tokens" read and a 0-of-1
+   "words" write cannot be conflated in the same report. *)
 let pp_blocked ppf b =
   match b.bt_op with
   | Waiting_read { wr_channel; wr_available; wr_needed; wr_unit } ->
+      let u = unit_name wr_unit in
       Format.fprintf ppf
-        "%s: actor %S blocked reading %S (%d of %d %s available) - waiting \
-         on %s"
-        b.bt_tile b.bt_actor wr_channel wr_available wr_needed
-        (unit_name wr_unit) b.bt_peer
+        "%s: actor %S blocked reading %S (%d %s available, needs %d %s) - \
+         waiting on %s"
+        b.bt_tile b.bt_actor wr_channel wr_available u wr_needed u b.bt_peer
   | Waiting_write { ww_channel; ww_free; ww_needed; ww_unit } ->
+      let u = unit_name ww_unit in
       Format.fprintf ppf
-        "%s: actor %S blocked writing %S (%d of %d %s free) - waiting on %s"
-        b.bt_tile b.bt_actor ww_channel ww_free ww_needed (unit_name ww_unit)
-        b.bt_peer
+        "%s: actor %S blocked writing %S (%d %s free, needs %d %s) - waiting \
+         on %s"
+        b.bt_tile b.bt_actor ww_channel ww_free u ww_needed u b.bt_peer
 
 let pp ppf d =
   Format.fprintf ppf
     "@[<v>platform deadlock at cycle %d after %d complete iterations"
     d.dg_cycle d.dg_iterations_done;
+  (match d.dg_classification with
+  | Wait_for_cycle -> ()
+  | Resource_failure { rf_resource; rf_stranded } ->
+      Format.fprintf ppf "@,resource failure: %a" pp_resource rf_resource;
+      if rf_stranded <> [] then
+        Format.fprintf ppf "@,stranded actors: %s"
+          (String.concat ", " rf_stranded));
   (match d.dg_wait_cycle with
   | [] -> Format.fprintf ppf "@,no wait-for cycle found among blocked tiles"
   | cycle ->
@@ -106,3 +183,49 @@ let pp ppf d =
   Format.fprintf ppf "@]"
 
 let report d = Format.asprintf "%a" pp d
+
+(* --- machine-readable export --------------------------------------------- *)
+
+let json_string s = Printf.sprintf "\"%s\"" (Obs.Chrome_trace.escape s)
+
+let json_of_blocked b =
+  let op, channel, have, need, unit_ =
+    match b.bt_op with
+    | Waiting_read { wr_channel; wr_available; wr_needed; wr_unit } ->
+        ("read", wr_channel, wr_available, wr_needed, wr_unit)
+    | Waiting_write { ww_channel; ww_free; ww_needed; ww_unit } ->
+        ("write", ww_channel, ww_free, ww_needed, ww_unit)
+  in
+  Printf.sprintf
+    "{\"tile\":%s,\"actor\":%s,\"op\":%s,\"channel\":%s,\"have\":%d,\"need\":%d,\"unit\":%s,\"waiting_on\":%s}"
+    (json_string b.bt_tile) (json_string b.bt_actor) (json_string op)
+    (json_string channel) have need
+    (json_string (unit_name unit_))
+    (json_string b.bt_peer)
+
+let json_of_classification = function
+  | Wait_for_cycle -> "{\"kind\":\"wait_for_cycle\"}"
+  | Resource_failure { rf_resource; rf_stranded } ->
+      let resource =
+        match rf_resource with
+        | Failed_tile t -> Printf.sprintf "{\"kind\":\"tile\",\"tile\":%d}" t
+        | Failed_link { fl_channel; fl_hop } ->
+            Printf.sprintf "{\"kind\":\"link\",\"channel\":%s,\"hop\":%s}"
+              (json_string fl_channel)
+              (match fl_hop with
+              | None -> "null"
+              | Some (a, b) -> Printf.sprintf "[%d,%d]" a b)
+      in
+      Printf.sprintf
+        "{\"kind\":\"resource_failure\",\"resource\":%s,\"stranded\":[%s]}"
+        resource
+        (String.concat "," (List.map json_string rf_stranded))
+
+let to_json d =
+  Printf.sprintf
+    "{\"cycle\":%d,\"iterations_done\":%d,\"classification\":%s,\"blocked\":[%s],\"wait_cycle\":[%s]}"
+    d.dg_cycle d.dg_iterations_done
+    (json_of_classification d.dg_classification)
+    (String.concat "," (List.map json_of_blocked d.dg_blocked))
+    (String.concat ","
+       (List.map (fun b -> json_string b.bt_tile) d.dg_wait_cycle))

@@ -34,12 +34,38 @@ type blocked_tile = {
   bt_peer : string;  (** the tile this one waits on *)
 }
 
+(** {1 Classification}
+
+    A stall under a permanent fault ({!Fault.dead_tile},
+    {!Fault.dead_link}) is not a mutual wait: some wait-for chain
+    terminates in a resource that will never produce again. The simulator
+    classifies every deadlock so recovery can distinguish "repair the
+    mapping around this resource" from "the design itself deadlocks". *)
+
+type failed_resource =
+  | Failed_tile of int
+  | Failed_link of {
+      fl_channel : string;  (** the starved channel *)
+      fl_hop : (int * int) option;  (** the dead mesh hop, for NoC routes *)
+    }
+
+type classification =
+  | Wait_for_cycle  (** a genuine mutual wait among live tiles *)
+  | Resource_failure of {
+      rf_resource : failed_resource;
+      rf_stranded : string list;
+          (** actors that can never fire again: those hosted on the dead
+              tile plus every actor whose wait chain ends in the dead
+              resource, sorted and deduplicated *)
+    }
+
 type t = {
   dg_cycle : int;  (** simulation time when the stall was detected *)
   dg_iterations_done : int;
-  dg_blocked : blocked_tile list;  (** every blocked PE *)
+  dg_blocked : blocked_tile list;  (** every blocked (live) PE *)
   dg_wait_cycle : blocked_tile list;
       (** the cyclic chain, in wait-for order; [[]] if none was found *)
+  dg_classification : classification;
 }
 
 val channel_of : blocked_op -> string
@@ -50,7 +76,25 @@ val wait_cycle_channels : t -> string list
 val find_cycle : blocked_tile list -> blocked_tile list
 (** Extract a cycle from the wait-for relation; used by the simulator. *)
 
+val classify :
+  dead_tiles:(int * string list) list ->
+  dead_channels:(string * (int * int) option) list ->
+  blocked_tile list ->
+  classification
+(** Classify a blocked set against the resources that were dead when the
+    stall was detected. [dead_tiles] pairs each dead tile with the actors
+    it hosts; [dead_channels] pairs each starved channel with the mesh hop
+    that killed it (or [None] for a point-to-point link). Used by the
+    simulator; exposed for tests. *)
+
 val pp : Format.formatter -> t -> unit
+val pp_resource : Format.formatter -> failed_resource -> unit
+
 val report : t -> string
-(** The blame report: the wait-for cycle with per-tile occupancies, then
-    any blocked tiles outside the cycle. *)
+(** The blame report: the classification, then the wait-for cycle with
+    per-tile occupancies (always labelled with their unit — tokens or
+    words), then any blocked tiles outside the cycle. *)
+
+val to_json : t -> string
+(** The full diagnosis as a JSON object (cycle, iterations, classification,
+    blocked set with occupancies and units, wait cycle) for CI artifacts. *)

@@ -22,6 +22,10 @@ type drop = {
   drop_retry_cycles : int;
 }
 
+type dead_tile = { dt_tile : int; dt_at_cycle : int }
+type link_ref = Link_channel of string | Link_hop of int * int
+type dead_link = { dl_link : link_ref; dl_at_cycle : int }
+
 type spec = {
   fault_name : string;
   seed : int;
@@ -29,6 +33,8 @@ type spec = {
   jitter : jitter option;
   slowdowns : slowdown list;
   drop : drop option;
+  dead_tiles : dead_tile list;
+  dead_links : dead_link list;
 }
 
 let none =
@@ -39,11 +45,53 @@ let none =
     jitter = None;
     slowdowns = [];
     drop = None;
+    dead_tiles = [];
+    dead_links = [];
   }
 
 let is_none spec =
   spec.stalls = [] && spec.jitter = None && spec.slowdowns = []
-  && spec.drop = None
+  && spec.drop = None && spec.dead_tiles = [] && spec.dead_links = []
+
+let kill_tile ?(at_cycle = 0) tile =
+  {
+    none with
+    fault_name = Printf.sprintf "kill-tile-%d" tile;
+    dead_tiles = [ { dt_tile = tile; dt_at_cycle = at_cycle } ];
+  }
+
+let kill_link ?(at_cycle = 0) link =
+  let name =
+    match link with
+    | Link_channel c -> Printf.sprintf "kill-channel-%s" c
+    | Link_hop (a, b) -> Printf.sprintf "kill-link-%d->%d" a b
+  in
+  { none with fault_name = name; dead_links = [ { dl_link = link; dl_at_cycle = at_cycle } ] }
+
+let tile_death spec ~tile =
+  List.fold_left
+    (fun acc d ->
+      if d.dt_tile <> tile then acc
+      else
+        match acc with
+        | None -> Some d.dt_at_cycle
+        | Some c -> Some (min c d.dt_at_cycle))
+    None spec.dead_tiles
+
+let link_death spec ~channel ~route =
+  List.fold_left
+    (fun acc d ->
+      let applies =
+        match d.dl_link with
+        | Link_channel c -> c = channel
+        | Link_hop (a, b) -> List.mem (a, b) route
+      in
+      if not applies then acc
+      else
+        match acc with
+        | None -> Some d
+        | Some prev -> if d.dl_at_cycle < prev.dl_at_cycle then Some d else acc)
+    None spec.dead_links
 
 let with_seed seed spec = { spec with seed }
 
@@ -146,6 +194,8 @@ let scenarios =
                 drop_max_retries = 2;
                 drop_retry_cycles = 32;
               };
+          dead_tiles = [];
+          dead_links = [];
         } );
   ]
 
@@ -165,6 +215,121 @@ let scenario ?(seed = 1) name =
 let pp_spec ppf spec =
   Format.fprintf ppf "fault scenario %S (seed %d)" spec.fault_name spec.seed;
   if is_none spec then Format.fprintf ppf ": no faults"
+
+(* --- validation ---------------------------------------------------------- *)
+
+type invalid =
+  | Bad_window of window
+  | Negative_seed of int
+  | Bad_percent of { what : string; value : int }
+  | Bad_count of { what : string; value : int }
+  | Bad_tile of { tile : int; tile_count : int option }
+  | Bad_cycle of int
+
+let pp_invalid ppf = function
+  | Bad_window w ->
+      Format.fprintf ppf
+        "invalid fault window {every=%d; phase=%d; length=%d}: needs every > \
+         0, phase >= 0, length > 0 and phase + length <= every"
+        w.every w.phase w.length
+  | Negative_seed s -> Format.fprintf ppf "negative fault seed %d" s
+  | Bad_percent { what; value } ->
+      Format.fprintf ppf "fault field %s out of range: %d" what value
+  | Bad_count { what; value } ->
+      Format.fprintf ppf "fault field %s must be non-negative, got %d" what
+        value
+  | Bad_tile { tile; tile_count } -> (
+      match tile_count with
+      | Some n ->
+          Format.fprintf ppf
+            "fault tile id %d out of range for a %d-tile platform" tile n
+      | None -> Format.fprintf ppf "negative fault tile id %d" tile)
+  | Bad_cycle c ->
+      Format.fprintf ppf "permanent fault cycle must be non-negative, got %d" c
+
+let invalid_to_string inv = Format.asprintf "%a" pp_invalid inv
+
+let validate ?tile_count spec =
+  let ( let* ) = Result.bind in
+  let check_window w =
+    if w.every > 0 && w.phase >= 0 && w.length > 0 && w.phase + w.length <= w.every
+    then Ok ()
+    else Error (Bad_window w)
+  in
+  let check_tile tile =
+    if tile < 0 then Error (Bad_tile { tile; tile_count = None })
+    else
+      match tile_count with
+      | Some n when tile >= n -> Error (Bad_tile { tile; tile_count = Some n })
+      | _ -> Ok ()
+  in
+  let check_count what value =
+    if value < 0 then Error (Bad_count { what; value }) else Ok ()
+  in
+  let rec each f = function
+    | [] -> Ok ()
+    | x :: rest ->
+        let* () = f x in
+        each f rest
+  in
+  let* () = if spec.seed < 0 then Error (Negative_seed spec.seed) else Ok () in
+  let* () = each (fun st -> check_window st.st_window) spec.stalls in
+  let* () =
+    each
+      (fun sl ->
+        let* () = check_window sl.sl_window in
+        let* () =
+          if sl.sl_percent < 0 then
+            Error (Bad_percent { what = "sl_percent"; value = sl.sl_percent })
+          else Ok ()
+        in
+        match sl.sl_tile with Some t -> check_tile t | None -> Ok ())
+      spec.slowdowns
+  in
+  let* () =
+    match spec.jitter with
+    | None -> Ok ()
+    | Some j ->
+        let* () =
+          if j.jit_per_million < 0 || j.jit_per_million > 1_000_000 then
+            Error
+              (Bad_percent { what = "jit_per_million"; value = j.jit_per_million })
+          else Ok ()
+        in
+        check_count "jit_max_extra" j.jit_max_extra
+  in
+  let* () =
+    match spec.drop with
+    | None -> Ok ()
+    | Some d ->
+        let* () =
+          if d.drop_per_million < 0 || d.drop_per_million > 1_000_000 then
+            Error
+              (Bad_percent
+                 { what = "drop_per_million"; value = d.drop_per_million })
+          else Ok ()
+        in
+        let* () = check_count "drop_max_retries" d.drop_max_retries in
+        check_count "drop_retry_cycles" d.drop_retry_cycles
+  in
+  let* () =
+    each
+      (fun d ->
+        let* () = check_tile d.dt_tile in
+        if d.dt_at_cycle < 0 then Error (Bad_cycle d.dt_at_cycle) else Ok ())
+      spec.dead_tiles
+  in
+  each
+    (fun d ->
+      let* () =
+        match d.dl_link with
+        | Link_channel _ -> Ok ()
+        | Link_hop (a, b) ->
+            let* () = check_tile a in
+            check_tile b
+      in
+      if d.dl_at_cycle < 0 then Error (Bad_cycle d.dl_at_cycle) else Ok ())
+    spec.dead_links
 
 (* --- runtime state ------------------------------------------------------- *)
 

@@ -48,6 +48,24 @@ type drop = {
   drop_retry_cycles : int;  (** round-trip penalty per retransmission *)
 }
 
+(** {1 Permanent faults}
+
+    Unlike the transient classes above, permanent faults never heal: from
+    [at_cycle] on, a dead tile fires nothing and a dead link delivers
+    nothing. A run under a permanent fault normally ends in a deadlock
+    whose {!Diagnosis} classifies the failed resource, which is the input
+    to the recovery flow ([Recover.repair]). Permanent faults draw nothing
+    from the PRNG, so adding an empty [dead_tiles]/[dead_links] list keeps
+    transient-only runs bit-identical. *)
+
+type dead_tile = { dt_tile : int; dt_at_cycle : int }
+
+type link_ref =
+  | Link_channel of string  (** a channel by name (FSL or NoC connection) *)
+  | Link_hop of int * int  (** a directed NoC mesh hop [src -> dst] *)
+
+type dead_link = { dl_link : link_ref; dl_at_cycle : int }
+
 type spec = {
   fault_name : string;
   seed : int;
@@ -55,6 +73,8 @@ type spec = {
   jitter : jitter option;
   slowdowns : slowdown list;
   drop : drop option;
+  dead_tiles : dead_tile list;
+  dead_links : dead_link list;
 }
 
 val none : spec
@@ -62,6 +82,41 @@ val none : spec
 
 val is_none : spec -> bool
 val with_seed : int -> spec -> spec
+
+val kill_tile : ?at_cycle:int -> int -> spec
+(** A spec with the single permanent fault "tile [i] dies at [at_cycle]"
+    (default cycle 0). *)
+
+val kill_link : ?at_cycle:int -> link_ref -> spec
+(** A spec with the single permanent fault "link dies at [at_cycle]". *)
+
+val tile_death : spec -> tile:int -> int option
+(** Earliest cycle at which [tile] dies under this spec, if any. *)
+
+val link_death : spec -> channel:string -> route:(int * int) list -> dead_link option
+(** Earliest-dying permanent link fault hitting a channel: matches by
+    channel name or by any mesh hop on the channel's [route] (empty for
+    point-to-point FSL links). *)
+
+(** {1 Validation} *)
+
+type invalid =
+  | Bad_window of window
+      (** violates [every > 0 && phase >= 0 && length > 0 && phase + length <= every] *)
+  | Negative_seed of int
+  | Bad_percent of { what : string; value : int }
+      (** a percentage/ppm field outside its range *)
+  | Bad_count of { what : string; value : int }  (** a negative count field *)
+  | Bad_tile of { tile : int; tile_count : int option }
+      (** tile id negative, or >= [tile_count] when the platform is known *)
+  | Bad_cycle of int  (** negative [at_cycle] on a permanent fault *)
+
+val validate : ?tile_count:int -> spec -> (unit, invalid) result
+(** Reject malformed specs before simulating them. [tile_count], when
+    given, also range-checks tile ids against the platform. *)
+
+val pp_invalid : Format.formatter -> invalid -> unit
+val invalid_to_string : invalid -> string
 
 val scenario : ?seed:int -> string -> (spec, string) result
 (** A named scenario ([seed] defaults to 1); the error lists valid names. *)

@@ -31,9 +31,11 @@ type error =
       iterations_done : int;
     }
   | Budget_exhausted of { rounds : int; iterations_done : int }
+  | Invalid_fault of Fault.invalid
 
 let pp_error ppf = function
   | Deadlock d -> Diagnosis.pp ppf d
+  | Invalid_fault inv -> Fault.pp_invalid ppf inv
   | Watchdog_expired { at_cycle; max_cycles; iterations_done } ->
       Format.fprintf ppf
         "watchdog expired: no completion by cycle %d (cutoff %d, %d \
@@ -58,8 +60,10 @@ type link = {
   lk_params : Comm_map.channel_params;
   lk_words : int;  (** words per token *)
   lk_route : (int * int) list;  (** NoC hops of the connection; [] on FSL *)
+  lk_death : Fault.dead_link option;  (** permanent fault hitting this link *)
   word_arrivals : int Queue.t;  (** arrival time of each unread word *)
-  tokens_pending : (Token.t * int) Queue.t;  (** values, ready_at (CA only) *)
+  tokens_pending : (Token.t * int * int) Queue.t;
+      (** values, ready_at (CA only), last word arrival *)
   mutable words_in_flight : int;
   mutable next_entry : int;  (** link pacing: earliest next word entry *)
   mutable src_ca_busy : int;
@@ -90,6 +94,7 @@ type step =
 
 type proc = {
   tile : int;
+  dead_at : int option;  (** cycle from which this tile's PE is dead *)
   program : step array;
   mutable pc : int;
   mutable busy_until : int;
@@ -105,9 +110,8 @@ let blank_token (c : Graph.channel) =
     byte_size = c.token_size;
   }
 
-let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
-    ?(faults = Fault.none) ?max_cycles ?metrics ?(observe = fun _ _ -> ())
-    ?(trace = fun ~tile:_ ~label:_ ~start:_ ~finish:_ -> ()) () =
+let simulate (mapping : Flow_map.t) ~iterations ~timing ~faults ~max_cycles
+    ~metrics ~observe ~trace =
   let fstate = Fault.start faults in
   let app = mapping.Flow_map.application in
   let g = mapping.Flow_map.timed_graph in
@@ -160,14 +164,18 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
                    occ_hw = Queue.length queue;
                  }
            | Some ic ->
+               let route =
+                 route_of ic.Comm_map.ic_src_tile ic.Comm_map.ic_dst_tile
+               in
                let link =
                  {
                    lk_name = c.channel_name;
                    lk_track = "link:" ^ c.channel_name;
                    lk_params = ic.Comm_map.ic_params;
                    lk_words = ic.Comm_map.ic_words;
-                   lk_route =
-                     route_of ic.Comm_map.ic_src_tile ic.Comm_map.ic_dst_tile;
+                   lk_route = route;
+                   lk_death =
+                     Fault.link_death faults ~channel:c.channel_name ~route;
                    word_arrivals = Queue.create ();
                    tokens_pending = Queue.create ();
                    words_in_flight = 0;
@@ -186,7 +194,7 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
                   0 and the reader deserializes them like any other *)
                Array.iter
                  (fun tok ->
-                   Queue.add (tok, 0) link.tokens_pending;
+                   Queue.add (tok, 0, 0) link.tokens_pending;
                    for _ = 1 to link.lk_words do
                      Queue.add 0 link.word_arrivals
                    done;
@@ -224,6 +232,7 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
             Some
               {
                 tile;
+                dead_at = Fault.tile_death faults ~tile;
                 program;
                 pc = 0;
                 busy_until = 0;
@@ -320,13 +329,29 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
         done_at
       end
     in
-    Queue.add (tok, ready) link.tokens_pending;
+    Queue.add (tok, ready, !last_arrival) link.tokens_pending;
     note_queue link;
     link.words_in_flight <- link.words_in_flight + link.lk_words;
     note_fifo link
   in
+  (* permanent faults: a dead PE steps no further, a dead link delivers no
+     word whose arrival falls past the death cycle *)
+  let tile_dead p =
+    match p.dead_at with Some d -> d <= !now | None -> false
+  in
+  let link_dead link =
+    match link.lk_death with
+    | Some d -> d.Fault.dl_at_cycle <= !now
+    | None -> false
+  in
+  let word_lost link ~arrival =
+    match link.lk_death with
+    | Some d -> arrival > d.Fault.dl_at_cycle
+    | None -> false
+  in
   let try_step p =
     if p.busy_until > !now then false
+    else if tile_dead p then false
     else begin
       match p.program.(p.pc) with
       | Read c -> (
@@ -349,7 +374,8 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
                 if p.progress >= total_words then begin
                   let tokens =
                     Array.init c.consumption_rate (fun _ ->
-                        fst (Queue.pop link.tokens_pending))
+                        let tok, _, _ = Queue.pop link.tokens_pending in
+                        tok)
                   in
                   p.bundle <- (c.channel_name, tokens) :: p.bundle;
                   advance_pc p;
@@ -358,6 +384,8 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
                 else begin
                   match Queue.peek_opt link.word_arrivals with
                   | None -> false
+                  | Some arrival when word_lost link ~arrival ->
+                      false (* the word died with the link: starved forever *)
                   | Some arrival when arrival > !now ->
                       p.busy_until <- arrival;
                       true
@@ -376,22 +404,28 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
               else begin
                 (* a CA already deserialized: tokens become ready wholesale *)
                 if Queue.length link.tokens_pending >= c.consumption_rate then begin
-                  let ready =
-                    List.fold_left
-                      (fun acc (_, r) -> Stdlib.max acc r)
-                      0
-                      (List.filteri
-                         (fun i _ -> i < c.consumption_rate)
-                         (List.of_seq (Queue.to_seq link.tokens_pending)))
+                  let needed =
+                    List.filteri
+                      (fun i _ -> i < c.consumption_rate)
+                      (List.of_seq (Queue.to_seq link.tokens_pending))
                   in
-                  if ready > !now then begin
+                  let ready =
+                    List.fold_left (fun acc (_, r, _) -> Stdlib.max acc r) 0 needed
+                  in
+                  if
+                    List.exists
+                      (fun (_, _, arrival) -> word_lost link ~arrival)
+                      needed
+                  then false (* a needed token died with the link *)
+                  else if ready > !now then begin
                     p.busy_until <- ready;
                     true
                   end
                   else begin
                     let tokens =
                       Array.init c.consumption_rate (fun _ ->
-                          fst (Queue.pop link.tokens_pending))
+                          let tok, _, _ = Queue.pop link.tokens_pending in
+                          tok)
                     in
                     for _ = 1 to total_words do
                       ignore (Queue.pop link.word_arrivals)
@@ -470,6 +504,8 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
                   advance_pc p;
                   true
                 end
+                else if link_dead link then
+                  false (* a put on a dead link blocks forever *)
                 else if
                   link.words_in_flight
                   >= params.Comm_map.network_buffer_words
@@ -496,7 +532,7 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
                     let index = (p.progress / link.lk_words) - 1 in
                     let tok = (tokens ()).(index) in
                     observe c.channel_name tok;
-                    Queue.add (tok, arrival) link.tokens_pending;
+                    Queue.add (tok, arrival, arrival) link.tokens_pending;
                     note_queue link;
                     trace ~tile:link.lk_track ~label:"xfer"
                       ~start:link.tok_entry ~finish:arrival
@@ -504,6 +540,8 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
                   true
                 end
               end
+              else if link_dead link then
+                false (* the DMA backpressures on a dead link *)
               else begin
                 (* a CA ships the tokens in the background; the PE only
                    hands over descriptors *)
@@ -533,7 +571,7 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
     let blocked =
       List.filter_map
         (fun p ->
-          if Array.length p.program = 0 then None
+          if Array.length p.program = 0 || tile_dead p then None
           else
             match p.program.(p.pc) with
             | Fire _ -> None (* firing never blocks *)
@@ -607,11 +645,34 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
                     else None (* CA descriptor queues never block the PE *)))
         procs
     in
+    let dead_tiles =
+      List.filter_map
+        (fun (d : Fault.dead_tile) ->
+          if d.Fault.dt_at_cycle <= !now then
+            Some (d.Fault.dt_tile, Binding.actors_on binding ~tile:d.Fault.dt_tile)
+          else None)
+        faults.Fault.dead_tiles
+    in
+    let dead_channels =
+      Array.to_list channels
+      |> List.filter_map (function
+           | Local _ -> None
+           | Remote link -> (
+               match link.lk_death with
+               | Some d when d.Fault.dl_at_cycle <= !now ->
+                   Some
+                     ( link.lk_name,
+                       match d.Fault.dl_link with
+                       | Fault.Link_hop (a, b) -> Some (a, b)
+                       | Fault.Link_channel _ -> None )
+               | _ -> None))
+    in
     {
       Diagnosis.dg_cycle = !now;
       dg_iterations_done = !iterations_done;
       dg_blocked = blocked;
       dg_wait_cycle = Diagnosis.find_cycle blocked;
+      dg_classification = Diagnosis.classify ~dead_tiles ~dead_channels blocked;
     }
   in
   (* scheduler loop *)
@@ -749,6 +810,16 @@ let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
               (Graph.channels g);
           fault_events = Fault.events fstate;
         }
+
+let run (mapping : Flow_map.t) ~iterations ?(timing = Data_dependent)
+    ?(faults = Fault.none) ?max_cycles ?metrics ?(observe = fun _ _ -> ())
+    ?(trace = fun ~tile:_ ~label:_ ~start:_ ~finish:_ -> ()) () =
+  let tile_count = Arch.Platform.tile_count mapping.Flow_map.platform in
+  match Fault.validate ~tile_count faults with
+  | Error inv -> Error (Invalid_fault inv)
+  | Ok () ->
+      simulate mapping ~iterations ~timing ~faults ~max_cycles ~metrics
+        ~observe ~trace
 
 let overall_throughput r =
   if r.total_cycles = 0 then Rational.zero

@@ -67,6 +67,8 @@ type error =
     }  (** the [max_cycles] cutoff hit before [iterations] completed *)
   | Budget_exhausted of { rounds : int; iterations_done : int }
       (** internal scheduler-round safety budget hit *)
+  | Invalid_fault of Fault.invalid
+      (** the fault spec was rejected by {!Fault.validate}; nothing ran *)
 
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string

@@ -104,6 +104,71 @@ let test_connection_timing () =
       check int "cycles per word" 4 (Noc.cycles_per_word conn);
       check int "latency" (2 * 2) (Noc.connection_latency m conn)
 
+let route_list = Alcotest.(option (list (pair int int)))
+
+let test_route_avoiding () =
+  let m = Noc.mesh_for ~tile_count:4 Noc.default_config in
+  (* 2x2 mesh: 0 1 / 2 3; XY route 0->3 goes 0->1->3 *)
+  check route_list "clean forbidden set keeps the XY route"
+    (Some [ (0, 1); (1, 3) ])
+    (Noc.route_avoiding m ~src:0 ~dst:3 ~forbidden:[]);
+  check route_list "dead hop 0->1 reroutes via 2"
+    (Some [ (0, 2); (2, 3) ])
+    (Noc.route_avoiding m ~src:0 ~dst:3 ~forbidden:[ (0, 1) ]);
+  (* a directed failure: the reverse direction still works *)
+  check route_list "reverse direction unaffected"
+    (Some [ (3, 2); (2, 0) ])
+    (Noc.route_avoiding m ~src:3 ~dst:0 ~forbidden:[ (0, 1) ]);
+  check route_list "both exits dead partitions the source"
+    None
+    (Noc.route_avoiding m ~src:0 ~dst:3 ~forbidden:[ (0, 1); (0, 2) ])
+
+let test_route_avoiding_4x4 () =
+  let m = Noc.mesh_for ~tile_count:16 Noc.default_config in
+  (* 4x4 mesh; XY 0->15 is 0 1 2 3 7 11 15 *)
+  let forbidden = [ (2, 3); (1, 5) ] in
+  match Noc.route_avoiding m ~src:0 ~dst:15 ~forbidden with
+  | None -> Alcotest.fail "expected a detour"
+  | Some route ->
+      check int "detour stays minimal" (Noc.hops m ~src:0 ~dst:15)
+        (List.length route);
+      check bool "avoids every forbidden hop" true
+        (List.for_all (fun hop -> not (List.mem hop forbidden)) route);
+      check bool "chains from src to dst" true
+        (fst (List.hd route) = 0
+        && snd (List.nth route (List.length route - 1)) = 15
+        && fst
+             (List.fold_left
+                (fun (ok, prev) (a, b) ->
+                  ((ok && match prev with None -> true | Some p -> p = a), Some b))
+                (true, None) route))
+
+let test_allocate_routed_partitioned () =
+  let m = Noc.mesh_for ~tile_count:2 Noc.default_config in
+  (* 1x2 mesh: killing the only hop 0->1 strands the pair *)
+  let request = { Noc.req_src = 0; req_dst = 1; req_wires = 8 } in
+  (match Noc.allocate_routed ~forbidden:[ (0, 1) ] m [ request ] with
+  | Error (Noc.Partitioned { src; dst }) ->
+      check int "src" 0 src;
+      check int "dst" 1 dst;
+      check string "partition message"
+        "no route from 0 to 1: the forbidden links partition the mesh"
+        (Noc.alloc_error_to_string (Noc.Partitioned { src; dst }))
+  | Error e -> Alcotest.fail (Noc.alloc_error_to_string e)
+  | Ok _ -> Alcotest.fail "partitioned mesh allocated");
+  (* the rerouted allocation reserves wires on the detour, not the XY path *)
+  let m4 = Noc.mesh_for ~tile_count:4 Noc.default_config in
+  match
+    Noc.allocate_routed ~forbidden:[ (0, 1) ] m4
+      [ { Noc.req_src = 0; req_dst = 3; req_wires = 8 } ]
+  with
+  | Error e -> Alcotest.fail (Noc.alloc_error_to_string e)
+  | Ok alloc ->
+      check (Alcotest.option int) "load on detour link" (Some 8)
+        (List.assoc_opt (0, 2) alloc.Noc.link_load);
+      check (Alcotest.option int) "nothing on the dead link" None
+        (List.assoc_opt (0, 1) alloc.Noc.link_load)
+
 let noc_props =
   let open QCheck in
   let gen =
@@ -407,6 +472,11 @@ let () =
           Alcotest.test_case "xy route" `Quick test_xy_route;
           Alcotest.test_case "allocation" `Quick test_allocation;
           Alcotest.test_case "connection timing" `Quick test_connection_timing;
+          Alcotest.test_case "route avoiding" `Quick test_route_avoiding;
+          Alcotest.test_case "route avoiding 4x4" `Quick
+            test_route_avoiding_4x4;
+          Alcotest.test_case "allocate routed partitioned" `Quick
+            test_allocate_routed_partitioned;
         ] );
       ("noc.props", List.map QCheck_alcotest.to_alcotest noc_props);
       ( "arbiter",

@@ -1,0 +1,217 @@
+(* Self-healing recovery: inject every single permanent fault into the
+   mapped MJPEG case study and require each one to be tolerated, repaired
+   with the degraded bound met, or rejected with a typed unrepairable
+   cause — never an undiagnosed failure. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let noc = Arch.Template.Use_noc Arch.Noc.default_config
+let fsl = Arch.Template.Use_fsl Arch.Fsl.default
+
+let synthetic () = Option.get (Mjpeg.Streams.by_name "synthetic")
+
+let mjpeg_flow ?(tiles = 4) interconnect =
+  let seq = synthetic () in
+  match Experiments.calibrated_mjpeg seq with
+  | Error e -> Alcotest.failf "app: %s" e
+  | Ok app -> (
+      match Core.Design_flow.run_auto app ~tiles interconnect () with
+      | Error e -> Alcotest.failf "flow: %s" (Core.Flow_error.to_string e)
+      | Ok flow -> flow)
+
+let iterations () = Mjpeg.Streams.mcus (synthetic ())
+
+let outcome_string (s, o) =
+  Format.asprintf "%s: %a" (Recover.scenario_name s) Recover.pp_outcome o
+
+(* the ISSUE's acceptance sweep: MJPEG on a 4-tile NoC survives every
+   single-PE and single-link kill *)
+let test_mjpeg_noc_sweep () =
+  let flow = mjpeg_flow noc in
+  let mapping = flow.Core.Design_flow.mapping in
+  let outcomes = Recover.sweep mapping ~iterations:(iterations ()) () in
+  check bool "scenarios exist" true (outcomes <> []);
+  List.iter
+    (fun (s, o) ->
+      let name = Recover.scenario_name s in
+      (match o with
+      | Recover.Undiagnosed e ->
+          Alcotest.failf "%s: undiagnosed failure: %s" name
+            (Sim.Platform_sim.error_to_string e)
+      | Recover.Unrepairable e when not (Recover.typed_unrepairable e) ->
+          Alcotest.failf "%s: repaired design misbehaved: %s" name
+            (Recover.error_to_string e)
+      | _ -> ());
+      check bool (name ^ " survived cleanly") true (Recover.outcome_ok o))
+    outcomes;
+  (* the 4-tile platform has spare capacity, so at least one kill must
+     actually be repaired (not merely tolerated or written off) *)
+  check bool "some scenario repaired" true
+    (List.exists
+       (fun (_, o) -> match o with Recover.Repaired _ -> true | _ -> false)
+       outcomes)
+
+let test_sweep_jobs_deterministic () =
+  let flow = mjpeg_flow noc in
+  let mapping = flow.Core.Design_flow.mapping in
+  let n = iterations () in
+  let seq = Recover.sweep ~jobs:1 mapping ~iterations:n () in
+  let par = Recover.sweep ~jobs:2 mapping ~iterations:n () in
+  check
+    (Alcotest.list Alcotest.string)
+    "-j 2 byte-identical to -j 1"
+    (List.map outcome_string seq)
+    (List.map outcome_string par)
+
+let test_dead_tile_repair_migrates () =
+  let flow = mjpeg_flow noc in
+  let mapping = flow.Core.Design_flow.mapping in
+  let scenario =
+    match
+      List.find_opt
+        (function Recover.Kill_tile _ -> true | _ -> false)
+        (Recover.scenarios mapping)
+    with
+    | Some s -> s
+    | None -> Alcotest.fail "no tile hosts an actor"
+  in
+  let tile =
+    match scenario with Recover.Kill_tile { tile; _ } -> tile | _ -> 0
+  in
+  match
+    Recover.evaluate_scenario mapping scenario ~iterations:(iterations ()) ()
+  with
+  | Recover.Repaired (report, repaired) ->
+      check bool "some actor migrated" true
+        (report.Recover.Report.rp_migrated <> []);
+      List.iter
+        (fun (_, from_tile, to_tile) ->
+          check int "migration leaves the dead tile" tile from_tile;
+          check bool "lands on a live tile" true (to_tile <> tile))
+        report.Recover.Report.rp_migrated;
+      check bool "dead tile excluded from the repaired options" true
+        (List.mem tile
+           repaired.Mapping.Flow_map.options.Mapping.Flow_map.excluded_tiles);
+      check bool "degraded ratio within (0, 1]" true
+        (let r = Recover.Report.degraded_ratio report in
+         r > 0.0 && r <= 1.0 +. 1e-9);
+      (* the JSON report is well formed enough for CI consumption *)
+      let json = Recover.Report.to_json report in
+      let contains needle =
+        let n = String.length needle in
+        let rec scan i =
+          i + n <= String.length json
+          && (String.sub json i n = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      check bool "json names the resource" true (contains "\"resource\"");
+      check bool "json lists migrations" true (contains "\"migrated\"")
+  | o ->
+      Alcotest.failf "expected a repair: %s"
+        (Format.asprintf "%a" Recover.pp_outcome o)
+
+let test_fsl_channel_kill_repairs () =
+  let flow = mjpeg_flow fsl in
+  let mapping = flow.Core.Design_flow.mapping in
+  let scenario =
+    match
+      List.find_opt
+        (function Recover.Kill_channel _ -> true | _ -> false)
+        (Recover.scenarios mapping)
+    with
+    | Some s -> s
+    | None -> Alcotest.fail "no inter-tile FSL channel to kill"
+  in
+  match
+    Recover.evaluate_scenario mapping scenario ~iterations:(iterations ()) ()
+  with
+  | Recover.Repaired (report, repaired) ->
+      (* the endpoints must no longer talk across the dead link: the pair
+         is forbidden in the repaired mapping's options *)
+      check bool "a tile pair is forbidden" true
+        (repaired.Mapping.Flow_map.options.Mapping.Flow_map.forbidden_pairs
+        <> []);
+      check bool "bound recomputed" true
+        (report.Recover.Report.rp_new_bound <> None)
+  | Recover.Unrepairable e when Recover.typed_unrepairable e -> ()
+  | o ->
+      Alcotest.failf "expected a repair or a typed cause: %s"
+        (Format.asprintf "%a" Recover.pp_outcome o)
+
+let test_single_tile_kill_is_typed_unrepairable () =
+  (* with every actor on the only tile there is nowhere to migrate: the
+     answer must be a typed capacity error, not a crash or a timeout *)
+  let flow = mjpeg_flow ~tiles:1 fsl in
+  let mapping = flow.Core.Design_flow.mapping in
+  match
+    Recover.evaluate_scenario mapping
+      (Recover.Kill_tile { tile = 0; at_cycle = 0 })
+      ~iterations:(iterations ()) ()
+  with
+  | Recover.Unrepairable e ->
+      check bool "typed unrepairable" true (Recover.typed_unrepairable e)
+  | o ->
+      Alcotest.failf "expected a typed unrepairable outcome: %s"
+        (Format.asprintf "%a" Recover.pp_outcome o)
+
+let test_run_recovering () =
+  let flow = mjpeg_flow noc in
+  let n = iterations () in
+  (* a fault that never bites is tolerated *)
+  (match
+     Core.Design_flow.run_recovering flow
+       ~faults:(Sim.Fault.kill_tile ~at_cycle:100_000_000 1)
+       ~iterations:n ()
+   with
+  | Ok (Core.Design_flow.Fault_tolerated r) ->
+      check int "all iterations completed" n r.Sim.Platform_sim.iterations
+  | Ok (Core.Design_flow.Recovered _) ->
+      Alcotest.fail "a fault after the run should be tolerated"
+  | Error e -> Alcotest.failf "flow: %s" (Core.Flow_error.to_string e));
+  (* a tile hosting actors dies at cycle 0: the flow must come back with a
+     repaired, re-synthesized design carrying a degraded guarantee *)
+  let scenario =
+    List.find
+      (function Recover.Kill_tile _ -> true | _ -> false)
+      (Recover.scenarios flow.Core.Design_flow.mapping)
+  in
+  match
+    Core.Design_flow.run_recovering flow
+      ~faults:(Recover.fault_of_scenario scenario)
+      ~iterations:n ()
+  with
+  | Ok (Core.Design_flow.Recovered (report, repaired)) ->
+      check bool "repaired flow has a guarantee" true
+        (repaired.Core.Design_flow.guarantee <> None);
+      check bool "report has both bounds" true
+        (report.Recover.Report.rp_old_bound <> None
+        && report.Recover.Report.rp_new_bound <> None);
+      check bool "loss is a percentage" true
+        (report.Recover.Report.rp_loss_percent >= 0.0
+        && report.Recover.Report.rp_loss_percent <= 100.0)
+  | Ok (Core.Design_flow.Fault_tolerated _) ->
+      Alcotest.fail "a dead tile at cycle 0 cannot be tolerated"
+  | Error e -> Alcotest.failf "recovery: %s" (Core.Flow_error.to_string e)
+
+let () =
+  Alcotest.run "recover"
+    [
+      ( "mjpeg",
+        [
+          Alcotest.test_case "4-tile noc survives every single kill" `Quick
+            test_mjpeg_noc_sweep;
+          Alcotest.test_case "sweep -j deterministic" `Quick
+            test_sweep_jobs_deterministic;
+          Alcotest.test_case "dead tile repair migrates" `Quick
+            test_dead_tile_repair_migrates;
+          Alcotest.test_case "fsl channel kill" `Quick
+            test_fsl_channel_kill_repairs;
+          Alcotest.test_case "single tile is typed unrepairable" `Quick
+            test_single_tile_kill_is_typed_unrepairable;
+          Alcotest.test_case "run_recovering end to end" `Quick
+            test_run_recovering;
+        ] );
+    ]

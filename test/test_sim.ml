@@ -329,6 +329,184 @@ let test_faults_degrade_gracefully () =
     (List.mapi (fun k _ -> k * (k + 1) / 2) observed)
     observed
 
+let test_fault_validation () =
+  let reject what spec expect =
+    match Sim.Fault.validate ?tile_count:None spec with
+    | Ok () -> Alcotest.failf "%s accepted" what
+    | Error inv ->
+        check bool (what ^ " classified") true (expect inv);
+        check bool (what ^ " renders") true
+          (String.length (Sim.Fault.invalid_to_string inv) > 0)
+  in
+  let window every phase length = { Sim.Fault.every; phase; length } in
+  reject "window longer than its period"
+    {
+      Sim.Fault.none with
+      Sim.Fault.stalls =
+        [ { Sim.Fault.st_channel = None; st_window = window 10 8 5 } ];
+    }
+    (function Sim.Fault.Bad_window _ -> true | _ -> false);
+  reject "zero-length window"
+    {
+      Sim.Fault.none with
+      Sim.Fault.slowdowns =
+        [
+          {
+            Sim.Fault.sl_tile = None;
+            sl_window = window 10 0 0;
+            sl_percent = 50;
+          };
+        ];
+    }
+    (function Sim.Fault.Bad_window _ -> true | _ -> false);
+  reject "negative seed"
+    { Sim.Fault.none with Sim.Fault.seed = -3 }
+    (function Sim.Fault.Negative_seed -3 -> true | _ -> false);
+  reject "jitter probability above one"
+    {
+      Sim.Fault.none with
+      Sim.Fault.jitter =
+        Some { Sim.Fault.jit_per_million = 2_000_000; jit_max_extra = 1 };
+    }
+    (function Sim.Fault.Bad_percent _ -> true | _ -> false);
+  reject "negative retry count"
+    {
+      Sim.Fault.none with
+      Sim.Fault.drop =
+        Some
+          {
+            Sim.Fault.drop_per_million = 10;
+            drop_max_retries = -1;
+            drop_retry_cycles = 5;
+          };
+    }
+    (function Sim.Fault.Bad_count _ -> true | _ -> false);
+  reject "negative dead tile"
+    (Sim.Fault.kill_tile (-1))
+    (function Sim.Fault.Bad_tile _ -> true | _ -> false);
+  reject "negative death cycle"
+    (Sim.Fault.kill_tile ~at_cycle:(-7) 0)
+    (function Sim.Fault.Bad_cycle (-7) -> true | _ -> false);
+  (match Sim.Fault.validate ~tile_count:2 (Sim.Fault.kill_tile 5) with
+  | Error (Sim.Fault.Bad_tile { tile = 5; tile_count = Some 2 }) -> ()
+  | Error inv ->
+      Alcotest.failf "wrong rejection: %s" (Sim.Fault.invalid_to_string inv)
+  | Ok () -> Alcotest.fail "out-of-range tile accepted");
+  (match Sim.Fault.validate ~tile_count:4 (Sim.Fault.kill_tile 3) with
+  | Ok () -> ()
+  | Error inv -> Alcotest.failf "valid spec rejected: %s" (Sim.Fault.invalid_to_string inv));
+  (* the simulator refuses a malformed spec up front, as a typed error *)
+  let mapping = map_value_pipe () in
+  match
+    Sim.Platform_sim.run mapping ~iterations:5
+      ~faults:(Sim.Fault.kill_tile 9) ()
+  with
+  | Error (Sim.Platform_sim.Invalid_fault (Sim.Fault.Bad_tile _)) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Sim.Platform_sim.error_to_string e)
+  | Ok _ -> Alcotest.fail "simulated with a tile the platform does not have"
+
+let test_dead_tile_diagnosed () =
+  let mapping = map_value_pipe () in
+  match
+    Sim.Platform_sim.run mapping ~iterations:10
+      ~faults:(Sim.Fault.kill_tile 1) ()
+  with
+  | Ok _ -> Alcotest.fail "dead consumer tile completed"
+  | Error (Sim.Platform_sim.Deadlock d) -> (
+      (match d.Sim.Diagnosis.dg_classification with
+      | Sim.Diagnosis.Resource_failure
+          { rf_resource = Sim.Diagnosis.Failed_tile 1; rf_stranded } ->
+          check bool "dst stranded" true (List.mem "dst" rf_stranded)
+      | Sim.Diagnosis.Resource_failure { rf_resource; _ } ->
+          Alcotest.failf "blamed %s"
+            (Format.asprintf "%a" Sim.Diagnosis.pp_resource rf_resource)
+      | Sim.Diagnosis.Wait_for_cycle ->
+          Alcotest.fail "classified as a design deadlock");
+      (* the machine-readable report carries the classification *)
+      let json = Sim.Diagnosis.to_json d in
+      let contains needle =
+        let n = String.length needle in
+        let rec scan i =
+          i + n <= String.length json
+          && (String.sub json i n = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      check bool "json names the dead tile" true
+        (contains "\"tile\":1" || contains "\"tile\": 1");
+      check bool "json marks a resource failure" true
+        (contains "resource_failure"))
+  | Error e ->
+      Alcotest.failf "expected a diagnosed deadlock: %s"
+        (Sim.Platform_sim.error_to_string e)
+
+let test_dead_link_diagnosed () =
+  let mapping = map_value_pipe () in
+  match
+    Sim.Platform_sim.run mapping ~iterations:10
+      ~faults:(Sim.Fault.kill_link (Sim.Fault.Link_channel "data")) ()
+  with
+  | Ok _ -> Alcotest.fail "dead link completed"
+  | Error (Sim.Platform_sim.Deadlock d) -> (
+      match d.Sim.Diagnosis.dg_classification with
+      | Sim.Diagnosis.Resource_failure
+          {
+            rf_resource =
+              Sim.Diagnosis.Failed_link { fl_channel = "data"; fl_hop = None };
+            rf_stranded;
+          } ->
+          check bool "the starved reader is stranded" true
+            (List.mem "dst" rf_stranded)
+      | c ->
+          Alcotest.failf "wrong classification in:\n%s"
+            (Format.asprintf "%a" Sim.Diagnosis.pp
+               { d with Sim.Diagnosis.dg_classification = c }))
+  | Error e ->
+      Alcotest.failf "expected a diagnosed deadlock: %s"
+        (Sim.Platform_sim.error_to_string e)
+
+let test_permanent_faults_inert_until_they_bite () =
+  let mapping = map_value_pipe () in
+  let base = run_exn mapping ~iterations:25 in
+  (* a death scheduled after the run finishes must not perturb a cycle *)
+  let late =
+    run_exn mapping ~iterations:25
+      ~faults:(Sim.Fault.kill_tile ~at_cycle:1_000_000 1)
+  in
+  check bool "late tile death is invisible" true
+    (Sim.Platform_sim.results_equal base late);
+  let late_link =
+    run_exn mapping ~iterations:25
+      ~faults:
+        (Sim.Fault.kill_link ~at_cycle:1_000_000
+           (Sim.Fault.Link_channel "data"))
+  in
+  check bool "late link death is invisible" true
+    (Sim.Platform_sim.results_equal base late_link);
+  (* a transient-only spec is unchanged by the (empty) permanent fields *)
+  let spec = scenario_exn ~seed:42 "stress" in
+  let a = run_exn mapping ~iterations:30 ~faults:spec in
+  let b =
+    run_exn mapping ~iterations:30
+      ~faults:{ spec with Sim.Fault.dead_tiles = []; dead_links = [] }
+  in
+  check bool "transient-only runs bit-identical" true
+    (Sim.Platform_sim.results_equal a b);
+  (* a mid-run death still makes progress before the diagnosis *)
+  match
+    Sim.Platform_sim.run mapping ~iterations:1000
+      ~faults:(Sim.Fault.kill_tile ~at_cycle:500 1) ()
+  with
+  | Ok _ -> Alcotest.fail "mid-run death completed 1000 iterations"
+  | Error (Sim.Platform_sim.Deadlock d) ->
+      check bool "progress before the fault" true
+        (d.Sim.Diagnosis.dg_iterations_done > 0);
+      check bool "stall detected after the death" true
+        (d.Sim.Diagnosis.dg_cycle >= 500)
+  | Error e ->
+      Alcotest.failf "expected a deadlock: %s"
+        (Sim.Platform_sim.error_to_string e)
+
 (* an inter-tile FIFO with no buffer space at all: the producer can never
    push, the consumer can never pop — a guaranteed wait-for cycle *)
 let strangled_mapping () =
@@ -357,8 +535,9 @@ let strangled_mapping () =
 let test_deadlock_diagnosis () =
   match Sim.Platform_sim.run (strangled_mapping ()) ~iterations:10 () with
   | Ok _ -> Alcotest.fail "expected a deadlock"
-  | Error (Sim.Platform_sim.Watchdog_expired _ | Sim.Platform_sim.Budget_exhausted _)
-    ->
+  | Error
+      ( Sim.Platform_sim.Watchdog_expired _ | Sim.Platform_sim.Budget_exhausted _
+      | Sim.Platform_sim.Invalid_fault _ ) ->
       Alcotest.fail "expected a deadlock, not a timeout"
   | Error (Sim.Platform_sim.Deadlock d) ->
       let tiles = Sim.Diagnosis.wait_cycle_tiles d in
@@ -527,6 +706,13 @@ let () =
             test_faults_degrade_gracefully;
           Alcotest.test_case "deadlock diagnosis" `Quick test_deadlock_diagnosis;
           Alcotest.test_case "watchdog" `Quick test_watchdog_separates_livelock;
+          Alcotest.test_case "spec validation" `Quick test_fault_validation;
+          Alcotest.test_case "dead tile diagnosed" `Quick
+            test_dead_tile_diagnosed;
+          Alcotest.test_case "dead link diagnosed" `Quick
+            test_dead_link_diagnosed;
+          Alcotest.test_case "permanent faults inert until they bite" `Quick
+            test_permanent_faults_inert_until_they_bite;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest sim_props);
     ]
