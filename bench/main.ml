@@ -485,6 +485,70 @@ let parallel_scaling () =
              else "DIFFERENT FROM -j 1 (determinism violation)"))
         runs
 
+(* --- budgeted execution: anytime DSE under a deadline ----------------------- *)
+
+(* interrupt the sweep with a deadline, resume from the checkpoint, and
+   check the resumed report is byte-identical to an uninterrupted run —
+   the bench records how much of the sweep each phase covered *)
+let anytime_section () =
+  section "Budgeted execution - anytime DSE (deadline, checkpoint, resume)";
+  let seq = Mjpeg.Streams.synthetic () in
+  let app =
+    match Experiments.calibrated_mjpeg seq with
+    | Ok app -> app
+    | Error e -> failwith e
+  in
+  let table a =
+    Format.asprintf "%a" Core.Dse.pp_summary_table
+      (Core.Dse.pareto_summaries a.Core.Dse.a_summaries)
+  in
+  let full =
+    let t0 = Exec.Clock.now () in
+    match
+      Core.Dse.explore_anytime app ~options:Experiments.flow_options ()
+    with
+    | Error e -> failwith e
+    | Ok a ->
+        record ~name:"dse.anytime.full" ~wall:(Exec.Clock.elapsed_since t0)
+          ~iterations:(List.length a.Core.Dse.a_summaries) ~domains:1;
+        a
+  in
+  let ckpt = Filename.concat (Filename.get_temp_dir_name ()) "bench_dse.ckpt" in
+  if Sys.file_exists ckpt then Sys.remove ckpt;
+  let partial =
+    let t0 = Exec.Clock.now () in
+    match
+      Core.Dse.explore_anytime app ~options:Experiments.flow_options
+        ~deadline:(Exec.Budget.after 0.5) ~checkpoint:ckpt ()
+    with
+    | Error e -> failwith e
+    | Ok a ->
+        record ~name:"dse.anytime.partial" ~wall:(Exec.Clock.elapsed_since t0)
+          ~iterations:(List.length a.Core.Dse.a_summaries) ~domains:1;
+        a
+  in
+  (match partial.Core.Dse.a_degradation with
+  | Some d ->
+      Printf.printf "  0.5 s deadline: %d evaluated, %d skipped\n"
+        d.Core.Dse.d_evaluated d.Core.Dse.d_skipped
+  | None -> Printf.printf "  0.5 s deadline: sweep finished inside budget\n");
+  let resumed =
+    let t0 = Exec.Clock.now () in
+    match
+      Core.Dse.explore_anytime app ~options:Experiments.flow_options
+        ~resume:ckpt ()
+    with
+    | Error e -> failwith e
+    | Ok a ->
+        record ~name:"dse.anytime.resume" ~wall:(Exec.Clock.elapsed_since t0)
+          ~iterations:(List.length a.Core.Dse.a_summaries) ~domains:1;
+        a
+  in
+  Printf.printf "  resume adopted %d checkpointed point(s); Pareto front %s\n"
+    resumed.Core.Dse.a_resumed
+    (if table resumed = table full then "identical to uninterrupted run"
+     else "DIFFERENT FROM UNINTERRUPTED RUN (determinism violation)")
+
 (* --- Bechamel microbenchmarks --------------------------------------------------- *)
 
 let microbenchmarks () =
@@ -611,6 +675,7 @@ let () =
   conformance_sweep ();
   timed_section "section.recovery" recovery_section;
   parallel_scaling ();
+  anytime_section ();
   microbenchmarks ();
   line ();
   write_bench_json "BENCH.json";

@@ -278,7 +278,75 @@ let mjpeg_cmd =
 (* the paper's "very fast design space exploration", as a subcommand: sweep
    (tile count x interconnect) with one flow run per point — fanned out
    over -j domains — and print the guarantee/area Pareto front *)
-let run_dse interconnect sequence max_tiles max_slices jobs =
+(* budgeted sweep: print only deterministic tables on stdout — no wall
+   times, no resumed counts — so a resumed run's report is byte-identical
+   to an uninterrupted one *)
+let run_dse_anytime app ~interconnects ~tile_counts ~max_slices ~jobs ~deadline
+    ~task_timeout ~retries ~checkpoint ~resume =
+  let metrics = Obs.Metrics.create () in
+  let deadline = Option.map Exec.Budget.after deadline in
+  let retry =
+    Option.map (fun n -> Exec.Pool.retry ~max_attempts:n ()) retries
+  in
+  match
+    Core.Dse.explore_anytime app ?tile_counts ~interconnects
+      ~options:Experiments.flow_options ~jobs ?deadline ?task_timeout ?retry
+      ?checkpoint ?resume ~metrics ()
+  with
+  | Error msg ->
+      Printf.eprintf "dse: %s\n" msg;
+      1
+  | Ok a ->
+      let summaries = a.Core.Dse.a_summaries in
+      Format.printf "%a@." Core.Dse.pp_summary_table summaries;
+      List.iter
+        (fun (tiles, interc, reason) ->
+          Printf.printf "infeasible: %d %s tile(s): %s\n" tiles interc reason)
+        a.Core.Dse.a_failures;
+      Format.printf "@.Pareto front (guarantee vs. slices):@.%a@."
+        Core.Dse.pp_summary_table
+        (Core.Dse.pareto_summaries summaries);
+      (match max_slices with
+      | None -> ()
+      | Some budget -> (
+          let best =
+            List.fold_left
+              (fun best (s : Core.Dse.summary) ->
+                if s.s_slices > budget || s.s_guarantee = None then best
+                else
+                  match best with
+                  | Some (b : Core.Dse.summary)
+                    when Sdf.Rational.compare (Option.get b.s_guarantee)
+                           (Option.get s.s_guarantee)
+                         >= 0 ->
+                      best
+                  | Some _ | None -> Some s)
+              None summaries
+          in
+          match best with
+          | None -> Printf.printf "no feasible point within %d slices\n" budget
+          | Some s ->
+              Printf.printf "best under %d slices: %s with %d tile(s), %d \
+                             slices\n"
+                budget s.s_interconnect s.s_tile_count s.s_slices));
+      Printf.printf "%d design point(s), %d infeasible\n"
+        (List.length summaries)
+        (List.length a.Core.Dse.a_failures);
+      if a.Core.Dse.a_resumed > 0 then
+        Printf.eprintf "resumed %d point(s) from checkpoint\n"
+          a.Core.Dse.a_resumed;
+      List.iter
+        (fun (name, v) ->
+          if v > 0 then Printf.eprintf "%s: %d\n" name v)
+        (Obs.Metrics.counters metrics);
+      (match a.Core.Dse.a_degradation with
+      | None -> 0
+      | Some d ->
+          Format.printf "%a@." Core.Dse.pp_degradation d;
+          3)
+
+let run_dse interconnect sequence max_tiles max_slices jobs deadline
+    task_timeout retries checkpoint resume =
   let jobs = resolve_jobs jobs in
   match Mjpeg.Streams.by_name sequence with
   | None ->
@@ -307,6 +375,13 @@ let run_dse interconnect sequence max_tiles max_slices jobs =
           let tile_counts =
             Option.map (fun n -> List.init n (fun i -> i + 1)) max_tiles
           in
+          if
+            deadline <> None || task_timeout <> None || retries <> None
+            || checkpoint <> None || resume <> None
+          then
+            run_dse_anytime app ~interconnects ~tile_counts ~max_slices ~jobs
+              ~deadline ~task_timeout ~retries ~checkpoint ~resume
+          else begin
           let start = Exec.Clock.now () in
           let points, failures =
             Core.Dse.explore app ?tile_counts ~interconnects
@@ -338,7 +413,8 @@ let run_dse interconnect sequence max_tiles max_slices jobs =
           Printf.printf
             "%d design point(s), %d infeasible, %.2f s wall on %d domain(s)\n"
             (List.length points) (List.length failures) seconds jobs;
-          0)
+          0
+          end)
 
 let dse_cmd =
   let interconnect =
@@ -372,15 +448,71 @@ let dse_cmd =
           ~doc:"Also report the best point within an area budget of \
                 $(docv) slices.")
   in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget for the whole sweep. When it fires the \
+             command prints the partial result with a degradation report \
+             and exits with status 3; combine with $(b,--checkpoint) to \
+             make the partial sweep resumable.")
+  in
+  let task_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "task-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget per design point; a point that exceeds it \
+             is reported as a typed infeasibility instead of hanging the \
+             sweep.")
+  in
+  let retries =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Total attempts per design point (default 1): failing or \
+             timed-out points are retried with deterministic exponential \
+             backoff.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Atomically rewrite $(docv) with the evaluated points after \
+             every chunk; a later $(b,--resume) continues from it.")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Adopt the evaluated points of a previous run's checkpoint and \
+             evaluate only the remainder. The combined report is \
+             byte-identical to an uninterrupted run.")
+  in
   Cmd.v
     (Cmd.info "dse"
        ~doc:
          "Design-space exploration: run the full flow on every (tile \
           count, interconnect) candidate and print the guarantee/area \
-          Pareto front")
+          Pareto front"
+       ~exits:
+         (Cmd.Exit.info 3
+            ~doc:
+              "the $(b,--deadline) fired and the result is partial (a \
+               degradation report is printed; resume from the checkpoint)"
+         :: Cmd.Exit.defaults))
     Term.(
       const run_dse $ interconnect $ sequence $ max_tiles $ max_slices
-      $ jobs_term)
+      $ jobs_term $ deadline $ task_timeout $ retries $ checkpoint $ resume)
 
 (* --- profile ----------------------------------------------------------------- *)
 
@@ -459,7 +591,16 @@ let run_profile seed interconnect sequence passes iterations out_dir jobs =
           ("profile.txt", fun () -> report);
           ( "trace.json",
             fun () ->
-              Sim.Trace.to_chrome_json ~process_name:label
+              (* budget counters ride along as Chrome counter tracks *)
+              let m = p.Core.Design_flow.pf_metrics in
+              let counters =
+                List.map (fun (n, v) -> ("exec." ^ n, v))
+                  (Obs.Metrics.with_prefix m "exec")
+                @ List.map (fun (n, v) -> ("dse." ^ n, v))
+                    (Obs.Metrics.with_prefix m "dse")
+                @ [ ("sim.cycles", Obs.Metrics.counter m "sim.cycles") ]
+              in
+              Sim.Trace.to_chrome_json ~process_name:label ~counters
                 p.Core.Design_flow.pf_trace );
           ( "trace.vcd",
             fun () ->
@@ -572,17 +713,20 @@ let experiments_cmd =
 
 (* --- conformance ------------------------------------------------------------- *)
 
-let run_conformance count base_seed out_dir replay jobs =
+let run_conformance count base_seed out_dir replay jobs seed_timeout =
   let jobs = resolve_jobs jobs in
+  let options =
+    { Conformance.Engine.default_options with seed_timeout }
+  in
   match replay with
   | Some seed ->
       (* one seed, full verdict — the reproducer replay path *)
-      let case = Conformance.Engine.check_seed seed in
+      let case = Conformance.Engine.check_seed ~options seed in
       Format.printf "%a@." Conformance.Engine.pp_case case;
       if case.Conformance.Engine.c_violations = [] then 0 else 1
   | None ->
       let report =
-        Conformance.Engine.run_suite ~out_dir ~jobs ~base_seed ~count
+        Conformance.Engine.run_suite ~options ~out_dir ~jobs ~base_seed ~count
           ~progress:(fun c ->
             if c.Conformance.Engine.c_violations <> [] then
               Format.eprintf "%a@." Conformance.Engine.pp_case c)
@@ -627,6 +771,16 @@ let conformance_cmd =
           ~doc:"Re-check a single seed (as written in a reproducer's \
                 case.txt) instead of running the matrix.")
   in
+  let seed_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "seed-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget per seed: a seed whose oracle evaluation \
+             exceeds it fails with a $(b,seed-timeout) violation and a \
+             reproducer instead of hanging the suite.")
+  in
   Cmd.v
     (Cmd.info "conformance"
        ~doc:
@@ -634,7 +788,7 @@ let conformance_cmd =
           simulator against each other on seeded random SDF workloads")
     Term.(
       const run_conformance $ count $ base_seed $ out_dir $ replay
-      $ jobs_term)
+      $ jobs_term $ seed_timeout)
 
 (* --- recover ----------------------------------------------------------------- *)
 

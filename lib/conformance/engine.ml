@@ -6,6 +6,7 @@ type options = {
   max_cycles : int;
   dse_every : int;
   gen_config : W.config;
+  seed_timeout : float option;
 }
 
 let default_options =
@@ -14,6 +15,7 @@ let default_options =
     max_cycles = 2_000_000;
     dse_every = 5;
     gen_config = W.default_config;
+    seed_timeout = None;
   }
 
 let interconnect_for_seed seed =
@@ -363,31 +365,78 @@ let run_suite ?(options = default_options) ?(out_dir = "_conformance")
   let eval seed =
     let interconnect = interconnect_for_seed seed in
     let workload = W.generate ~config:options.gen_config ~seed () in
-    let case = check_workload ~options interconnect workload in
-    let failure =
-      if case.c_violations = [] then None
-      else begin
-        let oracles =
-          List.map (fun v -> v.Oracle.oracle) case.c_violations
-        in
-        let still_fails sp =
-          let c = check_workload ~options interconnect (W.realize sp) in
-          List.exists
-            (fun v -> List.mem v.Oracle.oracle oracles)
-            c.c_violations
-        in
-        let shrunk = Shrink.minimize ~still_fails workload.spec in
-        let dir = write_reproducer ~out_dir case workload.spec shrunk in
-        Some
-          {
-            f_case = case;
-            f_spec = workload.spec;
-            f_shrunk = shrunk;
-            f_reproducer = Some dir;
-          }
-      end
+    let evaluate () =
+      let case = check_workload ~options interconnect workload in
+      let failure =
+        if case.c_violations = [] then None
+        else begin
+          let oracles =
+            List.map (fun v -> v.Oracle.oracle) case.c_violations
+          in
+          let still_fails sp =
+            let c = check_workload ~options interconnect (W.realize sp) in
+            List.exists
+              (fun v -> List.mem v.Oracle.oracle oracles)
+              c.c_violations
+          in
+          (* if the per-seed budget expires mid-shrink, every further
+             candidate check raises and [minimize] counts it as "does not
+             fail", so shrinking still terminates promptly *)
+          let shrunk = Shrink.minimize ~still_fails workload.spec in
+          let dir = write_reproducer ~out_dir case workload.spec shrunk in
+          Some
+            {
+              f_case = case;
+              f_spec = workload.spec;
+              f_shrunk = shrunk;
+              f_reproducer = Some dir;
+            }
+        end
+      in
+      (case, failure)
     in
-    (case, failure)
+    match options.seed_timeout with
+    | None -> evaluate ()
+    | Some t -> (
+        let scope = Exec.Budget.scope ~deadline:(Exec.Budget.after t) () in
+        try Exec.Budget.with_scope scope evaluate
+        with Exec.Budget.Expired _ ->
+          (* one hanging workload fails its own seed — with a reproducer —
+             instead of hanging the suite. The detail mentions only the
+             configured budget, never measured time, so reports stay
+             byte-identical at any -j. *)
+          let case =
+            {
+              c_seed = seed;
+              c_interconnect = Core.Dse.interconnect_label interconnect;
+              c_actors = Array.length workload.spec.sp_q;
+              c_channels =
+                Array.length workload.spec.sp_q - 1
+                + List.length workload.spec.sp_extra;
+              c_tightness = None;
+              c_violations =
+                [
+                  {
+                    Oracle.oracle = Seed_timeout;
+                    detail =
+                      Printf.sprintf "seed evaluation exceeded its %gs budget"
+                        t;
+                  };
+                ];
+            }
+          in
+          let shrunk =
+            { Shrink.shrunk = workload.spec; steps = 0; attempts = 0 }
+          in
+          let dir = write_reproducer ~out_dir case workload.spec shrunk in
+          ( case,
+            Some
+              {
+                f_case = case;
+                f_spec = workload.spec;
+                f_shrunk = shrunk;
+                f_reproducer = Some dir;
+              } ))
   in
   let seeds = List.init count (fun i -> base_seed + i) in
   let evaluated =

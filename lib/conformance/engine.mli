@@ -15,11 +15,14 @@ type options = {
       (** run the (expensive) DSE Pareto oracle on every k-th seed;
           [0] disables it *)
   gen_config : Gen.Workload.config;
+  seed_timeout : float option;
+      (** wall-clock budget for one seed's full oracle evaluation
+          (including shrinking); [None] disables the timeout *)
 }
 
 val default_options : options
-(** 12 iterations, a 2M-cycle watchdog, DSE on every 5th seed, and
-    {!Gen.Workload.default_config} workloads. *)
+(** 12 iterations, a 2M-cycle watchdog, DSE on every 5th seed,
+    {!Gen.Workload.default_config} workloads, and no per-seed timeout. *)
 
 val interconnect_for_seed : int -> Arch.Template.interconnect_choice
 (** Even seeds map onto point-to-point FSL platforms, odd seeds onto the
@@ -84,7 +87,13 @@ val run_suite :
     collide). The report — case order, verdicts, tightness statistics and
     failure list — is identical to a sequential run. With [jobs > 1] the
     [progress] callback fires after the parallel round, in seed order,
-    instead of streaming. *)
+    instead of streaming.
+
+    With [options.seed_timeout] set, each seed's evaluation runs under an
+    {!Exec.Budget} scope: a seed that exceeds the budget fails with a
+    single {!Oracle.Seed_timeout} violation and an (unshrunk) reproducer,
+    and the rest of the suite proceeds. The violation detail names only
+    the configured budget, so reports stay byte-identical at any [jobs]. *)
 
 val write_reproducer :
   out_dir:string -> case -> Gen.Workload.spec -> Shrink.outcome -> string

@@ -6,6 +6,7 @@ type t =
   | Functional_agreement
   | Pareto_consistency
   | Recovery
+  | Seed_timeout
 
 let all =
   [
@@ -16,6 +17,7 @@ let all =
     Functional_agreement;
     Pareto_consistency;
     Recovery;
+    Seed_timeout;
   ]
 
 let name = function
@@ -26,6 +28,7 @@ let name = function
   | Functional_agreement -> "functional-agreement"
   | Pareto_consistency -> "pareto-consistency"
   | Recovery -> "recovery"
+  | Seed_timeout -> "seed-timeout"
 
 let of_name s = List.find_opt (fun o -> name o = s) all
 
@@ -45,6 +48,9 @@ let describe = function
   | Recovery ->
       "every single permanent fault is tolerated, repaired with the \
        degraded bound met and unchanged function, or typed-unrepairable"
+  | Seed_timeout ->
+      "every seed's full oracle evaluation completes within its wall-clock \
+       budget"
 
 let pp ppf o = Format.pp_print_string ppf (name o)
 

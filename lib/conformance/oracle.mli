@@ -26,6 +26,11 @@ type t =
       (** every single permanent fault is tolerated, repaired with the
           degraded bound met and unchanged function, or typed-unrepairable
           — never an undiagnosed failure *)
+  | Seed_timeout
+      (** a seed's full oracle evaluation finished within the per-seed
+          wall-clock budget ({!Engine.options.seed_timeout}); the
+          violation means the workload hung or crawled, and the seed is
+          reported with a reproducer instead of hanging the suite *)
 
 val all : t list
 val name : t -> string

@@ -60,6 +60,16 @@ let run_with_arch_time app platform ?options ~architecture_generation () =
     | Ok m -> Ok (m, time)
     | Error e -> Error (Flow_error.Mapping_failed e)
   in
+  (* an analysis that ran out of steps is inconclusive — refuse to build a
+     platform on a prediction that proves nothing *)
+  let* () =
+    match Flow_map.analysis_budget mapping with
+    | Some steps ->
+        Error
+          (Flow_error.Analysis_budget_exhausted
+             { application = Application.name app; steps })
+    | None -> Ok ()
+  in
   let project, platform_generation =
     timed (fun () -> Mamps.Project.generate mapping)
   in
@@ -207,6 +217,14 @@ let run_many apps platform ?options () =
     Result.map_error
       (fun e -> Flow_error.Mapping_failed e)
       (Flow_map.run merged platform ?options ())
+  in
+  let* () =
+    match Flow_map.analysis_budget mapping with
+    | Some steps ->
+        Error
+          (Flow_error.Analysis_budget_exhausted
+             { application = Application.name merged; steps })
+    | None -> Ok ()
   in
   let project, platform_generation =
     timed (fun () -> Mamps.Project.generate mapping)

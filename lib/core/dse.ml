@@ -28,7 +28,9 @@ let platform_slices (flow : Design_flow.t) =
   in
   area.Arch.Area.slices
 
-let explore app ?tile_counts ?interconnects ?options ?(jobs = 1) () =
+(* one task per design point, in the sequential sweep's order:
+   interconnect outer, tile count inner *)
+let sweep_combos app ?tile_counts ?interconnects () =
   let tile_counts =
     match tile_counts with
     | Some counts -> counts
@@ -45,43 +47,43 @@ let explore app ?tile_counts ?interconnects ?options ?(jobs = 1) () =
         ]
       interconnects
   in
-  (* one task per design point, in the sequential sweep's order:
-     interconnect outer, tile count inner *)
-  let combos =
-    List.concat_map
-      (fun choice -> List.map (fun tiles -> (choice, tiles)) tile_counts)
-      interconnects
+  List.concat_map
+    (fun choice -> List.map (fun tiles -> (choice, tiles)) tile_counts)
+    interconnects
+
+(* every task builds its own flow — platform, mapping, simulator state and
+   metrics registries are all created per [run_auto] call (re-entrancy
+   audit in DESIGN.md §3e), so design points never share mutable state *)
+let eval_point app options (choice, tile_count) =
+  let options =
+    Option.map
+      (fun (o : Mapping.Flow_map.options) ->
+        {
+          o with
+          Mapping.Flow_map.fixed =
+            List.filter (fun (_, t) -> t < tile_count) o.fixed;
+        })
+      options
   in
-  (* every task builds its own flow — platform, mapping, simulator state and
-     metrics registries are all created per [run_auto] call (re-entrancy
-     audit in DESIGN.md §3e), so design points never share mutable state *)
-  let eval (choice, tile_count) =
-    let options =
-      Option.map
-        (fun (o : Mapping.Flow_map.options) ->
-          {
-            o with
-            Mapping.Flow_map.fixed =
-              List.filter (fun (_, t) -> t < tile_count) o.fixed;
-          })
-        options
-    in
-    let start = Exec.Clock.now () in
-    match Design_flow.run_auto app ~tiles:tile_count ?options choice () with
-    | Error reason ->
-        Either.Right
-          (tile_count, interconnect_label choice, Flow_error.to_string reason)
-    | Ok flow ->
-        Either.Left
-          {
-            tile_count;
-            interconnect = choice;
-            guarantee = flow.Design_flow.guarantee;
-            slices = platform_slices flow;
-            flow_seconds = Exec.Clock.elapsed_since start;
-            flow;
-          }
-  in
+  let start = Exec.Clock.now () in
+  match Design_flow.run_auto app ~tiles:tile_count ?options choice () with
+  | Error reason ->
+      Either.Right
+        (tile_count, interconnect_label choice, Flow_error.to_string reason)
+  | Ok flow ->
+      Either.Left
+        {
+          tile_count;
+          interconnect = choice;
+          guarantee = flow.Design_flow.guarantee;
+          slices = platform_slices flow;
+          flow_seconds = Exec.Clock.elapsed_since start;
+          flow;
+        }
+
+let explore app ?tile_counts ?interconnects ?options ?(jobs = 1) () =
+  let combos = sweep_combos app ?tile_counts ?interconnects () in
+  let eval combo = eval_point app options combo in
   let outcomes =
     (* [jobs <= 1] stays a plain loop — no pool, so the sweep can run
        inside a task of an outer pool (the conformance Pareto oracle) *)
@@ -119,6 +121,304 @@ let best_under_area points ~max_slices =
             | Some gc when Rational.compare gc g >= 0 -> best
             | Some _ | None -> Some p))
     None points
+
+(* --- anytime exploration ----------------------------------------------------- *)
+
+type summary = {
+  s_interconnect : string;
+  s_tile_count : int;
+  s_guarantee : Rational.t option;
+  s_slices : int;
+}
+
+let summarize p =
+  {
+    s_interconnect = interconnect_label p.interconnect;
+    s_tile_count = p.tile_count;
+    s_guarantee = p.guarantee;
+    s_slices = p.slices;
+  }
+
+type degradation = {
+  d_reason : Exec.Budget.reason;
+  d_evaluated : int;
+  d_skipped : int;
+  d_best : summary option;
+}
+
+type anytime = {
+  a_summaries : summary list;
+  a_failures : (int * string * string) list;
+  a_resumed : int;
+  a_degradation : degradation option;
+}
+
+let dominates_summary a b =
+  match (a.s_guarantee, b.s_guarantee) with
+  | Some ga, Some gb ->
+      Rational.compare ga gb >= 0
+      && a.s_slices <= b.s_slices
+      && (Rational.compare ga gb > 0 || a.s_slices < b.s_slices)
+  | Some _, None -> true
+  | None, _ -> false
+
+let pareto_summaries summaries =
+  summaries
+  |> List.filter (fun s ->
+         s.s_guarantee <> None
+         && not (List.exists (fun other -> dominates_summary other s) summaries))
+  |> List.sort (fun a b -> compare a.s_slices b.s_slices)
+
+let best_summary summaries =
+  List.fold_left
+    (fun best s ->
+      match (s.s_guarantee, best) with
+      | None, _ -> best
+      | Some _, None -> Some s
+      | Some g, Some current -> (
+          match current.s_guarantee with
+          | Some gc
+            when Rational.compare gc g > 0
+                 || (Rational.compare gc g = 0
+                    && current.s_slices <= s.s_slices) ->
+              best
+          | Some _ | None -> Some s))
+    None summaries
+
+(* failure strings recorded in checkpoints must not mention task indices or
+   wall times: a resumed sweep re-runs with different indices and must still
+   print byte-identical reports *)
+let budget_failure_reason (f : Exec.Pool.task_failure) =
+  match f with
+  | Exec.Pool.Raised e -> e.Exec.Pool.message
+  | Exec.Pool.Gave_up e ->
+      Printf.sprintf "gave up after %d attempts: %s" e.Exec.Pool.attempts
+        e.Exec.Pool.message
+  | Exec.Pool.Timed_out { attempts; timeout_s; _ } ->
+      Printf.sprintf "timed out (%gs budget, %d attempt%s)" timeout_s attempts
+        (if attempts = 1 then "" else "s")
+  | Exec.Pool.Cancelled _ -> "cancelled"
+
+let rec take n = function
+  | [] -> ([], [])
+  | xs when n <= 0 -> ([], xs)
+  | x :: xs ->
+      let chunk, rest = take (n - 1) xs in
+      (x :: chunk, rest)
+
+let explore_anytime app ?tile_counts ?interconnects ?options ?(jobs = 1)
+    ?deadline ?task_timeout ?retry ?cancel ?checkpoint ?resume ?metrics () =
+  let ( let* ) = Result.bind in
+  let combos = sweep_combos app ?tile_counts ?interconnects () in
+  let app_name = Application.name app in
+  let combo_key (choice, tiles) = (interconnect_label choice, tiles) in
+  let* prior =
+    match resume with
+    | None -> Ok []
+    | Some path -> (
+        match Dse_checkpoint.read ~path with
+        | Error _ as e -> e
+        | Ok ck when ck.Dse_checkpoint.app <> app_name ->
+            Error
+              (Printf.sprintf
+                 "checkpoint %s was written for application %S, not %S" path
+                 ck.Dse_checkpoint.app app_name)
+        | Ok ck -> Ok ck.Dse_checkpoint.entries)
+  in
+  let tbl : (string * int, Dse_checkpoint.entry) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  (* only adopt entries this sweep would actually evaluate: a checkpoint
+     from a wider sweep must not inject foreign design points *)
+  List.iter
+    (fun e ->
+      let key = Dse_checkpoint.entry_key e in
+      if List.exists (fun c -> combo_key c = key) combos then
+        Hashtbl.replace tbl key e)
+    prior;
+  let resumed = Hashtbl.length tbl in
+  let pending =
+    List.filter (fun c -> not (Hashtbl.mem tbl (combo_key c))) combos
+  in
+  let evaluated = ref 0 in
+  let ckpt_writes = ref 0 in
+  let timeouts = ref 0 in
+  let gave_up = ref 0 in
+  let retries = ref 0 in
+  let stop_reason = ref None in
+  let current_entries () =
+    List.filter_map (fun c -> Hashtbl.find_opt tbl (combo_key c)) combos
+  in
+  let write_ckpt () =
+    match checkpoint with
+    | None -> ()
+    | Some path ->
+        Dse_checkpoint.write ~path
+          { Dse_checkpoint.app = app_name; entries = current_entries () };
+        incr ckpt_writes
+  in
+  let expired () =
+    match deadline with Some d -> Exec.Budget.expired d | None -> false
+  in
+  let cancelled () =
+    match cancel with Some t -> Exec.Budget.cancelled t | None -> false
+  in
+  let record combo entry =
+    Hashtbl.replace tbl (combo_key combo) entry;
+    incr evaluated
+  in
+  let process combo outcome =
+    (match outcome with
+    | Error (Exec.Pool.Timed_out { attempts; _ }) ->
+        incr timeouts;
+        retries := !retries + attempts - 1
+    | Error (Exec.Pool.Gave_up e) ->
+        incr gave_up;
+        retries := !retries + e.Exec.Pool.attempts - 1
+    | Ok _ | Error _ -> ());
+    let label, tiles = combo_key combo in
+    match outcome with
+    | Ok (Either.Left point) ->
+        record combo
+          (Dse_checkpoint.Feasible
+             {
+               interconnect = label;
+               tiles;
+               guarantee = point.guarantee;
+               slices = point.slices;
+             })
+    | Ok (Either.Right (tiles, label, reason)) ->
+        record combo (Dse_checkpoint.Failed { interconnect = label; tiles; reason })
+    | Error (Exec.Pool.Cancelled _) ->
+        (* skipped: will be re-run on resume *)
+        ()
+    | Error (Exec.Pool.Timed_out _) when expired () ->
+        (* the sweep deadline, not the per-task budget, cut this point
+           short — treat as skipped so resume re-runs it with full time *)
+        ()
+    | Error f ->
+        record combo
+          (Dse_checkpoint.Failed
+             { interconnect = label; tiles; reason = budget_failure_reason f })
+  in
+  let run eval_chunk =
+    let chunk_size = Stdlib.max 1 jobs in
+    let rec loop pending =
+      match pending with
+      | [] -> ()
+      | _ when cancelled () -> stop_reason := Some Exec.Budget.Cancelled
+      | _ when expired () -> stop_reason := Some Exec.Budget.Deadline
+      | _ ->
+          let chunk, rest = take chunk_size pending in
+          let outcomes = eval_chunk chunk in
+          List.iter2 process chunk outcomes;
+          write_ckpt ();
+          loop rest
+    in
+    loop pending
+  in
+  let eval combo = eval_point app options combo in
+  (if jobs <= 1 then
+     run (fun chunk ->
+         List.mapi
+           (fun i combo ->
+             Exec.Pool.run_budgeted ?timeout:task_timeout ?deadline ?retry
+               ?cancel ~task_index:i (fun () -> eval combo))
+           chunk)
+   else
+     Exec.Pool.with_pool ~jobs (fun pool ->
+         run (fun chunk ->
+             Exec.Pool.map_result pool ?timeout:task_timeout ?deadline ?retry
+               ?cancel eval chunk)));
+  (* always leave a final checkpoint: a run stopped before its first chunk
+     must still produce a resumable (possibly empty) file, and --resume of
+     a finished sweep is then a no-op rather than an error *)
+  write_ckpt ();
+  let summaries, failures =
+    List.partition_map
+      (fun entry ->
+        match entry with
+        | Dse_checkpoint.Feasible { interconnect; tiles; guarantee; slices } ->
+            Either.Left
+              {
+                s_interconnect = interconnect;
+                s_tile_count = tiles;
+                s_guarantee = guarantee;
+                s_slices = slices;
+              }
+        | Dse_checkpoint.Failed { interconnect; tiles; reason } ->
+            Either.Right (tiles, interconnect, reason))
+      (current_entries ())
+  in
+  let skipped = List.length combos - Hashtbl.length tbl in
+  let degradation =
+    if skipped = 0 then None
+    else
+      let d_reason =
+        match !stop_reason with
+        | Some r -> r
+        | None ->
+            if cancelled () then Exec.Budget.Cancelled
+            else Exec.Budget.Deadline
+      in
+      Some
+        {
+          d_reason;
+          d_evaluated = !evaluated;
+          d_skipped = skipped;
+          d_best = best_summary summaries;
+        }
+  in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      let open Obs.Metrics in
+      incr m ~by:!evaluated "dse.points.evaluated";
+      incr m ~by:skipped "dse.points.skipped";
+      incr m ~by:resumed "dse.points.resumed";
+      incr m ~by:!ckpt_writes "dse.checkpoint.writes";
+      incr m ~by:!timeouts "exec.task.timeouts";
+      incr m ~by:!gave_up "exec.task.gave_up";
+      incr m ~by:!retries "exec.task.retries");
+  Ok
+    {
+      a_summaries = summaries;
+      a_failures = failures;
+      a_resumed = resumed;
+      a_degradation = degradation;
+    }
+
+let pp_summary_table ppf summaries =
+  Format.fprintf ppf "@[<v>%-6s %-6s %16s %10s@," "interc" "tiles"
+    "guarantee(it/c)" "slices";
+  Format.fprintf ppf "%s@," (String.make 41 '-');
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%-6s %-6d %16s %10d@," s.s_interconnect
+        s.s_tile_count
+        (match s.s_guarantee with
+        | Some g -> Rational.to_string g
+        | None -> "-")
+        s.s_slices)
+    summaries;
+  Format.fprintf ppf "@]"
+
+let pp_degradation ppf d =
+  Format.fprintf ppf
+    "@[<v>partial result (%a): %d point%s evaluated, %d skipped@,%t@]"
+    Exec.Budget.pp_reason d.d_reason d.d_evaluated
+    (if d.d_evaluated = 1 then "" else "s")
+    d.d_skipped
+    (fun ppf ->
+      match d.d_best with
+      | None -> Format.fprintf ppf "no feasible point found yet"
+      | Some s ->
+          Format.fprintf ppf "tightest bound so far: %s/%d tiles, %s it/cycle, %d slices"
+            s.s_interconnect s.s_tile_count
+            (match s.s_guarantee with
+            | Some g -> Rational.to_string g
+            | None -> "-")
+            s.s_slices)
 
 let pp_table ppf points =
   Format.fprintf ppf "@[<v>%-6s %-6s %16s %10s %9s@," "interc" "tiles"

@@ -50,3 +50,76 @@ val best_under_area : point list -> max_slices:int -> point option
 (** Highest guarantee among points within the area budget. *)
 
 val pp_table : Format.formatter -> point list -> unit
+
+(** {1 Anytime exploration}
+
+    A sweep that can stop on a wall-clock deadline, checkpoint what it
+    has, and resume exactly where it stopped. Results are {!summary}
+    values — the deterministic projection of a {!point} (no wall times,
+    no flow), which is what makes a resumed report byte-identical to an
+    uninterrupted one. *)
+
+type summary = {
+  s_interconnect : string;  (** {!interconnect_label} of the point *)
+  s_tile_count : int;
+  s_guarantee : Sdf.Rational.t option;
+  s_slices : int;
+}
+
+val summarize : point -> summary
+
+type degradation = {
+  d_reason : Exec.Budget.reason;  (** why the sweep stopped early *)
+  d_evaluated : int;  (** points evaluated in this run *)
+  d_skipped : int;  (** points not evaluated before the budget ran out *)
+  d_best : summary option;  (** tightest bound so far: highest guarantee *)
+}
+
+type anytime = {
+  a_summaries : summary list;  (** feasible points, sequential sweep order *)
+  a_failures : (int * string * string) list;
+      (** infeasible points as [(tiles, interconnect, reason)] *)
+  a_resumed : int;  (** points adopted from the resume checkpoint *)
+  a_degradation : degradation option;  (** [Some] iff the result is partial *)
+}
+
+val explore_anytime :
+  Appmodel.Application.t ->
+  ?tile_counts:int list ->
+  ?interconnects:Arch.Template.interconnect_choice list ->
+  ?options:Mapping.Flow_map.options ->
+  ?jobs:int ->
+  ?deadline:Exec.Budget.deadline ->
+  ?task_timeout:float ->
+  ?retry:Exec.Pool.retry ->
+  ?cancel:Exec.Budget.token ->
+  ?checkpoint:string ->
+  ?resume:string ->
+  ?metrics:Obs.Metrics.t ->
+  unit ->
+  (anytime, string) result
+(** {!explore}, budgeted. The sweep runs in chunks of [jobs] design
+    points; between chunks it checks [deadline] and [cancel], and after
+    every chunk it atomically rewrites [checkpoint] (see
+    {!Dse_checkpoint}). Each point additionally runs under [task_timeout]
+    / [retry] via {!Exec.Pool.run_budgeted}, so one pathological design
+    point times out as a typed failure instead of hanging the sweep.
+
+    When the budget fires mid-sweep the result carries
+    [a_degradation = Some _]; points cut short by the {e sweep} deadline
+    (as opposed to their own [task_timeout]) count as skipped and are
+    re-run by [resume]. [resume] loads a checkpoint (validating version
+    and application name), adopts its entries, and evaluates only the
+    remainder — the combined result is byte-identical to an uninterrupted
+    run. [Error] is returned only for an unusable [resume] file.
+
+    [metrics] receives [dse.points.evaluated] / [.skipped] / [.resumed]
+    and [dse.checkpoint.writes] counters. *)
+
+val pareto_summaries : summary list -> summary list
+(** {!pareto} on summaries. *)
+
+val pp_summary_table : Format.formatter -> summary list -> unit
+(** {!pp_table} without the wall-time column — stable across runs. *)
+
+val pp_degradation : Format.formatter -> degradation -> unit

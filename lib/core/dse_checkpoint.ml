@@ -1,0 +1,123 @@
+module Rational = Sdf.Rational
+
+let version = 1
+let magic = "mamps-dse-checkpoint"
+
+type entry =
+  | Feasible of {
+      interconnect : string;
+      tiles : int;
+      guarantee : Rational.t option;
+      slices : int;
+    }
+  | Failed of { interconnect : string; tiles : int; reason : string }
+
+type t = { app : string; entries : entry list }
+
+let entry_key = function
+  | Feasible { interconnect; tiles; _ } | Failed { interconnect; tiles; _ } ->
+      (interconnect, tiles)
+
+let rec mkdirs dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdirs (Filename.dirname dir);
+    Sys.mkdir dir 0o755
+  end
+
+let entry_line = function
+  | Feasible { interconnect; tiles; guarantee = Some g; slices } ->
+      Printf.sprintf "ok %s %d %d/%d %d" interconnect tiles
+        (Rational.numerator g) (Rational.denominator g) slices
+  | Feasible { interconnect; tiles; guarantee = None; slices } ->
+      Printf.sprintf "ok- %s %d %d" interconnect tiles slices
+  | Failed { interconnect; tiles; reason } ->
+      Printf.sprintf "fail %s %d %S" interconnect tiles reason
+
+(* atomic write: a deadline can fire at any moment, and a torn checkpoint
+   must never make --resume start from garbage *)
+let write ~path t =
+  mkdirs (Filename.dirname path);
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "%s %d\n" magic version;
+      Printf.fprintf oc "app %S\n" t.app;
+      List.iter (fun e -> output_string oc (entry_line e ^ "\n")) t.entries);
+  Sys.rename tmp path
+
+let parse_entry line =
+  try
+    if String.length line >= 4 && String.sub line 0 4 = "ok- " then
+      Scanf.sscanf line "ok- %s %d %d" (fun interconnect tiles slices ->
+          Some (Feasible { interconnect; tiles; guarantee = None; slices }))
+    else if String.length line >= 3 && String.sub line 0 3 = "ok " then
+      Scanf.sscanf line "ok %s %d %d/%d %d"
+        (fun interconnect tiles num den slices ->
+          Some
+            (Feasible
+               {
+                 interconnect;
+                 tiles;
+                 guarantee = Some (Rational.make num den);
+                 slices;
+               }))
+    else if String.length line >= 5 && String.sub line 0 5 = "fail " then
+      Scanf.sscanf line "fail %s %d %S" (fun interconnect tiles reason ->
+          Some (Failed { interconnect; tiles; reason }))
+    else None
+  with Scanf.Scan_failure _ | Failure _ | End_of_file | Invalid_argument _ ->
+    None
+
+let read ~path =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "checkpoint %s does not exist" path)
+  else begin
+    let ic = open_in path in
+    let lines = ref [] in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            if String.trim line <> "" then lines := line :: !lines
+          done
+        with End_of_file -> ());
+    match List.rev !lines with
+    | [] -> Error (Printf.sprintf "checkpoint %s is empty" path)
+    | header :: rest -> (
+        match
+          try Scanf.sscanf header "%s %d" (fun m v -> Some (m, v))
+          with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+        with
+        | Some (m, _) when m <> magic ->
+            Error (Printf.sprintf "%s is not a DSE checkpoint" path)
+        | Some (_, v) when v <> version ->
+            Error
+              (Printf.sprintf
+                 "checkpoint %s has version %d, this build reads version %d"
+                 path v version)
+        | None -> Error (Printf.sprintf "%s has a malformed header" path)
+        | Some _ -> (
+            match rest with
+            | [] -> Error (Printf.sprintf "checkpoint %s has no app line" path)
+            | app_line :: entry_lines -> (
+                match
+                  try Scanf.sscanf app_line "app %S" Option.some
+                  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+                with
+                | None ->
+                    Error
+                      (Printf.sprintf "checkpoint %s has a malformed app line"
+                         path)
+                | Some app ->
+                    let entries = List.filter_map parse_entry entry_lines in
+                    if List.length entries <> List.length entry_lines then
+                      Error
+                        (Printf.sprintf
+                           "checkpoint %s contains malformed entries" path)
+                    else Ok { app; entries })))
+  end

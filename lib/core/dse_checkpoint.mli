@@ -1,0 +1,52 @@
+(** On-disk checkpoints for anytime design-space exploration.
+
+    A DSE sweep interrupted by a deadline must be resumable {e exactly}:
+    [dse --resume] has to reproduce, byte for byte, the report an
+    uninterrupted run would have printed. So a checkpoint stores only the
+    deterministic outcome of each evaluated design point — interconnect,
+    tile count, guarantee (an exact rational), area, or the typed failure
+    reason — and never wall-clock times or the unserialisable flow value.
+
+    {2 Format (version 1)}
+
+    A line-oriented text file:
+    {v
+mamps-dse-checkpoint 1
+app "<application name, String.escaped>"
+ok <interconnect> <tiles> <num>/<den> <slices>
+ok- <interconnect> <tiles> <slices>
+fail <interconnect> <tiles> "<reason, String.escaped>"
+    v}
+
+    [ok] is a feasible point with a throughput guarantee, [ok-] a
+    feasible point without one, [fail] a typed flow failure. Writes are
+    atomic (temp file + rename), so a deadline firing mid-write can never
+    leave a torn file for [--resume] to trip over. Unknown versions and
+    malformed lines are rejected with a descriptive error — never a
+    silent partial load. *)
+
+val version : int
+(** Current format version, written in the header. *)
+
+type entry =
+  | Feasible of {
+      interconnect : string;  (** {!Dse.interconnect_label} *)
+      tiles : int;
+      guarantee : Sdf.Rational.t option;
+      slices : int;
+    }
+  | Failed of { interconnect : string; tiles : int; reason : string }
+
+type t = { app : string; entries : entry list }
+
+val entry_key : entry -> string * int
+(** [(interconnect label, tile count)] — the design-point identity used
+    to match checkpoint entries against a sweep's combination list. *)
+
+val write : path:string -> t -> unit
+(** Atomically (re)write the checkpoint, creating parent directories as
+    needed. *)
+
+val read : path:string -> (t, string) result
+(** Load and validate a checkpoint. [Error] on a missing file, a foreign
+    or future-versioned header, or any malformed line. *)

@@ -9,6 +9,8 @@ type t =
   | Netlist_invalid of string
   | Simulation_failed of Sim.Platform_sim.error
   | Recovery_failed of Recover.error
+  | Analysis_budget_exhausted of { application : string; steps : int }
+  | Stage_timed_out of { stage : string; timeout_s : float; attempts : int }
 
 let pp ppf = function
   | Application_rejected { application; reason } ->
@@ -27,6 +29,16 @@ let pp ppf = function
         Sim.Platform_sim.pp_error e
   | Recovery_failed e ->
       Format.fprintf ppf "recovery failed: %a" Recover.pp_error e
+  | Analysis_budget_exhausted { application; steps } ->
+      Format.fprintf ppf
+        "throughput analysis for %S exhausted its %d-step budget without \
+         finding a recurrence (raise the budget or tighten the model)"
+        application steps
+  | Stage_timed_out { stage; timeout_s; attempts } ->
+      Format.fprintf ppf "stage %s exceeded its %gs budget%s" stage timeout_s
+        (if attempts > 1 then
+           Printf.sprintf " (every one of %d attempts)" attempts
+         else "")
 
 let to_string e = Format.asprintf "%a" pp e
 
@@ -34,5 +46,5 @@ let deadlock_diagnosis = function
   | Simulation_failed (Sim.Platform_sim.Deadlock d) -> Some d
   | Application_rejected _ | Architecture_failed _ | Merge_failed _
   | Mapping_failed _ | Netlist_invalid _ | Simulation_failed _
-  | Recovery_failed _ ->
+  | Recovery_failed _ | Analysis_budget_exhausted _ | Stage_timed_out _ ->
       None

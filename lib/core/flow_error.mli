@@ -27,6 +27,13 @@ type t =
       (** re-mapping around a permanent fault failed — either legitimately
           unrepairable (see {!Recover.typed_unrepairable}) or the repaired
           design misbehaved *)
+  | Analysis_budget_exhausted of { application : string; steps : int }
+      (** the throughput analysis hit its step budget without finding a
+          recurrence — an inconclusive prediction the flow refuses to
+          build on, not a verdict about the application *)
+  | Stage_timed_out of { stage : string; timeout_s : float; attempts : int }
+      (** a budgeted stage exceeded its wall-clock timeout on every
+          attempt (see {!Exec.Pool.run_budgeted}) *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -164,6 +164,18 @@ let pp_profile ppf ((flow : Design_flow.t), (p : Design_flow.profile)) =
   | peaks ->
       fprintf ppf "@,intra-tile channel occupancy (peak tokens):@,";
       List.iter (fun (ch, peak) -> fprintf ppf "  %-14s %4d@," ch peak) peaks);
+  (* budgeted execution: timeout / retry / checkpoint counters *)
+  let budget_counters =
+    List.map (fun (n, v) -> ("exec." ^ n, v)) (Obs.Metrics.with_prefix m "exec")
+    @ List.map (fun (n, v) -> ("dse." ^ n, v)) (Obs.Metrics.with_prefix m "dse")
+  in
+  (match budget_counters with
+  | [] -> ()
+  | cs ->
+      fprintf ppf "@,budgeted execution:@,";
+      List.iter
+        (fun (name, v) -> fprintf ppf "  %-28s %8d@," name v)
+        (List.sort (fun (a, _) (b, _) -> String.compare a b) cs));
   (* firing-latency histograms *)
   (match Obs.Metrics.histograms m with
   | [] -> ()

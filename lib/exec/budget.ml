@@ -1,0 +1,74 @@
+type reason = Deadline | Cancelled
+
+exception Expired of reason
+
+let pp_reason ppf = function
+  | Deadline -> Format.pp_print_string ppf "deadline exceeded"
+  | Cancelled -> Format.pp_print_string ppf "cancelled"
+
+let reason_to_string r = Format.asprintf "%a" pp_reason r
+
+(* --- cancellation tokens ---------------------------------------------------- *)
+
+type token = bool Atomic.t
+
+let token () = Atomic.make false
+let cancel t = Atomic.set t true
+let cancelled t = Atomic.get t
+
+(* --- deadlines -------------------------------------------------------------- *)
+
+type deadline = float (* absolute Clock.now time *)
+
+let after seconds = Clock.now () +. Float.max 0.0 seconds
+let at time = time
+let expired d = Clock.now () >= d
+let remaining d = Float.max 0.0 (d -. Clock.now ())
+let earliest a b = Float.min a b
+
+(* --- scopes ----------------------------------------------------------------- *)
+
+type scope = {
+  sc_deadline : deadline option;
+  sc_tokens : token list;
+}
+
+let scope ?deadline ?cancel () =
+  { sc_deadline = deadline; sc_tokens = Option.to_list cancel }
+
+(* a cancelled token outranks an elapsed deadline: cancellation is an
+   explicit caller decision, the deadline merely a default *)
+let status s =
+  if List.exists cancelled s.sc_tokens then Some Cancelled
+  else
+    match s.sc_deadline with
+    | Some d when expired d -> Some Deadline
+    | Some _ | None -> None
+
+let merge outer inner =
+  {
+    sc_deadline =
+      (match (outer.sc_deadline, inner.sc_deadline) with
+      | Some a, Some b -> Some (earliest a b)
+      | (Some _ as d), None | None, (Some _ as d) -> d
+      | None, None -> None);
+    sc_tokens = outer.sc_tokens @ inner.sc_tokens;
+  }
+
+(* The ambient scope: set once per pool task (or per budgeted section) and
+   polled from deep inside step loops without threading a parameter through
+   every layer. Nested scopes merge, so an inner per-task timeout can never
+   outlive an outer sweep deadline. *)
+let current : scope option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let with_scope s f =
+  let outer = Domain.DLS.get current in
+  let merged = match outer with None -> s | Some o -> merge o s in
+  Domain.DLS.set current (Some merged);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current outer) f
+
+let current_status () =
+  match Domain.DLS.get current with None -> None | Some s -> status s
+
+let check () =
+  match current_status () with None -> () | Some r -> raise (Expired r)

@@ -1,0 +1,81 @@
+(** Deadlines and cooperative cancellation for budgeted execution.
+
+    The flow's long loops — the platform simulator's scheduler, the
+    state-space throughput analysis, a DSE sweep — must be able to stop
+    on time instead of only succeed or hang. This module provides the two
+    primitives: wall-clock {e deadlines} (absolute {!Clock.now} instants)
+    and {e cancellation tokens} (atomic flags another domain may set), and
+    an {e ambient scope} combining both that inner step loops poll with
+    {!check} without threading a parameter through every layer.
+
+    Cancellation is cooperative: nothing is killed. A loop that never
+    calls {!check} is not interruptible — the simulator and the
+    throughput analysis poll every few hundred steps (see DESIGN.md §3g
+    for the audited poll points). *)
+
+type reason =
+  | Deadline  (** the wall-clock deadline elapsed *)
+  | Cancelled  (** a cancellation token was set *)
+
+exception Expired of reason
+(** Raised by {!check} inside an exhausted scope. *)
+
+val pp_reason : Format.formatter -> reason -> unit
+val reason_to_string : reason -> string
+
+(** {1 Cancellation tokens} *)
+
+type token
+
+val token : unit -> token
+(** A fresh, un-cancelled token. Safe to share across domains. *)
+
+val cancel : token -> unit
+(** Set the token. Idempotent; visible to every domain polling it. *)
+
+val cancelled : token -> bool
+
+(** {1 Deadlines} *)
+
+type deadline
+(** An absolute wall-clock instant ({!Clock.now} time base). *)
+
+val after : float -> deadline
+(** [after s] is the instant [s] seconds from now (clamped to now for
+    negative [s], i.e. already expired). *)
+
+val at : float -> deadline
+(** An absolute {!Clock.now} value as a deadline. *)
+
+val expired : deadline -> bool
+val remaining : deadline -> float
+(** Seconds until expiry, clamped to 0. *)
+
+val earliest : deadline -> deadline -> deadline
+
+(** {1 Scopes} *)
+
+type scope
+
+val scope : ?deadline:deadline -> ?cancel:token -> unit -> scope
+(** A budget combining an optional deadline and an optional token. The
+    empty scope never expires. *)
+
+val status : scope -> reason option
+(** [Some r] once the scope is exhausted. A cancelled token outranks an
+    elapsed deadline. *)
+
+val with_scope : scope -> (unit -> 'a) -> 'a
+(** Run the thunk with the scope installed as this domain's ambient
+    budget (restored afterwards, also on exception). Nested calls merge:
+    the effective deadline is the earliest and every token of every
+    enclosing scope stays armed, so an inner per-task timeout can never
+    outlive an outer sweep deadline. *)
+
+val current_status : unit -> reason option
+(** {!status} of the ambient scope; [None] outside any [with_scope]. *)
+
+val check : unit -> unit
+(** Poll the ambient scope: no-op while it has budget (or when there is
+    none), raises {!Expired} once exhausted. Cheap enough for step loops
+    — one atomic read per token plus one [gettimeofday]. *)

@@ -2,12 +2,213 @@ exception Nested_map
 
 type task_error = {
   task_index : int;
+  attempts : int;
   message : string;
   backtrace : string;
 }
 
 let pp_task_error ppf e =
-  Format.fprintf ppf "task %d raised %s" e.task_index e.message
+  Format.fprintf ppf "task %d raised %s%s" e.task_index e.message
+    (if e.attempts > 1 then Printf.sprintf " (after %d attempts)" e.attempts
+     else "")
+
+type task_failure =
+  | Raised of task_error
+  | Gave_up of task_error
+  | Timed_out of { task_index : int; attempts : int; timeout_s : float }
+  | Cancelled of { task_index : int }
+
+let pp_task_failure ppf = function
+  | Raised e -> pp_task_error ppf e
+  | Gave_up e ->
+      Format.fprintf ppf "task %d gave up after %d attempts: %s" e.task_index
+        e.attempts e.message
+  | Timed_out { task_index; attempts; timeout_s } ->
+      Format.fprintf ppf "task %d timed out (%gs budget, %d attempt%s)"
+        task_index timeout_s attempts
+        (if attempts = 1 then "" else "s")
+  | Cancelled { task_index } ->
+      Format.fprintf ppf "task %d cancelled" task_index
+
+let failure_index = function
+  | Raised e | Gave_up e -> e.task_index
+  | Timed_out { task_index; _ } | Cancelled { task_index } -> task_index
+
+(* --- retry policy ------------------------------------------------------------ *)
+
+type retry = {
+  max_attempts : int;
+  base_delay_s : float;
+  multiplier : float;
+  jitter : float;
+  retry_seed : int;
+}
+
+let no_retry =
+  {
+    max_attempts = 1;
+    base_delay_s = 0.0;
+    multiplier = 2.0;
+    jitter = 0.0;
+    retry_seed = 0;
+  }
+
+let default_retry =
+  {
+    max_attempts = 3;
+    base_delay_s = 0.05;
+    multiplier = 2.0;
+    jitter = 0.5;
+    retry_seed = 0;
+  }
+
+let retry ?(max_attempts = 3) ?(base_delay_s = 0.05) ?(multiplier = 2.0)
+    ?(jitter = 0.5) ?(retry_seed = 0) () =
+  {
+    max_attempts = Stdlib.max 1 max_attempts;
+    base_delay_s = Float.max 0.0 base_delay_s;
+    multiplier = Float.max 1.0 multiplier;
+    jitter = Float.min 1.0 (Float.max 0.0 jitter);
+    retry_seed;
+  }
+
+(* Deterministic jitter: a pure hash of (seed, task, attempt) mapped onto
+   [0, 1), so a retried sweep sleeps the same schedule on every run and
+   every -j — randomness without a hidden RNG state. *)
+let jitter_unit policy ~task_index ~attempt =
+  let h = Hashtbl.hash (policy.retry_seed, task_index, attempt, 0x9e3779b9) in
+  float_of_int (h land 0xFF_FFFF) /. 16_777_216.0
+
+let backoff_delay policy ~task_index ~attempt =
+  let base =
+    policy.base_delay_s *. (policy.multiplier ** float_of_int (attempt - 1))
+  in
+  let u = jitter_unit policy ~task_index ~attempt in
+  base *. (1.0 -. (policy.jitter *. u))
+
+(* --- budgeted single-task runner --------------------------------------------- *)
+
+(* One task under the full budget discipline: a per-attempt timeout, an
+   absolute deadline shared by the whole batch, a cancellation token, and
+   retry with deterministic backoff. Pure control flow, no pool — the
+   sequential paths (jobs <= 1) use it directly so the typed outcomes are
+   identical at every -j. *)
+let run_budgeted ?timeout ?deadline ?(retry = no_retry) ?cancel ~task_index f =
+  let give_up e =
+    if retry.max_attempts <= 1 then Raised e else Gave_up e
+  in
+  let rec attempt k =
+    if (match cancel with Some t -> Budget.cancelled t | None -> false) then
+      Error (Cancelled { task_index })
+    else begin
+      let attempt_deadline =
+        match (Option.map Budget.after timeout, deadline) with
+        | Some a, Some b -> Some (Budget.earliest a b)
+        | (Some _ as d), None | None, (Some _ as d) -> d
+        | None, None -> None
+      in
+      let scope = Budget.scope ?deadline:attempt_deadline ?cancel () in
+      let again failure =
+        if k >= retry.max_attempts then Error failure
+        else begin
+          (* never retry past the batch deadline: the next attempt could
+             not finish either, and the caller wants to regain control *)
+          match deadline with
+          | Some d when Budget.expired d -> Error failure
+          | Some _ | None ->
+              let delay = backoff_delay retry ~task_index ~attempt:k in
+              if delay > 0.0 then Unix.sleepf delay;
+              attempt (k + 1)
+        end
+      in
+      match Budget.with_scope scope f with
+      | v -> Ok v
+      | exception Budget.Expired Budget.Cancelled ->
+          Error (Cancelled { task_index })
+      | exception Budget.Expired Budget.Deadline ->
+          again
+            (Timed_out
+               {
+                 task_index;
+                 attempts = k;
+                 timeout_s = Option.value timeout ~default:0.0;
+               })
+      | exception e ->
+          let err =
+            {
+              task_index;
+              attempts = k;
+              message = Printexc.to_string e;
+              backtrace = Printexc.get_backtrace ();
+            }
+          in
+          again (give_up err)
+    end
+  in
+  attempt 1
+
+(* --- failure statistics ------------------------------------------------------ *)
+
+type stats = {
+  st_ok : int;
+  st_raised : int;
+  st_timed_out : int;
+  st_gave_up : int;
+  st_cancelled : int;
+  st_retries : int;
+}
+
+let stats outs =
+  List.fold_left
+    (fun s -> function
+      | Ok _ -> { s with st_ok = s.st_ok + 1 }
+      | Error (Raised e) ->
+          {
+            s with
+            st_raised = s.st_raised + 1;
+            st_retries = s.st_retries + e.attempts - 1;
+          }
+      | Error (Gave_up e) ->
+          {
+            s with
+            st_gave_up = s.st_gave_up + 1;
+            st_retries = s.st_retries + e.attempts - 1;
+          }
+      | Error (Timed_out { attempts; _ }) ->
+          {
+            s with
+            st_timed_out = s.st_timed_out + 1;
+            st_retries = s.st_retries + attempts - 1;
+          }
+      | Error (Cancelled _) -> { s with st_cancelled = s.st_cancelled + 1 })
+    {
+      st_ok = 0;
+      st_raised = 0;
+      st_timed_out = 0;
+      st_gave_up = 0;
+      st_cancelled = 0;
+      st_retries = 0;
+    }
+    outs
+
+(* --- parallelism resolution --------------------------------------------------- *)
+
+type jobs_error =
+  | Unparseable of string
+  | Negative of int
+
+let pp_jobs_error ppf = function
+  | Unparseable s ->
+      Format.fprintf ppf "MAMPS_JOBS=%S is not an integer" s
+  | Negative n ->
+      Format.fprintf ppf
+        "MAMPS_JOBS=%d is negative (use 0 for one domain per core)" n
+
+let parse_jobs s =
+  match int_of_string_opt (String.trim s) with
+  | None -> Error (Unparseable s)
+  | Some n when n < 0 -> Error (Negative n)
+  | Some n -> Ok n
 
 (* A round is one [map] call: workers share an atomic next-task cursor and
    report completions under the pool mutex, so the caller can sleep on a
@@ -27,10 +228,22 @@ type t = {
   mutable workers : unit Domain.t list;
 }
 
-let parallelism ?jobs ?default () =
+let parallelism ?(warn = fun msg -> Printf.eprintf "warning: %s\n%!" msg)
+    ?jobs ?default () =
   let env () =
-    Option.bind (Sys.getenv_opt "MAMPS_JOBS") (fun s ->
-        int_of_string_opt (String.trim s))
+    match Sys.getenv_opt "MAMPS_JOBS" with
+    | None -> None
+    | Some s when String.trim s = "" -> None
+    | Some s -> (
+        (* a malformed value must never silently become "sequential": warn
+           and fall through to the default instead *)
+        match parse_jobs s with
+        | Ok n -> Some n
+        | Error e ->
+            warn
+              (Format.asprintf "%a; falling back to the default" pp_jobs_error
+                 e);
+            None)
   in
   let n =
     match jobs with
@@ -118,31 +331,29 @@ let run_round pool n steal_loop =
   pool.round <- None;
   Mutex.unlock pool.mutex
 
-let map_outcomes pool f xs =
+(* Shared fan-out skeleton: apply [run_one : index -> outcome] to every
+   index, storing outcomes at the input's position so scheduling is
+   invisible in the output. *)
+let map_general pool run_one n =
   if Domain.DLS.get in_task then raise Nested_map;
-  let arr = Array.of_list xs in
-  let n = Array.length arr in
   let results = Array.make n None in
   let next = Atomic.make 0 in
-  let run_one i =
+  let exec i =
     Domain.DLS.set in_task true;
-    let out =
-      try Ok (f arr.(i))
-      with e -> Error (e, Printexc.get_backtrace ())
-    in
+    let out = run_one i in
     Domain.DLS.set in_task false;
     results.(i) <- Some out
   in
   if pool.p_jobs <= 1 || n <= 1 || pool.workers = [] then
     for i = 0 to n - 1 do
-      run_one i
+      exec i
     done
   else begin
     let steal_loop () =
       let rec go () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          run_one i;
+          exec i;
           Mutex.lock pool.mutex;
           pool.completed <- pool.completed + 1;
           if pool.completed >= pool.target then
@@ -159,7 +370,14 @@ let map_outcomes pool f xs =
     (Array.map (function Some out -> out | None -> assert false) results)
 
 let map pool f xs =
-  let outs = map_outcomes pool f xs in
+  let arr = Array.of_list xs in
+  let outs =
+    map_general pool
+      (fun i ->
+        try Ok (f arr.(i))
+        with e -> Error (e, Printexc.get_backtrace ()))
+      (Array.length arr)
+  in
   match
     List.find_opt (function Error _ -> true | Ok _ -> false) outs
   with
@@ -167,10 +385,10 @@ let map pool f xs =
   | Some (Ok _) | None ->
       List.map (function Ok v -> v | Error _ -> assert false) outs
 
-let map_result pool f xs =
-  List.mapi
-    (fun i -> function
-      | Ok v -> Ok v
-      | Error (e, backtrace) ->
-          Error { task_index = i; message = Printexc.to_string e; backtrace })
-    (map_outcomes pool f xs)
+let map_result pool ?timeout ?deadline ?retry ?cancel f xs =
+  let arr = Array.of_list xs in
+  map_general pool
+    (fun i ->
+      run_budgeted ?timeout ?deadline ?retry ?cancel ~task_index:i (fun () ->
+          f arr.(i)))
+    (Array.length arr)

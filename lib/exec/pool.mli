@@ -13,8 +13,12 @@
     [map pool f xs] and [List.map f xs] agree whenever [f] is pure:
     results are stored at the input's index, so scheduling order, the
     number of domains and work stealing are all invisible in the output.
-    Side-effecting tasks run concurrently and must not share mutable
-    state (see DESIGN.md §3e for what was audited in this codebase).
+    The same holds for budgeted runs: {!map_result} outcomes (including
+    {!task_failure} variants) land at the input's index, and retry
+    backoff jitter is a pure hash of [(seed, task, attempt)], so a
+    timed-out sweep reports identically at every [-j]. Side-effecting
+    tasks run concurrently and must not share mutable state (see
+    DESIGN.md §3e for what was audited in this codebase).
 
     {2 Lifecycle}
 
@@ -27,12 +31,30 @@
 
 type t
 
-val parallelism : ?jobs:int -> ?default:int -> unit -> int
+(** {1 Parallelism resolution} *)
+
+type jobs_error =
+  | Unparseable of string  (** [MAMPS_JOBS] is not an integer *)
+  | Negative of int  (** [MAMPS_JOBS] is negative *)
+
+val pp_jobs_error : Format.formatter -> jobs_error -> unit
+
+val parse_jobs : string -> (int, jobs_error) result
+(** Parse a [MAMPS_JOBS]-style value: a non-negative integer ([0] means
+    "one domain per core"). Leading/trailing whitespace is ignored. *)
+
+val parallelism :
+  ?warn:(string -> unit) -> ?jobs:int -> ?default:int -> unit -> int
 (** Resolve the degree of parallelism, first match wins:
     [jobs] (a [-j] flag; [0] means "one domain per core"), the
     [MAMPS_JOBS] environment variable, [default], and finally
     [Domain.recommended_domain_count ()]. The result is always
-    at least 1. *)
+    at least 1.
+
+    A malformed [MAMPS_JOBS] (unparseable or negative) is reported via
+    [warn] (default: a line on stderr) and treated as unset — it falls
+    through to [default], never to an uncaught exception or a silent
+    [1]. An empty/whitespace-only value is treated as unset silently. *)
 
 val create : ?jobs:int -> unit -> t
 (** Spawn a pool of [parallelism ?jobs ()] workers (clamped to 64; the
@@ -58,14 +80,108 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     then the exception of the {e earliest} failing input is re-raised, so
     the surfaced error does not depend on scheduling. *)
 
+(** {1 Typed task outcomes} *)
+
 type task_error = {
   task_index : int;  (** position of the failing input in the list *)
+  attempts : int;  (** how many attempts were made (1 without retry) *)
   message : string;  (** [Printexc.to_string] of the exception *)
   backtrace : string;
 }
 
-val map_result : t -> ('a -> 'b) -> 'a list -> ('b, task_error) result list
-(** Like [map] but collects raised exceptions as typed per-task errors
-    instead of re-raising, one result per input, in input order. *)
+type task_failure =
+  | Raised of task_error  (** the task raised and no retry was configured *)
+  | Gave_up of task_error
+      (** the task raised on every one of [max_attempts] attempts *)
+  | Timed_out of { task_index : int; attempts : int; timeout_s : float }
+      (** every attempt exceeded its wall-clock budget; [timeout_s] is the
+          configured per-attempt timeout ([0.] when only the batch
+          deadline cut it off) *)
+  | Cancelled of { task_index : int }
+      (** the cancellation token was set before or during the task *)
 
 val pp_task_error : Format.formatter -> task_error -> unit
+val pp_task_failure : Format.formatter -> task_failure -> unit
+
+val failure_index : task_failure -> int
+(** The input position the failure belongs to. *)
+
+(** {1 Retry policy} *)
+
+type retry = {
+  max_attempts : int;  (** total attempts, >= 1 *)
+  base_delay_s : float;  (** backoff before the 2nd attempt *)
+  multiplier : float;  (** exponential growth per further attempt *)
+  jitter : float;  (** fraction of the delay randomised away, in [0;1] *)
+  retry_seed : int;  (** seeds the deterministic jitter hash *)
+}
+
+val no_retry : retry
+(** One attempt, no backoff. The default. *)
+
+val default_retry : retry
+(** 3 attempts, 50 ms base delay, doubling, 50% jitter, seed 0. *)
+
+val retry :
+  ?max_attempts:int ->
+  ?base_delay_s:float ->
+  ?multiplier:float ->
+  ?jitter:float ->
+  ?retry_seed:int ->
+  unit ->
+  retry
+(** Build a policy with clamped fields ([max_attempts >= 1],
+    non-negative delay, [multiplier >= 1], [jitter] in [0;1]). *)
+
+val backoff_delay : retry -> task_index:int -> attempt:int -> float
+(** The exact sleep before retrying [attempt + 1] — deterministic in
+    [(retry_seed, task_index, attempt)]. Exposed for tests. *)
+
+(** {1 Budgeted execution} *)
+
+val run_budgeted :
+  ?timeout:float ->
+  ?deadline:Budget.deadline ->
+  ?retry:retry ->
+  ?cancel:Budget.token ->
+  task_index:int ->
+  (unit -> 'a) ->
+  ('a, task_failure) result
+(** Run one thunk under the full budget discipline: each attempt gets an
+    ambient {!Budget} scope whose deadline is the earlier of "now +
+    [timeout]" and the absolute [deadline]; {!Budget.Expired} from inside
+    the thunk becomes {!Timed_out} (deadline) or {!Cancelled} (token);
+    other exceptions become {!Raised}/{!Gave_up}. Failed attempts are
+    retried per [retry] with deterministic exponential backoff — except
+    once the absolute [deadline] has passed or [cancel] is set, where
+    control returns immediately. Used by {!map_result} and directly by
+    sequential ([jobs <= 1]) paths so outcomes match at every [-j]. *)
+
+val map_result :
+  t ->
+  ?timeout:float ->
+  ?deadline:Budget.deadline ->
+  ?retry:retry ->
+  ?cancel:Budget.token ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, task_failure) result list
+(** Like [map] but collects failures as typed per-task outcomes instead
+    of re-raising — one result per input, in input order. With [timeout],
+    [deadline], [retry] or [cancel] set, each task runs through
+    {!run_budgeted}; tasks must poll {!Budget.check} (the simulator and
+    throughput analysis do) to be interruptible. *)
+
+(** {1 Outcome statistics} *)
+
+type stats = {
+  st_ok : int;
+  st_raised : int;
+  st_timed_out : int;
+  st_gave_up : int;
+  st_cancelled : int;
+  st_retries : int;  (** extra attempts beyond the first, summed *)
+}
+
+val stats : ('a, task_failure) result list -> stats
+(** Tally a {!map_result} outcome list for metrics and reports. *)

@@ -30,7 +30,9 @@ type figure6_row = {
 
 let throughput_opt = function
   | Sdf.Throughput.Throughput { throughput; _ } -> Some throughput
-  | Sdf.Throughput.Deadlocked _ | Sdf.Throughput.No_recurrence -> None
+  | Sdf.Throughput.Deadlocked _ | Sdf.Throughput.No_recurrence
+  | Sdf.Throughput.Budget_exhausted _ ->
+      None
 
 let figure6_row choice (seq : Mjpeg.Streams.sequence) ?(passes = 4) () =
   let* app = calibrated_mjpeg seq in

@@ -189,12 +189,17 @@ let run app platform ?(options = default_options) () =
     | None, _ -> true
     | Some t, Throughput.Throughput { throughput; _ } ->
         Rational.compare throughput t >= 0
-    | Some _, (Throughput.Deadlocked _ | Throughput.No_recurrence) -> false
+    | ( Some _,
+        ( Throughput.Deadlocked _ | Throughput.No_recurrence
+        | Throughput.Budget_exhausted _ ) ) ->
+        false
   in
   let value p =
     match p with
     | Throughput.Throughput { throughput; _ } -> Rational.to_float throughput
-    | Throughput.Deadlocked _ | Throughput.No_recurrence -> -1.0
+    | Throughput.Deadlocked _ | Throughput.No_recurrence
+    | Throughput.Budget_exhausted _ ->
+        -1.0
   in
   (* Buffer distribution search: with a throughput constraint, grow until
      it is met; without one, grow until throughput saturates (an extra
@@ -269,7 +274,16 @@ let run app platform ?(options = default_options) () =
 let throughput t =
   match t.predicted with
   | Throughput.Throughput { throughput; _ } -> Some throughput
-  | Throughput.Deadlocked _ | Throughput.No_recurrence -> None
+  | Throughput.Deadlocked _ | Throughput.No_recurrence
+  | Throughput.Budget_exhausted _ ->
+      None
+
+let analysis_budget t =
+  match t.predicted with
+  | Throughput.Budget_exhausted { steps } -> Some steps
+  | Throughput.Throughput _ | Throughput.Deadlocked _
+  | Throughput.No_recurrence ->
+      None
 
 let first_iteration_latency t =
   let outcome =

@@ -94,6 +94,11 @@ val throughput : t -> Sdf.Rational.t option
 (** Predicted worst-case iteration throughput; [None] when the analysis
     deadlocked or did not converge. *)
 
+val analysis_budget : t -> int option
+(** [Some steps] when the throughput analysis hit its step budget without
+    finding a recurrence — the prediction is then inconclusive, not a
+    verdict — [None] otherwise. *)
+
 val first_iteration_latency : t -> int option
 (** Worst-case pipeline fill: cycles from reset until the first complete
     graph iteration (the first MCU out, for the case study) on the mapped

@@ -21,7 +21,7 @@ let escape s =
     s;
   Buffer.contents b
 
-let to_json ?(process_name = "mamps platform") events =
+let to_json ?(process_name = "mamps platform") ?(counters = []) events =
   let tracks =
     List.sort_uniq String.compare (List.map (fun e -> e.ev_track) events)
   in
@@ -72,6 +72,21 @@ let to_json ?(process_name = "mamps platform") events =
           ("args", Printf.sprintf "{\"sort_index\":%d}" i);
         ])
     tracks;
+  (* counters render as "ph":"C" samples at t=0: one bar per metric in
+     the viewer's counter section — enough to surface run totals
+     (timeouts, retries, checkpoint writes) next to the timeline *)
+  List.iter
+    (fun (name, value) ->
+      add_record
+        [
+          ("name", str name);
+          ("ph", str "C");
+          ("pid", "0");
+          ("tid", "0");
+          ("ts", "0");
+          ("args", Printf.sprintf "{%s:%d}" (str "value") value);
+        ])
+    counters;
   List.iter
     (fun e ->
       add_record

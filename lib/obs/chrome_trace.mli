@@ -13,11 +13,15 @@ type event = {
   ev_dur : int;  (** cycles; non-positive durations are clamped to 0 *)
 }
 
-val to_json : ?process_name:string -> event list -> string
+val to_json :
+  ?process_name:string -> ?counters:(string * int) list -> event list -> string
 (** A complete JSON document: [{"traceEvents": [...]}] with thread-name
     metadata for every distinct track (tracks sorted by name, so tile and
     link rows group together) followed by the events in the given order.
-    [process_name] (default ["mamps platform"]) names the single process. *)
+    [process_name] (default ["mamps platform"]) names the single process.
+    [counters] (default empty) adds one counter event ([ph = "C"]) per
+    [(name, value)] pair at [ts = 0] — run totals such as timeout and
+    retry counts rendered next to the timeline. *)
 
 val escape : string -> string
 (** JSON string-content escaping (quotes, backslashes, control chars). *)

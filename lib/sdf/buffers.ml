@@ -163,7 +163,9 @@ let size_for_throughput ?(options = Execution.default_options)
         match result with
         | Throughput.Throughput { throughput; _ } ->
             Rational.compare throughput target >= 0
-        | Throughput.Deadlocked _ | Throughput.No_recurrence -> false
+        | Throughput.Deadlocked _ | Throughput.No_recurrence
+        | Throughput.Budget_exhausted _ ->
+            false
       in
       if good then
         Some

@@ -102,6 +102,8 @@ let to_int_exn a =
   if a.den <> 1 then invalid_arg "Rational.to_int_exn: not an integer";
   a.num
 
+let numerator a = a.num
+let denominator a = a.den
 let to_float a = float_of_int a.num /. float_of_int a.den
 
 let to_string a =

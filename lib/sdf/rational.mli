@@ -50,6 +50,12 @@ val is_integer : t -> bool
 val to_int_exn : t -> int
 (** @raise Invalid_argument if the value is not an integer. *)
 
+val numerator : t -> int
+(** Numerator in lowest terms; sign lives here. *)
+
+val denominator : t -> int
+(** Denominator in lowest terms, always positive. *)
+
 val to_float : t -> float
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

@@ -7,13 +7,18 @@ type result =
     }
   | Deadlocked of { time : int; iterations : int }
   | No_recurrence
+  | Budget_exhausted of { steps : int }
 
 let analyse ?(options = Execution.default_options) ?(max_steps = 200_000) g =
   let eng = Execution.create ~options g in
   let seen : (string, int * int) Hashtbl.t = Hashtbl.create 1024 in
   let rec loop steps =
-    if steps > max_steps then No_recurrence
+    if steps > max_steps then Budget_exhausted { steps = max_steps }
     else begin
+      (* cooperative cancellation: a surrounding deadline (pool task
+         timeout, DSE sweep budget) must be able to interrupt a long
+         transient without waiting for max_steps *)
+      if steps land 1023 = 0 then Exec.Budget.check ();
       let key = Execution.state_key eng in
       match Hashtbl.find_opt seen key with
       | Some (t0, iterations0) ->
@@ -41,7 +46,7 @@ let analyse ?(options = Execution.default_options) ?(max_steps = 200_000) g =
                   time = Execution.now eng;
                   iterations = Execution.iterations_completed eng;
                 }
-          | Execution.Budget_exhausted -> No_recurrence)
+          | Execution.Budget_exhausted -> Budget_exhausted { steps })
     end
   in
   loop 0
@@ -51,6 +56,10 @@ let to_rational = function
   | Deadlocked _ -> Rational.zero
   | No_recurrence ->
       invalid_arg "Throughput.to_rational: analysis did not converge"
+  | Budget_exhausted { steps } ->
+      invalid_arg
+        (Printf.sprintf
+           "Throughput.to_rational: step budget exhausted after %d steps" steps)
 
 let actor_throughput g result a =
   let q = Repetition.vector_exn g in
@@ -64,3 +73,6 @@ let pp_result ppf = function
   | Deadlocked { time; iterations } ->
       Format.fprintf ppf "deadlock at t=%d after %d iterations" time iterations
   | No_recurrence -> Format.fprintf ppf "no recurrence found"
+  | Budget_exhausted { steps } ->
+      Format.fprintf ppf "step budget exhausted (%d steps, no recurrence yet)"
+        steps

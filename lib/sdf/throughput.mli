@@ -21,20 +21,28 @@ type result =
     }
   | Deadlocked of { time : int; iterations : int }
   | No_recurrence
-      (** the state space did not close within the step budget; either the
-          graph needs unbounded buffering (inconsistent/unbounded
-          auto-concurrency) or the budget was too small *)
+      (** the state space closed degenerately: a state revisit with a
+          zero-length or zero-iteration period, which no finite buffer
+          refinement can fix *)
+  | Budget_exhausted of { steps : int }
+      (** the state space did not close within the step budget ([steps]
+          advances explored); either the graph needs unbounded buffering
+          (inconsistent/unbounded auto-concurrency) or the budget was too
+          small — a budget problem, not a verdict about the graph *)
 
 val analyse :
   ?options:Execution.options -> ?max_steps:int -> Graph.t -> result
 (** [analyse g] explores at most [max_steps] (default [200_000]) clock
-    advances. [options] carries resource bindings and static orders so that
+    advances and returns {!Budget_exhausted} when that budget is hit.
+    [options] carries resource bindings and static orders so that
     the analysis models the mapped platform; its [firing_time] must be
-    deterministic. *)
+    deterministic. The step loop polls {!Exec.Budget.check} every 1024
+    steps, so an ambient deadline or cancellation token interrupts the
+    analysis by raising {!Exec.Budget.Expired}. *)
 
 val to_rational : result -> Rational.t
 (** Throughput value; {!Rational.zero} for deadlock.
-    @raise Invalid_argument on [No_recurrence]. *)
+    @raise Invalid_argument on [No_recurrence] and [Budget_exhausted]. *)
 
 val actor_throughput : Graph.t -> result -> Graph.actor_id -> Rational.t
 (** Firings of the given actor per clock cycle: iteration throughput scaled

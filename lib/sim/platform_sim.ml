@@ -687,6 +687,9 @@ let simulate (mapping : Flow_map.t) ~iterations ~timing ~faults ~max_cycles
            let continue = ref true in
            while !continue && !iterations_done < iterations do
              incr guard;
+             (* budgeted execution: let an ambient deadline or cancellation
+                token stop a long simulation between scheduling steps *)
+             if !guard land 1023 = 0 then Exec.Budget.check ();
              if !guard > max_rounds then begin
                error :=
                  Some

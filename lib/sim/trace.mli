@@ -32,10 +32,13 @@ val to_vcd : ?design:string -> t -> string
     codes over the printable VCD alphabet (any tile count); labels and
     names are escaped (VCD string values must not contain whitespace). *)
 
-val to_chrome_json : ?process_name:string -> t -> string
+val to_chrome_json :
+  ?process_name:string -> ?counters:(string * int) list -> t -> string
 (** The same spans as a Chrome tracing (Trace Event Format) document: one
     complete event per span, one named track per tile or link — open it in
-    [chrome://tracing] or Perfetto. See {!Obs.Chrome_trace}. *)
+    [chrome://tracing] or Perfetto. [counters] forwards run totals (e.g.
+    {!Obs.Metrics} timeout/retry/checkpoint counts) as counter events.
+    See {!Obs.Chrome_trace}. *)
 
 val to_ascii_gantt : ?width:int -> ?until:int -> t -> string
 (** One row per tile, time left to right, busy cells marked with the first

@@ -16,6 +16,11 @@ let key_list =
          (pair int string)
          (pair (option string) int)))
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 (* --- parallelism resolution ------------------------------------------------ *)
 
 let test_parallelism_resolution () =
@@ -30,12 +35,41 @@ let test_parallelism_resolution () =
     (Pool.parallelism ~jobs:2 ~default:1 ());
   Unix.putenv "MAMPS_JOBS" "not-a-number";
   check int "unparseable MAMPS_JOBS falls through" 1
-    (Pool.parallelism ~default:1 ());
+    (Pool.parallelism ~warn:ignore ~default:1 ());
   Unix.putenv "MAMPS_JOBS" "";
   check bool "jobs:0 means one domain per core" true
     (Pool.parallelism ~jobs:0 ~default:1 () >= 1);
   check bool "no flag, env or default resolves to at least 1" true
     (Pool.parallelism () >= 1)
+
+let test_malformed_jobs_env () =
+  (* the satellite fix: malformed MAMPS_JOBS warns and falls through to
+     the default — never an exception, never a silent 1-of-ambiguity *)
+  (match Pool.parse_jobs "4" with
+  | Ok 4 -> ()
+  | _ -> Alcotest.fail "parse_jobs \"4\"");
+  (match Pool.parse_jobs " 0 " with
+  | Ok 0 -> ()
+  | _ -> Alcotest.fail "parse_jobs with whitespace");
+  (match Pool.parse_jobs "abc" with
+  | Error (Pool.Unparseable "abc") -> ()
+  | _ -> Alcotest.fail "parse_jobs \"abc\" should be Unparseable");
+  (match Pool.parse_jobs "-3" with
+  | Error (Pool.Negative (-3)) -> ()
+  | _ -> Alcotest.fail "parse_jobs \"-3\" should be Negative");
+  let warnings = ref [] in
+  let warn msg = warnings := msg :: !warnings in
+  Unix.putenv "MAMPS_JOBS" "abc";
+  check int "unparseable env warns and uses the default" 7
+    (Pool.parallelism ~warn ~default:7 ());
+  Unix.putenv "MAMPS_JOBS" "-3";
+  check int "negative env warns and uses the default" 7
+    (Pool.parallelism ~warn ~default:7 ());
+  Unix.putenv "MAMPS_JOBS" "";
+  check int "one warning per malformed resolution" 2 (List.length !warnings);
+  check bool "warnings name the offending value" true
+    (List.exists (fun m -> contains m "abc") !warnings
+    && List.exists (fun m -> contains m "-3") !warnings)
 
 (* --- ordering --------------------------------------------------------------- *)
 
@@ -83,11 +117,14 @@ let test_map_result_collects_errors () =
           | Ok v ->
               check bool "success at non-multiples of 3" true (i mod 3 <> 0);
               check int "successes carry the value" i v
-          | Error (e : Pool.task_error) ->
+          | Error (Pool.Raised (e : Pool.task_error)) ->
               check bool "failure at multiples of 3" true (i mod 3 = 0);
               check int "error knows its input index" i e.Pool.task_index;
+              check int "single attempt without retry" 1 e.Pool.attempts;
               check bool "error carries the message" true
-                (String.length e.Pool.message > 0))
+                (String.length e.Pool.message > 0)
+          | Error f ->
+              Alcotest.failf "expected Raised, got %a" Pool.pp_task_failure f)
         outs)
 
 let test_map_raises_earliest_failure () =
@@ -130,6 +167,141 @@ let test_nested_map_rejected () =
       check (Alcotest.list int) "pool usable after a nested rejection"
         [ 2; 3 ]
         (Pool.map pool succ [ 1; 2 ]))
+
+(* --- budgeted execution ------------------------------------------------------ *)
+
+(* a cooperative stall: polls the ambient budget like the simulator and the
+   throughput analysis do, with a wall-clock escape hatch so a broken
+   timeout can never hang the suite *)
+let stall () =
+  let bail = Exec.Clock.now () +. 5.0 in
+  while Exec.Clock.now () < bail do
+    Exec.Budget.check ()
+  done;
+  Alcotest.fail "stall escaped its budget"
+
+let test_budget_scope_semantics () =
+  check bool "no ambient scope: check is a no-op" true
+    (Exec.Budget.check () = ());
+  let token = Exec.Budget.token () in
+  let scope = Exec.Budget.scope ~cancel:token () in
+  Exec.Budget.with_scope scope (fun () ->
+      check bool "armed token not yet expired" true
+        (Exec.Budget.current_status () = None);
+      Exec.Budget.cancel token;
+      match Exec.Budget.check () with
+      | () -> Alcotest.fail "check should raise after cancel"
+      | exception Exec.Budget.Expired Exec.Budget.Cancelled -> ());
+  (* nested scopes merge: the inner deadline cannot outlive the outer *)
+  let outer = Exec.Budget.scope ~deadline:(Exec.Budget.after 0.0) () in
+  let inner = Exec.Budget.scope ~deadline:(Exec.Budget.after 60.0) () in
+  Exec.Budget.with_scope outer (fun () ->
+      Exec.Budget.with_scope inner (fun () ->
+          match Exec.Budget.check () with
+          | () -> Alcotest.fail "outer deadline should win"
+          | exception Exec.Budget.Expired Exec.Budget.Deadline -> ()));
+  check bool "scope restored after with_scope" true
+    (Exec.Budget.current_status () = None)
+
+let test_run_budgeted_timeout_and_retry () =
+  let attempts_seen = ref 0 in
+  let retry = Pool.retry ~max_attempts:3 ~base_delay_s:0.001 () in
+  (match
+     Pool.run_budgeted ~timeout:0.05 ~retry ~task_index:4 (fun () ->
+         incr attempts_seen;
+         stall ())
+   with
+  | Error (Pool.Timed_out { task_index = 4; attempts = 3; timeout_s }) ->
+      check bool "timeout_s is the configured budget" true (timeout_s = 0.05)
+  | Ok _ -> Alcotest.fail "stall should not succeed"
+  | Error f -> Alcotest.failf "expected Timed_out, got %a" Pool.pp_task_failure f);
+  check int "every configured attempt ran" 3 !attempts_seen;
+  (* a task that recovers on a later attempt succeeds *)
+  let tries = ref 0 in
+  (match
+     Pool.run_budgeted ~timeout:1.0 ~retry ~task_index:0 (fun () ->
+         incr tries;
+         if !tries < 3 then failwith "flaky" else 42)
+   with
+  | Ok 42 -> ()
+  | _ -> Alcotest.fail "third attempt should succeed");
+  (* exhausted retries on a raising task give Gave_up with the count *)
+  (match
+     Pool.run_budgeted ~retry ~task_index:1 (fun () -> failwith "always")
+   with
+  | Error (Pool.Gave_up e) ->
+      check int "Gave_up counts its attempts" 3 e.Pool.attempts
+  | _ -> Alcotest.fail "expected Gave_up")
+
+let test_run_budgeted_cancellation () =
+  let token = Exec.Budget.token () in
+  Exec.Budget.cancel token;
+  (match
+     Pool.run_budgeted ~cancel:token ~task_index:0 (fun () ->
+         Alcotest.fail "cancelled task must not start")
+   with
+  | Error (Pool.Cancelled { task_index = 0 }) -> ()
+  | _ -> Alcotest.fail "expected Cancelled");
+  (* cancellation mid-task is not retried *)
+  let token = Exec.Budget.token () in
+  let started = ref 0 in
+  (match
+     Pool.run_budgeted ~retry:Pool.default_retry ~cancel:token ~task_index:0
+       (fun () ->
+         incr started;
+         Exec.Budget.cancel token;
+         stall ())
+   with
+  | Error (Pool.Cancelled _) -> check int "no retry after cancel" 1 !started
+  | _ -> Alcotest.fail "expected mid-task Cancelled")
+
+let test_backoff_determinism () =
+  let policy = Pool.retry ~max_attempts:4 ~base_delay_s:0.05 ~retry_seed:9 () in
+  List.iter
+    (fun (task_index, attempt) ->
+      let a = Pool.backoff_delay policy ~task_index ~attempt in
+      let b = Pool.backoff_delay policy ~task_index ~attempt in
+      check bool "backoff is a pure function" true (a = b);
+      check bool "backoff is positive and bounded" true
+        (a > 0.0 && a <= 0.05 *. (2.0 ** float_of_int (attempt - 1))))
+    [ (0, 1); (0, 2); (3, 1); (3, 3); (7, 2) ]
+
+let failure_strings outs =
+  List.map
+    (function
+      | Ok v -> Printf.sprintf "ok:%d" v
+      | Error f -> Format.asprintf "%a" Pool.pp_task_failure f)
+    outs
+
+let test_map_result_timeout_determinism () =
+  (* a deliberately hung task at fixed indices: timed out, retried per
+     policy, surfaced as a typed per-task error — without stalling the
+     pool or perturbing result order at any -j *)
+  let f i = if i mod 4 = 2 then stall () else i * 10 in
+  let retry = Pool.retry ~max_attempts:2 ~base_delay_s:0.001 () in
+  let run jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        Pool.map_result pool ~timeout:0.05 ~retry f (List.init 8 Fun.id))
+  in
+  let seq = run 1 and par = run 4 in
+  check
+    Alcotest.(list string)
+    "timeout reports byte-identical at -j 1 vs -j 4" (failure_strings seq)
+    (failure_strings par);
+  List.iteri
+    (fun i out ->
+      match out with
+      | Ok v -> check int "successes keep their slot" (i * 10) v
+      | Error (Pool.Timed_out { task_index; attempts = 2; _ }) ->
+          check int "timeouts keep their slot" i task_index;
+          check bool "only the stalled indices time out" true (i mod 4 = 2)
+      | Error f ->
+          Alcotest.failf "unexpected failure %a" Pool.pp_task_failure f)
+    seq;
+  let s = Pool.stats seq in
+  check int "stats: ok" 6 s.Pool.st_ok;
+  check int "stats: timed out" 2 s.Pool.st_timed_out;
+  check int "stats: retries" 2 s.Pool.st_retries
 
 (* --- DSE determinism --------------------------------------------------------- *)
 
@@ -220,6 +392,228 @@ let test_conformance_progress_in_seed_order () =
   check (Alcotest.list int) "progress fires once per seed, in seed order"
     [ 3; 4; 5; 6; 7 ] (List.rev !seen)
 
+(* --- checkpointed anytime DSE ------------------------------------------------ *)
+
+let ckpt_path name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    ("mamps_exec_test_" ^ name ^ ".ckpt")
+
+let test_checkpoint_roundtrip () =
+  let t =
+    {
+      Core.Dse_checkpoint.app = "graph \"with\" quotes\nand newline";
+      entries =
+        [
+          Core.Dse_checkpoint.Feasible
+            {
+              interconnect = "fsl";
+              tiles = 2;
+              guarantee = Some (Sdf.Rational.make 3 14);
+              slices = 1234;
+            };
+          Core.Dse_checkpoint.Feasible
+            { interconnect = "noc"; tiles = 1; guarantee = None; slices = 99 };
+          Core.Dse_checkpoint.Failed
+            {
+              interconnect = "noc";
+              tiles = 3;
+              reason = "mapping failed: \"odd\" reason\twith escapes";
+            };
+        ];
+    }
+  in
+  let path = ckpt_path "roundtrip" in
+  Core.Dse_checkpoint.write ~path t;
+  (match Core.Dse_checkpoint.read ~path with
+  | Ok t' -> check bool "checkpoint round-trips exactly" true (t = t')
+  | Error msg -> Alcotest.fail msg);
+  (* corrupting the version must be a typed refusal, not a partial load *)
+  let oc = open_out path in
+  output_string oc "mamps-dse-checkpoint 99\napp \"x\"\n";
+  close_out oc;
+  (match Core.Dse_checkpoint.read ~path with
+  | Error msg -> check bool "future version rejected" true (contains msg "version")
+  | Ok _ -> Alcotest.fail "future version must not load");
+  match Core.Dse_checkpoint.read ~path:(ckpt_path "does-not-exist") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing checkpoint must not load"
+
+let anytime_strings (a : Core.Dse.anytime) =
+  ( Format.asprintf "%a" Core.Dse.pp_summary_table a.Core.Dse.a_summaries,
+    Format.asprintf "%a" Core.Dse.pp_summary_table
+      (Core.Dse.pareto_summaries a.Core.Dse.a_summaries),
+    a.Core.Dse.a_failures )
+
+let test_anytime_matches_explore () =
+  let w = Gen.Workload.generate ~seed:11 () in
+  let app = w.Gen.Workload.application in
+  let points, failures = Core.Dse.explore app ~tile_counts:[ 1; 2 ] () in
+  match Core.Dse.explore_anytime app ~tile_counts:[ 1; 2 ] () with
+  | Error msg -> Alcotest.fail msg
+  | Ok a ->
+      check bool "no degradation without a budget" true
+        (a.Core.Dse.a_degradation = None);
+      check bool "anytime summaries equal summarized explore points" true
+        (a.Core.Dse.a_summaries = List.map Core.Dse.summarize points);
+      check
+        Alcotest.(list (triple int string string))
+        "failures identical" failures a.Core.Dse.a_failures
+
+let test_anytime_deadline_and_resume () =
+  let w = Gen.Workload.generate ~seed:11 () in
+  let app = w.Gen.Workload.application in
+  let uninterrupted =
+    match Core.Dse.explore_anytime app ~tile_counts:[ 1; 2 ] () with
+    | Ok a -> a
+    | Error msg -> Alcotest.fail msg
+  in
+  let path = ckpt_path "deadline" in
+  if Sys.file_exists path then Sys.remove path;
+  (* an already-expired deadline forces a fully-degraded Partial: nothing
+     evaluated, everything skipped, and a (valid, empty) checkpoint *)
+  let metrics = Obs.Metrics.create () in
+  (match
+     Core.Dse.explore_anytime app ~tile_counts:[ 1; 2 ]
+       ~deadline:(Exec.Budget.after 0.0) ~checkpoint:path ~metrics ()
+   with
+  | Error msg -> Alcotest.fail msg
+  | Ok partial -> (
+      check bool "summaries empty under expired deadline" true
+        (partial.Core.Dse.a_summaries = []);
+      match partial.Core.Dse.a_degradation with
+      | Some d ->
+          check bool "degradation reason is the deadline" true
+            (d.Core.Dse.d_reason = Exec.Budget.Deadline);
+          check int "nothing evaluated" 0 d.Core.Dse.d_evaluated;
+          check int "all four combos skipped" 4 d.Core.Dse.d_skipped;
+          check int "metrics count the skips" 4
+            (Obs.Metrics.counter metrics "dse.points.skipped")
+      | None -> Alcotest.fail "expected a degradation report"));
+  check bool "partial run left a checkpoint" true (Sys.file_exists path);
+  (* resume with no budget completes, byte-identical to uninterrupted *)
+  (match
+     Core.Dse.explore_anytime app ~tile_counts:[ 1; 2 ] ~resume:path
+       ~checkpoint:path ()
+   with
+  | Error msg -> Alcotest.fail msg
+  | Ok resumed ->
+      check bool "resumed run is complete" true
+        (resumed.Core.Dse.a_degradation = None);
+      let u_tbl, u_front, u_fail = anytime_strings uninterrupted in
+      let r_tbl, r_front, r_fail = anytime_strings resumed in
+      check Alcotest.string "summary tables byte-identical" u_tbl r_tbl;
+      check Alcotest.string "Pareto fronts byte-identical" u_front r_front;
+      check
+        Alcotest.(list (triple int string string))
+        "failures byte-identical" u_fail r_fail);
+  (* resuming a *finished* checkpoint evaluates nothing new *)
+  match
+    Core.Dse.explore_anytime app ~tile_counts:[ 1; 2 ] ~resume:path ()
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok again ->
+      check int "finished checkpoint adopts every combo" 4
+        again.Core.Dse.a_resumed;
+      let u_tbl, _, _ = anytime_strings uninterrupted in
+      let a_tbl, _, _ = anytime_strings again in
+      check Alcotest.string "no-op resume still byte-identical" u_tbl a_tbl
+
+let test_anytime_midflight_resume () =
+  (* interrupt mid-sweep at an arbitrary point: wherever the deadline
+     lands, resume must converge to the uninterrupted report *)
+  let w = Gen.Workload.generate ~seed:11 () in
+  let app = w.Gen.Workload.application in
+  let uninterrupted =
+    match Core.Dse.explore_anytime app ~tile_counts:[ 1; 2 ] () with
+    | Ok a -> a
+    | Error msg -> Alcotest.fail msg
+  in
+  let path = ckpt_path "midflight" in
+  if Sys.file_exists path then Sys.remove path;
+  (match
+     Core.Dse.explore_anytime app ~tile_counts:[ 1; 2 ]
+       ~deadline:(Exec.Budget.after 0.15) ~checkpoint:path ()
+   with
+  | Error msg -> Alcotest.fail msg
+  | Ok _ -> ());
+  match
+    Core.Dse.explore_anytime app ~tile_counts:[ 1; 2 ] ~resume:path ()
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok resumed ->
+      check bool "resumed run is complete" true
+        (resumed.Core.Dse.a_degradation = None);
+      let u_tbl, u_front, u_fail = anytime_strings uninterrupted in
+      let r_tbl, r_front, r_fail = anytime_strings resumed in
+      check Alcotest.string "mid-flight resume: tables byte-identical" u_tbl
+        r_tbl;
+      check Alcotest.string "mid-flight resume: fronts byte-identical" u_front
+        r_front;
+      check
+        Alcotest.(list (triple int string string))
+        "mid-flight resume: failures byte-identical" u_fail r_fail
+
+(* --- conformance per-seed timeout -------------------------------------------- *)
+
+let test_conformance_seed_timeout () =
+  let options =
+    {
+      Conformance.Engine.default_options with
+      iterations = 4;
+      dse_every = 0;
+      seed_timeout = Some 0.0;
+    }
+  in
+  let run jobs =
+    Conformance.Engine.run_suite ~options
+      ~out_dir:(temp_out (Printf.sprintf "conf_timeout_j%d" jobs))
+      ~jobs ~base_seed:0 ~count:3 ()
+  in
+  let seq = run 1 in
+  List.iter
+    (fun (c : Conformance.Engine.case) ->
+      match c.Conformance.Engine.c_violations with
+      | [
+          {
+            Conformance.Oracle.oracle = Conformance.Oracle.Seed_timeout;
+            detail;
+          };
+        ] ->
+          check bool "detail names the configured budget" true
+            (contains detail "0s budget")
+      | vs ->
+          Alcotest.failf "seed %d: expected one seed-timeout violation, got %d"
+            c.Conformance.Engine.c_seed (List.length vs))
+    seq.Conformance.Engine.r_cases;
+  check int "every seed failed with a reproducer" 3
+    (List.length seq.Conformance.Engine.r_failures);
+  List.iter
+    (fun (f : Conformance.Engine.failure) ->
+      match f.Conformance.Engine.f_reproducer with
+      | Some dir ->
+          check bool "reproducer directory exists" true (Sys.file_exists dir);
+          check bool "reproducer is keyed by the timeout oracle" true
+            (contains dir "seed-timeout")
+      | None -> Alcotest.fail "timeout failure must write a reproducer")
+    seq.Conformance.Engine.r_failures;
+  let par = run 2 in
+  List.iter2
+    (fun (a : Conformance.Engine.case) b ->
+      check bool "timeout cases identical at -j 2" true (a = b))
+    seq.Conformance.Engine.r_cases par.Conformance.Engine.r_cases
+
+(* --- trace counters ---------------------------------------------------------- *)
+
+let test_chrome_trace_counters () =
+  let doc =
+    Obs.Chrome_trace.to_json
+      ~counters:[ ("exec.task.timeouts", 2); ("dse.checkpoint.writes", 5) ]
+      []
+  in
+  check bool "counter events present" true (contains doc "\"ph\":\"C\"");
+  check bool "counter names present" true (contains doc "exec.task.timeouts");
+  check bool "counter values present" true (contains doc "{\"value\":5}")
+
 let () =
   Alcotest.run "exec"
     [
@@ -227,6 +621,8 @@ let () =
         [
           Alcotest.test_case "parallelism resolution" `Quick
             test_parallelism_resolution;
+          Alcotest.test_case "malformed MAMPS_JOBS" `Quick
+            test_malformed_jobs_env;
           Alcotest.test_case "map preserves input order" `Quick
             test_map_preserves_order;
           Alcotest.test_case "map edge sizes" `Quick test_map_edge_sizes;
@@ -238,6 +634,19 @@ let () =
           Alcotest.test_case "nested map rejected" `Quick
             test_nested_map_rejected;
         ] );
+      ( "budget",
+        [
+          Alcotest.test_case "scope semantics" `Quick
+            test_budget_scope_semantics;
+          Alcotest.test_case "run_budgeted timeout and retry" `Quick
+            test_run_budgeted_timeout_and_retry;
+          Alcotest.test_case "run_budgeted cancellation" `Quick
+            test_run_budgeted_cancellation;
+          Alcotest.test_case "backoff is deterministic" `Quick
+            test_backoff_determinism;
+          Alcotest.test_case "map_result timeouts identical at -j 4" `Quick
+            test_map_result_timeout_determinism;
+        ] );
       ( "determinism",
         [
           Alcotest.test_case "DSE sweep identical at -j 4" `Quick
@@ -246,5 +655,20 @@ let () =
             test_conformance_shard_deterministic;
           Alcotest.test_case "progress in seed order under -j" `Quick
             test_conformance_progress_in_seed_order;
+        ] );
+      ( "anytime",
+        [
+          Alcotest.test_case "checkpoint round-trip" `Quick
+            test_checkpoint_roundtrip;
+          Alcotest.test_case "anytime matches explore" `Quick
+            test_anytime_matches_explore;
+          Alcotest.test_case "deadline, checkpoint, resume" `Quick
+            test_anytime_deadline_and_resume;
+          Alcotest.test_case "mid-flight resume byte-identical" `Quick
+            test_anytime_midflight_resume;
+          Alcotest.test_case "conformance per-seed timeout" `Quick
+            test_conformance_seed_timeout;
+          Alcotest.test_case "chrome trace counters" `Quick
+            test_chrome_trace_counters;
         ] );
     ]

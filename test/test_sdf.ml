@@ -399,11 +399,21 @@ let test_throughput_deadlock () =
   | _ -> Alcotest.fail "expected deadlock"
 
 let test_throughput_unbounded () =
-  (* a pipeline without buffer bounds accumulates tokens forever *)
+  (* a pipeline without buffer bounds accumulates tokens forever, so the
+     step budget runs out — a typed budget outcome, not a graph verdict *)
   let g, _ = Tgraphs.pipeline ~times:[ 1; 10 ] in
   match Throughput.analyse ~max_steps:500 g with
-  | Throughput.No_recurrence -> ()
-  | r -> Alcotest.failf "expected no recurrence, got %a" Throughput.pp_result r
+  | Throughput.Budget_exhausted { steps = 500 } -> ()
+  | r -> Alcotest.failf "expected budget exhaustion, got %a" Throughput.pp_result r
+
+let test_throughput_budget_interrupt () =
+  (* an ambient expired deadline interrupts the analysis via the step-loop
+     poll instead of burning the whole step budget *)
+  let g, _ = Tgraphs.pipeline ~times:[ 1; 10 ] in
+  let scope = Exec.Budget.scope ~deadline:(Exec.Budget.after 0.0) () in
+  match Exec.Budget.with_scope scope (fun () -> Throughput.analyse g) with
+  | exception Exec.Budget.Expired Exec.Budget.Deadline -> ()
+  | r -> Alcotest.failf "expected Budget.Expired, got %a" Throughput.pp_result r
 
 let test_throughput_resource_bound () =
   let g, a, b, c = Tgraphs.figure2 () in
@@ -776,6 +786,8 @@ let () =
           Alcotest.test_case "figure2" `Quick test_throughput_figure2;
           Alcotest.test_case "deadlock" `Quick test_throughput_deadlock;
           Alcotest.test_case "unbounded" `Quick test_throughput_unbounded;
+          Alcotest.test_case "budget interrupt" `Quick
+            test_throughput_budget_interrupt;
           Alcotest.test_case "resource bound" `Quick test_throughput_resource_bound;
           Alcotest.test_case "actor throughput" `Quick test_actor_throughput;
         ] );
