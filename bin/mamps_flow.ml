@@ -34,6 +34,20 @@ let jobs_term =
 
 let resolve_jobs jobs = Exec.Pool.parallelism ?jobs ~default:1 ()
 
+(* shared --no-memo flag: kill switch for the worst-case-analysis cache.
+   Results are byte-identical either way (the cache key covers every
+   analysis input), so the flag only trades time for memory — and gives
+   CI a way to prove that equivalence. *)
+let no_memo_term =
+  Arg.(
+    value & flag
+    & info [ "no-memo" ]
+        ~doc:
+          "Disable the shared worst-case-analysis cache and recompute \
+           every throughput analysis from scratch. The report is \
+           byte-identical with or without the cache; the flag only \
+           trades time for memory.")
+
 (* --- graph ------------------------------------------------------------------ *)
 
 let analyse_graph path dot_output =
@@ -345,9 +359,52 @@ let run_dse_anytime app ~interconnects ~tile_counts ~max_slices ~jobs ~deadline
           Format.printf "%a@." Core.Dse.pp_degradation d;
           3)
 
+(* CI gate (--assert-scaling): run the same sweep sequentially and then on
+   the requested pool in one process and require that the parallel-path
+   fixes actually pay — the second pass (clamped pool + warm analysis
+   cache) must be strictly faster, and its Pareto front byte-identical to
+   the sequential one. Exit 4 on a regression so the job fails loudly. *)
+let run_dse_assert_scaling app ~interconnects ~tile_counts ~jobs =
+  if jobs < 2 then begin
+    Printf.eprintf "dse: --assert-scaling needs -j 2 or more (got %d)\n" jobs;
+    2
+  end
+  else begin
+    let sweep jobs =
+      let start = Exec.Clock.now () in
+      let points, _failures =
+        Core.Dse.explore app ?tile_counts ~interconnects
+          ~options:Experiments.flow_options ~jobs ()
+      in
+      let seconds = Exec.Clock.elapsed_since start in
+      (* compare the deterministic rendering: the summary table carries
+         no per-point wall times, so equal fronts diff byte-identically *)
+      let front =
+        Format.asprintf "%a" Core.Dse.pp_summary_table
+          (Core.Dse.pareto_summaries (List.map Core.Dse.summarize points))
+      in
+      (seconds, front)
+    in
+    let seq_s, seq_front = sweep 1 in
+    let par_s, par_front = sweep jobs in
+    Printf.printf "sequential (-j 1):  %.2f s\nparallel   (-j %d):  %.2f s\n"
+      seq_s jobs par_s;
+    let identical = String.equal seq_front par_front in
+    let faster = par_s < seq_s in
+    if identical then print_string "Pareto fronts byte-identical\n"
+    else print_string "Pareto fronts DIFFER (determinism violation)\n";
+    if faster then
+      Printf.printf "speedup x%.2f\n" (if par_s > 0. then seq_s /. par_s else 0.)
+    else
+      Printf.printf "parallel pass NOT faster (x%.2f)\n"
+        (if par_s > 0. then seq_s /. par_s else 0.);
+    if identical && faster then 0 else 4
+  end
+
 let run_dse interconnect sequence max_tiles max_slices jobs deadline
-    task_timeout retries checkpoint resume =
+    task_timeout retries checkpoint resume no_memo assert_scaling =
   let jobs = resolve_jobs jobs in
+  if no_memo then Sdf.Throughput.set_memoize false;
   match Mjpeg.Streams.by_name sequence with
   | None ->
       Printf.eprintf "unknown sequence %S; available: %s\n" sequence
@@ -375,7 +432,9 @@ let run_dse interconnect sequence max_tiles max_slices jobs deadline
           let tile_counts =
             Option.map (fun n -> List.init n (fun i -> i + 1)) max_tiles
           in
-          if
+          if assert_scaling then
+            run_dse_assert_scaling app ~interconnects ~tile_counts ~jobs
+          else if
             deadline <> None || task_timeout <> None || retries <> None
             || checkpoint <> None || resume <> None
           then
@@ -498,6 +557,16 @@ let dse_cmd =
              evaluate only the remainder. The combined report is \
              byte-identical to an uninterrupted run.")
   in
+  let assert_scaling =
+    Arg.(
+      value & flag
+      & info [ "assert-scaling" ]
+          ~doc:
+            "CI gate: run the sweep at $(b,-j 1) and again at the \
+             requested $(b,-j) in one process, then fail (exit 4) unless \
+             the second pass is strictly faster and its Pareto front \
+             byte-identical. Requires $(b,-j 2) or more.")
+  in
   Cmd.v
     (Cmd.info "dse"
        ~doc:
@@ -509,10 +578,15 @@ let dse_cmd =
             ~doc:
               "the $(b,--deadline) fired and the result is partial (a \
                degradation report is printed; resume from the checkpoint)"
+         :: Cmd.Exit.info 4
+              ~doc:
+                "$(b,--assert-scaling) found a scaling or determinism \
+                 regression"
          :: Cmd.Exit.defaults))
     Term.(
       const run_dse $ interconnect $ sequence $ max_tiles $ max_slices
-      $ jobs_term $ deadline $ task_timeout $ retries $ checkpoint $ resume)
+      $ jobs_term $ deadline $ task_timeout $ retries $ checkpoint $ resume
+      $ no_memo_term $ assert_scaling)
 
 (* --- profile ----------------------------------------------------------------- *)
 
@@ -533,8 +607,10 @@ let write_file path contents =
 
 (* flow + one fully-probed measurement of either the MJPEG case study or a
    seeded conformance workload *)
-let run_profile seed interconnect sequence passes iterations out_dir jobs =
+let run_profile seed interconnect sequence passes iterations out_dir jobs
+    no_memo =
   let jobs = resolve_jobs jobs in
+  if no_memo then Sdf.Throughput.set_memoize false;
   let ( let* ) = Result.bind in
   let flow_err r = Result.map_error Core.Flow_error.to_string r in
   let result =
@@ -682,7 +758,7 @@ let profile_cmd =
           firing and token transfer")
     Term.(
       const run_profile $ seed $ interconnect $ sequence $ passes $ iterations
-      $ out_dir $ jobs_term)
+      $ out_dir $ jobs_term $ no_memo_term)
 
 (* --- experiments ------------------------------------------------------------------ *)
 
@@ -713,10 +789,15 @@ let experiments_cmd =
 
 (* --- conformance ------------------------------------------------------------- *)
 
-let run_conformance count base_seed out_dir replay jobs seed_timeout =
+let run_conformance count base_seed out_dir replay jobs seed_timeout no_memo =
   let jobs = resolve_jobs jobs in
+  if no_memo then Sdf.Throughput.set_memoize false;
   let options =
-    { Conformance.Engine.default_options with seed_timeout }
+    {
+      Conformance.Engine.default_options with
+      seed_timeout;
+      memo = not no_memo;
+    }
   in
   match replay with
   | Some seed ->
@@ -788,7 +869,7 @@ let conformance_cmd =
           simulator against each other on seeded random SDF workloads")
     Term.(
       const run_conformance $ count $ base_seed $ out_dir $ replay
-      $ jobs_term $ seed_timeout)
+      $ jobs_term $ seed_timeout $ no_memo_term)
 
 (* --- recover ----------------------------------------------------------------- *)
 

@@ -7,6 +7,7 @@ type options = {
   dse_every : int;
   gen_config : W.config;
   seed_timeout : float option;
+  memo : bool;
 }
 
 let default_options =
@@ -16,7 +17,14 @@ let default_options =
     dse_every = 5;
     gen_config = W.default_config;
     seed_timeout = None;
+    memo = true;
   }
+
+(* the flow options a conformance run hands to every flow it builds:
+   defaults except for the analysis-cache switch, so cache-off runs
+   ([--no-memo]) stay byte-identical to cached ones *)
+let flow_options options =
+  { Mapping.Flow_map.default_options with Mapping.Flow_map.memo = options.memo }
 
 let interconnect_for_seed seed =
   if seed mod 2 = 0 then Arch.Template.Use_fsl Arch.Fsl.default
@@ -46,7 +54,10 @@ let check_workload ?(options = default_options) interconnect (w : W.t) =
   in
   let tightness = ref None in
   let flow_err e = Core.Flow_error.to_string e in
-  (match Core.Design_flow.run_auto w.application interconnect () with
+  (match
+     Core.Design_flow.run_auto w.application ~options:(flow_options options)
+       interconnect ()
+   with
   | Error e -> add Flow_completes "%s" (flow_err e)
   | Ok flow ->
       let n = options.iterations in
@@ -207,7 +218,8 @@ let check_workload ?(options = default_options) interconnect (w : W.t) =
       (* Oracle 5: the DSE front is a front. *)
       if options.dse_every > 0 && w.seed mod options.dse_every = 0 then begin
         let points, _failures =
-          Core.Dse.explore w.application ~tile_counts:[ 1; 2 ]
+          Core.Dse.explore w.application ~options:(flow_options options)
+            ~tile_counts:[ 1; 2 ]
             ~interconnects:[ interconnect ] ()
         in
         let front = Core.Dse.pareto points in

@@ -18,11 +18,16 @@ type options = {
   seed_timeout : float option;
       (** wall-clock budget for one seed's full oracle evaluation
           (including shrinking); [None] disables the timeout *)
+  memo : bool;
+      (** let the flows built by the oracles use the shared throughput
+          analysis cache (default [true]; verdicts and reports are
+          byte-identical either way — [--no-memo] turns it off) *)
 }
 
 val default_options : options
 (** 12 iterations, a 2M-cycle watchdog, DSE on every 5th seed,
-    {!Gen.Workload.default_config} workloads, and no per-seed timeout. *)
+    {!Gen.Workload.default_config} workloads, no per-seed timeout, and
+    the analysis cache on. *)
 
 val interconnect_for_seed : int -> Arch.Template.interconnect_choice
 (** Even seeds map onto point-to-point FSL platforms, odd seeds onto the

@@ -181,6 +181,13 @@ let profile t ~iterations ?timing ?faults ?max_cycles () =
   phase_us metrics "platform_generation" t.times.platform_generation;
   phase_us metrics "synthesis" t.times.synthesis;
   phase_us metrics "measure" measure_seconds;
+  (* analysis-cache activity: the cache is shared process-wide, so these
+     are process totals — which, for the one-flow-per-process CLI, are
+     exactly this flow's numbers *)
+  let ms = Sdf.Throughput.memo_stats () in
+  Obs.Metrics.incr metrics ~by:ms.Sdf.Memo.hits "sdf.memo.hits";
+  Obs.Metrics.incr metrics ~by:ms.Sdf.Memo.misses "sdf.memo.misses";
+  Obs.Metrics.incr metrics ~by:ms.Sdf.Memo.evictions "sdf.memo.evictions";
   Result.map
     (fun r ->
       {

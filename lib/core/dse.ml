@@ -81,16 +81,42 @@ let eval_point app options (choice, tile_count) =
           flow;
         }
 
-let explore app ?tile_counts ?interconnects ?options ?(jobs = 1) () =
+(* export the shared analysis cache's activity during one sweep: the
+   cache is process-wide, so per-run numbers are snapshot deltas *)
+let export_memo_delta m ~before =
+  let d = Sdf.Memo.delta ~before ~after:(Sdf.Throughput.memo_stats ()) in
+  let open Obs.Metrics in
+  incr m ~by:d.Sdf.Memo.hits "sdf.memo.hits";
+  incr m ~by:d.Sdf.Memo.misses "sdf.memo.misses";
+  incr m ~by:d.Sdf.Memo.evictions "sdf.memo.evictions";
+  gauge_set m "sdf.memo.entries" d.Sdf.Memo.size
+
+let explore app ?tile_counts ?interconnects ?options ?(jobs = 1) ?metrics () =
   let combos = sweep_combos app ?tile_counts ?interconnects () in
   let eval combo = eval_point app options combo in
+  let memo_before = Sdf.Throughput.memo_stats () in
   let outcomes =
     (* [jobs <= 1] stays a plain loop — no pool, so the sweep can run
        inside a task of an outer pool (the conformance Pareto oracle) *)
     if jobs <= 1 then List.map eval combos
     else Exec.Pool.with_pool ~jobs (fun pool -> Exec.Pool.map pool eval combos)
   in
-  List.partition_map Fun.id outcomes
+  let points, failures = List.partition_map Fun.id outcomes in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      let open Obs.Metrics in
+      incr m ~by:(List.length points) "dse.points.evaluated";
+      incr m ~by:(List.length failures) "dse.points.infeasible";
+      (* per-point wall time, recorded after the fan-out so the shared
+         registry is only touched from the calling domain *)
+      List.iter
+        (fun p ->
+          observe m "dse.point.us"
+            (int_of_float (p.flow_seconds *. 1_000_000.)))
+        points;
+      export_memo_delta m ~before:memo_before);
+  (points, failures)
 
 let dominates a b =
   match (a.guarantee, b.guarantee) with
@@ -194,8 +220,13 @@ let budget_failure_reason (f : Exec.Pool.task_failure) =
   | Exec.Pool.Gave_up e ->
       Printf.sprintf "gave up after %d attempts: %s" e.Exec.Pool.attempts
         e.Exec.Pool.message
-  | Exec.Pool.Timed_out { attempts; timeout_s; _ } ->
-      Printf.sprintf "timed out (%gs budget, %d attempt%s)" timeout_s attempts
+  | Exec.Pool.Timed_out { attempts; budget; _ } ->
+      let budget_s =
+        match budget with
+        | Exec.Pool.Per_attempt t -> Printf.sprintf "%gs budget" t
+        | Exec.Pool.Batch_deadline -> "batch deadline"
+      in
+      Printf.sprintf "timed out (%s, %d attempt%s)" budget_s attempts
         (if attempts = 1 then "" else "s")
   | Exec.Pool.Cancelled _ -> "cancelled"
 
@@ -210,6 +241,7 @@ let explore_anytime app ?tile_counts ?interconnects ?options ?(jobs = 1)
     ?deadline ?task_timeout ?retry ?cancel ?checkpoint ?resume ?metrics () =
   let ( let* ) = Result.bind in
   let combos = sweep_combos app ?tile_counts ?interconnects () in
+  let memo_before = Sdf.Throughput.memo_stats () in
   let app_name = Application.name app in
   let combo_key (choice, tiles) = (interconnect_label choice, tiles) in
   let* prior =
@@ -379,7 +411,8 @@ let explore_anytime app ?tile_counts ?interconnects ?options ?(jobs = 1)
       incr m ~by:!ckpt_writes "dse.checkpoint.writes";
       incr m ~by:!timeouts "exec.task.timeouts";
       incr m ~by:!gave_up "exec.task.gave_up";
-      incr m ~by:!retries "exec.task.retries");
+      incr m ~by:!retries "exec.task.retries";
+      export_memo_delta m ~before:memo_before);
   Ok
     {
       a_summaries = summaries;

@@ -26,6 +26,7 @@ val explore :
   ?interconnects:Arch.Template.interconnect_choice list ->
   ?options:Mapping.Flow_map.options ->
   ?jobs:int ->
+  ?metrics:Obs.Metrics.t ->
   unit ->
   point list * (int * string * string) list
 (** Run the flow on every (tile count, interconnect) combination. Defaults:
@@ -39,7 +40,14 @@ val explore :
     sequential sweep's order regardless of [jobs] — only [flow_seconds]
     (wall time of each point's flow) may differ between runs. With
     [jobs <= 1] no pool is created, so a sequential sweep may itself run
-    inside a pool task. *)
+    inside a pool task.
+
+    [metrics] receives the sweep's instrumentation after the fan-out
+    completes (never from worker domains): [dse.points.evaluated] /
+    [dse.points.infeasible] counters, a [dse.point.us] per-point
+    wall-time histogram, and the shared analysis cache's activity
+    during this sweep as [sdf.memo.hits] / [sdf.memo.misses] /
+    [sdf.memo.evictions] counters and an [sdf.memo.entries] gauge. *)
 
 val pareto : point list -> point list
 (** The throughput/area Pareto front: points not dominated by another with
@@ -114,7 +122,8 @@ val explore_anytime :
     run. [Error] is returned only for an unusable [resume] file.
 
     [metrics] receives [dse.points.evaluated] / [.skipped] / [.resumed]
-    and [dse.checkpoint.writes] counters. *)
+    and [dse.checkpoint.writes] counters, plus the analysis-cache
+    activity counters described at {!explore}. *)
 
 val pareto_summaries : summary list -> summary list
 (** {!pareto} on summaries. *)

@@ -176,6 +176,14 @@ let pp_profile ppf ((flow : Design_flow.t), (p : Design_flow.profile)) =
       List.iter
         (fun (name, v) -> fprintf ppf "  %-28s %8d@," name v)
         (List.sort (fun (a, _) (b, _) -> String.compare a b) cs));
+  (* analysis-cache activity (sdf.memo.* from Throughput.analyse_memo) *)
+  (match Obs.Metrics.with_prefix m "sdf.memo" with
+  | [] -> ()
+  | cs ->
+      fprintf ppf "@,analysis cache:@,";
+      List.iter
+        (fun (name, v) -> fprintf ppf "  sdf.memo.%-19s %8d@," name v)
+        (List.sort (fun (a, _) (b, _) -> String.compare a b) cs));
   (* firing-latency histograms *)
   (match Obs.Metrics.histograms m with
   | [] -> ()

@@ -12,20 +12,26 @@ let pp_task_error ppf e =
     (if e.attempts > 1 then Printf.sprintf " (after %d attempts)" e.attempts
      else "")
 
+type timeout_budget = Per_attempt of float | Batch_deadline
+
 type task_failure =
   | Raised of task_error
   | Gave_up of task_error
-  | Timed_out of { task_index : int; attempts : int; timeout_s : float }
+  | Timed_out of { task_index : int; attempts : int; budget : timeout_budget }
   | Cancelled of { task_index : int }
+
+let pp_timeout_budget ppf = function
+  | Per_attempt t -> Format.fprintf ppf "%gs budget" t
+  | Batch_deadline -> Format.fprintf ppf "batch deadline"
 
 let pp_task_failure ppf = function
   | Raised e -> pp_task_error ppf e
   | Gave_up e ->
       Format.fprintf ppf "task %d gave up after %d attempts: %s" e.task_index
         e.attempts e.message
-  | Timed_out { task_index; attempts; timeout_s } ->
-      Format.fprintf ppf "task %d timed out (%gs budget, %d attempt%s)"
-        task_index timeout_s attempts
+  | Timed_out { task_index; attempts; budget } ->
+      Format.fprintf ppf "task %d timed out (%a, %d attempt%s)" task_index
+        pp_timeout_budget budget attempts
         (if attempts = 1 then "" else "s")
   | Cancelled { task_index } ->
       Format.fprintf ppf "task %d cancelled" task_index
@@ -126,13 +132,19 @@ let run_budgeted ?timeout ?deadline ?(retry = no_retry) ?cancel ~task_index f =
       | exception Budget.Expired Budget.Cancelled ->
           Error (Cancelled { task_index })
       | exception Budget.Expired Budget.Deadline ->
-          again
-            (Timed_out
-               {
-                 task_index;
-                 attempts = k;
-                 timeout_s = Option.value timeout ~default:0.0;
-               })
+          (* attribute the expiry to whichever budget actually cut the
+             attempt off: the per-attempt timeout, or the shared batch
+             deadline when none was configured (or when the batch
+             deadline is the one that has passed) *)
+          let budget =
+            match timeout with
+            | None -> Batch_deadline
+            | Some t -> (
+                match deadline with
+                | Some d when Budget.expired d -> Batch_deadline
+                | Some _ | None -> Per_attempt t)
+          in
+          again (Timed_out { task_index; attempts = k; budget })
       | exception e ->
           let err =
             {
@@ -278,8 +290,17 @@ let rec worker_loop pool last_gen =
     worker_loop pool gen
   end
 
-let create ?jobs () =
-  let jobs = Stdlib.min 64 (parallelism ?jobs ()) in
+let create ?(oversubscribe = false) ?jobs () =
+  let requested = parallelism ?jobs () in
+  (* Domains are not threads: with more domains than cores, every
+     stop-the-world minor collection spins the extra domains on the
+     barrier and the whole run burns *more* CPU than -j 1 (measured:
+     the DSE sweep at -j 2 on one core cost 8.5 s against 4.9 s
+     sequential). Never schedule past the core count unless the caller
+     explicitly opts in (tests exercising the worker protocol do). *)
+  let cores = Stdlib.max 1 (Domain.recommended_domain_count ()) in
+  let effective = if oversubscribe then requested else Stdlib.min requested cores in
+  let jobs = Stdlib.min 64 effective in
   let pool =
     {
       p_jobs = jobs;
@@ -307,8 +328,8 @@ let destroy pool =
   List.iter Domain.join pool.workers;
   pool.workers <- []
 
-let with_pool ?jobs f =
-  let pool = create ?jobs () in
+let with_pool ?oversubscribe ?jobs f =
+  let pool = create ?oversubscribe ?jobs () in
   Fun.protect ~finally:(fun () -> destroy pool) (fun () -> f pool)
 
 (* Per-domain flag marking "currently inside a pool task". A nested [map]
@@ -331,17 +352,35 @@ let run_round pool n steal_loop =
   pool.round <- None;
   Mutex.unlock pool.mutex
 
+(* A worker claims [chunk] consecutive indices per cursor bump, so the
+   atomic and the completion mutex are touched once per chunk instead of
+   once per task. The default leaves ~4 chunks per worker for stealing
+   balance while keeping fine-grained rounds (hundreds of short tasks)
+   off the lock. *)
+let chunk_size ?chunk ~jobs n =
+  match chunk with
+  | Some c when c >= 1 -> c
+  | Some c -> invalid_arg (Printf.sprintf "Pool.map: chunk %d < 1" c)
+  | None -> Stdlib.max 1 (n / (4 * Stdlib.max 1 jobs))
+
 (* Shared fan-out skeleton: apply [run_one : index -> outcome] to every
    index, storing outcomes at the input's position so scheduling is
    invisible in the output. *)
-let map_general pool run_one n =
+let map_general ?chunk pool run_one n =
   if Domain.DLS.get in_task then raise Nested_map;
   let results = Array.make n None in
   let next = Atomic.make 0 in
   let exec i =
     Domain.DLS.set in_task true;
-    let out = run_one i in
-    Domain.DLS.set in_task false;
+    let out =
+      (* the flag must not outlive the task even if [run_one] escapes
+         (it normally catches everything, but e.g. [Unix.sleepf] in the
+         retry backoff can raise): a stale flag would poison the domain
+         with spurious [Nested_map] on every later round *)
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set in_task false)
+        (fun () -> run_one i)
+    in
     results.(i) <- Some out
   in
   if pool.p_jobs <= 1 || n <= 1 || pool.workers = [] then
@@ -349,13 +388,17 @@ let map_general pool run_one n =
       exec i
     done
   else begin
+    let chunk = chunk_size ?chunk ~jobs:pool.p_jobs n in
     let steal_loop () =
       let rec go () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          exec i;
+        let start = Atomic.fetch_and_add next chunk in
+        if start < n then begin
+          let stop = Stdlib.min n (start + chunk) in
+          for i = start to stop - 1 do
+            exec i
+          done;
           Mutex.lock pool.mutex;
-          pool.completed <- pool.completed + 1;
+          pool.completed <- pool.completed + (stop - start);
           if pool.completed >= pool.target then
             Condition.broadcast pool.round_done;
           Mutex.unlock pool.mutex;
@@ -369,10 +412,10 @@ let map_general pool run_one n =
   Array.to_list
     (Array.map (function Some out -> out | None -> assert false) results)
 
-let map pool f xs =
+let map pool ?chunk f xs =
   let arr = Array.of_list xs in
   let outs =
-    map_general pool
+    map_general ?chunk pool
       (fun i ->
         try Ok (f arr.(i))
         with e -> Error (e, Printexc.get_backtrace ()))
@@ -385,10 +428,15 @@ let map pool f xs =
   | Some (Ok _) | None ->
       List.map (function Ok v -> v | Error _ -> assert false) outs
 
-let map_result pool ?timeout ?deadline ?retry ?cancel f xs =
+let map_result pool ?chunk ?timeout ?deadline ?retry ?cancel f xs =
   let arr = Array.of_list xs in
-  map_general pool
+  map_general ?chunk pool
     (fun i ->
       run_budgeted ?timeout ?deadline ?retry ?cancel ~task_index:i (fun () ->
           f arr.(i)))
     (Array.length arr)
+
+module Private = struct
+  let default_chunk ~jobs n = chunk_size ~jobs n
+  let unchecked_map pool f n = map_general pool f n
+end

@@ -56,29 +56,46 @@ val parallelism :
     through to [default], never to an uncaught exception or a silent
     [1]. An empty/whitespace-only value is treated as unset silently. *)
 
-val create : ?jobs:int -> unit -> t
-(** Spawn a pool of [parallelism ?jobs ()] workers (clamped to 64; the
-    OCaml runtime degrades past ~128 domains). *)
+val create : ?oversubscribe:bool -> ?jobs:int -> unit -> t
+(** Spawn a pool of [parallelism ?jobs ()] workers, clamped to
+    [Domain.recommended_domain_count ()] (and to 64; the OCaml runtime
+    degrades past ~128 domains). Oversubscribing domains is never a
+    win: each extra domain spins on the stop-the-world minor-GC barrier
+    and the run burns more CPU than [-j 1] (BENCH.json's old
+    [dse.sweep.j2] regression). [~oversubscribe:true] disables the core
+    clamp for tests that must exercise the multi-domain worker protocol
+    regardless of the host's core count. *)
 
 val jobs : t -> int
-(** The pool's total parallelism, including the calling domain. *)
+(** The pool's {e effective} total parallelism, including the calling
+    domain — after the core-count clamp, so it can be lower than the
+    [jobs] passed to {!create}. *)
 
 val destroy : t -> unit
 (** Join all worker domains. Idempotent; a destroyed pool still accepts
     [map] but runs it on the caller alone. *)
 
-val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?oversubscribe:bool -> ?jobs:int -> (t -> 'a) -> 'a
 (** [create], run, [destroy] — also on exception. *)
 
 exception Nested_map
 (** Raised by [map]/[map_result] when called from inside a pool task,
     where blocking on a second round could deadlock the pool. *)
 
-val map : t -> ('a -> 'b) -> 'a list -> 'b list
+val map : t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Apply [f] to every element on the pool's workers; results in input
     order. If any task raises, every task still runs to completion and
     then the exception of the {e earliest} failing input is re-raised, so
-    the surfaced error does not depend on scheduling. *)
+    the surfaced error does not depend on scheduling.
+
+    [chunk] is the number of consecutive tasks a worker claims per
+    cursor advance (default: auto, [max 1 (n / (4 * jobs))] for [n]
+    tasks — about four chunks per worker). Larger chunks cut atomic and
+    mutex traffic on fine-grained rounds; smaller chunks balance uneven
+    task costs. Chunking affects scheduling only: results are stored at
+    the input's index, so any [chunk >= 1] (dividing [n] or not)
+    returns byte-identical output. Raises [Invalid_argument] on
+    [chunk < 1]. *)
 
 (** {1 Typed task outcomes} *)
 
@@ -89,18 +106,27 @@ type task_error = {
   backtrace : string;
 }
 
+type timeout_budget =
+  | Per_attempt of float
+      (** the configured per-attempt [timeout], in seconds *)
+  | Batch_deadline
+      (** the batch-wide absolute [deadline] cut the attempt off (also
+          when a per-attempt timeout was configured but the batch
+          deadline had already passed) *)
+
 type task_failure =
   | Raised of task_error  (** the task raised and no retry was configured *)
   | Gave_up of task_error
       (** the task raised on every one of [max_attempts] attempts *)
-  | Timed_out of { task_index : int; attempts : int; timeout_s : float }
-      (** every attempt exceeded its wall-clock budget; [timeout_s] is the
-          configured per-attempt timeout ([0.] when only the batch
-          deadline cut it off) *)
+  | Timed_out of { task_index : int; attempts : int; budget : timeout_budget }
+      (** every attempt exceeded its wall-clock budget; [budget] says
+          which budget expired — deadline-only batches report
+          {!Batch_deadline}, never a bogus "0s budget" *)
   | Cancelled of { task_index : int }
       (** the cancellation token was set before or during the task *)
 
 val pp_task_error : Format.formatter -> task_error -> unit
+val pp_timeout_budget : Format.formatter -> timeout_budget -> unit
 val pp_task_failure : Format.formatter -> task_failure -> unit
 
 val failure_index : task_failure -> int
@@ -159,6 +185,7 @@ val run_budgeted :
 
 val map_result :
   t ->
+  ?chunk:int ->
   ?timeout:float ->
   ?deadline:Budget.deadline ->
   ?retry:retry ->
@@ -170,7 +197,7 @@ val map_result :
     of re-raising — one result per input, in input order. With [timeout],
     [deadline], [retry] or [cancel] set, each task runs through
     {!run_budgeted}; tasks must poll {!Budget.check} (the simulator and
-    throughput analysis do) to be interruptible. *)
+    throughput analysis do) to be interruptible. [chunk] as in {!map}. *)
 
 (** {1 Outcome statistics} *)
 
@@ -185,3 +212,18 @@ type stats = {
 
 val stats : ('a, task_failure) result list -> stats
 (** Tally a {!map_result} outcome list for metrics and reports. *)
+
+(** {1 Test hooks} *)
+
+(** Raw internals exposed for the test suite only — no stability
+    guarantee. *)
+module Private : sig
+  val default_chunk : jobs:int -> int -> int
+  (** The auto chunk size [map] picks for [n] tasks on [jobs] workers. *)
+
+  val unchecked_map : t -> (int -> 'a) -> int -> 'a list
+  (** The raw fan-out skeleton under [map]: applies the function to
+      [0..n-1] {e without} catching exceptions, unlike [map]'s wrapped
+      tasks. Used to prove a raising task cannot poison the worker's
+      [Nested_map] flag. *)
+end

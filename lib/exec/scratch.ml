@@ -1,0 +1,22 @@
+type 'a slot = {
+  key : 'a option ref Domain.DLS.key;
+  fresh : unit -> 'a;
+}
+
+let slot fresh = { key = Domain.DLS.new_key (fun () -> ref None); fresh }
+
+let borrow s ~reset f =
+  let cell = Domain.DLS.get s.key in
+  let v =
+    match !cell with
+    | Some v ->
+        (* take it out: a nested borrow while this one is live must not
+           alias the same value *)
+        cell := None;
+        v
+    | None -> s.fresh ()
+  in
+  reset v;
+  Fun.protect
+    ~finally:(fun () -> cell := Some v)
+    (fun () -> f v)

@@ -1,0 +1,26 @@
+(** Domain-local reusable scratch state.
+
+    The simulation hot paths (state hashing, visited-state tables)
+    allocate the same short-lived structures millions of times per
+    sweep. Under one domain that is ordinary minor-heap churn; across a
+    pool it multiplies the stop-the-world minor collections every
+    domain must rendezvous for. A {!slot} keeps one reusable value per
+    domain in [Domain.DLS], handed out borrow-style so the value can
+    never be shared between domains or between overlapping uses.
+
+    Borrowing is reentrancy-safe: while a slot's value is on loan the
+    slot is empty, so a nested [borrow] of the same slot allocates a
+    fresh value instead of aliasing the one in use. The value is
+    returned to the slot even if the borrowing function raises. *)
+
+type 'a slot
+
+val slot : (unit -> 'a) -> 'a slot
+(** [slot fresh] declares a per-domain pool of one ['a], created lazily
+    on first {!borrow} in each domain by [fresh ()]. Declare slots at
+    module level (like [Domain.DLS.new_key]). *)
+
+val borrow : 'a slot -> reset:('a -> unit) -> ('a -> 'b) -> 'b
+(** [borrow s ~reset f] takes this domain's value (or makes a fresh
+    one), calls [reset] on it, runs [f] on it, and puts it back —
+    also when [f] raises. The value must not escape [f]. *)

@@ -15,6 +15,7 @@ type options = {
   wires_per_connection : int;
   buffer_growth_rounds : int;
   throughput_max_steps : int;
+  memo : bool;
 }
 
 let default_options =
@@ -27,6 +28,7 @@ let default_options =
     wires_per_connection = 8;
     buffer_growth_rounds = 4;
     throughput_max_steps = 400_000;
+    memo = true;
   }
 
 type error =
@@ -150,9 +152,12 @@ let analyse_once binding timed_graph platform noc_allocation options scale
       max_firings = 50_000_000;
     }
   in
+  let analyse =
+    if options.memo then Throughput.analyse_memo else Throughput.analyse
+  in
   let predicted =
-    Throughput.analyse ~options:exec_options
-      ~max_steps:options.throughput_max_steps expansion.Comm_map.graph
+    analyse ~options:exec_options ~max_steps:options.throughput_max_steps
+      expansion.Comm_map.graph
   in
   Ok (expansion, schedules, exec_options, predicted)
 
@@ -294,7 +299,8 @@ let first_iteration_latency t =
   | Execution.Finished -> Some outcome.Execution.end_time
   | Execution.Deadlocked | Execution.Out_of_budget -> None
 
-let reanalyse t ~times ?(max_steps = default_options.throughput_max_steps) () =
+let reanalyse t ~times ?(max_steps = default_options.throughput_max_steps)
+    ?(memo = true) () =
   let ( let* ) = Result.bind in
   let retimed =
     Graph.with_execution_times t.timed_graph (fun a ->
@@ -319,9 +325,8 @@ let reanalyse t ~times ?(max_steps = default_options.throughput_max_steps) () =
       max_firings = 50_000_000;
     }
   in
-  Ok
-    (Throughput.analyse ~options:exec_options ~max_steps
-       expansion.Comm_map.graph)
+  let analyse = if memo then Throughput.analyse_memo else Throughput.analyse in
+  Ok (analyse ~options:exec_options ~max_steps expansion.Comm_map.graph)
 
 let to_xml t =
   let module Xml = Xmlkit.Xml in

@@ -25,6 +25,11 @@ type options = {
   wires_per_connection : int;  (** NoC wires requested per connection *)
   buffer_growth_rounds : int;
   throughput_max_steps : int;  (** state-space budget for the analysis *)
+  memo : bool;
+      (** route throughput analyses through the shared
+          {!Sdf.Throughput.analyse_memo} cache (default [true]; results
+          are byte-identical either way — the CLI's [--no-memo] clears
+          this for measurement) *)
 }
 
 val default_options : options
@@ -105,7 +110,7 @@ val first_iteration_latency : t -> int option
     platform model. [None] if the model cannot complete an iteration. *)
 
 val reanalyse :
-  t -> times:(string -> int) -> ?max_steps:int -> unit ->
+  t -> times:(string -> int) -> ?max_steps:int -> ?memo:bool -> unit ->
   (Sdf.Throughput.result, string) result
 (** Re-run the throughput analysis of an existing mapping with different
     application-actor execution times (by actor name) — binding, buffer

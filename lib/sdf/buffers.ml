@@ -101,7 +101,8 @@ let most_blocking ~options g' owners =
     None owners
 
 let trade_off ?(options = Execution.default_options) ?(max_rounds = 64)
-    ?bounded g =
+    ?(memo = true) ?bounded g =
+  let analyse = if memo then Throughput.analyse_memo else Throughput.analyse in
   let bounded, original_channels = bounded_channels ?bounded g in
   let capacities = Array.make (Array.length original_channels) 0 in
   Array.iteri
@@ -118,7 +119,7 @@ let trade_off ?(options = Execution.default_options) ?(max_rounds = 64)
     if round > max_rounds then List.rev points
     else begin
       let g', owners = build_bounded g original_channels bounded capacities in
-      let result = Throughput.analyse ~options g' in
+      let result = analyse ~options g' in
       let points, best =
         match result with
         | Throughput.Throughput { throughput; _ }
@@ -146,7 +147,8 @@ let trade_off ?(options = Execution.default_options) ?(max_rounds = 64)
   sweep 0 Rational.zero []
 
 let size_for_throughput ?(options = Execution.default_options)
-    ?(max_rounds = 64) ?bounded g ~target =
+    ?(max_rounds = 64) ?(memo = true) ?bounded g ~target =
+  let analyse = if memo then Throughput.analyse_memo else Throughput.analyse in
   let bounded, original_channels = bounded_channels ?bounded g in
   let capacities = Array.make (Array.length original_channels) 0 in
   Array.iteri
@@ -158,7 +160,7 @@ let size_for_throughput ?(options = Execution.default_options)
     else begin
       let g', owners = build_bounded g original_channels bounded capacities in
       incr evaluations;
-      let result = Throughput.analyse ~options g' in
+      let result = analyse ~options g' in
       let good =
         match result with
         | Throughput.Throughput { throughput; _ } ->

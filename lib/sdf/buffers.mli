@@ -36,12 +36,16 @@ type sizing = {
 val size_for_throughput :
   ?options:Execution.options ->
   ?max_rounds:int ->
+  ?memo:bool ->
   ?bounded:(Graph.channel -> bool) ->
   Graph.t ->
   target:Rational.t ->
   sizing option
 (** Find capacities (for the channels selected by [bounded], default: all
     non-self-loop channels) achieving at least [target] iterations/cycle.
+    Each round's analysis goes through {!Throughput.analyse_memo} unless
+    [~memo:false] — neighbouring searches revisit the same bounded
+    graphs, and results are identical either way.
     Returns [None] when [max_rounds] (default 64) increments were not
     enough — including when the unbounded graph itself cannot reach the
     target. *)
@@ -56,6 +60,7 @@ type trade_off_point = {
 val trade_off :
   ?options:Execution.options ->
   ?max_rounds:int ->
+  ?memo:bool ->
   ?bounded:(Graph.channel -> bool) ->
   Graph.t ->
   trade_off_point list

@@ -287,8 +287,14 @@ let iterations_completed eng =
 let channel_tokens eng = Array.copy eng.tokens
 let blocked_on eng = Array.copy eng.blocked_counts
 
+(* One reusable key buffer per domain: [state_key] runs once per
+   simulation step, and a fresh [Buffer.create] each step is the
+   dominant minor-heap churn of the whole analysis — multiplied across
+   pool domains it multiplies the stop-the-world minor collections. *)
+let key_scratch = Exec.Scratch.slot (fun () -> Buffer.create 256)
+
 let state_key eng =
-  let b = Buffer.create 128 in
+  Exec.Scratch.borrow key_scratch ~reset:Buffer.clear @@ fun b ->
   Array.iter (fun t -> Buffer.add_string b (string_of_int t); Buffer.add_char b ',')
     eng.tokens;
   Buffer.add_char b '|';
@@ -363,3 +369,30 @@ let deadlock_free ?(options = default_options) g =
   match (run ~options g ~iterations:1).stop with
   | Finished -> true
   | Deadlocked | Out_of_budget -> false
+
+(* Canonical serialization of the options fields that influence a
+   memoizable analysis. Resource names are excluded (binding semantics
+   depend on static orders, not labels); [firing_time] and [on_event]
+   are opaque closures, so their presence makes the run unkeyable. *)
+let options_key o =
+  match (o.firing_time, o.on_event) with
+  | Some _, _ | _, Some _ -> None
+  | None, None ->
+      let b = Buffer.create 64 in
+      Buffer.add_string b "opt1;ac:";
+      (match o.auto_concurrency with
+      | None -> Buffer.add_char b '*'
+      | Some k -> Buffer.add_string b (string_of_int k));
+      Buffer.add_string b ";mf:";
+      Buffer.add_string b (string_of_int o.max_firings);
+      Buffer.add_string b ";r:";
+      List.iter
+        (fun r ->
+          Array.iter
+            (fun a ->
+              Buffer.add_string b (string_of_int a);
+              Buffer.add_char b ',')
+            r.static_order;
+          Buffer.add_char b ';')
+        o.resources;
+      Some (Buffer.contents b)

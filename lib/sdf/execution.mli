@@ -82,6 +82,14 @@ val state_key : engine -> string
     the recurrence test used by throughput analysis. Only meaningful right
     after {!advance} returned [Advanced] or at time 0 before any step. *)
 
+val options_key : options -> string option
+(** Canonical serialization of the option fields that influence an
+    analysis result (auto-concurrency, firing budget, resource static
+    orders — resource {e names} are excluded, they carry no
+    semantics), or [None] when the options embed closures
+    ([firing_time]/[on_event]) and the run therefore cannot be keyed
+    for memoization. *)
+
 (** {1 One-shot runs} *)
 
 type outcome = {

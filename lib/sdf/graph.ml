@@ -138,6 +138,38 @@ let with_execution_times g f =
       Imap.map (fun a -> { a with execution_time = f a }) g.actors_by_id;
   }
 
+(* Canonical structural serialization: exactly what the self-timed
+   analyses can observe — actor ids and WCETs, channel endpoints, rates
+   and initial tokens, all in dense-id order — and nothing they cannot
+   (graph/actor/channel names, token sizes). Two graphs with equal keys
+   have identical firing semantics, so analysis results may be shared
+   between them; that sharing is what the key exists for. *)
+let structural_key g =
+  let b = Buffer.create 256 in
+  let int n =
+    Buffer.add_string b (string_of_int n);
+    Buffer.add_char b ','
+  in
+  Buffer.add_string b "sdf1;a:";
+  Imap.iter
+    (fun id a ->
+      int id;
+      int a.execution_time)
+    g.actors_by_id;
+  Buffer.add_string b ";c:";
+  Imap.iter
+    (fun id c ->
+      int id;
+      int c.source;
+      int c.production_rate;
+      int c.target;
+      int c.consumption_rate;
+      int c.initial_tokens)
+    g.channels_by_id;
+  Buffer.contents b
+
+let structural_digest g = Digest.to_hex (Digest.string (structural_key g))
+
 let validate g =
   let ( let* ) = Result.bind in
   let check cond msg = if cond then Ok () else Error msg in

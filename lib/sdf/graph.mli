@@ -97,6 +97,20 @@ val with_execution_times : t -> (actor -> int) -> t
 
 val rename : t -> string -> t
 
+val structural_key : t -> string
+(** Canonical serialization of everything the self-timed analyses can
+    observe: actor ids and execution times, channel endpoints, rates
+    and initial tokens, in dense-id order. Names and token sizes are
+    deliberately excluded — they cannot influence firing semantics, so
+    two graphs differing only there share one key (and may share
+    memoized analysis results, see {!Memo}). Changing any WCET, rate,
+    endpoint or initial-token count changes the key. *)
+
+val structural_digest : t -> string
+(** Hex digest of {!structural_key} — a fixed-width fingerprint for
+    logs and reports. The memo table itself keys on the full
+    {!structural_key}, so digest collisions cannot corrupt results. *)
+
 val validate : t -> (unit, string) result
 (** Structural sanity: every channel endpoint exists, rates are positive,
     initial token counts are non-negative, names are unique. The builder

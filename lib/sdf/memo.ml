@@ -1,0 +1,88 @@
+type 'a t = {
+  mutex : Mutex.t;
+  table : (string, 'a) Hashtbl.t;
+  order : string Queue.t;  (* insertion order, oldest first *)
+  capacity : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity < 1 then
+    invalid_arg (Printf.sprintf "Memo.create: capacity %d < 1" capacity);
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create 64;
+    order = Queue.create ();
+    capacity;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find_or_add t key compute =
+  let cached =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some v ->
+            t.hits <- t.hits + 1;
+            Some v
+        | None ->
+            t.misses <- t.misses + 1;
+            None)
+  in
+  match cached with
+  | Some v -> v
+  | None ->
+      (* compute outside the lock: analyses take milliseconds and must
+         not serialize the pool; a racing domain may duplicate the work
+         but both values are identical by the key contract *)
+      let v = compute () in
+      locked t (fun () ->
+          if not (Hashtbl.mem t.table key) then begin
+            Hashtbl.add t.table key v;
+            Queue.push key t.order;
+            while Hashtbl.length t.table > t.capacity do
+              let oldest = Queue.pop t.order in
+              Hashtbl.remove t.table oldest;
+              t.evictions <- t.evictions + 1
+            done
+          end);
+      v
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      Queue.clear t.order)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        size = Hashtbl.length t.table;
+        capacity = t.capacity;
+      })
+
+let delta ~before ~after =
+  {
+    hits = after.hits - before.hits;
+    misses = after.misses - before.misses;
+    evictions = after.evictions - before.evictions;
+    size = after.size;
+    capacity = after.capacity;
+  }

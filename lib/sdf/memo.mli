@@ -1,0 +1,49 @@
+(** Bounded, thread-safe memo tables for analysis results.
+
+    The design-space sweep re-analyses structurally identical SDF
+    graphs thousands of times: symmetric design points expand to the
+    same bound graph, and the buffer-distribution search revisits
+    intermediate distributions across neighbouring points. A ['a t]
+    caches [key -> 'a] with a hard entry bound (FIFO eviction), a
+    mutex making it safe to share across pool domains, and hit/miss
+    counters for {!Obs.Metrics} export.
+
+    Correctness contract: callers must build keys that cover {e every}
+    input the computed value depends on (the canonical
+    {!Graph.structural_key} plus the analysis options — see
+    {!Throughput.analyse_memo}). Under that contract a cached value is
+    byte-identical to recomputation, so results cannot depend on cache
+    state, sharing, or eviction order. Lookups never hold the lock
+    while computing: two domains racing on the same key may both
+    compute (identical) values, one of which wins the insert. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** A fresh table bounded to [capacity] entries (default 4096; at most
+    a few hundred bytes per entry for throughput results, so the
+    default bounds the cache to a few MB). Oldest-inserted entries are
+    evicted first. Raises [Invalid_argument] if [capacity < 1]. *)
+
+val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
+(** [find_or_add t key compute] returns the cached value for [key], or
+    runs [compute ()], caches and returns it. [compute] runs outside
+    the table's lock; if it raises, nothing is cached. *)
+
+val clear : 'a t -> unit
+(** Drop all entries (counters are kept). *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;  (** current entry count *)
+  capacity : int;
+}
+
+val stats : 'a t -> stats
+
+val delta : before:stats -> after:stats -> stats
+(** Counter difference of two snapshots of the same table ([size] and
+    [capacity] are taken from [after]) — for per-run metric export
+    from a long-lived cache. *)

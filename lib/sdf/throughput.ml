@@ -9,9 +9,17 @@ type result =
   | No_recurrence
   | Budget_exhausted of { steps : int }
 
+(* One reusable visited-state table per domain: the table grows to the
+   transient length (tens of thousands of entries on the paper's
+   graphs), and reallocating + regrowing it per analysis is a large
+   share of the sweep's major-heap churn. [Hashtbl.clear] keeps the
+   grown bucket array for the next analysis on this domain. *)
+let seen_scratch : (string, int * int) Hashtbl.t Exec.Scratch.slot =
+  Exec.Scratch.slot (fun () -> Hashtbl.create 1024)
+
 let analyse ?(options = Execution.default_options) ?(max_steps = 200_000) g =
   let eng = Execution.create ~options g in
-  let seen : (string, int * int) Hashtbl.t = Hashtbl.create 1024 in
+  Exec.Scratch.borrow seen_scratch ~reset:Hashtbl.clear @@ fun seen ->
   let rec loop steps =
     if steps > max_steps then Budget_exhausted { steps = max_steps }
     else begin
@@ -50,6 +58,40 @@ let analyse ?(options = Execution.default_options) ?(max_steps = 200_000) g =
     end
   in
   loop 0
+
+(* --- memoized front-end ------------------------------------------------------ *)
+
+(* One process-wide cache: design points sharing sub-analyses may be
+   evaluated on different pool domains, in different [Dse.explore]
+   calls, or interleaved with conformance runs — a shared table is what
+   makes the sharing pay. Bounded, so a long mapping-as-a-service
+   process cannot grow it without limit. *)
+let cache : result Memo.t = Memo.create ~capacity:4096 ()
+let memo_enabled = Atomic.make true
+
+let set_memoize b = Atomic.set memo_enabled b
+let memoize_enabled () = Atomic.get memo_enabled
+let memo_stats () = Memo.stats cache
+let memo_clear () = Memo.clear cache
+
+let analyse_memo ?(options = Execution.default_options) ?(max_steps = 200_000)
+    g =
+  (* a cold analysis polls the ambient budget at step 0; a cache hit
+     must poll at least as often, or a warm cache would make budgeted
+     tasks uninterruptible *)
+  Exec.Budget.check ();
+  if not (Atomic.get memo_enabled) then analyse ~options ~max_steps g
+  else
+    match Execution.options_key options with
+    | None ->
+        (* closures in the options: unkeyable, run it for real *)
+        analyse ~options ~max_steps g
+    | Some opts_key ->
+        let key =
+          String.concat "\x00"
+            [ Graph.structural_key g; opts_key; string_of_int max_steps ]
+        in
+        Memo.find_or_add cache key (fun () -> analyse ~options ~max_steps g)
 
 let to_rational = function
   | Throughput { throughput; _ } -> throughput

@@ -40,6 +40,40 @@ val analyse :
     steps, so an ambient deadline or cancellation token interrupts the
     analysis by raising {!Exec.Budget.Expired}. *)
 
+(** {1 Memoized front-end}
+
+    The flow's hot path: the mapping flow re-analyses structurally
+    identical graphs across design points and buffer-search rounds.
+    {!analyse_memo} consults one process-wide bounded {!Memo} table
+    keyed by {!Graph.structural_key}, {!Execution.options_key} and
+    [max_steps] — every input {!analyse} depends on — so a hit is
+    byte-identical to recomputation at any [-j] and with the cache off.
+    Runs whose options embed closures ([firing_time]/[on_event]) are
+    never cached. The cache is shared across domains (thread-safe) and
+    across [Dse.explore]/conformance calls in one process. *)
+
+val analyse_memo :
+  ?options:Execution.options -> ?max_steps:int -> Graph.t -> result
+(** Like {!analyse} but cached. The ambient {!Exec.Budget} is polled
+    once on entry (as a cold analysis would at step 0), so a warm
+    cache cannot make a budgeted task uninterruptible; on a miss the
+    underlying analysis polls as usual and an expiry caches
+    nothing. *)
+
+val set_memoize : bool -> unit
+(** Process-wide kill switch (the CLI's [--no-memo]): when [false],
+    {!analyse_memo} always recomputes. Default [true]. *)
+
+val memoize_enabled : unit -> bool
+
+val memo_stats : unit -> Memo.stats
+(** Hit/miss/eviction counters of the shared cache, for
+    {!Obs.Metrics} export and the profile report. *)
+
+val memo_clear : unit -> unit
+(** Drop all cached results (counters are kept). Used by benchmarks to
+    measure cold-cache behaviour. *)
+
 val to_rational : result -> Rational.t
 (** Throughput value; {!Rational.zero} for deadlock.
     @raise Invalid_argument on [No_recurrence] and [Budget_exhausted]. *)

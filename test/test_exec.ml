@@ -89,7 +89,7 @@ let test_map_preserves_order () =
     (i * i) + 1
   in
   let expected = List.map f xs in
-  Pool.with_pool ~jobs:4 (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~jobs:4 (fun pool ->
       check (Alcotest.list int) "parallel map equals List.map" expected
         (Pool.map pool f xs));
   Pool.with_pool ~jobs:1 (fun pool ->
@@ -97,18 +97,111 @@ let test_map_preserves_order () =
         (Pool.map pool f xs))
 
 let test_map_edge_sizes () =
-  Pool.with_pool ~jobs:4 (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~jobs:4 (fun pool ->
       check (Alcotest.list int) "empty input" [] (Pool.map pool succ []);
       check (Alcotest.list int) "singleton input" [ 8 ]
         (Pool.map pool succ [ 7 ]);
       check (Alcotest.list int) "fewer tasks than workers" [ 1; 2 ]
         (Pool.map pool succ [ 0; 1 ]))
 
+let failure_strings outs =
+  List.map
+    (function
+      | Ok v -> Printf.sprintf "ok:%d" v
+      | Error f -> Format.asprintf "%a" Pool.pp_task_failure f)
+    outs
+
+(* --- chunked scheduling ------------------------------------------------------ *)
+
+let test_chunked_map_determinism () =
+  let n = 37 in
+  (* a chunk count that does not divide n, one that does, degenerate 1,
+     and one larger than the whole input *)
+  let chunks = [ 1; 4; 5; 37; 100 ] in
+  let xs = List.init n Fun.id in
+  let f i =
+    busy i;
+    (i * 3) - 1
+  in
+  let expected = List.map f xs in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~oversubscribe:true ~jobs (fun pool ->
+          check (Alcotest.list int)
+            (Printf.sprintf "auto chunk at -j %d" jobs)
+            expected (Pool.map pool f xs);
+          List.iter
+            (fun chunk ->
+              check (Alcotest.list int)
+                (Printf.sprintf "chunk %d at -j %d" chunk jobs)
+                expected
+                (Pool.map pool ~chunk f xs))
+            chunks))
+    [ 1; 2; 4 ];
+  Pool.with_pool ~oversubscribe:true ~jobs:2 (fun pool ->
+      Alcotest.check_raises "chunk 0 rejected"
+        (Invalid_argument "Pool.map: chunk 0 < 1") (fun () ->
+          ignore (Pool.map pool ~chunk:0 succ xs)))
+
+let test_chunked_map_result () =
+  let f i = if i mod 5 = 3 then failwith "boom" else i * 2 in
+  let strings jobs chunk =
+    Pool.with_pool ~oversubscribe:true ~jobs (fun pool ->
+        failure_strings (Pool.map_result pool ?chunk f (List.init 23 Fun.id)))
+  in
+  let reference = strings 1 None in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun chunk ->
+          check
+            Alcotest.(list string)
+            (Printf.sprintf "map_result identical at -j %d chunk %s" jobs
+               (match chunk with Some c -> string_of_int c | None -> "auto"))
+            reference (strings jobs chunk))
+        [ None; Some 1; Some 4; Some 30 ])
+    [ 2; 4 ]
+
+let test_auto_chunk_size () =
+  (* about four chunks per worker, never zero *)
+  check int "100 tasks on 4 workers" 6 (Pool.Private.default_chunk ~jobs:4 100);
+  check int "8 tasks on 4 workers" 1 (Pool.Private.default_chunk ~jobs:4 8);
+  check int "1 task on 64 workers" 1 (Pool.Private.default_chunk ~jobs:64 1);
+  check int "1000 tasks on 2 workers" 125
+    (Pool.Private.default_chunk ~jobs:2 1000)
+
+(* --- worker flag hygiene ----------------------------------------------------- *)
+
+let test_raise_does_not_poison_worker () =
+  (* jobs:1 runs tasks on the calling domain: before the Fun.protect fix
+     an exception escaping a task left the domain's in-task flag set, so
+     every later map on that domain raised a spurious Nested_map *)
+  Pool.with_pool ~jobs:1 (fun pool ->
+      (match
+         Pool.Private.unchecked_map pool (fun _ -> failwith "escape") 2
+       with
+      | _ -> Alcotest.fail "unchecked task should raise"
+      | exception Failure _ -> ());
+      check (Alcotest.list int) "domain not poisoned: map still works"
+        [ 1; 2; 3 ]
+        (Pool.map pool succ [ 0; 1; 2 ]))
+
+(* --- core-count clamp -------------------------------------------------------- *)
+
+let test_core_clamp () =
+  let cores = Stdlib.max 1 (Domain.recommended_domain_count ()) in
+  Pool.with_pool ~jobs:(cores + 7) (fun pool ->
+      check bool "default pools never oversubscribe the cores" true
+        (Pool.jobs pool <= cores));
+  Pool.with_pool ~oversubscribe:true ~jobs:(cores + 1) (fun pool ->
+      check int "oversubscribe escape hatch keeps the requested jobs"
+        (cores + 1) (Pool.jobs pool))
+
 (* --- error collection ------------------------------------------------------- *)
 
 let test_map_result_collects_errors () =
   let f i = if i mod 3 = 0 then failwith (Printf.sprintf "boom %d" i) else i in
-  Pool.with_pool ~jobs:4 (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~jobs:4 (fun pool ->
       let outs = Pool.map_result pool f (List.init 10 Fun.id) in
       check int "one result per input" 10 (List.length outs);
       List.iteri
@@ -129,7 +222,7 @@ let test_map_result_collects_errors () =
 
 let test_map_raises_earliest_failure () =
   let f i = if i >= 7 then failwith (Printf.sprintf "boom %d" i) else i in
-  Pool.with_pool ~jobs:4 (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~jobs:4 (fun pool ->
       match Pool.map pool f (List.init 12 Fun.id) with
       | _ -> Alcotest.fail "map should have raised"
       | exception Failure msg ->
@@ -139,7 +232,7 @@ let test_map_raises_earliest_failure () =
 (* --- pool reuse ------------------------------------------------------------- *)
 
 let test_pool_reuse () =
-  Pool.with_pool ~jobs:3 (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~jobs:3 (fun pool ->
       check int "pool reports its parallelism" 3 (Pool.jobs pool);
       for round = 1 to 5 do
         let xs = List.init (10 * round) (fun i -> i + round) in
@@ -151,7 +244,7 @@ let test_pool_reuse () =
 (* --- nested-map rejection --------------------------------------------------- *)
 
 let test_nested_map_rejected () =
-  Pool.with_pool ~jobs:2 (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~jobs:2 (fun pool ->
       Alcotest.check_raises "nested map on a parallel pool" Pool.Nested_map
         (fun () ->
           ignore (Pool.map pool (fun _ -> Pool.map pool succ [ 1 ]) [ 1; 2 ])));
@@ -160,7 +253,7 @@ let test_nested_map_rejected () =
         (fun () ->
           ignore (Pool.map pool (fun _ -> Pool.map pool succ [ 1 ]) [ 1 ])));
   (* after a rejected round the pool still works *)
-  Pool.with_pool ~jobs:2 (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~jobs:2 (fun pool ->
       (match Pool.map pool (fun _ -> Pool.map pool succ [ 1 ]) [ 1 ] with
       | _ -> Alcotest.fail "nested map should raise"
       | exception Pool.Nested_map -> ());
@@ -211,8 +304,9 @@ let test_run_budgeted_timeout_and_retry () =
          incr attempts_seen;
          stall ())
    with
-  | Error (Pool.Timed_out { task_index = 4; attempts = 3; timeout_s }) ->
-      check bool "timeout_s is the configured budget" true (timeout_s = 0.05)
+  | Error (Pool.Timed_out { task_index = 4; attempts = 3; budget }) ->
+      check bool "budget is the configured per-attempt timeout" true
+        (budget = Pool.Per_attempt 0.05)
   | Ok _ -> Alcotest.fail "stall should not succeed"
   | Error f -> Alcotest.failf "expected Timed_out, got %a" Pool.pp_task_failure f);
   check int "every configured attempt ran" 3 !attempts_seen;
@@ -232,6 +326,46 @@ let test_run_budgeted_timeout_and_retry () =
   | Error (Pool.Gave_up e) ->
       check int "Gave_up counts its attempts" 3 e.Pool.attempts
   | _ -> Alcotest.fail "expected Gave_up")
+
+let test_deadline_only_timeout_message () =
+  (* with no per-attempt timeout, the batch deadline used to surface as
+     "0s budget"; it must name the deadline instead *)
+  (match
+     Pool.run_budgeted
+       ~deadline:(Exec.Budget.after 0.0)
+       ~task_index:2
+       (fun () -> stall ())
+   with
+  | Error (Pool.Timed_out { task_index = 2; attempts = 1; budget }) ->
+      check bool "deadline-only expiry reports Batch_deadline" true
+        (budget = Pool.Batch_deadline);
+      let msg =
+        Format.asprintf "%a" Pool.pp_task_failure
+          (Pool.Timed_out { task_index = 2; attempts = 1; budget })
+      in
+      check bool "message names the batch deadline" true
+        (contains msg "batch deadline");
+      check bool "no bogus 0s budget" false (contains msg "0s budget")
+  | Ok _ -> Alcotest.fail "expired deadline must not succeed"
+  | Error f ->
+      Alcotest.failf "expected Timed_out, got %a" Pool.pp_task_failure f);
+  (* per-attempt timeouts still report their configured budget *)
+  (match
+     Pool.run_budgeted ~timeout:0.01 ~task_index:0 (fun () -> stall ())
+   with
+  | Error (Pool.Timed_out { budget = Pool.Per_attempt t; _ }) ->
+      check bool "per-attempt budget carried through" true (t = 0.01)
+  | _ -> Alcotest.fail "expected a per-attempt Timed_out");
+  (* the same shape through map_result *)
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Pool.map_result pool
+        ~deadline:(Exec.Budget.after 0.0)
+        (fun _ -> stall ())
+        [ 0; 1 ]
+      |> List.iter (function
+           | Error (Pool.Timed_out { budget = Pool.Batch_deadline; _ }) -> ()
+           | Ok _ | Error _ ->
+               Alcotest.fail "expected batch-deadline Timed_out"))
 
 let test_run_budgeted_cancellation () =
   let token = Exec.Budget.token () in
@@ -266,13 +400,6 @@ let test_backoff_determinism () =
         (a > 0.0 && a <= 0.05 *. (2.0 ** float_of_int (attempt - 1))))
     [ (0, 1); (0, 2); (3, 1); (3, 3); (7, 2) ]
 
-let failure_strings outs =
-  List.map
-    (function
-      | Ok v -> Printf.sprintf "ok:%d" v
-      | Error f -> Format.asprintf "%a" Pool.pp_task_failure f)
-    outs
-
 let test_map_result_timeout_determinism () =
   (* a deliberately hung task at fixed indices: timed out, retried per
      policy, surfaced as a typed per-task error — without stalling the
@@ -280,7 +407,7 @@ let test_map_result_timeout_determinism () =
   let f i = if i mod 4 = 2 then stall () else i * 10 in
   let retry = Pool.retry ~max_attempts:2 ~base_delay_s:0.001 () in
   let run jobs =
-    Pool.with_pool ~jobs (fun pool ->
+    Pool.with_pool ~oversubscribe:true ~jobs (fun pool ->
         Pool.map_result pool ~timeout:0.05 ~retry f (List.init 8 Fun.id))
   in
   let seq = run 1 and par = run 4 in
@@ -626,6 +753,14 @@ let () =
           Alcotest.test_case "map preserves input order" `Quick
             test_map_preserves_order;
           Alcotest.test_case "map edge sizes" `Quick test_map_edge_sizes;
+          Alcotest.test_case "chunked map determinism" `Quick
+            test_chunked_map_determinism;
+          Alcotest.test_case "chunked map_result determinism" `Quick
+            test_chunked_map_result;
+          Alcotest.test_case "auto chunk size" `Quick test_auto_chunk_size;
+          Alcotest.test_case "raising task does not poison the worker" `Quick
+            test_raise_does_not_poison_worker;
+          Alcotest.test_case "core-count clamp" `Quick test_core_clamp;
           Alcotest.test_case "map_result collects typed errors" `Quick
             test_map_result_collects_errors;
           Alcotest.test_case "map raises the earliest failure" `Quick
@@ -642,6 +777,8 @@ let () =
             test_run_budgeted_timeout_and_retry;
           Alcotest.test_case "run_budgeted cancellation" `Quick
             test_run_budgeted_cancellation;
+          Alcotest.test_case "deadline-only timeout message" `Quick
+            test_deadline_only_timeout_message;
           Alcotest.test_case "backoff is deterministic" `Quick
             test_backoff_determinism;
           Alcotest.test_case "map_result timeouts identical at -j 4" `Quick

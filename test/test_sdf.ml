@@ -732,6 +732,107 @@ let sdf_props =
         | Error _ -> false);
   ]
 
+(* --- structural keys and the analysis memo ----------------------------- *)
+
+let test_structural_key_sensitivity () =
+  let g, _, _ = Tgraphs.two_cycle ~time_a:2 ~time_b:3 ~tokens:1 in
+  check string "key is deterministic" (Graph.structural_key g)
+    (Graph.structural_key g);
+  check string "digest is deterministic" (Graph.structural_digest g)
+    (Graph.structural_digest g);
+  (* semantically irrelevant differences share one key *)
+  let renamed = Graph.rename g "other-name" in
+  check string "graph name excluded" (Graph.structural_key g)
+    (Graph.structural_key renamed);
+  (* every semantically relevant field changes the key *)
+  let wcet = Graph.with_execution_times g (fun a -> a.Graph.execution_time + 1) in
+  check bool "WCET change alters the key" false
+    (Graph.structural_key g = Graph.structural_key wcet);
+  let g2, _, _ = Tgraphs.two_cycle ~time_a:2 ~time_b:3 ~tokens:2 in
+  check bool "initial-token change alters the key" false
+    (Graph.structural_key g = Graph.structural_key g2);
+  let rates, a, b = Tgraphs.two_cycle ~time_a:2 ~time_b:3 ~tokens:1 in
+  let rates, _ =
+    Graph.add_channel rates ~name:"extra" ~source:a ~production_rate:2
+      ~target:b ~consumption_rate:1 ()
+  in
+  check bool "extra channel alters the key" false
+    (Graph.structural_key g = Graph.structural_key rates)
+
+let test_memo_table_bounds () =
+  let m : int Memo.t = Memo.create ~capacity:2 () in
+  let computed = ref 0 in
+  let get k =
+    Memo.find_or_add m k (fun () ->
+        incr computed;
+        String.length k)
+  in
+  check int "miss computes" 1 (get "a");
+  check int "hit returns the cached value" 1 (get "a");
+  check int "compute ran once" 1 !computed;
+  ignore (get "bb");
+  ignore (get "ccc");
+  (* capacity 2: "a" (oldest) was evicted, so it recomputes *)
+  ignore (get "a");
+  check int "eviction forces recompute" 4 !computed;
+  let s = Memo.stats m in
+  check int "bounded size" 2 s.Memo.size;
+  check bool "eviction counted" true (s.Memo.evictions >= 1);
+  check bool "hits and misses counted" true
+    (s.Memo.hits >= 1 && s.Memo.misses >= 3);
+  Memo.clear m;
+  check int "clear empties the table" 0 (Memo.stats m).Memo.size;
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Memo.create: capacity 0 < 1") (fun () ->
+      ignore (Memo.create ~capacity:0 () : int Memo.t))
+
+let test_analyse_memo_correctness () =
+  let g, _, _ = Tgraphs.two_cycle ~time_a:2 ~time_b:3 ~tokens:1 in
+  let renamed = Graph.rename g "same-structure-different-name" in
+  Throughput.set_memoize true;
+  let before = Throughput.memo_stats () in
+  let direct = Throughput.analyse g in
+  let cached = Throughput.analyse_memo g in
+  let cached_again = Throughput.analyse_memo g in
+  let via_twin = Throughput.analyse_memo renamed in
+  check bool "memoized result equals direct analysis" true (direct = cached);
+  check bool "hit equals miss" true (cached = cached_again);
+  check bool "same structural key shares the result" true (direct = via_twin);
+  let after = Throughput.memo_stats () in
+  check bool "second and third calls were hits" true
+    (after.Memo.hits - before.Memo.hits >= 2);
+  (* cache off: same results, no cache traffic *)
+  Throughput.set_memoize false;
+  check bool "kill switch reports off" false (Throughput.memoize_enabled ());
+  let off = Throughput.analyse_memo g in
+  check bool "cache-off result byte-identical" true (off = direct);
+  check int "cache-off adds no hits" after.Memo.hits
+    (Throughput.memo_stats ()).Memo.hits;
+  Throughput.set_memoize true;
+  (* closures in the options are never keyed: every call recomputes *)
+  let opts =
+    {
+      Execution.default_options with
+      Execution.firing_time = Some (fun a -> a.Graph.execution_time);
+    }
+  in
+  check bool "options with closures are unkeyable" true
+    (Execution.options_key opts = None);
+  let b0 = Throughput.memo_stats () in
+  let r1 = Throughput.analyse_memo ~options:opts g in
+  let r2 = Throughput.analyse_memo ~options:opts g in
+  check bool "unkeyable runs still agree" true (r1 = r2);
+  let b1 = Throughput.memo_stats () in
+  check int "unkeyable runs bypass the cache" b0.Memo.hits b1.Memo.hits;
+  (* distinct analysis options get distinct keys *)
+  let k_default = Execution.options_key Execution.default_options in
+  let k_unbounded =
+    Execution.options_key
+      { Execution.default_options with Execution.auto_concurrency = None }
+  in
+  check bool "auto-concurrency is part of the key" false
+    (k_default = k_unbounded)
+
 let () =
   let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest) tests) in
   Alcotest.run "sdf"
@@ -799,6 +900,14 @@ let () =
           Alcotest.test_case "size for throughput" `Quick test_size_for_throughput;
           Alcotest.test_case "trade-off curve" `Quick test_trade_off_curve;
           Alcotest.test_case "impossible target" `Quick test_size_for_throughput_impossible;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "structural key sensitivity" `Quick
+            test_structural_key_sensitivity;
+          Alcotest.test_case "bounded table" `Quick test_memo_table_bounds;
+          Alcotest.test_case "analyse_memo correctness" `Quick
+            test_analyse_memo_correctness;
         ] );
       ( "schedule",
         [
