@@ -239,6 +239,34 @@ let section63 () =
     ];
   Printf.printf "(paper: up to +300%% on a communication-dominated platform)\n"
 
+(* Same study with the symbolic (max,+) analysis: identical guarantees, but
+   MCM on the expanded HSDF graph replaces simulate-to-convergence, so the
+   cost no longer grows with the serialization scale. Timed against
+   section.63 from a cold analysis cache. *)
+let section63_mcm () =
+  section "Section 6.3 - CA study, symbolic (max,+) analysis";
+  List.iter
+    (fun (label, scale) ->
+      match
+        Experiments.ca_study ~pe_serialization_scale:scale ~analysis:`Mcm ()
+      with
+      | Error e -> Printf.printf "%s: failed (%s)\n" label e
+      | Ok study ->
+          Printf.printf
+            "%-44s without CA %-10s with CA %-10s improvement +%d%%\n" label
+            (Sdf.Rational.to_string study.Experiments.baseline)
+            (Sdf.Rational.to_string study.Experiments.with_ca)
+            study.Experiments.improvement_percent)
+    [
+      ("calibrated Microblaze copy loops (x1)", 1);
+      ("slower software comm (x4)", 4);
+      ("slower software comm (x8)", 8);
+      ("handshake-heavy software comm (x16)", 16);
+    ];
+  let stats = Sdf.Throughput.mcm_stats () in
+  Printf.printf "(guarantees identical to section.63; mcm runs %d, fallbacks %d)\n"
+    stats.Sdf.Throughput.runs stats.Sdf.Throughput.fallbacks
+
 (* --- section 5.3.1 ------------------------------------------------------------- *)
 
 let section531 () =
@@ -638,6 +666,10 @@ let microbenchmarks () =
       Test.make ~name:"fig6.worst-case-analysis"
         (Staged.stage (fun () ->
              Sdf.Throughput.analyse ~options:exec_options expanded));
+      Test.make ~name:"fig6.mcm"
+        (Staged.stage (fun () ->
+             Sdf.Throughput.analyse ~options:exec_options ~method_:`Mcm
+               expanded));
       Test.make ~name:"fig6.platform-simulation-one-pass"
         (Staged.stage (fun () -> Sim.Platform_sim.run mapping ~iterations:mcus ()));
       Test.make ~name:"table1.architecture-generation"
@@ -711,7 +743,12 @@ let () =
           "(paper 6b: same shape as 6a with slightly lower values on the \
            NoC)");
   timed_section "section.table1" table1;
+  (* cold analysis cache on both sides so the two timings compare the
+     analysis methods, not memoization luck *)
+  Sdf.Throughput.memo_clear ();
   timed_section "section.63" section63;
+  Sdf.Throughput.memo_clear ();
+  timed_section "section.63.mcm" section63_mcm;
   timed_section "section.531" section531;
   timed_section "section.ablations" ablations;
   timed_section "section.profile" profile_section;

@@ -48,6 +48,26 @@ let no_memo_term =
            byte-identical with or without the cache; the flag only \
            trades time for memory.")
 
+(* shared --analysis flag: worst-case throughput analysis method. Both
+   methods return the same exact bound (a conformance oracle and a
+   property test pin that), so the flag only trades analysis time. *)
+let analysis_term =
+  let methods =
+    [ ("state-space", `State_space); ("mcm", `Mcm); ("auto", `Auto) ]
+  in
+  Arg.(
+    value
+    & opt (enum methods) `State_space
+    & info [ "analysis" ] ~docv:"METHOD"
+        ~doc:
+          "Worst-case throughput analysis method: $(b,state-space) \
+           (simulate to a state recurrence, the default), $(b,mcm) \
+           (symbolic (max,+): HSDF expansion + maximum cycle mean, \
+           falling back to the state space when the expansion does not \
+           apply), or $(b,auto) (mcm when applicable). Every method \
+           returns the same exact throughput bound; only the reported \
+           transient differs (mcm does not model the start-up phase).")
+
 (* --- graph ------------------------------------------------------------------ *)
 
 let analyse_graph path dot_output =
@@ -142,7 +162,8 @@ let report_faulted flow baseline ~iterations spec =
                   events)));
       0
 
-let run_mjpeg interconnect sequence output passes trace_out faults seed =
+let run_mjpeg interconnect sequence output passes trace_out faults seed
+    analysis =
   match Mjpeg.Streams.by_name sequence with
   | None ->
       Printf.eprintf "unknown sequence %S; available: %s\n" sequence
@@ -169,7 +190,7 @@ let run_mjpeg interconnect sequence output passes trace_out faults seed =
             let* flow =
               Result.map_error Core.Flow_error.to_string
                 (Core.Design_flow.run_auto app
-                   ~options:Experiments.flow_options
+                   ~options:(Experiments.flow_options_with ~analysis ())
                    (interconnect_of interconnect) ())
             in
             let iterations = passes * Mjpeg.Streams.mcus seq in
@@ -285,7 +306,7 @@ let mjpeg_cmd =
     (Cmd.info "mjpeg" ~doc:"Run the full flow on the MJPEG case study")
     Term.(
       const run_mjpeg $ interconnect $ sequence $ output $ passes $ trace
-      $ faults $ seed)
+      $ faults $ seed $ analysis_term)
 
 (* --- dse --------------------------------------------------------------------- *)
 
@@ -296,7 +317,7 @@ let mjpeg_cmd =
    times, no resumed counts — so a resumed run's report is byte-identical
    to an uninterrupted one *)
 let run_dse_anytime app ~interconnects ~tile_counts ~max_slices ~jobs ~deadline
-    ~task_timeout ~retries ~checkpoint ~resume =
+    ~task_timeout ~retries ~checkpoint ~resume ~analysis =
   let metrics = Obs.Metrics.create () in
   let deadline = Option.map Exec.Budget.after deadline in
   let retry =
@@ -304,8 +325,8 @@ let run_dse_anytime app ~interconnects ~tile_counts ~max_slices ~jobs ~deadline
   in
   match
     Core.Dse.explore_anytime app ?tile_counts ~interconnects
-      ~options:Experiments.flow_options ~jobs ?deadline ?task_timeout ?retry
-      ?checkpoint ?resume ~metrics ()
+      ~options:(Experiments.flow_options_with ~analysis ())
+      ~jobs ?deadline ?task_timeout ?retry ?checkpoint ?resume ~metrics ()
   with
   | Error msg ->
       Printf.eprintf "dse: %s\n" msg;
@@ -364,7 +385,7 @@ let run_dse_anytime app ~interconnects ~tile_counts ~max_slices ~jobs ~deadline
    fixes actually pay — the second pass (clamped pool + warm analysis
    cache) must be strictly faster, and its Pareto front byte-identical to
    the sequential one. Exit 4 on a regression so the job fails loudly. *)
-let run_dse_assert_scaling app ~interconnects ~tile_counts ~jobs =
+let run_dse_assert_scaling app ~interconnects ~tile_counts ~jobs ~analysis =
   if jobs < 2 then begin
     Printf.eprintf "dse: --assert-scaling needs -j 2 or more (got %d)\n" jobs;
     2
@@ -374,7 +395,8 @@ let run_dse_assert_scaling app ~interconnects ~tile_counts ~jobs =
       let start = Exec.Clock.now () in
       let points, _failures =
         Core.Dse.explore app ?tile_counts ~interconnects
-          ~options:Experiments.flow_options ~jobs ()
+          ~options:(Experiments.flow_options_with ~analysis ())
+          ~jobs ()
       in
       let seconds = Exec.Clock.elapsed_since start in
       (* compare the deterministic rendering: the summary table carries
@@ -402,7 +424,7 @@ let run_dse_assert_scaling app ~interconnects ~tile_counts ~jobs =
   end
 
 let run_dse interconnect sequence max_tiles max_slices jobs deadline
-    task_timeout retries checkpoint resume no_memo assert_scaling =
+    task_timeout retries checkpoint resume no_memo assert_scaling analysis =
   let jobs = resolve_jobs jobs in
   if no_memo then Sdf.Throughput.set_memoize false;
   match Mjpeg.Streams.by_name sequence with
@@ -434,17 +456,19 @@ let run_dse interconnect sequence max_tiles max_slices jobs deadline
           in
           if assert_scaling then
             run_dse_assert_scaling app ~interconnects ~tile_counts ~jobs
+              ~analysis
           else if
             deadline <> None || task_timeout <> None || retries <> None
             || checkpoint <> None || resume <> None
           then
             run_dse_anytime app ~interconnects ~tile_counts ~max_slices ~jobs
-              ~deadline ~task_timeout ~retries ~checkpoint ~resume
+              ~deadline ~task_timeout ~retries ~checkpoint ~resume ~analysis
           else begin
           let start = Exec.Clock.now () in
           let points, failures =
             Core.Dse.explore app ?tile_counts ~interconnects
-              ~options:Experiments.flow_options ~jobs ()
+              ~options:(Experiments.flow_options_with ~analysis ())
+              ~jobs ()
           in
           let seconds = Exec.Clock.elapsed_since start in
           Format.printf "%a@." Core.Dse.pp_table points;
@@ -586,7 +610,7 @@ let dse_cmd =
     Term.(
       const run_dse $ interconnect $ sequence $ max_tiles $ max_slices
       $ jobs_term $ deadline $ task_timeout $ retries $ checkpoint $ resume
-      $ no_memo_term $ assert_scaling)
+      $ no_memo_term $ assert_scaling $ analysis_term)
 
 (* --- profile ----------------------------------------------------------------- *)
 
@@ -608,7 +632,7 @@ let write_file path contents =
 (* flow + one fully-probed measurement of either the MJPEG case study or a
    seeded conformance workload *)
 let run_profile seed interconnect sequence passes iterations out_dir jobs
-    no_memo =
+    no_memo analysis =
   let jobs = resolve_jobs jobs in
   if no_memo then Sdf.Throughput.set_memoize false;
   let ( let* ) = Result.bind in
@@ -619,7 +643,10 @@ let run_profile seed interconnect sequence passes iterations out_dir jobs
         let w = Gen.Workload.generate ~seed () in
         let choice = Conformance.Engine.interconnect_for_seed seed in
         let* flow =
-          flow_err (Core.Design_flow.run_auto w.Gen.Workload.application choice ())
+          flow_err
+            (Core.Design_flow.run_auto w.Gen.Workload.application
+               ~options:{ Mapping.Flow_map.default_options with analysis }
+               choice ())
         in
         let iters = Option.value iterations ~default:50 in
         let* p = flow_err (Core.Design_flow.profile flow ~iterations:iters ()) in
@@ -638,7 +665,7 @@ let run_profile seed interconnect sequence passes iterations out_dir jobs
             let* flow =
               flow_err
                 (Core.Design_flow.run_auto app
-                   ~options:Experiments.flow_options
+                   ~options:(Experiments.flow_options_with ~analysis ())
                    (interconnect_of interconnect) ())
             in
             let iters =
@@ -758,7 +785,7 @@ let profile_cmd =
           firing and token transfer")
     Term.(
       const run_profile $ seed $ interconnect $ sequence $ passes $ iterations
-      $ out_dir $ jobs_term $ no_memo_term)
+      $ out_dir $ jobs_term $ no_memo_term $ analysis_term)
 
 (* --- experiments ------------------------------------------------------------------ *)
 
@@ -789,7 +816,8 @@ let experiments_cmd =
 
 (* --- conformance ------------------------------------------------------------- *)
 
-let run_conformance count base_seed out_dir replay jobs seed_timeout no_memo =
+let run_conformance count base_seed out_dir replay jobs seed_timeout no_memo
+    analysis =
   let jobs = resolve_jobs jobs in
   if no_memo then Sdf.Throughput.set_memoize false;
   let options =
@@ -797,6 +825,7 @@ let run_conformance count base_seed out_dir replay jobs seed_timeout no_memo =
       Conformance.Engine.default_options with
       seed_timeout;
       memo = not no_memo;
+      analysis;
     }
   in
   match replay with
@@ -869,7 +898,7 @@ let conformance_cmd =
           simulator against each other on seeded random SDF workloads")
     Term.(
       const run_conformance $ count $ base_seed $ out_dir $ replay
-      $ jobs_term $ seed_timeout $ no_memo_term)
+      $ jobs_term $ seed_timeout $ no_memo_term $ analysis_term)
 
 (* --- recover ----------------------------------------------------------------- *)
 

@@ -8,6 +8,7 @@ type options = {
   gen_config : W.config;
   seed_timeout : float option;
   memo : bool;
+  analysis : Sdf.Throughput.method_;
 }
 
 let default_options =
@@ -18,13 +19,18 @@ let default_options =
     gen_config = W.default_config;
     seed_timeout = None;
     memo = true;
+    analysis = `State_space;
   }
 
 (* the flow options a conformance run hands to every flow it builds:
-   defaults except for the analysis-cache switch, so cache-off runs
-   ([--no-memo]) stay byte-identical to cached ones *)
+   defaults except for the analysis-cache and analysis-method switches, so
+   cache-off runs ([--no-memo]) stay byte-identical to cached ones *)
 let flow_options options =
-  { Mapping.Flow_map.default_options with Mapping.Flow_map.memo = options.memo }
+  {
+    Mapping.Flow_map.default_options with
+    Mapping.Flow_map.memo = options.memo;
+    analysis = options.analysis;
+  }
 
 let interconnect_for_seed seed =
   if seed mod 2 = 0 then Arch.Template.Use_fsl Arch.Fsl.default
@@ -81,6 +87,33 @@ let check_workload ?(options = default_options) interconnect (w : W.t) =
               else
                 tightness :=
                   Some (Rational.to_float measured /. Rational.to_float g)));
+      (* Oracle 9: the symbolic (max,+)/MCM analysis reproduces the
+         state-space result on the mapped graph. Both methods run on the
+         same expansion and options the flow analysed; a state-space
+         non-verdict makes no claim. *)
+      (let module T = Sdf.Throughput in
+       let m = flow.Core.Design_flow.mapping in
+       let g = m.Mapping.Flow_map.expansion.Mapping.Comm_map.graph in
+       let exec_options = m.Mapping.Flow_map.exec_options in
+       let max_steps = m.Mapping.Flow_map.options.throughput_max_steps in
+       let analyse = if options.memo then T.analyse_memo else T.analyse in
+       let ss =
+         analyse ~options:exec_options ~max_steps ~method_:`State_space g
+       in
+       let mcm = analyse ~options:exec_options ~max_steps ~method_:`Mcm g in
+       match (ss, mcm) with
+       | T.Throughput { throughput = t1; _ }, T.Throughput { throughput = t2; _ }
+         ->
+           if not (Rational.equal t1 t2) then
+             add Analysis_agreement "mcm throughput %s, state space %s"
+               (Rational.to_string t2) (Rational.to_string t1)
+       | T.Deadlocked _, T.Deadlocked _ -> ()
+       | (T.Throughput _ | T.Deadlocked _), other ->
+           add Analysis_agreement
+             "state space returned %s but mcm returned %s"
+             (Format.asprintf "%a" T.pp_result ss)
+             (Format.asprintf "%a" T.pp_result other)
+       | (T.No_recurrence | T.Budget_exhausted _), _ -> ());
       (* Oracles 2-4 on the data-dependent run. *)
       (match measure () with
       | Error e -> add No_deadlock "%s" (flow_err e)

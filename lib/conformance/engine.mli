@@ -22,12 +22,17 @@ type options = {
       (** let the flows built by the oracles use the shared throughput
           analysis cache (default [true]; verdicts and reports are
           byte-identical either way — [--no-memo] turns it off) *)
+  analysis : Sdf.Throughput.method_;
+      (** throughput analysis method for the flows the oracles build
+          (default [`State_space]; the CLI's [--analysis] selects
+          [`Mcm]/[`Auto]). The {!Oracle.Analysis_agreement} check runs both
+          methods regardless, so any setting is cross-validated. *)
 }
 
 val default_options : options
 (** 12 iterations, a 2M-cycle watchdog, DSE on every 5th seed,
-    {!Gen.Workload.default_config} workloads, no per-seed timeout, and
-    the analysis cache on. *)
+    {!Gen.Workload.default_config} workloads, no per-seed timeout, the
+    analysis cache on, and state-space analysis. *)
 
 val interconnect_for_seed : int -> Arch.Template.interconnect_choice
 (** Even seeds map onto point-to-point FSL platforms, odd seeds onto the

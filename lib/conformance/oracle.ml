@@ -7,6 +7,7 @@ type t =
   | Pareto_consistency
   | Recovery
   | Seed_timeout
+  | Analysis_agreement
 
 let all =
   [
@@ -18,6 +19,7 @@ let all =
     Pareto_consistency;
     Recovery;
     Seed_timeout;
+    Analysis_agreement;
   ]
 
 let name = function
@@ -29,6 +31,7 @@ let name = function
   | Pareto_consistency -> "pareto-consistency"
   | Recovery -> "recovery"
   | Seed_timeout -> "seed-timeout"
+  | Analysis_agreement -> "analysis-agreement"
 
 let of_name s = List.find_opt (fun o -> name o = s) all
 
@@ -51,6 +54,9 @@ let describe = function
   | Seed_timeout ->
       "every seed's full oracle evaluation completes within its wall-clock \
        budget"
+  | Analysis_agreement ->
+      "symbolic (max,+)/MCM throughput analysis returns exactly the \
+       state-space result on the mapped graph"
 
 let pp ppf o = Format.pp_print_string ppf (name o)
 

@@ -31,6 +31,12 @@ type t =
           wall-clock budget ({!Engine.options.seed_timeout}); the
           violation means the workload hung or crawled, and the seed is
           reported with a reproducer instead of hanging the suite *)
+  | Analysis_agreement
+      (** the symbolic (max,+)/MCM analysis ({!Sdf.Mcm} over the
+          {!Sdf.Hsdf} expansion) returns {e exactly} the state-space
+          throughput on the mapped graph — same rational on a throughput
+          verdict, deadlock iff deadlock; state-space non-verdicts
+          ([No_recurrence]/[Budget_exhausted]) make no claim *)
 
 val all : t list
 val name : t -> string

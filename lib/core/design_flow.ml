@@ -188,6 +188,10 @@ let profile t ~iterations ?timing ?faults ?max_cycles () =
   Obs.Metrics.incr metrics ~by:ms.Sdf.Memo.hits "sdf.memo.hits";
   Obs.Metrics.incr metrics ~by:ms.Sdf.Memo.misses "sdf.memo.misses";
   Obs.Metrics.incr metrics ~by:ms.Sdf.Memo.evictions "sdf.memo.evictions";
+  let mcm = Sdf.Throughput.mcm_stats () in
+  Obs.Metrics.incr metrics ~by:mcm.Sdf.Throughput.runs "sdf.mcm.runs";
+  Obs.Metrics.incr metrics ~by:mcm.Sdf.Throughput.fallbacks
+    "sdf.mcm.fallbacks";
   Result.map
     (fun r ->
       {

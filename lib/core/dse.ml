@@ -81,20 +81,29 @@ let eval_point app options (choice, tile_count) =
           flow;
         }
 
-(* export the shared analysis cache's activity during one sweep: the
-   cache is process-wide, so per-run numbers are snapshot deltas *)
-let export_memo_delta m ~before =
+(* export the shared analysis machinery's activity during one sweep: the
+   cache and mcm counters are process-wide, so per-run numbers are
+   snapshot deltas *)
+let export_memo_delta m ~before ~mcm_before =
   let d = Sdf.Memo.delta ~before ~after:(Sdf.Throughput.memo_stats ()) in
   let open Obs.Metrics in
   incr m ~by:d.Sdf.Memo.hits "sdf.memo.hits";
   incr m ~by:d.Sdf.Memo.misses "sdf.memo.misses";
   incr m ~by:d.Sdf.Memo.evictions "sdf.memo.evictions";
-  gauge_set m "sdf.memo.entries" d.Sdf.Memo.size
+  gauge_set m "sdf.memo.entries" d.Sdf.Memo.size;
+  let mcm = Sdf.Throughput.mcm_stats () in
+  incr m
+    ~by:(mcm.Sdf.Throughput.runs - mcm_before.Sdf.Throughput.runs)
+    "sdf.mcm.runs";
+  incr m
+    ~by:(mcm.Sdf.Throughput.fallbacks - mcm_before.Sdf.Throughput.fallbacks)
+    "sdf.mcm.fallbacks"
 
 let explore app ?tile_counts ?interconnects ?options ?(jobs = 1) ?metrics () =
   let combos = sweep_combos app ?tile_counts ?interconnects () in
   let eval combo = eval_point app options combo in
   let memo_before = Sdf.Throughput.memo_stats () in
+  let mcm_before = Sdf.Throughput.mcm_stats () in
   let outcomes =
     (* [jobs <= 1] stays a plain loop — no pool, so the sweep can run
        inside a task of an outer pool (the conformance Pareto oracle) *)
@@ -115,7 +124,7 @@ let explore app ?tile_counts ?interconnects ?options ?(jobs = 1) ?metrics () =
           observe m "dse.point.us"
             (int_of_float (p.flow_seconds *. 1_000_000.)))
         points;
-      export_memo_delta m ~before:memo_before);
+      export_memo_delta m ~before:memo_before ~mcm_before);
   (points, failures)
 
 let dominates a b =
@@ -242,6 +251,7 @@ let explore_anytime app ?tile_counts ?interconnects ?options ?(jobs = 1)
   let ( let* ) = Result.bind in
   let combos = sweep_combos app ?tile_counts ?interconnects () in
   let memo_before = Sdf.Throughput.memo_stats () in
+  let mcm_before = Sdf.Throughput.mcm_stats () in
   let app_name = Application.name app in
   let combo_key (choice, tiles) = (interconnect_label choice, tiles) in
   let* prior =
@@ -412,7 +422,7 @@ let explore_anytime app ?tile_counts ?interconnects ?options ?(jobs = 1)
       incr m ~by:!timeouts "exec.task.timeouts";
       incr m ~by:!gave_up "exec.task.gave_up";
       incr m ~by:!retries "exec.task.retries";
-      export_memo_delta m ~before:memo_before);
+      export_memo_delta m ~before:memo_before ~mcm_before);
   Ok
     {
       a_summaries = summaries;

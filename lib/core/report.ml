@@ -184,6 +184,14 @@ let pp_profile ppf ((flow : Design_flow.t), (p : Design_flow.profile)) =
       List.iter
         (fun (name, v) -> fprintf ppf "  sdf.memo.%-19s %8d@," name v)
         (List.sort (fun (a, _) (b, _) -> String.compare a b) cs));
+  (* symbolic-analysis activity (sdf.mcm.* from the `Mcm/`Auto methods) *)
+  (match Obs.Metrics.with_prefix m "sdf.mcm" with
+  | [] -> ()
+  | cs ->
+      fprintf ppf "@,symbolic (max,+) analysis:@,";
+      List.iter
+        (fun (name, v) -> fprintf ppf "  sdf.mcm.%-20s %8d@," name v)
+        (List.sort (fun (a, _) (b, _) -> String.compare a b) cs));
   (* firing-latency histograms *)
   (match Obs.Metrics.histograms m with
   | [] -> ()

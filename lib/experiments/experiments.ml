@@ -15,6 +15,9 @@ let five_tile_binding =
 let flow_options =
   { Flow_map.default_options with fixed = five_tile_binding }
 
+let flow_options_with ?(analysis = `State_space) () =
+  { flow_options with Flow_map.analysis }
+
 let calibrated_mjpeg (seq : Mjpeg.Streams.sequence) =
   Mjpeg.Mjpeg_app.calibrated_application ~stream:seq.seq_stream
     ~calibration_stream:(Mjpeg.Streams.synthetic ()).Mjpeg.Streams.seq_stream
@@ -103,7 +106,7 @@ type ca_study = {
 let guarantee_of flow =
   Option.value ~default:Rational.zero flow.Core.Design_flow.guarantee
 
-let ca_study ?(pe_serialization_scale = 1) () =
+let ca_study ?(pe_serialization_scale = 1) ?analysis () =
   let seq = Mjpeg.Streams.synthetic () in
   let* app = calibrated_mjpeg seq in
   let tile_count = List.length (Application.actor_names app) in
@@ -134,7 +137,10 @@ let ca_study ?(pe_serialization_scale = 1) () =
                  { base with Arch.Tile.pe = Some slow_pe }))
           (Arch.Platform.Point_to_point Arch.Fsl.default)
     in
-    flow_err (Core.Design_flow.run app platform ~options:flow_options ())
+    flow_err
+      (Core.Design_flow.run app platform
+         ~options:(flow_options_with ?analysis ())
+         ())
   in
   let* baseline_flow = run ~with_ca:false in
   let* ca_flow = run ~with_ca:true in

@@ -13,6 +13,12 @@ val five_tile_binding : (string * int) list
 val flow_options : Mapping.Flow_map.options
 (** {!Mapping.Flow_map.default_options} with {!five_tile_binding} pinned. *)
 
+val flow_options_with :
+  ?analysis:Sdf.Throughput.method_ -> unit -> Mapping.Flow_map.options
+(** {!flow_options} with the throughput analysis method selected (default
+    [`State_space]) — how the CLI's [--analysis] flag and the benchmark's
+    mcm variants reach the experiment flows. *)
+
 val calibrated_mjpeg :
   Mjpeg.Streams.sequence -> (Appmodel.Application.t, string) result
 (** The MJPEG application for one test sequence, with WCETs calibrated on
@@ -58,7 +64,11 @@ type ca_study = {
   improvement_percent : int;
 }
 
-val ca_study : ?pe_serialization_scale:int -> unit -> (ca_study, string) result
+val ca_study :
+  ?pe_serialization_scale:int ->
+  ?analysis:Sdf.Throughput.method_ ->
+  unit ->
+  (ca_study, string) result
 (** Replace the (de-)serialization cost with the CA's and stop counting it
     towards the PE, as the paper does model-only; it reports up to +300%.
 
@@ -67,7 +77,9 @@ val ca_study : ?pe_serialization_scale:int -> unit -> (ca_study, string) result
     multiplies the Microblaze per-word handling cost: 1 is this
     reproduction's calibrated cost model; larger values model the
     handshake-heavy software communication of the original platform, which
-    is what produces improvements of the paper's magnitude. *)
+    is what produces improvements of the paper's magnitude.
+    [analysis] selects the throughput analysis method (default
+    [`State_space]); the guarantees are identical either way. *)
 
 (** {1 Section 5.3.1: NoC flow-control area} *)
 

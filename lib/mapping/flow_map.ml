@@ -16,6 +16,7 @@ type options = {
   buffer_growth_rounds : int;
   throughput_max_steps : int;
   memo : bool;
+  analysis : Throughput.method_;
 }
 
 let default_options =
@@ -29,6 +30,7 @@ let default_options =
     buffer_growth_rounds = 4;
     throughput_max_steps = 400_000;
     memo = true;
+    analysis = `State_space;
   }
 
 type error =
@@ -157,7 +159,7 @@ let analyse_once binding timed_graph platform noc_allocation options scale
   in
   let predicted =
     analyse ~options:exec_options ~max_steps:options.throughput_max_steps
-      expansion.Comm_map.graph
+      ~method_:options.analysis expansion.Comm_map.graph
   in
   Ok (expansion, schedules, exec_options, predicted)
 
@@ -300,7 +302,7 @@ let first_iteration_latency t =
   | Execution.Deadlocked | Execution.Out_of_budget -> None
 
 let reanalyse t ~times ?(max_steps = default_options.throughput_max_steps)
-    ?(memo = true) () =
+    ?(memo = true) ?(analysis = `State_space) () =
   let ( let* ) = Result.bind in
   let retimed =
     Graph.with_execution_times t.timed_graph (fun a ->
@@ -326,7 +328,9 @@ let reanalyse t ~times ?(max_steps = default_options.throughput_max_steps)
     }
   in
   let analyse = if memo then Throughput.analyse_memo else Throughput.analyse in
-  Ok (analyse ~options:exec_options ~max_steps expansion.Comm_map.graph)
+  Ok
+    (analyse ~options:exec_options ~max_steps ~method_:analysis
+       expansion.Comm_map.graph)
 
 let to_xml t =
   let module Xml = Xmlkit.Xml in

@@ -30,6 +30,10 @@ type options = {
           {!Sdf.Throughput.analyse_memo} cache (default [true]; results
           are byte-identical either way — the CLI's [--no-memo] clears
           this for measurement) *)
+  analysis : Sdf.Throughput.method_;
+      (** throughput analysis method (default [`State_space]; the CLI's
+          [--analysis] flag selects [`Mcm]/[`Auto] — any method returns the
+          same exact bound, see {!Sdf.Throughput}) *)
 }
 
 val default_options : options
@@ -110,13 +114,15 @@ val first_iteration_latency : t -> int option
     platform model. [None] if the model cannot complete an iteration. *)
 
 val reanalyse :
-  t -> times:(string -> int) -> ?max_steps:int -> ?memo:bool -> unit ->
+  t -> times:(string -> int) -> ?max_steps:int -> ?memo:bool ->
+  ?analysis:Sdf.Throughput.method_ -> unit ->
   (Sdf.Throughput.result, string) result
 (** Re-run the throughput analysis of an existing mapping with different
     application-actor execution times (by actor name) — binding, buffer
     sizes, schedules and communication parameters unchanged. This computes
     the paper's "expected" throughput: the SDF3 prediction fed with
-    measured instead of worst-case times (§6.1). *)
+    measured instead of worst-case times (§6.1). [analysis] selects the
+    method (default [`State_space]). *)
 
 val pp_summary : Format.formatter -> t -> unit
 

@@ -37,3 +37,87 @@ let to_file ?highlight g path =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string ?highlight g))
+
+(* HSDF rendering: instances cluster under their original actor, the MCM
+   critical cycle is drawn bold red. All rates are 1 in an expansion, so
+   only token counts label the edges. *)
+let hsdf_to_string ?(critical = []) (h : Hsdf.t) =
+  let g = h.Hsdf.graph in
+  let on_cycle = Array.make (Graph.actor_count g) false in
+  List.iter (fun id -> on_cycle.(id) <- true) critical;
+  let cycle_edges = Hashtbl.create 16 in
+  (match critical with
+  | [] -> ()
+  | head :: _ ->
+      let rec edges = function
+        | a :: (b :: _ as tl) ->
+            Hashtbl.replace cycle_edges (a, b) ();
+            edges tl
+        | [ last ] -> Hashtbl.replace cycle_edges (last, head) ()
+        | [] -> ()
+      in
+      edges critical);
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "digraph \"%s\" {\n" (escape (Graph.name g)));
+  Buffer.add_string b "  rankdir=LR;\n  node [shape=circle];\n";
+  let n_orig = Array.length h.Hsdf.first_instance in
+  for a = 0 to n_orig - 1 do
+    let count =
+      if a + 1 < n_orig then
+        h.Hsdf.first_instance.(a + 1) - h.Hsdf.first_instance.(a)
+      else Graph.actor_count g - h.Hsdf.first_instance.(a)
+    in
+    if count > 0 then begin
+      let first = h.Hsdf.first_instance.(a) in
+      let sample = (Graph.actor g first).Graph.actor_name in
+      let base =
+        match String.rindex_opt sample '#' with
+        | Some i -> String.sub sample 0 i
+        | None -> sample
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  subgraph \"cluster_%d\" {\n    label=\"%s\";\n" a
+           (escape base));
+      for i = 0 to count - 1 do
+        let id = first + i in
+        let actor = Graph.actor g id in
+        let style =
+          if on_cycle.(id) then
+            ", style=filled, fillcolor=lightpink, color=red"
+          else ""
+        in
+        Buffer.add_string b
+          (Printf.sprintf "    a%d [label=\"%s\\n%d\"%s];\n" id
+             (escape (Hsdf.instance_label h id))
+             actor.Graph.execution_time style)
+      done;
+      Buffer.add_string b "  }\n"
+    end
+  done;
+  List.iter
+    (fun (c : Graph.channel) ->
+      let tokens =
+        if c.initial_tokens > 0 then
+          Printf.sprintf "label=\"%d\"" c.initial_tokens
+        else ""
+      in
+      let accent =
+        if Hashtbl.mem cycle_edges (c.source, c.target) then
+          (if tokens = "" then "" else ", ") ^ "color=red, penwidth=2"
+        else ""
+      in
+      let attrs =
+        match tokens ^ accent with "" -> "" | s -> Printf.sprintf " [%s]" s
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  a%d -> a%d%s;\n" c.source c.target attrs))
+    (Graph.channels g);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let hsdf_to_file ?critical h path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (hsdf_to_string ?critical h))

@@ -7,3 +7,12 @@ val to_string : ?highlight:Graph.actor_id list -> Graph.t -> string
 (** A complete [digraph] document. [highlight] actors are drawn filled. *)
 
 val to_file : ?highlight:Graph.actor_id list -> Graph.t -> string -> unit
+
+val hsdf_to_string : ?critical:Graph.actor_id list -> Hsdf.t -> string
+(** Render an HSDF expansion: instances are grouped in one cluster per
+    original actor (labelled via {!Hsdf.instance_label}), and the [critical]
+    cycle — {!Mcm.cycle.cycle_actors} of the analysis witness — is drawn
+    filled with bold red edges (including the closing edge). Expansion edges
+    all carry rate 1, so only initial tokens are labelled. *)
+
+val hsdf_to_file : ?critical:Graph.actor_id list -> Hsdf.t -> string -> unit

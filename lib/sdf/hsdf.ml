@@ -1,0 +1,290 @@
+type instance = { original : Graph.actor_id; index : int }
+
+type t = {
+  graph : Graph.t;
+  instances : instance array;
+  first_instance : int array;
+  repetition : int array;
+}
+
+type error =
+  | Inconsistent of string
+  | Too_large of { instances : int; edges : int; limit : int }
+  | Unsupported of string
+
+let default_max_instances = 100_000
+
+let pp_error ppf = function
+  | Inconsistent msg -> Format.fprintf ppf "not consistent: %s" msg
+  | Too_large { instances; edges; limit } ->
+      Format.fprintf ppf
+        "expansion too large (%d instances, %d dependency edges, limit %d)"
+        instances edges limit
+  | Unsupported msg -> Format.fprintf ppf "unsupported: %s" msg
+
+(* Mathematical floor division, also exact for negative numerators:
+   token indices before the initial tokens fold into earlier iterations. *)
+let floor_div a b = if a >= 0 then a / b else -((-a + b - 1) / b)
+
+(* Saturating size arithmetic: anything past [cap] collapses to [cap + 1],
+   so the budget test cannot overflow no matter the rates. *)
+let cap_add cap acc v =
+  if v < 0 || v > cap || acc > cap - v then cap + 1 else acc + v
+
+let cap_mul cap a b = if b > 0 && a > cap / b then cap + 1 else a * b
+
+exception Reject of error
+
+(* Static orders are admissible only when each pass through the order is
+   exactly one iteration's worth of firings of its actors — which is what
+   {!Mapping.Order.micro_orders} produces, and what lets instance [i] of an
+   actor stand for occurrence [i] of every pass. *)
+let validate_resources (options : Execution.options) n q =
+  let resource_of = Array.make n (-1) in
+  let occurrences = Array.make n 0 in
+  try
+    List.iteri
+      (fun ri (r : Execution.resource_binding) ->
+        Array.iter
+          (fun a ->
+            if a < 0 || a >= n then
+              raise
+                (Reject
+                   (Unsupported
+                      (Printf.sprintf
+                         "static order of %S names unknown actor id %d"
+                         r.Execution.resource_name a)));
+            if resource_of.(a) >= 0 && resource_of.(a) <> ri then
+              raise
+                (Reject
+                   (Unsupported
+                      (Printf.sprintf "actor id %d is bound to two resources"
+                         a)));
+            resource_of.(a) <- ri;
+            occurrences.(a) <- occurrences.(a) + 1)
+          r.Execution.static_order)
+      options.Execution.resources;
+    Array.iteri
+      (fun a k ->
+        if k > 0 && k <> q.(a) then
+          raise
+            (Reject
+               (Unsupported
+                  (Printf.sprintf
+                     "static order fires actor id %d %d times per pass, its \
+                      repetition count is %d"
+                     a k q.(a)))))
+      occurrences;
+    Ok (Array.map (fun r -> r >= 0) resource_of)
+  with Reject e -> Error e
+
+let precheck ?(options = Execution.default_options)
+    ?(max_instances = default_max_instances) g =
+  if max_instances < 1 then invalid_arg "Hsdf: max_instances must be >= 1";
+  let n = Graph.actor_count g in
+  if n = 0 then Error (Unsupported "empty graph")
+  else if Option.is_some options.Execution.firing_time then
+    Error (Unsupported "firing-time override cannot be encoded structurally")
+  else if Option.is_some options.Execution.on_event then
+    Error (Unsupported "trace hooks need a real execution")
+  else
+    match options.Execution.auto_concurrency with
+    | Some k when k < 1 ->
+        Error (Unsupported "auto-concurrency degree must be >= 1")
+    | auto -> (
+        match Repetition.compute g with
+        | Repetition.Inconsistent c ->
+            Error
+              (Inconsistent
+                 (Printf.sprintf
+                    "balance equation of channel %S has no solution"
+                    c.Graph.channel_name))
+        | Repetition.Disconnected_actor a ->
+            Error
+              (Inconsistent
+                 (Printf.sprintf "actor %S has no channels" a.Graph.actor_name))
+        | Repetition.Consistent q -> (
+            match validate_resources options n q with
+            | Error e -> Error e
+            | Ok bound ->
+                let icap = max_instances in
+                let ecap =
+                  if max_instances > max_int / 16 then max_int / 2
+                  else 8 * max_instances
+                in
+                let instances =
+                  Array.fold_left (fun acc qa -> cap_add icap acc qa) 0 q
+                in
+                let edges =
+                  List.fold_left
+                    (fun acc (c : Graph.channel) ->
+                      cap_add ecap acc
+                        (cap_mul ecap q.(c.target) c.consumption_rate))
+                    0 (Graph.channels g)
+                in
+                let edges =
+                  match auto with
+                  | None -> edges
+                  | Some _ ->
+                      snd
+                        (Array.fold_left
+                           (fun (a, acc) qa ->
+                             ( a + 1,
+                               if bound.(a) then acc else cap_add ecap acc qa
+                             ))
+                           (0, edges) q)
+                in
+                let edges =
+                  List.fold_left
+                    (fun acc (r : Execution.resource_binding) ->
+                      cap_add ecap acc (Array.length r.static_order))
+                    edges options.Execution.resources
+                in
+                if instances > icap || edges > ecap then
+                  Error (Too_large { instances; edges; limit = max_instances })
+                else Ok (q, bound, instances)))
+
+let supported ?options ?max_instances g =
+  match precheck ?options ?max_instances g with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+(* Dependency-edge accumulator: edges are recorded in discovery order (so the
+   expanded graph is deterministic) and parallel edges between the same two
+   instances collapse to the fewest initial tokens — successive completions
+   of one instance are monotone in time, so the tightest edge dominates. *)
+type edge = {
+  esrc : int;
+  edst : int;
+  ename : string;
+  mutable edelta : int;
+}
+
+let expand ?(options = Execution.default_options)
+    ?(max_instances = default_max_instances) g =
+  match precheck ~options ~max_instances g with
+  | Error e -> Error e
+  | Ok (q, bound, total) ->
+      let n = Graph.actor_count g in
+      (* The engine's auto-concurrency bound, structurally: an additional
+         k-token self-loop on every actor not serialized by a resource.
+         Unlike {!Transform.constrain_auto_concurrency} this must not skip
+         actors that already have self-loops — the engine applies the bound
+         on top of any data self-loop, and so does the extra channel. *)
+      let aug =
+        match options.Execution.auto_concurrency with
+        | None -> g
+        | Some k ->
+            List.fold_left
+              (fun acc (a : Graph.actor) ->
+                if bound.(a.actor_id) then acc
+                else
+                  fst
+                    (Graph.add_channel acc
+                       ~name:
+                         (Transform.fresh_channel_name acc
+                            (a.actor_name ^ "__ac"))
+                       ~source:a.actor_id ~production_rate:1
+                       ~target:a.actor_id ~consumption_rate:1
+                       ~initial_tokens:k ~token_size:0 ()))
+              g (Graph.actors g)
+      in
+      let first = Array.make n 0 in
+      let off = ref 0 in
+      for a = 0 to n - 1 do
+        first.(a) <- !off;
+        off := !off + q.(a)
+      done;
+      let instances = Array.make total { original = 0; index = 0 } in
+      let hg = ref (Graph.empty (Graph.name g ^ "__hsdf")) in
+      for a = 0 to n - 1 do
+        let act = Graph.actor g a in
+        for i = 0 to q.(a) - 1 do
+          (* "<name>#<i>" is collision-free: instance indices hold no '#',
+             so the suffix after the last '#' determines both parts *)
+          let hg', id =
+            Graph.add_actor !hg
+              ~name:(Printf.sprintf "%s#%d" act.Graph.actor_name i)
+              ~execution_time:act.Graph.execution_time
+          in
+          instances.(id) <- { original = a; index = i };
+          hg := hg'
+        done
+      done;
+      let edge_index : (int * int, edge) Hashtbl.t =
+        Hashtbl.create (max 64 total)
+      in
+      let edge_order = ref [] in
+      let add_edge ~src ~dst ~name delta =
+        match Hashtbl.find_opt edge_index (src, dst) with
+        | Some e -> if delta < e.edelta then e.edelta <- delta
+        | None ->
+            let e = { esrc = src; edst = dst; ename = name; edelta = delta } in
+            Hashtbl.add edge_index (src, dst) e;
+            edge_order := e :: !edge_order
+      in
+      (* Token-dependency edges: consumer instance [i] of [c.target] consumes
+         tokens [i*r .. i*r+r-1]; token [K] is emitted by producer firing
+         [floor((K - d) / p)], folded onto an instance of the same iteration
+         with the iteration distance as initial tokens on the edge. *)
+      List.iter
+        (fun (c : Graph.channel) ->
+          let s = c.Graph.source and t = c.Graph.target in
+          let p = c.Graph.production_rate
+          and r = c.Graph.consumption_rate
+          and d = c.Graph.initial_tokens in
+          let qs = q.(s) in
+          for i = 0 to q.(t) - 1 do
+            for l = 0 to r - 1 do
+              let k0 = (i * r) + l in
+              let j_raw = floor_div (k0 - d) p in
+              let j0 =
+                let m = j_raw mod qs in
+                if m < 0 then m + qs else m
+              in
+              let delta = (j0 - j_raw) / qs in
+              add_edge ~src:(first.(s) + j0) ~dst:(first.(t) + i)
+                ~name:(Printf.sprintf "%s#%d_%d" c.Graph.channel_name j0 i)
+                delta
+            done
+          done)
+        (Graph.channels aug);
+      (* Static orders: occurrence [k] of a pass is one HSDF instance; a
+         zero-token chain serializes the pass in order and a one-token edge
+         closes the ring, exactly the engine's single-firing-in-flight
+         cyclic scheduler. *)
+      List.iteri
+        (fun ri (r : Execution.resource_binding) ->
+          let o = r.Execution.static_order in
+          let len = Array.length o in
+          if len > 0 then begin
+            let next = Array.make n 0 in
+            let ids =
+              Array.map
+                (fun a ->
+                  let i = next.(a) in
+                  next.(a) <- i + 1;
+                  first.(a) + i)
+                o
+            in
+            for k = 0 to len - 2 do
+              add_edge ~src:ids.(k) ~dst:ids.(k + 1)
+                ~name:(Printf.sprintf "__so__%d__%d" ri k)
+                0
+            done;
+            add_edge ~src:ids.(len - 1) ~dst:ids.(0)
+              ~name:(Printf.sprintf "__so__%d__ring" ri)
+              1
+          end)
+        options.Execution.resources;
+      List.iter
+        (fun e ->
+          hg :=
+            fst
+              (Graph.add_channel !hg ~name:e.ename ~source:e.esrc
+                 ~production_rate:1 ~target:e.edst ~consumption_rate:1
+                 ~initial_tokens:e.edelta ~token_size:0 ()))
+        (List.rev !edge_order);
+      Ok { graph = !hg; instances; first_instance = first; repetition = q }
+
+let instance_label t id = (Graph.actor t.graph id).Graph.actor_name

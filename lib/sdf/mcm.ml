@@ -1,0 +1,374 @@
+type cycle = {
+  cycle_actors : Graph.actor_id list;
+  cycle_time : int;
+  cycle_tokens : int;
+}
+
+type outcome =
+  | Ratio of { lambda : Rational.t; critical : cycle }
+  | Deadlock of cycle
+  | Acyclic
+
+exception Diverged
+
+(* Adjacency with parallel edges collapsed to the fewest tokens (the edge
+   time is the source's execution time, identical for parallel edges, so
+   the min-token edge strictly dominates both ratio and deadlock).
+   Deterministic order: first-seen per (src, dst), channels in id order. *)
+let build_adjacency g n =
+  let adj = Array.make n [] in
+  let seen : (int * int, int ref) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (c : Graph.channel) ->
+      let key = (c.Graph.source, c.Graph.target) in
+      match Hashtbl.find_opt seen key with
+      | Some w -> if c.Graph.initial_tokens < !w then w := c.Graph.initial_tokens
+      | None ->
+          let w = ref c.Graph.initial_tokens in
+          Hashtbl.add seen key w;
+          adj.(c.Graph.source) <- (c.Graph.target, w) :: adj.(c.Graph.source))
+    (Graph.channels g);
+  Array.map (fun l -> List.rev_map (fun (dst, w) -> (dst, !w)) l |> List.rev)
+    adj
+
+(* Iterative DFS for a cycle of token-free edges; such a cycle can never
+   fire and is the structural image of an execution deadlock. *)
+let find_zero_cycle adj n =
+  let zero_succ u = List.filter_map (fun (v, w) -> if w = 0 then Some v else None) adj.(u) in
+  let color = Array.make n 0 in
+  let result = ref None in
+  (try
+     for root = 0 to n - 1 do
+       if color.(root) = 0 then begin
+         color.(root) <- 1;
+         let stack = ref [ (root, ref (zero_succ root)) ] in
+         while !stack <> [] do
+           let u, rest = List.hd !stack in
+           match !rest with
+           | [] ->
+               color.(u) <- 2;
+               stack := List.tl !stack
+           | v :: tl ->
+               rest := tl;
+               if color.(v) = 0 then begin
+                 color.(v) <- 1;
+                 stack := (v, ref (zero_succ v)) :: !stack
+               end
+               else if color.(v) = 1 then begin
+                 (* grey target: the stack spells the path v … u *)
+                 let rec take acc = function
+                   | x :: tl -> if x = v then x :: acc else take (x :: acc) tl
+                   | [] -> acc
+                 in
+                 result := Some (take [] (List.map fst !stack));
+                 raise Exit
+               end
+         done
+       end
+     done
+   with Exit -> ());
+  !result
+
+(* Iterative Tarjan (the recursive one in {!Analysis} would overflow the OCaml
+   stack on chain-shaped HSDF graphs with 10^5 instances). Components come
+   out in deterministic order. *)
+let strongly_connected adj n =
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let comps = ref [] in
+  let discover v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true
+  in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      discover root;
+      let call = ref [ (root, ref adj.(root)) ] in
+      while !call <> [] do
+        let u, rest = List.hd !call in
+        match !rest with
+        | [] ->
+            call := List.tl !call;
+            (match !call with
+            | (p, _) :: _ -> if low.(u) < low.(p) then low.(p) <- low.(u)
+            | [] -> ());
+            if low.(u) = index.(u) then begin
+              let rec pop acc =
+                match !stack with
+                | v :: tl ->
+                    stack := tl;
+                    on_stack.(v) <- false;
+                    if v = u then v :: acc else pop (v :: acc)
+                | [] -> assert false
+              in
+              comps := pop [] :: !comps
+            end
+        | (v, _) :: tl ->
+            rest := tl;
+            if index.(v) < 0 then begin
+              discover v;
+              call := (v, ref adj.(v)) :: !call
+            end
+            else if on_stack.(v) then
+              if index.(v) < low.(u) then low.(u) <- index.(v)
+      done
+    end
+  done;
+  List.rev !comps
+
+(* Scratch arrays shared by every [howard] call of one analysis: component
+   member sets are disjoint, so per-node state can live in full-size arrays
+   without clearing between components. *)
+type scratch = {
+  intra : (int * int) list array;  (** intra-component successors *)
+  lam_num : int array;  (** current cycle ratio, normalized numerator *)
+  lam_den : int array;  (** … and denominator (> 0) *)
+  x : int array;  (** potential, scaled by the node's [lam_den] *)
+  pol_dst : int array;  (** policy successor *)
+  pol_w : int array;  (** policy edge tokens *)
+  state : int array;  (** value-determination DFS colour *)
+}
+
+let make_scratch n =
+  {
+    intra = Array.make n [];
+    lam_num = Array.make n 0;
+    lam_den = Array.make n 1;
+    x = Array.make n 0;
+    pol_dst = Array.make n 0;
+    pol_w = Array.make n 0;
+    state = Array.make n 0;
+  }
+
+(* Howard's policy iteration restricted to one strongly connected component.
+   Returns the component's maximum cycle ratio and a witness cycle; the
+   fixpoint is accepted only with the optimality certificate
+   x(u) >= t(u) - lambda*w(e) + x(v) on every component edge, which proves
+   lambda dominates every cycle ratio while the witness realises it.
+
+   All arithmetic is integral and exact: lambda lives as a normalized
+   num/den pair and the potential x is kept scaled by den, so the (max,+)
+   edge value t(u) - lambda*w + x(v) becomes den*t(u) - num*w + x(v).
+   Potentials are only ever compared between nodes whose lambdas are equal
+   (same normalized pair, hence same scale), which keeps the scaled
+   comparison exact. A magnitude precheck rejects components whose scaled
+   potentials could overflow [int] (raising {!Diverged}, so callers fall
+   back to the state space). *)
+let howard ~time ~adj ~comp ~cid ~scratch members =
+  let size = Array.length members in
+  let { intra; lam_num; lam_den; x; pol_dst; pol_w; state } = scratch in
+  let sum_t = ref 0 and sum_w = ref 0 and tmax = ref 0 and wmax = ref 0 in
+  Array.iter
+    (fun u ->
+      let succs =
+        List.filter (fun (v, _) -> comp.(v) = cid) adj.(u)
+      in
+      intra.(u) <- succs;
+      sum_t := !sum_t + time.(u);
+      if time.(u) > !tmax then tmax := time.(u);
+      List.iter
+        (fun (_, w) ->
+          sum_w := !sum_w + w;
+          if w > !wmax then wmax := w)
+        succs;
+      match succs with
+      | (v, w) :: _ ->
+          pol_dst.(u) <- v;
+          pol_w.(u) <- w
+      | [] -> raise Diverged)
+    members;
+  (* |x| <= size * (den*tmax + num*wmax) with num <= sum_t, den <= sum_w;
+     cross-multiplied lambda comparisons are bounded by sum_t * sum_w *)
+  let bound =
+    float_of_int size
+    *. ((float_of_int !sum_w *. float_of_int !tmax)
+       +. (float_of_int !sum_t *. float_of_int (Stdlib.max 1 !wmax)))
+  in
+  if bound > 4.0e18 then raise Diverged;
+  (* strictly larger ratio; den > 0 on both sides *)
+  let lam_gt nu du nv dv = nu * dv > nv * du in
+  let cycles = ref [] in
+  let value_determination () =
+    cycles := [];
+    Array.iter (fun u -> state.(u) <- 0) members;
+    Array.iter
+      (fun u0 ->
+        if state.(u0) = 0 then begin
+          let path = ref [] in
+          let u = ref u0 in
+          while state.(!u) = 0 do
+            state.(!u) <- 1;
+            path := !u :: !path;
+            u := pol_dst.(!u)
+          done;
+          if state.(!u) = 1 then begin
+            (* a new policy cycle rooted at !u *)
+            let rec take acc = function
+              | v :: tl -> if v = !u then v :: acc else take (v :: acc) tl
+              | [] -> assert false
+            in
+            let cyc = take [] !path in
+            let ct = List.fold_left (fun a v -> a + time.(v)) 0 cyc in
+            let cw = List.fold_left (fun a v -> a + pol_w.(v)) 0 cyc in
+            if cw <= 0 then raise Diverged;
+            let lamc = Rational.make ct cw in
+            let num = Rational.numerator lamc
+            and den = Rational.denominator lamc in
+            cycles := (cyc, ct, cw) :: !cycles;
+            let root = !u in
+            lam_num.(root) <- num;
+            lam_den.(root) <- den;
+            x.(root) <- 0;
+            state.(root) <- 2;
+            List.iter
+              (fun v ->
+                if v <> root then begin
+                  lam_num.(v) <- num;
+                  lam_den.(v) <- den;
+                  x.(v) <-
+                    (den * time.(v)) - (num * pol_w.(v)) + x.(pol_dst.(v));
+                  state.(v) <- 2
+                end)
+              (List.rev cyc)
+          end;
+          (* the tail leading into the (now settled) region, latest first *)
+          List.iter
+            (fun v ->
+              if state.(v) = 1 then begin
+                let succ = pol_dst.(v) in
+                let num = lam_num.(succ) and den = lam_den.(succ) in
+                lam_num.(v) <- num;
+                lam_den.(v) <- den;
+                x.(v) <- (den * time.(v)) - (num * pol_w.(v)) + x.(succ);
+                state.(v) <- 2
+              end)
+            !path
+        end)
+      members
+  in
+  let improve () =
+    let changed = ref false in
+    (* phase 1: chase a larger reachable cycle ratio *)
+    Array.iter
+      (fun u ->
+        let bn = ref lam_num.(u) and bd = ref lam_den.(u) in
+        let best_edge = ref (-1) and best_w = ref 0 in
+        List.iter
+          (fun (v, w) ->
+            if lam_gt lam_num.(v) lam_den.(v) !bn !bd then begin
+              bn := lam_num.(v);
+              bd := lam_den.(v);
+              best_edge := v;
+              best_w := w
+            end)
+          intra.(u);
+        if !best_edge >= 0 then begin
+          pol_dst.(u) <- !best_edge;
+          pol_w.(u) <- !best_w;
+          changed := true
+        end)
+      members;
+    if !changed then true
+    else begin
+      (* phase 2: same ratio, later start — improve the potential. The
+         scaled comparison is exact: equal lambda means equal scale. *)
+      Array.iter
+        (fun u ->
+          let num = lam_num.(u) and den = lam_den.(u) in
+          let best = ref x.(u) in
+          let best_edge = ref (-1) and best_w = ref 0 in
+          List.iter
+            (fun (v, w) ->
+              if lam_num.(v) = num && lam_den.(v) = den then begin
+                let value = (den * time.(u)) - (num * w) + x.(v) in
+                if value > !best then begin
+                  best := value;
+                  best_edge := v;
+                  best_w := w
+                end
+              end)
+            intra.(u);
+          if !best_edge >= 0 then begin
+            pol_dst.(u) <- !best_edge;
+            pol_w.(u) <- !best_w;
+            changed := true
+          end)
+        members;
+      !changed
+    end
+  in
+  let max_iterations = 1000 + (10 * size) in
+  value_determination ();
+  let iterations = ref 0 in
+  while improve () do
+    incr iterations;
+    if !iterations > max_iterations then raise Diverged;
+    value_determination ()
+  done;
+  let num = lam_num.(members.(0)) and den = lam_den.(members.(0)) in
+  (* certificate: lambda uniform and the potential dominates every edge *)
+  Array.iter
+    (fun u ->
+      if lam_num.(u) <> num || lam_den.(u) <> den then raise Diverged;
+      List.iter
+        (fun (v, w) ->
+          if x.(u) < (den * time.(u)) - (num * w) + x.(v) then raise Diverged)
+        intra.(u))
+    members;
+  match List.rev !cycles with
+  | (cyc, ct, cw) :: _ ->
+      ( Rational.make num den,
+        { cycle_actors = cyc; cycle_time = ct; cycle_tokens = cw } )
+  | [] -> raise Diverged
+
+let max_cycle_ratio g =
+  let n = Graph.actor_count g in
+  if n = 0 then Acyclic
+  else begin
+    let time = Array.init n (fun a -> (Graph.actor g a).Graph.execution_time) in
+    let adj = build_adjacency g n in
+    match find_zero_cycle adj n with
+    | Some actors ->
+        Deadlock
+          {
+            cycle_actors = actors;
+            cycle_time = List.fold_left (fun a v -> a + time.(v)) 0 actors;
+            cycle_tokens = 0;
+          }
+    | None ->
+        let comps = strongly_connected adj n in
+        let comp = Array.make n 0 in
+        List.iteri
+          (fun ci members -> List.iter (fun v -> comp.(v) <- ci) members)
+          comps;
+        let best = ref None in
+        let scratch = make_scratch n in
+        List.iteri
+          (fun ci members ->
+            let members = Array.of_list members in
+            Array.sort compare members;
+            let cyclic =
+              Array.length members > 1
+              || List.exists
+                   (fun (v, _) -> v = members.(0))
+                   adj.(members.(0))
+            in
+            if cyclic then begin
+              let lambda, witness =
+                howard ~time ~adj ~comp ~cid:ci ~scratch members
+              in
+              match !best with
+              | Some (l, _) when Rational.compare lambda l <= 0 -> ()
+              | _ -> best := Some (lambda, witness)
+            end)
+          comps;
+        (match !best with
+        | None -> Acyclic
+        | Some (lambda, critical) -> Ratio { lambda; critical })
+  end

@@ -1,0 +1,51 @@
+(** Maximum cycle ratio of an HSDF token-dependency graph.
+
+    For an HSDF graph (every rate 1, see {!Hsdf}) executing self-timed, the
+    asymptotic iteration period equals the {e maximum cycle ratio}
+
+    {v λ* = max over cycles C of (Σ execution times on C) / (Σ initial tokens on C) v}
+
+    and the worst-case throughput is [1/λ*] iterations per cycle — the
+    (max,+) spectral radius of the graph. A cycle without initial tokens can
+    never fire and means deadlock; a graph without cycles has no recurrent
+    constraint at all.
+
+    The ratio is computed per strongly connected component with Howard's
+    policy iteration (Cochet-Terrasson et al., 1998) in exact {!Rational}
+    arithmetic — generally linear-time-per-iteration with very few
+    iterations in practice. Every accepted fixpoint is checked against the
+    (max,+) optimality certificate (a node potential [x] with
+    [x(u) ≥ t(u) − λ·w(e) + x(v)] for every edge [u→v] in the component),
+    which proves [λ] is an upper bound on every cycle ratio; since [λ] is
+    also realised by a concrete cycle, the returned value is exactly λ* —
+    the certificate turns any convergence subtlety into a loud failure
+    instead of a silently wrong bound. *)
+
+type cycle = {
+  cycle_actors : Graph.actor_id list;
+      (** the witness cycle, in edge order (closing edge back to the head) *)
+  cycle_time : int;  (** Σ execution times of the actors on the cycle *)
+  cycle_tokens : int;  (** Σ initial tokens on the cycle's edges *)
+}
+
+type outcome =
+  | Ratio of { lambda : Rational.t; critical : cycle }
+      (** [lambda = cycle_time / cycle_tokens] of the critical cycle, the
+          maximum over all cycles; [Rational.zero] when every cycle is
+          token-guarded but zero-time *)
+  | Deadlock of cycle  (** a cycle without initial tokens: nothing fires *)
+  | Acyclic  (** no cycle at all: no recurrent throughput constraint *)
+
+exception Diverged
+(** Policy iteration exceeded its iteration budget or a fixpoint failed the
+    optimality certificate. Neither has ever a right to happen; callers
+    treat it like {!Rational.Overflow} and fall back to the state-space
+    analysis rather than report an unproven bound. *)
+
+val max_cycle_ratio : Graph.t -> outcome
+(** Exact maximum cycle ratio. Uses each edge's source execution time as the
+    edge's time weight and the edge's initial tokens as its token weight;
+    production/consumption rates are ignored (the input is expected to be
+    homogeneous — expand first, see {!Hsdf.expand}).
+    @raise Diverged see above
+    @raise Rational.Overflow when the exact potentials exceed native ints *)

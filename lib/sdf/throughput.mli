@@ -1,12 +1,26 @@
 (** Worst-case throughput analysis.
 
-    Implements the state-space approach of Ghamarian et al. (ACSD 2006) as
-    used by SDF3: execute the graph self-timed under worst-case execution
-    times; because the timed execution is deterministic and (for a
-    consistent, resource-constrained graph) has finitely many states, it
-    eventually revisits a state. The executions between two visits form the
-    periodic phase; throughput is the number of graph iterations completed
-    in one period divided by the period length.
+    Two interchangeable methods compute the same exact bound:
+
+    - {b [`State_space]} — Ghamarian et al.'s approach (ACSD 2006) as used
+      by SDF3: execute the graph self-timed under worst-case execution
+      times; because the timed execution is deterministic and (for a
+      consistent, resource-constrained graph) has finitely many states, it
+      eventually revisits a state. The executions between two visits form
+      the periodic phase; throughput is the number of graph iterations
+      completed in one period divided by the period length.
+    - {b [`Mcm]} — symbolic (max,+): expand to HSDF ({!Hsdf}, with the
+      auto-concurrency and static-order restrictions encoded structurally)
+      and take the maximum cycle ratio ({!Mcm}); the worst-case throughput
+      is its reciprocal, with no state space to walk. On the analyses the
+      expansion supports, the returned rational is {e exactly equal} to the
+      state-space one — a conformance oracle and a property test pin that
+      equivalence. Graphs or options the expansion cannot encode fall back
+      to the state space (counted in {!mcm_stats}).
+    - {b [`Auto]} — [`Mcm] when the expansion precheck admits the input,
+      [`State_space]-by-fallback otherwise. [`Mcm] and [`Auto] currently
+      resolve identically; [`Mcm] states intent, [`Auto] is for callers
+      that just want the fastest sound method.
 
     Throughput is expressed in {e graph iterations per clock cycle}; the
     paper's case study reports the same quantity as "MCUs per cycle" since
@@ -30,15 +44,26 @@ type result =
           (inconsistent/unbounded auto-concurrency) or the budget was too
           small — a budget problem, not a verdict about the graph *)
 
+type method_ = [ `State_space | `Mcm | `Auto ]
+(** Analysis method selection, see the module preamble. Defaults to
+    [`State_space] everywhere, keeping historical outputs bit-identical;
+    the CLI's [--analysis] flag and {!Mapping.Flow_map.options} opt in. *)
+
 val analyse :
-  ?options:Execution.options -> ?max_steps:int -> Graph.t -> result
+  ?options:Execution.options ->
+  ?max_steps:int ->
+  ?method_:method_ ->
+  Graph.t ->
+  result
 (** [analyse g] explores at most [max_steps] (default [200_000]) clock
     advances and returns {!Budget_exhausted} when that budget is hit.
     [options] carries resource bindings and static orders so that
     the analysis models the mapped platform; its [firing_time] must be
     deterministic. The step loop polls {!Exec.Budget.check} every 1024
     steps, so an ambient deadline or cancellation token interrupts the
-    analysis by raising {!Exec.Budget.Expired}. *)
+    analysis by raising {!Exec.Budget.Expired}. With [`Mcm]/[`Auto] the
+    symbolic path runs instead when {!Hsdf.supported} admits the input
+    ([max_steps] then only bounds a run-time fallback). *)
 
 (** {1 Memoized front-end}
 
@@ -53,12 +78,20 @@ val analyse :
     across [Dse.explore]/conformance calls in one process. *)
 
 val analyse_memo :
-  ?options:Execution.options -> ?max_steps:int -> Graph.t -> result
+  ?options:Execution.options ->
+  ?max_steps:int ->
+  ?method_:method_ ->
+  Graph.t ->
+  result
 (** Like {!analyse} but cached. The ambient {!Exec.Budget} is polled
     once on entry (as a cold analysis would at step 0), so a warm
     cache cannot make a budgeted task uninterruptible; on a miss the
     underlying analysis polls as usual and an expiry caches
-    nothing. *)
+    nothing. The {e resolved} method joins the key — [`Auto]/[`Mcm]
+    resolve via the cheap {!Hsdf.supported} precheck before lookup, so
+    the two methods never share entries and resolution costs no
+    expansion on a hit; state-space keys are unchanged from earlier
+    releases. *)
 
 val set_memoize : bool -> unit
 (** Process-wide kill switch (the CLI's [--no-memo]): when [false],
@@ -73,6 +106,21 @@ val memo_stats : unit -> Memo.stats
 val memo_clear : unit -> unit
 (** Drop all cached results (counters are kept). Used by benchmarks to
     measure cold-cache behaviour. *)
+
+type mcm_stats = { runs : int; fallbacks : int }
+
+val mcm_stats : unit -> mcm_stats
+(** Process-wide counters of the symbolic path: [runs] symbolic analyses
+    actually performed (cache misses resolved to [`Mcm]), [fallbacks]
+    requests for [`Mcm]/[`Auto] that ran the state space instead (expansion
+    precheck rejection, certificate failure, or exact-arithmetic overflow).
+    Exported as [sdf.mcm.*] in {!Obs.Metrics}. *)
+
+val to_rational_opt : result -> Rational.t option
+(** Total projection: the throughput value, {!Rational.zero} for deadlock,
+    [None] when the analysis did not produce a verdict ([No_recurrence],
+    [Budget_exhausted]). Prefer this over {!to_rational} wherever a missing
+    verdict is an expected outcome rather than a caller bug. *)
 
 val to_rational : result -> Rational.t
 (** Throughput value; {!Rational.zero} for deadlock.

@@ -1,3 +1,18 @@
+let uniquify ~taken name =
+  if not (taken name) then name
+  else
+    let rec go i =
+      let candidate = Printf.sprintf "%s~%d" name i in
+      if taken candidate then go (i + 1) else candidate
+    in
+    go 1
+
+let fresh_actor_name g name =
+  uniquify ~taken:(fun n -> Graph.find_actor g n <> None) name
+
+let fresh_channel_name g name =
+  uniquify ~taken:(fun n -> Graph.find_channel g n <> None) name
+
 let constrain_auto_concurrency g ~degree =
   if degree < 1 then
     invalid_arg "Transform.constrain_auto_concurrency: degree must be >= 1";
@@ -49,7 +64,8 @@ let merge a b =
     List.fold_left
       (fun acc (x : Graph.actor) ->
         fst
-          (Graph.add_actor acc ~name:x.actor_name
+          (Graph.add_actor acc
+             ~name:(fresh_actor_name acc x.actor_name)
              ~execution_time:x.execution_time))
       a (Graph.actors b)
   in
@@ -57,7 +73,8 @@ let merge a b =
     List.fold_left
       (fun acc (c : Graph.channel) ->
         fst
-          (Graph.add_channel acc ~name:c.channel_name
+          (Graph.add_channel acc
+             ~name:(fresh_channel_name acc c.channel_name)
              ~source:(c.source + offset) ~production_rate:c.production_rate
              ~target:(c.target + offset)
              ~consumption_rate:c.consumption_rate

@@ -1,5 +1,16 @@
 (** Structural graph transformations shared by the mapping stage. *)
 
+val uniquify : taken:(string -> bool) -> string -> string
+(** [uniquify ~taken name] is [name] when [taken name] is false, otherwise
+    the first of ["name~1"], ["name~2"], … that [taken] rejects. The
+    suffixing scheme shared by {!merge} and the HSDF instance naming. *)
+
+val fresh_actor_name : Graph.t -> string -> string
+(** A name no actor of the graph carries yet, per {!uniquify}. *)
+
+val fresh_channel_name : Graph.t -> string -> string
+(** A name no channel of the graph carries yet, per {!uniquify}. *)
+
 val constrain_auto_concurrency : Graph.t -> degree:int -> Graph.t
 (** Add a self-loop with [degree] initial tokens to every actor that has no
     self-loop yet, so that at most [degree] firings of an actor overlap.
@@ -17,5 +28,7 @@ val relabel_actors : Graph.t -> prefix:string -> Graph.t
     inside another. *)
 
 val merge : Graph.t -> Graph.t -> Graph.t * (Graph.actor_id -> Graph.actor_id)
-(** [merge a b] is a graph containing both (names must not clash) together
-    with the translation of [b]'s actor ids. *)
+(** [merge a b] is a graph containing both, together with the translation of
+    [b]'s actor ids. Actor and channel names of [b] that clash with names
+    already present are auto-disambiguated with a ["~n"] suffix (see
+    {!uniquify}); ids are never renumbered, only names. *)

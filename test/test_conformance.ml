@@ -141,7 +141,7 @@ let test_oracle_names_roundtrip () =
       | Some o' when o' = o -> ()
       | _ -> Alcotest.failf "oracle name %S does not round-trip" (Oracle.name o))
     Oracle.all;
-  check int "eight oracles" 8 (List.length Oracle.all)
+  check int "nine oracles" 9 (List.length Oracle.all)
 
 let () =
   Alcotest.run "conformance"

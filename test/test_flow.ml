@@ -315,6 +315,61 @@ let test_figure6_live_matches_csv () =
           check bool "live measurement at or above the committed bound" true
             (Core.Report.mcus_per_mhz_second m >= pinned_worst_case))
 
+(* --- symbolic (max,+) analysis cross-checks ------------------------------- *)
+
+let test_mcm_matches_figure6_csv () =
+  (* the MCM guarantee on the calibrated MJPEG mapping must equal the
+     state-space guarantee exactly and reproduce the committed figure-6
+     worst case *)
+  let seq = Mjpeg.Streams.synthetic () in
+  match Experiments.calibrated_mjpeg seq with
+  | Error e -> Alcotest.fail e
+  | Ok app -> (
+      let run analysis =
+        match
+          Core.Design_flow.run_auto app
+            ~options:(Experiments.flow_options_with ~analysis ())
+            (Arch.Template.Use_fsl Arch.Fsl.default) ()
+        with
+        | Ok flow -> flow.Core.Design_flow.guarantee
+        | Error e -> Alcotest.fail (Core.Flow_error.to_string e)
+      in
+      match (run `Mcm, run `State_space) with
+      | Some mcm, Some ss ->
+          check bool "mcm equals state space exactly" true
+            (Rational.equal mcm ss);
+          check (Alcotest.float 1e-6) "mcm guarantee equals the committed CSV"
+            pinned_worst_case
+            (Core.Report.mcus_per_mhz_second mcm)
+      | _ -> Alcotest.fail "expected guarantees from both methods")
+
+let test_analysis_methods_agree_on_workloads () =
+  (* the conformance analysis-agreement property pinned on fixed seeds:
+     through the full flow, both analysis methods produce the same exact
+     guarantee on generated workloads *)
+  for seed = 0 to 11 do
+    let w = Gen.Workload.generate ~seed () in
+    let run analysis =
+      Core.Design_flow.run_auto w.Gen.Workload.application
+        ~options:{ Mapping.Flow_map.default_options with analysis }
+        (Arch.Template.Use_fsl Arch.Fsl.default)
+        ()
+    in
+    match (run `State_space, run `Mcm) with
+    | Ok a, Ok b -> (
+        match (a.Core.Design_flow.guarantee, b.Core.Design_flow.guarantee) with
+        | Some x, Some y ->
+            if not (Rational.equal x y) then
+              Alcotest.failf "seed %d: state space %s, mcm %s" seed
+                (Rational.to_string x) (Rational.to_string y)
+        | None, None -> ()
+        | Some _, None | None, Some _ ->
+            Alcotest.failf "seed %d: methods disagree about convergence" seed)
+    | Error e, _ | _, Error e ->
+        Alcotest.failf "seed %d: flow failed: %s" seed
+          (Core.Flow_error.to_string e)
+  done
+
 let test_ca_study () =
   match Experiments.ca_study () with
   | Error e -> Alcotest.fail e
@@ -573,6 +628,10 @@ let () =
           Alcotest.test_case "figure 6 guarantee" `Slow test_figure6_row_guarantee;
           Alcotest.test_case "figure 6 csv pinned" `Quick
             test_figure6_csv_pinned;
+          Alcotest.test_case "figure 6 mcm matches csv" `Slow
+            test_mcm_matches_figure6_csv;
+          Alcotest.test_case "analysis methods agree on workloads" `Quick
+            test_analysis_methods_agree_on_workloads;
           Alcotest.test_case "figure 6 live matches csv" `Slow
             test_figure6_live_matches_csv;
           Alcotest.test_case "ca study" `Slow test_ca_study;

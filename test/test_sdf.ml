@@ -8,7 +8,11 @@ let string = Alcotest.string
 let rational =
   Alcotest.testable (fun ppf r -> Rational.pp ppf r) Rational.equal
 
-let throughput_of result = Throughput.to_rational result
+let throughput_of result =
+  match Throughput.to_rational_opt result with
+  | Some r -> r
+  | None ->
+      Alcotest.failf "no throughput verdict: %a" Throughput.pp_result result
 
 (* --- Rational ---------------------------------------------------------- *)
 
@@ -593,6 +597,255 @@ let test_merge () =
   check int "channels" 3 (Graph.channel_count merged);
   check string "translated actor" "A" (Graph.actor merged (translate 0)).actor_name
 
+(* Regression: merging graphs with overlapping names used to raise
+   [Graph.add_actor: duplicate actor name]; clashes now auto-disambiguate
+   with the shared "~n" suffix machinery. *)
+let test_merge_name_clash () =
+  let g, _ = Tgraphs.pipeline ~times:[ 1; 2 ] in
+  let merged, translate = Transform.merge g g in
+  check int "actors doubled" 4 (Graph.actor_count merged);
+  check int "channels doubled" 2 (Graph.channel_count merged);
+  check string "original keeps its name" "p0" (Graph.actor merged 0).actor_name;
+  check string "clash suffixed" "p0~1"
+    (Graph.actor merged (translate 0)).actor_name;
+  (match Graph.validate merged with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "merged graph invalid: %s" e);
+  (* triple merge exercises suffix-on-suffix clashes *)
+  let merged2, _ = Transform.merge merged g in
+  check int "triple merge" 6 (Graph.actor_count merged2);
+  match Graph.validate merged2 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "triple merge invalid: %s" e
+
+let test_uniquify () =
+  let taken n = List.mem n [ "x"; "x~1"; "x~2" ] in
+  check string "free name untouched" "y" (Transform.uniquify ~taken "y");
+  check string "first free suffix" "x~3" (Transform.uniquify ~taken "x")
+
+(* --- HSDF expansion and MCM ------------------------------------------------ *)
+
+let expand_exn ?options ?max_instances g =
+  match Hsdf.expand ?options ?max_instances g with
+  | Ok h -> h
+  | Error e -> Alcotest.failf "expand: %a" Hsdf.pp_error e
+
+let test_hsdf_figure2 () =
+  let g, a, b, c = Tgraphs.figure2 () in
+  let h = expand_exn g in
+  check int "one instance per firing" 4 (Graph.actor_count h.Hsdf.graph);
+  check (Alcotest.array int) "repetition" [| 1; 2; 1 |] h.Hsdf.repetition;
+  check int "B instances start" 1 h.Hsdf.first_instance.(b);
+  check string "instance label" "B#1" (Hsdf.instance_label h 2);
+  check bool "provenance" true
+    (h.Hsdf.instances.(2) = { Hsdf.original = b; index = 1 });
+  check bool "homogeneous" true
+    (List.for_all
+       (fun (c : Graph.channel) ->
+         c.production_rate = 1 && c.consumption_rate = 1)
+       (Graph.channels h.Hsdf.graph));
+  (match Graph.validate h.Hsdf.graph with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "expansion invalid: %s" e);
+  ignore a;
+  ignore c
+
+let test_hsdf_rejections () =
+  let inconsistent = Graph.empty "bad" in
+  let inconsistent, a = Graph.add_actor inconsistent ~name:"A" ~execution_time:1 in
+  let inconsistent, b = Graph.add_actor inconsistent ~name:"B" ~execution_time:1 in
+  let inconsistent, _ =
+    Graph.add_channel inconsistent ~name:"fwd" ~source:a ~production_rate:1
+      ~target:b ~consumption_rate:1 ()
+  in
+  let inconsistent, _ =
+    Graph.add_channel inconsistent ~name:"bwd" ~source:b ~production_rate:2
+      ~target:a ~consumption_rate:1 ()
+  in
+  (match Hsdf.expand inconsistent with
+  | Error (Hsdf.Inconsistent _) -> ()
+  | _ -> Alcotest.fail "expected Inconsistent");
+  let g, fa, _, _ = Tgraphs.figure2 () in
+  (match Hsdf.expand ~max_instances:1 g with
+  | Error (Hsdf.Too_large { limit = 1; _ }) -> ()
+  | _ -> Alcotest.fail "expected Too_large");
+  let closures =
+    {
+      Execution.default_options with
+      Execution.firing_time = Some (fun x -> x.Graph.execution_time);
+    }
+  in
+  (match Hsdf.supported ~options:closures g with
+  | Error (Hsdf.Unsupported _) -> ()
+  | _ -> Alcotest.fail "expected Unsupported for closures");
+  (* a static order that is not one iteration per pass cannot be encoded *)
+  let skewed =
+    {
+      Execution.default_options with
+      Execution.resources =
+        [ { Execution.resource_name = "pe0"; static_order = [| fa; fa |] } ];
+    }
+  in
+  (match Hsdf.supported ~options:skewed g with
+  | Error (Hsdf.Unsupported _) -> ()
+  | _ -> Alcotest.fail "expected Unsupported for skewed order");
+  (* Ok from the precheck must imply the expansion succeeds *)
+  match (Hsdf.supported g, Hsdf.expand g) with
+  | Ok (), Ok _ -> ()
+  | _ -> Alcotest.fail "supported and expand disagree"
+
+let test_mcm_two_cycle () =
+  let g, a, b = Tgraphs.two_cycle ~time_a:2 ~time_b:3 ~tokens:1 in
+  (match Mcm.max_cycle_ratio g with
+  | Mcm.Ratio { lambda; critical } ->
+      check rational "lambda = 5/1" (Rational.of_int 5) lambda;
+      check int "cycle time" 5 critical.Mcm.cycle_time;
+      check int "cycle tokens" 1 critical.Mcm.cycle_tokens;
+      check (Alcotest.list int) "cycle actors" [ a; b ]
+        (List.sort compare critical.Mcm.cycle_actors)
+  | _ -> Alcotest.fail "expected a ratio");
+  let g, _, _ = Tgraphs.two_cycle ~time_a:2 ~time_b:3 ~tokens:2 in
+  match Mcm.max_cycle_ratio g with
+  | Mcm.Ratio { lambda; _ } -> check rational "lambda = 5/2" (Rational.make 5 2) lambda
+  | _ -> Alcotest.fail "expected a ratio"
+
+let test_mcm_deadlock_and_acyclic () =
+  let g, _, _ = Tgraphs.two_cycle ~time_a:1 ~time_b:1 ~tokens:0 in
+  (match Mcm.max_cycle_ratio g with
+  | Mcm.Deadlock { cycle_tokens = 0; cycle_actors; _ } ->
+      check int "cycle length" 2 (List.length cycle_actors)
+  | _ -> Alcotest.fail "expected deadlock");
+  let p, _ = Tgraphs.pipeline ~times:[ 1; 2; 3 ] in
+  match Mcm.max_cycle_ratio p with
+  | Mcm.Acyclic -> ()
+  | _ -> Alcotest.fail "expected acyclic"
+
+let test_mcm_picks_critical_cycle () =
+  (* inner self-loop (10/1) beats the outer cycle (12/2) *)
+  let g = Graph.empty "nested" in
+  let g, a = Graph.add_actor g ~name:"A" ~execution_time:2 in
+  let g, b = Graph.add_actor g ~name:"B" ~execution_time:10 in
+  let g, _ =
+    Graph.add_channel g ~name:"fwd" ~source:a ~production_rate:1 ~target:b
+      ~consumption_rate:1 ()
+  in
+  let g, _ =
+    Graph.add_channel g ~name:"bwd" ~source:b ~production_rate:1 ~target:a
+      ~consumption_rate:1 ~initial_tokens:2 ()
+  in
+  let g, _ =
+    Graph.add_channel g ~name:"state" ~source:b ~production_rate:1 ~target:b
+      ~consumption_rate:1 ~initial_tokens:1 ()
+  in
+  match Mcm.max_cycle_ratio g with
+  | Mcm.Ratio { lambda; critical } ->
+      check rational "lambda = 10" (Rational.of_int 10) lambda;
+      check (Alcotest.list int) "critical is the self-loop" [ b ]
+        critical.Mcm.cycle_actors
+  | _ -> Alcotest.fail "expected a ratio"
+
+let agree_methods ?options name g =
+  let ss = Throughput.analyse ?options g in
+  let mcm = Throughput.analyse ?options ~method_:`Mcm g in
+  match (ss, mcm) with
+  | ( Throughput.Throughput { throughput = t1; _ },
+      Throughput.Throughput { throughput = t2; _ } ) ->
+      check rational name t1 t2
+  | Throughput.Deadlocked _, Throughput.Deadlocked _ -> ()
+  | _ ->
+      Alcotest.failf "%s: state space %a, mcm %a" name Throughput.pp_result ss
+        Throughput.pp_result mcm
+
+let test_methods_agree_fixtures () =
+  let g, _, _, _ = Tgraphs.figure2 () in
+  agree_methods "figure2" g;
+  List.iter
+    (fun tokens ->
+      let g, _, _ = Tgraphs.two_cycle ~time_a:2 ~time_b:3 ~tokens in
+      agree_methods (Printf.sprintf "two_cycle %d" tokens) g)
+    [ 0; 1; 2; 5 ];
+  let p, _ = Tgraphs.pipeline ~times:[ 1; 10 ] in
+  agree_methods "serialized pipeline" (Buffers.add_capacity p 0 ~capacity:1);
+  agree_methods "pipelined pipeline" (Buffers.add_capacity p 0 ~capacity:2)
+
+let test_methods_agree_mapped () =
+  (* the mapped shape: every actor bound, auto-concurrency off, the static
+     order serializing the tile — MCM must reproduce 1/24 exactly *)
+  let g, a, b, c = Tgraphs.figure2 () in
+  let binding aid = if aid = a || aid = b || aid = c then Some "pe0" else None in
+  match Schedule.list_schedule g ~binding with
+  | Error _ -> Alcotest.fail "schedule failed"
+  | Ok resources ->
+      let options = { Execution.default_options with resources } in
+      agree_methods "single-tile figure2" ~options g;
+      check rational "mcm value is 1/24" (Rational.make 1 24)
+        (throughput_of (Throughput.analyse ~options ~method_:`Mcm g));
+      let unbounded =
+        {
+          Execution.default_options with
+          auto_concurrency = None;
+          resources;
+        }
+      in
+      agree_methods "bound actors, no auto-concurrency" ~options:unbounded g;
+      (* split across two resources; the inter-tile buffers must be bounded
+         or the state space never recurs (tokens pile up at the slow tile)
+         while MCM still reports the steady-state rate *)
+      let bounded =
+        List.fold_left
+          (fun g' cid -> Buffers.add_capacity g' cid ~capacity:4)
+          g
+          (List.filter_map
+             (fun (c : Graph.channel) ->
+               if c.source = c.target then None else Some c.channel_id)
+             (Graph.channels g))
+      in
+      let binding2 aid = if aid = a then Some "pe0" else Some "pe1" in
+      (match Schedule.list_schedule bounded ~binding:binding2 with
+      | Error _ -> Alcotest.fail "schedule 2 failed"
+      | Ok resources2 ->
+          agree_methods "two-tile figure2"
+            ~options:{ Execution.default_options with resources = resources2 }
+            bounded);
+      (* higher auto-concurrency degrees *)
+      let g2, _, _ = Tgraphs.two_cycle ~time_a:2 ~time_b:3 ~tokens:5 in
+      agree_methods "auto-concurrency 2"
+        ~options:{ Execution.default_options with auto_concurrency = Some 2 }
+        g2
+
+let test_methods_memo_agree () =
+  Throughput.set_memoize true;
+  let g, _, _ = Tgraphs.two_cycle ~time_a:7 ~time_b:11 ~tokens:2 in
+  let ss = Throughput.analyse g in
+  let m1 = Throughput.analyse_memo ~method_:`Mcm g in
+  let m2 = Throughput.analyse_memo ~method_:`Mcm g in
+  let auto = Throughput.analyse_memo ~method_:`Auto g in
+  check bool "mcm memo stable" true (m1 = m2);
+  check bool "auto resolves to the same entry" true (m1 = auto);
+  check rational "memoized mcm equals state space" (throughput_of ss)
+    (throughput_of m1);
+  (* the state-space entry is distinct: both can live in the cache *)
+  let ss_memo = Throughput.analyse_memo g in
+  check bool "state-space result unchanged by mcm entries" true (ss = ss_memo)
+
+let test_mcm_counters () =
+  let g, _, _ = Tgraphs.two_cycle ~time_a:2 ~time_b:3 ~tokens:1 in
+  let before = Throughput.mcm_stats () in
+  ignore (Throughput.analyse ~method_:`Mcm g);
+  let mid = Throughput.mcm_stats () in
+  check bool "a supported mcm analysis counts as a run" true
+    (mid.Throughput.runs > before.Throughput.runs);
+  let closures =
+    {
+      Execution.default_options with
+      Execution.firing_time = Some (fun x -> x.Graph.execution_time);
+    }
+  in
+  ignore (Throughput.analyse ~options:closures ~method_:`Mcm g);
+  let after = Throughput.mcm_stats () in
+  check bool "an unsupported request counts as a fallback" true
+    (after.Throughput.fallbacks > mid.Throughput.fallbacks)
+
 (* --- Dot / Xml ---------------------------------------------------------------- *)
 
 let test_dot_output () =
@@ -611,6 +864,33 @@ let test_dot_output () =
   check bool "edge present" true (contains "a0 -> a1" dot);
   check bool "highlight" true (contains "fillcolor" dot);
   check bool "initial tokens" true (contains "label=\"1\"" dot)
+
+let contains needle haystack =
+  let n = String.length needle in
+  let rec scan i =
+    i + n <= String.length haystack
+    && (String.sub haystack i n = needle || scan (i + 1))
+  in
+  scan 0
+
+let test_hsdf_dot_output () =
+  let g, _, _, _ = Tgraphs.figure2 () in
+  let h = expand_exn g in
+  let critical =
+    match Mcm.max_cycle_ratio h.Hsdf.graph with
+    | Mcm.Ratio { critical; _ } -> critical.Mcm.cycle_actors
+    | _ -> Alcotest.fail "expected a ratio on the expansion"
+  in
+  let dot = Dot.hsdf_to_string ~critical h in
+  check bool "digraph" true (contains "digraph" dot);
+  check bool "one cluster per original actor" true
+    (contains "cluster_0" dot && contains "cluster_2" dot);
+  check bool "instance labels" true (contains "B#1" dot);
+  check bool "critical cycle highlighted" true
+    (contains "color=red, penwidth=2" dot && contains "fillcolor=lightpink" dot);
+  (* without a critical cycle there is no highlight *)
+  let plain = Dot.hsdf_to_string h in
+  check bool "no highlight by default" false (contains "color=red" plain)
 
 let graphs_structurally_equal g1 g2 =
   Graph.name g1 = Graph.name g2
@@ -730,6 +1010,20 @@ let sdf_props =
         match Xmlio.of_string (Xmlio.to_string rg.graph) with
         | Ok g' -> graphs_structurally_equal rg.graph g'
         | Error _ -> false);
+    Test.make ~count:50
+      ~name:"mcm and state space agree exactly on random bounded graphs"
+      Tgraphs.random_graph_arbitrary
+      (fun rg ->
+        let b = Tgraphs.bounded rg in
+        match
+          ( Throughput.analyse b,
+            Throughput.analyse ~method_:`Mcm b )
+        with
+        | ( Throughput.Throughput { throughput = t1; _ },
+            Throughput.Throughput { throughput = t2; _ } ) ->
+            Rational.equal t1 t2
+        | Throughput.Deadlocked _, Throughput.Deadlocked _ -> true
+        | _ -> false);
   ]
 
 (* --- structural keys and the analysis memo ----------------------------- *)
@@ -921,10 +1215,32 @@ let () =
           Alcotest.test_case "auto concurrency" `Quick test_constrain_auto_concurrency;
           Alcotest.test_case "scale times" `Quick test_scale_execution_times;
           Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "merge name clash" `Quick test_merge_name_clash;
+          Alcotest.test_case "uniquify" `Quick test_uniquify;
+        ] );
+      ( "hsdf",
+        [
+          Alcotest.test_case "figure2 expansion" `Quick test_hsdf_figure2;
+          Alcotest.test_case "rejections" `Quick test_hsdf_rejections;
+        ] );
+      ( "mcm",
+        [
+          Alcotest.test_case "two cycle" `Quick test_mcm_two_cycle;
+          Alcotest.test_case "deadlock and acyclic" `Quick
+            test_mcm_deadlock_and_acyclic;
+          Alcotest.test_case "critical cycle" `Quick
+            test_mcm_picks_critical_cycle;
+          Alcotest.test_case "methods agree on fixtures" `Quick
+            test_methods_agree_fixtures;
+          Alcotest.test_case "methods agree when mapped" `Quick
+            test_methods_agree_mapped;
+          Alcotest.test_case "memoized mcm" `Quick test_methods_memo_agree;
+          Alcotest.test_case "counters" `Quick test_mcm_counters;
         ] );
       ( "io",
         [
           Alcotest.test_case "dot" `Quick test_dot_output;
+          Alcotest.test_case "hsdf dot" `Quick test_hsdf_dot_output;
           Alcotest.test_case "xml roundtrip" `Quick test_xml_roundtrip;
           Alcotest.test_case "xml errors" `Quick test_xml_errors;
         ] );
