@@ -43,25 +43,32 @@ let timed_section name f =
   record ~name ~value:wall ~iterations:1 ~domains:1 ()
 
 let write_bench_json path =
+  let module Json = Core.Json in
   let entries = List.rev !bench_entries in
   let n = List.length entries in
+  let entry_json (name, value, unit, iterations, domains) =
+    Json.Obj
+      ([ ("name", Json.String name);
+         ("value", Json.Float value);
+         ("unit", Json.String unit);
+       ]
+      @ (if String.equal unit "seconds" then
+           [ ("wall_seconds", Json.Float value) ]
+         else [])
+      @ [ ("iterations", Json.Int iterations); ("domains", Json.Int domains) ])
+  in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
+      (* one entry per line keeps the file diff-friendly across PRs while
+         each line stays canonical Core.Json output *)
       output_string oc "{\n  \"schema_version\": 2,\n  \"entries\": [\n";
       List.iteri
-        (fun i (name, value, unit, iterations, domains) ->
-          let wall =
-            if String.equal unit "seconds" then
-              Printf.sprintf " \"wall_seconds\": %.6f," value
-            else ""
-          in
+        (fun i e ->
           output_string oc
-            (Printf.sprintf
-               "    { \"name\": %S, \"value\": %.6f, \"unit\": %S,%s \
-                \"iterations\": %d, \"domains\": %d }%s\n"
-               name value unit wall iterations domains
+            (Printf.sprintf "    %s%s\n"
+               (Json.to_string (entry_json e))
                (if i = n - 1 then "" else ",")))
         entries;
       output_string oc "  ]\n}\n");

@@ -1,0 +1,606 @@
+(* serve-loadgen: drive the mapping daemon through the three load shapes
+   that matter for a service — steady concurrent traffic, an overload
+   burst against a small queue, and a kill -9 mid-batch with restart and
+   resubmission — and record p50/p99 latency, throughput and rejection
+   rate into BENCH.json.
+
+   The generator is also the chaos harness: every scenario carries
+   invariant assertions (no job silently lost, no job executed twice,
+   bursts answered with 429 instead of a hang), and a violated invariant
+   exits 4 so CI fails loudly. Operational trouble (daemon refuses to
+   start, poll deadline blown) exits 2; a clean run exits 0. *)
+
+module Json = Jsonkit.Json
+
+let default_daemon =
+  match Sys.getenv_opt "MAMPS_FLOW" with
+  | Some p -> p
+  | None -> Filename.concat "_build" "default/bin/mamps_flow.exe"
+
+exception Operational of string
+
+let opfail fmt = Printf.ksprintf (fun s -> raise (Operational s)) fmt
+
+(* --- tiny HTTP/1.1 client --------------------------------------------------- *)
+
+(* Connection: close framing: write the request, read to EOF, split head
+   from body — all the daemon speaks, and all a load generator needs *)
+type response = { status : int; body : string }
+
+let http ~port ~meth ~path ?(body = "") () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf
+          "%s %s HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Length: %d\r\n\
+           Connection: close\r\n\r\n%s"
+          meth path (String.length body) body
+      in
+      let rec send off =
+        if off < String.length req then
+          send (off + Unix.write_substring fd req off (String.length req - off))
+      in
+      send 0;
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec recv () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            recv ()
+      in
+      recv ();
+      let raw = Buffer.contents buf in
+      let status =
+        try Scanf.sscanf raw "HTTP/1.1 %d" (fun s -> s)
+        with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+          opfail "unparseable response: %s" (String.sub raw 0 (min 80 (String.length raw)))
+      in
+      let sep =
+        let rec find i =
+          if i + 3 >= String.length raw then String.length raw
+          else if
+            raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
+            && raw.[i + 3] = '\n'
+          then i + 4
+          else find (i + 1)
+        in
+        find 0
+      in
+      { status; body = String.sub raw sep (String.length raw - sep) })
+
+(* --- daemon lifecycle ------------------------------------------------------- *)
+
+type daemon = { pid : int; port : int; log : string }
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error _ -> ""
+
+(* the daemon prints "listening on http://HOST:PORT (...)" once bound *)
+let port_of_log log =
+  let s = read_file log in
+  let marker = "listening on http://" in
+  let mlen = String.length marker in
+  let rec find i =
+    if i + mlen > String.length s then None
+    else if String.sub s i mlen = marker then Some (i + mlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start -> (
+      match String.index_from_opt s start ':' with
+      | None -> None
+      | Some colon ->
+          let stop = ref (colon + 1) in
+          while
+            !stop < String.length s
+            && s.[!stop] >= '0'
+            && s.[!stop] <= '9'
+          do
+            incr stop
+          done;
+          int_of_string_opt (String.sub s (colon + 1) (!stop - colon - 1)))
+
+let start_daemon ~binary ~log ~args =
+  let out = Unix.openfile log [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+  let argv = Array.of_list (binary :: "serve" :: "--port" :: "0" :: args) in
+  let pid =
+    Fun.protect
+      ~finally:(fun () -> Unix.close out)
+      (fun () -> Unix.create_process binary argv Unix.stdin out out)
+  in
+  let deadline = Unix.gettimeofday () +. 15.0 in
+  let rec await () =
+    match port_of_log log with
+    | Some port -> { pid; port; log }
+    | None ->
+        if Unix.gettimeofday () > deadline then begin
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          opfail "daemon did not come up; log:\n%s" (read_file log)
+        end
+        else if fst (Unix.waitpid [ Unix.WNOHANG ] pid) <> 0 then
+          opfail "daemon exited during startup; log:\n%s" (read_file log)
+        else begin
+          Unix.sleepf 0.05;
+          await ()
+        end
+  in
+  await ()
+
+let reap pid =
+  let deadline = Unix.gettimeofday () +. 15.0 in
+  let rec wait () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+        if Unix.gettimeofday () > deadline then begin
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid)
+        end
+        else begin
+          Unix.sleepf 0.05;
+          wait ()
+        end
+    | _ -> ()
+  in
+  wait ()
+
+let stop_daemon d =
+  (try Unix.kill d.pid Sys.sigterm with Unix.Unix_error _ -> ());
+  reap d.pid
+
+let kill9_daemon d =
+  (try Unix.kill d.pid Sys.sigkill with Unix.Unix_error _ -> ());
+  reap d.pid
+
+(* --- workload --------------------------------------------------------------- *)
+
+(* a ring of [actors] actors with one initial token: live, deadlock-free,
+   and every distinct [base] execution time yields a distinct structural
+   digest — so every job in a batch is a distinct piece of work *)
+let ring_graph ~name ~actors ~base =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "<sdfgraph name=%S>\n" name;
+  for i = 0 to actors - 1 do
+    Printf.bprintf b "  <actor name=\"a%d\" executionTime=\"%d\"/>\n" i
+      (base + (13 * i))
+  done;
+  for i = 0 to actors - 1 do
+    Printf.bprintf b
+      "  <channel name=\"c%d\" src=\"a%d\" dst=\"a%d\" prodRate=\"1\" \
+       consRate=\"1\" initialTokens=\"%d\" tokenSize=\"4\"/>\n"
+      i i
+      ((i + 1) mod actors)
+      (if i = actors - 1 then 1 else 0)
+  done;
+  Buffer.add_string b "</sdfgraph>\n";
+  Buffer.contents b
+
+let run_threads n f =
+  let results = Array.make n [] in
+  let threads =
+    List.init n (fun i -> Thread.create (fun () -> results.(i) <- f i) ())
+  in
+  List.iter Thread.join threads;
+  List.concat (Array.to_list results)
+
+let percentile xs q =
+  match xs with
+  | [] -> 0.0
+  | _ ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let i =
+        int_of_float (Float.round (q *. float_of_int (Array.length a - 1)))
+      in
+      a.(max 0 (min (Array.length a - 1) i))
+
+let counter metrics_body name =
+  match Json.of_string metrics_body with
+  | Error _ -> 0
+  | Ok j -> (
+      match Option.bind (Json.member "counters" j) (Json.member name) with
+      | Some (Json.Int n) -> n
+      | _ -> 0)
+
+let job_statuses ~port =
+  let r = http ~port ~meth:"GET" ~path:"/jobs" () in
+  match Json.of_string r.body with
+  | Error e -> opfail "unparseable /jobs: %s" e
+  | Ok j ->
+      let jobs =
+        Option.value ~default:[]
+          (Option.bind (Json.member "jobs" j) Json.to_list_opt)
+      in
+      List.filter_map
+        (fun j ->
+          match
+            ( Option.bind (Json.member "id" j) Json.to_string_opt,
+              Option.bind (Json.member "status" j) Json.to_string_opt )
+          with
+          | Some id, Some st -> Some (id, st)
+          | _ -> None)
+        jobs
+
+let terminal st =
+  List.mem st [ "completed"; "failed"; "timed_out" ]
+
+let await_all_terminal ~port ~ids ~deadline_s =
+  let deadline = Unix.gettimeofday () +. deadline_s in
+  let rec poll () =
+    let statuses = job_statuses ~port in
+    let missing, open_ =
+      List.fold_left
+        (fun (missing, open_) id ->
+          match List.assoc_opt id statuses with
+          | None -> (id :: missing, open_)
+          | Some st when terminal st -> (missing, open_)
+          | Some _ -> (missing, id :: open_))
+        ([], []) ids
+    in
+    if missing = [] && open_ = [] then ()
+    else if Unix.gettimeofday () > deadline then
+      opfail "jobs still open after %.0f s: %d missing, %d running/queued"
+        deadline_s (List.length missing) (List.length open_)
+    else begin
+      Unix.sleepf 0.1;
+      poll ()
+    end
+  in
+  poll ()
+
+(* --- journal forensics ------------------------------------------------------ *)
+
+(* mirror the daemon's replay over the raw journal file: what it will
+   see as finished / interrupted / still queued after the kill. Torn
+   trailing lines fail to parse and drop out, exactly as in the daemon. *)
+type replayed = { r_done : string list; r_intr : string list; r_queued : string list }
+
+let parse_journal path =
+  let tbl : (string, [ `Queued | `Started | `Done ]) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let lines = String.split_on_char '\n' (read_file path) in
+  List.iter
+    (fun line ->
+      let scan fmt f = try Scanf.sscanf line fmt f with _ -> () in
+      scan "sub %S %S" (fun id _ ->
+          if not (Hashtbl.mem tbl id) then Hashtbl.replace tbl id `Queued);
+      scan "run %S" (fun id ->
+          if Hashtbl.mem tbl id then Hashtbl.replace tbl id `Started);
+      scan "done %S %S" (fun id _ ->
+          if Hashtbl.mem tbl id then Hashtbl.replace tbl id `Done);
+      scan "fail %S %S" (fun id _ ->
+          if Hashtbl.mem tbl id then Hashtbl.replace tbl id `Done);
+      scan "timeout %S %S" (fun id _ ->
+          if Hashtbl.mem tbl id then Hashtbl.replace tbl id `Done);
+      scan "requeue %S" (fun id ->
+          if Hashtbl.mem tbl id then Hashtbl.replace tbl id `Queued))
+    lines;
+  Hashtbl.fold
+    (fun id state acc ->
+      match state with
+      | `Done -> { acc with r_done = id :: acc.r_done }
+      | `Started -> { acc with r_intr = id :: acc.r_intr }
+      | `Queued -> { acc with r_queued = id :: acc.r_queued })
+    tbl
+    { r_done = []; r_intr = []; r_queued = [] }
+
+(* --- scenarios -------------------------------------------------------------- *)
+
+let gates : string list ref = ref []
+let gate name ok = if not ok then gates := name :: !gates
+
+type bench_entry = { e_name : string; e_value : float; e_unit : string }
+
+let entries : bench_entry list ref = ref []
+
+let record e_name e_value e_unit = entries := { e_name; e_value; e_unit } :: !entries
+
+let scenario_steady ~binary ~dir ~jobs ~clients =
+  Printf.printf "steady: %d flow jobs over %d client(s)\n%!" jobs clients;
+  let d =
+    start_daemon ~binary
+      ~log:(Filename.concat dir "steady.log")
+      ~args:[ "--workers"; "2"; "--queue"; "64"; "--no-journal" ]
+  in
+  Fun.protect
+    ~finally:(fun () -> stop_daemon d)
+    (fun () ->
+      let started = Unix.gettimeofday () in
+      let results =
+        run_threads clients (fun client ->
+            let per = jobs / clients in
+            List.init per (fun k ->
+                let idx = (client * per) + k in
+                let body =
+                  ring_graph
+                    ~name:(Printf.sprintf "steady%d" idx)
+                    ~actors:4 ~base:(60 + (idx * 17))
+                in
+                let t0 = Unix.gettimeofday () in
+                let r =
+                  http ~port:d.port ~meth:"POST"
+                    ~path:"/jobs?mode=flow&tiles=2&wait=1" ~body ()
+                in
+                (r.status, (Unix.gettimeofday () -. t0) *. 1000.0)))
+      in
+      let wall = Unix.gettimeofday () -. started in
+      let ok = List.for_all (fun (s, _) -> s = 200) results in
+      gate "steady: every wait=1 job answered 200" ok;
+      let lat = List.map snd results in
+      let p50 = percentile lat 0.50 and p99 = percentile lat 0.99 in
+      let thr = float_of_int (List.length results) /. wall in
+      Printf.printf
+        "steady: p50 %.1f ms, p99 %.1f ms, %.1f jobs/s over %.2f s\n%!" p50
+        p99 thr wall;
+      record "serve.steady.latency_p50" p50 "milliseconds";
+      record "serve.steady.latency_p99" p99 "milliseconds";
+      record "serve.steady.throughput" thr "jobs/second")
+
+let scenario_burst ~binary ~dir ~jobs ~clients =
+  Printf.printf "burst: %d dse jobs against a queue of 4\n%!" jobs;
+  let d =
+    start_daemon ~binary
+      ~log:(Filename.concat dir "burst.log")
+      ~args:[ "--workers"; "1"; "--queue"; "4"; "--no-journal" ]
+  in
+  Fun.protect
+    ~finally:(fun () -> stop_daemon d)
+    (fun () ->
+      let results =
+        run_threads clients (fun client ->
+            let per = jobs / clients in
+            List.init per (fun k ->
+                let idx = (client * per) + k in
+                let body =
+                  ring_graph
+                    ~name:(Printf.sprintf "burst%d" idx)
+                    ~actors:6 ~base:(70 + (idx * 11))
+                in
+                let r =
+                  http ~port:d.port ~meth:"POST"
+                    ~path:"/jobs?mode=dse&tiles=4" ~body ()
+                in
+                (r.status, idx)))
+      in
+      let accepted = List.filter (fun (s, _) -> s = 202) results in
+      let rejected = List.filter (fun (s, _) -> s = 429) results in
+      let other =
+        List.filter (fun (s, _) -> s <> 202 && s <> 429) results
+      in
+      (* the not-ready signal while the queue is saturated *)
+      let readyz = http ~port:d.port ~meth:"GET" ~path:"/readyz" () in
+      gate "burst: a full queue answers 429, nothing else"
+        (other = [] && rejected <> []);
+      Printf.printf "burst: %d accepted, %d rejected (429), readyz %d\n%!"
+        (List.length accepted) (List.length rejected) readyz.status;
+      (* the accepted backlog must drain — an overloaded daemon that
+         hangs is exactly the failure this scenario exists to catch *)
+      let ids =
+        List.map (fun (id, _) -> id) (job_statuses ~port:d.port)
+      in
+      await_all_terminal ~port:d.port ~ids ~deadline_s:120.0;
+      let healthz = http ~port:d.port ~meth:"GET" ~path:"/healthz" () in
+      gate "burst: healthz still 200 after the burst" (healthz.status = 200);
+      record "serve.burst.rejection_rate"
+        (float_of_int (List.length rejected)
+        /. float_of_int (max 1 (List.length results)))
+        "ratio")
+
+let scenario_crash ~binary ~dir ~jobs =
+  Printf.printf "crash: %d dse jobs, kill -9 mid-batch, restart, resubmit\n%!"
+    jobs;
+  let journal = Filename.concat dir "journal.log" in
+  let args =
+    [ "--workers"; "1"; "--queue"; "64"; "--journal"; journal ]
+  in
+  let submit port idx =
+    (* heavy enough (8-point sweep, state-space analysis) that the kill
+       below lands with jobs still queued and one mid-flight *)
+    let body =
+      ring_graph
+        ~name:(Printf.sprintf "crash%d" idx)
+        ~actors:8 ~base:(90 + (idx * 19))
+    in
+    http ~port ~meth:"POST"
+      ~path:"/jobs?mode=dse&tiles=8&analysis=state-space" ~body ()
+  in
+  let d1 =
+    start_daemon ~binary ~log:(Filename.concat dir "crash1.log") ~args
+  in
+  let submitted =
+    try
+      List.init jobs (fun idx ->
+          let r = submit d1.port idx in
+          if r.status <> 202 then
+            opfail "crash: submission %d answered %d" idx r.status;
+          match
+            Result.bind (Json.of_string r.body) (fun j ->
+                match Option.bind (Json.member "id" j) Json.to_string_opt with
+                | Some id -> Ok id
+                | None -> Error "no id")
+          with
+          | Ok id -> id
+          | Error e -> opfail "crash: submission %d: %s" idx e)
+    with e ->
+      kill9_daemon d1;
+      raise e
+  in
+  (* pull the plug right behind the last submission: the single worker
+     needs far longer than that to drain the backlog, so the journal is
+     caught with a mix of finished, mid-flight and queued jobs *)
+  Unix.sleepf 0.05;
+  kill9_daemon d1;
+  let replay = parse_journal journal in
+  Printf.printf
+    "crash: killed with %d finished, %d mid-flight, %d queued (journal)\n%!"
+    (List.length replay.r_done)
+    (List.length replay.r_intr)
+    (List.length replay.r_queued);
+  gate "crash: the kill landed mid-batch"
+    (List.length replay.r_done < jobs);
+  let journaled =
+    List.length replay.r_done + List.length replay.r_intr
+    + List.length replay.r_queued
+  in
+  let d2 =
+    start_daemon ~binary ~log:(Filename.concat dir "crash2.log") ~args
+  in
+  Fun.protect
+    ~finally:(fun () -> stop_daemon d2)
+    (fun () ->
+      let healthz = http ~port:d2.port ~meth:"GET" ~path:"/healthz" () in
+      gate "crash: healthz 200 after restart" (healthz.status = 200);
+      (* idempotent resubmission of the whole batch: finished jobs answer
+         from the stored outcome, interrupted ones requeue, lost
+         submissions (torn journal tail) are accepted as new *)
+      List.iteri
+        (fun idx _ ->
+          let r = submit d2.port idx in
+          if r.status <> 200 && r.status <> 202 then
+            opfail "crash: resubmission %d answered %d" idx r.status)
+        submitted;
+      await_all_terminal ~port:d2.port ~ids:submitted ~deadline_s:120.0;
+      let statuses = job_statuses ~port:d2.port in
+      let lost =
+        List.filter (fun id -> not (List.mem_assoc id statuses)) submitted
+      in
+      gate "crash: no job silently lost" (lost = []);
+      (* exactly-once execution: run 2 executes the replayed queue, the
+         requeued interrupted jobs and any submission the torn journal
+         lost — and never a job whose outcome the journal already holds *)
+      let metrics = http ~port:d2.port ~meth:"GET" ~path:"/metrics" () in
+      let executed = counter metrics.body "serve.jobs.executed" in
+      let expected =
+        List.length replay.r_queued + List.length replay.r_intr
+        + (jobs - journaled)
+      in
+      if executed <> expected then
+        Printf.printf "crash: executed %d, expected %d\n%!" executed expected;
+      gate "crash: completed jobs are not re-executed" (executed = expected);
+      record "serve.crash.interrupted"
+        (float_of_int (List.length replay.r_intr))
+        "count";
+      record "serve.crash.reexecuted" (float_of_int executed) "count";
+      Printf.printf "crash: all %d jobs terminal after restart+resubmit\n%!"
+        (List.length submitted))
+
+(* --- BENCH.json merge ------------------------------------------------------- *)
+
+(* the flow benchmarks own BENCH.json; the load generator merges its
+   serve.* entries into the same schema-v2 file, replacing only stale
+   serve.* lines so the two writers never fight *)
+let merge_bench path =
+  let keep =
+    match Json.of_string (read_file path) with
+    | Error _ -> []
+    | Ok j -> (
+        match Option.bind (Json.member "entries" j) Json.to_list_opt with
+        | None -> []
+        | Some es ->
+            List.filter
+              (fun e ->
+                match
+                  Option.bind (Json.member "name" e) Json.to_string_opt
+                with
+                | Some n ->
+                    not
+                      (String.length n >= 6 && String.sub n 0 6 = "serve.")
+                | None -> false)
+              es)
+  in
+  let ours =
+    List.rev_map
+      (fun e ->
+        Json.Obj
+          [
+            ("name", Json.String e.e_name);
+            ("value", Json.Float e.e_value);
+            ("unit", Json.String e.e_unit);
+            ("iterations", Json.Int 1);
+            ("domains", Json.Int 1);
+          ])
+      !entries
+  in
+  let all = keep @ ours in
+  let n = List.length all in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\n  \"schema_version\": 2,\n  \"entries\": [\n";
+      List.iteri
+        (fun i e ->
+          Printf.fprintf oc "    %s%s\n" (Json.to_string e)
+            (if i = n - 1 then "" else ","))
+        all;
+      output_string oc "  ]\n}\n");
+  Printf.printf "merged %d serve entries into %s\n%!" (List.length ours) path
+
+(* --- main ------------------------------------------------------------------- *)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+let () =
+  let binary = ref default_daemon in
+  let out = ref "BENCH.json" in
+  let steady_jobs = ref 12 in
+  let burst_jobs = ref 32 in
+  let crash_jobs = ref 12 in
+  let spec =
+    [
+      ("--daemon", Arg.Set_string binary, "PATH mamps_flow binary");
+      ("--out", Arg.Set_string out, "FILE BENCH.json to merge into");
+      ("--steady", Arg.Set_int steady_jobs, "N steady-scenario jobs");
+      ("--burst", Arg.Set_int burst_jobs, "N burst-scenario jobs");
+      ("--crash", Arg.Set_int crash_jobs, "N crash-scenario jobs");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "serve_loadgen [options]";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  if not (Sys.file_exists !binary) then begin
+    Printf.eprintf "daemon binary not found: %s (build it, or --daemon)\n"
+      !binary;
+    exit 2
+  end;
+  let dir = Printf.sprintf "_loadgen.%d" (Unix.getpid ()) in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
+  match
+    scenario_steady ~binary:!binary ~dir ~jobs:!steady_jobs ~clients:4;
+    scenario_burst ~binary:!binary ~dir ~jobs:!burst_jobs ~clients:8;
+    scenario_crash ~binary:!binary ~dir ~jobs:!crash_jobs
+  with
+  | () ->
+      merge_bench !out;
+      if !gates = [] then begin
+        rm_rf dir;
+        print_string "all invariants held\n";
+        exit 0
+      end
+      else begin
+        List.iter (Printf.eprintf "INVARIANT VIOLATED: %s\n") (List.rev !gates);
+        Printf.eprintf "daemon logs kept under %s\n" dir;
+        exit 4
+      end
+  | exception Operational msg ->
+      Printf.eprintf "loadgen: %s\ndaemon logs kept under %s\n" msg dir;
+      exit 2

@@ -12,12 +12,43 @@
      recover             inject a permanent tile/link fault, diagnose the
                          stall, re-map around the dead resource and
                          re-verify the degraded guarantee
+     serve               long-running HTTP daemon answering mapping/DSE
+                         requests with a bounded queue and a crash journal
 
    The dse, conformance, profile and recover subcommands take -j N to fan their
    independent work out over N domains (Exec.Pool); -j 1 — the default —
-   is sequential and byte-identical to the pre-parallel behaviour. *)
+   is sequential and byte-identical to the pre-parallel behaviour.
+
+   Exit codes are uniform across subcommands:
+     0  success
+     2  error: invalid input, unknown name, or the flow itself failed
+     3  partial result: a deadline fired or the run was interrupted
+        (SIGINT); whatever was computed has been printed/checkpointed
+     4  a check failed: conformance violations, --assert-scaling
+        regression, an unsurvived recovery scenario
+   (cmdliner keeps 124 for command-line parse errors.) *)
 
 open Cmdliner
+
+let exit_error = 2
+let exit_partial = 3
+let exit_gate = 4
+
+(* install a SIGINT handler that cancels [token] so budgeted loops wind
+   down cleanly (flushing their checkpoints); a second ^C kills the
+   process the traditional way *)
+let cancel_on_sigint token =
+  let fired = ref false in
+  try
+    Sys.set_signal Sys.sigint
+      (Sys.Signal_handle
+         (fun _ ->
+           if !fired then exit 130
+           else begin
+             fired := true;
+             Exec.Budget.cancel token
+           end))
+  with Invalid_argument _ | Sys_error _ -> ()
 
 (* shared -j flag: resolved by Exec.Pool.parallelism, so an absent flag
    falls back to MAMPS_JOBS and then to the sequential default of 1 *)
@@ -51,22 +82,36 @@ let no_memo_term =
 (* shared --analysis flag: worst-case throughput analysis method. Both
    methods return the same exact bound (a conformance oracle and a
    property test pin that), so the flag only trades analysis time. *)
-let analysis_term =
+let analysis_term_with ~default =
   let methods =
     [ ("state-space", `State_space); ("mcm", `Mcm); ("auto", `Auto) ]
   in
+  let default_name =
+    List.find (fun (_, m) -> m = default) methods |> fst
+  in
   Arg.(
     value
-    & opt (enum methods) `State_space
+    & opt (enum methods) default
     & info [ "analysis" ] ~docv:"METHOD"
         ~doc:
-          "Worst-case throughput analysis method: $(b,state-space) \
-           (simulate to a state recurrence, the default), $(b,mcm) \
-           (symbolic (max,+): HSDF expansion + maximum cycle mean, \
-           falling back to the state space when the expansion does not \
-           apply), or $(b,auto) (mcm when applicable). Every method \
-           returns the same exact throughput bound; only the reported \
-           transient differs (mcm does not model the start-up phase).")
+          (Printf.sprintf
+             "Worst-case throughput analysis method: $(b,state-space) \
+              (simulate to a state recurrence), $(b,mcm) (symbolic \
+              (max,+): HSDF expansion + maximum cycle mean, falling back \
+              to the state space when the expansion does not apply), or \
+              $(b,auto) (mcm when applicable). Default $(b,%s). Every \
+              method returns the same exact throughput bound; only the \
+              reported transient differs (mcm does not model the \
+              start-up phase)."
+             default_name))
+
+let analysis_term = analysis_term_with ~default:`State_space
+
+(* the DSE inner loop re-analyses the same graphs at many (tile count,
+   interconnect) points, which is exactly where the cheaper symbolic
+   method pays — so the sweep defaults to auto; --analysis state-space
+   remains the escape hatch *)
+let analysis_auto_term = analysis_term_with ~default:`Auto
 
 (* --- graph ------------------------------------------------------------------ *)
 
@@ -74,7 +119,7 @@ let analyse_graph path dot_output =
   match Sdf.Xmlio.of_file path with
   | Error msg ->
       Printf.eprintf "cannot read %s: %s\n" path msg;
-      1
+      exit_error
   | Ok g -> (
       Format.printf "%a@.@." Sdf.Graph.pp g;
       (match Sdf.Analysis.admit g with
@@ -132,7 +177,7 @@ let report_faulted flow baseline ~iterations spec =
       | None ->
           Printf.eprintf "faulted run failed: %s\n"
             (Core.Flow_error.to_string e);
-          1)
+          exit_error)
   | Ok faulted ->
       let base = Sim.Platform_sim.steady_throughput baseline in
       let under = Sim.Platform_sim.steady_throughput faulted in
@@ -171,7 +216,7 @@ let run_mjpeg interconnect sequence output passes trace_out faults seed
            (List.map
               (fun s -> s.Mjpeg.Streams.seq_name)
               (Mjpeg.Streams.all ())));
-      1
+      exit_error
   | Some seq -> (
       match Option.map (Sim.Fault.scenario ~seed) faults with
       | Some (Error msg) ->
@@ -179,7 +224,7 @@ let run_mjpeg interconnect sequence output passes trace_out faults seed
           List.iter
             (fun (name, doc) -> Printf.eprintf "  %-12s %s\n" name doc)
             (Sim.Fault.scenario_descriptions ());
-          1
+          exit_error
       | (None | Some (Ok _)) as resolved -> (
           let spec =
             match resolved with Some (Ok s) -> Some s | _ -> None
@@ -217,7 +262,7 @@ let run_mjpeg interconnect sequence output passes trace_out faults seed
           match result with
           | Error msg ->
               Printf.eprintf "flow failed: %s\n" msg;
-              1
+              exit_error
           | Ok (flow, measured, iterations) ->
               Format.printf "%a@.@." Mapping.Flow_map.pp_summary
                 flow.Core.Design_flow.mapping;
@@ -323,14 +368,20 @@ let run_dse_anytime app ~interconnects ~tile_counts ~max_slices ~jobs ~deadline
   let retry =
     Option.map (fun n -> Exec.Pool.retry ~max_attempts:n ()) retries
   in
+  (* first ^C cancels the sweep between chunks — the checkpoint already on
+     disk covers everything evaluated so far, so --resume picks up exactly
+     where the interrupt landed; a second ^C kills the process outright *)
+  let cancel = Exec.Budget.token () in
+  cancel_on_sigint cancel;
   match
     Core.Dse.explore_anytime app ?tile_counts ~interconnects
       ~options:(Experiments.flow_options_with ~analysis ())
-      ~jobs ?deadline ?task_timeout ?retry ?checkpoint ?resume ~metrics ()
+      ~jobs ?deadline ?task_timeout ?retry ~cancel ?checkpoint ?resume
+      ~metrics ()
   with
   | Error msg ->
       Printf.eprintf "dse: %s\n" msg;
-      1
+      exit_error
   | Ok a ->
       let summaries = a.Core.Dse.a_summaries in
       Format.printf "%a@." Core.Dse.pp_summary_table summaries;
@@ -378,7 +429,7 @@ let run_dse_anytime app ~interconnects ~tile_counts ~max_slices ~jobs ~deadline
       | None -> 0
       | Some d ->
           Format.printf "%a@." Core.Dse.pp_degradation d;
-          3)
+          exit_partial)
 
 (* CI gate (--assert-scaling): run the same sweep sequentially and then on
    the requested pool in one process and require that the parallel-path
@@ -388,7 +439,7 @@ let run_dse_anytime app ~interconnects ~tile_counts ~max_slices ~jobs ~deadline
 let run_dse_assert_scaling app ~interconnects ~tile_counts ~jobs ~analysis =
   if jobs < 2 then begin
     Printf.eprintf "dse: --assert-scaling needs -j 2 or more (got %d)\n" jobs;
-    2
+    exit_error
   end
   else begin
     let sweep jobs =
@@ -420,7 +471,7 @@ let run_dse_assert_scaling app ~interconnects ~tile_counts ~jobs ~analysis =
     else
       Printf.printf "parallel pass NOT faster (x%.2f)\n"
         (if par_s > 0. then seq_s /. par_s else 0.);
-    if identical && faster then 0 else 4
+    if identical && faster then 0 else exit_gate
   end
 
 let run_dse interconnect sequence max_tiles max_slices jobs deadline
@@ -434,12 +485,12 @@ let run_dse interconnect sequence max_tiles max_slices jobs deadline
            (List.map
               (fun s -> s.Mjpeg.Streams.seq_name)
               (Mjpeg.Streams.all ())));
-      1
+      exit_error
   | Some seq -> (
       match Experiments.calibrated_mjpeg seq with
       | Error e ->
           Printf.eprintf "flow failed: %s\n" e;
-          1
+          exit_error
       | Ok app ->
           let interconnects =
             match interconnect with
@@ -610,7 +661,7 @@ let dse_cmd =
     Term.(
       const run_dse $ interconnect $ sequence $ max_tiles $ max_slices
       $ jobs_term $ deadline $ task_timeout $ retries $ checkpoint $ resume
-      $ no_memo_term $ assert_scaling $ analysis_term)
+      $ no_memo_term $ assert_scaling $ analysis_auto_term)
 
 (* --- profile ----------------------------------------------------------------- *)
 
@@ -680,7 +731,7 @@ let run_profile seed interconnect sequence passes iterations out_dir jobs
   match result with
   | Error msg ->
       Printf.eprintf "profile failed: %s\n" msg;
-      1
+      exit_error
   | Ok (label, flow, p) ->
       let report = Format.asprintf "%a" Core.Report.pp_profile (flow, p) in
       print_string report;
@@ -794,14 +845,14 @@ let run_experiments () =
   (match Experiments.figure6 (Arch.Template.Use_fsl Arch.Fsl.default) () with
   | Error e ->
       Printf.eprintf "figure 6a failed: %s\n" e;
-      ok := 1
+      ok := exit_error
   | Ok results ->
       Format.printf "Figure 6a (FSL):@.%a@.@." Core.Report.pp_throughput_table
         (List.map (fun r -> r.Experiments.row) results));
   (match Experiments.table1 () with
   | Error e ->
       Printf.eprintf "table 1 failed: %s\n" e;
-      ok := 1
+      ok := exit_error
   | Ok times ->
       Format.printf "Table 1:@.%a@.@." Core.Report.pp_effort_table times);
   let area = Experiments.noc_area () in
@@ -833,26 +884,38 @@ let run_conformance count base_seed out_dir replay jobs seed_timeout no_memo
       (* one seed, full verdict — the reproducer replay path *)
       let case = Conformance.Engine.check_seed ~options seed in
       Format.printf "%a@." Conformance.Engine.pp_case case;
-      if case.Conformance.Engine.c_violations = [] then 0 else 1
+      if case.Conformance.Engine.c_violations = [] then 0 else exit_gate
   | None ->
+      (* first ^C stops admitting new seeds; the report then covers the
+         prefix already evaluated, which is still a valid (smaller) suite *)
+      let cancel = Exec.Budget.token () in
+      cancel_on_sigint cancel;
       let report =
-        Conformance.Engine.run_suite ~options ~out_dir ~jobs ~base_seed ~count
+        Conformance.Engine.run_suite ~options ~out_dir ~jobs ~cancel ~base_seed
+          ~count
           ~progress:(fun c ->
             if c.Conformance.Engine.c_violations <> [] then
               Format.eprintf "%a@." Conformance.Engine.pp_case c)
           ()
       in
       Format.printf "%a@." Conformance.Engine.pp_report report;
-      if Conformance.Engine.passed report then 0
-      else begin
+      let interrupted = Exec.Budget.cancelled cancel in
+      if interrupted then
+        Printf.eprintf
+          "interrupted: %d of %d seed(s) evaluated before SIGINT\n"
+          (List.length report.Conformance.Engine.r_cases)
+          count;
+      if not (Conformance.Engine.passed report) then begin
         List.iter
           (fun f ->
             match f.Conformance.Engine.f_reproducer with
             | Some dir -> Printf.printf "reproducer: %s\n" dir
             | None -> ())
           report.Conformance.Engine.r_failures;
-        1
+        exit_gate
       end
+      else if interrupted then exit_partial
+      else 0
 
 let conformance_cmd =
   let count =
@@ -909,35 +972,36 @@ let link_scenario ~at_cycle s =
   | Some hop -> Recover.Kill_hop { hop; at_cycle }
   | None -> Recover.Kill_channel { channel = s; at_cycle }
 
-let json_string s = Printf.sprintf "\"%s\"" (Obs.Chrome_trace.escape s)
-
 let outcome_json scenario outcome =
+  let module Json = Core.Json in
+  (* Report.to_json already returns serialized JSON; re-parse it so the
+     outcome document nests it structurally instead of by string splicing *)
+  let report_value s =
+    match Json.of_string s with Ok v -> v | Error _ -> Json.String s
+  in
   let fields =
     match (outcome : Recover.outcome) with
-    | Recover.Tolerated _ -> [ ("outcome", json_string "tolerated") ]
+    | Recover.Tolerated _ -> [ ("outcome", Json.String "tolerated") ]
     | Recover.Repaired (report, _) ->
         [
-          ("outcome", json_string "repaired");
-          ("report", Recover.Report.to_json report);
+          ("outcome", Json.String "repaired");
+          ("report", report_value (Recover.Report.to_json report));
         ]
     | Recover.Unrepairable e ->
         [
-          ("outcome", json_string "unrepairable");
-          ("typed", string_of_bool (Recover.typed_unrepairable e));
-          ("error", json_string (Recover.error_to_string e));
+          ("outcome", Json.String "unrepairable");
+          ("typed", Json.Bool (Recover.typed_unrepairable e));
+          ("error", Json.String (Recover.error_to_string e));
         ]
     | Recover.Undiagnosed e ->
         [
-          ("outcome", json_string "undiagnosed");
-          ("error", json_string (Sim.Platform_sim.error_to_string e));
+          ("outcome", Json.String "undiagnosed");
+          ("error", Json.String (Sim.Platform_sim.error_to_string e));
         ]
   in
-  let fields =
-    ("scenario", json_string (Recover.scenario_name scenario)) :: fields
-  in
-  Printf.sprintf "{%s}"
-    (String.concat ","
-       (List.map (fun (k, v) -> Printf.sprintf "%s:%s" (json_string k) v) fields))
+  Json.to_string
+    (Json.Obj
+       (("scenario", Json.String (Recover.scenario_name scenario)) :: fields))
 
 let run_recover interconnect sequence tiles kill_tile kill_link at_cycle sweep
     passes out_dir jobs =
@@ -949,7 +1013,7 @@ let run_recover interconnect sequence tiles kill_tile kill_link at_cycle sweep
            (List.map
               (fun s -> s.Mjpeg.Streams.seq_name)
               (Mjpeg.Streams.all ())));
-      1
+      exit_error
   | Some seq -> (
       let ( let* ) = Result.bind in
       let result =
@@ -961,7 +1025,7 @@ let run_recover interconnect sequence tiles kill_tile kill_link at_cycle sweep
       match result with
       | Error msg ->
           Printf.eprintf "flow failed: %s\n" msg;
-          1
+          exit_error
       | Ok flow -> (
           let mapping = flow.Core.Design_flow.mapping in
           let iterations = passes * Mjpeg.Streams.mcus seq in
@@ -1006,11 +1070,11 @@ let run_recover interconnect sequence tiles kill_tile kill_link at_cycle sweep
           match scenarios with
           | _ when rejections <> [] ->
               List.iter (Printf.eprintf "%s\n") rejections;
-              1
+              exit_error
           | [] ->
               Printf.eprintf
                 "nothing to inject: pass --kill-tile, --kill-link or --sweep\n";
-              1
+              exit_error
           | scenarios ->
               (match flow.Core.Design_flow.guarantee with
               | Some g ->
@@ -1053,7 +1117,7 @@ let run_recover interconnect sequence tiles kill_tile kill_link at_cycle sweep
               else begin
                 Printf.eprintf "%d scenario(s) were not survived cleanly\n"
                   (List.length bad);
-                1
+                exit_gate
               end))
 
 let recover_cmd =
@@ -1136,6 +1200,147 @@ let recover_cmd =
       const run_recover $ interconnect $ sequence $ tiles $ kill_tile
       $ kill_link $ at_cycle $ sweep $ passes $ out_dir $ jobs_term)
 
+(* --- serve ------------------------------------------------------------------- *)
+
+let run_serve host port queue_capacity max_connections workers journal
+    no_journal timeout max_body_mib =
+  let journal_path =
+    if no_journal then None
+    else begin
+      (* the default lives under _serve/ next to the other artefact dirs;
+         create the parent so first launch does not need a manual mkdir *)
+      let dir = Filename.dirname journal in
+      (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+       with Unix.Unix_error _ -> ());
+      Some journal
+    end
+  in
+  let config =
+    {
+      Serve.Server.default_config with
+      host;
+      port;
+      queue_capacity;
+      max_connections;
+      workers =
+        (if workers <= 0 then Exec.Pool.parallelism ~default:2 ()
+         else workers);
+      journal_path;
+      default_timeout = (if timeout <= 0. then None else Some timeout);
+      max_body_bytes = max_body_mib * 1024 * 1024;
+    }
+  in
+  match Serve.Server.create config with
+  | Error msg ->
+      Printf.eprintf "serve: %s\n" msg;
+      exit_error
+  | Ok server ->
+      (* SIGTERM and SIGINT both drain: stop admission, finish the
+         backlog under its budgets, close the journal, exit 0. drain
+         only sets an atomic flag, so it is safe in a signal handler. *)
+      let on_signal _ = Serve.Server.drain server in
+      List.iter
+        (fun s ->
+          try Sys.set_signal s (Sys.Signal_handle on_signal)
+          with Invalid_argument _ | Sys_error _ -> ())
+        [ Sys.sigterm; Sys.sigint ];
+      Printf.printf "listening on http://%s:%d (%d worker(s), queue %d, %s)\n%!"
+        host
+        (Serve.Server.port server)
+        config.Serve.Server.workers config.Serve.Server.queue_capacity
+        (match journal_path with
+        | Some p -> "journal " ^ p
+        | None -> "no journal");
+      Serve.Server.run server;
+      print_string "drained\n";
+      0
+
+let serve_cmd =
+  let host =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let port =
+    Arg.(
+      value
+      & opt int 8124
+      & info [ "port"; "p" ] ~docv:"PORT"
+          ~doc:"TCP port; $(b,0) picks an ephemeral one (printed on start).")
+  in
+  let queue =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission bound: jobs admitted but not yet finished. A full \
+             queue answers $(b,429) with $(b,Retry-After) instead of \
+             accepting unbounded work.")
+  in
+  let max_conns =
+    Arg.(
+      value
+      & opt int 32
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:"Concurrent connection threads before answering $(b,503).")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "workers"; "j" ] ~docv:"N"
+          ~doc:
+            "Executor domains running jobs off the queue ($(b,0) means \
+             one per core).")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt string (Filename.concat "_serve" "journal.log")
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Job journal for crash safety: every transition is appended \
+             here, and a restart replays it — queued jobs re-enqueue, \
+             mid-flight ones report $(b,interrupted), finished ones \
+             answer from the stored outcome.")
+  in
+  let no_journal =
+    Arg.(
+      value & flag
+      & info [ "no-journal" ]
+          ~doc:"Run without the journal (no crash safety).")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt float 60.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Default per-job budget (the watchdog) when a request names \
+             none; a job over budget answers $(b,504), with the partial \
+             DSE front where the anytime sweep produced one. \
+             $(b,--timeout 0) disables it.")
+  in
+  let max_body =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "max-body" ] ~docv:"MIB"
+          ~doc:"Largest accepted request body, in MiB ($(b,413) beyond).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Mapping-as-a-service: a crash-safe, backpressured HTTP daemon \
+          over the flow — POST an SDF graph to $(b,/jobs), poll or \
+          $(b,wait=1) for the mapping result; $(b,/healthz), \
+          $(b,/readyz) and $(b,/metrics) for operations")
+    Term.(
+      const run_serve $ host $ port $ queue $ max_conns $ workers $ journal
+      $ no_journal $ timeout $ max_body)
+
 let () =
   let doc =
     "An automated flow to map throughput-constrained applications to a MPSoC"
@@ -1152,4 +1357,5 @@ let () =
             experiments_cmd;
             conformance_cmd;
             recover_cmd;
+            serve_cmd;
           ]))

@@ -403,7 +403,7 @@ let write_reproducer ~out_dir case spec (shrunk : Shrink.outcome) =
 (* --- the suite ------------------------------------------------------------ *)
 
 let run_suite ?(options = default_options) ?(out_dir = "_conformance")
-    ?(progress = fun _ -> ()) ?(jobs = 1) ~base_seed ~count () =
+    ?(progress = fun _ -> ()) ?(jobs = 1) ?cancel ~base_seed ~count () =
   (* one task per seed: check, and on violation shrink + write the
      reproducer from inside the task. Reproducer directories are keyed by
      seed and oracle, so concurrent shards never write the same path. *)
@@ -484,18 +484,32 @@ let run_suite ?(options = default_options) ?(out_dir = "_conformance")
               } ))
   in
   let seeds = List.init count (fun i -> base_seed + i) in
+  (* a set token (the CLI's SIGINT path) skips every seed that has not
+     started yet; the report then covers exactly the evaluated prefix *)
+  let cancelled () =
+    match cancel with
+    | None -> false
+    | Some token -> Exec.Budget.cancelled token
+  in
   let evaluated =
     if jobs <= 1 then
       (* sequential: stream [progress] as each seed completes, as before *)
-      List.map
+      List.filter_map
         (fun seed ->
-          let ((case, _) as r) = eval seed in
-          progress case;
-          r)
+          if cancelled () then None
+          else begin
+            let ((case, _) as r) = eval seed in
+            progress case;
+            Some r
+          end)
         seeds
     else begin
       let rs =
-        Exec.Pool.with_pool ~jobs (fun pool -> Exec.Pool.map pool eval seeds)
+        Exec.Pool.with_pool ~jobs (fun pool ->
+            Exec.Pool.map pool
+              (fun seed -> if cancelled () then None else Some (eval seed))
+              seeds)
+        |> List.filter_map Fun.id
       in
       (* progress fires after the parallel round, in seed order, so the
          callback needs no synchronization of its own *)

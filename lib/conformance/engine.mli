@@ -81,11 +81,16 @@ val run_suite :
   ?out_dir:string ->
   ?progress:(case -> unit) ->
   ?jobs:int ->
+  ?cancel:Exec.Budget.token ->
   base_seed:int ->
   count:int ->
   unit ->
   report
-(** Check seeds [base_seed .. base_seed + count - 1]. Each failing case is
+(** Check seeds [base_seed .. base_seed + count - 1]. A [cancel] token
+    that becomes set (e.g. from a SIGINT handler) skips every seed that
+    has not started yet: the report covers exactly the seeds evaluated
+    before the cancellation, so a partial run is still a valid (smaller)
+    suite. Each failing case is
     shrunk (the predicate being "the same oracle still fires on the shrunk
     spec") and a reproducer — [graph.xml] plus a [case.txt] with the spec,
     the violations and the replay command — is written under [out_dir]

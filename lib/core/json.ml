@@ -1,0 +1,9 @@
+(* The flow-level name for the shared JSON helper (see Jsonkit.Json).
+
+   Layering: the encoder lives in [lib/jsonkit] (dependency-free, like
+   xmlkit) so the lower layers — sim's deadlock diagnoses, recover's
+   reports, obs's Chrome traces — can share one escaping rule; this
+   module re-exports it under the name the flow-level tooling (the CLI,
+   the serve daemon, the benchmark harness) imports. *)
+
+include Jsonkit.Json

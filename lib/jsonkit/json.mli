@@ -1,0 +1,67 @@
+(** Minimal JSON values: one escaping rule for every emitter.
+
+    The repository grew four independent JSON writers (deadlock
+    diagnoses, recovery reports, the benchmark's BENCH.json, the Chrome
+    trace export) with three subtly different string-escaping routines —
+    [String.escaped] is not JSON escaping ([\027] renders as [\027], not
+    []). This module is the single shared encoder, plus a small
+    strict parser for the tools that read JSON back (the serve daemon's
+    clients, the load generator's BENCH.json merge).
+
+    Encoding is canonical and deterministic: object fields keep their
+    construction order, floats render with six decimal places (the
+    BENCH.json schema), and non-finite floats render as [null] rather
+    than the invalid bare tokens [nan]/[inf]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** rendered with [%.6f]; non-finite renders as [null] *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** field order is preserved verbatim *)
+
+(** {1 Encoding} *)
+
+val escape : string -> string
+(** JSON string-body escaping: quote, backslash, and every control
+    character below [0x20] (named escapes for [\n], [\r], [\t], [\b],
+    [\f]; [\uXXXX] otherwise). Bytes [>= 0x80] pass through untouched, so
+    UTF-8 input stays UTF-8. *)
+
+val quote : string -> string
+(** [escape] wrapped in double quotes — a complete JSON string token. *)
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+(** {1 Parsing} *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of a complete JSON document: exactly one value plus
+    trailing whitespace. Errors carry a byte offset. Nesting is limited
+    to {!max_depth} so hostile input cannot overflow the stack; numbers
+    that fit an OCaml [int] parse as [Int], everything else as [Float].
+    [\uXXXX] escapes decode to UTF-8 (surrogate pairs included). *)
+
+val max_depth : int
+(** Maximum container nesting accepted by {!of_string}. *)
+
+(** {1 Accessors}
+
+    Total projections for walking parsed documents; all return [None] on
+    a kind mismatch. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on absent fields and non-objects. *)
+
+val to_list_opt : t -> t list option
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+(** [Int] values widen to float. *)
+
+val to_bool_opt : t -> bool option

@@ -141,47 +141,59 @@ module Report = struct
 
   let to_string t = Format.asprintf "%a" pp t
 
-  let json_string s = Printf.sprintf "\"%s\"" (Obs.Chrome_trace.escape s)
+  module Json = Jsonkit.Json
 
   let json_rational = function
-    | None -> "null"
+    | None -> Json.Null
     | Some (r : Rational.t) ->
-        Printf.sprintf "{\"num\":%d,\"den\":%d}" r.Rational.num r.Rational.den
+        Json.Obj
+          [ ("num", Json.Int r.Rational.num); ("den", Json.Int r.Rational.den) ]
 
   let to_json t =
     let resource =
       match t.rp_resource with
       | Diagnosis.Failed_tile tile ->
-          Printf.sprintf "{\"kind\":\"tile\",\"tile\":%d}" tile
+          Json.Obj [ ("kind", Json.String "tile"); ("tile", Json.Int tile) ]
       | Diagnosis.Failed_link { fl_channel; fl_hop } ->
-          Printf.sprintf "{\"kind\":\"link\",\"channel\":%s,\"hop\":%s}"
-            (json_string fl_channel)
-            (match fl_hop with
-            | None -> "null"
-            | Some (a, b) -> Printf.sprintf "[%d,%d]" a b)
+          Json.Obj
+            [
+              ("kind", Json.String "link");
+              ("channel", Json.String fl_channel);
+              ( "hop",
+                match fl_hop with
+                | None -> Json.Null
+                | Some (a, b) -> Json.List [ Json.Int a; Json.Int b ] );
+            ]
     in
     let migrated =
       List.map
         (fun (a, from_, to_) ->
-          Printf.sprintf "{\"actor\":%s,\"from\":%d,\"to\":%d}" (json_string a)
-            from_ to_)
+          Json.Obj
+            [
+              ("actor", Json.String a);
+              ("from", Json.Int from_);
+              ("to", Json.Int to_);
+            ])
         t.rp_migrated
     in
     let rerouted =
       List.map
         (fun ((s, d), hops) ->
-          Printf.sprintf "{\"src\":%d,\"dst\":%d,\"hops\":%d}" s d hops)
+          Json.Obj
+            [ ("src", Json.Int s); ("dst", Json.Int d); ("hops", Json.Int hops) ])
         t.rp_rerouted
     in
-    Printf.sprintf
-      "{\"resource\":%s,\"migrated\":[%s],\"rerouted\":[%s],\"old_bound\":%s,\"new_bound\":%s,\"measured\":%s,\"loss_percent\":%.3f}"
-      resource
-      (String.concat "," migrated)
-      (String.concat "," rerouted)
-      (json_rational t.rp_old_bound)
-      (json_rational t.rp_new_bound)
-      (json_rational (Some t.rp_measured))
-      t.rp_loss_percent
+    Json.to_string
+      (Json.Obj
+         [
+           ("resource", resource);
+           ("migrated", Json.List migrated);
+           ("rerouted", Json.List rerouted);
+           ("old_bound", json_rational t.rp_old_bound);
+           ("new_bound", json_rational t.rp_new_bound);
+           ("measured", json_rational (Some t.rp_measured));
+           ("loss_percent", Json.Float t.rp_loss_percent);
+         ])
 end
 
 (* --- repair -------------------------------------------------------------- *)

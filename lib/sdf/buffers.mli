@@ -37,6 +37,7 @@ val size_for_throughput :
   ?options:Execution.options ->
   ?max_rounds:int ->
   ?memo:bool ->
+  ?analysis:Throughput.method_ ->
   ?bounded:(Graph.channel -> bool) ->
   Graph.t ->
   target:Rational.t ->
@@ -46,6 +47,10 @@ val size_for_throughput :
     Each round's analysis goes through {!Throughput.analyse_memo} unless
     [~memo:false] — neighbouring searches revisit the same bounded
     graphs, and results are identical either way.
+    [analysis] picks the throughput method per round (default [`Auto]:
+    the search re-analyses many near-identical graphs, exactly where the
+    symbolic method pays; [`State_space] is the escape hatch and yields
+    the same capacities, since both methods return the same bound).
     Returns [None] when [max_rounds] (default 64) increments were not
     enough — including when the unbounded graph itself cannot reach the
     target. *)
@@ -61,6 +66,7 @@ val trade_off :
   ?options:Execution.options ->
   ?max_rounds:int ->
   ?memo:bool ->
+  ?analysis:Throughput.method_ ->
   ?bounded:(Graph.channel -> bool) ->
   Graph.t ->
   trade_off_point list
@@ -68,5 +74,6 @@ val trade_off :
     behind SDF3's "calculates buffer distributions"): starting from the
     structural lower bounds, repeatedly grow the channel whose space
     tokens block the most firings and record every strict throughput
-    improvement. Monotone in [total_tokens] and [point_throughput]; ends
+    improvement. [analysis] as in {!size_for_throughput} (default
+    [`Auto]). Monotone in [total_tokens] and [point_throughput]; ends
     when growth stops paying off or [max_rounds] (default 64) is hit. *)

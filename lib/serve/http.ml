@@ -1,0 +1,245 @@
+type request = {
+  rq_method : string;
+  rq_path : string;
+  rq_query : (string * string) list;
+  rq_headers : (string * string) list;
+  rq_body : string;
+}
+
+type error =
+  | Closed
+  | Timed_out
+  | Too_large of string
+  | Malformed of string
+
+let error_to_string = function
+  | Closed -> "connection closed mid-request"
+  | Timed_out -> "receive timeout"
+  | Too_large what -> Printf.sprintf "%s too large" what
+  | Malformed what -> Printf.sprintf "malformed request: %s" what
+
+(* --- reading -------------------------------------------------------------- *)
+
+exception Recv_closed
+exception Recv_timeout
+
+let recv_byte fd buf =
+  match Unix.read fd buf 0 1 with
+  | 0 -> raise Recv_closed
+  | _ -> Bytes.get buf 0
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      raise Recv_timeout
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      raise Recv_closed
+
+(* read until the blank line ending the header block; byte-at-a-time is
+   fine at this request rate and sidesteps buffering the body prefix *)
+let read_head fd ~max_header_bytes =
+  let one = Bytes.create 1 in
+  let b = Buffer.create 512 in
+  let rec go () =
+    if Buffer.length b > max_header_bytes then Error (Too_large "header block")
+    else begin
+      Buffer.add_char b (recv_byte fd one);
+      let n = Buffer.length b in
+      if n >= 4 && String.equal (Buffer.sub b (n - 4) 4) "\r\n\r\n" then
+        Ok (Buffer.sub b 0 (n - 4))
+      else go ()
+    end
+  in
+  match go () with
+  | r -> r
+  | exception Recv_closed -> Error Closed
+  | exception Recv_timeout -> Error Timed_out
+
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then Ok (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> Error Closed
+      | k -> go (off + k)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Error Timed_out
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          Error Closed
+  in
+  go 0
+
+(* --- parsing -------------------------------------------------------------- *)
+
+let hex_value c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let percent_decode s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then Buffer.contents b
+    else
+      match s.[i] with
+      | '+' ->
+          Buffer.add_char b ' ';
+          go (i + 1)
+      | '%' when i + 2 < n -> (
+          match (hex_value s.[i + 1], hex_value s.[i + 2]) with
+          | Some h, Some l ->
+              Buffer.add_char b (Char.chr ((h * 16) + l));
+              go (i + 3)
+          | _ ->
+              Buffer.add_char b '%';
+              go (i + 1))
+      | c ->
+          Buffer.add_char b c;
+          go (i + 1)
+  in
+  go 0
+
+let parse_query s =
+  if String.equal s "" then []
+  else
+    String.split_on_char '&' s
+    |> List.filter_map (fun kv ->
+           if String.equal kv "" then None
+           else
+             match String.index_opt kv '=' with
+             | None -> Some (percent_decode kv, "")
+             | Some i ->
+                 Some
+                   ( percent_decode (String.sub kv 0 i),
+                     percent_decode
+                       (String.sub kv (i + 1) (String.length kv - i - 1)) ))
+
+let parse_target target =
+  match String.index_opt target '?' with
+  | None -> (target, [])
+  | Some i ->
+      ( String.sub target 0 i,
+        parse_query (String.sub target (i + 1) (String.length target - i - 1))
+      )
+
+let parse_header_line line =
+  match String.index_opt line ':' with
+  | None -> Error (Malformed (Printf.sprintf "header %S" line))
+  | Some i ->
+      let name = String.lowercase_ascii (String.trim (String.sub line 0 i)) in
+      let value =
+        String.trim (String.sub line (i + 1) (String.length line - i - 1))
+      in
+      Ok (name, value)
+
+let parse_head head =
+  let lines =
+    String.split_on_char '\n' head
+    |> List.map (fun l ->
+           let n = String.length l in
+           if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l)
+    |> List.filter (fun l -> not (String.equal l ""))
+  in
+  match lines with
+  | [] -> Error (Malformed "empty request")
+  | request_line :: header_lines -> (
+      match String.split_on_char ' ' request_line with
+      | [ meth; target; version ]
+        when String.length version >= 5
+             && String.equal (String.sub version 0 5) "HTTP/" ->
+          let rec headers acc = function
+            | [] -> Ok (List.rev acc)
+            | l :: rest -> (
+                match parse_header_line l with
+                | Ok h -> headers (h :: acc) rest
+                | Error _ as e -> e)
+          in
+          Result.map
+            (fun hs ->
+              let path, query = parse_target target in
+              (String.uppercase_ascii meth, path, query, hs))
+            (headers [] header_lines)
+      | _ -> Error (Malformed (Printf.sprintf "request line %S" request_line)))
+
+let find_header headers name =
+  List.assoc_opt (String.lowercase_ascii name) headers
+
+let read_request ?(max_header_bytes = 16 * 1024)
+    ?(max_body_bytes = 4 * 1024 * 1024) fd =
+  match read_head fd ~max_header_bytes with
+  | Error _ as e -> e
+  | Ok head -> (
+      match parse_head head with
+      | Error _ as e -> e
+      | Ok (meth, path, query, headers) -> (
+          let with_body body =
+            Ok
+              {
+                rq_method = meth;
+                rq_path = path;
+                rq_query = query;
+                rq_headers = headers;
+                rq_body = body;
+              }
+          in
+          match find_header headers "content-length" with
+          | None -> with_body ""
+          | Some v -> (
+              match int_of_string_opt (String.trim v) with
+              | None ->
+                  Error (Malformed (Printf.sprintf "content-length %S" v))
+              | Some n when n < 0 ->
+                  Error (Malformed (Printf.sprintf "content-length %S" v))
+              | Some n when n > max_body_bytes -> Error (Too_large "body")
+              | Some n -> (
+                  match read_exact fd n with
+                  | Ok body -> with_body body
+                  | Error _ as e -> e))))
+
+let header rq name = find_header rq.rq_headers name
+let query_param rq name = List.assoc_opt name rq.rq_query
+
+(* --- writing -------------------------------------------------------------- *)
+
+let status_text = function
+  | 200 -> "OK"
+  | 202 -> "Accepted"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Payload Too Large"
+  | 422 -> "Unprocessable Entity"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | 504 -> "Gateway Timeout"
+  | c -> Printf.sprintf "Status %d" c
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      let k = Unix.write_substring fd s off (n - off) in
+      go (off + k)
+  in
+  go 0
+
+let respond fd ~status ?(headers = []) body =
+  let has name = List.exists (fun (k, _) -> String.equal k name) headers in
+  let b = Buffer.create (256 + String.length body) in
+  Buffer.add_string b
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_text status));
+  if not (has "Content-Type") then
+    Buffer.add_string b "Content-Type: application/json\r\n";
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string b
+    (Printf.sprintf "Content-Length: %d\r\nConnection: close\r\n\r\n"
+       (String.length body));
+  Buffer.add_string b body;
+  try write_all fd (Buffer.contents b)
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+    ()

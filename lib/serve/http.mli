@@ -1,0 +1,52 @@
+(** A minimal HTTP/1.1 layer over [Unix] file descriptors.
+
+    The mapping service speaks a deliberately small slice of HTTP: one
+    request per connection ([Connection: close] on every response),
+    bodies framed by [Content-Length] only (no chunked encoding), and
+    bounded header/body sizes so a misbehaving client cannot make the
+    daemon allocate without limit. This is all the protocol the job API
+    needs, and keeping it hand-rolled avoids a server dependency the
+    container does not ship. *)
+
+type request = {
+  rq_method : string;  (** verb, upper-case as received *)
+  rq_path : string;  (** request target without the query string *)
+  rq_query : (string * string) list;  (** decoded query parameters *)
+  rq_headers : (string * string) list;  (** names lower-cased *)
+  rq_body : string;
+}
+
+type error =
+  | Closed  (** peer closed before a complete request arrived *)
+  | Timed_out  (** the socket receive timeout elapsed mid-request *)
+  | Too_large of string  (** header block or body over the cap *)
+  | Malformed of string  (** unparseable request line, header or length *)
+
+val error_to_string : error -> string
+
+val read_request :
+  ?max_header_bytes:int ->
+  ?max_body_bytes:int ->
+  Unix.file_descr ->
+  (request, error) result
+(** Read one request. Defaults: 16 KiB of headers, 4 MiB of body. The
+    caller arms the socket timeout ([SO_RCVTIMEO]); an [EAGAIN] from the
+    kernel surfaces as {!Timed_out}. *)
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup. *)
+
+val query_param : request -> string -> string option
+
+val status_text : int -> string
+
+val respond :
+  Unix.file_descr ->
+  status:int ->
+  ?headers:(string * string) list ->
+  string ->
+  unit
+(** Write a complete response (status line, [Content-Type:
+    application/json] unless overridden, [Content-Length],
+    [Connection: close], body). A peer that already hung up ([EPIPE],
+    [ECONNRESET]) is ignored — the response is best-effort. *)

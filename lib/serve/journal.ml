@@ -1,0 +1,238 @@
+module Json = Jsonkit.Json
+
+let magic = "mamps-serve-journal"
+let version = 1
+
+type event =
+  | Submitted of string * Job.spec
+  | Started of string
+  | Finished of string * Job.outcome
+  | Interrupted of string
+  | Requeued of string
+
+type replayed_status =
+  | Replay_queued
+  | Replay_interrupted
+  | Replay_done of Job.outcome
+
+type replay = {
+  rp_jobs : (string * Job.spec * replayed_status) list;
+  rp_torn_lines : int;
+}
+
+type t = {
+  path : string;
+  mutable oc : out_channel;
+  lock : Mutex.t;
+}
+
+(* --- line format ---------------------------------------------------------- *)
+
+(* one record per line; %S keeps embedded newlines/quotes out of the
+   framing, so a torn line can only ever be the last one *)
+let outcome_line id = function
+  | Job.Completed doc -> Printf.sprintf "done %S %S" id (Json.to_string doc)
+  | Job.Failed msg -> Printf.sprintf "fail %S %S" id msg
+  | Job.Timed_out None -> Printf.sprintf "timeout %S %S" id ""
+  | Job.Timed_out (Some doc) ->
+      Printf.sprintf "timeout %S %S" id (Json.to_string doc)
+
+let event_line = function
+  | Submitted (id, spec) ->
+      Printf.sprintf "sub %S %S" id (Json.to_string (Job.to_json spec))
+  | Started id -> Printf.sprintf "run %S" id
+  | Finished (id, outcome) -> outcome_line id outcome
+  | Interrupted id -> Printf.sprintf "intr %S" id
+  | Requeued id -> Printf.sprintf "requeue %S" id
+
+let parse_event line =
+  let scan fmt f = try Scanf.sscanf line fmt f with _ -> None in
+  if String.length line >= 4 && String.sub line 0 4 = "sub " then
+    scan "sub %S %S" (fun id spec_s ->
+        match Json.of_string spec_s with
+        | Error _ -> None
+        | Ok j -> (
+            match Job.of_json j with
+            | Ok spec -> Some (Submitted (id, spec))
+            | Error _ -> None))
+  else if String.length line >= 4 && String.sub line 0 4 = "run " then
+    scan "run %S" (fun id -> Some (Started id))
+  else if String.length line >= 5 && String.sub line 0 5 = "done " then
+    scan "done %S %S" (fun id doc_s ->
+        match Json.of_string doc_s with
+        | Ok doc -> Some (Finished (id, Job.Completed doc))
+        | Error _ -> None)
+  else if String.length line >= 5 && String.sub line 0 5 = "fail " then
+    scan "fail %S %S" (fun id msg -> Some (Finished (id, Job.Failed msg)))
+  else if String.length line >= 8 && String.sub line 0 8 = "timeout " then
+    scan "timeout %S %S" (fun id doc_s ->
+        if String.equal doc_s "" then Some (Finished (id, Job.Timed_out None))
+        else
+          match Json.of_string doc_s with
+          | Ok doc -> Some (Finished (id, Job.Timed_out (Some doc)))
+          | Error _ -> None)
+  else if String.length line >= 5 && String.sub line 0 5 = "intr " then
+    scan "intr %S" (fun id -> Some (Interrupted id))
+  else if String.length line >= 8 && String.sub line 0 8 = "requeue " then
+    scan "requeue %S" (fun id -> Some (Requeued id))
+  else None
+
+(* --- replay --------------------------------------------------------------- *)
+
+type accum = {
+  mutable a_spec : Job.spec option;
+  mutable a_started : bool;
+  mutable a_done : Job.outcome option;
+  mutable a_interrupted : bool;
+}
+
+let replay_events events =
+  let tbl : (string, accum) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let slot id =
+    match Hashtbl.find_opt tbl id with
+    | Some a -> a
+    | None ->
+        let a =
+          { a_spec = None; a_started = false; a_done = None;
+            a_interrupted = false }
+        in
+        Hashtbl.add tbl id a;
+        order := id :: !order;
+        a
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Submitted (id, spec) ->
+          let a = slot id in
+          if a.a_spec = None then a.a_spec <- Some spec
+      | Started id -> (slot id).a_started <- true
+      | Finished (id, outcome) -> (slot id).a_done <- Some outcome
+      | Interrupted id ->
+          let a = slot id in
+          a.a_interrupted <- true;
+          a.a_started <- false
+      | Requeued id ->
+          (* the client resubmitted an interrupted job: back to queued *)
+          let a = slot id in
+          a.a_interrupted <- false;
+          a.a_started <- false;
+          a.a_done <- None)
+    events;
+  List.rev !order
+  |> List.filter_map (fun id ->
+         let a = Hashtbl.find tbl id in
+         match a.a_spec with
+         | None -> None (* run/done without a sub line: drop *)
+         | Some spec ->
+             let status =
+               match a.a_done with
+               | Some outcome -> Replay_done outcome
+               | None ->
+                   if a.a_started then Replay_interrupted
+                   else if a.a_interrupted then Replay_interrupted
+                   else Replay_queued
+             in
+             Some (id, spec, status))
+
+(* --- files ---------------------------------------------------------------- *)
+
+let rec mkdirs dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdirs (Filename.dirname dir);
+    Sys.mkdir dir 0o755
+  end
+
+let read_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try
+        while true do
+          lines := input_line ic :: !lines
+        done
+      with End_of_file -> ());
+  List.rev !lines
+
+(* compaction rewrites the whole journal as one sub line (+ terminal /
+   intr line) per job — atomically, so a crash during compaction leaves
+   either the old or the new journal, never a mix *)
+let compact ~path jobs =
+  mkdirs (Filename.dirname path);
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "%s %d\n" magic version;
+      List.iter
+        (fun (id, spec, status) ->
+          output_string oc (event_line (Submitted (id, spec)) ^ "\n");
+          match status with
+          | Replay_queued -> ()
+          | Replay_interrupted ->
+              output_string oc (event_line (Interrupted id) ^ "\n")
+          | Replay_done outcome ->
+              output_string oc (event_line (Finished (id, outcome)) ^ "\n"))
+        jobs;
+      flush oc);
+  Sys.rename tmp path
+
+let open_ path =
+  if not (Sys.file_exists path) then begin
+    mkdirs (Filename.dirname path);
+    compact ~path []
+  end;
+  match read_lines path with
+  | exception Sys_error e -> Error e
+  | [] -> Error (Printf.sprintf "journal %s is empty" path)
+  | header :: rest -> (
+      match
+        try Scanf.sscanf header "%s %d" (fun m v -> Some (m, v))
+        with _ -> None
+      with
+      | Some (m, _) when m <> magic ->
+          Error (Printf.sprintf "%s is not a serve journal" path)
+      | Some (_, v) when v <> version ->
+          Error
+            (Printf.sprintf
+               "journal %s has version %d, this build reads version %d" path v
+               version)
+      | None -> Error (Printf.sprintf "%s has a malformed header" path)
+      | Some _ ->
+          let events, torn =
+            List.fold_left
+              (fun (evs, torn) line ->
+                if String.equal (String.trim line) "" then (evs, torn)
+                else
+                  match parse_event line with
+                  | Some ev -> (ev :: evs, torn)
+                  | None -> (evs, torn + 1))
+              ([], 0) rest
+          in
+          let jobs = replay_events (List.rev events) in
+          compact ~path jobs;
+          let oc =
+            open_out_gen [ Open_append; Open_wronly ] 0o644 path
+          in
+          Ok
+            ( { path; oc; lock = Mutex.create () },
+              { rp_jobs = jobs; rp_torn_lines = torn } ))
+
+let append t event =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      output_string t.oc (event_line event ^ "\n");
+      flush t.oc)
+
+let close t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> close_out_noerr t.oc)

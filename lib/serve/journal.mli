@@ -1,0 +1,43 @@
+(** The crash-safe job journal.
+
+    Every state transition of every job is one appended, flushed line, so
+    the daemon can be killed at any instant and reconstruct exactly which
+    jobs were queued, running or finished. The format follows
+    {!Core.Dse_checkpoint}'s discipline: a magic+version header, one
+    [%S]-escaped record per line, a torn final line (the crash landed
+    mid-write) tolerated and counted, and startup compaction rewriting
+    the file atomically (temp + rename) so it does not grow without
+    bound across restarts. *)
+
+type event =
+  | Submitted of string * Job.spec  (** job accepted into the queue *)
+  | Started of string  (** a worker picked the job up *)
+  | Finished of string * Job.outcome
+  | Interrupted of string
+      (** recorded during replay for jobs that were running at the crash *)
+  | Requeued of string  (** an interrupted job resubmitted by the client *)
+
+(** A job's state as reconstructed from the journal. *)
+type replayed_status =
+  | Replay_queued  (** submitted, never started (or requeued): re-enqueue *)
+  | Replay_interrupted  (** started but never finished: the crash ate it *)
+  | Replay_done of Job.outcome
+
+type replay = {
+  rp_jobs : (string * Job.spec * replayed_status) list;
+      (** submission order *)
+  rp_torn_lines : int;  (** unparseable trailing records dropped *)
+}
+
+type t
+
+val open_ : string -> (t * replay, string) result
+(** Open (creating if absent) the journal, replay it, mark every job
+    that was mid-flight as {!Interrupted}, compact, and return the
+    reconstructed state. [Error] only for a file that is not a journal
+    (wrong magic/version) or an unwritable path. *)
+
+val append : t -> event -> unit
+(** Serialize, append, flush. Thread-safe. *)
+
+val close : t -> unit

@@ -1,0 +1,465 @@
+module Json = Jsonkit.Json
+
+type config = {
+  host : string;
+  port : int;
+  queue_capacity : int;
+  max_connections : int;
+  workers : int;
+  journal_path : string option;
+  default_timeout : float option;
+  max_body_bytes : int;
+  execute : Job.spec -> Job.outcome;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 8124;
+    queue_capacity = 64;
+    max_connections = 32;
+    workers = 2;
+    journal_path = None;
+    default_timeout = Some 60.0;
+    max_body_bytes = 4 * 1024 * 1024;
+    execute = Job.execute;
+  }
+
+type job_status =
+  | Queued
+  | Running
+  | Finished of Job.outcome
+  | Interrupted
+
+type entry = {
+  e_id : string;
+  e_spec : Job.spec;
+  mutable e_status : job_status;
+}
+
+type t = {
+  cfg : config;
+  sock : Unix.file_descr;
+  bound_port : int;
+  mx : Obs.Metrics.t;
+  journal : Journal.t option;
+  lock : Mutex.t;
+  work_cv : Condition.t;  (** queue became non-empty, or drain began *)
+  done_cv : Condition.t;  (** some job finished (wakes [wait=1] holders) *)
+  queue : string Queue.t;
+  jobs : (string, entry) Hashtbl.t;
+  mutable order : string list;  (** submission order, newest first *)
+  mutable running : int;
+  mutable conns : int;
+  stop : bool Atomic.t;
+}
+
+(* --- state helpers (call with [t.lock] held) ------------------------------- *)
+
+let journal_append t ev =
+  match t.journal with None -> () | Some j -> Journal.append j ev
+
+let set_queue_gauge t =
+  Obs.Metrics.gauge_set t.mx "serve.queue.depth" (Queue.length t.queue)
+
+let status_name = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Interrupted -> "interrupted"
+  | Finished o -> Job.outcome_status o
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* --- creation ------------------------------------------------------------- *)
+
+let replay_into t (replay : Journal.replay) =
+  List.iter
+    (fun (id, spec, status) ->
+      let e_status =
+        match status with
+        | Journal.Replay_queued -> Queued
+        | Journal.Replay_interrupted ->
+            Obs.Metrics.incr t.mx "serve.jobs.interrupted";
+            Interrupted
+        | Journal.Replay_done outcome -> Finished outcome
+      in
+      let entry = { e_id = id; e_spec = spec; e_status } in
+      Hashtbl.replace t.jobs id entry;
+      t.order <- id :: t.order;
+      if e_status = Queued then Queue.push id t.queue)
+    replay.Journal.rp_jobs;
+  if replay.Journal.rp_torn_lines > 0 then
+    Obs.Metrics.incr t.mx ~by:replay.Journal.rp_torn_lines
+      "serve.journal.torn_lines";
+  set_queue_gauge t
+
+let create cfg =
+  let ( let* ) = Result.bind in
+  let* journal_state =
+    match cfg.journal_path with
+    | None -> Ok None
+    | Some path ->
+        Result.map Option.some (Journal.open_ path)
+  in
+  let* sock, bound_port =
+    try
+      let addr = Unix.inet_addr_of_string cfg.host in
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (addr, cfg.port));
+      Unix.listen sock 128;
+      let bound_port =
+        match Unix.getsockname sock with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> cfg.port
+      in
+      Ok (sock, bound_port)
+    with
+    | Unix.Unix_error (err, _, _) ->
+        Error
+          (Printf.sprintf "cannot bind %s:%d: %s" cfg.host cfg.port
+             (Unix.error_message err))
+    | Failure _ ->
+        Error (Printf.sprintf "invalid bind address %S" cfg.host)
+  in
+  let t =
+    {
+      cfg;
+      sock;
+      bound_port;
+      mx = Obs.Metrics.create ();
+      journal = Option.map fst journal_state;
+      lock = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      queue = Queue.create ();
+      jobs = Hashtbl.create 64;
+      order = [];
+      running = 0;
+      conns = 0;
+      stop = Atomic.make false;
+    }
+  in
+  Option.iter (fun (_, replay) -> replay_into t replay) journal_state;
+  Ok t
+
+let port t = t.bound_port
+let metrics t = t.mx
+let drain t = Atomic.set t.stop true
+let draining t = Atomic.get t.stop
+
+(* --- workers --------------------------------------------------------------- *)
+
+let record_outcome t entry outcome =
+  entry.e_status <- Finished outcome;
+  t.running <- t.running - 1;
+  journal_append t (Journal.Finished (entry.e_id, outcome));
+  Obs.Metrics.incr t.mx
+    (Printf.sprintf "serve.jobs.%s" (Job.outcome_status outcome));
+  Condition.broadcast t.done_cv
+
+let worker_loop t =
+  let rec next () =
+    let job =
+      locked t (fun () ->
+          while Queue.is_empty t.queue && not (draining t) do
+            Condition.wait t.work_cv t.lock
+          done;
+          if Queue.is_empty t.queue then None
+          else begin
+            let id = Queue.pop t.queue in
+            set_queue_gauge t;
+            let entry = Hashtbl.find t.jobs id in
+            entry.e_status <- Running;
+            t.running <- t.running + 1;
+            journal_append t (Journal.Started id);
+            Obs.Metrics.incr t.mx "serve.jobs.executed";
+            Some entry
+          end)
+    in
+    match job with
+    | None -> ()
+    | Some entry ->
+        let outcome =
+          try t.cfg.execute entry.e_spec
+          with e -> Job.Failed (Printexc.to_string e)
+        in
+        locked t (fun () -> record_outcome t entry outcome);
+        next ()
+  in
+  next ()
+
+(* --- request handling ------------------------------------------------------ *)
+
+let error_doc msg = Json.to_string (Json.Obj [ ("error", Json.String msg) ])
+
+let entry_doc entry =
+  let base =
+    [
+      ("id", Json.String entry.e_id);
+      ("status", Json.String (status_name entry.e_status));
+    ]
+  in
+  let extra =
+    match entry.e_status with
+    | Finished (Job.Completed doc) -> [ ("result", doc) ]
+    | Finished (Job.Failed msg) -> [ ("error", Json.String msg) ]
+    | Finished (Job.Timed_out partial) ->
+        [
+          ( "partial",
+            match partial with None -> Json.Null | Some doc -> doc );
+        ]
+    | Queued | Running | Interrupted -> []
+  in
+  Json.Obj (base @ extra)
+
+let finished_http_status = function
+  | Job.Completed _ -> 200
+  | Job.Failed _ -> 422
+  | Job.Timed_out _ -> 504
+
+(* block until the entry reaches a terminal state; jobs always terminate
+   because every execution runs under a budget *)
+let wait_for t id =
+  locked t (fun () ->
+      let entry = Hashtbl.find t.jobs id in
+      let terminal () =
+        match entry.e_status with
+        | Finished _ | Interrupted -> true
+        | Queued | Running -> false
+      in
+      while not (terminal ()) do
+        Condition.wait t.done_cv t.lock
+      done;
+      entry_doc entry |> fun doc -> (entry.e_status, doc))
+
+let retry_after t =
+  locked t (fun () ->
+      let backlog = Queue.length t.queue + t.running in
+      max 1 (backlog / max 1 t.cfg.workers))
+
+let handle_submit t fd (rq : Http.request) =
+  match
+    Job.parse ~body:rq.Http.rq_body ~query:rq.Http.rq_query
+      ~default_timeout:t.cfg.default_timeout
+  with
+  | Error e ->
+      locked t (fun () -> Obs.Metrics.incr t.mx "serve.jobs.rejected.invalid");
+      Http.respond fd ~status:400 (error_doc e)
+  | Ok spec -> (
+      let id = Job.id spec in
+      let wait = Http.query_param rq "wait" = Some "1" in
+      let decision =
+        locked t (fun () ->
+            match Hashtbl.find_opt t.jobs id with
+            | Some entry -> (
+                match entry.e_status with
+                | Finished outcome ->
+                    Obs.Metrics.incr t.mx "serve.jobs.deduped";
+                    `Done (finished_http_status outcome, entry_doc entry)
+                | Queued | Running ->
+                    Obs.Metrics.incr t.mx "serve.jobs.deduped";
+                    `Pending (entry_doc entry)
+                | Interrupted ->
+                    (* resubmission of a crash-interrupted job: requeue *)
+                    entry.e_status <- Queued;
+                    Queue.push id t.queue;
+                    set_queue_gauge t;
+                    journal_append t (Journal.Requeued id);
+                    Obs.Metrics.incr t.mx "serve.jobs.requeued";
+                    Condition.signal t.work_cv;
+                    `Pending (entry_doc entry))
+            | None ->
+                if draining t then begin
+                  Obs.Metrics.incr t.mx "serve.jobs.rejected.draining";
+                  `Unavailable
+                end
+                else if Queue.length t.queue >= t.cfg.queue_capacity then begin
+                  Obs.Metrics.incr t.mx "serve.jobs.rejected.overload";
+                  `Overloaded
+                end
+                else begin
+                  let entry = { e_id = id; e_spec = spec; e_status = Queued } in
+                  Hashtbl.replace t.jobs id entry;
+                  t.order <- id :: t.order;
+                  Queue.push id t.queue;
+                  set_queue_gauge t;
+                  journal_append t (Journal.Submitted (id, spec));
+                  Obs.Metrics.incr t.mx "serve.jobs.accepted";
+                  Condition.signal t.work_cv;
+                  `Pending (entry_doc entry)
+                end)
+      in
+      match decision with
+      | `Done (status, doc) -> Http.respond fd ~status (Json.to_string doc)
+      | `Unavailable ->
+          Http.respond fd ~status:503 (error_doc "draining: not accepting jobs")
+      | `Overloaded ->
+          Http.respond fd ~status:429
+            ~headers:[ ("Retry-After", string_of_int (retry_after t)) ]
+            (error_doc "queue full")
+      | `Pending doc ->
+          if wait then begin
+            let status, doc = wait_for t id in
+            let http =
+              match status with
+              | Finished outcome -> finished_http_status outcome
+              | Interrupted -> 503
+              | Queued | Running -> 500
+            in
+            Http.respond fd ~status:http (Json.to_string doc)
+          end
+          else Http.respond fd ~status:202 (Json.to_string doc))
+
+let metrics_doc t =
+  locked t (fun () ->
+      let counters =
+        List.map
+          (fun (name, v) -> (name, Json.Int v))
+          (Obs.Metrics.counters t.mx)
+      in
+      let gauges =
+        List.map
+          (fun (name, g) ->
+            ( name,
+              Json.Obj
+                [
+                  ("current", Json.Int g.Obs.Metrics.g_current);
+                  ("high_water", Json.Int g.Obs.Metrics.g_high_water);
+                ] ))
+          (Obs.Metrics.gauges t.mx)
+      in
+      Json.to_string
+        (Json.Obj
+           [ ("counters", Json.Obj counters); ("gauges", Json.Obj gauges) ]))
+
+let handle_request t fd (rq : Http.request) =
+  locked t (fun () -> Obs.Metrics.incr t.mx "serve.http.requests");
+  match (rq.Http.rq_method, rq.Http.rq_path) with
+  | "GET", "/healthz" ->
+      Http.respond fd ~status:200
+        (Json.to_string (Json.Obj [ ("status", Json.String "ok") ]))
+  | "GET", "/readyz" ->
+      let not_ready reason =
+        Http.respond fd ~status:503
+          (Json.to_string
+             (Json.Obj
+                [ ("ready", Json.Bool false); ("reason", Json.String reason) ]))
+      in
+      if draining t then not_ready "draining"
+      else if
+        locked t (fun () -> Queue.length t.queue >= t.cfg.queue_capacity)
+      then not_ready "overloaded"
+      else
+        Http.respond fd ~status:200
+          (Json.to_string (Json.Obj [ ("ready", Json.Bool true) ]))
+  | "GET", "/metrics" -> Http.respond fd ~status:200 (metrics_doc t)
+  | "GET", "/jobs" ->
+      let docs =
+        locked t (fun () ->
+            List.rev_map
+              (fun id ->
+                let entry = Hashtbl.find t.jobs id in
+                Json.Obj
+                  [
+                    ("id", Json.String id);
+                    ("status", Json.String (status_name entry.e_status));
+                  ])
+              t.order)
+      in
+      Http.respond fd ~status:200
+        (Json.to_string (Json.Obj [ ("jobs", Json.List docs) ]))
+  | "POST", "/jobs" -> handle_submit t fd rq
+  | "GET", path
+    when String.length path > String.length "/jobs/"
+         && String.sub path 0 6 = "/jobs/" -> (
+      let id = String.sub path 6 (String.length path - 6) in
+      match locked t (fun () -> Hashtbl.find_opt t.jobs id) with
+      | None -> Http.respond fd ~status:404 (error_doc "unknown job")
+      | Some entry ->
+          let doc = locked t (fun () -> entry_doc entry) in
+          Http.respond fd ~status:200 (Json.to_string doc))
+  | meth, path ->
+      Http.respond fd ~status:404
+        (error_doc (Printf.sprintf "no route for %s %s" meth path))
+
+let handle_connection t fd =
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      locked t (fun () -> t.conns <- t.conns - 1))
+    (fun () ->
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0
+       with Unix.Unix_error _ -> ());
+      match Http.read_request ~max_body_bytes:t.cfg.max_body_bytes fd with
+      | Error Http.Closed -> ()
+      | Error Http.Timed_out ->
+          Http.respond fd ~status:408 (error_doc "request timed out")
+      | Error (Http.Too_large what) ->
+          Http.respond fd ~status:413 (error_doc (what ^ " too large"))
+      | Error (Http.Malformed what) ->
+          locked t (fun () -> Obs.Metrics.incr t.mx "serve.http.bad");
+          Http.respond fd ~status:400 (error_doc what)
+      | Ok rq -> (
+          try handle_request t fd rq
+          with e ->
+            Http.respond fd ~status:500 (error_doc (Printexc.to_string e))))
+
+(* --- lifecycle ------------------------------------------------------------- *)
+
+let accept_loop t =
+  while not (draining t) do
+    match Unix.select [ t.sock ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept t.sock with
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+            ()
+        | fd, _ ->
+            let admitted =
+              locked t (fun () ->
+                  if t.conns >= t.cfg.max_connections then false
+                  else begin
+                    t.conns <- t.conns + 1;
+                    true
+                  end)
+            in
+            if admitted then
+              ignore (Thread.create (fun () -> handle_connection t fd) ())
+            else begin
+              locked t (fun () ->
+                  Obs.Metrics.incr t.mx "serve.http.rejected.busy");
+              Http.respond fd ~status:503 (error_doc "connection limit");
+              (try Unix.close fd with Unix.Unix_error _ -> ())
+            end)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let run t =
+  (* a peer that hangs up mid-response must surface as EPIPE (swallowed
+     by Http.respond), not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let workers =
+    List.init (max 1 t.cfg.workers) (fun _ ->
+        Domain.spawn (fun () -> worker_loop t))
+  in
+  accept_loop t;
+  (* drain: no new connections, wake idle workers so they observe the
+     stop flag, let the backlog finish, then tear down *)
+  (try Unix.close t.sock with Unix.Unix_error _ -> ());
+  locked t (fun () -> Condition.broadcast t.work_cv);
+  List.iter Domain.join workers;
+  (* give in-flight connection threads (e.g. wait=1 responders already
+     woken by the last broadcast) a moment to write and exit *)
+  let rec await_conns tries =
+    if tries > 0 && locked t (fun () -> t.conns > 0) then begin
+      Thread.delay 0.05;
+      await_conns (tries - 1)
+    end
+  in
+  await_conns 100;
+  Option.iter Journal.close t.journal

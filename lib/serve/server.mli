@@ -1,0 +1,77 @@
+(** The mapping-as-a-service daemon.
+
+    A long-running HTTP/1.1 JSON server over the automated flow: clients
+    POST SDF graphs and get throughput/area answers back, with the three
+    robustness properties a service needs that a CLI run does not —
+
+    {ul
+    {- {b Backpressure.} Admission is a bounded queue: a full queue
+       answers [429 Too Many Requests] with a [Retry-After] hint instead
+       of accepting unbounded work, and [/readyz] flips to 503 while
+       overloaded or draining so a load balancer stops sending.}
+    {- {b Crash safety.} Every job transition is journaled
+       ({!Journal}); after [kill -9] the daemon replays the journal,
+       re-enqueues jobs that never started, reports mid-flight ones as
+       [interrupted], and answers completed ones from the stored outcome
+       — idempotent submission (job identity is a digest of the graph's
+       structural key plus the options) makes client retries safe.}
+    {- {b Graceful shutdown.} {!drain} (the CLI wires it to SIGTERM)
+       stops admission, lets queued and running jobs finish under their
+       budgets, then returns from {!run}.}}
+
+    Execution happens on a pool of worker domains; every job runs under
+    a wall-clock budget ({!Exec.Budget}), so a pathological graph times
+    out as a typed [504] instead of wedging a worker.
+
+    {2 Endpoints}
+
+    {v
+    POST /jobs?mode=flow|dse&interconnect=fsl|noc&tiles=N
+              &analysis=auto|mcm|state-space&timeout=S&iterations=N
+              [&wait=1]                        body: SDF graph XML
+    GET  /jobs          GET /jobs/<id>
+    GET  /healthz       GET /readyz            GET /metrics
+    v} *)
+
+type config = {
+  host : string;  (** bind address, default [127.0.0.1] *)
+  port : int;  (** 0 picks an ephemeral port (see {!port}) *)
+  queue_capacity : int;  (** jobs admitted but not yet finished *)
+  max_connections : int;  (** concurrent connection threads *)
+  workers : int;  (** executor domains *)
+  journal_path : string option;  (** [None] disables crash safety *)
+  default_timeout : float option;
+      (** per-job budget when the request names none — the per-job
+          watchdog; [None] means unbudgeted jobs are allowed *)
+  max_body_bytes : int;
+  execute : Job.spec -> Job.outcome;
+      (** the job executor — {!Job.execute} in production, replaceable
+          so tests can inject slow or instant jobs deterministically *)
+}
+
+val default_config : config
+(** [127.0.0.1:8124], queue 64, 32 connections, 2 workers, 60 s default
+    timeout, 4 MiB bodies, no journal, {!Job.execute}. *)
+
+type t
+
+val create : config -> (t, string) result
+(** Bind the socket and replay the journal (if configured). [Error] for
+    an unbindable address or an unreadable/foreign journal. *)
+
+val port : t -> int
+(** The actually bound port — useful with [port = 0]. *)
+
+val metrics : t -> Obs.Metrics.t
+
+val run : t -> unit
+(** Serve until {!drain} — spawns the worker domains, accepts
+    connections, and returns only after the drain completed: no
+    accepting socket, empty queue, no running job, journal closed. *)
+
+val drain : t -> unit
+(** Begin graceful shutdown. Async-signal-safe (it only sets an atomic
+    flag polled by the accept loop), so the CLI may call it straight
+    from a [SIGTERM] handler. Idempotent. *)
+
+val draining : t -> bool

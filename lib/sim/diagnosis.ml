@@ -186,7 +186,7 @@ let report d = Format.asprintf "%a" pp d
 
 (* --- machine-readable export --------------------------------------------- *)
 
-let json_string s = Printf.sprintf "\"%s\"" (Obs.Chrome_trace.escape s)
+module Json = Jsonkit.Json
 
 let json_of_blocked b =
   let op, channel, have, need, unit_ =
@@ -196,36 +196,52 @@ let json_of_blocked b =
     | Waiting_write { ww_channel; ww_free; ww_needed; ww_unit } ->
         ("write", ww_channel, ww_free, ww_needed, ww_unit)
   in
-  Printf.sprintf
-    "{\"tile\":%s,\"actor\":%s,\"op\":%s,\"channel\":%s,\"have\":%d,\"need\":%d,\"unit\":%s,\"waiting_on\":%s}"
-    (json_string b.bt_tile) (json_string b.bt_actor) (json_string op)
-    (json_string channel) have need
-    (json_string (unit_name unit_))
-    (json_string b.bt_peer)
+  Json.Obj
+    [
+      ("tile", Json.String b.bt_tile);
+      ("actor", Json.String b.bt_actor);
+      ("op", Json.String op);
+      ("channel", Json.String channel);
+      ("have", Json.Int have);
+      ("need", Json.Int need);
+      ("unit", Json.String (unit_name unit_));
+      ("waiting_on", Json.String b.bt_peer);
+    ]
+
+let json_of_resource = function
+  | Failed_tile t ->
+      Json.Obj [ ("kind", Json.String "tile"); ("tile", Json.Int t) ]
+  | Failed_link { fl_channel; fl_hop } ->
+      Json.Obj
+        [
+          ("kind", Json.String "link");
+          ("channel", Json.String fl_channel);
+          ( "hop",
+            match fl_hop with
+            | None -> Json.Null
+            | Some (a, b) -> Json.List [ Json.Int a; Json.Int b ] );
+        ]
 
 let json_of_classification = function
-  | Wait_for_cycle -> "{\"kind\":\"wait_for_cycle\"}"
+  | Wait_for_cycle -> Json.Obj [ ("kind", Json.String "wait_for_cycle") ]
   | Resource_failure { rf_resource; rf_stranded } ->
-      let resource =
-        match rf_resource with
-        | Failed_tile t -> Printf.sprintf "{\"kind\":\"tile\",\"tile\":%d}" t
-        | Failed_link { fl_channel; fl_hop } ->
-            Printf.sprintf "{\"kind\":\"link\",\"channel\":%s,\"hop\":%s}"
-              (json_string fl_channel)
-              (match fl_hop with
-              | None -> "null"
-              | Some (a, b) -> Printf.sprintf "[%d,%d]" a b)
-      in
-      Printf.sprintf
-        "{\"kind\":\"resource_failure\",\"resource\":%s,\"stranded\":[%s]}"
-        resource
-        (String.concat "," (List.map json_string rf_stranded))
+      Json.Obj
+        [
+          ("kind", Json.String "resource_failure");
+          ("resource", json_of_resource rf_resource);
+          ( "stranded",
+            Json.List (List.map (fun a -> Json.String a) rf_stranded) );
+        ]
 
 let to_json d =
-  Printf.sprintf
-    "{\"cycle\":%d,\"iterations_done\":%d,\"classification\":%s,\"blocked\":[%s],\"wait_cycle\":[%s]}"
-    d.dg_cycle d.dg_iterations_done
-    (json_of_classification d.dg_classification)
-    (String.concat "," (List.map json_of_blocked d.dg_blocked))
-    (String.concat ","
-       (List.map (fun b -> json_string b.bt_tile) d.dg_wait_cycle))
+  Json.to_string
+    (Json.Obj
+       [
+         ("cycle", Json.Int d.dg_cycle);
+         ("iterations_done", Json.Int d.dg_iterations_done);
+         ("classification", json_of_classification d.dg_classification);
+         ("blocked", Json.List (List.map json_of_blocked d.dg_blocked));
+         ( "wait_cycle",
+           Json.List
+             (List.map (fun b -> Json.String b.bt_tile) d.dg_wait_cycle) );
+       ])

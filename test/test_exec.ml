@@ -741,6 +741,90 @@ let test_chrome_trace_counters () =
   check bool "counter names present" true (contains doc "exec.task.timeouts");
   check bool "counter values present" true (contains doc "{\"value\":5}")
 
+(* --- shared memo under concurrency ------------------------------------------- *)
+
+(* the daemon's worker domains hit Sdf.Memo concurrently; these tests pin
+   the table's contract under that load: counters account for every call,
+   eviction respects the bound, and a cached result is byte-identical to
+   a cold computation no matter which domain raced it in *)
+
+let test_memo_table_hammer () =
+  let table : int Sdf.Memo.t = Sdf.Memo.create ~capacity:4 () in
+  let domains = 4 and keys = 16 and rounds = 50 in
+  let wrong = Atomic.make 0 in
+  let spawned =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for r = 0 to rounds - 1 do
+              for i = 0 to keys - 1 do
+                (* each domain walks the keys at a different phase so
+                   identical and distinct keys race in every round *)
+                let k = (i + d + r) mod keys in
+                let v =
+                  Sdf.Memo.find_or_add table
+                    (Printf.sprintf "key%d" k)
+                    (fun () -> k * 13)
+                in
+                if v <> k * 13 then Atomic.incr wrong
+              done
+            done))
+  in
+  List.iter Domain.join spawned;
+  check int "every lookup returned its key's value" 0 (Atomic.get wrong);
+  let s = Sdf.Memo.stats table in
+  check int "hits + misses account for every call"
+    (domains * rounds * keys)
+    (s.Sdf.Memo.hits + s.Sdf.Memo.misses);
+  check bool "size bounded by capacity" true (s.Sdf.Memo.size <= 4);
+  check bool "eviction happened under pressure" true
+    (s.Sdf.Memo.evictions > 0);
+  (* each eviction and each resident entry came from a distinct insert,
+     and racing domains insert at most once per miss *)
+  check bool "evictions + size within miss count" true
+    (s.Sdf.Memo.evictions + s.Sdf.Memo.size <= s.Sdf.Memo.misses)
+
+let test_analyse_memo_concurrent () =
+  Sdf.Throughput.set_memoize true;
+  Sdf.Throughput.memo_clear ();
+  let graphs =
+    List.init 6 (fun i ->
+        let g, _, _ =
+          Tgraphs.two_cycle ~time_a:(3 + i) ~time_b:(5 + (2 * i)) ~tokens:2
+        in
+        g)
+  in
+  (* cold, uncached ground truth *)
+  let expected = List.map (fun g -> Sdf.Throughput.analyse g) graphs in
+  let before = Sdf.Throughput.memo_stats () in
+  let domains = 4 and rounds = 20 in
+  let results = Array.make domains [] in
+  let spawned =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            let acc = ref [] in
+            for _ = 1 to rounds do
+              List.iteri
+                (fun i g ->
+                  acc := (i, Sdf.Throughput.analyse_memo g) :: !acc)
+                graphs
+            done;
+            results.(d) <- !acc))
+  in
+  List.iter Domain.join spawned;
+  let d =
+    Sdf.Memo.delta ~before ~after:(Sdf.Throughput.memo_stats ())
+  in
+  check int "hits + misses account for every analysis"
+    (domains * rounds * List.length graphs)
+    (d.Sdf.Memo.hits + d.Sdf.Memo.misses);
+  check bool "each distinct graph missed at least once" true
+    (d.Sdf.Memo.misses >= List.length graphs);
+  Array.iter
+    (List.iter (fun (i, r) ->
+         check bool "concurrent result identical to a cold analysis" true
+           (r = List.nth expected i)))
+    results
+
 let () =
   Alcotest.run "exec"
     [
@@ -807,5 +891,12 @@ let () =
             test_conformance_seed_timeout;
           Alcotest.test_case "chrome trace counters" `Quick
             test_chrome_trace_counters;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "bounded table hammered from 4 domains" `Quick
+            test_memo_table_hammer;
+          Alcotest.test_case "analyse_memo identical under concurrency" `Quick
+            test_analyse_memo_concurrent;
         ] );
     ]
